@@ -1,0 +1,78 @@
+// Ablation: backscatter-taxonomy strictness (DESIGN.md §5). Compares the
+// paper's taxonomy (full ICMP reply family + RST as backscatter) against
+// a strict variant (EchoReply/DestUnreachable only, RST excluded) on
+// victim recall and backscatter volume, plus spike-detection sensitivity
+// across thresholds.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "telescope/capture.hpp"
+#include "util/strings.hpp"
+#include "workload/synth.hpp"
+
+using namespace iotscope;
+
+namespace {
+core::Report run_variant(const workload::Scenario& scenario,
+                         const workload::ScenarioConfig& scenario_config,
+                         const core::PipelineOptions& options) {
+  core::AnalysisPipeline pipeline(scenario.inventory, options);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(scenario_config.darknet),
+      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+  workload::synthesize_into(scenario, scenario_config, capture);
+  return pipeline.finalize();
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "Backscatter taxonomy strictness and spike threshold");
+  const auto& base = bench::study();
+  const auto& scenario_config = bench::study_config().scenario;
+
+  // Variant A: the paper's taxonomy (the default; reuse the base study).
+  const core::Report& paper_taxonomy = base.report;
+
+  // Variant B: strict taxonomy.
+  core::PipelineOptions strict;
+  strict.taxonomy.full_icmp_reply_family = false;
+  strict.taxonomy.rst_counts_as_backscatter = false;
+  const core::Report strict_report =
+      run_variant(base.scenario, scenario_config, strict);
+
+  analysis::TextTable table({"Variant", "Victims", "Backscatter pkts",
+                             "CPS share", "TCP-other pkts"});
+  auto add = [&table](const char* name, const core::Report& r) {
+    std::uint64_t tcp_other = 0;
+    for (const auto& ledger : r.devices) tcp_other += ledger.tcp_other;
+    table.add_row({name, std::to_string(r.dos_victims),
+                   util::with_commas(r.backscatter_total),
+                   bench::pct(static_cast<double>(r.backscatter_packets.cps),
+                              static_cast<double>(r.backscatter_total)),
+                   util::with_commas(tcp_other)});
+  };
+  add("paper taxonomy (reply family + RST)", paper_taxonomy);
+  add("strict (EchoReply/DestUnreach only)", strict_report);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("-- spike-detection sensitivity (threshold x hourly mean) --\n");
+  analysis::TextTable spikes({"Threshold", "Spike hours detected",
+                              "Mean top-victim share"});
+  for (const double mult : {2.0, 3.0, 5.0, 8.0}) {
+    core::PipelineOptions options;
+    options.spike_multiple = mult;
+    const core::Report r = run_variant(base.scenario, scenario_config, options);
+    double share = 0;
+    for (const auto& s : r.dos_spikes) share += s.top_victim_share;
+    spikes.add_row({util::fixed(mult, 1), std::to_string(r.dos_spikes.size()),
+                    r.dos_spikes.empty()
+                        ? "-"
+                        : util::percent(100.0 * share /
+                                        static_cast<double>(r.dos_spikes.size()))});
+  }
+  std::printf("%s\n", spikes.render().c_str());
+  std::printf("paper narrative: every major spike interval is dominated "
+              "(85-99%%) by a single victim\n");
+  return 0;
+}

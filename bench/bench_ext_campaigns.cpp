@@ -1,0 +1,44 @@
+// Extension (paper's concluding future work): clustering probing
+// campaigns — "identifying and clustering IoT botnets and their illicit
+// activities by solely scrutinizing passive measurements". Scanners are
+// clustered by dominant service and window overlap; the dominant Telnet
+// campaign corresponds to the Mirai-style population of Table V.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "core/campaigns.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+int main() {
+  bench::print_header("Extension: campaigns",
+                      "Probing-campaign clustering over inferred scanners");
+  const auto& result = bench::study();
+  const auto campaigns =
+      core::cluster_campaigns(result.report, result.scenario.inventory);
+
+  analysis::TextTable table({"#", "Service", "Devices", "Consumer", "Packets",
+                             "Window (hours)", "Duration"});
+  for (std::size_t i = 0; i < campaigns.campaigns.size() && i < 12; ++i) {
+    const auto& c = campaigns.campaigns[i];
+    table.add_row({std::to_string(i + 1), c.service_name,
+                   std::to_string(c.devices.size()),
+                   std::to_string(c.consumer_devices),
+                   util::with_commas(c.packets),
+                   std::to_string(c.start_interval + 1) + "-" +
+                       std::to_string(c.end_interval + 1),
+                   std::to_string(c.duration_hours()) + "h"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("campaigns: %zu; scanners clustered: %zu; unclustered "
+              "(small/isolated): %zu\n",
+              campaigns.campaigns.size(), campaigns.devices_clustered,
+              campaigns.devices_unclustered);
+  std::printf("expected shape: one dominant window-spanning Telnet campaign "
+              "(the Mirai-era population, ~1,196 devices at paper scale), "
+              "with HTTP/Kerberos/iRDMI campaigns dominated by consumer "
+              "devices and MS-DS/21677 ones by CPS devices\n");
+  return 0;
+}

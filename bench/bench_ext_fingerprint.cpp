@@ -1,0 +1,69 @@
+// Extension (Discussion §VI): fuzzy fingerprinting of unindexed IoT
+// devices. The scenario plants unindexed compromised IoT bots (telnet/
+// CWMP/HTTP scanners whose IPs the inventory never saw) amid background
+// radiation; the fingerprinter recovers them from behaviour alone. We
+// report recall/precision against ground truth across thresholds — an
+// evaluation the paper could not run on real data.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "core/fingerprint.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+int main() {
+  bench::print_header("Extension: fingerprinting",
+                      "Fuzzy identification of non-indexed IoT devices");
+  const auto& result = bench::study();
+  const auto& truth = result.scenario.truth;
+
+  std::set<std::uint32_t> planted;
+  for (const auto& device : truth.unindexed) {
+    planted.insert(device.ip.value());
+  }
+  std::printf("planted unindexed IoT bots: %zu; sustained unknown-source "
+              "profiles at the telescope: %zu\n\n",
+              planted.size(), result.report.unknown_sources.size());
+
+  analysis::TextTable table({"IoT-port share thr.", "Candidates", "True",
+                             "Precision", "Recall"});
+  for (const double threshold : {0.3, 0.5, 0.7, 0.9}) {
+    core::FingerprintOptions options;
+    options.iot_port_share_threshold = threshold;
+    const auto fp = core::fingerprint_unindexed(result.report, options);
+    std::size_t correct = 0;
+    for (const auto& candidate : fp.candidates) {
+      if (planted.count(candidate.ip.value())) ++correct;
+    }
+    table.add_row(
+        {util::fixed(threshold, 1), std::to_string(fp.candidates.size()),
+         std::to_string(correct),
+         bench::pct(static_cast<double>(correct),
+                    static_cast<double>(fp.candidates.size())),
+         bench::pct(static_cast<double>(correct),
+                    static_cast<double>(planted.size()))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto fp = core::fingerprint_unindexed(result.report);
+  std::printf("sample candidates (default thresholds):\n");
+  for (std::size_t i = 0; i < fp.candidates.size() && i < 5; ++i) {
+    const auto& c = fp.candidates[i];
+    std::printf("  %-15s %8s pkts, IoT-port share %s, SYN share %s, hours "
+                "%d-%d %s\n",
+                c.ip.to_string().c_str(),
+                util::with_commas(c.packets).c_str(),
+                util::percent(100 * c.iot_port_share, 0).c_str(),
+                util::percent(100 * c.syn_share, 0).c_str(),
+                c.first_interval + 1, c.last_interval + 1,
+                planted.count(c.ip.value()) ? "[planted bot]" : "[other]");
+  }
+  std::printf("\nrecall is bounded by emission: thin bots below the "
+              "profiling floor stay invisible, exactly the operational "
+              "blind spot the paper's discussion anticipates\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 5: overall UDP packets sent by compromised (a) CPS and (b)
+// consumer IoT devices to destination IP addresses and ports, per hour.
+// Paper: consumer devices target ~29K ports on ~48K destinations hourly
+// with packets ~= destinations and r(ports, IPs) = 0.95 (p < 0.0001);
+// CPS devices target fewer destinations (~14.7K) with recurring
+// port-count spikes.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+namespace {
+void print_series(const char* label, const core::TrafficSeries& series) {
+  std::printf("-- %s: hourly packets / dst IPs / dst ports (every 8th hour) --\n",
+              label);
+  analysis::TextTable table({"Hour", "Packets", "Dst IPs", "Dst ports"});
+  for (int h = 0; h < series.packets.size(); h += 8) {
+    table.add_row({std::to_string(h + 1),
+                   std::to_string(static_cast<long>(series.packets.at(h))),
+                   std::to_string(static_cast<long>(series.dst_ips.at(h))),
+                   std::to_string(static_cast<long>(series.dst_ports.at(h)))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("hourly means: packets %.0f, dst IPs %.0f, dst ports %.0f\n\n",
+              series.packets.mean(), series.dst_ips.mean(),
+              series.dst_ports.mean());
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 5", "Hourly UDP packets / destinations / ports by realm");
+  const auto& report = bench::study().report;
+
+  print_series("(a) CPS", report.udp_series.cps);
+  print_series("(b) Consumer", report.udp_series.consumer);
+
+  const auto& consumer = report.udp_series.consumer;
+  const double pkt_per_dst =
+      consumer.dst_ips.mean() > 0
+          ? consumer.packets.mean() / consumer.dst_ips.mean()
+          : 0;
+  const auto& cps = report.udp_series.cps;
+  const double cps_pkt_per_dst =
+      cps.dst_ips.mean() > 0 ? cps.packets.mean() / cps.dst_ips.mean() : 0;
+  std::printf("consumer packets per destination: %.2f (paper: ~1, \"very few "
+              "packets per destination IP\")\n",
+              pkt_per_dst);
+  std::printf("CPS packets per destination: %.2f (paper: significantly more "
+              "per destination)\n",
+              cps_pkt_per_dst);
+  const auto& r = report.udp_consumer_port_ip_correlation;
+  std::printf("consumer Pearson r(#dst ports, #dst IPs) = %.3f, p = %.2g "
+              "(paper: r = 0.95, p < 0.0001)\n",
+              r.r, r.p_value);
+  return 0;
+}

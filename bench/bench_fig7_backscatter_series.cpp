@@ -1,0 +1,58 @@
+// Figure 7: distribution of generated backscatter packets by CPS and
+// consumer IoT devices over the 143 hours, with the attack spikes the
+// paper narrates (intervals 6-8 and 53-56: a Chinese Ethernet/IP PLC
+// producing >99% of the interval's backscatter; 99 & 127: a second
+// Chinese PLC; 94: a Swiss Telvent device; 49: a Dutch printer; 81: a
+// British printer).
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+int main() {
+  bench::print_header("Figure 7", "Hourly backscatter by realm with attack spikes");
+  const auto& result = bench::study();
+  const auto& report = result.report;
+  const auto& db = result.scenario.inventory;
+
+  analysis::TextTable series({"Hour", "CPS", "Consumer"});
+  for (int h = 0; h < report.backscatter_series.cps.size(); h += 8) {
+    series.add_row({std::to_string(h + 1),
+                    std::to_string(static_cast<long>(
+                        report.backscatter_series.cps.at(h))),
+                    std::to_string(static_cast<long>(
+                        report.backscatter_series.consumer.at(h)))});
+  }
+  std::printf("%s\n", series.render().c_str());
+
+  std::printf("-- inferred attack intervals (dominant-victim spikes) --\n");
+  analysis::TextTable spikes({"Hour (1-based)", "Backscatter pkts",
+                              "Top victim", "Realm", "Country", "Share"});
+  for (const auto& spike : report.dos_spikes) {
+    const auto& device = db.devices()[spike.top_victim];
+    spikes.add_row(
+        {std::to_string(spike.interval + 1),
+         util::with_commas(static_cast<std::uint64_t>(spike.backscatter_packets)),
+         device.ip.to_string(), inventory::to_string(device.category),
+         db.country_name(device.country),
+         util::percent(100.0 * spike.top_victim_share)});
+  }
+  std::printf("%s\n", spikes.render().c_str());
+  std::printf("paper spikes: 6-8 & 53-56 (CN PLC, >99%%), 99 & 127 (CN PLC, "
+              "91-97%%), 94 (CH Telvent, 85%%), 49 (NL printer, 98%%), 81 "
+              "(UK printer, 85%%)\n");
+  std::printf("CPS share of backscatter: %s (paper: ~73%%); CPS victims: %s "
+              "(paper: 53%%)\n",
+              bench::pct(static_cast<double>(report.backscatter_packets.cps),
+                         static_cast<double>(report.backscatter_total)).c_str(),
+              bench::pct(static_cast<double>(report.dos_victims_cps),
+                         static_cast<double>(report.dos_victims)).c_str());
+  std::printf("Mann-Whitney U hourly backscatter CPS vs consumer: U=%.0f, "
+              "Z=%.2f, p=%.2g (paper: U=6061, Z=-5.95, p<0.0001)\n",
+              report.backscatter_mwu.u, report.backscatter_mwu.z,
+              report.backscatter_mwu.p_value);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9: overall TCP scanning packets toward destination IPs and ports
+// by (a) CPS and (b) consumer devices. Paper hourly means: CPS ~318K
+// packets over ~215K destinations across ~576 ports (min 271 / max 987);
+// consumer ~382K packets over ~280K destinations across ~246 ports, with
+// the interval-119 spike where a Dominican IP camera scanned 10,249
+// ports on 55 destinations.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+namespace {
+void print_series(const char* label, const core::TrafficSeries& series) {
+  std::printf("-- %s --\n", label);
+  analysis::TextTable table({"Hour", "Scan packets", "Dst IPs", "Dst ports"});
+  for (int h = 0; h < series.packets.size(); h += 8) {
+    table.add_row({std::to_string(h + 1),
+                   std::to_string(static_cast<long>(series.packets.at(h))),
+                   std::to_string(static_cast<long>(series.dst_ips.at(h))),
+                   std::to_string(static_cast<long>(series.dst_ports.at(h)))});
+  }
+  std::printf("%s", table.render().c_str());
+  const auto ports = series.dst_ports.values();
+  const double pmin = *std::min_element(ports.begin(), ports.end());
+  const double pmax = *std::max_element(ports.begin(), ports.end());
+  std::printf("hourly means: packets %.0f, dst IPs %.0f, dst ports %.0f "
+              "(min %.0f / max %.0f)\n\n",
+              series.packets.mean(), series.dst_ips.mean(),
+              series.dst_ports.mean(), pmin, pmax);
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 9", "Hourly TCP scanning by realm");
+  const auto& report = bench::study().report;
+
+  print_series("(a) CPS", report.scan_series.cps);
+  print_series("(b) Consumer", report.scan_series.consumer);
+
+  const auto& consumer_ports = report.scan_series.consumer.dst_ports;
+  std::printf("consumer dst-port peak: %.0f ports at hour %d (paper: 10.5K "
+              "at interval 119)\n",
+              consumer_ports.max(), consumer_ports.argmax() + 1);
+  const auto& r = report.scan_device_packet_correlation;
+  std::printf("Pearson r(hourly #scanners, scan packets) = %.3f, p = %.2g "
+              "(paper: r ~ 0, p > 0.05 — no linear correlation)\n",
+              r.r, r.p_value);
+  std::printf("TCP scanners: %zu devices, %s consumer (paper: 12,363, 55%%)\n",
+              report.scanner_devices,
+              bench::pct(static_cast<double>(report.scanner_consumer_devices),
+                         static_cast<double>(report.scanner_devices)).c_str());
+  return 0;
+}

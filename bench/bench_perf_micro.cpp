@@ -1,0 +1,210 @@
+// google-benchmark microbenchmarks of the pipeline hot paths: flowtuple
+// encode/decode, inventory join (hash lookup) vs a sorted-merge baseline
+// (the DESIGN.md join ablation), taxonomy classification, telescope
+// aggregation, and pcap round-trip.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/classifier.hpp"
+#include "inventory/generator.hpp"
+#include "net/flowtuple.hpp"
+#include "net/pcap.hpp"
+#include "telescope/capture.hpp"
+#include "util/rng.hpp"
+
+using namespace iotscope;
+
+namespace {
+
+net::HourlyFlows make_flows(std::size_t n, util::Rng& rng) {
+  net::HourlyFlows flows;
+  flows.interval = 0;
+  flows.start_time = util::AnalysisWindow::start();
+  flows.records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::FlowTuple t;
+    t.src = net::Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    t.dst = net::Ipv4Address::from_octets(
+        10, static_cast<std::uint8_t>(rng.uniform(0, 255)),
+        static_cast<std::uint8_t>(rng.uniform(0, 255)),
+        static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    t.src_port = static_cast<net::Port>(rng.uniform(1024, 65535));
+    t.dst_port = static_cast<net::Port>(rng.uniform(1, 65535));
+    const auto r = rng.uniform01();
+    t.protocol = r < 0.8   ? net::Protocol::Tcp
+                 : r < 0.95 ? net::Protocol::Udp
+                            : net::Protocol::Icmp;
+    t.tcp_flags = t.protocol == net::Protocol::Tcp
+                      ? (rng.chance(0.9) ? net::kSyn
+                                         : static_cast<std::uint8_t>(
+                                               net::kSyn | net::kAck))
+                      : 0;
+    t.ttl = static_cast<std::uint8_t>(rng.uniform(30, 200));
+    t.ip_length = 44;
+    t.packet_count = rng.uniform(1, 20);
+    flows.records.push_back(t);
+  }
+  return flows;
+}
+
+const inventory::IoTDeviceDatabase& bench_inventory() {
+  static const auto db = [] {
+    inventory::SynthesisConfig config;
+    config.device_count = 33100;
+    return inventory::synthesize_inventory(config);
+  }();
+  return db;
+}
+
+void BM_FlowtupleEncode(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    std::ostringstream os;
+    net::FlowTupleCodec::write(os, flows);
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowtupleEncode)->Arg(1000)->Arg(100000);
+
+void BM_FlowtupleDecode(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  std::ostringstream os;
+  net::FlowTupleCodec::write(os, flows);
+  const std::string blob = os.str();
+  for (auto _ : state) {
+    std::istringstream is(blob);
+    auto decoded = net::FlowTupleCodec::read(is);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowtupleDecode)->Arg(1000)->Arg(100000);
+
+void BM_InventoryHashJoin(benchmark::State& state) {
+  const auto& db = bench_inventory();
+  util::Rng rng(2);
+  auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  // Make ~30% of sources real inventory IPs so the join hits.
+  for (std::size_t i = 0; i < flows.records.size(); i += 3) {
+    flows.records[i].src =
+        db.devices()[rng.uniform(0, db.size() - 1)].ip;
+  }
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& record : flows.records) {
+      if (db.find(record.src) != nullptr) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InventoryHashJoin)->Arg(100000);
+
+// Join ablation: sorted-merge join over (sorted flows x sorted device IPs).
+void BM_InventorySortedMergeJoin(benchmark::State& state) {
+  const auto& db = bench_inventory();
+  util::Rng rng(2);
+  auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  for (std::size_t i = 0; i < flows.records.size(); i += 3) {
+    flows.records[i].src = db.devices()[rng.uniform(0, db.size() - 1)].ip;
+  }
+  std::vector<std::uint32_t> device_ips;
+  device_ips.reserve(db.size());
+  for (const auto& device : db.devices()) {
+    device_ips.push_back(device.ip.value());
+  }
+  std::sort(device_ips.begin(), device_ips.end());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::uint32_t> srcs;
+    srcs.reserve(flows.records.size());
+    for (const auto& record : flows.records) srcs.push_back(record.src.value());
+    state.ResumeTiming();
+    std::sort(srcs.begin(), srcs.end());
+    std::size_t hits = 0;
+    auto it = device_ips.begin();
+    for (const auto src : srcs) {
+      it = std::lower_bound(it, device_ips.end(), src);
+      if (it != device_ips.end() && *it == src) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InventorySortedMergeJoin)->Arg(100000);
+
+void BM_Classify(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto flows = make_flows(100000, rng);
+  for (auto _ : state) {
+    std::size_t scans = 0;
+    for (const auto& record : flows.records) {
+      if (core::classify(record) == core::FlowClass::TcpScan) ++scans;
+    }
+    benchmark::DoNotOptimize(scans);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_Classify);
+
+void BM_TelescopeAggregate(benchmark::State& state) {
+  util::Rng rng(4);
+  const std::size_t n = 100000;
+  std::vector<net::PacketRecord> packets;
+  packets.reserve(n);
+  telescope::DarknetSpace space;
+  for (std::size_t i = 0; i < n; ++i) {
+    packets.push_back(net::make_tcp_syn(
+        util::AnalysisWindow::start() + static_cast<long>(rng.uniform(0, 3599)),
+        net::Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+        space.random_address(rng),
+        static_cast<net::Port>(rng.uniform(1024, 65535)), 23));
+  }
+  for (auto _ : state) {
+    std::size_t flows_out = 0;
+    telescope::TelescopeCapture capture(
+        space, [&flows_out](net::HourlyFlows&& flows) {
+          flows_out += flows.records.size();
+        });
+    for (const auto& packet : packets) capture.ingest(packet);
+    capture.finish();
+    benchmark::DoNotOptimize(flows_out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TelescopeAggregate);
+
+void BM_PcapRoundTrip(benchmark::State& state) {
+  util::Rng rng(5);
+  telescope::DarknetSpace space;
+  std::vector<net::PacketRecord> packets;
+  for (std::size_t i = 0; i < 10000; ++i) {
+    packets.push_back(net::make_udp(
+        util::AnalysisWindow::start(),
+        net::Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+        space.random_address(rng), 40000,
+        static_cast<net::Port>(rng.uniform(1, 65535))));
+  }
+  for (auto _ : state) {
+    std::ostringstream os;
+    net::PcapWriter writer(os);
+    for (const auto& packet : packets) writer.write(packet);
+    std::istringstream is(os.str());
+    net::PcapReader reader(is);
+    net::PacketRecord p;
+    std::size_t count = 0;
+    while (reader.next(p)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PcapRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace iotscope::bench {
+
+namespace {
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+core::StudyConfig make_config() {
+  core::StudyConfig config = core::StudyConfig::bench_default();
+  config.scenario.inventory_scale =
+      env_double("IOTSCOPE_BENCH_INVENTORY_SCALE", 0.10);
+  config.scenario.traffic_scale =
+      env_double("IOTSCOPE_BENCH_TRAFFIC_SCALE", 0.02);
+  config.scenario.seed = static_cast<std::uint64_t>(
+      env_double("IOTSCOPE_BENCH_SEED", 20170412));
+  return config;
+}
+}  // namespace
+
+const core::StudyConfig& study_config() {
+  static const core::StudyConfig config = make_config();
+  return config;
+}
+
+const core::StudyResult& study() {
+  static const core::StudyResult result = core::run_study(study_config());
+  return result;
+}
+
+void print_header(const char* experiment, const char* title) {
+  const auto& config = study_config();
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment, title);
+  std::printf("scales: inventory %.3g, traffic %.3g (paper scale = 1, 1); "
+              "seed %llu\n",
+              config.scenario.inventory_scale, config.scenario.traffic_scale,
+              static_cast<unsigned long long>(config.scenario.seed));
+  std::printf("================================================================\n");
+}
+
+std::string pct(double num, double den, int decimals) {
+  return util::percent(den > 0 ? 100.0 * num / den : 0.0, decimals);
+}
+
+std::string upscale_devices(double measured) {
+  const double scale = study_config().scenario.inventory_scale;
+  return util::with_commas(static_cast<std::uint64_t>(
+      scale > 0 ? measured / scale + 0.5 : measured));
+}
+
+std::string upscale_packets(double measured) {
+  const double scale = study_config().scenario.traffic_scale;
+  return util::human_count(scale > 0 ? measured / scale : measured);
+}
+
+double upscale_per_device_factor() {
+  const auto& scenario = study_config().scenario;
+  return scenario.traffic_scale > 0
+             ? scenario.inventory_scale / scenario.traffic_scale
+             : 1.0;
+}
+
+}  // namespace iotscope::bench

@@ -1,0 +1,44 @@
+// Shared bench harness: every bench binary regenerates one of the paper's
+// tables or figures at a reduced (environment-overridable) scale and
+// prints paper-reported values next to the measured ones.
+//
+// Environment:
+//   IOTSCOPE_BENCH_INVENTORY_SCALE  (default 0.10)
+//   IOTSCOPE_BENCH_TRAFFIC_SCALE    (default 0.02)
+//   IOTSCOPE_BENCH_SEED             (default 20170412)
+#pragma once
+
+#include <string>
+
+#include "core/iotscope.hpp"
+
+namespace iotscope::bench {
+
+/// The bench-scale study, computed once per process.
+const core::StudyResult& study();
+
+/// The configuration study() ran with.
+const core::StudyConfig& study_config();
+
+/// Prints the standard experiment banner.
+void print_header(const char* experiment, const char* title);
+
+/// "12.3%" of num over den (0 if den == 0).
+std::string pct(double num, double den, int decimals = 1);
+
+/// Formats a count scaled *back up* to paper scale for device-count
+/// comparisons (divides by inventory scale).
+std::string upscale_devices(double measured);
+
+/// Formats a packet count scaled back to paper scale (divides by traffic
+/// scale).
+std::string upscale_packets(double measured);
+
+/// Per-device volumes scale by traffic_scale / inventory_scale (the total
+/// shrinks with traffic, the population with inventory), so the factor
+/// back to paper scale is inventory_scale / traffic_scale. Note: scripted
+/// single-device case studies carry traffic-scaled budgets and are
+/// understated by inventory_scale in this view.
+double upscale_per_device_factor();
+
+}  // namespace iotscope::bench

@@ -1,0 +1,107 @@
+// Compromised-device census: reproduces the paper's Section III workflow
+// as an operational report — who is compromised, where, on which ISPs,
+// and in which CPS realms — and exports the inventory + findings as CSV
+// artifacts a security operator could act on (the paper's "operational/
+// actionable cyber security" goal).
+//
+// Usage: compromised_census [output_dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/table.hpp"
+#include "core/iotscope.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::Info);
+  const std::filesystem::path out_dir =
+      argc > 1 ? argv[1] : std::filesystem::path("census-output");
+  std::filesystem::create_directories(out_dir);
+
+  core::StudyConfig config = core::StudyConfig::bench_default();
+  const auto result = core::run_study(config);
+  const auto& db = result.scenario.inventory;
+  const auto& report = result.report;
+  const auto& character = result.character;
+
+  // ---- headline census ----
+  std::printf("== Compromised IoT device census ==\n");
+  std::printf("%s devices correlated with darknet traffic "
+              "(%s consumer, %s CPS) across %zu countries\n\n",
+              util::with_commas(report.discovered_total()).c_str(),
+              util::with_commas(report.discovered_consumer).c_str(),
+              util::with_commas(report.discovered_cps).c_str(),
+              character.countries_with_compromised);
+
+  // ---- per-country report (Fig 1b) ----
+  analysis::TextTable countries(
+      {"Country", "Compromised", "CPS", "Consumer", "% of fleet"});
+  for (std::size_t i = 0; i < character.by_country_compromised.size() && i < 15;
+       ++i) {
+    const auto& row = character.by_country_compromised[i];
+    countries.add_row({db.country_name(row.country),
+                       util::with_commas(row.compromised()),
+                       util::with_commas(row.compromised_cps),
+                       util::with_commas(row.compromised_consumer),
+                       util::percent(row.pct_compromised())});
+  }
+  std::printf("%s\n", countries.render().c_str());
+  countries.write_csv(out_dir / "compromised_by_country.csv");
+
+  // ---- CPS exposure report (Table III) ----
+  std::printf("Critical-infrastructure exposure (compromised CPS devices by "
+              "protocol):\n");
+  analysis::TextTable cps({"Protocol", "Application", "Devices"});
+  for (std::size_t i = 0; i < character.cps_protocols.size() && i < 10; ++i) {
+    const auto& [proto, count] = character.cps_protocols[i];
+    const auto& info = db.catalog().cps_protocols()[proto];
+    cps.add_row({info.name, info.application.substr(0, 40),
+                 util::with_commas(count)});
+  }
+  std::printf("%s\n", cps.render().c_str());
+  cps.write_csv(out_dir / "cps_exposure.csv");
+
+  // ---- actionable per-device notification list ----
+  // The paper's vision: "Internet-wide, IoT-tailored notifications of such
+  // exploitations ... permitting rapid remediation". Emit the ISP-facing
+  // notification list for the top offenders.
+  analysis::TextTable notify({"Device IP", "Realm", "Type/Protocol",
+                              "Country", "ISP", "Packets", "Classes"});
+  std::vector<const core::DeviceTraffic*> offenders;
+  for (const auto& ledger : report.devices) offenders.push_back(&ledger);
+  std::sort(offenders.begin(), offenders.end(),
+            [](const core::DeviceTraffic* a, const core::DeviceTraffic* b) {
+              return a->packets > b->packets;
+            });
+  for (std::size_t i = 0; i < offenders.size() && i < 20; ++i) {
+    const auto& ledger = *offenders[i];
+    const auto& device = db.devices()[ledger.device];
+    std::string kind = device.is_consumer()
+                           ? inventory::to_string(device.consumer_type)
+                           : db.catalog().cps_protocol_name(
+                                 device.services.empty() ? 0
+                                                         : device.services[0]);
+    std::string classes;
+    if (ledger.tcp_scan > 0) classes += "scan ";
+    if (ledger.udp > 0) classes += "udp ";
+    if (ledger.backscatter() > 0) classes += "dos-victim ";
+    if (ledger.tcp_other > 0) classes += "misconfig";
+    notify.add_row({device.ip.to_string(),
+                    inventory::to_string(device.category), kind,
+                    db.country_name(device.country), db.isp_name(device.isp),
+                    util::with_commas(ledger.packets), classes});
+  }
+  std::printf("Top offenders (ISP notification list):\n%s\n",
+              notify.render().c_str());
+  notify.write_csv(out_dir / "notification_list.csv");
+
+  // ---- persist the full inventory for downstream tooling ----
+  db.save_csv(out_dir / "inventory.csv");
+  std::printf("artifacts written to %s: compromised_by_country.csv, "
+              "cps_exposure.csv, notification_list.csv, inventory.csv\n",
+              out_dir.string().c_str());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// DoS forensics: reproduces the paper's Section IV-B investigation — infer
+// backscatter, identify victim devices, detect attack intervals, and
+// narrate each event (dominant victim, realm, country, attacked service),
+// the way the paper walks through the Chinese Ethernet/IP PLCs, the Swiss
+// Telvent device, and the Dutch/British printers.
+//
+// Usage: dos_forensics [inventory_scale] [traffic_scale]
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/ecdf.hpp"
+#include "analysis/table.hpp"
+#include "core/iotscope.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace iotscope;
+
+namespace {
+const char* guess_service(net::Port port) {
+  switch (port) {
+    case 44818:
+      return "Ethernet/IP (Rockwell ControlLogix PLC)";
+    case 502:
+      return "Modbus TCP";
+    case 20000:
+      return "DNP3/Telvent range";
+    case 102:
+      return "Siemens S7";
+    case 2404:
+      return "IEC 60870-5-104";
+    case 9100:
+      return "printer (JetDirect)";
+    case 80:
+    case 8080:
+      return "HTTP";
+    case 23:
+      return "Telnet";
+    case 554:
+      return "RTSP (camera)";
+    default:
+      return "unknown";
+  }
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::Info);
+  core::StudyConfig config = core::StudyConfig::bench_default();
+  if (argc > 1) config.scenario.inventory_scale = std::atof(argv[1]);
+  if (argc > 2) config.scenario.traffic_scale = std::atof(argv[2]);
+
+  const auto result = core::run_study(config);
+  const auto& report = result.report;
+  const auto& db = result.scenario.inventory;
+
+  std::printf("== DoS victim inference (backscatter analysis) ==\n");
+  std::printf("%zu IoT devices emitted backscatter (%zu CPS / %zu consumer), "
+              "%s packets total, %s from CPS\n\n",
+              report.dos_victims, report.dos_victims_cps,
+              report.dos_victims - report.dos_victims_cps,
+              util::human_count(static_cast<double>(report.backscatter_total))
+                  .c_str(),
+              util::percent(100.0 *
+                            static_cast<double>(report.backscatter_packets.cps) /
+                            static_cast<double>(report.backscatter_total))
+                  .c_str());
+
+  // ---- attack-event narration ----
+  std::printf("== Inferred attack events (dominant-victim spikes) ==\n");
+  for (const auto& spike : report.dos_spikes) {
+    const auto& victim = db.devices()[spike.top_victim];
+    const auto* ledger = report.traffic_for(spike.top_victim);
+    // Recover the attacked service from the victim's dominant backscatter
+    // source port: we look at what the workload says, but a real operator
+    // would read it off the flowtuples; here the spike's metadata plus the
+    // inventory give the same story the paper tells.
+    std::printf(
+        "hour %3d: %8s backscatter pkts, %5.1f%% from a single %s %s in %s",
+        spike.interval + 1,
+        util::with_commas(
+            static_cast<std::uint64_t>(spike.backscatter_packets))
+            .c_str(),
+        100.0 * spike.top_victim_share,
+        victim.is_cps() ? "CPS device" : "consumer device",
+        victim.is_consumer()
+            ? inventory::to_string(victim.consumer_type)
+            : db.catalog().cps_protocol_name(victim.services.empty()
+                                                 ? 0
+                                                 : victim.services[0]).c_str(),
+        db.country_name(victim.country).c_str());
+    if (ledger != nullptr) {
+      std::printf(" (device total: %s backscatter pkts)",
+                  util::with_commas(ledger->backscatter()).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // ---- per-victim dossier for the heaviest victims ----
+  std::printf("\n== Victim dossiers (top 8 by backscatter volume) ==\n");
+  std::vector<const core::DeviceTraffic*> victims;
+  for (const auto& ledger : report.devices) {
+    if (ledger.backscatter() > 0) victims.push_back(&ledger);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const core::DeviceTraffic* a, const core::DeviceTraffic* b) {
+              return a->backscatter() > b->backscatter();
+            });
+  analysis::TextTable dossier({"Victim IP", "Realm", "Country",
+                               "Backscatter pkts", "TCP/ICMP split",
+                               "Flagged by threat repo"});
+  for (std::size_t i = 0; i < victims.size() && i < 8; ++i) {
+    const auto& ledger = *victims[i];
+    const auto& device = db.devices()[ledger.device];
+    dossier.add_row(
+        {device.ip.to_string(), inventory::to_string(device.category),
+         db.country_name(device.country),
+         util::with_commas(ledger.backscatter()),
+         util::percent(100.0 * static_cast<double>(ledger.tcp_backscatter) /
+                       static_cast<double>(ledger.backscatter())) +
+             " TCP",
+         result.threats.flagged(device.ip) ? "yes" : "no"});
+  }
+  std::printf("%s\n", dossier.render().c_str());
+
+  // ---- victim packet-count distribution (Fig 6's backscatter CDF) ----
+  std::vector<double> counts;
+  for (const auto* v : victims) {
+    counts.push_back(static_cast<double>(v->backscatter()));
+  }
+  analysis::Ecdf cdf(std::move(counts));
+  std::printf("victim backscatter quartiles (measured scale): p25=%s "
+              "median=%s p75=%s max=%s\n",
+              util::human_count(cdf.quantile(0.25)).c_str(),
+              util::human_count(cdf.quantile(0.5)).c_str(),
+              util::human_count(cdf.quantile(0.75)).c_str(),
+              util::human_count(cdf.quantile(1.0)).c_str());
+
+  std::printf("\nreference services behind common backscatter source ports: "
+              "44818 -> %s; 9100 -> %s\n",
+              guess_service(44818), guess_service(9100));
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotscope::analysis {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::below(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<std::pair<double, double>> Ecdf::log_curve(double lo, double hi,
+                                                       int points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (points < 2 || lo <= 0.0 || hi <= lo) return curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  const double step = std::log(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    const double x = lo * std::exp(step * i);
+    curve.emplace_back(x, at(x));
+  }
+  return curve;
+}
+
+}  // namespace iotscope::analysis

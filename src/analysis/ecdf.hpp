@@ -1,0 +1,40 @@
+// Empirical CDF — the representation behind the paper's Figures 6 and 11
+// (distribution of per-device packet counts on a log-x axis).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotscope::analysis {
+
+/// An empirical cumulative distribution function over a sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> sample);
+
+  /// Fraction of the sample <= x; 0 for an empty sample.
+  double at(double x) const noexcept;
+
+  /// q-th quantile (q in [0,1], nearest-rank); 0 for an empty sample.
+  double quantile(double q) const noexcept;
+
+  /// Fraction of the sample >= x.
+  double tail_at_least(double x) const noexcept { return 1.0 - below(x); }
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Samples the CDF at log-spaced points from lo to hi (inclusive),
+  /// mirroring the log-x axes of Figures 6/11. Returns (x, F(x)) pairs.
+  std::vector<std::pair<double, double>> log_curve(double lo, double hi,
+                                                   int points) const;
+
+ private:
+  double below(double x) const noexcept;  // fraction strictly below x
+  std::vector<double> sorted_;
+};
+
+}  // namespace iotscope::analysis

@@ -1,0 +1,188 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace iotscope::analysis {
+
+Descriptive describe(std::span<const double> xs) noexcept {
+  Descriptive d;
+  d.n = xs.size();
+  if (xs.empty()) return d;
+  d.min = xs[0];
+  d.max = xs[0];
+  for (double x : xs) {
+    d.sum += x;
+    d.min = std::min(d.min, x);
+    d.max = std::max(d.max, x);
+  }
+  d.mean = d.sum / static_cast<double>(d.n);
+  if (d.n > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - d.mean) * (x - d.mean);
+    d.stddev = std::sqrt(ss / static_cast<double>(d.n - 1));
+  }
+  return d;
+}
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double regularized_incomplete_beta(double a, double b, double x) noexcept {
+  // Lentz's continued fraction; standard Numerical-Recipes-style betacf.
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+
+  auto betacf = [](double aa, double bb, double xx) {
+    constexpr int kMaxIter = 300;
+    constexpr double kEps = 3e-14;
+    constexpr double kFpMin = 1e-300;
+    const double qab = aa + bb;
+    const double qap = aa + 1.0;
+    const double qam = aa - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * xx / qap;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+      const int m2 = 2 * m;
+      double num = m * (bb - m) * xx / ((qam + m2) * (aa + m2));
+      d = 1.0 + num * d;
+      if (std::fabs(d) < kFpMin) d = kFpMin;
+      c = 1.0 + num / c;
+      if (std::fabs(c) < kFpMin) c = kFpMin;
+      d = 1.0 / d;
+      h *= d * c;
+      num = -(aa + m) * (qab + m) * xx / ((aa + m2) * (qap + m2));
+      d = 1.0 + num * d;
+      if (std::fabs(d) < kFpMin) d = kFpMin;
+      c = 1.0 + num / c;
+      if (std::fabs(c) < kFpMin) c = kFpMin;
+      d = 1.0 / d;
+      const double del = d * c;
+      h *= del;
+      if (std::fabs(del - 1.0) < kEps) break;
+    }
+    return h;
+  };
+
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_sided_p(double t, double df) noexcept {
+  if (df <= 0.0) return 1.0;
+  const double x = df / (df + t * t);
+  return regularized_incomplete_beta(df / 2.0, 0.5, x);
+}
+
+PearsonResult pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("pearson: mismatched sample sizes");
+  }
+  PearsonResult result;
+  result.n = x.size();
+  if (x.size() < 2) return result;
+
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return result;  // constant series: r = 0
+  result.r = sxy / std::sqrt(sxx * syy);
+  result.r = std::clamp(result.r, -1.0, 1.0);
+  if (x.size() >= 3 && std::fabs(result.r) < 1.0) {
+    const double df = n - 2.0;
+    result.t = result.r * std::sqrt(df / (1.0 - result.r * result.r));
+    result.p_value = student_t_two_sided_p(result.t, df);
+  } else if (std::fabs(result.r) >= 1.0) {
+    result.t = std::numeric_limits<double>::infinity();
+    result.p_value = 0.0;
+  }
+  return result;
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> x,
+                                 std::span<const double> y) {
+  MannWhitneyResult result;
+  result.n1 = x.size();
+  result.n2 = y.size();
+  if (x.empty() || y.empty()) return result;
+
+  // Pool and midrank.
+  struct Obs {
+    double value;
+    int group;  // 0 = x, 1 = y
+  };
+  std::vector<Obs> pool;
+  pool.reserve(x.size() + y.size());
+  for (double v : x) pool.push_back({v, 0});
+  for (double v : y) pool.push_back({v, 1});
+  std::sort(pool.begin(), pool.end(),
+            [](const Obs& a, const Obs& b) { return a.value < b.value; });
+
+  const double n1 = static_cast<double>(x.size());
+  const double n2 = static_cast<double>(y.size());
+  const double n = n1 + n2;
+
+  double rank_sum_x = 0.0;
+  double tie_term = 0.0;  // sum of (t^3 - t) over tie groups
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].value == pool[i].value) ++j;
+    const double tied = static_cast<double>(j - i);
+    // Midrank of positions i..j-1 (1-based ranks).
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].group == 0) rank_sum_x += midrank;
+    }
+    if (tied > 1.0) tie_term += tied * tied * tied - tied;
+    i = j;
+  }
+
+  result.u = rank_sum_x - n1 * (n1 + 1.0) / 2.0;
+  const double mean_u = n1 * n2 / 2.0;
+  const double var_u =
+      (n1 * n2 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All observations identical: no evidence of difference.
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction toward the mean.
+  double num = result.u - mean_u;
+  if (num > 0.5) {
+    num -= 0.5;
+  } else if (num < -0.5) {
+    num += 0.5;
+  } else {
+    num = 0.0;
+  }
+  result.z = num / std::sqrt(var_u);
+  result.p_value = 2.0 * (1.0 - normal_cdf(std::fabs(result.z)));
+  result.p_value = std::clamp(result.p_value, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace iotscope::analysis

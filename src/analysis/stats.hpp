@@ -1,0 +1,62 @@
+// Statistical primitives the paper's evaluation uses: descriptive stats,
+// Pearson correlation with a t-test p-value, and the Mann–Whitney U test
+// with normal approximation and tie correction (the paper reports
+// U = 6061, Z = -5.95, p < 0.0001 comparing CPS vs consumer backscatter).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iotscope::analysis {
+
+/// Basic descriptive statistics of a sample.
+struct Descriptive {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes descriptive statistics; zero-initialized result for empty input.
+Descriptive describe(std::span<const double> xs) noexcept;
+
+/// Result of a Pearson product-moment correlation.
+struct PearsonResult {
+  double r = 0.0;        ///< correlation coefficient in [-1, 1]
+  double t = 0.0;        ///< t statistic with n-2 degrees of freedom
+  double p_value = 1.0;  ///< two-sided p-value
+  std::size_t n = 0;
+};
+
+/// Pearson correlation of two equal-length samples (n >= 3 for a p-value).
+PearsonResult pearson(std::span<const double> x, std::span<const double> y);
+
+/// Result of a two-sided Mann–Whitney U test.
+struct MannWhitneyResult {
+  double u = 0.0;        ///< U statistic (of the first sample)
+  double z = 0.0;        ///< normal approximation z-score (tie-corrected)
+  double p_value = 1.0;  ///< two-sided p-value
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+};
+
+/// Mann–Whitney U (Wilcoxon rank-sum) with midranks for ties and the
+/// normal approximation with tie-corrected variance and continuity
+/// correction. Suitable for the paper's sample sizes (hours, devices).
+MannWhitneyResult mann_whitney_u(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Standard normal CDF.
+double normal_cdf(double z) noexcept;
+
+/// Two-sided p-value from a Student t statistic with df degrees of
+/// freedom, computed via the regularized incomplete beta function.
+double student_t_two_sided_p(double t, double df) noexcept;
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double regularized_incomplete_beta(double a, double b, double x) noexcept;
+
+}  // namespace iotscope::analysis

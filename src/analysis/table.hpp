@@ -1,0 +1,32 @@
+// Plain-text table rendering for the bench harness output ("paper vs
+// measured" rows) plus CSV export for plotting.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace iotscope::analysis {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  /// Writes the table as CSV (cells containing commas are quoted).
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iotscope::analysis

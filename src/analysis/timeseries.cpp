@@ -1,0 +1,23 @@
+#include "analysis/timeseries.hpp"
+
+namespace iotscope::analysis {
+
+std::vector<double> HourlySeries::daily_totals() const {
+  std::vector<double> days(util::AnalysisWindow::kDays, 0.0);
+  for (int i = 0; i < size(); ++i) {
+    days[static_cast<std::size_t>(util::AnalysisWindow::day_of_interval(i))] +=
+        values_[static_cast<std::size_t>(i)];
+  }
+  return days;
+}
+
+std::vector<int> HourlySeries::spikes(double multiple) const {
+  std::vector<int> out;
+  const double threshold = mean() * multiple;
+  for (int i = 0; i < size(); ++i) {
+    if (values_[static_cast<std::size_t>(i)] > threshold) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace iotscope::analysis

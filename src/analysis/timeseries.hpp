@@ -1,0 +1,72 @@
+// Fixed-length hourly series over the 143-interval analysis window — the
+// backbone of Figures 2, 5, 7, 9 and 10.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/timebase.hpp"
+
+namespace iotscope::analysis {
+
+/// A per-interval accumulator over the analysis window.
+class HourlySeries {
+ public:
+  HourlySeries() : values_(util::AnalysisWindow::kHours, 0.0) {}
+
+  void add(int interval, double amount = 1.0) noexcept {
+    if (interval >= 0 && interval < static_cast<int>(values_.size())) {
+      values_[static_cast<std::size_t>(interval)] += amount;
+    }
+  }
+
+  double at(int interval) const noexcept {
+    if (interval < 0 || interval >= static_cast<int>(values_.size())) return 0;
+    return values_[static_cast<std::size_t>(interval)];
+  }
+
+  std::span<const double> values() const noexcept { return values_; }
+  int size() const noexcept { return static_cast<int>(values_.size()); }
+
+  double total() const noexcept {
+    double t = 0;
+    for (double v : values_) t += v;
+    return t;
+  }
+
+  double max() const noexcept {
+    double m = 0;
+    for (double v : values_) m = v > m ? v : m;
+    return m;
+  }
+
+  /// Interval index of the maximum value (first if tied).
+  int argmax() const noexcept {
+    int best = 0;
+    for (int i = 1; i < size(); ++i) {
+      if (values_[static_cast<std::size_t>(i)] >
+          values_[static_cast<std::size_t>(best)])
+        best = i;
+    }
+    return best;
+  }
+
+  /// Mean over all intervals.
+  double mean() const noexcept {
+    return values_.empty() ? 0.0 : total() / static_cast<double>(values_.size());
+  }
+
+  /// Sums each day's 24 intervals (last day has 23), giving the daily
+  /// series used by Figure 2 and the "daily mean/sigma" statistics.
+  std::vector<double> daily_totals() const;
+
+  /// Intervals whose value exceeds multiple * the series mean — the spike
+  /// detector used when narrating Figure 7's attack intervals.
+  std::vector<int> spikes(double multiple) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace iotscope::analysis

@@ -1,0 +1,59 @@
+// Generic frequency counting and top-k extraction used by every
+// "Top N ..." table in the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace iotscope::analysis {
+
+/// Accumulates counts per key and extracts the k heaviest entries.
+template <typename Key, typename Hash = std::hash<Key>>
+class Counter {
+ public:
+  void add(const Key& key, std::uint64_t count = 1) { counts_[key] += count; }
+
+  std::uint64_t count(const Key& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+
+  std::size_t distinct() const noexcept { return counts_.size(); }
+
+  struct Entry {
+    Key key;
+    std::uint64_t count;
+  };
+
+  /// The k heaviest entries, descending by count (ties broken by key order
+  /// via stable comparison on the key's operator< when available is NOT
+  /// required; ties are broken arbitrarily but deterministically by sort).
+  std::vector<Entry> top(std::size_t k) const {
+    std::vector<Entry> all;
+    all.reserve(counts_.size());
+    for (const auto& [key, count] : counts_) all.push_back({key, count});
+    std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+  const std::unordered_map<Key, std::uint64_t, Hash>& raw() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<Key, std::uint64_t, Hash> counts_;
+};
+
+}  // namespace iotscope::analysis

@@ -1,0 +1,89 @@
+#include "core/campaigns.hpp"
+
+#include <algorithm>
+
+#include "workload/spec.hpp"
+
+namespace iotscope::core {
+
+CampaignReport cluster_campaigns(const Report& report,
+                                 const inventory::IoTDeviceDatabase& db,
+                                 const CampaignOptions& options) {
+  CampaignReport out;
+  const auto& services = workload::scan_services();
+
+  // Bucket qualifying scanners by their dominant service.
+  struct Member {
+    const DeviceTraffic* ledger;
+    int first;
+    int last;
+  };
+  std::vector<std::vector<Member>> by_service(services.size());
+  for (const auto& ledger : report.devices) {
+    const int service = ledger.dominant_scan_service();
+    if (service < 0 ||
+        static_cast<std::size_t>(service) >= services.size()) {
+      continue;
+    }
+    if (ledger.scan_by_service[static_cast<std::size_t>(service)] <
+        options.min_device_packets) {
+      ++out.devices_unclustered;
+      continue;
+    }
+    by_service[static_cast<std::size_t>(service)].push_back(
+        {&ledger, std::max(0, ledger.first_interval),
+         std::max(0, ledger.last_interval)});
+  }
+
+  // Within each service, sweep members by window start and merge those
+  // whose windows touch the campaign's running window (within the gap).
+  for (std::size_t s = 0; s < by_service.size(); ++s) {
+    auto& members = by_service[s];
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end(),
+              [](const Member& a, const Member& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.last < b.last;
+              });
+
+    Campaign current;
+    auto flush = [&]() {
+      if (current.devices.size() >= options.min_campaign_devices) {
+        out.devices_clustered += current.devices.size();
+        out.campaigns.push_back(std::move(current));
+      } else {
+        out.devices_unclustered += current.devices.size();
+      }
+      current = Campaign{};
+    };
+
+    for (const auto& member : members) {
+      if (!current.devices.empty() &&
+          member.first > current.end_interval + options.max_window_gap) {
+        flush();
+      }
+      if (current.devices.empty()) {
+        current.service = static_cast<int>(s);
+        current.service_name = services[s].name;
+        current.start_interval = member.first;
+        current.end_interval = member.last;
+      }
+      current.start_interval = std::min(current.start_interval, member.first);
+      current.end_interval = std::max(current.end_interval, member.last);
+      current.devices.push_back(member.ledger->device);
+      current.packets += member.ledger->scan_by_service[s];
+      if (db.devices()[member.ledger->device].is_consumer()) {
+        ++current.consumer_devices;
+      }
+    }
+    flush();
+  }
+
+  std::sort(out.campaigns.begin(), out.campaigns.end(),
+            [](const Campaign& a, const Campaign& b) {
+              return a.packets > b.packets;
+            });
+  return out;
+}
+
+}  // namespace iotscope::core

@@ -1,0 +1,57 @@
+// Probing-campaign clustering — the paper's concluding future-work item:
+// "identifying and clustering IoT botnets and their illicit activities by
+// solely scrutinizing passive measurements" (in the lineage of the
+// authors' CSC-Detector). Scanning devices are grouped into campaigns by
+// the service they predominantly probe and the overlap of their activity
+// windows: a Mirai-style Telnet campaign shows up as hundreds of devices
+// probing ports 23/2323 over the same span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace iotscope::core {
+
+/// Clustering knobs.
+struct CampaignOptions {
+  /// Minimum scanning packets for a device to be considered a campaign
+  /// participant (drops one-off probes).
+  std::uint64_t min_device_packets = 10;
+  /// Maximum gap (hours) between a device's activity window and the
+  /// campaign's current window for the device to join it.
+  int max_window_gap = 12;
+  /// Campaigns smaller than this many devices are dropped from the result.
+  std::size_t min_campaign_devices = 2;
+};
+
+/// One inferred probing campaign.
+struct Campaign {
+  int service = -1;           ///< index into the scan-service table
+  std::string service_name;
+  int start_interval = 0;     ///< earliest member activity
+  int end_interval = 0;       ///< latest member activity
+  std::vector<std::uint32_t> devices;  ///< inventory indices of members
+  std::uint64_t packets = 0;  ///< members' packets toward the service
+  std::size_t consumer_devices = 0;
+
+  int duration_hours() const noexcept {
+    return end_interval - start_interval + 1;
+  }
+};
+
+/// Result of campaign inference, descending by packet volume.
+struct CampaignReport {
+  std::vector<Campaign> campaigns;
+  std::size_t devices_clustered = 0;
+  std::size_t devices_unclustered = 0;  ///< scanners left out (small/isolated)
+};
+
+/// Clusters the report's scanners into campaigns.
+CampaignReport cluster_campaigns(const Report& report,
+                                 const inventory::IoTDeviceDatabase& db,
+                                 const CampaignOptions& options = {});
+
+}  // namespace iotscope::core

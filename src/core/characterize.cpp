@@ -1,0 +1,99 @@
+#include "core/characterize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace iotscope::core {
+
+CharacterizationReport characterize(const Report& report,
+                                    const inventory::IoTDeviceDatabase& db) {
+  CharacterizationReport out;
+  const auto& catalog = db.catalog();
+
+  std::vector<CountryRow> rows(catalog.countries().size());
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    rows[c].country = static_cast<inventory::CountryId>(c);
+  }
+
+  // Deployment view over the whole inventory.
+  for (const auto& device : db.devices()) {
+    auto& row = rows[device.country];
+    if (device.is_consumer()) {
+      ++row.deployed_consumer;
+    } else {
+      ++row.deployed_cps;
+    }
+  }
+
+  // Compromised view over the discovered ledger.
+  std::unordered_map<inventory::IspId, std::size_t> consumer_isps;
+  std::unordered_map<inventory::IspId, std::size_t> cps_isps;
+  std::unordered_map<inventory::CpsProtocolId, std::size_t> protocol_devices;
+
+  for (const auto& ledger : report.devices) {
+    const auto& device = db.devices()[ledger.device];
+    auto& row = rows[device.country];
+    if (device.is_consumer()) {
+      ++row.compromised_consumer;
+      ++consumer_isps[device.isp];
+      ++out.consumer_types[static_cast<std::size_t>(device.consumer_type)];
+    } else {
+      ++row.compromised_cps;
+      ++cps_isps[device.isp];
+      for (const auto proto : device.services) ++protocol_devices[proto];
+    }
+  }
+
+  for (const auto& row : rows) {
+    if (row.compromised() > 0) ++out.countries_with_compromised;
+  }
+
+  out.by_country_deployed = rows;
+  std::sort(out.by_country_deployed.begin(), out.by_country_deployed.end(),
+            [](const CountryRow& a, const CountryRow& b) {
+              return a.deployed() > b.deployed();
+            });
+  out.by_country_deployed.erase(
+      std::remove_if(out.by_country_deployed.begin(),
+                     out.by_country_deployed.end(),
+                     [](const CountryRow& r) { return r.deployed() == 0; }),
+      out.by_country_deployed.end());
+
+  out.by_country_compromised = rows;
+  std::sort(out.by_country_compromised.begin(),
+            out.by_country_compromised.end(),
+            [](const CountryRow& a, const CountryRow& b) {
+              return a.compromised() > b.compromised();
+            });
+  out.by_country_compromised.erase(
+      std::remove_if(out.by_country_compromised.begin(),
+                     out.by_country_compromised.end(),
+                     [](const CountryRow& r) { return r.compromised() == 0; }),
+      out.by_country_compromised.end());
+
+  auto to_sorted = [](const std::unordered_map<inventory::IspId, std::size_t>& m) {
+    std::vector<IspRow> v;
+    v.reserve(m.size());
+    for (const auto& [isp, count] : m) v.push_back({isp, count});
+    std::sort(v.begin(), v.end(), [](const IspRow& a, const IspRow& b) {
+      if (a.devices != b.devices) return a.devices > b.devices;
+      return a.isp < b.isp;
+    });
+    return v;
+  };
+  out.consumer_isps = to_sorted(consumer_isps);
+  out.cps_isps = to_sorted(cps_isps);
+
+  out.cps_protocols.assign(protocol_devices.begin(), protocol_devices.end());
+  std::sort(out.cps_protocols.begin(), out.cps_protocols.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  out.cps_protocols_in_use = out.cps_protocols.size();
+
+  return out;
+}
+
+}  // namespace iotscope::core

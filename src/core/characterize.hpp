@@ -1,0 +1,72 @@
+// Inventory-joined characterization of the inferred devices: the country,
+// ISP, device-type, and CPS-protocol breakdowns behind Figures 1b and 3
+// and Tables I-III, plus the deployed-inventory view of Figure 1a.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "inventory/database.hpp"
+
+namespace iotscope::core {
+
+/// Country-level deployment and compromise counts.
+struct CountryRow {
+  inventory::CountryId country = 0;
+  std::size_t deployed_consumer = 0;
+  std::size_t deployed_cps = 0;
+  std::size_t compromised_consumer = 0;
+  std::size_t compromised_cps = 0;
+
+  std::size_t deployed() const noexcept {
+    return deployed_consumer + deployed_cps;
+  }
+  std::size_t compromised() const noexcept {
+    return compromised_consumer + compromised_cps;
+  }
+  /// Percent of the country's deployed devices that were compromised
+  /// (the line series of Fig 1b).
+  double pct_compromised() const noexcept {
+    return deployed() == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(compromised()) /
+                     static_cast<double>(deployed());
+  }
+};
+
+/// ISP-level compromised-device counts (Tables I and II).
+struct IspRow {
+  inventory::IspId isp = 0;
+  std::size_t devices = 0;
+};
+
+/// The characterization result.
+struct CharacterizationReport {
+  /// All countries with at least one deployed device, descending by
+  /// deployed count (Fig 1a's ordering).
+  std::vector<CountryRow> by_country_deployed;
+  /// Same rows, descending by compromised count (Fig 1b's ordering).
+  std::vector<CountryRow> by_country_compromised;
+  std::size_t countries_with_compromised = 0;
+
+  /// ISPs hosting compromised consumer devices, descending (Table I).
+  std::vector<IspRow> consumer_isps;
+  /// ISPs hosting compromised CPS devices, descending (Table II).
+  std::vector<IspRow> cps_isps;
+
+  /// Compromised consumer devices by type (Fig 3).
+  std::array<std::size_t, inventory::kConsumerTypeCount> consumer_types{};
+
+  /// Compromised CPS devices by supported protocol, descending by count
+  /// (Table III; services are not mutually exclusive).
+  std::vector<std::pair<inventory::CpsProtocolId, std::size_t>> cps_protocols;
+  std::size_t cps_protocols_in_use = 0;
+};
+
+/// Joins the discovered-device ledger with the inventory.
+CharacterizationReport characterize(const Report& report,
+                                    const inventory::IoTDeviceDatabase& db);
+
+}  // namespace iotscope::core

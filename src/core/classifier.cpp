@@ -1,0 +1,59 @@
+#include "core/classifier.hpp"
+
+namespace iotscope::core {
+
+const char* to_string(FlowClass c) noexcept {
+  switch (c) {
+    case FlowClass::TcpScan:
+      return "TCP scanning";
+    case FlowClass::TcpBackscatter:
+      return "TCP backscatter";
+    case FlowClass::IcmpScan:
+      return "ICMP scanning";
+    case FlowClass::IcmpBackscatter:
+      return "ICMP backscatter";
+    case FlowClass::Udp:
+      return "UDP";
+    case FlowClass::TcpOther:
+      return "TCP other/misconfiguration";
+    case FlowClass::IcmpOther:
+      return "ICMP other";
+  }
+  return "?";
+}
+
+FlowClass classify(const net::FlowTuple& flow,
+                   const TaxonomyOptions& options) noexcept {
+  switch (flow.protocol) {
+    case net::Protocol::Udp:
+      return FlowClass::Udp;
+    case net::Protocol::Tcp: {
+      const std::uint8_t f = flow.tcp_flags;
+      const bool syn = f & net::kSyn;
+      const bool ack = f & net::kAck;
+      const bool rst = f & net::kRst;
+      const bool fin = f & net::kFin;
+      if (syn && ack && !rst) return FlowClass::TcpBackscatter;
+      if (rst) {
+        return options.rst_counts_as_backscatter ? FlowClass::TcpBackscatter
+                                                 : FlowClass::TcpOther;
+      }
+      if (syn && !ack && !fin) return FlowClass::TcpScan;
+      return FlowClass::TcpOther;
+    }
+    case net::Protocol::Icmp: {
+      const auto type = flow.icmp_type();
+      if (type == net::IcmpType::EchoRequest) return FlowClass::IcmpScan;
+      if (options.full_icmp_reply_family) {
+        if (net::is_icmp_backscatter(type)) return FlowClass::IcmpBackscatter;
+      } else if (type == net::IcmpType::EchoReply ||
+                 type == net::IcmpType::DestinationUnreachable) {
+        return FlowClass::IcmpBackscatter;
+      }
+      return FlowClass::IcmpOther;
+    }
+  }
+  return FlowClass::TcpOther;
+}
+
+}  // namespace iotscope::core

@@ -1,0 +1,51 @@
+// The darknet traffic taxonomy (Sections IV-A/B/C): every flowtuple is
+// classified as scanning, backscatter, UDP probing, or other/
+// misconfiguration, using exactly the header semantics the paper relies
+// on — TCP flags and ICMP message types.
+#pragma once
+
+#include "net/flowtuple.hpp"
+#include "net/protocol.hpp"
+
+namespace iotscope::core {
+
+/// Traffic classes a one-way darknet flow can belong to.
+enum class FlowClass {
+  TcpScan,          ///< TCP SYN-only probes
+  TcpBackscatter,   ///< SYN-ACK / RST replies from DoS victims
+  IcmpScan,         ///< ICMP Echo Request sweeps
+  IcmpBackscatter,  ///< ICMP reply family (Echo Reply, Dest Unreachable, ...)
+  Udp,              ///< UDP datagrams (scan/DoS/misconfig-ambiguous, §IV-A)
+  TcpOther,         ///< remaining TCP (misconfiguration and anomalies)
+  IcmpOther,        ///< remaining ICMP (requests other than echo)
+};
+
+const char* to_string(FlowClass c) noexcept;
+
+/// Backscatter / scanning policy knobs (the DESIGN.md taxonomy ablation).
+struct TaxonomyOptions {
+  /// If false, only Echo Reply and Destination Unreachable count as ICMP
+  /// backscatter (the strict variant); default follows the paper's full
+  /// reply-family list.
+  bool full_icmp_reply_family = true;
+  /// If true, a RST+ACK combination still counts as backscatter (default);
+  /// pure-RST-only classification is the strict variant.
+  bool rst_counts_as_backscatter = true;
+};
+
+/// Classifies one flowtuple. For ICMP flows the type/code are carried in
+/// the port fields per the corsaro convention (see FlowTuple).
+FlowClass classify(const net::FlowTuple& flow,
+                   const TaxonomyOptions& options = {}) noexcept;
+
+/// True for the classes that the paper's Section IV-C treats as scanning.
+constexpr bool is_scanning(FlowClass c) noexcept {
+  return c == FlowClass::TcpScan || c == FlowClass::IcmpScan;
+}
+
+/// True for backscatter classes (Section IV-B).
+constexpr bool is_backscatter(FlowClass c) noexcept {
+  return c == FlowClass::TcpBackscatter || c == FlowClass::IcmpBackscatter;
+}
+
+}  // namespace iotscope::core

@@ -1,0 +1,60 @@
+#include "core/fingerprint.hpp"
+
+#include <algorithm>
+
+namespace iotscope::core {
+
+bool is_iot_associated_port(net::Port port) noexcept {
+  switch (port) {
+    // Telnet family — the dominant Mirai-era credential-guessing target.
+    case 23:
+    case 2323:
+    case 23231:
+    // Alternative HTTP admin interfaces on routers/cameras.
+    case 81:
+    case 8080:
+    // CWMP (TR-069) remote management, exploited by Mirai variants.
+    case 7547:
+    case 5358:
+    // Netcore/Netis router backdoor ports (Table IV).
+    case 37547:
+    case 53413:
+    case 32124:
+    case 28183:
+    // Camera/DVR surfaces.
+    case 554:
+    case 8000:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FingerprintReport fingerprint_unindexed(const Report& report,
+                                        const FingerprintOptions& options) {
+  FingerprintReport out;
+  out.profiles_considered = report.unknown_sources.size();
+  for (const auto& profile : report.unknown_sources) {
+    if (profile.packets < options.min_packets) {
+      ++out.profiles_below_min_packets;
+      continue;
+    }
+    const double total = static_cast<double>(profile.packets);
+    const double iot_share =
+        static_cast<double>(profile.iot_port_packets) / total;
+    const double syn_share =
+        static_cast<double>(profile.tcp_syn_packets) / total;
+    if (iot_share < options.iot_port_share_threshold) continue;
+    if (syn_share < options.syn_share_threshold) continue;
+    out.candidates.push_back({profile.ip, profile.packets, iot_share,
+                              syn_share, profile.first_interval,
+                              profile.last_interval});
+  }
+  std::sort(out.candidates.begin(), out.candidates.end(),
+            [](const FingerprintCandidate& a, const FingerprintCandidate& b) {
+              return a.packets > b.packets;
+            });
+  return out;
+}
+
+}  // namespace iotscope::core

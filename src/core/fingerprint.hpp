@@ -1,0 +1,59 @@
+// Fuzzy behavioural fingerprinting of non-indexed IoT devices — the first
+// of the two forward paths the paper's Discussion §VI lays out:
+// "exploring fuzzy matching algorithms ... to identify a broader range of
+// IoT devices (previously not indexed by Shodan) as perceived by the
+// network telescope by leveraging IoT-relevant darknet traffic".
+//
+// The pipeline profiles every sustained non-inventory source
+// (UnknownSourceProfile); the fingerprinter scores each profile by how
+// IoT-like its behaviour is — the fraction of traffic aimed at ports that
+// IoT malware families probe (Telnet 23/2323/23231, CWMP 7547, the Netis
+// backdoor trio, camera/DVR ports) and its SYN-probing discipline — and
+// surfaces candidates likely to be unindexed compromised IoT devices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace iotscope::core {
+
+/// True for ports associated with IoT-device exploitation in the study:
+/// the Table V scanned services that Mirai-era malware targets plus the
+/// Table IV IoT backdoor ports.
+bool is_iot_associated_port(net::Port port) noexcept;
+
+/// Scoring thresholds.
+struct FingerprintOptions {
+  /// Minimum share of a source's packets aimed at IoT-associated ports.
+  double iot_port_share_threshold = 0.5;
+  /// Minimum share of TCP SYN probes (IoT bots scan; servers reply).
+  double syn_share_threshold = 0.5;
+  /// Minimum packets over the window before a verdict is attempted.
+  std::uint64_t min_packets = 20;
+};
+
+/// One fingerprinted candidate.
+struct FingerprintCandidate {
+  net::Ipv4Address ip;
+  std::uint64_t packets = 0;
+  double iot_port_share = 0.0;
+  double syn_share = 0.0;
+  int first_interval = -1;
+  int last_interval = -1;
+};
+
+/// The fingerprinting result.
+struct FingerprintReport {
+  std::vector<FingerprintCandidate> candidates;  ///< descending by packets
+  std::size_t profiles_considered = 0;  ///< unknown sources above the floor
+  std::size_t profiles_below_min_packets = 0;
+};
+
+/// Scores the report's unknown-source profiles and returns the sources
+/// whose behaviour matches the IoT-exploitation fingerprint.
+FingerprintReport fingerprint_unindexed(const Report& report,
+                                        const FingerprintOptions& options = {});
+
+}  // namespace iotscope::core

@@ -1,0 +1,28 @@
+// Umbrella header for the iotscope public API.
+//
+// iotscope reproduces the DSN'18 study "Inferring, Characterizing, and
+// Investigating Internet-Scale Malicious IoT Device Activities: A Network
+// Telescope Perspective" as a reusable C++ library:
+//
+//   net/        packet, flowtuple, and pcap substrates
+//   telescope/  darknet capture and hourly flowtuple storage
+//   inventory/  Shodan-style IoT device database (+ synthesizer)
+//   workload/   scenario ground truth and traffic synthesis
+//   intel/      threat repository and sandbox malware database
+//   analysis/   statistics (Mann-Whitney U, Pearson, ECDF, series)
+//   core/       the inference/characterization pipeline and study driver
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   iotscope::core::StudyConfig config =
+//       iotscope::core::StudyConfig::bench_default();
+//   auto result = iotscope::core::run_study(config);
+//   // result.report, result.character, result.malicious ...
+#pragma once
+
+#include "core/characterize.hpp"
+#include "core/classifier.hpp"
+#include "core/malicious.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"

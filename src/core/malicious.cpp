@@ -1,0 +1,94 @@
+#include "core/malicious.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace iotscope::core {
+
+MaliciousnessReport analyze_maliciousness(
+    const Report& report, const inventory::IoTDeviceDatabase& db,
+    const intel::ThreatRepository& threats,
+    const intel::MalwareDatabase& malware,
+    const intel::FamilyResolver& resolver,
+    const MaliciousnessOptions& options) {
+  MaliciousnessReport out;
+
+  // ---- build the explored set: every backscatter device plus the top-N
+  // scanning/UDP devices of each realm ----
+  std::unordered_set<std::uint32_t> explored;
+  for (const auto& ledger : report.devices) {
+    if (ledger.backscatter() > 0) explored.insert(ledger.device);
+  }
+  auto add_top = [&](bool consumer) {
+    std::vector<const DeviceTraffic*> candidates;
+    for (const auto& ledger : report.devices) {
+      if (db.devices()[ledger.device].is_consumer() != consumer) continue;
+      if (ledger.tcp_scan + ledger.udp == 0) continue;
+      candidates.push_back(&ledger);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const DeviceTraffic* a, const DeviceTraffic* b) {
+                return a->tcp_scan + a->udp > b->tcp_scan + b->udp;
+              });
+    const std::size_t take = std::min(options.top_per_realm, candidates.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      explored.insert(candidates[i]->device);
+    }
+  };
+  add_top(true);
+  add_top(false);
+  out.explored_devices = explored.size();
+
+  // ---- Cymon-style correlation (Table VI / Fig 11) ----
+  for (const auto device : explored) {
+    const auto* ledger = report.traffic_for(device);
+    const double packets =
+        ledger ? static_cast<double>(ledger->packets) : 0.0;
+    out.explored_packets.push_back(packets);
+    const auto ip = db.devices()[device].ip;
+    const std::uint32_t mask = threats.categories(ip);
+    if (mask == 0) continue;
+    ++out.flagged_devices;
+    out.flagged_packets.push_back(packets);
+    for (int c = 0; c < intel::kThreatCategoryCount; ++c) {
+      if (mask & (1u << c)) ++out.category_devices[static_cast<std::size_t>(c)];
+    }
+    if (mask & (1u << static_cast<int>(intel::ThreatCategory::Malware))) {
+      const bool cps = db.devices()[device].is_cps();
+      const bool scans = ledger != nullptr && ledger->tcp_scan > 0;
+      if (cps) {
+        ++out.malware_cps;
+        if (scans) ++out.malware_scanning_cps;
+      } else {
+        ++out.malware_consumer;
+        if (scans) ++out.malware_scanning_consumer;
+      }
+    }
+  }
+
+  // ---- malware-database correlation over ALL inferred devices ----
+  std::set<std::string> hashes;
+  std::set<std::string> domains;
+  std::set<std::string> families;
+  for (const auto& ledger : report.devices) {
+    const auto ip = db.devices()[ledger.device].ip;
+    const auto reports = malware.reports_contacting(ip);
+    if (reports.empty()) continue;
+    ++out.devices_in_reports;
+    for (const auto* r : reports) {
+      hashes.insert(r->sha256);
+      for (const auto& d : r->domains) domains.insert(d);
+      if (const auto verdict = resolver.lookup(r->sha256)) {
+        families.insert(verdict->family);
+      }
+    }
+  }
+  out.unique_hashes = hashes.size();
+  out.domains = domains.size();
+  out.families.assign(families.begin(), families.end());
+
+  return out;
+}
+
+}  // namespace iotscope::core

@@ -1,0 +1,55 @@
+// Section V's maliciousness analysis: select the "explored" device set
+// (all DoS victims + the most active scanners/UDP senders), correlate it
+// with the threat repository (Table VI), and correlate the full inferred
+// set with the sandbox malware database + family resolver (Table VII).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "intel/malware.hpp"
+#include "intel/threat.hpp"
+
+namespace iotscope::core {
+
+/// Options mirroring the paper's exploration protocol.
+struct MaliciousnessOptions {
+  /// Top-N most active scanning/UDP devices per realm added to the
+  /// explored set (4,000 each in the paper). Scaled by callers.
+  std::size_t top_per_realm = 4000;
+};
+
+/// Result of the threat-repository and malware-database correlations.
+struct MaliciousnessReport {
+  // ---- explored set / Cymon correlation (Table VI, Fig 11) ----
+  std::size_t explored_devices = 0;
+  std::size_t flagged_devices = 0;  ///< linked to >= 1 malicious activity
+  std::array<std::size_t, intel::kThreatCategoryCount> category_devices{};
+  std::size_t malware_cps = 0;        ///< CPS devices linked to malware
+  std::size_t malware_consumer = 0;   ///< consumer devices linked to malware
+  std::size_t malware_scanning_cps = 0;  ///< ... of which also TCP-scanned
+  std::size_t malware_scanning_consumer = 0;
+  /// Per-device total packets for the explored set and its flagged subset
+  /// (the two CDFs of Fig 11).
+  std::vector<double> explored_packets;
+  std::vector<double> flagged_packets;
+
+  // ---- malware-database correlation (Table VII) ----
+  std::size_t devices_in_reports = 0;  ///< inferred devices hit by any IOC
+  std::size_t unique_hashes = 0;       ///< malware variants involved
+  std::size_t domains = 0;             ///< associated domains
+  std::vector<std::string> families;   ///< resolved family names (sorted)
+};
+
+/// Runs both correlations over a finished analysis report.
+MaliciousnessReport analyze_maliciousness(
+    const Report& report, const inventory::IoTDeviceDatabase& db,
+    const intel::ThreatRepository& threats,
+    const intel::MalwareDatabase& malware,
+    const intel::FamilyResolver& resolver,
+    const MaliciousnessOptions& options = {});
+
+}  // namespace iotscope::core

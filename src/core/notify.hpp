@@ -1,0 +1,28 @@
+// Near-real-time discovery notifications — the operational capability the
+// paper's Discussion section calls for: "automate the devised
+// methodologies ... to index, in near real-time, unsolicited
+// Internet-scale IoT devices". The pipeline invokes the sink the moment a
+// device is first observed at the telescope, carrying enough context for
+// an ISP- or operator-facing alert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/classifier.hpp"
+
+namespace iotscope::core {
+
+/// A first-sighting event for an inventory device.
+struct Discovery {
+  std::uint32_t device = 0;   ///< index into the inventory
+  int interval = 0;           ///< hour of first observation
+  FlowClass first_class = FlowClass::TcpScan;  ///< class of the first flow
+  std::uint64_t packets = 0;  ///< packets in that first flow
+};
+
+/// Callback invoked synchronously from AnalysisPipeline::observe for each
+/// newly discovered device. Must be cheap; heavy work belongs downstream.
+using DiscoverySink = std::function<void(const Discovery&)>;
+
+}  // namespace iotscope::core

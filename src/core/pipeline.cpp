@@ -1,0 +1,404 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/fingerprint.hpp"
+#include "util/timebase.hpp"
+#include "workload/spec.hpp"
+
+namespace iotscope::core {
+
+namespace {
+constexpr int kHours = util::AnalysisWindow::kHours;
+}
+
+/// Cross-hour accumulation state too bulky for the header.
+struct AnalysisPipeline::Impl {
+  // UDP per-port totals and distinct-device tracking.
+  std::array<std::uint64_t, 65536> udp_port_packets{};
+  std::array<std::uint32_t, 65536> udp_port_devices{};
+  std::unordered_set<std::uint64_t> udp_port_device_pairs;
+  std::bitset<65536> udp_ports_seen;
+
+  // TCP scanning per named service (spec row index) per realm.
+  std::array<int, 65536> port_to_service;  // -1 = unnamed ("Other")
+  std::vector<std::uint64_t> service_packets;
+  std::vector<std::uint64_t> service_consumer_packets;
+  std::unordered_set<std::uint64_t> service_device_pairs;
+  std::vector<std::size_t> service_consumer_devices;
+  std::vector<std::size_t> service_cps_devices;
+  std::vector<analysis::HourlySeries> service_series;
+
+  // Per-victim hourly backscatter (devices with any backscatter only).
+  std::unordered_map<std::uint32_t, std::vector<double>> victim_series;
+
+  // Hourly distinct scanner devices (for the no-correlation check).
+  analysis::HourlySeries scanners_per_hour;
+
+  // Non-inventory sources with sustained activity (fingerprint substrate).
+  std::unordered_map<std::uint32_t, UnknownSourceProfile> unknown_profiles;
+
+  Impl() {
+    port_to_service.fill(-1);
+    const auto& services = workload::scan_services();
+    service_packets.resize(services.size(), 0);
+    service_consumer_packets.resize(services.size(), 0);
+    service_consumer_devices.resize(services.size(), 0);
+    service_cps_devices.resize(services.size(), 0);
+    service_series.resize(services.size());
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      for (const auto port : services[s].ports) {
+        port_to_service[port] = static_cast<int>(s);
+      }
+    }
+  }
+};
+
+AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
+                                   PipelineOptions options)
+    : db_(&db), options_(options), impl_(std::make_unique<Impl>()) {
+  report_.scan_service_series.resize(workload::scan_services().size());
+}
+
+AnalysisPipeline::~AnalysisPipeline() = default;
+
+DeviceTraffic& AnalysisPipeline::ledger_for(std::uint32_t device) {
+  const auto it = report_.device_index.find(device);
+  if (it != report_.device_index.end()) return report_.devices[it->second];
+  DeviceTraffic ledger;
+  ledger.device = device;
+  const auto index = static_cast<std::uint32_t>(report_.devices.size());
+  report_.devices.push_back(ledger);
+  report_.device_index.emplace(device, index);
+  if (db_->devices()[device].is_consumer()) {
+    ++report_.discovered_consumer;
+  } else {
+    ++report_.discovered_cps;
+  }
+  return report_.devices[index];
+}
+
+void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
+  const int h = flows.interval;
+  const int day = util::AnalysisWindow::day_of_interval(h);
+
+  // Per-hour distinct-destination trackers, one pair per realm
+  // (index 0 = consumer, 1 = CPS).
+  std::unordered_set<std::uint32_t> udp_dsts[2];
+  std::bitset<65536> udp_ports[2];
+  std::unordered_set<std::uint32_t> scan_dsts[2];
+  std::bitset<65536> scan_ports[2];
+  std::unordered_set<std::uint32_t> scanners_this_hour;
+
+  struct UnknownHourTally {
+    std::uint64_t packets = 0;
+    std::uint64_t tcp_syn = 0;
+    std::uint64_t iot_port = 0;
+  };
+  std::unordered_map<std::uint32_t, UnknownHourTally> unknown_hour;
+
+  for (const auto& flow : flows.records) {
+    const inventory::DeviceRecord* device = db_->find(flow.src);
+    if (device == nullptr) {
+      report_.unattributed_packets += flow.packet_count;
+      auto& tally = unknown_hour[flow.src.value()];
+      tally.packets += flow.packet_count;
+      if (flow.protocol == net::Protocol::Tcp &&
+          classify(flow, options_.taxonomy) == FlowClass::TcpScan) {
+        tally.tcp_syn += flow.packet_count;
+      }
+      if (flow.protocol != net::Protocol::Icmp &&
+          is_iot_associated_port(flow.dst_port)) {
+        tally.iot_port += flow.packet_count;
+      }
+      continue;
+    }
+    const auto device_id = static_cast<std::uint32_t>(
+        device - db_->devices().data());
+    const bool consumer = device->is_consumer();
+    const int realm = consumer ? 0 : 1;
+    const std::uint64_t n = flow.packet_count;
+
+    DeviceTraffic& ledger = ledger_for(device_id);
+    const bool first_sighting = ledger.packets == 0;
+    if (ledger.first_interval < 0 || h < ledger.first_interval) {
+      ledger.first_interval = h;
+    }
+    if (h > ledger.last_interval) ledger.last_interval = h;
+    ledger.packets += n;
+    ledger.days_active_mask |= static_cast<std::uint8_t>(1u << day);
+    report_.total_packets += n;
+
+    const FlowClass cls = classify(flow, options_.taxonomy);
+    if (first_sighting && discovery_sink_) {
+      discovery_sink_(Discovery{device_id, h, cls, n});
+    }
+    switch (cls) {
+      case FlowClass::TcpScan: {
+        ledger.tcp_scan += n;
+        report_.tcp_packets.of(consumer) += n;
+        auto& series = report_.scan_series.of(consumer);
+        series.packets.add(h, static_cast<double>(n));
+        scan_dsts[realm].insert(flow.dst.value());
+        scan_ports[realm].set(flow.dst_port);
+        scanners_this_hour.insert(device_id);
+        // Named-service attribution (Table V / Fig 10).
+        int service = impl_->port_to_service[flow.dst_port];
+        const int other =
+            workload::scan_service_index("Other");
+        if (service < 0) service = other;
+        const auto s = static_cast<std::size_t>(service);
+        if (s < ledger.scan_by_service.size()) ledger.scan_by_service[s] += n;
+        impl_->service_packets[s] += n;
+        if (consumer) impl_->service_consumer_packets[s] += n;
+        impl_->service_series[s].add(h, static_cast<double>(n));
+        const std::uint64_t pair =
+            (static_cast<std::uint64_t>(s) << 32) | device_id;
+        if (impl_->service_device_pairs.insert(pair).second) {
+          if (consumer) {
+            ++impl_->service_consumer_devices[s];
+          } else {
+            ++impl_->service_cps_devices[s];
+          }
+        }
+        break;
+      }
+      case FlowClass::TcpBackscatter:
+      case FlowClass::IcmpBackscatter: {
+        if (cls == FlowClass::TcpBackscatter) {
+          ledger.tcp_backscatter += n;
+          report_.tcp_packets.of(consumer) += n;
+        } else {
+          ledger.icmp_backscatter += n;
+          report_.icmp_packets.of(consumer) += n;
+        }
+        report_.backscatter_series.of(consumer).add(h, static_cast<double>(n));
+        auto [it, inserted] = impl_->victim_series.try_emplace(device_id);
+        if (inserted) it->second.assign(kHours, 0.0);
+        if (h >= 0 && h < kHours) {
+          it->second[static_cast<std::size_t>(h)] += static_cast<double>(n);
+        }
+        break;
+      }
+      case FlowClass::IcmpScan: {
+        ledger.icmp_scan += n;
+        report_.icmp_packets.of(consumer) += n;
+        break;
+      }
+      case FlowClass::Udp: {
+        ledger.udp += n;
+        report_.udp_packets.of(consumer) += n;
+        auto& series = report_.udp_series.of(consumer);
+        series.packets.add(h, static_cast<double>(n));
+        udp_dsts[realm].insert(flow.dst.value());
+        udp_ports[realm].set(flow.dst_port);
+        impl_->udp_port_packets[flow.dst_port] += n;
+        impl_->udp_ports_seen.set(flow.dst_port);
+        const std::uint64_t pair =
+            (static_cast<std::uint64_t>(flow.dst_port) << 32) | device_id;
+        if (impl_->udp_port_device_pairs.insert(pair).second) {
+          ++impl_->udp_port_devices[flow.dst_port];
+        }
+        break;
+      }
+      case FlowClass::TcpOther:
+        ledger.tcp_other += n;
+        report_.tcp_packets.of(consumer) += n;
+        break;
+      case FlowClass::IcmpOther:
+        ledger.icmp_other += n;
+        report_.icmp_packets.of(consumer) += n;
+        break;
+    }
+  }
+
+  // Commit the hour's distinct-destination counts.
+  for (int realm = 0; realm < 2; ++realm) {
+    const bool consumer = realm == 0;
+    report_.udp_series.of(consumer).dst_ips.add(
+        h, static_cast<double>(udp_dsts[realm].size()));
+    report_.udp_series.of(consumer).dst_ports.add(
+        h, static_cast<double>(udp_ports[realm].count()));
+    report_.scan_series.of(consumer).dst_ips.add(
+        h, static_cast<double>(scan_dsts[realm].size()));
+    report_.scan_series.of(consumer).dst_ports.add(
+        h, static_cast<double>(scan_ports[realm].count()));
+  }
+  impl_->scanners_per_hour.add(
+      h, static_cast<double>(scanners_this_hour.size()));
+
+  // Promote sustained unknown sources into cross-hour profiles; the floor
+  // keeps one-packet background radiation out of memory.
+  for (const auto& [src, tally] : unknown_hour) {
+    if (tally.packets < options_.unknown_profile_hourly_floor) continue;
+    auto& profile = impl_->unknown_profiles[src];
+    profile.ip = net::Ipv4Address(src);
+    profile.packets += tally.packets;
+    profile.tcp_syn_packets += tally.tcp_syn;
+    profile.iot_port_packets += tally.iot_port;
+    if (profile.first_interval < 0) profile.first_interval = h;
+    profile.last_interval = h;
+  }
+}
+
+Report AnalysisPipeline::finalize() {
+  if (finalized_) return report_;
+  finalized_ = true;
+
+  // ---- discovery curve (Fig 2) and daily activity ----
+  for (const auto& ledger : report_.devices) {
+    const bool consumer = db_->devices()[ledger.device].is_consumer();
+    const int first_day =
+        util::AnalysisWindow::day_of_interval(std::max(0, ledger.first_interval));
+    for (int d = first_day; d < 6; ++d) {
+      (consumer ? report_.cumulative_by_day_consumer
+                : report_.cumulative_by_day_cps)[static_cast<std::size_t>(d)]++;
+    }
+    for (int d = 0; d < 6; ++d) {
+      if (ledger.days_active_mask & (1u << d)) {
+        (consumer ? report_.active_by_day_consumer
+                  : report_.active_by_day_cps)[static_cast<std::size_t>(d)]++;
+      }
+    }
+  }
+
+  // ---- UDP roll-ups ----
+  report_.udp_total_packets =
+      report_.udp_packets.consumer + report_.udp_packets.cps;
+  for (const auto& ledger : report_.devices) {
+    if (ledger.udp > 0) {
+      ++report_.udp_device_count;
+      if (db_->devices()[ledger.device].is_consumer()) {
+        ++report_.udp_consumer_devices;
+      }
+    }
+  }
+  report_.udp_distinct_ports = impl_->udp_ports_seen.count();
+  {
+    // Top UDP ports by packets.
+    std::vector<UdpPortRow> rows;
+    for (std::uint32_t port = 0; port < 65536; ++port) {
+      if (impl_->udp_port_packets[port] > 0) {
+        rows.push_back({static_cast<net::Port>(port),
+                        impl_->udp_port_packets[port],
+                        impl_->udp_port_devices[port]});
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const UdpPortRow& a, const UdpPortRow& b) {
+                if (a.packets != b.packets) return a.packets > b.packets;
+                return a.port < b.port;
+              });
+    if (rows.size() > 32) rows.resize(32);
+    report_.udp_top_ports = std::move(rows);
+  }
+  report_.udp_consumer_port_ip_correlation = analysis::pearson(
+      report_.udp_series.consumer.dst_ports.values(),
+      report_.udp_series.consumer.dst_ips.values());
+
+  // ---- backscatter / DoS ----
+  report_.backscatter_packets.consumer = 0;
+  report_.backscatter_packets.cps = 0;
+  for (const auto& ledger : report_.devices) {
+    const std::uint64_t bs = ledger.backscatter();
+    if (bs == 0) continue;
+    ++report_.dos_victims;
+    const bool consumer = db_->devices()[ledger.device].is_consumer();
+    if (!consumer) ++report_.dos_victims_cps;
+    report_.backscatter_packets.of(consumer) += bs;
+  }
+  report_.backscatter_total =
+      report_.backscatter_packets.consumer + report_.backscatter_packets.cps;
+  report_.backscatter_mwu =
+      analysis::mann_whitney_u(report_.backscatter_series.cps.values(),
+                               report_.backscatter_series.consumer.values());
+
+  // Spike detection with dominant-victim attribution (Section IV-B1).
+  {
+    analysis::HourlySeries total_bs;
+    for (int h = 0; h < kHours; ++h) {
+      total_bs.add(h, report_.backscatter_series.consumer.at(h) +
+                          report_.backscatter_series.cps.at(h));
+    }
+    for (const int h : total_bs.spikes(options_.spike_multiple)) {
+      DosSpike spike;
+      spike.interval = h;
+      spike.backscatter_packets = total_bs.at(h);
+      double best = 0.0;
+      for (const auto& [device, series] : impl_->victim_series) {
+        const double v = series[static_cast<std::size_t>(h)];
+        if (v > best) {
+          best = v;
+          spike.top_victim = device;
+        }
+      }
+      spike.top_victim_share =
+          spike.backscatter_packets > 0 ? best / spike.backscatter_packets : 0;
+      report_.dos_spikes.push_back(spike);
+    }
+    std::sort(report_.dos_spikes.begin(), report_.dos_spikes.end(),
+              [](const DosSpike& a, const DosSpike& b) {
+                return a.interval < b.interval;
+              });
+  }
+
+  // ---- TCP scanning roll-ups ----
+  report_.tcp_scan_total = 0;
+  for (const auto& ledger : report_.devices) {
+    if (ledger.tcp_scan > 0) {
+      ++report_.scanner_devices;
+      if (db_->devices()[ledger.device].is_consumer()) {
+        ++report_.scanner_consumer_devices;
+      }
+    }
+    report_.tcp_scan_total += ledger.tcp_scan;
+  }
+  {
+    const auto& services = workload::scan_services();
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      ScanServiceRow row;
+      row.name = services[s].name;
+      row.packets = impl_->service_packets[s];
+      row.consumer_packets = impl_->service_consumer_packets[s];
+      row.consumer_devices = impl_->service_consumer_devices[s];
+      row.cps_devices = impl_->service_cps_devices[s];
+      report_.scan_services.push_back(std::move(row));
+      report_.scan_service_series[s] = impl_->service_series[s];
+    }
+  }
+  {
+    analysis::HourlySeries scan_total;
+    for (int h = 0; h < kHours; ++h) {
+      scan_total.add(h, report_.scan_series.consumer.packets.at(h) +
+                            report_.scan_series.cps.packets.at(h));
+    }
+    report_.scan_device_packet_correlation = analysis::pearson(
+        impl_->scanners_per_hour.values(), scan_total.values());
+  }
+
+  // ---- unknown-source profiles ----
+  report_.unknown_sources.reserve(impl_->unknown_profiles.size());
+  for (const auto& [src, profile] : impl_->unknown_profiles) {
+    report_.unknown_sources.push_back(profile);
+  }
+  std::sort(report_.unknown_sources.begin(), report_.unknown_sources.end(),
+            [](const UnknownSourceProfile& a, const UnknownSourceProfile& b) {
+              return a.packets > b.packets;
+            });
+
+  // ---- ICMP scanning ----
+  for (const auto& ledger : report_.devices) {
+    if (ledger.icmp_scan > 0) {
+      ++report_.icmp_scanner_devices;
+      report_.icmp_scan_total += ledger.icmp_scan;
+      if (db_->devices()[ledger.device].is_consumer()) {
+        ++report_.icmp_scanner_consumer_devices;
+        report_.icmp_scan_consumer_packets += ledger.icmp_scan;
+      }
+    }
+  }
+
+  return report_;
+}
+
+}  // namespace iotscope::core

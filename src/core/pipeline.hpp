@@ -1,0 +1,77 @@
+// The inference-and-characterization pipeline — the paper's core
+// methodology. A single streaming pass over hourly flowtuple files:
+// each flow's source IP is joined against the IoT inventory (correlation,
+// Section III-B), classified by the darknet taxonomy (Section IV), and
+// accumulated into every per-device, per-country, per-port, and per-hour
+// aggregate the evaluation reports.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/classifier.hpp"
+#include "core/notify.hpp"
+#include "core/report.hpp"
+#include "inventory/database.hpp"
+#include "net/flowtuple.hpp"
+
+namespace iotscope::core {
+
+/// Pipeline options.
+struct PipelineOptions {
+  TaxonomyOptions taxonomy;
+  /// Spike threshold for DoS-interval detection: an interval is a spike
+  /// when its backscatter exceeds `spike_multiple` x the hourly mean.
+  double spike_multiple = 3.0;
+  /// Minimum packets within one hour before a non-inventory source is
+  /// promoted to an UnknownSourceProfile (fingerprinting substrate); keeps
+  /// one-packet background radiation out of memory.
+  std::uint64_t unknown_profile_hourly_floor = 4;
+};
+
+/// Streaming analysis over hourly flowtuple files.
+///
+/// Usage: construct with the inventory, call observe() for each hour (in
+/// any order; hours are independent except for per-hour distinct counts),
+/// then finalize() exactly once to obtain the Report.
+class AnalysisPipeline {
+ public:
+  explicit AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
+                            PipelineOptions options = {});
+  ~AnalysisPipeline();
+
+  AnalysisPipeline(const AnalysisPipeline&) = delete;
+  AnalysisPipeline& operator=(const AnalysisPipeline&) = delete;
+
+  /// Optional near-real-time sink invoked on each device's first
+  /// sighting (see core/notify.hpp). Set before the first observe().
+  void set_discovery_sink(DiscoverySink sink) { discovery_sink_ = std::move(sink); }
+
+  /// Processes one hourly flowtuple file.
+  void observe(const net::HourlyFlows& flows);
+
+  /// Completes cross-hour statistics and returns the report. The pipeline
+  /// must not be observed again afterwards.
+  Report finalize();
+
+  const inventory::IoTDeviceDatabase& database() const noexcept {
+    return *db_;
+  }
+
+ private:
+  struct Impl;
+
+  DeviceTraffic& ledger_for(std::uint32_t device);
+
+  const inventory::IoTDeviceDatabase* db_;
+  PipelineOptions options_;
+  Report report_;
+  bool finalized_ = false;
+  DiscoverySink discovery_sink_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace iotscope::core

@@ -1,0 +1,220 @@
+#include "core/report_text.hpp"
+
+#include "analysis/table.hpp"
+#include "util/strings.hpp"
+#include "workload/spec.hpp"
+
+namespace iotscope::core {
+
+namespace {
+std::string pct_of(double num, double den, int decimals = 1) {
+  return util::percent(den > 0 ? 100.0 * num / den : 0.0, decimals);
+}
+}  // namespace
+
+std::string render_inference_report(const Report& report,
+                                    const CharacterizationReport& character,
+                                    const inventory::IoTDeviceDatabase& db,
+                                    const ReportTextOptions& options) {
+  std::string out;
+  out += "== Inference: compromised IoT devices ==\n";
+  out += "discovered: " + util::with_commas(report.discovered_total()) + " (" +
+         util::with_commas(report.discovered_consumer) + " consumer / " +
+         util::with_commas(report.discovered_cps) + " CPS) across " +
+         std::to_string(character.countries_with_compromised) + " countries\n";
+
+  out += "\n-- discovery curve (cumulative by day) --\n";
+  {
+    analysis::TextTable table({"Day", "All", "Consumer", "CPS"});
+    for (int d = 0; d < 6; ++d) {
+      const auto consumer =
+          report.cumulative_by_day_consumer[static_cast<std::size_t>(d)];
+      const auto cps = report.cumulative_by_day_cps[static_cast<std::size_t>(d)];
+      table.add_row({util::format_window_day(d),
+                     util::with_commas(consumer + cps),
+                     util::with_commas(consumer), util::with_commas(cps)});
+    }
+    out += table.render();
+  }
+
+  out += "\n-- top countries by compromised devices --\n";
+  {
+    analysis::TextTable table({"Country", "Devices", "CPS", "Consumer",
+                               "% of fleet"});
+    for (std::size_t i = 0; i < character.by_country_compromised.size() &&
+                            i < options.top_countries;
+         ++i) {
+      const auto& row = character.by_country_compromised[i];
+      table.add_row({db.country_name(row.country),
+                     util::with_commas(row.compromised()),
+                     util::with_commas(row.compromised_cps),
+                     util::with_commas(row.compromised_consumer),
+                     util::percent(row.pct_compromised())});
+    }
+    out += table.render();
+  }
+
+  out += "\n-- top ISPs (consumer / CPS) --\n";
+  {
+    analysis::TextTable table({"Realm", "ISP", "Country", "Devices"});
+    for (std::size_t i = 0;
+         i < character.consumer_isps.size() && i < options.top_isps; ++i) {
+      const auto& row = character.consumer_isps[i];
+      table.add_row({"Consumer", db.isp_name(row.isp),
+                     db.country_name(db.isps()[row.isp].country),
+                     util::with_commas(row.devices)});
+    }
+    for (std::size_t i = 0;
+         i < character.cps_isps.size() && i < options.top_isps; ++i) {
+      const auto& row = character.cps_isps[i];
+      table.add_row({"CPS", db.isp_name(row.isp),
+                     db.country_name(db.isps()[row.isp].country),
+                     util::with_commas(row.devices)});
+    }
+    out += table.render();
+  }
+
+  out += "\n-- compromised consumer devices by type --\n";
+  {
+    double total = 0;
+    for (const auto count : character.consumer_types) {
+      total += static_cast<double>(count);
+    }
+    analysis::TextTable table({"Type", "Devices", "Share"});
+    for (int t = 0; t < inventory::kConsumerTypeCount; ++t) {
+      const auto count = character.consumer_types[static_cast<std::size_t>(t)];
+      table.add_row(
+          {inventory::to_string(static_cast<inventory::ConsumerType>(t)),
+           util::with_commas(count), pct_of(static_cast<double>(count), total)});
+    }
+    out += table.render();
+  }
+
+  out += "\n-- CPS protocols among compromised devices --\n";
+  {
+    analysis::TextTable table({"Protocol", "Devices", "% of CPS"});
+    for (std::size_t i = 0; i < character.cps_protocols.size() &&
+                            i < options.top_protocols;
+         ++i) {
+      const auto& [proto, count] = character.cps_protocols[i];
+      table.add_row({db.catalog().cps_protocol_name(proto),
+                     util::with_commas(count),
+                     pct_of(static_cast<double>(count),
+                            static_cast<double>(report.discovered_cps))});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+std::string render_traffic_report(const Report& report,
+                                  const inventory::IoTDeviceDatabase& db,
+                                  const ReportTextOptions& options) {
+  std::string out;
+  const double total = static_cast<double>(report.total_packets);
+  out += "== Traffic characterization ==\n";
+  out += "IoT packets: " + util::human_count(total) + "; unattributed: " +
+         util::human_count(static_cast<double>(report.unattributed_packets)) +
+         "\n";
+
+  out += "\n-- protocol mix by realm (% of IoT traffic) --\n";
+  {
+    analysis::TextTable table({"Protocol", "CPS", "Consumer"});
+    table.add_row({"TCP",
+                   pct_of(static_cast<double>(report.tcp_packets.cps), total),
+                   pct_of(static_cast<double>(report.tcp_packets.consumer), total)});
+    table.add_row({"UDP",
+                   pct_of(static_cast<double>(report.udp_packets.cps), total),
+                   pct_of(static_cast<double>(report.udp_packets.consumer), total)});
+    table.add_row({"ICMP",
+                   pct_of(static_cast<double>(report.icmp_packets.cps), total),
+                   pct_of(static_cast<double>(report.icmp_packets.consumer), total)});
+    out += table.render();
+  }
+
+  out += "\n-- top targeted UDP ports --\n";
+  {
+    analysis::TextTable table({"Port", "Packets", "% of UDP", "Devices"});
+    for (std::size_t i = 0; i < report.udp_top_ports.size() && i < 10; ++i) {
+      const auto& row = report.udp_top_ports[i];
+      table.add_row({std::to_string(row.port), util::with_commas(row.packets),
+                     pct_of(static_cast<double>(row.packets),
+                            static_cast<double>(report.udp_total_packets), 2),
+                     util::with_commas(row.devices)});
+    }
+    out += table.render();
+  }
+
+  out += "\n-- scanned services --\n";
+  {
+    analysis::TextTable table(
+        {"Service", "Packets", "% of scans", "Consumer dev", "CPS dev"});
+    for (std::size_t s = 0; s < report.scan_services.size() &&
+                            s < options.top_services;
+         ++s) {
+      const auto& svc = report.scan_services[s];
+      table.add_row({svc.name, util::with_commas(svc.packets),
+                     pct_of(static_cast<double>(svc.packets),
+                            static_cast<double>(report.tcp_scan_total)),
+                     std::to_string(svc.consumer_devices),
+                     std::to_string(svc.cps_devices)});
+    }
+    out += table.render();
+  }
+
+  if (options.include_dos_narrative && !report.dos_spikes.empty()) {
+    out += "\n-- inferred DoS attack intervals --\n";
+    for (const auto& spike : report.dos_spikes) {
+      const auto& victim = db.devices()[spike.top_victim];
+      out += "hour " + std::to_string(spike.interval + 1) + ": " +
+             util::with_commas(
+                 static_cast<std::uint64_t>(spike.backscatter_packets)) +
+             " backscatter pkts, " +
+             util::percent(100.0 * spike.top_victim_share) + " from one " +
+             inventory::to_string(victim.category) + " device in " +
+             db.country_name(victim.country) + "\n";
+    }
+  }
+  out += "\nDoS victims: " + std::to_string(report.dos_victims) + " (" +
+         std::to_string(report.dos_victims_cps) + " CPS), backscatter " +
+         util::human_count(static_cast<double>(report.backscatter_total)) +
+         " (" +
+         pct_of(static_cast<double>(report.backscatter_packets.cps),
+                static_cast<double>(report.backscatter_total)) +
+         " from CPS)\n";
+  return out;
+}
+
+std::string render_maliciousness_report(const MaliciousnessReport& malicious) {
+  std::string out;
+  out += "== Maliciousness ==\n";
+  out += "explored: " + std::to_string(malicious.explored_devices) +
+         " devices; flagged by threat intel: " +
+         std::to_string(malicious.flagged_devices) + " (" +
+         pct_of(static_cast<double>(malicious.flagged_devices),
+                static_cast<double>(malicious.explored_devices)) +
+         ")\n";
+  {
+    analysis::TextTable table({"Threat category", "Devices"});
+    for (int c = 0; c < intel::kThreatCategoryCount; ++c) {
+      table.add_row(
+          {intel::to_string(static_cast<intel::ThreatCategory>(c)),
+           std::to_string(
+               malicious.category_devices[static_cast<std::size_t>(c)])});
+    }
+    out += table.render();
+  }
+  out += "malware-linked: " + std::to_string(malicious.malware_cps) +
+         " CPS + " + std::to_string(malicious.malware_consumer) +
+         " consumer devices\n";
+  out += "sandbox correlation: " +
+         std::to_string(malicious.devices_in_reports) + " devices, " +
+         std::to_string(malicious.unique_hashes) + " hashes, " +
+         std::to_string(malicious.domains) + " domains\n";
+  out += "families:";
+  for (const auto& family : malicious.families) out += " " + family;
+  out += "\n";
+  return out;
+}
+
+}  // namespace iotscope::core

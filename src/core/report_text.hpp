@@ -1,0 +1,39 @@
+// Plain-text rendering of a full study result — the "reproduction report"
+// an operator or reviewer reads: inference summary, country/ISP/type/CPS
+// breakdowns, traffic characterization, DoS narrative, and maliciousness
+// findings, section by section in the paper's own order.
+#pragma once
+
+#include <string>
+
+#include "core/characterize.hpp"
+#include "core/malicious.hpp"
+#include "core/report.hpp"
+
+namespace iotscope::core {
+
+/// Rendering options.
+struct ReportTextOptions {
+  std::size_t top_countries = 15;
+  std::size_t top_isps = 5;
+  std::size_t top_protocols = 10;
+  std::size_t top_services = 14;
+  bool include_dos_narrative = true;
+};
+
+/// Renders the Section III inference + characterization breakdowns.
+std::string render_inference_report(const Report& report,
+                                    const CharacterizationReport& character,
+                                    const inventory::IoTDeviceDatabase& db,
+                                    const ReportTextOptions& options = {});
+
+/// Renders the Section IV traffic characterization (protocol mix, UDP
+/// ports, scanning services, DoS events).
+std::string render_traffic_report(const Report& report,
+                                  const inventory::IoTDeviceDatabase& db,
+                                  const ReportTextOptions& options = {});
+
+/// Renders the Section V maliciousness findings.
+std::string render_maliciousness_report(const MaliciousnessReport& malicious);
+
+}  // namespace iotscope::core

@@ -1,0 +1,49 @@
+#include "core/study.hpp"
+
+#include "telescope/capture.hpp"
+#include "util/logging.hpp"
+
+namespace iotscope::core {
+
+std::size_t scaled_top_per_realm(const workload::ScenarioConfig& scenario) {
+  return scenario.scaled_count(4000);
+}
+
+StudyResult run_study(const StudyConfig& config) {
+  StudyResult result{
+      workload::build_scenario(config.scenario), {}, {}, {}, {}, {}, {}};
+
+  // Stream synthetic traffic through the telescope into the pipeline: the
+  // capture engine aggregates packets into hourly flowtuples, and each
+  // completed hour is fed straight to the analysis (no disk round-trip;
+  // see FlowTupleStore for the persistent variant).
+  AnalysisPipeline pipeline(result.scenario.inventory, config.pipeline);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.scenario.darknet),
+      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+  result.synth_stats =
+      workload::synthesize_into(result.scenario, config.scenario, capture);
+  result.report = pipeline.finalize();
+
+  result.character = characterize(result.report, result.scenario.inventory);
+
+  result.threats = intel::synthesize_threat_repository(
+      result.scenario, config.scenario, config.threat);
+  result.malware = intel::synthesize_malware_corpus(
+      result.scenario, config.scenario, config.malware);
+
+  MaliciousnessOptions mal_options;
+  mal_options.top_per_realm = scaled_top_per_realm(config.scenario);
+  result.malicious = analyze_maliciousness(
+      result.report, result.scenario.inventory, result.threats,
+      result.malware.database, result.malware.resolver, mal_options);
+
+  IOTSCOPE_LOG_INFO(
+      "study complete: %zu devices discovered, %llu IoT packets, %zu victims",
+      result.report.discovered_total(),
+      static_cast<unsigned long long>(result.report.total_packets),
+      result.report.dos_victims);
+  return result;
+}
+
+}  // namespace iotscope::core

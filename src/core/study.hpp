@@ -1,0 +1,63 @@
+// End-to-end study driver: regenerates the paper's whole experiment at a
+// chosen scale — synthetic inventory, 143 hours of telescope traffic,
+// streaming inference/characterization, and the Section V threat/malware
+// correlations. This is the facade the examples and the bench harness
+// build on; library users composing their own pipeline can use the
+// individual modules directly.
+#pragma once
+
+#include "core/characterize.hpp"
+#include "core/malicious.hpp"
+#include "core/pipeline.hpp"
+#include "intel/synth.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::core {
+
+/// Study configuration: scenario scale + pipeline options.
+struct StudyConfig {
+  workload::ScenarioConfig scenario;
+  PipelineOptions pipeline;
+  intel::ThreatSynthConfig threat;
+  intel::MalwareSynthConfig malware;
+
+  /// Convenience: the default bench scale (1/50 of the paper's traffic,
+  /// full device population scaled to 10%) finishing in seconds.
+  static StudyConfig bench_default() {
+    StudyConfig config;
+    config.scenario.inventory_scale = 0.10;
+    config.scenario.traffic_scale = 0.02;
+    config.malware.corpus_size = 500;
+    return config;
+  }
+
+  /// A small configuration for unit/integration tests.
+  static StudyConfig test_default() {
+    StudyConfig config;
+    config.scenario.inventory_scale = 0.02;
+    config.scenario.traffic_scale = 0.004;
+    config.scenario.noise_ratio = 0.05;
+    config.malware.corpus_size = 120;
+    return config;
+  }
+};
+
+/// Everything a full run produces.
+struct StudyResult {
+  workload::Scenario scenario;       ///< inventory + ground truth
+  workload::SynthStats synth_stats;  ///< emitted-traffic ground truth
+  Report report;                     ///< inference + characterization
+  CharacterizationReport character;  ///< country/ISP/type/protocol joins
+  intel::ThreatRepository threats;
+  intel::MalwareCorpus malware;
+  MaliciousnessReport malicious;
+};
+
+/// Runs the whole study in memory. Deterministic in the config.
+StudyResult run_study(const StudyConfig& config);
+
+/// Scaled top-per-realm explored quota used by run_study (4,000 at full
+/// scale, proportional below).
+std::size_t scaled_top_per_realm(const workload::ScenarioConfig& scenario);
+
+}  // namespace iotscope::core

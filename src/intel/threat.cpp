@@ -1,0 +1,91 @@
+#include "intel/threat.hpp"
+
+#include <fstream>
+
+#include "util/io.hpp"
+#include "util/strings.hpp"
+
+namespace iotscope::intel {
+
+const char* to_string(ThreatCategory c) noexcept {
+  switch (c) {
+    case ThreatCategory::Scanning:
+      return "Scanning";
+    case ThreatCategory::Miscellaneous:
+      return "Miscellaneous";
+    case ThreatCategory::BruteForce:
+      return "Brute force (SSH)";
+    case ThreatCategory::Spam:
+      return "Spam (Mail, IMAP)";
+    case ThreatCategory::Malware:
+      return "Malware";
+    case ThreatCategory::Phishing:
+      return "Phishing";
+    case ThreatCategory::kCount:
+      break;
+  }
+  return "?";
+}
+
+void ThreatRepository::add(ThreatEvent event) {
+  Entry& entry = by_ip_[event.ip];
+  entry.category_mask |= 1u << static_cast<int>(event.category);
+  entry.events.push_back(std::move(event));
+  ++event_count_;
+}
+
+bool ThreatRepository::flagged(net::Ipv4Address ip) const noexcept {
+  return by_ip_.count(ip) != 0;
+}
+
+std::uint32_t ThreatRepository::categories(net::Ipv4Address ip) const noexcept {
+  const auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? 0u : it->second.category_mask;
+}
+
+const std::vector<ThreatEvent>& ThreatRepository::events_for(
+    net::Ipv4Address ip) const {
+  static const std::vector<ThreatEvent> kEmpty;
+  const auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? kEmpty : it->second.events;
+}
+
+void ThreatRepository::save_csv(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw util::IoError("cannot create " + path.string());
+  for (const auto& [ip, entry] : by_ip_) {
+    for (const auto& e : entry.events) {
+      out << e.ip.to_string() << ',' << static_cast<int>(e.category) << ','
+          << e.source << ',' << e.reported << ',' << e.note << '\n';
+    }
+  }
+}
+
+ThreatRepository ThreatRepository::load_csv(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open " + path.string());
+  ThreatRepository repo;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, ',');
+    if (fields.size() < 5) throw util::IoError("malformed threat csv row");
+    ThreatEvent e;
+    const auto ip = net::Ipv4Address::parse(fields[0]);
+    if (!ip) throw util::IoError("malformed threat ip: " + fields[0]);
+    e.ip = *ip;
+    const int cat = std::stoi(fields[1]);
+    if (cat < 0 || cat >= kThreatCategoryCount) {
+      throw util::IoError("unknown threat category id");
+    }
+    e.category = static_cast<ThreatCategory>(cat);
+    e.source = fields[2];
+    e.reported = std::stoll(fields[3]);
+    e.note = fields[4];
+    repo.add(std::move(e));
+  }
+  return repo;
+}
+
+}  // namespace iotscope::intel

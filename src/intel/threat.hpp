@@ -1,0 +1,76 @@
+// Threat-intelligence repository modelled after the Cymon open threat
+// aggregator the paper queries in Section V-A: IP-indexed malicious-
+// activity events amalgamated into six illicit categories (Table VI).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/timebase.hpp"
+
+namespace iotscope::intel {
+
+/// The six amalgamated threat categories of Table VI.
+enum class ThreatCategory : std::uint8_t {
+  Scanning = 0,
+  Miscellaneous,  ///< web/FTP attacks, DNSBL, malicious domains, VoIP
+  BruteForce,     ///< SSH brute force
+  Spam,           ///< mail/IMAP spam
+  Malware,        ///< virus, worm, bot/botnet, trojan
+  Phishing,
+  kCount,
+};
+
+inline constexpr int kThreatCategoryCount =
+    static_cast<int>(ThreatCategory::kCount);
+
+const char* to_string(ThreatCategory c) noexcept;
+
+/// One aggregated threat event for an IP.
+struct ThreatEvent {
+  net::Ipv4Address ip;
+  ThreatCategory category = ThreatCategory::Scanning;
+  std::string source;  ///< reporting feed, e.g. "blocklist.example"
+  util::UnixTime reported = 0;
+  std::string note;
+};
+
+/// IP-indexed store of threat events with category roll-ups.
+class ThreatRepository {
+ public:
+  void add(ThreatEvent event);
+
+  /// True if the IP has at least one event.
+  bool flagged(net::Ipv4Address ip) const noexcept;
+
+  /// Bitmask of categories seen for the IP (bit i = category i).
+  std::uint32_t categories(net::Ipv4Address ip) const noexcept;
+
+  bool has_category(net::Ipv4Address ip, ThreatCategory c) const noexcept {
+    return (categories(ip) >> static_cast<int>(c)) & 1u;
+  }
+
+  /// All events recorded for an IP (empty if none).
+  const std::vector<ThreatEvent>& events_for(net::Ipv4Address ip) const;
+
+  std::size_t event_count() const noexcept { return event_count_; }
+  std::size_t flagged_ips() const noexcept { return by_ip_.size(); }
+
+  /// CSV persistence: ip,category,source,reported,note per line.
+  void save_csv(const std::filesystem::path& path) const;
+  static ThreatRepository load_csv(const std::filesystem::path& path);
+
+ private:
+  struct Entry {
+    std::uint32_t category_mask = 0;
+    std::vector<ThreatEvent> events;
+  };
+  std::unordered_map<net::Ipv4Address, Entry> by_ip_;
+  std::size_t event_count_ = 0;
+};
+
+}  // namespace iotscope::intel

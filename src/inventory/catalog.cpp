@@ -1,0 +1,215 @@
+#include "inventory/catalog.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace iotscope::inventory {
+
+namespace {
+
+// Countries: {name, deploy weight %, consumer share, compromise propensity
+// consumer, compromise propensity CPS}. The deploy weights of the top 15
+// match Fig 1a (cumulative 69.3%); propensities are relative rates the
+// CompromiseAssigner rescales so totals hit the paper's 15,299 / 11,582.
+// Propensity values approximate the percent-compromised line of Fig 1b
+// (Russia ~31%, Ukraine ~30%, US ~2.4%, UK ~2.5%).
+std::vector<CountryInfo> build_countries() {
+  std::vector<CountryInfo> c = {
+      // --- Fig 1a top 15 (deployment) ---
+      {"United States", 25.0, 0.62, 2.7, 2.5},
+      {"United Kingdom", 6.0, 0.60, 2.5, 2.5},
+      {"Russian Federation", 5.9, 0.65, 38.0, 25.0},
+      {"China", 5.0, 0.40, 5.2, 20.0},
+      {"Republic of Korea", 4.3, 0.55, 6.5, 15.0},
+      {"France", 3.8, 0.45, 3.0, 3.5},
+      {"Italy", 3.2, 0.58, 4.5, 4.0},
+      {"Germany", 3.0, 0.56, 2.8, 2.8},
+      {"Canada", 2.8, 0.44, 3.0, 3.5},
+      {"Australia", 2.4, 0.57, 4.0, 4.0},
+      {"Vietnam", 2.1, 0.42, 9.0, 8.0},
+      {"Taiwan", 1.9, 0.43, 8.0, 14.5},
+      {"Brazil", 1.7, 0.56, 7.5, 7.0},
+      {"Spain", 1.2, 0.46, 4.0, 4.0},
+      {"Mexico", 1.0, 0.55, 5.0, 5.0},
+      // --- heavily-exploited countries outside the deployment top 15
+      //     (they enter Fig 1b's compromised top 15) ---
+      {"Thailand", 1.2, 0.60, 26.0, 12.0},
+      {"Indonesia", 1.1, 0.65, 26.0, 10.0},
+      {"Singapore", 0.6, 0.55, 15.0, 12.0},
+      {"Turkey", 1.4, 0.50, 12.0, 22.0},
+      {"Ukraine", 0.7, 0.62, 31.0, 28.0},
+      {"India", 1.0, 0.60, 14.0, 10.0},
+      {"Philippines", 0.9, 0.60, 22.0, 8.0},
+      // --- other countries that appear in specific findings ---
+      {"Japan", 1.5, 0.55, 2.0, 2.0},
+      {"Netherlands", 0.9, 0.58, 3.5, 3.0},
+      {"Switzerland", 0.5, 0.50, 2.5, 3.0},
+      {"Argentina", 0.4, 0.55, 6.0, 6.0},
+      {"Poland", 0.6, 0.58, 5.0, 4.0},
+      {"Sweden", 0.5, 0.55, 2.5, 2.5},
+      {"Czech Republic", 0.35, 0.55, 4.0, 4.0},
+      {"Romania", 0.4, 0.58, 7.0, 6.0},
+      {"Hungary", 0.25, 0.55, 4.5, 4.0},
+      {"Colombia", 0.3, 0.55, 6.0, 5.0},
+      {"Chile", 0.25, 0.55, 5.0, 5.0},
+      {"Peru", 0.2, 0.55, 6.0, 5.0},
+      {"Malaysia", 0.4, 0.55, 8.0, 7.0},
+      {"Hong Kong", 0.45, 0.50, 6.0, 6.0},
+      {"Israel", 0.3, 0.50, 3.0, 3.0},
+      {"United Arab Emirates", 0.25, 0.50, 5.0, 5.0},
+      {"Saudi Arabia", 0.25, 0.50, 5.0, 5.0},
+      {"Egypt", 0.2, 0.55, 8.0, 7.0},
+      {"South Africa", 0.35, 0.50, 6.0, 6.0},
+      {"Dominican Republic", 0.1, 0.65, 10.0, 6.0},
+      {"Austria", 0.3, 0.55, 3.0, 3.0},
+      {"Belgium", 0.3, 0.55, 3.0, 3.0},
+      {"Denmark", 0.25, 0.55, 2.5, 2.5},
+      {"Finland", 0.25, 0.55, 2.5, 2.5},
+      {"Norway", 0.25, 0.55, 2.5, 2.5},
+      {"Portugal", 0.3, 0.55, 4.0, 4.0},
+      {"Greece", 0.25, 0.55, 5.0, 5.0},
+      {"New Zealand", 0.25, 0.55, 3.5, 3.5},
+      {"Pakistan", 0.25, 0.55, 9.0, 7.0},
+      {"Bangladesh", 0.15, 0.55, 9.0, 7.0},
+      {"Nigeria", 0.15, 0.55, 8.0, 6.0},
+      {"Kenya", 0.1, 0.55, 7.0, 6.0},
+      {"Morocco", 0.12, 0.55, 7.0, 6.0},
+      {"Venezuela", 0.15, 0.55, 6.0, 5.0},
+      {"Ireland", 0.25, 0.55, 3.0, 3.0},
+  };
+  // Long tail: the paper observes deployed devices in >200 countries and
+  // compromised ones in 161. Generate small tail economies until the
+  // weights account for the remaining mass.
+  double named = 0.0;
+  for (const auto& info : c) named += info.deploy_weight;
+  const double remaining = 100.0 - named;
+  const int tail_count = 150;
+  for (int i = 0; i < tail_count; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Country-%03d", i + 1);
+    // Mildly decaying weights so tail countries differ in size. Every
+    // third tail country is essentially exploitation-free: the paper
+    // finds compromised devices in 161 of the 200+ countries hosting
+    // devices, so a clean tail fraction is required to match that gap.
+    const double w = remaining * 2.0 * (tail_count - i) /
+                     (static_cast<double>(tail_count) * (tail_count + 1));
+    const bool clean = (i % 3) == 2;
+    c.push_back({name, w, 0.55, clean ? 0.02 : 5.0, clean ? 0.02 : 4.5});
+  }
+  return c;
+}
+
+// The 31 industrial/automation protocols. The top 10 weights reproduce
+// Table III's share of compromised CPS devices (support is assigned
+// independently of compromise, so deployed shares == compromised shares in
+// expectation). Shares are not mutually exclusive: a device may support
+// several services.
+std::vector<CpsProtocolInfo> build_cps_protocols() {
+  return {
+      {"Telvent OASyS DNA",
+       "Oil and Gas transportation pipelines and distribution networks",
+       20.0},
+      {"SNC GENe", "Control systems", 18.3},
+      {"Niagara Fox", "Building automation systems", 13.4},
+      {"MQ Telemetry Transport",
+       "IoT communications, sensory networks, safety-critical communications",
+       12.9},
+      {"Ethernet/IP", "Manufacturing automation", 12.8},
+      {"ABB Ranger",
+       "Power generating plants, transmission lines, mining operations, and "
+       "transportation systems",
+       9.1},
+      {"Siemens Spectrum PowerTG", "Utility networks", 5.9},
+      {"Modbus TCP", "Power utilities", 5.5},
+      {"Foxboro/Invensys Foxboro",
+       "Plant automation systems, flowmeters, single-loop controllers, and "
+       "product support services",
+       5.1},
+      {"Foundation Fieldbus HSE", "Plant and factory automation", 3.0},
+      // Remaining 21 protocols (long tail of the 31 services).
+      {"BACnet/IP", "Building automation", 2.5},
+      {"DNP3", "Electric and water utilities", 2.2},
+      {"IEC 60870-5-104", "Power grid telecontrol", 2.0},
+      {"Siemens S7", "Factory automation PLCs", 1.8},
+      {"OPC UA", "Industrial interoperability", 1.6},
+      {"Omron FINS", "Factory automation controllers", 1.4},
+      {"PCWorx", "Phoenix Contact PLCs", 1.2},
+      {"ProConOS", "Runtime for industrial controllers", 1.1},
+      {"Red Lion Crimson V3", "HMI and protocol converters", 1.0},
+      {"GE-SRTP", "GE Fanuc PLC communications", 0.9},
+      {"MELSEC-Q", "Mitsubishi PLC communications", 0.9},
+      {"HART-IP", "Process instrumentation", 0.8},
+      {"Tridium Niagara AX", "Facility management platforms", 0.8},
+      {"Lantronix UDS", "Serial-to-Ethernet device servers", 0.7},
+      {"Moxa NPort", "Serial device servers", 0.7},
+      {"VxWorks WDB", "Embedded RTOS debug service", 0.6},
+      {"ATG", "Automatic tank gauges at fuel stations", 0.6},
+      {"IEC 61850", "Substation automation", 0.5},
+      {"Crestron", "Room and AV control systems", 0.5},
+      {"KNX IP", "Home and building control", 0.4},
+      {"CoDeSys", "PLC runtime and gateway", 0.4},
+  };
+}
+
+// Named ISPs with engineered market shares; chosen so the compromised-ISP
+// rankings reproduce Tables I and II.
+std::vector<NamedIsp> build_named_isps() {
+  return {
+      {"JSC ER-Telecom", "Russian Federation", 0.85, 0.16},
+      {"Rostelecom", "Russian Federation", 0.05, 0.27},
+      {"PT Telkom", "Indonesia", 0.85, 0.40},
+      {"Korea Telecom", "Republic of Korea", 0.85, 0.50},
+      {"PLDT", "Philippines", 0.80, 0.40},
+      {"TOT", "Thailand", 0.45, 0.30},
+      {"True Internet", "Thailand", 0.30, 0.20},
+      {"Turk Telekom", "Turkey", 0.55, 0.60},
+      {"HiNet", "Taiwan", 0.60, 0.50},
+      {"China Telecom", "China", 0.45, 0.11},
+      {"China Unicom", "China", 0.30, 0.10},
+      {"Comcast", "United States", 0.12, 0.08},
+      {"AT&T", "United States", 0.10, 0.12},
+      {"Verizon", "United States", 0.08, 0.08},
+      {"BT", "United Kingdom", 0.30, 0.25},
+      {"Deutsche Telekom", "Germany", 0.35, 0.30},
+      {"Orange", "France", 0.35, 0.30},
+      {"Telstra", "Australia", 0.40, 0.30},
+      {"VNPT", "Vietnam", 0.45, 0.40},
+      {"Swisscom", "Switzerland", 0.40, 0.40},
+      {"KPN", "Netherlands", 0.35, 0.30},
+  };
+}
+
+}  // namespace
+
+Catalog::Catalog()
+    : countries_(build_countries()),
+      cps_protocols_(build_cps_protocols()),
+      named_isps_(build_named_isps()),
+      // Deployment mix (Section III-A1): routers 46.9%, printers 29.1%,
+      // cameras 18.3%, network storage 4.6%, remainder 1.1%.
+      consumer_type_mix_({0.469, 0.183, 0.291, 0.046, 0.008, 0.003}),
+      // Propensity multipliers = Fig 3 compromised share / deployed share:
+      // routers 52.4/46.9, cameras 25.2/18.3, printers 18.0/29.1,
+      // NAS 3.6/4.6, DVR ~0.5/0.8, hubs 0.1/0.3.
+      consumer_type_propensity_({1.12, 1.38, 0.62, 0.78, 0.63, 0.33}) {}
+
+const Catalog& Catalog::standard() {
+  static const Catalog catalog;
+  return catalog;
+}
+
+CountryId Catalog::country_id(const std::string& name) const {
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    if (countries_[i].name == name) return static_cast<CountryId>(i);
+  }
+  throw std::out_of_range("unknown country: " + name);
+}
+
+CpsProtocolId Catalog::cps_protocol_id(const std::string& name) const {
+  for (std::size_t i = 0; i < cps_protocols_.size(); ++i) {
+    if (cps_protocols_[i].name == name) return static_cast<CpsProtocolId>(i);
+  }
+  throw std::out_of_range("unknown CPS protocol: " + name);
+}
+
+}  // namespace iotscope::inventory

@@ -1,0 +1,97 @@
+// Static catalogs describing the simulated deployment universe: countries
+// with deployment weights and compromise propensities, the 31 CPS
+// protocols, consumer device-type mixes, and named ISPs with per-country
+// market shares. The numbers are engineered so that the synthetic
+// inventory + workload reproduce the marginals the paper reports
+// (Fig 1a/1b, Fig 3, Tables I–III); see DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inventory/device.hpp"
+
+namespace iotscope::inventory {
+
+/// Per-country deployment and exploitation parameters.
+struct CountryInfo {
+  std::string name;
+  double deploy_weight = 0.0;    ///< share of the 331k inventory (percent)
+  double consumer_share = 0.5;   ///< fraction of the country's devices that
+                                 ///< are consumer (vs CPS)
+  double propensity_consumer = 1.0;  ///< relative compromise propensity,
+                                     ///< consumer realm (scaled globally by
+                                     ///< the assigner to hit target totals)
+  double propensity_cps = 1.0;       ///< same, CPS realm
+};
+
+/// One of the 31 industrial/automation protocols.
+struct CpsProtocolInfo {
+  std::string name;
+  std::string application;  ///< "common applications" column of Table III
+  double weight = 0.0;      ///< support probability weight among CPS devices
+};
+
+/// A named ISP with an explicit market share within one country+realm.
+/// Devices not covered by named ISPs fall into generated per-country ISPs
+/// with a Zipf-like share tail.
+struct NamedIsp {
+  std::string name;
+  std::string country;       ///< must match a CountryInfo name
+  double consumer_share = 0; ///< fraction of that country's consumer devices
+  double cps_share = 0;      ///< fraction of that country's CPS devices
+};
+
+/// The full static catalog. Immutable after construction.
+class Catalog {
+ public:
+  /// The default catalog parameterized to the paper's distributions.
+  static const Catalog& standard();
+
+  const std::vector<CountryInfo>& countries() const noexcept {
+    return countries_;
+  }
+  const std::vector<CpsProtocolInfo>& cps_protocols() const noexcept {
+    return cps_protocols_;
+  }
+  const std::vector<NamedIsp>& named_isps() const noexcept {
+    return named_isps_;
+  }
+
+  /// Deployment mix of consumer device types (fractions, sum to 1):
+  /// routers 46.9%, printers 29.1%, cameras 18.3%, NAS 4.6%, rest 1.1%.
+  const std::vector<double>& consumer_type_mix() const noexcept {
+    return consumer_type_mix_;
+  }
+
+  /// Relative compromise propensity per consumer type (engineered so the
+  /// compromised mix matches Fig 3: routers 52.4%, cameras 25.2%, ...).
+  const std::vector<double>& consumer_type_propensity() const noexcept {
+    return consumer_type_propensity_;
+  }
+
+  /// Index of a country by name; throws std::out_of_range if unknown.
+  CountryId country_id(const std::string& name) const;
+
+  /// Index of a CPS protocol by name; throws std::out_of_range if unknown.
+  CpsProtocolId cps_protocol_id(const std::string& name) const;
+
+  const std::string& country_name(CountryId id) const {
+    return countries_.at(id).name;
+  }
+  const std::string& cps_protocol_name(CpsProtocolId id) const {
+    return cps_protocols_.at(id).name;
+  }
+
+ private:
+  Catalog();
+
+  std::vector<CountryInfo> countries_;
+  std::vector<CpsProtocolInfo> cps_protocols_;
+  std::vector<NamedIsp> named_isps_;
+  std::vector<double> consumer_type_mix_;
+  std::vector<double> consumer_type_propensity_;
+};
+
+}  // namespace iotscope::inventory

@@ -1,0 +1,119 @@
+#include "inventory/database.hpp"
+
+#include <fstream>
+#include <set>
+
+#include "util/io.hpp"
+#include "util/strings.hpp"
+
+namespace iotscope::inventory {
+
+IoTDeviceDatabase::IoTDeviceDatabase(const Catalog* catalog)
+    : catalog_(catalog) {}
+
+IspId IoTDeviceDatabase::add_isp(std::string name, CountryId country) {
+  const std::string key = name + "\x1f" + std::to_string(country);
+  if (auto it = isp_ids_.find(key); it != isp_ids_.end()) return it->second;
+  const IspId id = static_cast<IspId>(isps_.size());
+  isps_.push_back({std::move(name), country});
+  isp_ids_.emplace(key, id);
+  return id;
+}
+
+bool IoTDeviceDatabase::add_device(DeviceRecord device) {
+  const auto [it, inserted] =
+      by_ip_.emplace(device.ip, static_cast<std::uint32_t>(devices_.size()));
+  if (!inserted) return false;
+  if (device.is_consumer()) ++consumer_count_;
+  devices_.push_back(std::move(device));
+  return true;
+}
+
+const DeviceRecord* IoTDeviceDatabase::find(
+    net::Ipv4Address ip) const noexcept {
+  const auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? nullptr : &devices_[it->second];
+}
+
+std::size_t IoTDeviceDatabase::country_count() const {
+  std::set<CountryId> seen;
+  for (const auto& d : devices_) seen.insert(d.country);
+  return seen.size();
+}
+
+// CSV layout:
+//   line 1:            "isp_count,<N>"
+//   next N lines:      "<isp name>,<country id>"   (names contain no commas)
+//   line N+2:          "device_count,<M>"
+//   next M lines:      ip,category,consumer_type,services,country,isp
+// where services is ';'-joined protocol ids (empty for consumer devices).
+void IoTDeviceDatabase::save_csv(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw util::IoError("cannot create " + path.string());
+  out << "isp_count," << isps_.size() << "\n";
+  for (const auto& isp : isps_) {
+    out << isp.name << "," << isp.country << "\n";
+  }
+  out << "device_count," << devices_.size() << "\n";
+  for (const auto& d : devices_) {
+    out << d.ip.to_string() << ","
+        << (d.is_consumer() ? "consumer" : "cps") << ","
+        << static_cast<int>(d.consumer_type) << ",";
+    for (std::size_t i = 0; i < d.services.size(); ++i) {
+      if (i) out << ';';
+      out << static_cast<int>(d.services[i]);
+    }
+    out << "," << d.country << "," << d.isp << "\n";
+  }
+  if (!out) throw util::IoError("write failed: " + path.string());
+}
+
+IoTDeviceDatabase IoTDeviceDatabase::load_csv(
+    const std::filesystem::path& path, const Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open " + path.string());
+  IoTDeviceDatabase db(catalog);
+  std::string line;
+
+  auto expect_count = [&](const char* tag) -> std::size_t {
+    if (!std::getline(in, line)) throw util::IoError("truncated inventory csv");
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 2 || fields[0] != tag) {
+      throw util::IoError(std::string("expected ") + tag + " header");
+    }
+    return static_cast<std::size_t>(std::stoull(fields[1]));
+  };
+
+  const std::size_t isp_count = expect_count("isp_count");
+  for (std::size_t i = 0; i < isp_count; ++i) {
+    if (!std::getline(in, line)) throw util::IoError("truncated isp table");
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 2) throw util::IoError("malformed isp row");
+    db.add_isp(fields[0], static_cast<CountryId>(std::stoul(fields[1])));
+  }
+
+  const std::size_t device_count = expect_count("device_count");
+  for (std::size_t i = 0; i < device_count; ++i) {
+    if (!std::getline(in, line)) throw util::IoError("truncated device table");
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 6) throw util::IoError("malformed device row");
+    DeviceRecord d;
+    const auto ip = net::Ipv4Address::parse(fields[0]);
+    if (!ip) throw util::IoError("malformed device IP: " + fields[0]);
+    d.ip = *ip;
+    d.category = fields[1] == "consumer" ? DeviceCategory::Consumer
+                                         : DeviceCategory::Cps;
+    d.consumer_type = static_cast<ConsumerType>(std::stoi(fields[2]));
+    if (!fields[3].empty()) {
+      for (const auto& s : util::split(fields[3], ';')) {
+        d.services.push_back(static_cast<CpsProtocolId>(std::stoi(s)));
+      }
+    }
+    d.country = static_cast<CountryId>(std::stoul(fields[4]));
+    d.isp = static_cast<IspId>(std::stoul(fields[5]));
+    db.add_device(std::move(d));
+  }
+  return db;
+}
+
+}  // namespace iotscope::inventory

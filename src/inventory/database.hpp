@@ -1,0 +1,80 @@
+// The IoT device database: the queryable, IP-indexed inventory the
+// correlation engine joins darknet flows against — our stand-in for the
+// "near real-time IoT database provided by Shodan".
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "inventory/catalog.hpp"
+#include "inventory/device.hpp"
+
+namespace iotscope::inventory {
+
+/// An ISP as tracked by the database.
+struct IspInfo {
+  std::string name;
+  CountryId country = 0;
+};
+
+/// IP-indexed inventory of IoT devices.
+///
+/// Invariants: each device IP is unique; every record's country and ISP
+/// indices are valid for the attached catalog / ISP table.
+class IoTDeviceDatabase {
+ public:
+  explicit IoTDeviceDatabase(const Catalog* catalog = &Catalog::standard());
+
+  /// Registers an ISP and returns its id. Duplicate (name,country) pairs
+  /// return the existing id.
+  IspId add_isp(std::string name, CountryId country);
+
+  /// Adds a device; returns false (and ignores the record) if the IP is
+  /// already present.
+  bool add_device(DeviceRecord device);
+
+  /// O(1) lookup by source IP — the pipeline's hot path.
+  const DeviceRecord* find(net::Ipv4Address ip) const noexcept;
+
+  const std::vector<DeviceRecord>& devices() const noexcept {
+    return devices_;
+  }
+  const std::vector<IspInfo>& isps() const noexcept { return isps_; }
+  const Catalog& catalog() const noexcept { return *catalog_; }
+
+  std::size_t size() const noexcept { return devices_.size(); }
+  std::size_t consumer_count() const noexcept { return consumer_count_; }
+  std::size_t cps_count() const noexcept { return devices_.size() - consumer_count_; }
+
+  const std::string& isp_name(IspId id) const { return isps_.at(id).name; }
+  const std::string& country_name(CountryId id) const {
+    return catalog_->country_name(id);
+  }
+
+  /// Number of distinct countries with at least one device.
+  std::size_t country_count() const;
+
+  /// Persists the inventory (devices + ISP table) as CSV; loadable by
+  /// load_csv. Format documented in the implementation.
+  void save_csv(const std::filesystem::path& path) const;
+
+  /// Loads an inventory previously saved with save_csv. Throws
+  /// util::IoError on malformed input.
+  static IoTDeviceDatabase load_csv(const std::filesystem::path& path,
+                                    const Catalog* catalog =
+                                        &Catalog::standard());
+
+ private:
+  const Catalog* catalog_;
+  std::vector<DeviceRecord> devices_;
+  std::vector<IspInfo> isps_;
+  std::unordered_map<net::Ipv4Address, std::uint32_t> by_ip_;
+  std::unordered_map<std::string, IspId> isp_ids_;
+  std::size_t consumer_count_ = 0;
+};
+
+}  // namespace iotscope::inventory

@@ -1,0 +1,35 @@
+#include "inventory/device.hpp"
+
+namespace iotscope::inventory {
+
+const char* to_string(DeviceCategory c) noexcept {
+  switch (c) {
+    case DeviceCategory::Consumer:
+      return "Consumer";
+    case DeviceCategory::Cps:
+      return "CPS";
+  }
+  return "?";
+}
+
+const char* to_string(ConsumerType t) noexcept {
+  switch (t) {
+    case ConsumerType::Router:
+      return "Router";
+    case ConsumerType::IpCamera:
+      return "IP Camera";
+    case ConsumerType::Printer:
+      return "Printer";
+    case ConsumerType::NetworkStorage:
+      return "Network Storage Media";
+    case ConsumerType::TvBoxDvr:
+      return "TV Box/DVR";
+    case ConsumerType::ElectricHub:
+      return "Electric Hub/Outlet";
+    case ConsumerType::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace iotscope::inventory

@@ -1,0 +1,71 @@
+// The IoT device model: what a Shodan-style active-measurement service
+// knows about an Internet-facing device — address, realm (consumer vs
+// CPS), device type or supported industrial protocols, hosting country
+// and ISP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace iotscope::inventory {
+
+/// Deployment realm, per the paper's two populations.
+enum class DeviceCategory : std::uint8_t {
+  Consumer,  ///< routers, cameras, printers, NAS, DVRs, outlets
+  Cps,       ///< PLC/RTU/ICS/SCADA/DCS equipment
+};
+
+const char* to_string(DeviceCategory c) noexcept;
+
+/// Consumer device types (Section III-A1 / Figure 3).
+enum class ConsumerType : std::uint8_t {
+  Router = 0,
+  IpCamera,
+  Printer,
+  NetworkStorage,
+  TvBoxDvr,
+  ElectricHub,
+  kCount,  // sentinel
+};
+
+inline constexpr int kConsumerTypeCount =
+    static_cast<int>(ConsumerType::kCount);
+
+const char* to_string(ConsumerType t) noexcept;
+
+/// Identifier of a CPS service/protocol; index into the catalog's list of
+/// 31 industrial/automation protocols (Table III names the top 10).
+using CpsProtocolId = std::uint8_t;
+
+/// Index into the catalog's country table.
+using CountryId = std::uint16_t;
+
+/// Globally unique ISP identifier (index into the database's ISP table).
+using IspId = std::uint32_t;
+
+/// One Internet-facing IoT device as indexed by the measurement service.
+struct DeviceRecord {
+  net::Ipv4Address ip;
+  DeviceCategory category = DeviceCategory::Consumer;
+  ConsumerType consumer_type = ConsumerType::Router;  ///< consumer realm only
+  std::vector<CpsProtocolId> services;  ///< CPS realm only; >=1 protocol
+  CountryId country = 0;
+  IspId isp = 0;
+
+  bool is_consumer() const noexcept {
+    return category == DeviceCategory::Consumer;
+  }
+  bool is_cps() const noexcept { return category == DeviceCategory::Cps; }
+
+  /// True if the CPS device supports the given protocol.
+  bool supports(CpsProtocolId proto) const noexcept {
+    for (auto s : services)
+      if (s == proto) return true;
+    return false;
+  }
+};
+
+}  // namespace iotscope::inventory

@@ -1,0 +1,157 @@
+#include "inventory/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace iotscope::inventory {
+
+namespace {
+
+/// Rejects addresses that could never host a public IoT device (reserved,
+/// private, loopback, multicast) or that fall inside the monitored darknet.
+bool is_assignable(net::Ipv4Address ip, const net::Ipv4Prefix& darknet) {
+  const auto o0 = ip.octet(0);
+  if (o0 == 0 || o0 == 127 || o0 >= 224) return false;
+  if (o0 == 10) return false;                                  // RFC1918
+  if (o0 == 192 && ip.octet(1) == 168) return false;           // RFC1918
+  if (o0 == 172 && ip.octet(1) >= 16 && ip.octet(1) < 32) return false;
+  if (o0 == 169 && ip.octet(1) == 254) return false;           // link-local
+  if (darknet.contains(ip)) return false;
+  return true;
+}
+
+/// Per-(country, realm) ISP sampling structure: ids and weights.
+struct IspMarket {
+  std::vector<IspId> isps;
+  std::vector<double> shares;
+};
+
+/// Builds the ISP market for one country and realm: named ISPs keep their
+/// engineered shares; the remainder is split across generated regional
+/// ISPs with a Zipf-like tail. The number of generated ISPs grows with the
+/// country's deployment weight so the global distinct-ISP count lands in
+/// the thousands, as in the paper (1,762 consumer / 2,279 CPS ISPs among
+/// compromised devices alone).
+IspMarket build_market(IoTDeviceDatabase& db, const Catalog& catalog,
+                       CountryId country, DeviceCategory realm) {
+  IspMarket market;
+  const auto& info = catalog.countries()[country];
+  double named_total = 0.0;
+  for (const auto& isp : catalog.named_isps()) {
+    if (isp.country != info.name) continue;
+    const double share = realm == DeviceCategory::Consumer
+                             ? isp.consumer_share
+                             : isp.cps_share;
+    if (share <= 0.0) continue;
+    market.isps.push_back(db.add_isp(isp.name, country));
+    market.shares.push_back(share);
+    named_total += share;
+  }
+  const double rest = std::max(0.0, 1.0 - named_total);
+  const int generated =
+      std::clamp(static_cast<int>(4 + info.deploy_weight * 4.0), 4, 110);
+  // Flattened Zipf (exponent 0.6) so no single generated regional ISP
+  // dominates a large market — the paper's Table II shows even China's
+  // 17% CPS share spread across ISPs none of which reach the top five.
+  double norm = 0.0;
+  for (int i = 1; i <= generated; ++i) norm += std::pow(i, -0.6);
+  for (int i = 1; i <= generated; ++i) {
+    char name[96];
+    std::snprintf(name, sizeof(name), "%s %s Net-%d", info.name.c_str(),
+                  realm == DeviceCategory::Consumer ? "Broadband" : "Industrial",
+                  i);
+    market.isps.push_back(db.add_isp(name, country));
+    market.shares.push_back(rest * std::pow(i, -0.6) / norm);
+  }
+  return market;
+}
+
+}  // namespace
+
+IoTDeviceDatabase synthesize_inventory(const SynthesisConfig& config,
+                                       const Catalog& catalog) {
+  util::Rng rng(config.seed);
+  IoTDeviceDatabase db(&catalog);
+
+  // Country sampling weights.
+  std::vector<double> country_weights;
+  country_weights.reserve(catalog.countries().size());
+  for (const auto& c : catalog.countries()) {
+    country_weights.push_back(c.deploy_weight);
+  }
+
+  // CPS protocol weights (Table III shares as support probabilities).
+  std::vector<double> proto_weights;
+  for (const auto& p : catalog.cps_protocols()) {
+    proto_weights.push_back(p.weight);
+  }
+
+  // Lazily built ISP markets, one per (country, realm).
+  std::vector<IspMarket> consumer_markets(catalog.countries().size());
+  std::vector<IspMarket> cps_markets(catalog.countries().size());
+
+  std::unordered_set<std::uint32_t> used_ips;
+  used_ips.reserve(config.device_count * 2);
+
+  util::Rng ip_rng = rng.fork(util::stable_hash("ip-assignment"));
+  util::Rng svc_rng = rng.fork(util::stable_hash("cps-services"));
+
+  for (std::size_t n = 0; n < config.device_count; ++n) {
+    DeviceRecord d;
+
+    // Country, then realm by the country's consumer share.
+    d.country = static_cast<CountryId>(rng.weighted_index(country_weights));
+    const auto& cinfo = catalog.countries()[d.country];
+    d.category = rng.chance(cinfo.consumer_share) ? DeviceCategory::Consumer
+                                                  : DeviceCategory::Cps;
+
+    // Unique public IP outside reserved space and the darknet.
+    for (;;) {
+      const auto candidate =
+          net::Ipv4Address(static_cast<std::uint32_t>(ip_rng.next()));
+      if (!is_assignable(candidate, config.darknet)) continue;
+      if (used_ips.insert(candidate.value()).second) {
+        d.ip = candidate;
+        break;
+      }
+    }
+
+    if (d.is_consumer()) {
+      d.consumer_type = static_cast<ConsumerType>(
+          rng.weighted_index(catalog.consumer_type_mix()));
+    } else {
+      // 1 + Poisson(extra) supported services, sampled without replacement
+      // proportionally to Table III weights.
+      const std::size_t count = std::min<std::size_t>(
+          1 + svc_rng.poisson(config.extra_cps_services_mean),
+          proto_weights.size());
+      std::vector<double> w = proto_weights;
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t pick = svc_rng.weighted_index(w);
+        d.services.push_back(static_cast<CpsProtocolId>(pick));
+        w[pick] = 0.0;
+      }
+      std::sort(d.services.begin(), d.services.end());
+    }
+
+    auto& market = d.is_consumer() ? consumer_markets[d.country]
+                                   : cps_markets[d.country];
+    if (market.isps.empty()) {
+      market = build_market(db, catalog, d.country, d.category);
+    }
+    d.isp = market.isps[rng.weighted_index(market.shares)];
+
+    db.add_device(std::move(d));
+  }
+
+  IOTSCOPE_LOG_INFO("synthesized inventory: %zu devices (%zu consumer, %zu CPS), %zu ISPs",
+                    db.size(), db.consumer_count(), db.cps_count(),
+                    db.isps().size());
+  return db;
+}
+
+}  // namespace iotscope::inventory

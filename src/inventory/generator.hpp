@@ -1,0 +1,32 @@
+// The Shodan-style inventory synthesizer: generates an Internet-facing IoT
+// device population whose marginals (country, realm, device type, CPS
+// protocol support, ISP market structure) match the paper's reported
+// distributions. This substitutes for the proprietary Shodan dataset the
+// paper obtained (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "inventory/database.hpp"
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::inventory {
+
+/// Parameters of inventory synthesis.
+struct SynthesisConfig {
+  std::uint64_t seed = 20170412;
+  /// Total devices; the paper's corpus is 331,000. Scale down for tests.
+  std::size_t device_count = 331000;
+  /// Address block devices must avoid (the telescope's dark space).
+  net::Ipv4Prefix darknet{net::Ipv4Address::from_octets(10, 0, 0, 0), 8};
+  /// Mean number of *additional* CPS services beyond the first.
+  double extra_cps_services_mean = 0.15;
+};
+
+/// Generates the device inventory. Deterministic in config.seed.
+IoTDeviceDatabase synthesize_inventory(
+    const SynthesisConfig& config,
+    const Catalog& catalog = Catalog::standard());
+
+}  // namespace iotscope::inventory

@@ -1,0 +1,34 @@
+#include "net/checksum.hpp"
+
+namespace iotscope::net {
+
+void ChecksumAccumulator::feed(std::span<const std::uint8_t> data) noexcept {
+  for (std::uint8_t byte : data) {
+    if (odd_) {
+      sum_ += byte;  // low byte of the current word
+    } else {
+      sum_ += static_cast<std::uint64_t>(byte) << 8;  // high byte
+    }
+    odd_ = !odd_;
+  }
+}
+
+void ChecksumAccumulator::feed_word(std::uint16_t word) noexcept {
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(word >> 8),
+                                 static_cast<std::uint8_t>(word)};
+  feed(bytes);
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  ChecksumAccumulator acc;
+  acc.feed(data);
+  return acc.finish();
+}
+
+}  // namespace iotscope::net

@@ -1,0 +1,31 @@
+// RFC 1071 Internet checksum, used when synthesizing on-wire headers for
+// the pcap codec so emitted captures are well-formed for external tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iotscope::net {
+
+/// One's-complement sum folding over 16-bit words; odd trailing byte is
+/// zero-padded. Returns the checksum in host order (store big-endian).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental checksum accumulator for header + pseudo-header sums.
+class ChecksumAccumulator {
+ public:
+  /// Feeds bytes; may be called repeatedly. Internally tracks byte parity
+  /// so split odd-length chunks still sum correctly.
+  void feed(std::span<const std::uint8_t> data) noexcept;
+  /// Feeds one 16-bit word in host order.
+  void feed_word(std::uint16_t word) noexcept;
+  /// Final folded one's-complement checksum.
+  std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;
+};
+
+}  // namespace iotscope::net

@@ -1,0 +1,131 @@
+#include "net/flowtuple.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/io.hpp"
+
+namespace iotscope::net {
+
+FlowTuple FlowTuple::from_packet(const PacketRecord& p) noexcept {
+  FlowTuple t;
+  t.src = p.src;
+  t.dst = p.dst;
+  if (p.protocol == Protocol::Icmp) {
+    // corsaro convention: ICMP type/code ride in the port fields.
+    t.src_port = p.icmp_type;
+    t.dst_port = p.icmp_code;
+  } else {
+    t.src_port = p.src_port;
+    t.dst_port = p.dst_port;
+  }
+  t.protocol = p.protocol;
+  t.ttl = p.ttl;
+  t.tcp_flags = p.tcp_flags;
+  t.ip_length = p.ip_length;
+  t.packet_count = 1;
+  return t;
+}
+
+std::size_t FlowTupleKeyHash::operator()(const FlowTuple& t) const noexcept {
+  // 64-bit mix of the key fields; quality matters because the aggregation
+  // map holds millions of entries per hour at full scale.
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix((static_cast<std::uint64_t>(t.src.value()) << 32) | t.dst.value());
+  mix((static_cast<std::uint64_t>(t.src_port) << 48) |
+      (static_cast<std::uint64_t>(t.dst_port) << 32) |
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(t.protocol))
+       << 24) |
+      (static_cast<std::uint64_t>(t.ttl) << 16) |
+      (static_cast<std::uint64_t>(t.tcp_flags) << 8));
+  mix(t.ip_length);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t HourlyFlows::total_packets() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : records) total += r.packet_count;
+  return total;
+}
+
+void FlowTupleCodec::write(std::ostream& os, const HourlyFlows& flows) {
+  util::write_u32(os, kMagic);
+  util::write_u16(os, kVersion);
+  util::write_u32(os, static_cast<std::uint32_t>(flows.interval));
+  util::write_u64(os, static_cast<std::uint64_t>(flows.start_time));
+  util::write_u64(os, flows.records.size());
+  for (const auto& r : flows.records) {
+    util::write_u32(os, r.src.value());
+    util::write_u32(os, r.dst.value());
+    util::write_u16(os, r.src_port);
+    util::write_u16(os, r.dst_port);
+    util::write_u8(os, static_cast<std::uint8_t>(r.protocol));
+    util::write_u8(os, r.ttl);
+    util::write_u8(os, r.tcp_flags);
+    util::write_u16(os, r.ip_length);
+    util::write_u64(os, r.packet_count);
+  }
+}
+
+HourlyFlows FlowTupleCodec::read(std::istream& is) {
+  if (util::read_u32(is) != kMagic) {
+    throw util::IoError("flowtuple file: bad magic");
+  }
+  if (util::read_u16(is) != kVersion) {
+    throw util::IoError("flowtuple file: unsupported version");
+  }
+  HourlyFlows flows;
+  flows.interval = static_cast<int>(util::read_u32(is));
+  flows.start_time = static_cast<std::int64_t>(util::read_u64(is));
+  const std::uint64_t count = util::read_u64(is);
+  // Sanity cap: an hourly file beyond 1B records is corrupt.
+  if (count > (1ULL << 30)) {
+    throw util::IoError("flowtuple file: implausible record count");
+  }
+  flows.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FlowTuple r;
+    r.src = Ipv4Address(util::read_u32(is));
+    r.dst = Ipv4Address(util::read_u32(is));
+    r.src_port = util::read_u16(is);
+    r.dst_port = util::read_u16(is);
+    const std::uint8_t proto = util::read_u8(is);
+    if (proto != static_cast<std::uint8_t>(Protocol::Tcp) &&
+        proto != static_cast<std::uint8_t>(Protocol::Udp) &&
+        proto != static_cast<std::uint8_t>(Protocol::Icmp)) {
+      throw util::IoError("flowtuple file: unknown protocol value");
+    }
+    r.protocol = static_cast<Protocol>(proto);
+    r.ttl = util::read_u8(is);
+    r.tcp_flags = util::read_u8(is);
+    r.ip_length = util::read_u16(is);
+    r.packet_count = util::read_u64(is);
+    flows.records.push_back(r);
+  }
+  return flows;
+}
+
+void FlowTupleCodec::write_file(const std::filesystem::path& path,
+                                const HourlyFlows& flows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::IoError("cannot create " + path.string());
+  write(out, flows);
+  if (!out) throw util::IoError("write failed: " + path.string());
+}
+
+HourlyFlows FlowTupleCodec::read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open " + path.string());
+  return read(in);
+}
+
+std::string FlowTupleCodec::file_name(int interval) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "flowtuple-%04d.ift", interval);
+  return buf;
+}
+
+}  // namespace iotscope::net

@@ -1,0 +1,96 @@
+// The flowtuple record and hourly file format — our reimplementation of the
+// CAIDA/corsaro "flowtuple" representation the paper consumes. Each hourly
+// file holds aggregated one-way flows: the 8-field key the UCSD telescope
+// retains (src/dst IP, src/dst port, protocol, TTL, TCP flags, IP length)
+// plus a packet count.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+#include "net/protocol.hpp"
+
+namespace iotscope::net {
+
+/// The aggregation key + count. For ICMP flows, src_port/dst_port carry the
+/// ICMP type/code (the corsaro convention), so no information is lost.
+struct FlowTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  Port src_port = 0;
+  Port dst_port = 0;
+  Protocol protocol = Protocol::Tcp;
+  std::uint8_t ttl = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint16_t ip_length = 0;
+  std::uint64_t packet_count = 0;
+
+  /// The key fields (everything except packet_count) compare equal.
+  bool same_key(const FlowTuple& other) const noexcept {
+    return src == other.src && dst == other.dst &&
+           src_port == other.src_port && dst_port == other.dst_port &&
+           protocol == other.protocol && ttl == other.ttl &&
+           tcp_flags == other.tcp_flags && ip_length == other.ip_length;
+  }
+
+  /// Builds the key portion of a flowtuple from a packet (count = 1).
+  static FlowTuple from_packet(const PacketRecord& p) noexcept;
+
+  /// ICMP type stored in the port fields per the corsaro convention.
+  IcmpType icmp_type() const noexcept {
+    return static_cast<IcmpType>(src_port);
+  }
+
+  friend bool operator==(const FlowTuple&, const FlowTuple&) = default;
+};
+
+/// Hash over the flowtuple key (ignores packet_count) for aggregation maps.
+struct FlowTupleKeyHash {
+  std::size_t operator()(const FlowTuple& t) const noexcept;
+};
+/// Key equality (ignores packet_count).
+struct FlowTupleKeyEq {
+  bool operator()(const FlowTuple& a, const FlowTuple& b) const noexcept {
+    return a.same_key(b);
+  }
+};
+
+/// One hour of telescope flows: the interval index within the analysis
+/// window and the aggregated records for that hour.
+struct HourlyFlows {
+  int interval = 0;                ///< hour index in [0, AnalysisWindow::kHours)
+  std::int64_t start_time = 0;     ///< unix time of the hour's start
+  std::vector<FlowTuple> records;  ///< aggregated flows, arbitrary order
+
+  /// Sum of packet counts over all records.
+  std::uint64_t total_packets() const noexcept;
+};
+
+/// Binary codec for hourly flowtuple files.
+///
+/// Layout: magic "IFT1", format version (u16), interval (u32), start time
+/// (u64), record count (u64), then fixed-width 24-byte records. All
+/// integers little-endian. Readers validate magic/version and record
+/// bounds and throw util::IoError on malformed input.
+class FlowTupleCodec {
+ public:
+  static constexpr std::uint32_t kMagic = 0x31544649;  // "IFT1"
+  static constexpr std::uint16_t kVersion = 1;
+
+  static void write(std::ostream& os, const HourlyFlows& flows);
+  static HourlyFlows read(std::istream& is);
+
+  static void write_file(const std::filesystem::path& path,
+                         const HourlyFlows& flows);
+  static HourlyFlows read_file(const std::filesystem::path& path);
+
+  /// Canonical file name for an interval, e.g. "flowtuple-0042.ift".
+  static std::string file_name(int interval);
+};
+
+}  // namespace iotscope::net

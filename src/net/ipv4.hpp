@@ -1,0 +1,98 @@
+// IPv4 address and CIDR prefix value types. Addresses are stored as host-
+// order 32-bit integers; text parsing/formatting uses dotted-quad notation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iotscope::net {
+
+/// An IPv4 address. Regular value type, totally ordered by numeric value.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Builds an address from its four octets, a.b.c.d.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad text ("192.0.2.1"); nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad string.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 CIDR prefix, e.g. 44.0.0.0/8. Invariant: host bits are zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Constructs a prefix; host bits of base are masked off.
+  constexpr Ipv4Prefix(Ipv4Address base, int length) noexcept
+      : length_(length < 0 ? 0 : (length > 32 ? 32 : length)),
+        base_(Ipv4Address(base.value() & mask())) {}
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text) noexcept;
+
+  constexpr Ipv4Address base() const noexcept { return base_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// Netmask as a 32-bit value (e.g. /8 -> 0xff000000).
+  constexpr std::uint32_t mask() const noexcept {
+    return length_ == 0 ? 0u : (~0u << (32 - length_));
+  }
+
+  /// Number of addresses covered by the prefix.
+  constexpr std::uint64_t size() const noexcept {
+    return 1ULL << (32 - length_);
+  }
+
+  constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask()) == base_.value();
+  }
+
+  /// The i-th address within the prefix (i < size()).
+  constexpr Ipv4Address at(std::uint64_t i) const noexcept {
+    return Ipv4Address(base_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(Ipv4Prefix, Ipv4Prefix) noexcept = default;
+
+ private:
+  int length_ = 0;
+  Ipv4Address base_{};
+};
+
+}  // namespace iotscope::net
+
+template <>
+struct std::hash<iotscope::net::Ipv4Address> {
+  std::size_t operator()(iotscope::net::Ipv4Address a) const noexcept {
+    // Fibonacci scrambling — source IPs cluster by prefix, so identity
+    // hashing would put whole subnets in neighbouring buckets.
+    return static_cast<std::size_t>(a.value()) * 0x9E3779B97F4A7C15ULL >> 16;
+  }
+};

@@ -1,0 +1,68 @@
+#include "net/packet.hpp"
+
+namespace iotscope::net {
+
+PacketRecord make_tcp_syn(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                          Port src_port, Port dst_port,
+                          std::uint8_t ttl) noexcept {
+  PacketRecord p;
+  p.timestamp = ts;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.protocol = Protocol::Tcp;
+  p.tcp_flags = kSyn;
+  p.ttl = ttl;
+  p.ip_length = 44;  // 20 IP + 20 TCP + MSS option
+  return p;
+}
+
+PacketRecord make_tcp_syn_ack(util::UnixTime ts, Ipv4Address src,
+                              Ipv4Address dst, Port src_port, Port dst_port,
+                              std::uint8_t ttl) noexcept {
+  PacketRecord p = make_tcp_syn(ts, src, dst, src_port, dst_port, ttl);
+  p.tcp_flags = kSyn | kAck;
+  return p;
+}
+
+PacketRecord make_tcp_rst(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                          Port src_port, Port dst_port,
+                          std::uint8_t ttl) noexcept {
+  PacketRecord p = make_tcp_syn(ts, src, dst, src_port, dst_port, ttl);
+  p.tcp_flags = kRst;
+  p.ip_length = 40;
+  return p;
+}
+
+PacketRecord make_udp(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                      Port src_port, Port dst_port, std::uint16_t payload_len,
+                      std::uint8_t ttl) noexcept {
+  PacketRecord p;
+  p.timestamp = ts;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.protocol = Protocol::Udp;
+  p.ttl = ttl;
+  p.ip_length = static_cast<std::uint16_t>(28 + payload_len);  // 20 IP + 8 UDP
+  return p;
+}
+
+PacketRecord make_icmp(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                       IcmpType type, std::uint8_t code,
+                       std::uint8_t ttl) noexcept {
+  PacketRecord p;
+  p.timestamp = ts;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = Protocol::Icmp;
+  p.icmp_type = static_cast<std::uint8_t>(type);
+  p.icmp_code = code;
+  p.ttl = ttl;
+  p.ip_length = 28;  // 20 IP + 8 ICMP
+  return p;
+}
+
+}  // namespace iotscope::net

@@ -1,0 +1,75 @@
+// The packet model observed at the telescope edge. The simulator produces
+// PacketRecords; the capture engine aggregates them into flowtuples; the
+// pcap codec can serialize them into real libpcap files with synthesized
+// IPv4/TCP/UDP/ICMP headers.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+#include "net/protocol.hpp"
+#include "util/timebase.hpp"
+
+namespace iotscope::net {
+
+/// One packet as seen on the wire at the telescope. Carries exactly the
+/// header fields the CAIDA flowtuple schema retains (plus a timestamp).
+struct PacketRecord {
+  util::UnixTime timestamp = 0;  ///< arrival time, seconds UTC
+  Ipv4Address src;               ///< source IP (the sender "in the wild")
+  Ipv4Address dst;               ///< destination IP (a dark address)
+  Port src_port = 0;             ///< transport source port (0 for ICMP)
+  Port dst_port = 0;             ///< transport destination port (0 for ICMP)
+  Protocol protocol = Protocol::Tcp;
+  std::uint8_t ttl = 64;         ///< remaining IP time-to-live
+  std::uint8_t tcp_flags = 0;    ///< TCP flag bits (0 for UDP/ICMP)
+  std::uint8_t icmp_type = 0;    ///< ICMP type (valid when protocol==Icmp)
+  std::uint8_t icmp_code = 0;    ///< ICMP code (valid when protocol==Icmp)
+  std::uint16_t ip_length = 40;  ///< total IP datagram length in bytes
+
+  /// Convenience accessors for classifier readability.
+  bool is_tcp() const noexcept { return protocol == Protocol::Tcp; }
+  bool is_udp() const noexcept { return protocol == Protocol::Udp; }
+  bool is_icmp() const noexcept { return protocol == Protocol::Icmp; }
+
+  bool tcp_syn_only() const noexcept {
+    return is_tcp() && (tcp_flags & (kSyn | kAck | kRst | kFin)) == kSyn;
+  }
+  bool tcp_syn_ack() const noexcept {
+    return is_tcp() && (tcp_flags & (kSyn | kAck | kRst)) == (kSyn | kAck);
+  }
+  bool tcp_rst() const noexcept { return is_tcp() && (tcp_flags & kRst) != 0; }
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+/// Builders for the packet shapes the simulator emits. Each returns a fully
+/// populated record; TTL and length defaults mimic common stacks.
+
+/// A TCP SYN probe (scanning traffic).
+PacketRecord make_tcp_syn(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                          Port src_port, Port dst_port,
+                          std::uint8_t ttl = 52) noexcept;
+
+/// A TCP SYN-ACK (backscatter from a victim of a spoofed SYN flood).
+PacketRecord make_tcp_syn_ack(util::UnixTime ts, Ipv4Address src,
+                              Ipv4Address dst, Port src_port, Port dst_port,
+                              std::uint8_t ttl = 52) noexcept;
+
+/// A TCP RST (backscatter; also response to floods against closed ports).
+PacketRecord make_tcp_rst(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                          Port src_port, Port dst_port,
+                          std::uint8_t ttl = 52) noexcept;
+
+/// A UDP datagram with the given payload length.
+PacketRecord make_udp(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                      Port src_port, Port dst_port,
+                      std::uint16_t payload_len = 32,
+                      std::uint8_t ttl = 52) noexcept;
+
+/// An ICMP message of the given type/code.
+PacketRecord make_icmp(util::UnixTime ts, Ipv4Address src, Ipv4Address dst,
+                       IcmpType type, std::uint8_t code = 0,
+                       std::uint8_t ttl = 52) noexcept;
+
+}  // namespace iotscope::net

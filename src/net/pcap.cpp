@@ -1,0 +1,220 @@
+#include "net/pcap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+
+#include "net/checksum.hpp"
+#include "util/io.hpp"
+
+namespace iotscope::net {
+
+namespace {
+
+void put_u16be(std::vector<std::uint8_t>& buf, std::size_t off,
+               std::uint16_t v) {
+  buf[off] = static_cast<std::uint8_t>(v >> 8);
+  buf[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+void put_u32be(std::vector<std::uint8_t>& buf, std::size_t off,
+               std::uint32_t v) {
+  buf[off] = static_cast<std::uint8_t>(v >> 24);
+  buf[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get_u16be(const std::vector<std::uint8_t>& buf,
+                        std::size_t off) {
+  return static_cast<std::uint16_t>((buf[off] << 8) | buf[off + 1]);
+}
+
+std::uint32_t get_u32be(const std::vector<std::uint8_t>& buf,
+                        std::size_t off) {
+  return (static_cast<std::uint32_t>(buf[off]) << 24) |
+         (static_cast<std::uint32_t>(buf[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[off + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[off + 3]);
+}
+
+/// Builds the on-wire IPv4 datagram for a PacketRecord.
+std::vector<std::uint8_t> build_datagram(const PacketRecord& p) {
+  const std::size_t ip_header = 20;
+  std::size_t transport_header = 0;
+  switch (p.protocol) {
+    case Protocol::Tcp:
+      transport_header = 20;
+      break;
+    case Protocol::Udp:
+    case Protocol::Icmp:
+      transport_header = 8;
+      break;
+  }
+  const std::size_t total =
+      std::max<std::size_t>(p.ip_length, ip_header + transport_header);
+  std::vector<std::uint8_t> buf(total, 0);
+
+  // --- IPv4 header ---
+  buf[0] = 0x45;  // version 4, IHL 5
+  put_u16be(buf, 2, static_cast<std::uint16_t>(total));
+  buf[8] = p.ttl;
+  buf[9] = static_cast<std::uint8_t>(p.protocol);
+  put_u32be(buf, 12, p.src.value());
+  put_u32be(buf, 16, p.dst.value());
+  put_u16be(buf, 10, internet_checksum({buf.data(), ip_header}));
+
+  // --- transport header ---
+  const std::size_t t = ip_header;
+  switch (p.protocol) {
+    case Protocol::Tcp: {
+      put_u16be(buf, t + 0, p.src_port);
+      put_u16be(buf, t + 2, p.dst_port);
+      buf[t + 12] = 0x50;  // data offset 5
+      buf[t + 13] = p.tcp_flags;
+      put_u16be(buf, t + 14, 14600);  // window
+      ChecksumAccumulator acc;        // pseudo-header + segment
+      acc.feed_word(static_cast<std::uint16_t>(p.src.value() >> 16));
+      acc.feed_word(static_cast<std::uint16_t>(p.src.value()));
+      acc.feed_word(static_cast<std::uint16_t>(p.dst.value() >> 16));
+      acc.feed_word(static_cast<std::uint16_t>(p.dst.value()));
+      acc.feed_word(static_cast<std::uint16_t>(p.protocol));
+      acc.feed_word(static_cast<std::uint16_t>(total - ip_header));
+      acc.feed({buf.data() + t, total - t});
+      put_u16be(buf, t + 16, acc.finish());
+      break;
+    }
+    case Protocol::Udp: {
+      put_u16be(buf, t + 0, p.src_port);
+      put_u16be(buf, t + 2, p.dst_port);
+      put_u16be(buf, t + 4, static_cast<std::uint16_t>(total - ip_header));
+      ChecksumAccumulator acc;
+      acc.feed_word(static_cast<std::uint16_t>(p.src.value() >> 16));
+      acc.feed_word(static_cast<std::uint16_t>(p.src.value()));
+      acc.feed_word(static_cast<std::uint16_t>(p.dst.value() >> 16));
+      acc.feed_word(static_cast<std::uint16_t>(p.dst.value()));
+      acc.feed_word(static_cast<std::uint16_t>(p.protocol));
+      acc.feed_word(static_cast<std::uint16_t>(total - ip_header));
+      acc.feed({buf.data() + t, total - t});
+      put_u16be(buf, t + 6, acc.finish());
+      break;
+    }
+    case Protocol::Icmp: {
+      buf[t + 0] = p.icmp_type;
+      buf[t + 1] = p.icmp_code;
+      put_u16be(buf, t + 2, internet_checksum({buf.data() + t, total - t}));
+      break;
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& os) : os_(os) {
+  util::write_u32(os_, kMagic);
+  util::write_u16(os_, 2);   // version major
+  util::write_u16(os_, 4);   // version minor
+  util::write_u32(os_, 0);   // thiszone
+  util::write_u32(os_, 0);   // sigfigs
+  util::write_u32(os_, 65535);  // snaplen
+  util::write_u32(os_, kLinkTypeRaw);
+}
+
+void PcapWriter::write(const PacketRecord& packet) {
+  const auto frame = build_datagram(packet);
+  util::write_u32(os_, static_cast<std::uint32_t>(packet.timestamp));
+  util::write_u32(os_, 0);  // microseconds
+  util::write_u32(os_, static_cast<std::uint32_t>(frame.size()));  // incl_len
+  util::write_u32(os_, static_cast<std::uint32_t>(frame.size()));  // orig_len
+  os_.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  ++count_;
+}
+
+PcapReader::PcapReader(std::istream& is) : is_(is) {
+  if (util::read_u32(is_) != PcapWriter::kMagic) {
+    throw util::IoError("pcap: unsupported magic (expect usec little-endian)");
+  }
+  util::read_u16(is_);  // version major
+  util::read_u16(is_);  // version minor
+  util::read_u32(is_);  // thiszone
+  util::read_u32(is_);  // sigfigs
+  util::read_u32(is_);  // snaplen
+  if (util::read_u32(is_) != PcapWriter::kLinkTypeRaw) {
+    throw util::IoError("pcap: only LINKTYPE_RAW (101) captures supported");
+  }
+}
+
+bool PcapReader::next(PacketRecord& out) {
+  // Peek for clean EOF before the record header.
+  if (is_.peek() == std::char_traits<char>::eof()) return false;
+  const std::uint32_t ts_sec = util::read_u32(is_);
+  util::read_u32(is_);  // ts_usec
+  const std::uint32_t incl_len = util::read_u32(is_);
+  util::read_u32(is_);  // orig_len
+  if (incl_len < 20 || incl_len > 65535) {
+    throw util::IoError("pcap: implausible frame length");
+  }
+  std::vector<std::uint8_t> buf(incl_len);
+  is_.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(incl_len));
+  if (static_cast<std::uint32_t>(is_.gcount()) != incl_len) {
+    throw util::IoError("pcap: truncated frame");
+  }
+  if ((buf[0] >> 4) != 4) throw util::IoError("pcap: non-IPv4 frame");
+  const std::size_t ihl = static_cast<std::size_t>(buf[0] & 0x0f) * 4;
+  if (ihl < 20 || ihl + 4 > buf.size()) {
+    throw util::IoError("pcap: bad IPv4 header length");
+  }
+
+  PacketRecord p;
+  p.timestamp = ts_sec;
+  p.ip_length = get_u16be(buf, 2);
+  p.ttl = buf[8];
+  const std::uint8_t proto = buf[9];
+  p.src = Ipv4Address(get_u32be(buf, 12));
+  p.dst = Ipv4Address(get_u32be(buf, 16));
+  switch (proto) {
+    case static_cast<std::uint8_t>(Protocol::Tcp):
+      p.protocol = Protocol::Tcp;
+      p.src_port = get_u16be(buf, ihl + 0);
+      p.dst_port = get_u16be(buf, ihl + 2);
+      if (ihl + 14 <= buf.size()) p.tcp_flags = buf[ihl + 13];
+      break;
+    case static_cast<std::uint8_t>(Protocol::Udp):
+      p.protocol = Protocol::Udp;
+      p.src_port = get_u16be(buf, ihl + 0);
+      p.dst_port = get_u16be(buf, ihl + 2);
+      break;
+    case static_cast<std::uint8_t>(Protocol::Icmp):
+      p.protocol = Protocol::Icmp;
+      p.icmp_type = buf[ihl + 0];
+      p.icmp_code = buf[ihl + 1];
+      break;
+    default:
+      throw util::IoError("pcap: unsupported transport protocol");
+  }
+  out = p;
+  return true;
+}
+
+void write_pcap_file(const std::filesystem::path& path,
+                     const std::vector<PacketRecord>& packets) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::IoError("cannot create " + path.string());
+  PcapWriter writer(out);
+  for (const auto& p : packets) writer.write(p);
+}
+
+std::vector<PacketRecord> read_pcap_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open " + path.string());
+  PcapReader reader(in);
+  std::vector<PacketRecord> out;
+  PacketRecord p;
+  while (reader.next(p)) out.push_back(p);
+  return out;
+}
+
+}  // namespace iotscope::net

@@ -1,0 +1,59 @@
+// A minimal but real libpcap (classic tcpdump) codec. Captures are written
+// with LINKTYPE_RAW (101) frames containing fully-formed IPv4 + TCP/UDP/
+// ICMP headers (valid checksums), so emitted files are readable by tcpdump
+// or Wireshark; the reader parses such files back into PacketRecords.
+//
+// This is the "libpcap feasible" substrate: a darknet operator feeding
+// iotscope can hand it pcap files from a real tap instead of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace iotscope::net {
+
+/// Streaming pcap writer. Emits the global header on construction.
+class PcapWriter {
+ public:
+  static constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond tsres
+  static constexpr std::uint32_t kLinkTypeRaw = 101;   // raw IPv4/IPv6
+
+  explicit PcapWriter(std::ostream& os);
+
+  /// Serializes one packet as an IPv4 datagram with synthesized transport
+  /// header. ip_length bytes are emitted (payload zero-filled).
+  void write(const PacketRecord& packet);
+
+  std::size_t packets_written() const noexcept { return count_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t count_ = 0;
+};
+
+/// Streaming pcap reader. Validates the global header on construction.
+class PcapReader {
+ public:
+  explicit PcapReader(std::istream& is);
+
+  /// Reads the next packet; returns false at clean EOF and throws
+  /// util::IoError on truncated or non-IPv4 frames.
+  bool next(PacketRecord& out);
+
+ private:
+  std::istream& is_;
+};
+
+/// Writes all packets to a pcap file.
+void write_pcap_file(const std::filesystem::path& path,
+                     const std::vector<PacketRecord>& packets);
+
+/// Reads an entire pcap file.
+std::vector<PacketRecord> read_pcap_file(const std::filesystem::path& path);
+
+}  // namespace iotscope::net

@@ -1,0 +1,87 @@
+// Longest-prefix-match container over IPv4 CIDR prefixes — the routing-
+// table primitive behind prefix-level attribution (mapping darknet
+// sources to announcing networks, allocating country blocks, or excluding
+// reserved space). Lookup is O(number of distinct prefix lengths) with a
+// hash probe per length, i.e. at most 33 probes and typically ~4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace iotscope::net {
+
+/// Maps CIDR prefixes to values with longest-prefix-match semantics.
+template <typename Value>
+class PrefixMap {
+ public:
+  /// Inserts or replaces the value for an exact prefix.
+  void insert(Ipv4Prefix prefix, Value value) {
+    auto& table = tables_[prefix.length()];
+    const auto [it, inserted] =
+        table.emplace(prefix.base().value(), std::move(value));
+    if (!inserted) {
+      it->second = std::move(value);
+    } else {
+      ++size_;
+    }
+    if (!(lengths_mask_ >> prefix.length() & 1u)) {
+      lengths_mask_ |= 1ULL << prefix.length();
+      rebuild_lengths();
+    }
+  }
+
+  /// Longest-prefix match; nullptr when no prefix covers the address.
+  const Value* lookup(Ipv4Address addr) const noexcept {
+    for (const int length : lengths_) {  // descending, most specific first
+      const std::uint32_t mask =
+          length == 0 ? 0u : (~0u << (32 - length));
+      const auto it = tables_[length].find(addr.value() & mask);
+      if (it != tables_[length].end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  /// Exact-prefix fetch (no LPM); nullopt when that exact entry is absent.
+  std::optional<Value> exact(Ipv4Prefix prefix) const {
+    const auto& table = tables_[prefix.length()];
+    const auto it = table.find(prefix.base().value());
+    if (it == table.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Removes an exact prefix; returns whether it existed.
+  bool erase(Ipv4Prefix prefix) {
+    auto& table = tables_[prefix.length()];
+    const bool existed = table.erase(prefix.base().value()) > 0;
+    if (existed) {
+      --size_;
+      if (table.empty()) {
+        lengths_mask_ &= ~(1ULL << prefix.length());
+        rebuild_lengths();
+      }
+    }
+    return existed;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  void rebuild_lengths() {
+    lengths_.clear();
+    for (int length = 32; length >= 0; --length) {
+      if (lengths_mask_ >> length & 1u) lengths_.push_back(length);
+    }
+  }
+
+  std::unordered_map<std::uint32_t, Value> tables_[33];
+  std::vector<int> lengths_;     // populated lengths, descending
+  std::uint64_t lengths_mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace iotscope::net

@@ -1,0 +1,66 @@
+#include "net/protocol.hpp"
+
+namespace iotscope::net {
+
+const char* to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::Icmp:
+      return "ICMP";
+    case Protocol::Tcp:
+      return "TCP";
+    case Protocol::Udp:
+      return "UDP";
+  }
+  return "?";
+}
+
+std::string tcp_flags_to_string(std::uint8_t flags) {
+  static constexpr struct {
+    std::uint8_t bit;
+    const char* name;
+  } kBits[] = {{kFin, "FIN"}, {kSyn, "SYN"}, {kRst, "RST"},
+               {kPsh, "PSH"}, {kAck, "ACK"}, {kUrg, "URG"}};
+  std::string out;
+  for (const auto& b : kBits) {
+    if (flags & b.bit) {
+      if (!out.empty()) out.push_back('|');
+      out += b.name;
+    }
+  }
+  if (out.empty()) out = "none";
+  return out;
+}
+
+const char* to_string(IcmpType t) noexcept {
+  switch (t) {
+    case IcmpType::EchoReply:
+      return "Echo Reply";
+    case IcmpType::DestinationUnreachable:
+      return "Destination Unreachable";
+    case IcmpType::SourceQuench:
+      return "Source Quench";
+    case IcmpType::Redirect:
+      return "Redirect";
+    case IcmpType::EchoRequest:
+      return "Echo Request";
+    case IcmpType::TimeExceeded:
+      return "Time Exceeded";
+    case IcmpType::ParameterProblem:
+      return "Parameter Problem";
+    case IcmpType::TimestampRequest:
+      return "Timestamp Request";
+    case IcmpType::TimestampReply:
+      return "Timestamp Reply";
+    case IcmpType::InformationRequest:
+      return "Information Request";
+    case IcmpType::InformationReply:
+      return "Information Reply";
+    case IcmpType::AddressMaskRequest:
+      return "Address Mask Request";
+    case IcmpType::AddressMaskReply:
+      return "Address Mask Reply";
+  }
+  return "?";
+}
+
+}  // namespace iotscope::net

@@ -1,0 +1,111 @@
+// Transport-protocol enums, TCP flag bits, and ICMP message types as used
+// by the darknet taxonomy (Fachkha & Debbabi 2016; Moore et al. 2006).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotscope::net {
+
+/// IANA protocol numbers for the three protocols the telescope records.
+enum class Protocol : std::uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+};
+
+const char* to_string(Protocol p) noexcept;
+
+/// TCP header flag bits (low byte of the flags field).
+enum TcpFlag : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+  kUrg = 0x20,
+};
+
+/// Common flag combinations used by the classifier.
+inline constexpr std::uint8_t kSynOnly = kSyn;
+inline constexpr std::uint8_t kSynAck = kSyn | kAck;
+
+/// Renders flags as e.g. "SYN|ACK".
+std::string tcp_flags_to_string(std::uint8_t flags);
+
+/// ICMP message types relevant to the backscatter taxonomy. A darknet
+/// observes *reply*-family ICMP from DoS victims (responses to spoofed
+/// floods) and echo requests from scanners.
+enum class IcmpType : std::uint8_t {
+  EchoReply = 0,
+  DestinationUnreachable = 3,
+  SourceQuench = 4,
+  Redirect = 5,
+  EchoRequest = 8,
+  TimeExceeded = 11,
+  ParameterProblem = 12,
+  TimestampRequest = 13,
+  TimestampReply = 14,
+  InformationRequest = 15,
+  InformationReply = 16,
+  AddressMaskRequest = 17,
+  AddressMaskReply = 18,
+};
+
+const char* to_string(IcmpType t) noexcept;
+
+/// True for the ICMP types the paper treats as backscatter (Section IV-B):
+/// Echo Reply, Destination Unreachable, Source Quench, Redirect, Time
+/// Exceeded, Parameter Problem, Timestamp Reply, Information Reply, and
+/// Address Mask Reply.
+constexpr bool is_icmp_backscatter(IcmpType t) noexcept {
+  switch (t) {
+    case IcmpType::EchoReply:
+    case IcmpType::DestinationUnreachable:
+    case IcmpType::SourceQuench:
+    case IcmpType::Redirect:
+    case IcmpType::TimeExceeded:
+    case IcmpType::ParameterProblem:
+    case IcmpType::TimestampReply:
+    case IcmpType::InformationReply:
+    case IcmpType::AddressMaskReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A transport port number.
+using Port = std::uint16_t;
+
+/// Well-known ports referenced throughout the study.
+namespace ports {
+inline constexpr Port kTelnet = 23;
+inline constexpr Port kTelnetAlt = 2323;
+inline constexpr Port kTelnetAlt2 = 23231;
+inline constexpr Port kHttp = 80;
+inline constexpr Port kHttpAlt = 8080;
+inline constexpr Port kHttpAlt2 = 81;
+inline constexpr Port kSsh = 22;
+inline constexpr Port kBackroomNet = 3387;
+inline constexpr Port kCwmp = 7547;
+inline constexpr Port kWsdapiS = 5358;
+inline constexpr Port kMssql = 1433;
+inline constexpr Port kKerberos = 88;
+inline constexpr Port kMsDs = 445;
+inline constexpr Port kEthernetIpIo = 2222;
+inline constexpr Port kIrdmi = 8000;
+inline constexpr Port kUnassigned21677 = 21677;
+inline constexpr Port kRdp = 3389;
+inline constexpr Port kFtp = 21;
+inline constexpr Port kNetis = 37547;     // Netcore/Netis router backdoor
+inline constexpr Port kNetbios = 137;
+inline constexpr Port kNetisAlt = 53413;  // Netis backdoor UDP port
+inline constexpr Port kMdns = 5353;
+inline constexpr Port kDns = 53;
+inline constexpr Port kTeredo = 3544;
+inline constexpr Port kOpenVpn = 1194;
+inline constexpr Port kEthernetIp = 44818;  // Rockwell ControlLogix PLC
+}  // namespace ports
+
+}  // namespace iotscope::net

@@ -1,0 +1,62 @@
+#include "telescope/capture.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace iotscope::telescope {
+
+TelescopeCapture::TelescopeCapture(DarknetSpace space, Sink sink)
+    : space_(space), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("TelescopeCapture: empty sink");
+}
+
+void TelescopeCapture::ingest(const net::PacketRecord& packet) {
+  if (finished_) {
+    throw std::logic_error("TelescopeCapture: ingest after finish");
+  }
+  if (!space_.observes(packet.dst)) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  const int interval = util::AnalysisWindow::interval_of(packet.timestamp);
+  if (current_interval_ < 0) {
+    current_interval_ = interval;
+  } else if (interval > current_interval_) {
+    rotate_to(interval);
+  }
+  // Timestamps must be monotone at hour granularity; within the hour the
+  // aggregation is order-insensitive.
+  ++stats_.packets_observed;
+  net::FlowTuple key = net::FlowTuple::from_packet(packet);
+  key.packet_count = 0;  // count tracked in the map value
+  accumulator_[key] += 1;
+}
+
+void TelescopeCapture::rotate_to(int interval) {
+  while (current_interval_ < interval) {
+    net::HourlyFlows flows;
+    flows.interval = current_interval_;
+    flows.start_time = util::AnalysisWindow::interval_start(current_interval_);
+    flows.records.reserve(accumulator_.size());
+    for (auto& [key, count] : accumulator_) {
+      net::FlowTuple r = key;
+      r.packet_count = count;
+      flows.records.push_back(r);
+    }
+    stats_.flows_emitted += flows.records.size();
+    ++stats_.hours_rotated;
+    accumulator_.clear();
+    sink_(std::move(flows));
+    ++current_interval_;
+  }
+}
+
+void TelescopeCapture::finish() {
+  if (finished_) return;
+  if (current_interval_ >= 0) {
+    rotate_to(current_interval_ + 1);
+  }
+  finished_ = true;
+}
+
+}  // namespace iotscope::telescope

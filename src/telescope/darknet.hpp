@@ -1,0 +1,45 @@
+// The monitored dark IP space. The UCSD telescope observes a full /8
+// (~16.7M routable but unused addresses); we model an arbitrary prefix so
+// tests can use small telescopes and benches the full /8.
+#pragma once
+
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::telescope {
+
+/// A contiguous dark address block monitored by the telescope.
+class DarknetSpace {
+ public:
+  /// Default mirrors the UCSD /8 scale (we use the reserved 10/8 block so
+  /// synthetic captures never collide with real routable space).
+  DarknetSpace() noexcept
+      : prefix_(net::Ipv4Address::from_octets(10, 0, 0, 0), 8) {}
+  explicit DarknetSpace(net::Ipv4Prefix prefix) noexcept : prefix_(prefix) {}
+
+  const net::Ipv4Prefix& prefix() const noexcept { return prefix_; }
+
+  /// Number of dark addresses monitored.
+  std::uint64_t address_count() const noexcept { return prefix_.size(); }
+
+  /// True if the destination falls inside the monitored space.
+  bool observes(net::Ipv4Address dst) const noexcept {
+    return prefix_.contains(dst);
+  }
+
+  /// Uniformly random dark address — what a random-scanning worm hits when
+  /// its generated target happens to fall into the telescope.
+  net::Ipv4Address random_address(util::Rng& rng) const noexcept {
+    return prefix_.at(rng.uniform(0, address_count() - 1));
+  }
+
+  /// The i-th dark address (used by sequential scanners).
+  net::Ipv4Address address_at(std::uint64_t i) const noexcept {
+    return prefix_.at(i % address_count());
+  }
+
+ private:
+  net::Ipv4Prefix prefix_;
+};
+
+}  // namespace iotscope::telescope

@@ -1,0 +1,66 @@
+#include "telescope/store.hpp"
+
+#include <algorithm>
+
+#include "util/io.hpp"
+
+namespace iotscope::telescope {
+
+FlowTupleStore::FlowTupleStore(std::filesystem::path dir)
+    : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+void FlowTupleStore::put(const net::HourlyFlows& flows) const {
+  net::FlowTupleCodec::write_file(
+      dir_ / net::FlowTupleCodec::file_name(flows.interval), flows);
+}
+
+std::optional<net::HourlyFlows> FlowTupleStore::get(int interval) const {
+  const auto path = dir_ / net::FlowTupleCodec::file_name(interval);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  return net::FlowTupleCodec::read_file(path);
+}
+
+std::vector<int> FlowTupleStore::intervals() const {
+  std::vector<int> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    // flowtuple-NNNN.ift
+    if (name.size() == 18 && name.rfind("flowtuple-", 0) == 0 &&
+        name.substr(14) == ".ift") {
+      out.push_back(std::stoi(name.substr(10, 4)));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FlowTupleStore::for_each(
+    const std::function<void(const net::HourlyFlows&)>& visit) const {
+  for (int interval : intervals()) {
+    auto flows = get(interval);
+    if (flows) visit(*flows);
+  }
+}
+
+void MemoryFlowStore::put(net::HourlyFlows flows) {
+  hours_.push_back(std::move(flows));
+  std::sort(hours_.begin(), hours_.end(),
+            [](const net::HourlyFlows& a, const net::HourlyFlows& b) {
+              return a.interval < b.interval;
+            });
+}
+
+void MemoryFlowStore::for_each(
+    const std::function<void(const net::HourlyFlows&)>& visit) const {
+  for (const auto& h : hours_) visit(h);
+}
+
+std::uint64_t MemoryFlowStore::total_packets() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& h : hours_) total += h.total_packets();
+  return total;
+}
+
+}  // namespace iotscope::telescope

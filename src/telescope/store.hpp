@@ -1,0 +1,60 @@
+// Persistence and iteration over a telescope's hourly flowtuple files —
+// the on-disk layout the analysis pipeline consumes (one file per hour,
+// matching the paper's "unique compressed files representing hourly
+// traffic").
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/flowtuple.hpp"
+
+namespace iotscope::telescope {
+
+/// A directory of hourly flowtuple files.
+class FlowTupleStore {
+ public:
+  /// Opens (and creates if absent) the store rooted at dir.
+  explicit FlowTupleStore(std::filesystem::path dir);
+
+  /// Persists one hourly file; overwrites any existing file for the hour.
+  void put(const net::HourlyFlows& flows) const;
+
+  /// Loads the file for an interval; nullopt if the hour is absent
+  /// (the paper itself had a missing-hours day it discarded).
+  std::optional<net::HourlyFlows> get(int interval) const;
+
+  /// Sorted list of intervals present on disk.
+  std::vector<int> intervals() const;
+
+  /// Calls visit for every stored hour in interval order. This is the
+  /// streaming entry point the pipeline uses so that full-scale runs never
+  /// hold more than one hour in memory.
+  void for_each(const std::function<void(const net::HourlyFlows&)>& visit) const;
+
+  const std::filesystem::path& directory() const noexcept { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// An in-memory store variant used by tests and small benches: same
+/// interface shape, no disk round-trip.
+class MemoryFlowStore {
+ public:
+  void put(net::HourlyFlows flows);
+  const std::vector<net::HourlyFlows>& hours() const noexcept {
+    return hours_;
+  }
+  void for_each(const std::function<void(const net::HourlyFlows&)>& visit) const;
+
+  /// Total packets across all hours.
+  std::uint64_t total_packets() const noexcept;
+
+ private:
+  std::vector<net::HourlyFlows> hours_;
+};
+
+}  // namespace iotscope::telescope

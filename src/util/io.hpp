@@ -1,0 +1,60 @@
+// Endian-stable binary stream primitives used by the flowtuple and pcap
+// codecs, plus small filesystem helpers. All multi-byte integers on disk
+// are little-endian regardless of host order.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace iotscope::util {
+
+/// Error raised by codecs on malformed or truncated input.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes an unsigned integer little-endian.
+void write_u8(std::ostream& os, std::uint8_t v);
+void write_u16(std::ostream& os, std::uint16_t v);
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+
+/// Reads an unsigned integer little-endian; throws IoError on EOF.
+std::uint8_t read_u8(std::istream& is);
+std::uint16_t read_u16(std::istream& is);
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+
+/// Writes a length-prefixed (u32) UTF-8 string.
+void write_string(std::ostream& os, const std::string& s);
+/// Reads a length-prefixed string; enforces the given sanity cap.
+std::string read_string(std::istream& is, std::uint32_t max_len = 1 << 20);
+
+/// Reads an entire file into a string; throws IoError if unreadable.
+std::string read_file(const std::filesystem::path& path);
+
+/// Writes a string to a file atomically-ish (write then rename not needed
+/// for our single-process use; direct write with error checking).
+void write_file(const std::filesystem::path& path, const std::string& data);
+
+/// Creates a unique temporary directory under the system temp root and
+/// removes it (recursively) on destruction. Used by tests and examples.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "iotscope");
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace iotscope::util

@@ -1,0 +1,29 @@
+// Minimal leveled logger. The pipeline is library-first, so logging is
+// opt-in: the default level is Warn and examples/benches raise it to Info.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace iotscope::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that is emitted to stderr.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// printf-style logging; no-op when below the global level.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define IOTSCOPE_LOG_DEBUG(...) \
+  ::iotscope::util::logf(::iotscope::util::LogLevel::Debug, __VA_ARGS__)
+#define IOTSCOPE_LOG_INFO(...) \
+  ::iotscope::util::logf(::iotscope::util::LogLevel::Info, __VA_ARGS__)
+#define IOTSCOPE_LOG_WARN(...) \
+  ::iotscope::util::logf(::iotscope::util::LogLevel::Warn, __VA_ARGS__)
+#define IOTSCOPE_LOG_ERROR(...) \
+  ::iotscope::util::logf(::iotscope::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace iotscope::util

@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulation. All synthetic data in iotscope is derived from a seeded
+// Xoshiro256** generator so that every experiment is replayable bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace iotscope::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into the Xoshiro state.
+/// Passes BigCrush when used as a stand-alone generator; here it is only a
+/// seeding primitive.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the project-wide deterministic PRNG.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions, but the class also provides the small set
+/// of distributions the simulator needs so that results do not depend on
+/// standard-library implementation details (libstdc++ vs libc++ produce
+/// different std::uniform_int_distribution streams).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x1075C0DEULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Raw 64 random bits.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Poisson-distributed count with the given mean. Uses inversion for
+  /// small means and a normal approximation above 64 to stay O(1)-ish.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Standard normal deviate (Box–Muller, stateless variant).
+  double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Pareto-distributed value with scale xm > 0 and shape alpha > 0.
+  /// Heavy-tailed; used for per-device packet volumes.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Index in [0, weights.size()) sampled proportionally to weights.
+  /// Zero/negative weights are treated as zero. Requires a positive total.
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// Fisher–Yates shuffle of an arbitrary random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(0, i));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Derives an independent child generator; the label decorrelates
+  /// children created from the same parent state.
+  Rng fork(std::uint64_t label) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Stable 64-bit FNV-1a hash of a string — used to derive per-entity RNG
+/// labels from names so that adding entities does not shift other streams.
+std::uint64_t stable_hash(std::string_view s) noexcept;
+
+}  // namespace iotscope::util

@@ -1,0 +1,35 @@
+// Small string and number-formatting helpers shared across the project.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotscope::util {
+
+/// Splits s on the given delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// ASCII lower-casing (locale-independent).
+std::string to_lower(std::string_view s);
+
+/// True if s starts with the given prefix.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Formats a count with thousands separators: 26881 -> "26,881".
+std::string with_commas(std::uint64_t n);
+
+/// Human-scaled count: 26881 -> "26.9K", 141300000 -> "141.3M".
+std::string human_count(double n);
+
+/// Fixed-point percentage: (26.881, 1) -> "26.9%".
+std::string percent(double value, int decimals = 1);
+
+/// Fixed-point double formatting without iostream locale surprises.
+std::string fixed(double value, int decimals);
+
+}  // namespace iotscope::util

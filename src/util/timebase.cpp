@@ -1,0 +1,27 @@
+#include "util/timebase.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+namespace iotscope::util {
+
+std::string format_utc(UnixTime ts) {
+  std::time_t t = static_cast<std::time_t>(ts);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[72];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string format_window_day(int day) {
+  if (day < 0) day = 0;
+  if (day >= AnalysisWindow::kDays) day = AnalysisWindow::kDays - 1;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "APR-%02d", 12 + day);
+  return buf;
+}
+
+}  // namespace iotscope::util

@@ -1,0 +1,73 @@
+// The study's time base: 143 analysis hours over April 12–17 2017 (UTC),
+// matching the paper's telescope window after discarding the incomplete
+// April 18 data. All time series in the pipeline are indexed by the hourly
+// "interval" in [0, 143) exactly as the paper's figures are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotscope::util {
+
+/// Unix timestamp (seconds since epoch, UTC).
+using UnixTime = std::int64_t;
+
+/// One hour, in seconds.
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+
+/// The analysis window used throughout the reproduction.
+///
+/// The paper analyzes darknet traffic captured between April 12 and
+/// April 17, 2017 — 143 hourly flowtuple files (the final hour of the
+/// 6 x 24 = 144 was discarded with the incomplete April 18 data).
+class AnalysisWindow {
+ public:
+  /// 2017-04-12 00:00:00 UTC.
+  static constexpr UnixTime kStart = 1491955200;
+  /// Number of hourly intervals in the study (the paper's x-axes run 1..143;
+  /// we use 0-based indices 0..142 internally).
+  static constexpr int kHours = 143;
+  static constexpr int kDays = 6;
+
+  /// Start of the window.
+  static constexpr UnixTime start() noexcept { return kStart; }
+  /// One past the end of the window.
+  static constexpr UnixTime end() noexcept {
+    return kStart + static_cast<UnixTime>(kHours) * kSecondsPerHour;
+  }
+
+  /// True if ts falls inside the analysis window.
+  static constexpr bool contains(UnixTime ts) noexcept {
+    return ts >= start() && ts < end();
+  }
+
+  /// Hourly interval index in [0, kHours) for a timestamp inside the
+  /// window; timestamps outside are clamped to the nearest edge interval.
+  static constexpr int interval_of(UnixTime ts) noexcept {
+    if (ts < start()) return 0;
+    const auto h = (ts - start()) / kSecondsPerHour;
+    return h >= kHours ? kHours - 1 : static_cast<int>(h);
+  }
+
+  /// Start timestamp of an interval index (clamped to valid range).
+  static constexpr UnixTime interval_start(int interval) noexcept {
+    if (interval < 0) interval = 0;
+    if (interval >= kHours) interval = kHours - 1;
+    return start() + static_cast<UnixTime>(interval) * kSecondsPerHour;
+  }
+
+  /// Day index in [0, kDays) for an interval (day 0 = April 12).
+  static constexpr int day_of_interval(int interval) noexcept {
+    if (interval < 0) return 0;
+    const int d = interval / 24;
+    return d >= kDays ? kDays - 1 : d;
+  }
+};
+
+/// Formats a unix timestamp as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string format_utc(UnixTime ts);
+
+/// Formats a day index of the analysis window as "APR-12" .. "APR-17".
+std::string format_window_day(int day);
+
+}  // namespace iotscope::util

@@ -1,0 +1,94 @@
+// Ground truth of the synthetic scenario: which devices are compromised,
+// what role each plays, and the per-device emission plans the synthesizer
+// executes. The paper could only *infer* these facts from darknet traffic;
+// the simulator knows them exactly, which is what lets the test suite
+// validate the inference pipeline end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace iotscope::workload {
+
+/// Bit flags describing what a compromised device does.
+enum RoleBits : std::uint8_t {
+  kRoleScanner = 1 << 0,      ///< TCP SYN scanning
+  kRoleUdp = 1 << 1,          ///< UDP probing
+  kRoleIcmpScanner = 1 << 2,  ///< ICMP echo-request scanning
+  kRoleDosVictim = 1 << 3,    ///< emits backscatter (victim of spoofed DoS)
+  kRoleMisconfig = 1 << 4,    ///< misconfiguration / other traffic
+};
+
+/// TCP-scanning plan of one device.
+struct ScanPlan {
+  int service = -1;          ///< index into spec scan_services()
+  double total_packets = 0;  ///< budget over the analysis window
+  int hero = -1;             ///< index into scan_heroes(), or -1
+};
+
+/// UDP-probing plan of one device.
+struct UdpPlan {
+  double trio_packets = 0;  ///< toward the Netis-backdoor trio
+                            ///< (37547 / 32124 / 28183)
+  int dedicated_port = -1;  ///< index into udp_ports() for specialists
+  double dedicated_packets = 0;
+  double sweep_packets = 0;  ///< random-port sweep budget
+};
+
+/// One DoS attack against a victim device (backscatter emission).
+struct AttackPlan {
+  std::vector<int> intervals;   ///< attacked hours (0-based)
+  double total_packets = 0;     ///< backscatter budget
+  net::Port service_port = 0;   ///< flooded service (backscatter src port)
+  double icmp_fraction = 0.2;   ///< ICMP-reply share (rest TCP SYN-ACK/RST)
+  int event = -1;               ///< index into dos_events(), or -1
+};
+
+/// Everything one device does during the window.
+struct DevicePlan {
+  std::uint32_t device = 0;  ///< index into the inventory's device vector
+  std::uint8_t roles = 0;
+  int first_interval = 0;    ///< first hour with any emission (Fig 2 curve)
+  double duty = 1.0;         ///< fraction of post-onset hours active
+  std::uint8_t ttl = 52;     ///< per-device TTL fingerprint
+  ScanPlan scan;
+  UdpPlan udp;
+  std::vector<AttackPlan> attacks;
+  double misconfig_packets = 0;
+  double icmp_scan_packets = 0;
+
+  bool has(RoleBits role) const noexcept { return (roles & role) != 0; }
+};
+
+/// A compromised IoT device that is NOT in the Shodan-style inventory —
+/// the population the paper's Discussion §VI wants to surface via fuzzy
+/// fingerprinting. The correlation engine cannot attribute it; the
+/// fingerprinter should.
+struct UnindexedDevice {
+  net::Ipv4Address ip;
+  int service = 0;           ///< index into spec scan_services()
+  double total_packets = 0;  ///< scanning budget over the window
+  int first_interval = 0;
+};
+
+/// The full scenario ground truth.
+struct GroundTruth {
+  std::vector<DevicePlan> plans;
+  std::vector<UnindexedDevice> unindexed;
+  /// device index -> plan index, for O(1) lookup in validation.
+  std::unordered_map<std::uint32_t, std::uint32_t> by_device;
+
+  std::size_t compromised_consumer = 0;
+  std::size_t compromised_cps = 0;
+  std::size_t dos_victims = 0;
+
+  const DevicePlan* plan_for(std::uint32_t device) const noexcept {
+    const auto it = by_device.find(device);
+    return it == by_device.end() ? nullptr : &plans[it->second];
+  }
+};
+
+}  // namespace iotscope::workload

@@ -1,0 +1,757 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+#include "util/timebase.hpp"
+
+namespace iotscope::workload {
+
+namespace {
+
+using inventory::DeviceCategory;
+using inventory::DeviceRecord;
+using inventory::IoTDeviceDatabase;
+
+/// Mutable assignment state threaded through the helper passes.
+struct Builder {
+  const ScenarioConfig& config;
+  const IoTDeviceDatabase& db;
+  GroundTruth truth;
+  util::Rng rng;
+  /// Devices already pinned to a scripted role (heroes, scripted victims).
+  std::unordered_set<std::uint32_t> pinned;
+
+  Builder(const ScenarioConfig& cfg, const IoTDeviceDatabase& database)
+      : config(cfg), db(database), rng(cfg.seed ^ 0xA551'6E5Cu) {}
+
+  DevicePlan& plan_of(std::uint32_t device) {
+    const auto it = truth.by_device.find(device);
+    if (it != truth.by_device.end()) return truth.plans[it->second];
+    DevicePlan plan;
+    plan.device = device;
+    plan.ttl = static_cast<std::uint8_t>(rng.uniform(30, 200));
+    plan.first_interval = sample_first_interval();
+    const auto index = static_cast<std::uint32_t>(truth.plans.size());
+    truth.plans.push_back(plan);
+    truth.by_device.emplace(device, index);
+    if (db.devices()[device].is_consumer()) {
+      ++truth.compromised_consumer;
+    } else {
+      ++truth.compromised_cps;
+    }
+    return truth.plans[index];
+  }
+
+  bool is_planned(std::uint32_t device) const {
+    return truth.by_device.count(device) != 0;
+  }
+
+  /// Samples a first-seen hour from the Fig 2 discovery-day distribution.
+  int sample_first_interval() {
+    const auto& weights = PopulationSpec{}.discovery_day_weights;
+    const std::size_t day = rng.weighted_index(std::span(weights, 6));
+    const int lo = static_cast<int>(day) * 24;
+    const int hi = std::min(lo + 23, util::AnalysisWindow::kHours - 1);
+    return static_cast<int>(rng.uniform(lo, hi));
+  }
+};
+
+/// Requirements for picking a scripted device.
+struct Want {
+  bool cps = false;
+  std::string country;       // empty = any
+  int consumer_type = -1;    // -1 = any
+  std::string cps_protocol;  // empty = any
+};
+
+/// Finds a device matching the requirements, relaxing constraints from the
+/// most specific to the least until something matches. Prefers devices not
+/// already pinned to another scripted role. Returns the device index.
+std::uint32_t find_candidate(Builder& b, const Want& want) {
+  const auto& catalog = b.db.catalog();
+  int country = -1;
+  if (!want.country.empty()) {
+    country = catalog.country_id(want.country);
+  }
+  int proto = -1;
+  if (!want.cps_protocol.empty()) {
+    proto = catalog.cps_protocol_id(want.cps_protocol);
+  }
+
+  // Relaxation ladder: full match -> drop protocol/type -> drop country ->
+  // any device of the realm.
+  for (int pass = 0; pass < 4; ++pass) {
+    std::vector<std::uint32_t> matches;
+    for (std::uint32_t i = 0; i < b.db.devices().size(); ++i) {
+      if (b.pinned.count(i)) continue;
+      const DeviceRecord& d = b.db.devices()[i];
+      if (d.is_cps() != want.cps) continue;
+      if (pass < 2 && country >= 0 &&
+          d.country != static_cast<inventory::CountryId>(country))
+        continue;
+      if (pass < 1) {
+        if (proto >= 0 &&
+            !d.supports(static_cast<inventory::CpsProtocolId>(proto)))
+          continue;
+        if (want.consumer_type >= 0 &&
+            d.consumer_type !=
+                static_cast<inventory::ConsumerType>(want.consumer_type))
+          continue;
+      }
+      matches.push_back(i);
+      if (matches.size() >= 64) break;  // enough choice; stay O(n)
+    }
+    if (!matches.empty()) {
+      return matches[b.rng.uniform(0, matches.size() - 1)];
+    }
+  }
+  // Degenerate inventory (wrong-realm-only); fall back to any device.
+  return static_cast<std::uint32_t>(b.rng.uniform(0, b.db.size() - 1));
+}
+
+// --------------------------------------------------------------------
+// Pass 1: compromise selection per country/type propensities.
+// --------------------------------------------------------------------
+void select_compromised(Builder& b) {
+  const auto& catalog = b.db.catalog();
+  const PopulationSpec pop;
+  const std::size_t target_consumer =
+      b.config.scaled_count(pop.compromised_consumer);
+  const std::size_t target_cps = b.config.scaled_count(pop.compromised_cps);
+
+  // Expected propensity mass per realm.
+  double mass_consumer = 0.0;
+  double mass_cps = 0.0;
+  std::vector<double> propensity(b.db.size());
+  for (std::uint32_t i = 0; i < b.db.size(); ++i) {
+    const DeviceRecord& d = b.db.devices()[i];
+    const auto& cinfo = catalog.countries()[d.country];
+    if (d.is_consumer()) {
+      const double type_mult =
+          catalog.consumer_type_propensity()[static_cast<std::size_t>(
+              d.consumer_type)];
+      propensity[i] = cinfo.propensity_consumer * type_mult;
+      mass_consumer += propensity[i];
+    } else {
+      propensity[i] = cinfo.propensity_cps;
+      mass_cps += propensity[i];
+    }
+  }
+  const double factor_consumer =
+      mass_consumer > 0 ? static_cast<double>(target_consumer) / mass_consumer
+                        : 0.0;
+  const double factor_cps =
+      mass_cps > 0 ? static_cast<double>(target_cps) / mass_cps : 0.0;
+
+  for (std::uint32_t i = 0; i < b.db.size(); ++i) {
+    const DeviceRecord& d = b.db.devices()[i];
+    const double p = std::min(
+        0.97, propensity[i] * (d.is_consumer() ? factor_consumer : factor_cps));
+    if (b.rng.chance(p)) b.plan_of(i);
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 2: TCP scanning roles — heroes first, then service quotas.
+// --------------------------------------------------------------------
+void assign_scanners(Builder& b) {
+  const VolumeSpec vol;
+  const PopulationSpec pop;
+  const auto& services = scan_services();
+  const double tcp_total = b.config.scaled_packets(vol.tcp_scan_packets);
+
+  // Per-service budgets and consumed-by-hero tallies.
+  std::vector<double> budget(services.size());
+  std::vector<double> hero_consumer_budget(services.size(), 0.0);
+  std::vector<double> hero_cps_budget(services.size(), 0.0);
+  std::vector<int> hero_consumer_devices(services.size(), 0);
+  std::vector<int> hero_cps_devices(services.size(), 0);
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    budget[s] = tcp_total * services[s].packet_share_pct / 100.0;
+  }
+
+  // Scripted heroes.
+  const auto& heroes = scan_heroes();
+  for (std::size_t h = 0; h < heroes.size(); ++h) {
+    const auto& hero = heroes[h];
+    const int s = scan_service_index(hero.service);
+    if (s < 0) continue;
+    Want want;
+    want.cps = hero.cps;
+    want.country = hero.country;
+    want.consumer_type = hero.consumer_type;
+    want.cps_protocol = hero.cps_protocol;
+    const std::uint32_t device = find_candidate(b, want);
+    b.pinned.insert(device);
+    DevicePlan& plan = b.plan_of(device);
+    plan.roles |= kRoleScanner;
+    plan.scan.service = s;
+    plan.scan.hero = static_cast<int>(h);
+    plan.scan.total_packets = budget[static_cast<std::size_t>(s)] *
+                              hero.packet_share;
+    plan.duty = 1.0;
+    // Heroes must be active before their scripted window.
+    int earliest = 0;
+    if (!hero.burst_intervals.empty()) {
+      earliest = *std::min_element(hero.burst_intervals.begin(),
+                                   hero.burst_intervals.end());
+    }
+    plan.first_interval = std::min(plan.first_interval, earliest);
+    if (b.db.devices()[device].is_consumer()) {
+      hero_consumer_budget[static_cast<std::size_t>(s)] +=
+          plan.scan.total_packets;
+      ++hero_consumer_devices[static_cast<std::size_t>(s)];
+    } else {
+      hero_cps_budget[static_cast<std::size_t>(s)] += plan.scan.total_packets;
+      ++hero_cps_devices[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // Pools of non-pinned compromised devices per realm, shuffled.
+  std::vector<std::uint32_t> consumer_pool;
+  std::vector<std::uint32_t> cps_pool;
+  for (const auto& plan : b.truth.plans) {
+    if (b.pinned.count(plan.device)) continue;
+    if (b.db.devices()[plan.device].is_consumer()) {
+      consumer_pool.push_back(plan.device);
+    } else {
+      cps_pool.push_back(plan.device);
+    }
+  }
+  b.rng.shuffle(consumer_pool);
+  b.rng.shuffle(cps_pool);
+  std::size_t consumer_next = 0;
+  std::size_t cps_next = 0;
+
+  (void)pop;  // device totals are implied by the per-service quotas
+
+  // Fill per-service device quotas and split the non-hero budget with
+  // Pareto weights so per-device volumes are heavy-tailed (Fig 6).
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& svc = services[s];
+    struct Member {
+      std::uint32_t device;
+      double weight;
+      bool consumer;
+    };
+    std::vector<Member> members;
+
+    auto take = [&](bool consumer, int quota) {
+      auto& pool = consumer ? consumer_pool : cps_pool;
+      auto& next = consumer ? consumer_next : cps_next;
+      for (int k = 0; k < quota && next < pool.size(); ++k, ++next) {
+        members.push_back({pool[next], b.rng.pareto(1.0, 1.1), consumer});
+      }
+    };
+    take(true, static_cast<int>(b.config.scaled_count(
+                   static_cast<std::size_t>(std::max(0, svc.consumer_devices -
+                       hero_consumer_devices[s])))) *
+                   (svc.consumer_devices > 0 ? 1 : 0));
+    take(false, static_cast<int>(b.config.scaled_count(
+                    static_cast<std::size_t>(std::max(0, svc.cps_devices -
+                        hero_cps_devices[s])))) *
+                    (svc.cps_devices > 0 ? 1 : 0));
+    if (members.empty()) continue;
+
+    // Realm budgets net of hero consumption.
+    double consumer_budget = std::max(
+        0.0, budget[s] * svc.consumer_packet_share - hero_consumer_budget[s]);
+    double cps_budget =
+        std::max(0.0, budget[s] * (1.0 - svc.consumer_packet_share) -
+                          hero_cps_budget[s]);
+    double consumer_weight = 0.0;
+    double cps_weight = 0.0;
+    for (const auto& m : members) {
+      (m.consumer ? consumer_weight : cps_weight) += m.weight;
+    }
+    // If one realm has budget but no members (tiny scales), merge budgets.
+    if (consumer_weight == 0.0) {
+      cps_budget += consumer_budget;
+      consumer_budget = 0.0;
+    }
+    if (cps_weight == 0.0) {
+      consumer_budget += cps_budget;
+      cps_budget = 0.0;
+    }
+
+    for (const auto& m : members) {
+      DevicePlan& plan = b.plan_of(m.device);
+      plan.roles |= kRoleScanner;
+      plan.scan.service = static_cast<int>(s);
+      const double realm_budget = m.consumer ? consumer_budget : cps_budget;
+      const double realm_weight = m.consumer ? consumer_weight : cps_weight;
+      plan.scan.total_packets =
+          realm_weight > 0 ? realm_budget * m.weight / realm_weight : 0.0;
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 3: UDP roles — the Netis trio group, per-port specialists, and the
+// broadband random-port sweep.
+// --------------------------------------------------------------------
+void assign_udp(Builder& b) {
+  const VolumeSpec vol;
+  const PopulationSpec pop;
+  const auto& ports = udp_ports();
+  const double udp_total = b.config.scaled_packets(vol.udp_packets);
+
+  // Candidate pools (compromised devices, heroes included — scanning and
+  // UDP roles are not exclusive).
+  std::vector<std::uint32_t> consumer_pool;
+  std::vector<std::uint32_t> cps_pool;
+  for (const auto& plan : b.truth.plans) {
+    if (b.db.devices()[plan.device].is_consumer()) {
+      consumer_pool.push_back(plan.device);
+    } else {
+      cps_pool.push_back(plan.device);
+    }
+  }
+  b.rng.shuffle(consumer_pool);
+  b.rng.shuffle(cps_pool);
+
+  const std::size_t udp_devices = std::min(
+      b.config.scaled_count(pop.udp_sender_devices),
+      consumer_pool.size() + cps_pool.size());
+  std::size_t udp_consumer = std::min(
+      static_cast<std::size_t>(static_cast<double>(udp_devices) *
+                               pop.udp_sender_consumer_share),
+      consumer_pool.size());
+  std::size_t udp_cps = std::min(udp_devices - udp_consumer, cps_pool.size());
+
+  std::vector<std::uint32_t> senders;
+  senders.insert(senders.end(), consumer_pool.begin(),
+                 consumer_pool.begin() + static_cast<std::ptrdiff_t>(udp_consumer));
+  senders.insert(senders.end(), cps_pool.begin(),
+                 cps_pool.begin() + static_cast<std::ptrdiff_t>(udp_cps));
+  b.rng.shuffle(senders);
+
+  for (const auto device : senders) {
+    b.plan_of(device).roles |= kRoleUdp;
+  }
+
+  // --- Netis trio group: ports 37547 / 32124 / 28183 ---
+  // Trio budget: the three ports' Table IV shares.
+  const double trio_budget =
+      udp_total * (ports[0].packet_share_pct + ports[3].packet_share_pct +
+                   ports[4].packet_share_pct) / 100.0;
+  const std::size_t trio_devices = std::min(
+      b.config.scaled_count(static_cast<std::size_t>(ports[0].devices)),
+      senders.size());
+  {
+    double weight_sum = 0.0;
+    std::vector<double> weights(trio_devices);
+    for (std::size_t i = 0; i < trio_devices; ++i) {
+      weights[i] = b.rng.pareto(1.0, 1.6);
+      weight_sum += weights[i];
+    }
+    for (std::size_t i = 0; i < trio_devices; ++i) {
+      DevicePlan& plan = b.plan_of(senders[i]);
+      plan.udp.trio_packets = trio_budget * weights[i] / weight_sum;
+    }
+  }
+
+  // --- Per-port specialists for the remaining Table IV rows ---
+  std::size_t cursor = trio_devices;
+  for (std::size_t p = 0; p < ports.size(); ++p) {
+    if (p == 0 || p == 3 || p == 4) continue;  // trio handled above
+    const double port_budget = udp_total * ports[p].packet_share_pct / 100.0;
+    const std::size_t quota = std::min(
+        b.config.scaled_count(static_cast<std::size_t>(ports[p].devices)),
+        senders.size() > cursor ? senders.size() - cursor : 0);
+    if (quota == 0) continue;
+    double weight_sum = 0.0;
+    std::vector<double> weights(quota);
+    for (auto& w : weights) {
+      w = b.rng.pareto(1.0, 1.2);
+      weight_sum += w;
+    }
+    for (std::size_t i = 0; i < quota; ++i) {
+      DevicePlan& plan = b.plan_of(senders[cursor + i]);
+      plan.udp.dedicated_port = static_cast<int>(p);
+      plan.udp.dedicated_packets = port_budget * weights[i] / weight_sum;
+    }
+    cursor += quota;
+  }
+
+  // --- Random-port sweep: the residual 89.3% of UDP traffic, split so the
+  // realm shares land on 63% consumer ---
+  double named_share = 0.0;
+  for (const auto& port : ports) named_share += port.packet_share_pct;
+  const double sweep_budget = udp_total * (100.0 - named_share) / 100.0;
+  double consumer_weight = 0.0;
+  double cps_weight = 0.0;
+  std::vector<double> weights(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    weights[i] = b.rng.pareto(1.0, 1.05);
+    if (b.db.devices()[senders[i]].is_consumer()) {
+      consumer_weight += weights[i];
+    } else {
+      cps_weight += weights[i];
+    }
+  }
+  const double consumer_sweep =
+      cps_weight == 0.0 ? sweep_budget : sweep_budget * vol.udp_consumer_share;
+  const double cps_sweep = sweep_budget - consumer_sweep;
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    DevicePlan& plan = b.plan_of(senders[i]);
+    const bool consumer = b.db.devices()[senders[i]].is_consumer();
+    const double realm_budget = consumer ? consumer_sweep : cps_sweep;
+    const double realm_weight = consumer ? consumer_weight : cps_weight;
+    if (realm_weight > 0) {
+      plan.udp.sweep_packets = realm_budget * weights[i] / realm_weight;
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 4: ICMP echo-request scanners (56 devices, 93% of packets from the
+// 32 consumer devices).
+// --------------------------------------------------------------------
+void assign_icmp_scanners(Builder& b) {
+  const VolumeSpec vol;
+  const PopulationSpec pop;
+  const double total = b.config.scaled_packets(vol.icmp_scan_packets);
+  const std::size_t count = b.config.scaled_count(pop.icmp_scanner_devices);
+  const std::size_t consumer_count = std::min(
+      b.config.scaled_count(pop.icmp_scanner_consumer), count);
+
+  std::vector<std::uint32_t> consumer_pool;
+  std::vector<std::uint32_t> cps_pool;
+  for (const auto& plan : b.truth.plans) {
+    if (b.db.devices()[plan.device].is_consumer()) {
+      consumer_pool.push_back(plan.device);
+    } else {
+      cps_pool.push_back(plan.device);
+    }
+  }
+  b.rng.shuffle(consumer_pool);
+  b.rng.shuffle(cps_pool);
+
+  auto give = [&](std::span<const std::uint32_t> pool, std::size_t quota,
+                  double budget) {
+    if (pool.empty() || quota == 0) return;
+    quota = std::min(quota, pool.size());
+    std::vector<double> weights(quota);
+    double sum = 0.0;
+    for (auto& w : weights) {
+      w = b.rng.pareto(1.0, 1.3);
+      sum += w;
+    }
+    for (std::size_t i = 0; i < quota; ++i) {
+      DevicePlan& plan = b.plan_of(pool[i]);
+      plan.roles |= kRoleIcmpScanner;
+      plan.icmp_scan_packets = budget * weights[i] / sum;
+    }
+  };
+  give(consumer_pool, consumer_count, total * vol.icmp_scan_consumer_share);
+  give(cps_pool, count - std::min(consumer_count, count),
+       total * (1.0 - vol.icmp_scan_consumer_share));
+}
+
+// --------------------------------------------------------------------
+// Pass 5: DoS victims — scripted case studies, then the background victim
+// population with country quotas and a Pareto packet-count distribution.
+// --------------------------------------------------------------------
+void assign_victims(Builder& b) {
+  const VolumeSpec vol;
+  const PopulationSpec pop;
+
+  double scripted_total = 0.0;
+  const auto& events = dos_events();
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const auto& event = events[e];
+    Want want;
+    want.cps = event.cps;
+    want.country = event.country;
+    want.consumer_type = event.consumer_type;
+    want.cps_protocol = event.cps_protocol;
+    const std::uint32_t device = find_candidate(b, want);
+    b.pinned.insert(device);
+    DevicePlan& plan = b.plan_of(device);
+    plan.roles |= kRoleDosVictim;
+    AttackPlan attack;
+    attack.intervals = event.intervals;
+    attack.total_packets = b.config.scaled_packets(event.total_packets);
+    attack.service_port = event.service_port;
+    attack.icmp_fraction = event.icmp_fraction;
+    attack.event = static_cast<int>(e);
+    const int earliest =
+        *std::min_element(event.intervals.begin(), event.intervals.end());
+    plan.first_interval = std::min(plan.first_interval, earliest);
+    plan.attacks.push_back(std::move(attack));
+    scripted_total += b.config.scaled_packets(event.total_packets);
+    ++b.truth.dos_victims;
+  }
+
+  // Background victims. The background quota is scaled separately from the
+  // scripted events (whose count is scale-invariant) so that small-scale
+  // scenarios still carry the paper's backscatter volume split.
+  const std::size_t victim_target =
+      b.truth.dos_victims +
+      b.config.scaled_count(pop.dos_victims - events.size());
+  const auto& bg = dos_background();
+  const double bg_budget = std::max(
+      0.0, b.config.scaled_packets(vol.backscatter_packets) - scripted_total);
+
+  struct PendingVictim {
+    std::uint32_t device;
+    double raw_packets;
+  };
+  std::vector<PendingVictim> pending;
+
+  auto add_victim = [&](const Want& want) {
+    if (b.truth.dos_victims >= victim_target) return;
+    const std::uint32_t device = find_candidate(b, want);
+    b.pinned.insert(device);
+    const double raw = std::min(
+        bg.cap, b.rng.pareto(bg.pareto_xm, bg.pareto_alpha));
+    pending.push_back({device, raw});
+    ++b.truth.dos_victims;
+  };
+
+  // Country quotas first (Fig 8a shape).
+  for (const auto& quota : bg.country_quotas) {
+    for (std::size_t k = 0;
+         k < b.config.scaled_count(static_cast<std::size_t>(quota.cps)); ++k) {
+      Want want;
+      want.cps = true;
+      want.country = quota.country;
+      add_victim(want);
+    }
+    for (std::size_t k = 0;
+         k < b.config.scaled_count(static_cast<std::size_t>(quota.consumer));
+         ++k) {
+      Want want;
+      want.cps = false;
+      want.country = quota.country;
+      add_victim(want);
+    }
+  }
+  // Fill the remainder with victims anywhere (realm split per spec).
+  while (b.truth.dos_victims < victim_target) {
+    Want want;
+    want.cps = b.rng.chance(pop.dos_victim_cps_share);
+    add_victim(want);
+  }
+
+  // Normalize the background budget and materialize attack plans.
+  double raw_sum = 0.0;
+  for (const auto& v : pending) raw_sum += v.raw_packets;
+  const double factor = raw_sum > 0 ? bg_budget / raw_sum : 0.0;
+  for (const auto& v : pending) {
+    DevicePlan& plan = b.plan_of(v.device);
+    plan.roles |= kRoleDosVictim;
+    const bool cps = b.db.devices()[v.device].is_cps();
+    const double device_budget = std::max(1.0, v.raw_packets * factor);
+    // CPS devices are "attacked more often and with higher intensity"
+    // (Section IV-B1): several longer attacks vs one short one.
+    const std::size_t attack_count =
+        cps ? 1 + b.rng.poisson(1.2) : 1;
+    static constexpr net::Port kCpsPorts[] = {502, 44818, 20000, 102, 2404};
+    static constexpr net::Port kConsumerPorts[] = {80, 23, 9100, 8080, 554};
+    for (std::size_t a = 0; a < attack_count; ++a) {
+      AttackPlan attack;
+      const int start = static_cast<int>(
+          b.rng.uniform(0, util::AnalysisWindow::kHours - 1));
+      const int length =
+          static_cast<int>(cps ? b.rng.uniform(2, 6) : b.rng.uniform(1, 3));
+      for (int h = start;
+           h < std::min(start + length, util::AnalysisWindow::kHours); ++h) {
+        attack.intervals.push_back(h);
+      }
+      attack.total_packets =
+          std::max(1.0, device_budget / static_cast<double>(attack_count));
+      attack.service_port = cps ? kCpsPorts[b.rng.uniform(0, 4)]
+                                : kConsumerPorts[b.rng.uniform(0, 4)];
+      attack.icmp_fraction = b.rng.uniform_real(0.1, 0.5);
+      plan.first_interval = std::min(plan.first_interval, attack.intervals[0]);
+      plan.attacks.push_back(std::move(attack));
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 6: misconfiguration traffic and the every-device-emits guarantee.
+// --------------------------------------------------------------------
+void assign_misconfig(Builder& b) {
+  const VolumeSpec vol;
+  const double total = b.config.scaled_packets(vol.misconfig_packets);
+
+  std::vector<std::uint32_t> consumer_pool;
+  std::vector<std::uint32_t> cps_pool;
+  for (const auto& plan : b.truth.plans) {
+    if (b.db.devices()[plan.device].is_consumer()) {
+      consumer_pool.push_back(plan.device);
+    } else {
+      cps_pool.push_back(plan.device);
+    }
+  }
+  b.rng.shuffle(consumer_pool);
+  b.rng.shuffle(cps_pool);
+
+  auto give = [&](std::span<const std::uint32_t> pool, std::size_t quota,
+                  double budget) {
+    if (pool.empty() || quota == 0 || budget <= 0) return;
+    quota = std::min(quota, pool.size());
+    std::vector<double> weights(quota);
+    double sum = 0.0;
+    for (auto& w : weights) {
+      w = b.rng.pareto(1.0, 0.9);
+      sum += w;
+    }
+    for (std::size_t i = 0; i < quota; ++i) {
+      DevicePlan& plan = b.plan_of(pool[i]);
+      plan.roles |= kRoleMisconfig;
+      plan.misconfig_packets += budget * weights[i] / sum;
+    }
+  };
+  // Spread CPS misconfiguration chatter across most of the CPS population:
+  // the paper's per-device Mann-Whitney result (CPS devices emit
+  // significantly more) comes from CPS devices being uniformly chattier,
+  // not from a handful of heavy emitters.
+  give(cps_pool, b.config.scaled_count(9000), total * vol.misconfig_cps_share);
+  give(consumer_pool, b.config.scaled_count(300),
+       total * (1.0 - vol.misconfig_cps_share));
+
+  // Guarantee: every compromised device emits at least a couple of packets
+  // so it is discoverable at the telescope (definition of "unsolicited").
+  for (auto& plan : b.truth.plans) {
+    const double expected = plan.scan.total_packets + plan.udp.trio_packets +
+                            plan.udp.dedicated_packets +
+                            plan.udp.sweep_packets + plan.misconfig_packets +
+                            plan.icmp_scan_packets +
+                            (plan.attacks.empty() ? 0.0 : 1.0);
+    if (expected < 1.0) {
+      plan.roles |= kRoleMisconfig;
+      plan.misconfig_packets += b.rng.uniform_real(2.0, 6.0);
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 6b: unindexed compromised IoT devices — bots whose IPs the
+// inventory never indexed (Discussion §VI). They scan the IoT-exploited
+// services with the same discipline as indexed bots.
+// --------------------------------------------------------------------
+void assign_unindexed(Builder& b) {
+  const std::size_t count = b.config.scaled_count(
+      b.config.unindexed_iot_devices);
+  // IoT-exploited services only (what an unindexed camera/router botnet
+  // member would probe): Telnet-dominant, some CWMP and HTTP-alt.
+  static const struct {
+    const char* service;
+    double weight;
+  } kMix[] = {{"Telnet", 0.70}, {"CWMP", 0.18}, {"HTTP", 0.12}};
+  std::vector<double> weights;
+  for (const auto& m : kMix) weights.push_back(m.weight);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    UnindexedDevice device;
+    for (;;) {
+      const auto candidate =
+          net::Ipv4Address(static_cast<std::uint32_t>(b.rng.next()));
+      const auto o0 = candidate.octet(0);
+      if (o0 == 0 || o0 == 127 || o0 >= 224 ||
+          b.config.darknet.contains(candidate) ||
+          b.db.find(candidate) != nullptr) {
+        continue;
+      }
+      device.ip = candidate;
+      break;
+    }
+    device.service = scan_service_index(kMix[b.rng.weighted_index(weights)].service);
+    // Heavy-tailed budgets comparable to mid-tier indexed scanners.
+    device.total_packets = b.config.scaled_packets(
+        std::min(200000.0, b.rng.pareto(2500.0, 1.1)));
+    device.first_interval = b.sample_first_interval();
+    b.truth.unindexed.push_back(device);
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 7: discovery onsets. Scanners are long-running early infections —
+// they make up the paper's ~46% day-one discovery mass and keep the
+// hourly scanner population flat (the paper finds no correlation between
+// hourly scanner counts and scan volume). The remaining devices surface
+// across the rest of the window (~2,900 newly discovered per day).
+// --------------------------------------------------------------------
+void assign_onsets(Builder& b) {
+  static constexpr double kLateDayWeights[6] = {0.04, 0.192, 0.192,
+                                                0.192, 0.192, 0.192};
+  for (auto& plan : b.truth.plans) {
+    int onset;
+    if (plan.has(kRoleScanner)) {
+      // Scanners are infections that predate the window: they are active
+      // from the first hours, which keeps the hourly scanner population
+      // flat (and they dominate the day-one discovery mass of Fig 2).
+      onset = static_cast<int>(b.rng.uniform(0, 3));
+    } else {
+      const auto day = b.rng.weighted_index(kLateDayWeights);
+      const int lo = static_cast<int>(day) * 24;
+      const int hi = std::min(lo + 23, util::AnalysisWindow::kHours - 1);
+      onset = static_cast<int>(b.rng.uniform(lo, hi));
+    }
+    // Scripted constraints: be active before any burst or attack hour.
+    for (const auto& attack : plan.attacks) {
+      for (const int h : attack.intervals) onset = std::min(onset, h);
+    }
+    if (plan.scan.hero >= 0) {
+      const auto& hero =
+          scan_heroes()[static_cast<std::size_t>(plan.scan.hero)];
+      for (const int h : hero.burst_intervals) onset = std::min(onset, h);
+    }
+    plan.first_interval = onset;
+  }
+}
+
+// --------------------------------------------------------------------
+// Pass 8: duty cycles.
+// --------------------------------------------------------------------
+void assign_duty(Builder& b) {
+  for (auto& plan : b.truth.plans) {
+    if (plan.has(kRoleScanner) || !plan.attacks.empty()) {
+      plan.duty = 1.0;
+      continue;
+    }
+    // Consumer UDP senders stay up in long repeated blocks; CPS devices
+    // wake in shorter, rarer bursts (Section IV-A's contrast).
+    plan.duty = b.db.devices()[plan.device].is_consumer()
+                    ? b.rng.uniform_real(0.5, 0.75)
+                    : b.rng.uniform_real(0.25, 0.45);
+  }
+}
+
+}  // namespace
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  inventory::SynthesisConfig inv_cfg;
+  inv_cfg.seed = config.seed;
+  inv_cfg.device_count =
+      config.scaled_count(PopulationSpec{}.inventory_devices);
+  inv_cfg.darknet = config.darknet;
+  auto db = inventory::synthesize_inventory(inv_cfg);
+
+  Builder b(config, db);
+  select_compromised(b);
+  assign_scanners(b);
+  assign_udp(b);
+  assign_icmp_scanners(b);
+  assign_victims(b);
+  assign_misconfig(b);
+  assign_unindexed(b);
+  assign_onsets(b);
+  assign_duty(b);
+
+  IOTSCOPE_LOG_INFO(
+      "scenario: %zu compromised (%zu consumer, %zu CPS), %zu DoS victims",
+      b.truth.plans.size(), b.truth.compromised_consumer,
+      b.truth.compromised_cps, b.truth.dos_victims);
+
+  return Scenario{std::move(db), std::move(b.truth)};
+}
+
+}  // namespace iotscope::workload

@@ -1,0 +1,180 @@
+#include "workload/spec.hpp"
+
+#include "inventory/device.hpp"
+
+namespace iotscope::workload {
+
+namespace {
+// Paper figures use 1-based interval axes; we store 0-based indices.
+constexpr int iv(int one_based) { return one_based - 1; }
+
+using inventory::ConsumerType;
+constexpr int ct(ConsumerType t) { return static_cast<int>(t); }
+}  // namespace
+
+const std::vector<ScanServiceSpec>& scan_services() {
+  // Columns: name, ports, port weights, % of TCP scan packets, consumer
+  // packet share, consumer device quota, CPS device quota (Table V).
+  static const std::vector<ScanServiceSpec> kServices = {
+      {"Telnet", {23, 2323, 23231}, {0.90, 0.08, 0.02}, 50.2, 0.634, 643, 553},
+      {"HTTP", {80, 8080, 81}, {0.70, 0.22, 0.08}, 9.4, 0.945, 1418, 345},
+      {"SSH", {22}, {1.0}, 7.7, 0.337, 64, 80},
+      {"BackroomNet", {3387}, {1.0}, 6.2, 0.0, 0, 1},
+      {"CWMP", {7547}, {1.0}, 4.5, 0.448, 169, 244},
+      {"WSDAPI-S", {5358}, {1.0}, 4.1, 0.59, 94, 48},
+      {"MSSQLServer", {1433}, {1.0}, 3.3, 0.362, 8, 13},
+      {"Kerberos", {88}, {1.0}, 2.7, 0.99, 1061, 23},
+      {"MS DS", {445}, {1.0}, 2.5, 0.453, 43, 330},
+      {"EthernetIP IO", {2222}, {1.0}, 0.7, 0.416, 50, 65},
+      {"iRDMI", {8000}, {1.0}, 0.7, 0.985, 1055, 18},
+      {"Unassigned 21677", {21677}, {1.0}, 0.6, 0.0, 1, 87},
+      {"RDP", {3389}, {1.0}, 0.5, 0.468, 42, 61},
+      {"FTP", {21}, {1.0}, 0.3, 0.46, 20, 33},
+      // Residual bucket: remaining packets (100 - 93.3 = 6.7%) spread over
+      // many ports by the remaining 12,363 - 6,569 = 5,794 scanners. The
+      // realm split balances the named rows so the total lands on the
+      // paper's 55% consumer share of scanners.
+      {"Other", {}, {}, 6.7, 0.45, 2132, 3662},
+  };
+  return kServices;
+}
+
+int scan_service_index(const std::string& name) {
+  const auto& services = scan_services();
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    if (services[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::vector<UdpPortSpec>& udp_ports() {
+  // Table IV: top 10 targeted UDP ports (share of all UDP packets).
+  static const std::vector<UdpPortSpec> kPorts = {
+      {"Not Assigned", 37547, 2.52, 10115},
+      {"NetBIOS", 137, 2.06, 144},
+      {"Not Assigned", 53413, 2.05, 91},
+      {"Not Assigned", 32124, 1.08, 9488},
+      {"Not Assigned", 28183, 0.94, 9710},
+      {"mDNS", 5353, 0.76, 165},
+      {"Not Assigned", 4605, 0.38, 150},
+      {"DNS", 53, 0.33, 158},
+      {"Teredo", 3544, 0.26, 226},
+      {"OpenVPN", 1194, 0.26, 96},
+  };
+  return kPorts;
+}
+
+const std::vector<DosEventSpec>& dos_events() {
+  // Section IV-B's case studies. Interval lists use the figures' 1-based
+  // axis; totals are engineered so the narrated dominance shares hold
+  // (e.g. >99% of intervals 6-8 from the first Chinese PLC).
+  static const std::vector<DosEventSpec> kEvents = {
+      {"CN-EthernetIP-1", true, "China", "Ethernet/IP", -1,
+       net::ports::kEthernetIp,
+       {iv(6), iv(7), iv(8), iv(53), iv(54), iv(55), iv(56)}, 3.4e6, 0.25},
+      {"CN-EthernetIP-2", true, "China", "Ethernet/IP", -1,
+       net::ports::kEthernetIp, {iv(99), iv(127)}, 1.1e6, 0.25},
+      {"CH-Telvent", true, "Switzerland", "Telvent OASyS DNA", -1, 20000,
+       {iv(94)}, 0.5e6, 0.3},
+      {"NL-Printer", false, "Netherlands", "", ct(ConsumerType::Printer),
+       9100, {iv(49)}, 104000.0, 0.1},
+      {"UK-Printer", false, "United Kingdom", "",
+       ct(ConsumerType::Printer), 9100, {iv(81)}, 250000.0, 0.1},
+      // Two further unnamed heavy CPS victims: the paper counts 7 devices
+      // >= 100K backscatter packets, 5 of them CPS.
+      {"BR-Heavy", true, "Brazil", "", -1, 502, {iv(20), iv(21)}, 300000.0,
+       0.3},
+      {"AR-Heavy", true, "Argentina", "", -1, 502, {iv(110), iv(111)},
+       280000.0, 0.3},
+      // One non-CPS heavy besides the UK printer (7 total >= 100K).
+      {"SG-Router", false, "Singapore", "", ct(ConsumerType::Router), 80,
+       {iv(65), iv(66)}, 150000.0, 0.15},
+  };
+  return kEvents;
+}
+
+const DosBackgroundSpec& dos_background() {
+  static const DosBackgroundSpec kSpec = {
+      12.4,
+      0.2646,
+      150000.0,
+      {
+          // Fig 8a country quotas (cps, consumer victims at full scale).
+          {"China", 103, 30},
+          {"United States", 49, 25},
+          {"Singapore", 8, 64},
+          {"Indonesia", 6, 52},
+          {"Republic of Korea", 25, 20},
+          {"Taiwan", 20, 18},
+          {"Russian Federation", 18, 22},
+          {"Vietnam", 12, 20},
+          {"Thailand", 10, 18},
+          {"India", 12, 14},
+          {"Turkey", 14, 10},
+          {"Brazil", 9, 7},
+          {"United Kingdom", 5, 5},
+          {"Argentina", 3, 2},
+          {"Switzerland", 3, 1},
+          {"Netherlands", 4, 4},
+          // Remaining victims are spread over the country long tail by the
+          // assigner until the total victim quota is met.
+      },
+  };
+  return kSpec;
+}
+
+const std::vector<ScanHeroSpec>& scan_heroes() {
+  static const std::vector<ScanHeroSpec> kHeroes = {
+      // --- Telnet: 7 devices contribute 55% of all Telnet scans ---
+      {"telnet-cam-1", "Telnet", false, "Vietnam", ct(ConsumerType::IpCamera),
+       "", 0.11, {}},
+      {"telnet-cam-2", "Telnet", false, "Brazil", ct(ConsumerType::IpCamera),
+       "", 0.09, {}},
+      {"telnet-cam-3", "Telnet", false, "Turkey", ct(ConsumerType::IpCamera),
+       "", 0.08, {}},
+      {"telnet-router", "Telnet", false, "Russian Federation",
+       ct(ConsumerType::Router), "", 0.08, {}},
+      {"telnet-dvr", "Telnet", false, "Indonesia", ct(ConsumerType::TvBoxDvr),
+       "", 0.07, {}},
+      {"telnet-printer", "Telnet", false, "India", ct(ConsumerType::Printer),
+       "", 0.05, {}},
+      {"telnet-cps-power", "Telnet", true, "China", -1, "Modbus TCP", 0.04,
+       {}},
+      {"telnet-cps-utility", "Telnet", true, "Ukraine", -1,
+       "Siemens Spectrum PowerTG", 0.03, {}},
+      // --- SSH: interval-32 spike (242K packets, 93% from 5 devices) and
+      //     interval-69 spike (253K, ~90% from the 3 CPS devices) ---
+      {"ssh-router-ru", "SSH", false, "Russian Federation",
+       ct(ConsumerType::Router), "", 0.016, {iv(32)}},
+      {"ssh-router-au", "SSH", false, "Australia", ct(ConsumerType::Router),
+       "", 0.016, {iv(32)}},
+      {"ssh-cps-cn1", "SSH", true, "China", -1, "", 0.042, {iv(32), iv(69)}},
+      {"ssh-cps-cn2", "SSH", true, "China", -1, "", 0.042, {iv(32), iv(69)}},
+      {"ssh-cps-br", "SSH", true, "Brazil", -1, "", 0.042, {iv(32), iv(69)}},
+      // --- BackroomNet: one Canadian BACnet/IP building-automation device
+      //     scanning port 3387 from interval 113 onward (~200K/h) ---
+      {"backroomnet-ca", "BackroomNet", true, "Canada", -1, "BACnet/IP", 1.0,
+       {}},  // burst window handled specially (intervals 113..143)
+      // --- CWMP: one Australian router at 10.6% plus 5 CPS devices
+      //     totalling ~25% (3 Ethernet/IP in Korea, one SNC GENe in China,
+      //     one Telvent in South Africa) ---
+      {"cwmp-router-au", "CWMP", false, "Australia", ct(ConsumerType::Router),
+       "", 0.106, {}},
+      {"cwmp-cps-kr1", "CWMP", true, "Republic of Korea", -1, "Ethernet/IP",
+       0.055, {}},
+      {"cwmp-cps-kr2", "CWMP", true, "Republic of Korea", -1, "Ethernet/IP",
+       0.05, {}},
+      {"cwmp-cps-kr3", "CWMP", true, "Republic of Korea", -1, "Ethernet/IP",
+       0.05, {}},
+      {"cwmp-cps-cn", "CWMP", true, "China", -1, "SNC GENe", 0.05, {}},
+      {"cwmp-cps-za", "CWMP", true, "South Africa", -1, "Telvent OASyS DNA",
+       0.045, {}},
+      // --- interval-119 port spike: a Dominican IP camera scanning 10,249
+      //     ports on 55 destinations ---
+      {"portspike-do-cam", "Other", false, "Dominican Republic",
+       ct(ConsumerType::IpCamera), "", 0.003, {iv(119)}},
+  };
+  return kHeroes;
+}
+
+}  // namespace iotscope::workload

@@ -1,0 +1,144 @@
+// The scenario specification: every measured marginal the paper reports,
+// expressed as data tables that drive the traffic synthesizer. This file
+// is the single place where "the paper's numbers" live; the synthesizer
+// reads quotas/budgets from here and the bench harness compares its
+// measurements back against the same constants.
+//
+// All packet budgets are at full scale (the paper's 141.3M packets over
+// 143 hours); ScenarioConfig's traffic_scale multiplies them. All device
+// quotas are at full inventory scale (331k devices); inventory_scale
+// multiplies those.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace iotscope::workload {
+
+/// Global volume decomposition (Section IV; reconciled with Figure 4 —
+/// see EXPERIMENTS.md for notes on the paper's internal inconsistencies).
+struct VolumeSpec {
+  double tcp_scan_packets = 100.1e6;    ///< "slightly over 100M", 99.97% SYN
+  double tcp_scan_consumer_share = 0.546;  ///< 382K/h of 700K/h hourly means
+  double udp_packets = 13.0e6;          ///< "about 13M UDP packets"
+  double udp_consumer_share = 0.63;     ///< consumer devices sent 63%
+  double backscatter_packets = 10.3e6;  ///< 8.2% of total, 839 victims
+  double backscatter_cps_share = 0.73;  ///< 73% of backscatter from CPS
+  double icmp_scan_packets = 0.325e6;   ///< 0.23% of total, 56 devices
+  double icmp_scan_consumer_share = 0.93;
+  double misconfig_packets = 17.0e6;    ///< residual TCP-other, CPS-heavy
+  double misconfig_cps_share = 0.95;
+};
+
+/// Device-population targets (Section III-B).
+struct PopulationSpec {
+  std::size_t inventory_devices = 331000;
+  std::size_t compromised_consumer = 15299;
+  std::size_t compromised_cps = 11582;
+  std::size_t tcp_scanner_devices = 12363;   ///< 55% consumer
+  double tcp_scanner_consumer_share = 0.55;
+  std::size_t udp_sender_devices = 25242;    ///< 60% consumer
+  double udp_sender_consumer_share = 0.60;
+  std::size_t icmp_scanner_devices = 56;     ///< 32 consumer
+  std::size_t icmp_scanner_consumer = 32;
+  std::size_t dos_victims = 839;             ///< 53% CPS
+  double dos_victim_cps_share = 0.53;
+  /// Fig 2: fraction first observed on each analysis day.
+  double discovery_day_weights[6] = {0.46, 0.108, 0.108, 0.108, 0.108, 0.108};
+};
+
+/// One scanned service (row of Table V).
+struct ScanServiceSpec {
+  std::string name;                  ///< e.g. "Telnet"
+  std::vector<net::Port> ports;      ///< {23, 2323, 23231}
+  std::vector<double> port_weights;  ///< probability of each port
+  double packet_share_pct;           ///< % of all TCP scanning packets
+  double consumer_packet_share;      ///< fraction of the service's packets
+                                     ///< emitted by consumer devices
+  int consumer_devices;              ///< device quota, full scale
+  int cps_devices;
+};
+
+/// Rows of Table V plus the residual "Other" bucket (CP = 93.3%).
+const std::vector<ScanServiceSpec>& scan_services();
+
+/// Index of a service by name within scan_services(); -1 if absent.
+int scan_service_index(const std::string& name);
+
+/// One targeted UDP port (row of Table IV).
+struct UdpPortSpec {
+  std::string service;  ///< assigned service name or "Not Assigned"
+  net::Port port;
+  double packet_share_pct;  ///< % of all UDP packets
+  int devices;              ///< devices observed targeting the port
+};
+
+/// Rows of Table IV; the remaining 89.3% of UDP packets go to a uniform
+/// sweep over the full port space.
+const std::vector<UdpPortSpec>& udp_ports();
+
+/// A scripted DoS-attack victim (the named case studies of Section IV-B).
+struct DosEventSpec {
+  std::string label;          ///< for reports, e.g. "CN-EthernetIP-1"
+  bool cps = true;            ///< realm of the victim
+  std::string country;        ///< hosting country
+  std::string cps_protocol;   ///< required protocol (CPS victims)
+  int consumer_type = -1;     ///< required ConsumerType (consumer victims)
+  net::Port service_port = 0; ///< attacked service (backscatter src port)
+  std::vector<int> intervals; ///< attack hours (paper's 1-based figure axis
+                              ///< converted to 0-based indices)
+  double total_packets;       ///< backscatter budget over those intervals
+  double icmp_fraction = 0.2; ///< share of replies that are ICMP vs TCP
+};
+
+/// The scripted attack case studies: the two Chinese Ethernet/IP PLCs,
+/// the Swiss Telvent device, and the Dutch and British printers, plus two
+/// unnamed heavy CPS victims (the paper reports 7 devices >= 100K packets,
+/// 5 of them CPS).
+const std::vector<DosEventSpec>& dos_events();
+
+/// Background (non-scripted) victim population: Pareto-like packet counts
+/// fitted to Fig 6's backscatter CDF (median < 170, 17% >= 10K).
+struct DosBackgroundSpec {
+  double pareto_xm = 12.4;
+  double pareto_alpha = 0.2646;
+  double cap = 150000.0;
+  /// Country quotas for victims (Fig 8a): counts at full scale.
+  /// Listed as (country, cps victims, consumer victims).
+  struct CountryQuota {
+    std::string country;
+    int cps;
+    int consumer;
+  };
+  std::vector<CountryQuota> country_quotas;
+};
+
+const DosBackgroundSpec& dos_background();
+
+/// A scripted scanning "hero" — a single device the paper singles out.
+struct ScanHeroSpec {
+  std::string label;
+  std::string service;       ///< must match a ScanServiceSpec name
+  bool cps = false;
+  std::string country;
+  int consumer_type = -1;    ///< required ConsumerType (consumer heroes)
+  std::string cps_protocol;  ///< required protocol (CPS heroes)
+  double packet_share;       ///< fraction of the service's packets
+  /// If non-empty, all packets land in these intervals (burst heroes).
+  std::vector<int> burst_intervals;
+};
+
+/// Named heavy hitters: the 7 Telnet devices (55% of Telnet scans), the 5
+/// SSH devices behind the interval-32/69 spikes, the Canadian BACnet/IP
+/// device scanning BackroomNet from interval 113, the Australian CWMP
+/// router, the 5 CWMP CPS devices, and the Dominican IP camera behind the
+/// interval-119 port spike.
+const std::vector<ScanHeroSpec>& scan_heroes();
+
+/// Default seed shared by examples and benches.
+inline constexpr std::uint64_t kDefaultSeed = 20170412;
+
+}  // namespace iotscope::workload

@@ -1,0 +1,481 @@
+#include "workload/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "telescope/darknet.hpp"
+#include "util/logging.hpp"
+
+namespace iotscope::workload {
+
+namespace {
+
+using util::AnalysisWindow;
+
+constexpr int kHours = AnalysisWindow::kHours;
+
+/// Per-plan immutable emission state derived once before the hour loop.
+struct Derived {
+  net::Ipv4Address src;
+  bool consumer = true;
+  std::uint8_t ttl = 52;
+  int first = 0;
+  int block_len = 6;       ///< duty-cycle block length (hours)
+  std::uint64_t salt = 0;  ///< per-device hash salt for duty blocks
+
+  // Scanning.
+  double scan_base_rate = 0.0;   ///< packets per active hour
+  double scan_burst_each = 0.0;  ///< extra packets per scripted burst hour
+  const ScanServiceSpec* service = nullptr;
+  const ScanHeroSpec* hero = nullptr;
+  std::vector<net::Port> other_ports;  ///< port pool for "Other" scanners
+
+  // UDP.
+  double udp_rate = 0.0;  ///< combined per-active-hour rate
+  double trio_frac = 0.0, dedicated_frac = 0.0;  ///< split of udp_rate
+  net::Port dedicated_port = 0;
+  bool trio_32124 = false, trio_28183 = false;
+  std::vector<net::Port> udp_common;  ///< small reused port pool
+
+  // Others.
+  double icmp_rate = 0.0;
+  double misconfig_rate = 0.0;
+};
+
+/// Stateless per-(device, block) duty decision so activity comes in
+/// contiguous multi-hour blocks, as the paper observes for consumer UDP.
+bool duty_active(std::uint64_t salt, int block_id, double duty) {
+  util::SplitMix64 sm(salt ^ (static_cast<std::uint64_t>(block_id) *
+                              0x9E3779B97F4A7C15ULL));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u < duty;
+}
+
+/// Immutable emission state of one unindexed IoT device.
+struct UnindexedDerived {
+  net::Ipv4Address src;
+  const ScanServiceSpec* service = nullptr;
+  double rate = 0.0;
+  int first = 0;
+  std::uint8_t ttl = 64;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const Scenario& scenario, const ScenarioConfig& config,
+              const PacketSink& sink)
+      : scenario_(scenario),
+        config_(config),
+        sink_(sink),
+        space_(config.darknet),
+        rng_(config.seed ^ 0x7EA5C0DEULL) {
+    prepare();
+  }
+
+  SynthStats run() {
+    for (int h = 0; h < kHours; ++h) {
+      hour_start_ = AnalysisWindow::interval_start(h);
+      for (std::size_t i = 0; i < scenario_.truth.plans.size(); ++i) {
+        emit_plan_hour(scenario_.truth.plans[i], derived_[i], h);
+      }
+      emit_unindexed_hour(h);
+      emit_noise_hour();
+    }
+    return stats_;
+  }
+
+ private:
+  util::UnixTime ts() { return hour_start_ + static_cast<long>(rng_.uniform(0, 3599)); }
+
+  net::Port ephemeral() {
+    return static_cast<net::Port>(rng_.uniform(1024, 65535));
+  }
+
+  void prepare() {
+    const auto& plans = scenario_.truth.plans;
+    const auto& devices = scenario_.inventory.devices();
+    derived_.resize(plans.size());
+    const auto& heroes = scan_heroes();
+    const auto& services = scan_services();
+
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const DevicePlan& plan = plans[i];
+      Derived& d = derived_[i];
+      d.src = devices[plan.device].ip;
+      d.consumer = devices[plan.device].is_consumer();
+      d.ttl = plan.ttl;
+      d.first = plan.first_interval;
+      d.block_len = static_cast<int>(rng_.uniform(4, 12));
+      d.salt = rng_.next();
+
+      const double active_hours =
+          std::max(1.0, plan.duty * static_cast<double>(kHours - d.first));
+
+      if (plan.has(kRoleScanner) && plan.scan.service >= 0) {
+        d.service = &services[static_cast<std::size_t>(plan.scan.service)];
+        double base_budget = plan.scan.total_packets;
+        if (plan.scan.hero >= 0) {
+          d.hero = &heroes[static_cast<std::size_t>(plan.scan.hero)];
+          if (!d.hero->burst_intervals.empty()) {
+            const double burst_budget = 0.8 * plan.scan.total_packets;
+            base_budget -= burst_budget;
+            d.scan_burst_each =
+                burst_budget /
+                static_cast<double>(d.hero->burst_intervals.size());
+          }
+        }
+        d.scan_base_rate = base_budget / active_hours;
+        if (d.service->ports.empty()) {
+          // "Other" scanners: consumer devices reuse a moderate port pool;
+          // CPS devices sweep wider (Fig 9's ports-per-hour contrast).
+          const std::size_t pool = d.consumer ? 240 : 2000;
+          d.other_ports.resize(pool);
+          for (auto& p : d.other_ports) {
+            p = static_cast<net::Port>(rng_.uniform(1, 65535));
+          }
+        }
+      }
+
+      if (plan.has(kRoleUdp)) {
+        const double total = plan.udp.trio_packets +
+                             plan.udp.dedicated_packets +
+                             plan.udp.sweep_packets;
+        d.udp_rate = total / active_hours;
+        if (total > 0) {
+          d.trio_frac = plan.udp.trio_packets / total;
+          d.dedicated_frac = plan.udp.dedicated_packets / total;
+        }
+        if (plan.udp.dedicated_port >= 0) {
+          d.dedicated_port =
+              udp_ports()[static_cast<std::size_t>(plan.udp.dedicated_port)]
+                  .port;
+        }
+        d.trio_32124 = rng_.chance(0.938);  // Table IV device-count ratios
+        d.trio_28183 = rng_.chance(0.960);
+        // A few dozen recurring ports per device: enough reuse to keep
+        // consumer distinct-port counts below packet counts (Fig 5b)
+        // without letting one heavy device mint a top-10 port.
+        d.udp_common.resize(64);
+        for (auto& p : d.udp_common) {
+          p = static_cast<net::Port>(rng_.uniform(1, 65535));
+        }
+      }
+
+      d.icmp_rate = plan.icmp_scan_packets / active_hours;
+      d.misconfig_rate = plan.misconfig_packets / active_hours;
+    }
+
+    // Unindexed IoT devices (Discussion section VI): same scanning
+    // discipline as indexed bots, sources unknown to the inventory.
+    for (const auto& device : scenario_.truth.unindexed) {
+      UnindexedDerived u;
+      u.src = device.ip;
+      u.service = &services[static_cast<std::size_t>(device.service)];
+      u.first = device.first_interval;
+      u.rate = device.total_packets /
+               std::max(1.0, static_cast<double>(kHours - device.first_interval));
+      u.ttl = static_cast<std::uint8_t>(rng_.uniform(30, 200));
+      unindexed_.push_back(u);
+    }
+
+    // Expected per-hour noise volume: scale with total IoT budget.
+    const VolumeSpec vol;
+    const double iot_total = config_.scaled_packets(
+        vol.tcp_scan_packets + vol.udp_packets + vol.backscatter_packets +
+        vol.icmp_scan_packets + vol.misconfig_packets);
+    noise_per_hour_ = config_.noise_ratio * iot_total / kHours;
+  }
+
+  void emit(const net::PacketRecord& packet) {
+    sink_(packet);
+    ++stats_.total;
+  }
+
+  // ---- scanning ----
+  void emit_scan_packets(const Derived& d, double count_mean) {
+    const std::uint64_t n = rng_.poisson(count_mean);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      net::Port port;
+      if (!d.service->ports.empty()) {
+        const std::size_t pick = rng_.weighted_index(d.service->port_weights);
+        port = d.service->ports[pick];
+      } else if (d.consumer) {
+        port = d.other_ports[rng_.uniform(0, d.other_ports.size() - 1)];
+      } else {
+        port = static_cast<net::Port>(rng_.uniform(1, 65535));
+      }
+      emit(net::make_tcp_syn(ts(), d.src, space_.random_address(rng_),
+                             ephemeral(), port, d.ttl));
+      ++stats_.tcp_scan;
+    }
+  }
+
+  /// The interval-119 case study: one camera probing ~10,249 distinct
+  /// ports across 55 destinations in a single hour.
+  void emit_port_spike(const Derived& d) {
+    std::vector<net::Ipv4Address> dsts(55);
+    for (auto& a : dsts) a = space_.random_address(rng_);
+    const net::Port base = static_cast<net::Port>(rng_.uniform(1, 50000));
+    for (int p = 0; p < 10249; ++p) {
+      const net::Port port = static_cast<net::Port>(
+          (static_cast<std::uint32_t>(base) + static_cast<std::uint32_t>(p)) %
+              65535 + 1);
+      emit(net::make_tcp_syn(ts(), d.src, dsts[static_cast<std::size_t>(p) % dsts.size()],
+                             ephemeral(), port, d.ttl));
+      ++stats_.tcp_scan;
+    }
+  }
+
+  double http_ramp(int h) const {
+    // Gradual rise of HTTP scanning after interval 92 (Fig 10), mean ~1.
+    return h < 91 ? 0.93 : 0.93 + 0.42 * static_cast<double>(h - 91) / 52.0;
+  }
+
+  // ---- UDP ----
+  void emit_udp_packets(const DevicePlan& plan, const Derived& d, double mean) {
+    const std::uint64_t n = rng_.poisson(mean);
+    if (n == 0) return;
+    // CPS devices revisit a small destination pool (more packets per dst,
+    // Fig 5a); consumer devices hit a fresh destination per packet
+    // (packets ~= destinations, Fig 5b). A CPS hour may also be a "port
+    // sweep" spike hour.
+    std::vector<net::Ipv4Address> pool;
+    const bool cps_pool = !d.consumer;
+    if (cps_pool) {
+      pool.resize(std::max<std::size_t>(1, n / 3));
+      for (auto& a : pool) a = space_.random_address(rng_);
+    }
+    const bool sweep_hour = !d.consumer && rng_.chance(0.10);
+    const net::Port sweep_base =
+        static_cast<net::Port>(rng_.uniform(1, 60000));
+    for (std::uint64_t k = 0; k < n; ++k) {
+      net::Port port;
+      const double r = rng_.uniform01();
+      if (r < d.trio_frac) {
+        // Netis-backdoor trio; weights follow Table IV shares.
+        static const double kTrioW[] = {2.52, 1.08, 0.94};
+        switch (rng_.weighted_index(kTrioW)) {
+          case 1:
+            port = d.trio_32124 ? net::Port{32124} : net::Port{37547};
+            break;
+          case 2:
+            port = d.trio_28183 ? net::Port{28183} : net::Port{37547};
+            break;
+          default:
+            port = 37547;
+        }
+      } else if (r < d.trio_frac + d.dedicated_frac && d.dedicated_port != 0) {
+        port = d.dedicated_port;
+      } else if (sweep_hour) {
+        port = static_cast<net::Port>(
+            (static_cast<std::uint32_t>(sweep_base) + k) % 65535 + 1);
+      } else if (d.consumer && rng_.chance(0.35)) {
+        port = d.udp_common[rng_.uniform(0, d.udp_common.size() - 1)];
+      } else {
+        port = static_cast<net::Port>(rng_.uniform(1, 65535));
+      }
+      const auto dst = cps_pool ? pool[rng_.uniform(0, pool.size() - 1)]
+                                : space_.random_address(rng_);
+      emit(net::make_udp(ts(), d.src, dst, ephemeral(), port,
+                         static_cast<std::uint16_t>(rng_.uniform(8, 64)),
+                         d.ttl));
+      ++stats_.udp;
+    }
+    (void)plan;
+  }
+
+  // ---- backscatter ----
+  void emit_backscatter(const Derived& d, const AttackPlan& attack) {
+    const double mean =
+        attack.total_packets / static_cast<double>(attack.intervals.size());
+    const std::uint64_t n = rng_.poisson(mean);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto dst = space_.random_address(rng_);  // spoofed flood source
+      if (rng_.chance(attack.icmp_fraction)) {
+        static const double kIcmpW[] = {0.5, 0.3, 0.15, 0.05};
+        static const net::IcmpType kIcmpT[] = {
+            net::IcmpType::EchoReply, net::IcmpType::DestinationUnreachable,
+            net::IcmpType::TimeExceeded, net::IcmpType::SourceQuench};
+        emit(net::make_icmp(ts(), d.src, dst, kIcmpT[rng_.weighted_index(kIcmpW)],
+                            0, d.ttl));
+      } else if (rng_.chance(0.7)) {
+        emit(net::make_tcp_syn_ack(ts(), d.src, dst, attack.service_port,
+                                   ephemeral(), d.ttl));
+      } else {
+        emit(net::make_tcp_rst(ts(), d.src, dst, attack.service_port,
+                               ephemeral(), d.ttl));
+      }
+      ++stats_.backscatter;
+    }
+  }
+
+  // ---- misconfiguration: TCP traffic that is neither SYN probing nor
+  // backscatter (ACK / PSH-ACK / FIN-ACK combinations) ----
+  void emit_misconfig(const Derived& d, double mean) {
+    const std::uint64_t n = rng_.poisson(mean);
+    static const std::uint8_t kFlags[] = {
+        net::kAck, net::kAck | net::kPsh, net::kAck | net::kFin};
+    static const net::Port kPorts[] = {80, 443, 25, 8443, 5228};
+    for (std::uint64_t k = 0; k < n; ++k) {
+      net::PacketRecord p = net::make_tcp_syn(
+          ts(), d.src, space_.random_address(rng_), ephemeral(),
+          kPorts[rng_.uniform(0, 4)], d.ttl);
+      p.tcp_flags = kFlags[rng_.uniform(0, 2)];
+      p.ip_length = static_cast<std::uint16_t>(rng_.uniform(40, 1200));
+      emit(p);
+      ++stats_.misconfig;
+    }
+  }
+
+  void emit_plan_hour(const DevicePlan& plan, const Derived& d, int h) {
+    // Scripted burst hours fire regardless of onset/duty bookkeeping.
+    if (d.hero != nullptr) {
+      const auto& bursts = d.hero->burst_intervals;
+      if (std::find(bursts.begin(), bursts.end(), h) != bursts.end()) {
+        if (d.hero->label == "portspike-do-cam") {
+          emit_port_spike(d);
+        } else {
+          emit_scan_packets(d, d.scan_burst_each);
+        }
+      }
+    }
+    for (const auto& attack : plan.attacks) {
+      if (std::find(attack.intervals.begin(), attack.intervals.end(), h) !=
+          attack.intervals.end()) {
+        emit_backscatter(d, attack);
+      }
+    }
+
+    if (h < d.first) return;
+    const bool active =
+        plan.duty >= 1.0 || duty_active(d.salt, h / d.block_len, plan.duty);
+    if (!active) return;
+
+    if (d.service != nullptr && d.scan_base_rate > 0) {
+      // The BackroomNet device only scans within its scripted window
+      // (intervals 113.. on the paper's 1-based axis).
+      const bool backroom =
+          d.hero != nullptr && d.hero->label == "backroomnet-ca";
+      if (backroom) {
+        if (h >= 112) {
+          // Budget concentrated over the 31-hour tail window.
+          const double window_rate =
+              d.scan_base_rate * static_cast<double>(kHours - d.first) / 31.0;
+          emit_scan_packets(d, window_rate);
+        }
+      } else {
+        double rate = d.scan_base_rate;
+        if (d.service->name == "HTTP") rate *= http_ramp(h);
+        // Heavy scanners emit in bursty waves but never go fully silent:
+        // hourly volume fluctuates widely while the scanner *population*
+        // stays flat — the paper finds no correlation between hourly
+        // scanner counts and scan volume.
+        if (d.scan_base_rate > 50.0) {
+          rate = std::max(5.0, rate * rng_.exponential(1.0));
+        }
+        emit_scan_packets(d, rate);
+      }
+    }
+    if (d.udp_rate > 0) emit_udp_packets(plan, d, d.udp_rate);
+    if (d.icmp_rate > 0) {
+      const std::uint64_t n = rng_.poisson(d.icmp_rate);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        emit(net::make_icmp(ts(), d.src, space_.random_address(rng_),
+                            net::IcmpType::EchoRequest, 0, d.ttl));
+        ++stats_.icmp_scan;
+      }
+    }
+    if (d.misconfig_rate > 0) emit_misconfig(d, d.misconfig_rate);
+  }
+
+  // ---- unindexed IoT scanners ----
+  void emit_unindexed_hour(int h) {
+    for (const auto& u : unindexed_) {
+      if (h < u.first) continue;
+      const std::uint64_t n = rng_.poisson(u.rate);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        const std::size_t pick = rng_.weighted_index(u.service->port_weights);
+        emit(net::make_tcp_syn(ts(), u.src, space_.random_address(rng_),
+                               ephemeral(), u.service->ports[pick], u.ttl));
+        ++stats_.unindexed;
+      }
+    }
+  }
+
+  // ---- background radiation from non-inventory sources ----
+  void emit_noise_hour() {
+    const std::uint64_t n = rng_.poisson(noise_per_hour_);
+    static const net::Port kScanPorts[] = {23, 445, 80, 1433, 3389, 5060};
+    for (std::uint64_t k = 0; k < n; ++k) {
+      // Random routable source outside the inventory.
+      net::Ipv4Address src;
+      do {
+        src = net::Ipv4Address(static_cast<std::uint32_t>(rng_.next()));
+      } while (src.octet(0) == 0 || src.octet(0) == 10 ||
+               src.octet(0) == 127 || src.octet(0) >= 224 ||
+               scenario_.inventory.find(src) != nullptr);
+      const auto dst = space_.random_address(rng_);
+      const double r = rng_.uniform01();
+      if (r < 0.60) {
+        emit(net::make_tcp_syn(ts(), src, dst, ephemeral(),
+                               kScanPorts[rng_.uniform(0, 5)]));
+      } else if (r < 0.85) {
+        emit(net::make_udp(ts(), src, dst, ephemeral(),
+                           static_cast<net::Port>(rng_.uniform(1, 65535))));
+      } else if (r < 0.95) {
+        emit(net::make_icmp(ts(), src, dst, net::IcmpType::EchoRequest));
+      } else {
+        net::PacketRecord p =
+            net::make_tcp_syn(ts(), src, dst, ephemeral(), 80);
+        p.tcp_flags = net::kAck;
+        emit(p);
+      }
+      ++stats_.noise;
+    }
+  }
+
+  const Scenario& scenario_;
+  const ScenarioConfig& config_;
+  const PacketSink& sink_;
+  telescope::DarknetSpace space_;
+  util::Rng rng_;
+  std::vector<Derived> derived_;
+  std::vector<UnindexedDerived> unindexed_;
+  SynthStats stats_;
+  util::UnixTime hour_start_ = 0;
+  double noise_per_hour_ = 0.0;
+};
+
+}  // namespace
+
+SynthStats synthesize_traffic(const Scenario& scenario,
+                              const ScenarioConfig& config,
+                              const PacketSink& sink) {
+  Synthesizer synth(scenario, config, sink);
+  SynthStats stats = synth.run();
+  IOTSCOPE_LOG_INFO(
+      "synthesized %llu packets (scan %llu, udp %llu, backscatter %llu, "
+      "icmp %llu, misconfig %llu, noise %llu, unindexed %llu)",
+      static_cast<unsigned long long>(stats.total),
+      static_cast<unsigned long long>(stats.tcp_scan),
+      static_cast<unsigned long long>(stats.udp),
+      static_cast<unsigned long long>(stats.backscatter),
+      static_cast<unsigned long long>(stats.icmp_scan),
+      static_cast<unsigned long long>(stats.misconfig),
+      static_cast<unsigned long long>(stats.noise),
+      static_cast<unsigned long long>(stats.unindexed));
+  return stats;
+}
+
+SynthStats synthesize_into(const Scenario& scenario,
+                           const ScenarioConfig& config,
+                           telescope::TelescopeCapture& capture) {
+  auto stats = synthesize_traffic(
+      scenario, config,
+      [&capture](const net::PacketRecord& p) { capture.ingest(p); });
+  capture.finish();
+  return stats;
+}
+
+}  // namespace iotscope::workload

@@ -1,0 +1,334 @@
+// Tests for the statistics toolkit: descriptive stats, Pearson with
+// p-values, Mann-Whitney U, ECDF, top-k counting, hourly series, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ecdf.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "analysis/timeseries.hpp"
+#include "analysis/topk.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::analysis {
+namespace {
+
+// ---------------- descriptive ----------------
+
+TEST(Describe, KnownSample) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  const auto d = describe(xs);
+  EXPECT_EQ(d.n, 8u);
+  EXPECT_DOUBLE_EQ(d.mean, 5.0);
+  EXPECT_NEAR(d.stddev, 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(d.min, 2.0);
+  EXPECT_DOUBLE_EQ(d.max, 9.0);
+  EXPECT_DOUBLE_EQ(d.sum, 40.0);
+}
+
+TEST(Describe, EmptyAndSingle) {
+  EXPECT_EQ(describe({}).n, 0u);
+  const std::vector<double> one = {3.5};
+  const auto d = describe(one);
+  EXPECT_DOUBLE_EQ(d.mean, 3.5);
+  EXPECT_DOUBLE_EQ(d.stddev, 0.0);
+}
+
+// ---------------- normal / beta ----------------
+
+TEST(NormalCdf, KnownValuesAndSymmetry) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  for (double z = -4; z <= 4; z += 0.37) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, BoundaryAndComplementProperty) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2, 3, 1.0), 1.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform_real(0.5, 10.0);
+    const double b = rng.uniform_real(0.5, 10.0);
+    const double x = rng.uniform_real(0.01, 0.99);
+    const double lhs = regularized_incomplete_beta(a, b, x);
+    const double rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+    EXPECT_NEAR(lhs, rhs, 1e-9);
+    EXPECT_GE(lhs, 0.0);
+    EXPECT_LE(lhs, 1.0);
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(regularized_incomplete_beta(1, 1, x), x, 1e-10);
+  }
+}
+
+TEST(StudentT, KnownTwoSidedPValues) {
+  // df=10, t=2.228 -> p ~ 0.05.
+  EXPECT_NEAR(student_t_two_sided_p(2.228, 10), 0.05, 0.002);
+  // t=0 -> p = 1.
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 10), 1.0, 1e-12);
+  // Large |t| -> p ~ 0; symmetric in sign.
+  EXPECT_LT(student_t_two_sided_p(8.0, 20), 1e-6);
+  EXPECT_NEAR(student_t_two_sided_p(-2.228, 10),
+              student_t_two_sided_p(2.228, 10), 1e-12);
+}
+
+// ---------------- pearson ----------------
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.r, 1.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 0.0, 1e-9);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y).r, -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownModerateValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> y = {2, 1, 4, 3, 7, 5, 8, 6};
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.r, 5.0 / 6.0, 1e-9);      // hand-computed for this sample
+  EXPECT_NEAR(r.p_value, 0.0102, 0.002);  // two-sided t-test, df = 6
+  EXPECT_GT(r.p_value, 0.0001);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {5, 5, 5, 5};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y).r, 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, y).p_value, 1.0);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  util::Rng rng(11);
+  std::vector<double> x(2000);
+  std::vector<double> y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform01();
+    y[i] = rng.uniform01();
+  }
+  const auto r = pearson(x, y);
+  EXPECT_LT(std::fabs(r.r), 0.06);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Pearson, MismatchedSizesThrow) {
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+// ---------------- mann-whitney ----------------
+
+TEST(MannWhitney, HandComputedSmallExample) {
+  // x = {1,2,3}, y = {4,5,6}: all of y exceed x, so U_x = 0.
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 5, 6};
+  const auto result = mann_whitney_u(x, y);
+  EXPECT_DOUBLE_EQ(result.u, 0.0);
+  EXPECT_LT(result.z, 0.0);
+}
+
+TEST(MannWhitney, SymmetricSwapFlipsU) {
+  const std::vector<double> x = {1, 5, 9, 13};
+  const std::vector<double> y = {2, 4, 8, 10};
+  const auto xy = mann_whitney_u(x, y);
+  const auto yx = mann_whitney_u(y, x);
+  EXPECT_DOUBLE_EQ(xy.u + yx.u,
+                   static_cast<double>(x.size() * y.size()));
+  EXPECT_NEAR(xy.z, -yx.z, 1e-12);
+  EXPECT_NEAR(xy.p_value, yx.p_value, 1e-12);
+}
+
+TEST(MannWhitney, IdenticalSamplesNotSignificant) {
+  const std::vector<double> x = {3, 3, 3, 3, 3};
+  const auto result = mann_whitney_u(x, x);
+  EXPECT_DOUBLE_EQ(result.z, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(MannWhitney, TiesHandledWithMidranks) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {2, 3, 3, 4};
+  const auto result = mann_whitney_u(x, y);
+  // Midranks: 1->1; the 2s occupy ranks 2-4 (midrank 3); 3s ranks 5-7
+  // (midrank 6); 4->8. R_x = 1+3+3+6 = 13, U_x = 13 - 10 = 3.
+  EXPECT_DOUBLE_EQ(result.u, 3.0);
+  EXPECT_GT(result.p_value, 0.05);  // tiny samples: not significant
+}
+
+TEST(MannWhitney, DetectsClearShiftInLargeSamples) {
+  util::Rng rng(13);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(10.0, 2.0);
+    y[i] = rng.normal(11.0, 2.0);
+  }
+  const auto result = mann_whitney_u(x, y);
+  EXPECT_LT(result.p_value, 1e-4);
+  EXPECT_LT(result.z, 0.0);  // x stochastically smaller
+}
+
+TEST(MannWhitney, EmptyInputSafe) {
+  const auto result = mann_whitney_u({}, std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+// ---------------- ecdf ----------------
+
+TEST(Ecdf, PointwiseValues) {
+  Ecdf cdf({1, 2, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.at(2), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(9.99), 0.8);
+  EXPECT_DOUBLE_EQ(cdf.at(10), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.tail_at_least(2), 0.8);
+}
+
+TEST(Ecdf, QuantilesNearestRank) {
+  Ecdf cdf({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(Ecdf, EmptySampleIsZero) {
+  Ecdf cdf;
+  EXPECT_DOUBLE_EQ(cdf.at(100), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(Ecdf, MonotonicNondecreasingProperty) {
+  util::Rng rng(17);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.pareto(1.0, 0.8);
+  Ecdf cdf(std::move(xs));
+  double prev = -1;
+  for (double x = 0; x < 1000; x += 7.3) {
+    const double f = cdf.at(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Ecdf, LogCurveCoversRangeAndIsMonotone) {
+  Ecdf cdf({1, 10, 100, 1000});
+  const auto curve = cdf.log_curve(1, 10000, 9);
+  ASSERT_EQ(curve.size(), 9u);
+  EXPECT_NEAR(curve.front().first, 1.0, 1e-9);
+  EXPECT_NEAR(curve.back().first, 10000.0, 1e-6);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_TRUE(cdf.log_curve(0, 10, 5).empty());    // invalid lo
+  EXPECT_TRUE(cdf.log_curve(10, 10, 5).empty());   // empty range
+  EXPECT_TRUE(cdf.log_curve(1, 10, 1).empty());    // too few points
+}
+
+// ---------------- topk ----------------
+
+TEST(Counter, CountsAndTopK) {
+  Counter<std::string> counter;
+  counter.add("telnet", 50);
+  counter.add("http", 9);
+  counter.add("ssh", 7);
+  counter.add("telnet", 1);
+  EXPECT_EQ(counter.count("telnet"), 51u);
+  EXPECT_EQ(counter.count("absent"), 0u);
+  EXPECT_EQ(counter.total(), 67u);
+  EXPECT_EQ(counter.distinct(), 3u);
+  const auto top = counter.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "telnet");
+  EXPECT_EQ(top[1].key, "http");
+}
+
+TEST(Counter, TopTieBrokenByKey) {
+  Counter<int> counter;
+  counter.add(9, 5);
+  counter.add(3, 5);
+  const auto top = counter.top(2);
+  EXPECT_EQ(top[0].key, 3);
+  EXPECT_EQ(top[1].key, 9);
+}
+
+// ---------------- hourly series ----------------
+
+TEST(HourlySeries, AddAtAndBoundsIgnored) {
+  HourlySeries s;
+  s.add(0, 5);
+  s.add(142, 7);
+  s.add(-1, 100);   // ignored
+  s.add(143, 100);  // ignored
+  EXPECT_DOUBLE_EQ(s.at(0), 5);
+  EXPECT_DOUBLE_EQ(s.at(142), 7);
+  EXPECT_DOUBLE_EQ(s.total(), 12);
+  EXPECT_DOUBLE_EQ(s.at(-5), 0);
+  EXPECT_DOUBLE_EQ(s.max(), 7);
+  EXPECT_EQ(s.argmax(), 142);
+}
+
+TEST(HourlySeries, DailyTotalsSplitAtMidnights) {
+  HourlySeries s;
+  for (int h = 0; h < 143; ++h) s.add(h, 1);
+  const auto days = s.daily_totals();
+  ASSERT_EQ(days.size(), 6u);
+  for (int d = 0; d < 5; ++d) EXPECT_DOUBLE_EQ(days[static_cast<std::size_t>(d)], 24);
+  EXPECT_DOUBLE_EQ(days[5], 23);  // final day has 23 hours
+}
+
+TEST(HourlySeries, SpikesAboveMultipleOfMean) {
+  HourlySeries s;
+  for (int h = 0; h < 143; ++h) s.add(h, 10);
+  s.add(50, 200);
+  s.add(100, 500);
+  const auto spikes = s.spikes(3.0);
+  EXPECT_EQ(spikes, (std::vector<int>{50, 100}));
+}
+
+// ---------------- text table ----------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"A", "Bcd"});
+  table.add_row({"xx", "1"});
+  table.add_row({"y", "22"});
+  const auto out = table.render();
+  EXPECT_NE(out.find("A   Bcd"), std::string::npos);
+  EXPECT_NE(out.find("xx  1"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  util::TempDir dir;
+  TextTable table({"name", "value"});
+  table.add_row({"a,b", "3"});
+  const auto path = dir.path() / "t.csv";
+  table.write_csv(path);
+  const auto content = util::read_file(path);
+  EXPECT_NE(content.find("\"a,b\",3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iotscope::analysis

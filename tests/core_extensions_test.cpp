@@ -1,0 +1,251 @@
+// Tests for the future-work extensions: near-real-time discovery
+// notifications, campaign clustering, and fuzzy fingerprinting of
+// unindexed IoT devices.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/campaigns.hpp"
+#include "core/fingerprint.hpp"
+#include "core/pipeline.hpp"
+#include "workload/spec.hpp"
+
+namespace iotscope::core {
+namespace {
+
+using inventory::DeviceCategory;
+using inventory::DeviceRecord;
+using inventory::IoTDeviceDatabase;
+using net::Ipv4Address;
+
+IoTDeviceDatabase small_inventory(int n) {
+  IoTDeviceDatabase db;
+  for (int i = 0; i < n; ++i) {
+    DeviceRecord d;
+    d.ip = Ipv4Address::from_octets(60, 0, 0, static_cast<std::uint8_t>(i + 1));
+    d.category = i % 2 ? DeviceCategory::Cps : DeviceCategory::Consumer;
+    if (d.is_cps()) d.services = {0};
+    db.add_device(d);
+  }
+  return db;
+}
+
+net::FlowTuple scan_flow(Ipv4Address src, net::Port port, std::uint64_t n) {
+  net::FlowTuple t;
+  t.src = src;
+  t.dst = Ipv4Address::from_octets(10, 0, 0, 1);
+  t.protocol = net::Protocol::Tcp;
+  t.tcp_flags = net::kSyn;
+  t.dst_port = port;
+  t.packet_count = n;
+  return t;
+}
+
+net::HourlyFlows hour(int interval, std::vector<net::FlowTuple> records) {
+  net::HourlyFlows flows;
+  flows.interval = interval;
+  flows.start_time = util::AnalysisWindow::interval_start(interval);
+  flows.records = std::move(records);
+  return flows;
+}
+
+// ---------------- discovery notifications ----------------
+
+TEST(Notify, SinkFiresOncePerDeviceWithFirstClass) {
+  auto db = small_inventory(3);
+  AnalysisPipeline pipeline(db);
+  std::vector<Discovery> events;
+  pipeline.set_discovery_sink(
+      [&events](const Discovery& d) { events.push_back(d); });
+
+  pipeline.observe(hour(0, {scan_flow(db.devices()[0].ip, 23, 5)}));
+  pipeline.observe(hour(1, {scan_flow(db.devices()[0].ip, 23, 9),
+                            scan_flow(db.devices()[1].ip, 7547, 2)}));
+  pipeline.finalize();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].device, 0u);
+  EXPECT_EQ(events[0].interval, 0);
+  EXPECT_EQ(events[0].first_class, FlowClass::TcpScan);
+  EXPECT_EQ(events[0].packets, 5u);
+  EXPECT_EQ(events[1].device, 1u);
+  EXPECT_EQ(events[1].interval, 1);
+}
+
+TEST(Notify, NoSinkNoCrashAndUnknownSourcesDoNotNotify) {
+  auto db = small_inventory(1);
+  AnalysisPipeline pipeline(db);
+  std::size_t events = 0;
+  pipeline.set_discovery_sink([&events](const Discovery&) { ++events; });
+  pipeline.observe(hour(0, {scan_flow(Ipv4Address::from_octets(9, 9, 9, 9),
+                                      23, 100)}));
+  pipeline.finalize();
+  EXPECT_EQ(events, 0u);
+}
+
+// ---------------- campaign clustering ----------------
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  IoTDeviceDatabase db_ = small_inventory(10);
+};
+
+TEST_F(CampaignTest, GroupsOverlappingSameServiceScanners) {
+  AnalysisPipeline pipeline(db_);
+  // Devices 0-3: Telnet from hour 0. Devices 4-5: Telnet much later
+  // (separate campaign). Device 6: CWMP.
+  for (int d = 0; d < 4; ++d) {
+    pipeline.observe(hour(d, {scan_flow(db_.devices()[static_cast<std::size_t>(d)].ip, 23, 50)}));
+  }
+  pipeline.observe(hour(100, {scan_flow(db_.devices()[4].ip, 23, 40),
+                              scan_flow(db_.devices()[6].ip, 7547, 60)}));
+  pipeline.observe(hour(101, {scan_flow(db_.devices()[5].ip, 2323, 30)}));
+  const auto report = pipeline.finalize();
+
+  const auto campaigns = cluster_campaigns(report, db_);
+  ASSERT_EQ(campaigns.campaigns.size(), 2u);  // CWMP solo device dropped
+  // Heaviest first: the 4-device Telnet campaign (200 pkts).
+  EXPECT_EQ(campaigns.campaigns[0].service_name, "Telnet");
+  EXPECT_EQ(campaigns.campaigns[0].devices.size(), 4u);
+  EXPECT_EQ(campaigns.campaigns[0].start_interval, 0);
+  EXPECT_EQ(campaigns.campaigns[0].end_interval, 3);
+  EXPECT_EQ(campaigns.campaigns[0].packets, 200u);
+  // Second: the late 2-device Telnet campaign (23 + 2323 same service).
+  EXPECT_EQ(campaigns.campaigns[1].service_name, "Telnet");
+  EXPECT_EQ(campaigns.campaigns[1].devices.size(), 2u);
+  EXPECT_EQ(campaigns.campaigns[1].start_interval, 100);
+  EXPECT_EQ(campaigns.devices_clustered, 6u);
+  EXPECT_EQ(campaigns.devices_unclustered, 1u);  // the lone CWMP device
+}
+
+TEST_F(CampaignTest, MinPacketFloorExcludesOneOffProbes) {
+  AnalysisPipeline pipeline(db_);
+  pipeline.observe(hour(0, {scan_flow(db_.devices()[0].ip, 23, 100),
+                            scan_flow(db_.devices()[1].ip, 23, 100),
+                            scan_flow(db_.devices()[2].ip, 23, 3)}));
+  const auto report = pipeline.finalize();
+  CampaignOptions options;
+  options.min_device_packets = 10;
+  const auto campaigns = cluster_campaigns(report, db_, options);
+  ASSERT_EQ(campaigns.campaigns.size(), 1u);
+  EXPECT_EQ(campaigns.campaigns[0].devices.size(), 2u);
+}
+
+TEST_F(CampaignTest, WindowGapOptionControlsMerging) {
+  AnalysisPipeline pipeline(db_);
+  pipeline.observe(hour(0, {scan_flow(db_.devices()[0].ip, 22, 50)}));
+  pipeline.observe(hour(20, {scan_flow(db_.devices()[1].ip, 22, 50)}));
+  const auto report = pipeline.finalize();
+
+  CampaignOptions tight;
+  tight.max_window_gap = 5;
+  tight.min_campaign_devices = 1;
+  EXPECT_EQ(cluster_campaigns(report, db_, tight).campaigns.size(), 2u);
+
+  CampaignOptions loose;
+  loose.max_window_gap = 30;
+  loose.min_campaign_devices = 1;
+  const auto merged = cluster_campaigns(report, db_, loose);
+  ASSERT_EQ(merged.campaigns.size(), 1u);
+  EXPECT_EQ(merged.campaigns[0].service_name, "SSH");
+  EXPECT_EQ(merged.campaigns[0].duration_hours(), 21);
+}
+
+// ---------------- fingerprinting ----------------
+
+TEST(Fingerprint, IotPortPredicateCoversStudyPorts) {
+  for (const net::Port port : {23, 2323, 23231, 7547, 37547, 53413, 554}) {
+    EXPECT_TRUE(is_iot_associated_port(port)) << port;
+  }
+  for (const net::Port port : {22, 80, 443, 445, 1433, 3389}) {
+    EXPECT_FALSE(is_iot_associated_port(port)) << port;
+  }
+}
+
+TEST(Fingerprint, SurfacesSustainedIotScannersAndIgnoresNoise) {
+  auto db = small_inventory(2);
+  AnalysisPipeline pipeline(db);
+
+  const auto bot = Ipv4Address::from_octets(203, 0, 113, 7);     // unindexed bot
+  const auto server = Ipv4Address::from_octets(198, 51, 100, 9); // web backscatterer
+  for (int h = 0; h < 10; ++h) {
+    std::vector<net::FlowTuple> records;
+    records.push_back(scan_flow(bot, 23, 8));           // telnet SYN probes
+    records.push_back(scan_flow(bot, 2323, 2));
+    // A non-IoT unknown source: sustained SYNs to port 445 only.
+    records.push_back(scan_flow(server, 445, 10));
+    // One-packet background radiation (below the hourly floor).
+    records.push_back(scan_flow(
+        Ipv4Address(static_cast<std::uint32_t>(0x50000000 + h)), 23, 1));
+    pipeline.observe(hour(h, std::move(records)));
+  }
+  const auto report = pipeline.finalize();
+
+  // Profiles: only the two sustained sources were promoted.
+  ASSERT_EQ(report.unknown_sources.size(), 2u);
+
+  const auto fp = fingerprint_unindexed(report);
+  ASSERT_EQ(fp.candidates.size(), 1u);
+  EXPECT_EQ(fp.candidates[0].ip, bot);
+  EXPECT_EQ(fp.candidates[0].packets, 100u);
+  EXPECT_DOUBLE_EQ(fp.candidates[0].iot_port_share, 1.0);
+  EXPECT_DOUBLE_EQ(fp.candidates[0].syn_share, 1.0);
+  EXPECT_EQ(fp.candidates[0].first_interval, 0);
+  EXPECT_EQ(fp.candidates[0].last_interval, 9);
+}
+
+TEST(Fingerprint, MinPacketOptionFiltersThinProfiles) {
+  auto db = small_inventory(1);
+  AnalysisPipeline pipeline(db);
+  const auto bot = Ipv4Address::from_octets(203, 0, 113, 8);
+  pipeline.observe(hour(0, {scan_flow(bot, 23, 6)}));  // promoted but thin
+  const auto report = pipeline.finalize();
+  FingerprintOptions strict;
+  strict.min_packets = 50;
+  const auto fp = fingerprint_unindexed(report, strict);
+  EXPECT_TRUE(fp.candidates.empty());
+  EXPECT_EQ(fp.profiles_below_min_packets, 1u);
+  FingerprintOptions lax;
+  lax.min_packets = 5;
+  EXPECT_EQ(fingerprint_unindexed(report, lax).candidates.size(), 1u);
+}
+
+TEST(Fingerprint, BackscatterFromUnknownVictimIsNotIotScanner) {
+  auto db = small_inventory(1);
+  AnalysisPipeline pipeline(db);
+  const auto victim = Ipv4Address::from_octets(203, 0, 113, 9);
+  net::FlowTuple t;
+  t.src = victim;
+  t.dst = Ipv4Address::from_octets(10, 2, 3, 4);
+  t.protocol = net::Protocol::Tcp;
+  t.tcp_flags = net::kSyn | net::kAck;  // backscatter, not probing
+  t.src_port = 80;
+  t.dst_port = 23;  // toward an "IoT" port by chance
+  t.packet_count = 500;
+  pipeline.observe(hour(0, {t}));
+  const auto report = pipeline.finalize();
+  // Profiled (sustained) but rejected: SYN share is zero.
+  ASSERT_EQ(report.unknown_sources.size(), 1u);
+  EXPECT_TRUE(fingerprint_unindexed(report).candidates.empty());
+}
+
+// ---------------- per-device ledger extensions ----------------
+
+TEST(Ledger, DominantServiceAndLastInterval) {
+  auto db = small_inventory(1);
+  AnalysisPipeline pipeline(db);
+  pipeline.observe(hour(3, {scan_flow(db.devices()[0].ip, 23, 10),
+                            scan_flow(db.devices()[0].ip, 22, 30)}));
+  pipeline.observe(hour(7, {scan_flow(db.devices()[0].ip, 22, 5)}));
+  const auto report = pipeline.finalize();
+  const auto* ledger = report.traffic_for(0);
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->first_interval, 3);
+  EXPECT_EQ(ledger->last_interval, 7);
+  const int dominant = ledger->dominant_scan_service();
+  EXPECT_EQ(workload::scan_services()[static_cast<std::size_t>(dominant)].name,
+            "SSH");
+}
+
+}  // namespace
+}  // namespace iotscope::core

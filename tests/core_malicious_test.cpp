@@ -1,0 +1,153 @@
+// Deterministic tests of the Section V maliciousness analysis over
+// crafted threat/malware intel.
+#include "core/malicious.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace iotscope::core {
+namespace {
+
+using inventory::DeviceCategory;
+using inventory::DeviceRecord;
+using inventory::IoTDeviceDatabase;
+using net::Ipv4Address;
+
+class MaliciousTest : public ::testing::Test {
+ protected:
+  MaliciousTest() {
+    // Five devices: three consumer scanners, one CPS scanner, one CPS
+    // backscatter victim.
+    for (int i = 0; i < 5; ++i) {
+      DeviceRecord d;
+      d.ip = Ipv4Address::from_octets(77, 0, 0, static_cast<std::uint8_t>(i + 1));
+      d.category = i < 3 ? DeviceCategory::Consumer : DeviceCategory::Cps;
+      if (d.is_cps()) d.services = {0};
+      db_.add_device(d);
+    }
+
+    AnalysisPipeline pipeline(db_);
+    net::HourlyFlows flows;
+    flows.interval = 0;
+    auto add = [&flows](Ipv4Address src, std::uint8_t flags, std::uint64_t n) {
+      net::FlowTuple t;
+      t.src = src;
+      t.dst = Ipv4Address::from_octets(10, 0, 0, 1);
+      t.protocol = net::Protocol::Tcp;
+      t.tcp_flags = flags;
+      t.dst_port = 23;
+      t.packet_count = n;
+      flows.records.push_back(t);
+    };
+    add(ip(0), net::kSyn, 1000);  // heavy consumer scanner
+    add(ip(1), net::kSyn, 100);
+    add(ip(2), net::kSyn, 10);
+    add(ip(3), net::kSyn, 500);             // CPS scanner
+    add(ip(4), net::kSyn | net::kAck, 50);  // CPS victim (backscatter only)
+    pipeline.observe(flows);
+    report_ = pipeline.finalize();
+  }
+
+  Ipv4Address ip(int i) const {
+    return Ipv4Address::from_octets(77, 0, 0, static_cast<std::uint8_t>(i + 1));
+  }
+
+  IoTDeviceDatabase db_;
+  Report report_;
+};
+
+TEST_F(MaliciousTest, ExploredSetIsVictimsPlusTopPerRealm) {
+  MaliciousnessOptions options;
+  options.top_per_realm = 2;
+  intel::ThreatRepository empty_threats;
+  intel::MalwareDatabase empty_malware;
+  intel::FamilyResolver resolver;
+  const auto result = analyze_maliciousness(report_, db_, empty_threats,
+                                            empty_malware, resolver, options);
+  // Victims: device 4. Top-2 consumer: devices 0, 1. Top-2 (only 1) CPS
+  // scanner: device 3. Device 2 is cut by the top-N limit.
+  EXPECT_EQ(result.explored_devices, 4u);
+  EXPECT_EQ(result.flagged_devices, 0u);
+  EXPECT_EQ(result.explored_packets.size(), 4u);
+}
+
+TEST_F(MaliciousTest, ThreatCorrelationCountsCategories) {
+  intel::ThreatRepository threats;
+  threats.add({ip(0), intel::ThreatCategory::Scanning, "f", 1, ""});
+  threats.add({ip(0), intel::ThreatCategory::Malware, "f", 1, ""});
+  threats.add({ip(3), intel::ThreatCategory::Scanning, "f", 1, ""});
+  threats.add({ip(3), intel::ThreatCategory::Malware, "f", 1, ""});
+  threats.add({ip(4), intel::ThreatCategory::Spam, "f", 1, ""});
+  // Unrelated IP must not leak into the result.
+  threats.add({Ipv4Address::from_octets(200, 1, 1, 1),
+               intel::ThreatCategory::Phishing, "f", 1, ""});
+
+  intel::MalwareDatabase empty_malware;
+  intel::FamilyResolver resolver;
+  const auto result = analyze_maliciousness(report_, db_, threats,
+                                            empty_malware, resolver, {});
+  EXPECT_EQ(result.flagged_devices, 3u);
+  EXPECT_EQ(result.category_devices[static_cast<std::size_t>(
+                intel::ThreatCategory::Scanning)], 2u);
+  EXPECT_EQ(result.category_devices[static_cast<std::size_t>(
+                intel::ThreatCategory::Spam)], 1u);
+  EXPECT_EQ(result.category_devices[static_cast<std::size_t>(
+                intel::ThreatCategory::Phishing)], 0u);
+  // Malware split: device 0 is consumer+scanning, device 3 CPS+scanning.
+  EXPECT_EQ(result.malware_consumer, 1u);
+  EXPECT_EQ(result.malware_scanning_consumer, 1u);
+  EXPECT_EQ(result.malware_cps, 1u);
+  EXPECT_EQ(result.malware_scanning_cps, 1u);
+  EXPECT_EQ(result.flagged_packets.size(), 3u);
+}
+
+TEST_F(MaliciousTest, MalwareCorrelationResolvesFamilies) {
+  intel::MalwareDatabase malware;
+  intel::MalwareReport r1;
+  r1.sha256 = "hash1";
+  r1.contacted_ips = {ip(0), ip(3)};
+  r1.domains = {"c2-a.example", "c2-b.example"};
+  malware.add(r1);
+  intel::MalwareReport r2;
+  r2.sha256 = "hash2";
+  r2.contacted_ips = {ip(3)};
+  r2.domains = {"c2-b.example"};
+  malware.add(r2);
+  intel::MalwareReport decoy;
+  decoy.sha256 = "hash3";
+  decoy.contacted_ips = {Ipv4Address::from_octets(203, 0, 113, 9)};
+  malware.add(decoy);
+
+  intel::FamilyResolver resolver;
+  resolver.register_sample("hash1", {"Ramnit", 40, 60});
+  resolver.register_sample("hash2", {"Zusy", 30, 60});
+  resolver.register_sample("hash3", {"ShouldNotAppear", 30, 60});
+
+  intel::ThreatRepository empty_threats;
+  const auto result = analyze_maliciousness(report_, db_, empty_threats,
+                                            malware, resolver, {});
+  EXPECT_EQ(result.devices_in_reports, 2u);
+  EXPECT_EQ(result.unique_hashes, 2u);
+  EXPECT_EQ(result.domains, 2u);
+  ASSERT_EQ(result.families.size(), 2u);
+  EXPECT_EQ(result.families[0], "Ramnit");
+  EXPECT_EQ(result.families[1], "Zusy");
+}
+
+TEST_F(MaliciousTest, UnresolvedHashesStillCountAsVariants) {
+  intel::MalwareDatabase malware;
+  intel::MalwareReport r;
+  r.sha256 = "unresolved";
+  r.contacted_ips = {ip(1)};
+  malware.add(r);
+  intel::FamilyResolver resolver;  // empty: VT knows nothing
+  intel::ThreatRepository empty_threats;
+  const auto result = analyze_maliciousness(report_, db_, empty_threats,
+                                            malware, resolver, {});
+  EXPECT_EQ(result.unique_hashes, 1u);
+  EXPECT_TRUE(result.families.empty());
+}
+
+}  // namespace
+}  // namespace iotscope::core

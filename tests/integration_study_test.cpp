@@ -1,0 +1,258 @@
+// End-to-end integration: runs the full study at test scale and checks
+// (a) paper-shape invariants with tolerances and (b) ground-truth
+// validation the paper itself could never do — discovered devices must be
+// exactly the planned compromised devices that emitted traffic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/ecdf.hpp"
+#include "core/iotscope.hpp"
+
+namespace iotscope::core {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static const StudyResult& result() {
+    static const StudyResult instance =
+        run_study(StudyConfig::test_default());
+    return instance;
+  }
+};
+
+TEST_F(StudyTest, DiscoveredDevicesAreExactlyEmittingPlannedDevices) {
+  const auto& truth = result().scenario.truth;
+  std::set<std::uint32_t> planned;
+  for (const auto& plan : truth.plans) planned.insert(plan.device);
+  // Soundness: every discovered device was planned (no false positives —
+  // noise sources are not inventory IPs and clean devices stay silent).
+  for (const auto& ledger : result().report.devices) {
+    EXPECT_TRUE(planned.count(ledger.device))
+        << "device " << ledger.device << " discovered but never planned";
+  }
+  // Completeness: nearly every planned device is discovered (Poisson
+  // emission can drop a silent tail of tiny-budget devices).
+  const double recall = static_cast<double>(result().report.devices.size()) /
+                        static_cast<double>(planned.size());
+  EXPECT_GT(recall, 0.95);
+}
+
+TEST_F(StudyTest, ConsumerShareMatchesPaperSplit) {
+  const auto& report = result().report;
+  const double consumer_share =
+      static_cast<double>(report.discovered_consumer) /
+      static_cast<double>(report.discovered_total());
+  EXPECT_NEAR(consumer_share, 0.57, 0.06);  // paper: 57% consumer
+}
+
+TEST_F(StudyTest, RussiaHostsMostCompromisedDevices) {
+  const auto& rows = result().character.by_country_compromised;
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(result().scenario.inventory.country_name(rows[0].country),
+            "Russian Federation");
+  const double share =
+      static_cast<double>(rows[0].compromised()) /
+      static_cast<double>(result().report.discovered_total());
+  EXPECT_NEAR(share, 0.245, 0.08);  // paper: 24.5%
+}
+
+TEST_F(StudyTest, RouterIsTopCompromisedConsumerType) {
+  const auto& types = result().character.consumer_types;
+  const auto router = types[static_cast<std::size_t>(
+      inventory::ConsumerType::Router)];
+  for (int t = 1; t < inventory::kConsumerTypeCount; ++t) {
+    EXPECT_GE(router, types[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST_F(StudyTest, TelventAndSncGeneLeadTheCpsProtocolTable) {
+  // Telvent (20.0%) and SNC GENe (18.3%) sit close together; at the tiny
+  // test scale their ranks wobble within the top three. Assert both are
+  // top-3 and Telvent's device share lands near its 20% weight.
+  const auto& protocols = result().character.cps_protocols;
+  ASSERT_GE(protocols.size(), 3u);
+  const auto& catalog = result().scenario.inventory.catalog();
+  std::set<std::string> top3;
+  for (int i = 0; i < 3; ++i) {
+    top3.insert(catalog.cps_protocol_name(protocols[static_cast<std::size_t>(i)].first));
+  }
+  EXPECT_TRUE(top3.count("Telvent OASyS DNA"));
+  EXPECT_TRUE(top3.count("SNC GENe"));
+  const auto telvent_id = catalog.cps_protocol_id("Telvent OASyS DNA");
+  for (const auto& [proto, count] : protocols) {
+    if (proto != telvent_id) continue;
+    const double share = static_cast<double>(count) /
+                         static_cast<double>(result().report.discovered_cps);
+    EXPECT_NEAR(share, 0.20, 0.07);
+  }
+}
+
+TEST_F(StudyTest, Day1DiscoveryShareNearFortySixPercent) {
+  const auto& report = result().report;
+  const double day1 =
+      static_cast<double>(report.cumulative_by_day_consumer[0] +
+                          report.cumulative_by_day_cps[0]);
+  EXPECT_NEAR(day1 / static_cast<double>(report.discovered_total()), 0.46,
+              0.08);
+}
+
+TEST_F(StudyTest, TelnetTakesAboutHalfOfScanning) {
+  const auto& report = result().report;
+  const auto telnet = static_cast<std::size_t>(
+      workload::scan_service_index("Telnet"));
+  const double share = static_cast<double>(
+                           report.scan_services[telnet].packets) /
+                       static_cast<double>(report.tcp_scan_total);
+  EXPECT_NEAR(share, 0.502, 0.08);  // paper: 50.2%
+}
+
+TEST_F(StudyTest, UdpShareNearTenPercent) {
+  const auto& report = result().report;
+  const double share = static_cast<double>(report.udp_total_packets) /
+                       static_cast<double>(report.total_packets);
+  EXPECT_NEAR(share, 0.10, 0.05);  // paper: 10.4%
+}
+
+TEST_F(StudyTest, BackscatterShareNearEightPercent) {
+  const auto& report = result().report;
+  const double share = static_cast<double>(report.backscatter_total) /
+                       static_cast<double>(report.total_packets);
+  EXPECT_NEAR(share, 0.082, 0.04);  // paper: 8.2%
+  EXPECT_GT(static_cast<double>(report.backscatter_packets.cps),
+            static_cast<double>(report.backscatter_packets.consumer));
+}
+
+TEST_F(StudyTest, Port37547LeadsTheUdpTable) {
+  // Paper's top three UDP ports (37547 at 2.52%, 137 at 2.06%, 53413 at
+  // 2.05%) are close enough that tiny-scale sampling can reorder them;
+  // assert 37547 sits in the top three and the top three are paper ports.
+  const auto& ports = result().report.udp_top_ports;
+  ASSERT_GE(ports.size(), 5u);
+  std::set<net::Port> top3 = {ports[0].port, ports[1].port, ports[2].port};
+  EXPECT_TRUE(top3.count(37547));
+  // Most of the measured top-12 ports must come from the paper's Table IV
+  // set (individual heavy devices can push a stray port up at tiny scale).
+  std::set<net::Port> paper_ports;
+  for (const auto& spec : workload::udp_ports()) paper_ports.insert(spec.port);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ports.size() && i < 12; ++i) {
+    if (paper_ports.count(ports[i].port)) ++hits;
+  }
+  EXPECT_GE(hits, 6u);
+}
+
+TEST_F(StudyTest, ScriptedDosSpikesAreDetectedWithDominantVictims) {
+  const auto& report = result().report;
+  ASSERT_FALSE(report.dos_spikes.empty());
+  // Interval 6 (0-based 5) belongs to the first Chinese PLC attack.
+  const auto spike = std::find_if(
+      report.dos_spikes.begin(), report.dos_spikes.end(),
+      [](const DosSpike& s) { return s.interval >= 5 && s.interval <= 7; });
+  ASSERT_NE(spike, report.dos_spikes.end());
+  EXPECT_GT(spike->top_victim_share, 0.85);
+  const auto& victim =
+      result().scenario.inventory.devices()[spike->top_victim];
+  EXPECT_TRUE(victim.is_cps());
+  EXPECT_EQ(result().scenario.inventory.country_name(victim.country),
+            "China");
+}
+
+TEST_F(StudyTest, BackroomNetStartsNearInterval113) {
+  const auto& report = result().report;
+  const auto idx = static_cast<std::size_t>(
+      workload::scan_service_index("BackroomNet"));
+  const auto& series = report.scan_service_series[idx];
+  // First hour of *sustained* volume — stray random-port probes can graze
+  // port 3387 before the scripted window.
+  int first = -1;
+  for (int h = 0; h < series.size(); ++h) {
+    if (series.at(h) > 0.2 * series.max()) {
+      first = h;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  EXPECT_NEAR(first, 112, 2);
+  EXPECT_GT(series.at(130), 0.0);  // sustained through the tail window
+}
+
+TEST_F(StudyTest, ConsumerUdpPortIpCorrelationIsStrong) {
+  const auto& r = result().report.udp_consumer_port_ip_correlation;
+  EXPECT_GT(r.r, 0.7);  // paper: 0.95
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST_F(StudyTest, PerDeviceVolumeIsHeavyTailed) {
+  std::vector<double> volumes;
+  for (const auto& ledger : result().report.devices) {
+    volumes.push_back(static_cast<double>(ledger.packets));
+  }
+  analysis::Ecdf cdf(std::move(volumes));
+  // Median far below mean: heavy tail.
+  const auto stats = analysis::describe(cdf.sorted());
+  EXPECT_LT(cdf.quantile(0.5), stats.mean * 0.5);
+}
+
+TEST_F(StudyTest, ThreatFlaggingNearPaperRate) {
+  const auto& mal = result().malicious;
+  const double rate = static_cast<double>(mal.flagged_devices) /
+                      static_cast<double>(mal.explored_devices);
+  // Paper: 9.2%. The deterministically-flagged scripted heroes put a floor
+  // on the rate that dominates at the tiny test scale; bound loosely here
+  // (the bench-scale run lands at ~8-9%).
+  EXPECT_GT(rate, 0.04);
+  EXPECT_LT(rate, 0.20);
+  // Scanning dominates the flagged categories (paper: 96.3%).
+  const double scan_share =
+      static_cast<double>(mal.category_devices[static_cast<std::size_t>(
+          intel::ThreatCategory::Scanning)]) /
+      static_cast<double>(mal.flagged_devices);
+  EXPECT_GT(scan_share, 0.8);
+}
+
+TEST_F(StudyTest, AllElevenFamiliesRecovered) {
+  const auto& families = result().malicious.families;
+  for (const auto& family : intel::iot_malware_families()) {
+    EXPECT_TRUE(std::find(families.begin(), families.end(), family) !=
+                families.end())
+        << family;
+  }
+  // No decoy family leaks in: decoys never contact inventory IPs.
+  for (const auto& family : families) {
+    const auto& known = intel::iot_malware_families();
+    EXPECT_TRUE(std::find(known.begin(), known.end(), family) != known.end())
+        << family;
+  }
+}
+
+TEST_F(StudyTest, SynthStatsAndPipelineAgreeOnVolume) {
+  const auto& stats = result().synth_stats;
+  const auto& report = result().report;
+  // Pipeline sees IoT packets = total emitted minus the unattributable
+  // traffic (background noise + unindexed IoT scanning).
+  EXPECT_EQ(report.total_packets + report.unattributed_packets, stats.total);
+  EXPECT_EQ(report.unattributed_packets, stats.noise + stats.unindexed);
+}
+
+TEST_F(StudyTest, StudyIsDeterministic) {
+  const auto second = run_study(StudyConfig::test_default());
+  EXPECT_EQ(second.report.total_packets, result().report.total_packets);
+  EXPECT_EQ(second.report.discovered_total(),
+            result().report.discovered_total());
+  EXPECT_EQ(second.malicious.flagged_devices,
+            result().malicious.flagged_devices);
+}
+
+TEST_F(StudyTest, MannWhitneyDirectionMatchesPaper) {
+  // Paper: CPS hourly backscatter significantly exceeds consumer.
+  const auto& mwu = result().report.backscatter_mwu;
+  EXPECT_GT(mwu.u, 0.0);
+  // Direction: the CPS sample (first argument) is stochastically larger,
+  // i.e. U above its mean -> positive z.
+  EXPECT_GT(mwu.z, 0.0);
+}
+
+}  // namespace
+}  // namespace iotscope::core

@@ -1,0 +1,192 @@
+// Tests for the threat repository, the sandbox XML codec, the malware
+// database, and the family resolver.
+#include <gtest/gtest.h>
+
+#include "intel/malware.hpp"
+#include "intel/threat.hpp"
+#include "util/io.hpp"
+
+namespace iotscope::intel {
+namespace {
+
+using net::Ipv4Address;
+
+// ---------------- threat repository ----------------
+
+TEST(ThreatRepository, AddFlagAndCategoryMask) {
+  ThreatRepository repo;
+  const auto ip = Ipv4Address::from_octets(5, 6, 7, 8);
+  EXPECT_FALSE(repo.flagged(ip));
+  repo.add({ip, ThreatCategory::Scanning, "feed-a", 100, "scan"});
+  repo.add({ip, ThreatCategory::Malware, "feed-b", 200, "bot"});
+  EXPECT_TRUE(repo.flagged(ip));
+  EXPECT_TRUE(repo.has_category(ip, ThreatCategory::Scanning));
+  EXPECT_TRUE(repo.has_category(ip, ThreatCategory::Malware));
+  EXPECT_FALSE(repo.has_category(ip, ThreatCategory::Phishing));
+  EXPECT_EQ(repo.events_for(ip).size(), 2u);
+  EXPECT_EQ(repo.event_count(), 2u);
+  EXPECT_EQ(repo.flagged_ips(), 1u);
+  EXPECT_TRUE(repo.events_for(Ipv4Address(1)).empty());
+}
+
+TEST(ThreatRepository, CategoryNames) {
+  EXPECT_STREQ(to_string(ThreatCategory::Scanning), "Scanning");
+  EXPECT_STREQ(to_string(ThreatCategory::BruteForce), "Brute force (SSH)");
+  EXPECT_EQ(kThreatCategoryCount, 6);
+}
+
+TEST(ThreatRepository, CsvRoundTrip) {
+  util::TempDir dir;
+  ThreatRepository repo;
+  repo.add({Ipv4Address::from_octets(1, 1, 1, 1), ThreatCategory::Spam,
+            "feed", 42, "note text"});
+  repo.add({Ipv4Address::from_octets(2, 2, 2, 2), ThreatCategory::Phishing,
+            "feed2", 43, "phish"});
+  const auto path = dir.path() / "threats.csv";
+  repo.save_csv(path);
+  const auto loaded = ThreatRepository::load_csv(path);
+  EXPECT_EQ(loaded.event_count(), 2u);
+  EXPECT_TRUE(loaded.has_category(Ipv4Address::from_octets(1, 1, 1, 1),
+                                  ThreatCategory::Spam));
+  EXPECT_TRUE(loaded.has_category(Ipv4Address::from_octets(2, 2, 2, 2),
+                                  ThreatCategory::Phishing));
+}
+
+TEST(ThreatRepository, LoadRejectsMalformedRows) {
+  util::TempDir dir;
+  const auto path = dir.path() / "bad.csv";
+  util::write_file(path, "1.2.3.4,notanum\n");
+  EXPECT_THROW(ThreatRepository::load_csv(path), util::IoError);
+  util::write_file(path, "nonsense,0,src,1,note\n");
+  EXPECT_THROW(ThreatRepository::load_csv(path), util::IoError);
+  util::write_file(path, "1.2.3.4,99,src,1,note\n");
+  EXPECT_THROW(ThreatRepository::load_csv(path), util::IoError);
+}
+
+// ---------------- sandbox XML ----------------
+
+MalwareReport sample_report() {
+  MalwareReport report;
+  report.sha256 = "aabbccdd00112233";
+  report.contacted_ips = {Ipv4Address::from_octets(41, 42, 43, 44),
+                          Ipv4Address::from_octets(5, 5, 5, 5)};
+  report.domains = {"c2.example.org", "pool-7.ddns.example"};
+  report.urls = {"http://c2.example.org/gate.php?a=1&b=<x>"};
+  report.dlls = {"ws2_32.dll", "kernel32.dll"};
+  report.registry_keys = {"HKLM\\SOFTWARE\\Run\\\"quoted\""};
+  report.memory_peak_kb = 32768;
+  return report;
+}
+
+TEST(SandboxXml, RoundTripWithEscaping) {
+  const auto original = sample_report();
+  const auto xml = SandboxXmlCodec::write(original);
+  EXPECT_NE(xml.find("&amp;"), std::string::npos);  // & in URL escaped
+  EXPECT_NE(xml.find("&lt;x&gt;"), std::string::npos);
+  const auto parsed = SandboxXmlCodec::parse(xml);
+  EXPECT_EQ(parsed.sha256, original.sha256);
+  EXPECT_EQ(parsed.contacted_ips, original.contacted_ips);
+  EXPECT_EQ(parsed.domains, original.domains);
+  EXPECT_EQ(parsed.urls, original.urls);
+  EXPECT_EQ(parsed.dlls, original.dlls);
+  EXPECT_EQ(parsed.registry_keys, original.registry_keys);
+  EXPECT_EQ(parsed.memory_peak_kb, original.memory_peak_kb);
+}
+
+TEST(SandboxXml, EmptyListsRoundTrip) {
+  MalwareReport report;
+  report.sha256 = "00";
+  const auto parsed = SandboxXmlCodec::parse(SandboxXmlCodec::write(report));
+  EXPECT_TRUE(parsed.contacted_ips.empty());
+  EXPECT_TRUE(parsed.domains.empty());
+  EXPECT_EQ(parsed.memory_peak_kb, 0u);
+}
+
+TEST(SandboxXml, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(SandboxXmlCodec::parse(""), util::IoError);
+  EXPECT_THROW(SandboxXmlCodec::parse("<notreport></notreport>"),
+               util::IoError);
+  EXPECT_THROW(SandboxXmlCodec::parse("<report><sha256>x</sha256>"),
+               util::IoError);
+  // Bad IP inside connections.
+  const char* bad_ip =
+      "<report><sha256>x</sha256><network><connections><ip>999.1.1.1</ip>"
+      "</connections><domains></domains><urls></urls></network>"
+      "<system><dlls></dlls><registry></registry></system></report>";
+  EXPECT_THROW(SandboxXmlCodec::parse(bad_ip), util::IoError);
+  EXPECT_THROW(SandboxXmlCodec::parse("<report><sha256>a&unknown;b</sha256>"),
+               util::IoError);
+}
+
+// ---------------- malware database ----------------
+
+TEST(MalwareDatabase, IndexesByIpDomainAndHash) {
+  MalwareDatabase db;
+  auto report = sample_report();
+  db.add(report);
+  MalwareReport other;
+  other.sha256 = "ffee";
+  other.contacted_ips = {Ipv4Address::from_octets(41, 42, 43, 44)};
+  other.domains = {"other.example"};
+  db.add(other);
+
+  EXPECT_EQ(db.size(), 2u);
+  const auto hits = db.reports_contacting(Ipv4Address::from_octets(41, 42, 43, 44));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(db.reports_contacting(Ipv4Address::from_octets(9, 9, 9, 9)).size(),
+            0u);
+  EXPECT_EQ(db.reports_for_domain("c2.example.org").size(), 1u);
+  EXPECT_EQ(db.reports_for_domain("absent.example").size(), 0u);
+  ASSERT_NE(db.by_hash("ffee"), nullptr);
+  EXPECT_EQ(db.by_hash("ffee")->domains[0], "other.example");
+  EXPECT_EQ(db.by_hash("nope"), nullptr);
+}
+
+TEST(MalwareDatabase, ReportContactedHelper) {
+  const auto report = sample_report();
+  EXPECT_TRUE(report.contacted(Ipv4Address::from_octets(5, 5, 5, 5)));
+  EXPECT_FALSE(report.contacted(Ipv4Address::from_octets(5, 5, 5, 6)));
+}
+
+TEST(MalwareDatabase, XmlExportImportRoundTrip) {
+  util::TempDir dir;
+  MalwareDatabase db;
+  db.add(sample_report());
+  MalwareReport second;
+  second.sha256 = "1234567890abcdef1234";
+  second.contacted_ips = {Ipv4Address::from_octets(7, 7, 7, 7)};
+  db.add(second);
+  db.export_xml(dir.path() / "reports");
+  const auto loaded = MalwareDatabase::import_xml(dir.path() / "reports");
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(
+      loaded.reports_contacting(Ipv4Address::from_octets(7, 7, 7, 7)).size(),
+      1u);
+  ASSERT_NE(loaded.by_hash(sample_report().sha256), nullptr);
+  EXPECT_EQ(loaded.by_hash(sample_report().sha256)->memory_peak_kb, 32768u);
+}
+
+// ---------------- family resolver ----------------
+
+TEST(FamilyResolver, LookupAndOverwrite) {
+  FamilyResolver resolver;
+  EXPECT_FALSE(resolver.lookup("x").has_value());
+  resolver.register_sample("x", {"Ramnit", 40, 60});
+  auto verdict = resolver.lookup("x");
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->family, "Ramnit");
+  EXPECT_EQ(verdict->positives, 40);
+  resolver.register_sample("x", {"Zusy", 10, 60});
+  EXPECT_EQ(resolver.lookup("x")->family, "Zusy");
+  EXPECT_EQ(resolver.size(), 1u);
+}
+
+TEST(FamilyCatalog, ContainsTable7Families) {
+  const auto& families = iot_malware_families();
+  EXPECT_EQ(families.size(), 11u);
+  EXPECT_EQ(families.front(), "Ramnit");
+  EXPECT_EQ(families.back(), "Allaple");
+}
+
+}  // namespace
+}  // namespace iotscope::intel

@@ -1,0 +1,286 @@
+// Tests for the catalogs, the device database, and the Shodan-style
+// inventory synthesizer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "inventory/catalog.hpp"
+#include "inventory/database.hpp"
+#include "inventory/generator.hpp"
+#include "util/io.hpp"
+
+namespace iotscope::inventory {
+namespace {
+
+// ---------------- catalog ----------------
+
+TEST(Catalog, HasThirtyOneCpsProtocols) {
+  EXPECT_EQ(Catalog::standard().cps_protocols().size(), 31u);
+}
+
+TEST(Catalog, CountryWeightsCoverFullMass) {
+  double total = 0;
+  for (const auto& c : Catalog::standard().countries()) {
+    EXPECT_GE(c.deploy_weight, 0.0);
+    EXPECT_GT(c.consumer_share, 0.0);
+    EXPECT_LT(c.consumer_share, 1.0);
+    total += c.deploy_weight;
+  }
+  EXPECT_NEAR(total, 100.0, 0.5);
+}
+
+TEST(Catalog, TopDeploymentCountriesMatchFig1a) {
+  const auto& countries = Catalog::standard().countries();
+  EXPECT_EQ(countries[0].name, "United States");
+  EXPECT_NEAR(countries[0].deploy_weight, 25.0, 0.01);
+  EXPECT_EQ(countries[1].name, "United Kingdom");
+  EXPECT_EQ(countries[2].name, "Russian Federation");
+  EXPECT_EQ(countries[3].name, "China");
+}
+
+TEST(Catalog, ConsumerMixesSumToOne) {
+  const auto& catalog = Catalog::standard();
+  double mix = 0;
+  for (const double m : catalog.consumer_type_mix()) mix += m;
+  EXPECT_NEAR(mix, 1.0, 1e-9);
+  ASSERT_EQ(catalog.consumer_type_mix().size(),
+            static_cast<std::size_t>(kConsumerTypeCount));
+  ASSERT_EQ(catalog.consumer_type_propensity().size(),
+            static_cast<std::size_t>(kConsumerTypeCount));
+}
+
+TEST(Catalog, LookupsRoundTripAndThrowOnUnknown) {
+  const auto& catalog = Catalog::standard();
+  const auto ru = catalog.country_id("Russian Federation");
+  EXPECT_EQ(catalog.country_name(ru), "Russian Federation");
+  const auto telvent = catalog.cps_protocol_id("Telvent OASyS DNA");
+  EXPECT_EQ(catalog.cps_protocol_name(telvent), "Telvent OASyS DNA");
+  EXPECT_THROW(catalog.country_id("Atlantis"), std::out_of_range);
+  EXPECT_THROW(catalog.cps_protocol_id("NotAProtocol"), std::out_of_range);
+}
+
+TEST(Catalog, NamedIspsReferenceRealCountries) {
+  const auto& catalog = Catalog::standard();
+  for (const auto& isp : catalog.named_isps()) {
+    EXPECT_NO_THROW(catalog.country_id(isp.country)) << isp.name;
+    EXPECT_LE(isp.consumer_share, 1.0);
+    EXPECT_LE(isp.cps_share, 1.0);
+  }
+}
+
+TEST(Catalog, Table3ProtocolWeightsDescendForTop10) {
+  const auto& protocols = Catalog::standard().cps_protocols();
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_GE(protocols[i - 1].weight, protocols[i].weight) << i;
+  }
+  EXPECT_NEAR(protocols[0].weight, 20.0, 0.01);  // Telvent OASyS DNA
+}
+
+// ---------------- database ----------------
+
+TEST(Database, AddFindAndDuplicateRejection) {
+  IoTDeviceDatabase db;
+  DeviceRecord d;
+  d.ip = net::Ipv4Address::from_octets(1, 2, 3, 4);
+  d.category = DeviceCategory::Consumer;
+  EXPECT_TRUE(db.add_device(d));
+  EXPECT_FALSE(db.add_device(d));  // duplicate IP
+  EXPECT_EQ(db.size(), 1u);
+  ASSERT_NE(db.find(d.ip), nullptr);
+  EXPECT_EQ(db.find(net::Ipv4Address::from_octets(4, 3, 2, 1)), nullptr);
+}
+
+TEST(Database, RealmCountsTrackAdds) {
+  IoTDeviceDatabase db;
+  for (int i = 0; i < 10; ++i) {
+    DeviceRecord d;
+    d.ip = net::Ipv4Address(static_cast<std::uint32_t>(100 + i));
+    d.category = i < 4 ? DeviceCategory::Consumer : DeviceCategory::Cps;
+    db.add_device(d);
+  }
+  EXPECT_EQ(db.consumer_count(), 4u);
+  EXPECT_EQ(db.cps_count(), 6u);
+}
+
+TEST(Database, IspDeduplication) {
+  IoTDeviceDatabase db;
+  const auto a = db.add_isp("Rostelecom", 2);
+  const auto b = db.add_isp("Rostelecom", 2);
+  const auto c = db.add_isp("Rostelecom", 3);  // same name, other country
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(db.isps().size(), 2u);
+}
+
+TEST(Database, CsvRoundTrip) {
+  util::TempDir dir;
+  IoTDeviceDatabase db;
+  const auto isp = db.add_isp("Test ISP", 5);
+  DeviceRecord consumer;
+  consumer.ip = net::Ipv4Address::from_octets(9, 8, 7, 6);
+  consumer.category = DeviceCategory::Consumer;
+  consumer.consumer_type = ConsumerType::IpCamera;
+  consumer.country = 5;
+  consumer.isp = isp;
+  db.add_device(consumer);
+  DeviceRecord cps;
+  cps.ip = net::Ipv4Address::from_octets(9, 8, 7, 7);
+  cps.category = DeviceCategory::Cps;
+  cps.services = {0, 4, 7};
+  cps.country = 5;
+  cps.isp = isp;
+  db.add_device(cps);
+
+  const auto path = dir.path() / "inventory.csv";
+  db.save_csv(path);
+  const auto loaded = IoTDeviceDatabase::load_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto* c = loaded.find(consumer.ip);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->consumer_type, ConsumerType::IpCamera);
+  const auto* p = loaded.find(cps.ip);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->is_cps());
+  EXPECT_EQ(p->services, (std::vector<CpsProtocolId>{0, 4, 7}));
+  EXPECT_TRUE(p->supports(4));
+  EXPECT_FALSE(p->supports(5));
+  EXPECT_EQ(loaded.isp_name(p->isp), "Test ISP");
+}
+
+TEST(Database, LoadRejectsMalformedCsv) {
+  util::TempDir dir;
+  const auto path = dir.path() / "bad.csv";
+  util::write_file(path, "not_a_header,zzz\n");
+  EXPECT_THROW(IoTDeviceDatabase::load_csv(path), util::IoError);
+  util::write_file(path, "isp_count,1\n");  // truncated
+  EXPECT_THROW(IoTDeviceDatabase::load_csv(path), util::IoError);
+}
+
+// ---------------- generator ----------------
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static const IoTDeviceDatabase& db() {
+    static const IoTDeviceDatabase instance = [] {
+      SynthesisConfig config;
+      config.device_count = 20000;
+      config.seed = 1234;
+      return synthesize_inventory(config);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(GeneratorTest, GeneratesRequestedCountWithUniqueIps) {
+  EXPECT_EQ(db().size(), 20000u);
+  std::set<std::uint32_t> ips;
+  for (const auto& d : db().devices()) ips.insert(d.ip.value());
+  EXPECT_EQ(ips.size(), db().size());
+}
+
+TEST_F(GeneratorTest, NoDeviceInsideDarknetOrReservedSpace) {
+  for (const auto& d : db().devices()) {
+    const auto o0 = d.ip.octet(0);
+    EXPECT_NE(o0, 10) << d.ip.to_string();
+    EXPECT_NE(o0, 0);
+    EXPECT_NE(o0, 127);
+    EXPECT_LT(o0, 224);
+    EXPECT_FALSE(o0 == 192 && d.ip.octet(1) == 168) << d.ip.to_string();
+  }
+}
+
+TEST_F(GeneratorTest, ConsumerShareNearPaperSplit) {
+  // Paper: 181k consumer of 331k (54.7%).
+  const double share = static_cast<double>(db().consumer_count()) /
+                       static_cast<double>(db().size());
+  EXPECT_NEAR(share, 0.55, 0.03);
+}
+
+TEST_F(GeneratorTest, UsMostDeployedAndNearQuarter) {
+  const auto& catalog = db().catalog();
+  std::vector<std::size_t> counts(catalog.countries().size(), 0);
+  for (const auto& d : db().devices()) ++counts[d.country];
+  const auto us = catalog.country_id("United States");
+  const double us_share = static_cast<double>(counts[us]) /
+                          static_cast<double>(db().size());
+  EXPECT_NEAR(us_share, 0.25, 0.02);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (c != us) EXPECT_LE(counts[c], counts[us]);
+  }
+}
+
+TEST_F(GeneratorTest, ConsumerTypeMixMatchesCatalog) {
+  std::vector<std::size_t> counts(kConsumerTypeCount, 0);
+  std::size_t consumer = 0;
+  for (const auto& d : db().devices()) {
+    if (!d.is_consumer()) continue;
+    ++consumer;
+    ++counts[static_cast<std::size_t>(d.consumer_type)];
+  }
+  const auto& mix = db().catalog().consumer_type_mix();
+  for (int t = 0; t < kConsumerTypeCount; ++t) {
+    const double measured = static_cast<double>(counts[static_cast<std::size_t>(t)]) /
+                            static_cast<double>(consumer);
+    EXPECT_NEAR(measured, mix[static_cast<std::size_t>(t)], 0.02) << t;
+  }
+}
+
+TEST_F(GeneratorTest, CpsDevicesHaveSortedUniqueServices) {
+  for (const auto& d : db().devices()) {
+    if (d.is_consumer()) {
+      EXPECT_TRUE(d.services.empty());
+      continue;
+    }
+    ASSERT_GE(d.services.size(), 1u);
+    for (std::size_t i = 1; i < d.services.size(); ++i) {
+      EXPECT_LT(d.services[i - 1], d.services[i]);
+    }
+    for (const auto s : d.services) EXPECT_LT(s, 31);
+  }
+}
+
+TEST_F(GeneratorTest, TelventIsMostSupportedProtocol) {
+  std::vector<std::size_t> counts(31, 0);
+  for (const auto& d : db().devices()) {
+    for (const auto s : d.services) ++counts[s];
+  }
+  const auto telvent = db().catalog().cps_protocol_id("Telvent OASyS DNA");
+  for (std::size_t p = 0; p < counts.size(); ++p) {
+    EXPECT_LE(counts[p], counts[telvent]) << p;
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  SynthesisConfig config;
+  config.device_count = 500;
+  config.seed = 77;
+  const auto a = synthesize_inventory(config);
+  const auto b = synthesize_inventory(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.devices()[i].ip, b.devices()[i].ip);
+    EXPECT_EQ(a.devices()[i].country, b.devices()[i].country);
+    EXPECT_EQ(a.devices()[i].isp, b.devices()[i].isp);
+  }
+  config.seed = 78;
+  const auto c = synthesize_inventory(config);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= !(a.devices()[i].ip == c.devices()[i].ip);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, RespectsCustomDarknetPrefix) {
+  SynthesisConfig config;
+  config.device_count = 2000;
+  config.darknet =
+      net::Ipv4Prefix(net::Ipv4Address::from_octets(44, 0, 0, 0), 8);
+  const auto db = synthesize_inventory(config);
+  for (const auto& d : db.devices()) {
+    EXPECT_FALSE(config.darknet.contains(d.ip)) << d.ip.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace iotscope::inventory

@@ -1,0 +1,179 @@
+#include "net/flowtuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::net {
+namespace {
+
+FlowTuple random_tuple(util::Rng& rng) {
+  FlowTuple t;
+  t.src = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+  t.dst = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+  t.src_port = static_cast<Port>(rng.uniform(0, 65535));
+  t.dst_port = static_cast<Port>(rng.uniform(0, 65535));
+  const auto r = rng.uniform(0, 2);
+  t.protocol = r == 0 ? Protocol::Tcp : (r == 1 ? Protocol::Udp : Protocol::Icmp);
+  t.ttl = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  t.tcp_flags = static_cast<std::uint8_t>(rng.uniform(0, 63));
+  t.ip_length = static_cast<std::uint16_t>(rng.uniform(20, 1500));
+  t.packet_count = rng.uniform(1, 1 << 20);
+  return t;
+}
+
+TEST(FlowTuple, FromPacketCopiesHeaderFields) {
+  const auto p = make_tcp_syn(123, Ipv4Address(1), Ipv4Address(2), 4444, 23, 77);
+  const auto t = FlowTuple::from_packet(p);
+  EXPECT_EQ(t.src, p.src);
+  EXPECT_EQ(t.dst, p.dst);
+  EXPECT_EQ(t.src_port, 4444);
+  EXPECT_EQ(t.dst_port, 23);
+  EXPECT_EQ(t.protocol, Protocol::Tcp);
+  EXPECT_EQ(t.ttl, 77);
+  EXPECT_EQ(t.tcp_flags, kSyn);
+  EXPECT_EQ(t.packet_count, 1u);
+}
+
+TEST(FlowTuple, IcmpTypeCodeRideInPortFields) {
+  const auto p = make_icmp(0, Ipv4Address(1), Ipv4Address(2),
+                           IcmpType::DestinationUnreachable, 3);
+  const auto t = FlowTuple::from_packet(p);
+  EXPECT_EQ(t.src_port,
+            static_cast<Port>(IcmpType::DestinationUnreachable));
+  EXPECT_EQ(t.dst_port, 3);
+  EXPECT_EQ(t.icmp_type(), IcmpType::DestinationUnreachable);
+}
+
+TEST(FlowTuple, SameKeyIgnoresPacketCount) {
+  util::Rng rng(1);
+  auto a = random_tuple(rng);
+  auto b = a;
+  b.packet_count += 5;
+  EXPECT_TRUE(a.same_key(b));
+  EXPECT_FALSE(a == b);
+  b.dst_port ^= 1;
+  EXPECT_FALSE(a.same_key(b));
+}
+
+TEST(FlowTuple, HashConsistentWithKeyEqualityProperty) {
+  util::Rng rng(2);
+  FlowTupleKeyHash hash;
+  FlowTupleKeyEq eq;
+  for (int i = 0; i < 2000; ++i) {
+    auto a = random_tuple(rng);
+    auto b = a;
+    b.packet_count = a.packet_count + 1;
+    ASSERT_TRUE(eq(a, b));
+    ASSERT_EQ(hash(a), hash(b));
+    auto c = a;
+    c.ttl ^= 0x5A;
+    ASSERT_FALSE(eq(a, c));
+  }
+}
+
+TEST(HourlyFlows, TotalPackets) {
+  HourlyFlows flows;
+  util::Rng rng(3);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto t = random_tuple(rng);
+    expected += t.packet_count;
+    flows.records.push_back(t);
+  }
+  EXPECT_EQ(flows.total_packets(), expected);
+}
+
+TEST(FlowTupleCodec, StreamRoundTripProperty) {
+  util::Rng rng(4);
+  for (int round = 0; round < 20; ++round) {
+    HourlyFlows flows;
+    flows.interval = static_cast<int>(rng.uniform(0, 142));
+    flows.start_time = static_cast<std::int64_t>(rng.uniform(0, 1u << 30));
+    const auto n = rng.uniform(0, 500);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      flows.records.push_back(random_tuple(rng));
+    }
+    std::stringstream ss;
+    FlowTupleCodec::write(ss, flows);
+    const auto decoded = FlowTupleCodec::read(ss);
+    EXPECT_EQ(decoded.interval, flows.interval);
+    EXPECT_EQ(decoded.start_time, flows.start_time);
+    ASSERT_EQ(decoded.records.size(), flows.records.size());
+    for (std::size_t i = 0; i < flows.records.size(); ++i) {
+      EXPECT_EQ(decoded.records[i], flows.records[i]);
+    }
+  }
+}
+
+TEST(FlowTupleCodec, RejectsBadMagic) {
+  std::stringstream ss;
+  util::write_u32(ss, 0xBADC0DE);
+  EXPECT_THROW(FlowTupleCodec::read(ss), util::IoError);
+}
+
+TEST(FlowTupleCodec, RejectsWrongVersion) {
+  std::stringstream ss;
+  util::write_u32(ss, FlowTupleCodec::kMagic);
+  util::write_u16(ss, 99);
+  EXPECT_THROW(FlowTupleCodec::read(ss), util::IoError);
+}
+
+TEST(FlowTupleCodec, RejectsUnknownProtocol) {
+  HourlyFlows flows;
+  FlowTuple t;
+  t.protocol = Protocol::Tcp;
+  flows.records.push_back(t);
+  std::stringstream ss;
+  FlowTupleCodec::write(ss, flows);
+  std::string blob = ss.str();
+  // Protocol byte offset: 4 magic + 2 version + 4 interval + 8 time +
+  // 8 count + (4 + 4 + 2 + 2) record prefix = 38.
+  blob[38] = 99;
+  std::istringstream corrupted(blob);
+  EXPECT_THROW(FlowTupleCodec::read(corrupted), util::IoError);
+}
+
+TEST(FlowTupleCodec, RejectsTruncatedStream) {
+  HourlyFlows flows;
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) flows.records.push_back(random_tuple(rng));
+  std::stringstream ss;
+  FlowTupleCodec::write(ss, flows);
+  const std::string blob = ss.str();
+  std::istringstream truncated(blob.substr(0, blob.size() - 7));
+  EXPECT_THROW(FlowTupleCodec::read(truncated), util::IoError);
+}
+
+TEST(FlowTupleCodec, RejectsImplausibleRecordCount) {
+  std::stringstream ss;
+  util::write_u32(ss, FlowTupleCodec::kMagic);
+  util::write_u16(ss, FlowTupleCodec::kVersion);
+  util::write_u32(ss, 0);
+  util::write_u64(ss, 0);
+  util::write_u64(ss, 1ULL << 40);  // absurd record count
+  EXPECT_THROW(FlowTupleCodec::read(ss), util::IoError);
+}
+
+TEST(FlowTupleCodec, FileRoundTripAndName) {
+  util::TempDir dir;
+  HourlyFlows flows;
+  flows.interval = 42;
+  flows.start_time = 1234;
+  util::Rng rng(6);
+  for (int i = 0; i < 50; ++i) flows.records.push_back(random_tuple(rng));
+  const auto path = dir.path() / FlowTupleCodec::file_name(flows.interval);
+  EXPECT_EQ(path.filename().string(), "flowtuple-0042.ift");
+  FlowTupleCodec::write_file(path, flows);
+  const auto loaded = FlowTupleCodec::read_file(path);
+  EXPECT_EQ(loaded.records.size(), flows.records.size());
+  EXPECT_EQ(loaded.total_packets(), flows.total_packets());
+  EXPECT_THROW(FlowTupleCodec::read_file(dir.path() / "nope.ift"),
+               util::IoError);
+}
+
+}  // namespace
+}  // namespace iotscope::net

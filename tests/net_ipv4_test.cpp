@@ -1,0 +1,118 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace iotscope::net {
+namespace {
+
+TEST(Ipv4Address, OctetConstructionAndAccess) {
+  const auto addr = Ipv4Address::from_octets(192, 0, 2, 1);
+  EXPECT_EQ(addr.value(), 0xC0000201u);
+  EXPECT_EQ(addr.octet(0), 192);
+  EXPECT_EQ(addr.octet(1), 0);
+  EXPECT_EQ(addr.octet(2), 2);
+  EXPECT_EQ(addr.octet(3), 1);
+}
+
+TEST(Ipv4Address, ToStringKnownValues) {
+  EXPECT_EQ(Ipv4Address(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Address(0xFFFFFFFF).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4Address::from_octets(10, 1, 2, 3).to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  const auto addr = Ipv4Address::parse("172.16.254.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv4Address::from_octets(172, 16, 254, 1));
+}
+
+class Ipv4ParseRejectTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4ParseRejectTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, Ipv4ParseRejectTest,
+    ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.999",
+                      "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4", "1,2,3,4",
+                      "-1.2.3.4", "1.2.3.4x"));
+
+TEST(Ipv4Address, ParseFormatsRoundTripProperty) {
+  util::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const Ipv4Address addr(static_cast<std::uint32_t>(rng.next()));
+    const auto parsed = Ipv4Address::parse(addr.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, addr);
+  }
+}
+
+TEST(Ipv4Address, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4Address(1), Ipv4Address(2));
+  EXPECT_LT(Ipv4Address::from_octets(9, 255, 255, 255),
+            Ipv4Address::from_octets(10, 0, 0, 0));
+}
+
+TEST(Ipv4Address, HashSpreadsClusteredAddresses) {
+  std::hash<Ipv4Address> hasher;
+  std::unordered_set<std::size_t> buckets;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    buckets.insert(hasher(Ipv4Address(0x0A000000u + i)) % 1024);
+  }
+  // Sequential addresses should not collapse into few buckets.
+  EXPECT_GT(buckets.size(), 500u);
+}
+
+TEST(Ipv4Prefix, MaskSizeContains) {
+  const Ipv4Prefix slash8(Ipv4Address::from_octets(10, 0, 0, 0), 8);
+  EXPECT_EQ(slash8.mask(), 0xFF000000u);
+  EXPECT_EQ(slash8.size(), 1ULL << 24);
+  EXPECT_TRUE(slash8.contains(Ipv4Address::from_octets(10, 255, 0, 1)));
+  EXPECT_FALSE(slash8.contains(Ipv4Address::from_octets(11, 0, 0, 0)));
+}
+
+TEST(Ipv4Prefix, HostBitsAreMaskedOff) {
+  const Ipv4Prefix p(Ipv4Address::from_octets(10, 20, 30, 40), 16);
+  EXPECT_EQ(p.base(), Ipv4Address::from_octets(10, 20, 0, 0));
+}
+
+TEST(Ipv4Prefix, LengthClamped) {
+  const Ipv4Prefix neg(Ipv4Address(0), -5);
+  EXPECT_EQ(neg.length(), 0);
+  EXPECT_EQ(neg.size(), 1ULL << 32);
+  const Ipv4Prefix big(Ipv4Address(42), 99);
+  EXPECT_EQ(big.length(), 32);
+  EXPECT_EQ(big.size(), 1u);
+  EXPECT_TRUE(big.contains(Ipv4Address(42)));
+  EXPECT_FALSE(big.contains(Ipv4Address(43)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const Ipv4Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(0xFFFFFFFF)));
+  EXPECT_TRUE(all.contains(Ipv4Address(0)));
+}
+
+TEST(Ipv4Prefix, AtEnumeratesAddresses) {
+  const Ipv4Prefix p(Ipv4Address::from_octets(192, 168, 1, 0), 30);
+  EXPECT_EQ(p.at(0), Ipv4Address::from_octets(192, 168, 1, 0));
+  EXPECT_EQ(p.at(3), Ipv4Address::from_octets(192, 168, 1, 3));
+}
+
+TEST(Ipv4Prefix, ParseAndToString) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8").has_value());
+}
+
+}  // namespace
+}  // namespace iotscope::net

@@ -1,0 +1,134 @@
+// Tests for protocol enums, packet builders, and the internet checksum.
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "net/protocol.hpp"
+
+namespace iotscope::net {
+namespace {
+
+TEST(Protocol, Names) {
+  EXPECT_STREQ(to_string(Protocol::Tcp), "TCP");
+  EXPECT_STREQ(to_string(Protocol::Udp), "UDP");
+  EXPECT_STREQ(to_string(Protocol::Icmp), "ICMP");
+}
+
+TEST(Protocol, TcpFlagRendering) {
+  EXPECT_EQ(tcp_flags_to_string(kSyn), "SYN");
+  EXPECT_EQ(tcp_flags_to_string(kSyn | kAck), "SYN|ACK");
+  EXPECT_EQ(tcp_flags_to_string(0), "none");
+  EXPECT_EQ(tcp_flags_to_string(kFin | kPsh | kUrg), "FIN|PSH|URG");
+}
+
+class IcmpBackscatterTest
+    : public ::testing::TestWithParam<std::pair<IcmpType, bool>> {};
+
+TEST_P(IcmpBackscatterTest, MatchesPaperTaxonomy) {
+  const auto [type, expected] = GetParam();
+  EXPECT_EQ(is_icmp_backscatter(type), expected) << to_string(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, IcmpBackscatterTest,
+    ::testing::Values(
+        std::make_pair(IcmpType::EchoReply, true),
+        std::make_pair(IcmpType::DestinationUnreachable, true),
+        std::make_pair(IcmpType::SourceQuench, true),
+        std::make_pair(IcmpType::Redirect, true),
+        std::make_pair(IcmpType::TimeExceeded, true),
+        std::make_pair(IcmpType::ParameterProblem, true),
+        std::make_pair(IcmpType::TimestampReply, true),
+        std::make_pair(IcmpType::InformationReply, true),
+        std::make_pair(IcmpType::AddressMaskReply, true),
+        std::make_pair(IcmpType::EchoRequest, false),
+        std::make_pair(IcmpType::TimestampRequest, false),
+        std::make_pair(IcmpType::InformationRequest, false),
+        std::make_pair(IcmpType::AddressMaskRequest, false)));
+
+TEST(PacketBuilders, TcpSynShape) {
+  const auto src = Ipv4Address::from_octets(1, 2, 3, 4);
+  const auto dst = Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto p = make_tcp_syn(1000, src, dst, 40000, 23);
+  EXPECT_TRUE(p.is_tcp());
+  EXPECT_TRUE(p.tcp_syn_only());
+  EXPECT_FALSE(p.tcp_syn_ack());
+  EXPECT_FALSE(p.tcp_rst());
+  EXPECT_EQ(p.src, src);
+  EXPECT_EQ(p.dst, dst);
+  EXPECT_EQ(p.dst_port, 23);
+  EXPECT_GE(p.ip_length, 40);
+}
+
+TEST(PacketBuilders, SynAckAndRstShapes) {
+  const auto p = make_tcp_syn_ack(0, Ipv4Address(1), Ipv4Address(2), 80, 999);
+  EXPECT_TRUE(p.tcp_syn_ack());
+  EXPECT_FALSE(p.tcp_syn_only());
+  const auto r = make_tcp_rst(0, Ipv4Address(1), Ipv4Address(2), 80, 999);
+  EXPECT_TRUE(r.tcp_rst());
+  EXPECT_FALSE(r.tcp_syn_only());
+}
+
+TEST(PacketBuilders, UdpLengthIncludesHeaders) {
+  const auto p = make_udp(0, Ipv4Address(1), Ipv4Address(2), 1234, 53, 100);
+  EXPECT_TRUE(p.is_udp());
+  EXPECT_EQ(p.ip_length, 128);  // 20 IP + 8 UDP + 100 payload
+  EXPECT_EQ(p.tcp_flags, 0);
+}
+
+TEST(PacketBuilders, IcmpCarriesTypeAndCode) {
+  const auto p = make_icmp(0, Ipv4Address(1), Ipv4Address(2),
+                           IcmpType::DestinationUnreachable, 3);
+  EXPECT_TRUE(p.is_icmp());
+  EXPECT_EQ(p.icmp_type,
+            static_cast<std::uint8_t>(IcmpType::DestinationUnreachable));
+  EXPECT_EQ(p.icmp_code, 3);
+  EXPECT_EQ(p.src_port, 0);
+}
+
+// ---------------- checksum ----------------
+
+TEST(Checksum, KnownVector) {
+  // Classic example: checksum of this IPv4 header equals 0xB861.
+  const std::uint8_t header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                                 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                                 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(header), 0xB861);
+}
+
+TEST(Checksum, VerifiesToZeroWhenIncluded) {
+  std::uint8_t header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                           0x00, 0x40, 0x11, 0xb8, 0x61, 0xc0, 0xa8,
+                           0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  // One's-complement sum over data including a correct checksum is 0xFFFF,
+  // so the folded complement is 0.
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xFBFD.
+  EXPECT_EQ(internet_checksum(data), 0xFBFD);
+}
+
+TEST(Checksum, AccumulatorMatchesOneShotAcrossSplits) {
+  const std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45};
+  const auto expected = internet_checksum(data);
+  for (std::size_t split = 0; split <= sizeof(data); ++split) {
+    ChecksumAccumulator acc;
+    acc.feed({data, split});
+    acc.feed({data + split, sizeof(data) - split});
+    EXPECT_EQ(acc.finish(), expected) << "split=" << split;
+  }
+}
+
+TEST(Checksum, FeedWordMatchesBytePair) {
+  ChecksumAccumulator by_word;
+  by_word.feed_word(0x1234);
+  by_word.feed_word(0x5678);
+  const std::uint8_t bytes[] = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_EQ(by_word.finish(), internet_checksum(bytes));
+}
+
+}  // namespace
+}  // namespace iotscope::net

@@ -1,0 +1,153 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/checksum.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::net {
+namespace {
+
+PacketRecord random_packet(util::Rng& rng) {
+  const auto src = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+  const auto dst = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+  const auto ts = static_cast<util::UnixTime>(rng.uniform(0, 1u << 30));
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return make_tcp_syn(ts, src, dst,
+                          static_cast<Port>(rng.uniform(1024, 65535)),
+                          static_cast<Port>(rng.uniform(1, 65535)),
+                          static_cast<std::uint8_t>(rng.uniform(1, 255)));
+    case 1:
+      return make_tcp_syn_ack(ts, src, dst,
+                              static_cast<Port>(rng.uniform(1, 65535)),
+                              static_cast<Port>(rng.uniform(1024, 65535)));
+    case 2:
+      return make_udp(ts, src, dst, static_cast<Port>(rng.uniform(1, 65535)),
+                      static_cast<Port>(rng.uniform(1, 65535)),
+                      static_cast<std::uint16_t>(rng.uniform(0, 512)));
+    default:
+      return make_icmp(ts, src, dst,
+                       rng.chance(0.5) ? IcmpType::EchoRequest
+                                       : IcmpType::EchoReply,
+                       static_cast<std::uint8_t>(rng.uniform(0, 3)));
+  }
+}
+
+TEST(Pcap, RoundTripProperty) {
+  util::Rng rng(7);
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 500; ++i) packets.push_back(random_packet(rng));
+
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  for (const auto& p : packets) writer.write(p);
+  EXPECT_EQ(writer.packets_written(), packets.size());
+
+  PcapReader reader(ss);
+  PacketRecord decoded;
+  std::size_t i = 0;
+  while (reader.next(decoded)) {
+    ASSERT_LT(i, packets.size());
+    const auto& original = packets[i++];
+    EXPECT_EQ(decoded.src, original.src);
+    EXPECT_EQ(decoded.dst, original.dst);
+    EXPECT_EQ(decoded.protocol, original.protocol);
+    EXPECT_EQ(decoded.ttl, original.ttl);
+    EXPECT_EQ(decoded.timestamp, original.timestamp);
+    if (original.is_icmp()) {
+      EXPECT_EQ(decoded.icmp_type, original.icmp_type);
+      EXPECT_EQ(decoded.icmp_code, original.icmp_code);
+    } else {
+      EXPECT_EQ(decoded.src_port, original.src_port);
+      EXPECT_EQ(decoded.dst_port, original.dst_port);
+    }
+    if (original.is_tcp()) EXPECT_EQ(decoded.tcp_flags, original.tcp_flags);
+  }
+  EXPECT_EQ(i, packets.size());
+}
+
+TEST(Pcap, GlobalHeaderIsStandardLibpcap) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  const std::string header = ss.str();
+  ASSERT_EQ(header.size(), 24u);  // classic pcap global header
+  EXPECT_EQ(static_cast<unsigned char>(header[0]), 0xd4);
+  EXPECT_EQ(static_cast<unsigned char>(header[1]), 0xc3);
+  EXPECT_EQ(static_cast<unsigned char>(header[2]), 0xb2);
+  EXPECT_EQ(static_cast<unsigned char>(header[3]), 0xa1);
+  EXPECT_EQ(static_cast<unsigned char>(header[20]), 101);  // LINKTYPE_RAW
+}
+
+TEST(Pcap, EmittedIpv4HeaderChecksumIsValid) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write(make_tcp_syn(1000, Ipv4Address::from_octets(1, 2, 3, 4),
+                            Ipv4Address::from_octets(10, 9, 8, 7), 40000, 23));
+  const std::string blob = ss.str();
+  // Frame starts after 24-byte global header + 16-byte record header.
+  const auto* frame =
+      reinterpret_cast<const std::uint8_t*>(blob.data()) + 24 + 16;
+  EXPECT_EQ(internet_checksum({frame, 20}), 0)
+      << "IPv4 header checksum must verify to zero";
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream ss;
+  util::write_u32(ss, 0x12345678);
+  EXPECT_THROW(PcapReader reader(ss), util::IoError);
+}
+
+TEST(Pcap, RejectsNonRawLinkType) {
+  std::stringstream ss;
+  util::write_u32(ss, PcapWriter::kMagic);
+  util::write_u16(ss, 2);
+  util::write_u16(ss, 4);
+  util::write_u32(ss, 0);
+  util::write_u32(ss, 0);
+  util::write_u32(ss, 65535);
+  util::write_u32(ss, 1);  // LINKTYPE_ETHERNET
+  EXPECT_THROW(PcapReader reader(ss), util::IoError);
+}
+
+TEST(Pcap, RejectsTruncatedFrame) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write(make_udp(0, Ipv4Address(1), Ipv4Address(2), 1, 2));
+  std::string blob = ss.str();
+  blob.resize(blob.size() - 5);
+  std::istringstream truncated(blob);
+  PcapReader reader(truncated);
+  PacketRecord p;
+  EXPECT_THROW(reader.next(p), util::IoError);
+}
+
+TEST(Pcap, CleanEofReturnsFalse) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  PcapReader reader(ss);
+  PacketRecord p;
+  EXPECT_FALSE(reader.next(p));
+  EXPECT_FALSE(reader.next(p));  // repeated calls stay false
+}
+
+TEST(Pcap, FileHelpersRoundTrip) {
+  util::TempDir dir;
+  util::Rng rng(8);
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 100; ++i) packets.push_back(random_packet(rng));
+  const auto path = dir.path() / "capture.pcap";
+  write_pcap_file(path, packets);
+  const auto loaded = read_pcap_file(path);
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(loaded[i].src, packets[i].src);
+    EXPECT_EQ(loaded[i].protocol, packets[i].protocol);
+  }
+}
+
+}  // namespace
+}  // namespace iotscope::net

@@ -1,0 +1,136 @@
+#include "net/prefix_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace iotscope::net {
+namespace {
+
+Ipv4Prefix pfx(const char* text) {
+  const auto parsed = Ipv4Prefix::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+Ipv4Address ip(const char* text) {
+  const auto parsed = Ipv4Address::parse(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return *parsed;
+}
+
+TEST(PrefixMap, LongestPrefixWins) {
+  PrefixMap<std::string> map;
+  map.insert(pfx("10.0.0.0/8"), "slash8");
+  map.insert(pfx("10.1.0.0/16"), "slash16");
+  map.insert(pfx("10.1.2.0/24"), "slash24");
+
+  ASSERT_NE(map.lookup(ip("10.1.2.3")), nullptr);
+  EXPECT_EQ(*map.lookup(ip("10.1.2.3")), "slash24");
+  EXPECT_EQ(*map.lookup(ip("10.1.9.9")), "slash16");
+  EXPECT_EQ(*map.lookup(ip("10.200.0.1")), "slash8");
+  EXPECT_EQ(map.lookup(ip("11.0.0.1")), nullptr);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(PrefixMap, DefaultRouteCatchesEverything) {
+  PrefixMap<int> map;
+  map.insert(pfx("0.0.0.0/0"), 42);
+  EXPECT_EQ(*map.lookup(ip("255.255.255.255")), 42);
+  EXPECT_EQ(*map.lookup(ip("0.0.0.0")), 42);
+  map.insert(pfx("192.168.0.0/16"), 7);
+  EXPECT_EQ(*map.lookup(ip("192.168.3.4")), 7);
+  EXPECT_EQ(*map.lookup(ip("8.8.8.8")), 42);
+}
+
+TEST(PrefixMap, HostRoutesAreMostSpecific) {
+  PrefixMap<int> map;
+  map.insert(pfx("1.2.3.0/24"), 1);
+  map.insert(pfx("1.2.3.4/32"), 2);
+  EXPECT_EQ(*map.lookup(ip("1.2.3.4")), 2);
+  EXPECT_EQ(*map.lookup(ip("1.2.3.5")), 1);
+}
+
+TEST(PrefixMap, InsertReplacesExistingEntry) {
+  PrefixMap<int> map;
+  map.insert(pfx("10.0.0.0/8"), 1);
+  map.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.lookup(ip("10.1.1.1")), 2);
+}
+
+TEST(PrefixMap, ExactFetchIgnoresCoveringPrefixes) {
+  PrefixMap<int> map;
+  map.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_FALSE(map.exact(pfx("10.1.0.0/16")).has_value());
+  EXPECT_TRUE(map.exact(pfx("10.0.0.0/8")).has_value());
+  EXPECT_EQ(*map.exact(pfx("10.0.0.0/8")), 1);
+}
+
+TEST(PrefixMap, EraseRemovesOnlyTheExactPrefix) {
+  PrefixMap<int> map;
+  map.insert(pfx("10.0.0.0/8"), 1);
+  map.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_TRUE(map.erase(pfx("10.1.0.0/16")));
+  EXPECT_FALSE(map.erase(pfx("10.1.0.0/16")));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.lookup(ip("10.1.2.3")), 1);  // falls back to /8
+}
+
+TEST(PrefixMap, HostBitsInInsertedPrefixAreMasked) {
+  PrefixMap<int> map;
+  // Ipv4Prefix masks host bits at construction; both spellings collide.
+  map.insert(Ipv4Prefix(ip("10.1.2.3"), 16), 1);
+  map.insert(Ipv4Prefix(ip("10.1.9.9"), 16), 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.lookup(ip("10.1.0.0")), 2);
+}
+
+TEST(PrefixMap, RandomizedAgainstLinearScanOracle) {
+  util::Rng rng(2024);
+  struct Entry {
+    Ipv4Prefix prefix;
+    int value;
+  };
+  std::vector<Entry> entries;
+  PrefixMap<int> map;
+  for (int i = 0; i < 300; ++i) {
+    const int length = static_cast<int>(rng.uniform(4, 28));
+    const Ipv4Prefix prefix(
+        Ipv4Address(static_cast<std::uint32_t>(rng.next())), length);
+    // Skip duplicates so the oracle stays unambiguous.
+    bool duplicate = false;
+    for (const auto& e : entries) duplicate |= e.prefix == prefix;
+    if (duplicate) continue;
+    entries.push_back({prefix, i});
+    map.insert(prefix, i);
+  }
+  for (int round = 0; round < 5000; ++round) {
+    const Ipv4Address addr(static_cast<std::uint32_t>(rng.next()));
+    const Entry* best = nullptr;
+    for (const auto& e : entries) {
+      if (!e.prefix.contains(addr)) continue;
+      if (best == nullptr || e.prefix.length() > best->prefix.length()) {
+        best = &e;
+      }
+    }
+    const int* found = map.lookup(addr);
+    if (best == nullptr) {
+      EXPECT_EQ(found, nullptr);
+    } else {
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(*found, best->value);
+    }
+  }
+}
+
+TEST(PrefixMap, EmptyMapLookupsAreNull) {
+  PrefixMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.lookup(ip("1.2.3.4")), nullptr);
+}
+
+}  // namespace
+}  // namespace iotscope::net

@@ -1,0 +1,166 @@
+// Cross-path equivalence properties: the analysis result must be
+// identical whether hourly flows reach the pipeline directly from the
+// capture engine, from an on-disk flowtuple store, or from a pcap replay
+// — and independent of hour processing order.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/iotscope.hpp"
+#include "net/pcap.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::core {
+namespace {
+
+workload::ScenarioConfig tiny_config() {
+  workload::ScenarioConfig config;
+  config.inventory_scale = 0.005;
+  config.traffic_scale = 0.001;
+  config.noise_ratio = 0.05;
+  return config;
+}
+
+void expect_reports_equal(const Report& a, const Report& b) {
+  EXPECT_EQ(a.total_packets, b.total_packets);
+  EXPECT_EQ(a.unattributed_packets, b.unattributed_packets);
+  EXPECT_EQ(a.discovered_total(), b.discovered_total());
+  EXPECT_EQ(a.discovered_consumer, b.discovered_consumer);
+  EXPECT_EQ(a.tcp_scan_total, b.tcp_scan_total);
+  EXPECT_EQ(a.udp_total_packets, b.udp_total_packets);
+  EXPECT_EQ(a.backscatter_total, b.backscatter_total);
+  EXPECT_EQ(a.dos_victims, b.dos_victims);
+  EXPECT_EQ(a.scanner_devices, b.scanner_devices);
+  EXPECT_EQ(a.udp_top_ports.size(), b.udp_top_ports.size());
+  for (std::size_t i = 0; i < a.udp_top_ports.size(); ++i) {
+    EXPECT_EQ(a.udp_top_ports[i].port, b.udp_top_ports[i].port);
+    EXPECT_EQ(a.udp_top_ports[i].packets, b.udp_top_ports[i].packets);
+    EXPECT_EQ(a.udp_top_ports[i].devices, b.udp_top_ports[i].devices);
+  }
+  // Per-device ledgers must agree exactly.
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (const auto& ledger : a.devices) {
+    const auto* other = b.traffic_for(ledger.device);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(ledger.packets, other->packets);
+    EXPECT_EQ(ledger.tcp_scan, other->tcp_scan);
+    EXPECT_EQ(ledger.backscatter(), other->backscatter());
+    EXPECT_EQ(ledger.first_interval, other->first_interval);
+    EXPECT_EQ(ledger.last_interval, other->last_interval);
+  }
+  // Hourly series agree.
+  for (int h = 0; h < util::AnalysisWindow::kHours; ++h) {
+    ASSERT_DOUBLE_EQ(a.scan_series.consumer.packets.at(h),
+                     b.scan_series.consumer.packets.at(h));
+    ASSERT_DOUBLE_EQ(a.backscatter_series.cps.at(h),
+                     b.backscatter_series.cps.at(h));
+    ASSERT_DOUBLE_EQ(a.udp_series.consumer.dst_ports.at(h),
+                     b.udp_series.consumer.dst_ports.at(h));
+  }
+}
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  static const workload::Scenario& scenario() {
+    static const workload::Scenario instance =
+        workload::build_scenario(tiny_config());
+    return instance;
+  }
+
+  /// All hours of synthetic traffic, captured once.
+  static const std::vector<net::HourlyFlows>& hours() {
+    static const std::vector<net::HourlyFlows> instance = [] {
+      std::vector<net::HourlyFlows> out;
+      telescope::TelescopeCapture capture(
+          telescope::DarknetSpace(tiny_config().darknet),
+          [&out](net::HourlyFlows&& flows) { out.push_back(std::move(flows)); });
+      workload::synthesize_into(scenario(), tiny_config(), capture);
+      return out;
+    }();
+    return instance;
+  }
+
+  static Report run_direct() {
+    AnalysisPipeline pipeline(scenario().inventory);
+    for (const auto& h : hours()) pipeline.observe(h);
+    return pipeline.finalize();
+  }
+};
+
+TEST_F(EquivalenceTest, DiskStoreRoundTripPreservesTheReport) {
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  for (const auto& h : hours()) store.put(h);
+  AnalysisPipeline pipeline(scenario().inventory);
+  store.for_each(
+      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); });
+  expect_reports_equal(run_direct(), pipeline.finalize());
+}
+
+TEST_F(EquivalenceTest, HourOrderDoesNotMatter) {
+  // Process odd hours first, then even ones.
+  AnalysisPipeline pipeline(scenario().inventory);
+  for (const auto& h : hours()) {
+    if (h.interval % 2 == 1) pipeline.observe(h);
+  }
+  for (const auto& h : hours()) {
+    if (h.interval % 2 == 0) pipeline.observe(h);
+  }
+  expect_reports_equal(run_direct(), pipeline.finalize());
+}
+
+TEST_F(EquivalenceTest, PcapReplayPreservesTheReport) {
+  // Re-derive the hours from a pcap round-trip of the raw packets and
+  // compare the full report.
+  util::TempDir dir;
+  const auto pcap_path = dir.path() / "replay.pcap";
+  {
+    std::ofstream out(pcap_path, std::ios::binary);
+    net::PcapWriter writer(out);
+    workload::synthesize_traffic(
+        scenario(), tiny_config(),
+        [&writer](const net::PacketRecord& p) { writer.write(p); });
+  }
+  AnalysisPipeline pipeline(scenario().inventory);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(tiny_config().darknet),
+      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+  std::ifstream in(pcap_path, std::ios::binary);
+  net::PcapReader reader(in);
+  net::PacketRecord packet;
+  while (reader.next(packet)) capture.ingest(packet);
+  capture.finish();
+  expect_reports_equal(run_direct(), pipeline.finalize());
+}
+
+TEST_F(EquivalenceTest, SplittingAnHourIntoTwoFilesIsEquivalent) {
+  // An hour's records split across two observe() calls with the same
+  // interval must accumulate identically (re-aggregation invariance).
+  AnalysisPipeline split(scenario().inventory);
+  for (const auto& h : hours()) {
+    net::HourlyFlows first;
+    net::HourlyFlows second;
+    first.interval = second.interval = h.interval;
+    first.start_time = second.start_time = h.start_time;
+    for (std::size_t i = 0; i < h.records.size(); ++i) {
+      (i % 2 ? first : second).records.push_back(h.records[i]);
+    }
+    split.observe(first);
+    split.observe(second);
+  }
+  const auto split_report = split.finalize();
+  const auto direct = run_direct();
+  // Totals and ledgers must match exactly; per-hour distinct counts also
+  // match because both halves of an hour share the distinct-set scope of
+  // that hour only if processed together — so compare totals here.
+  EXPECT_EQ(direct.total_packets, split_report.total_packets);
+  EXPECT_EQ(direct.discovered_total(), split_report.discovered_total());
+  EXPECT_EQ(direct.tcp_scan_total, split_report.tcp_scan_total);
+  EXPECT_EQ(direct.backscatter_total, split_report.backscatter_total);
+  EXPECT_EQ(direct.udp_total_packets, split_report.udp_total_packets);
+}
+
+}  // namespace
+}  // namespace iotscope::core

@@ -1,0 +1,77 @@
+// Tests for the plain-text report renderer.
+#include "core/report_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/iotscope.hpp"
+
+namespace iotscope::core {
+namespace {
+
+class ReportTextTest : public ::testing::Test {
+ protected:
+  static const StudyResult& result() {
+    static const StudyResult instance =
+        run_study(StudyConfig::test_default());
+    return instance;
+  }
+};
+
+TEST_F(ReportTextTest, InferenceReportContainsAllSections) {
+  const auto text = render_inference_report(
+      result().report, result().character, result().scenario.inventory);
+  EXPECT_NE(text.find("Inference: compromised IoT devices"), std::string::npos);
+  EXPECT_NE(text.find("discovery curve"), std::string::npos);
+  EXPECT_NE(text.find("APR-12"), std::string::npos);
+  EXPECT_NE(text.find("APR-17"), std::string::npos);
+  EXPECT_NE(text.find("Russian Federation"), std::string::npos);
+  EXPECT_NE(text.find("top ISPs"), std::string::npos);
+  EXPECT_NE(text.find("Router"), std::string::npos);
+  EXPECT_NE(text.find("Telvent OASyS DNA"), std::string::npos);
+}
+
+TEST_F(ReportTextTest, TrafficReportContainsKeyFindings) {
+  const auto text =
+      render_traffic_report(result().report, result().scenario.inventory);
+  EXPECT_NE(text.find("protocol mix by realm"), std::string::npos);
+  EXPECT_NE(text.find("37547"), std::string::npos);
+  EXPECT_NE(text.find("Telnet"), std::string::npos);
+  EXPECT_NE(text.find("DoS victims:"), std::string::npos);
+  EXPECT_NE(text.find("inferred DoS attack intervals"), std::string::npos);
+}
+
+TEST_F(ReportTextTest, TrafficReportCanOmitDosNarrative) {
+  ReportTextOptions options;
+  options.include_dos_narrative = false;
+  const auto text = render_traffic_report(result().report,
+                                          result().scenario.inventory, options);
+  EXPECT_EQ(text.find("inferred DoS attack intervals"), std::string::npos);
+}
+
+TEST_F(ReportTextTest, MaliciousnessReportListsFamiliesAndCategories) {
+  const auto text = render_maliciousness_report(result().malicious);
+  EXPECT_NE(text.find("Scanning"), std::string::npos);
+  EXPECT_NE(text.find("Brute force"), std::string::npos);
+  EXPECT_NE(text.find("Ramnit"), std::string::npos);
+  EXPECT_NE(text.find("Zusy"), std::string::npos);
+  EXPECT_NE(text.find("hashes"), std::string::npos);
+}
+
+TEST_F(ReportTextTest, TopCountsRespectOptions) {
+  ReportTextOptions options;
+  options.top_countries = 3;
+  const auto text = render_inference_report(
+      result().report, result().character, result().scenario.inventory,
+      options);
+  // Counting data rows in the country table: headers + rule + 3 rows before
+  // the next blank line.
+  const auto pos = text.find("top countries by compromised devices");
+  ASSERT_NE(pos, std::string::npos);
+  const auto section = text.substr(pos, text.find("\n\n", pos) - pos);
+  int lines = 0;
+  for (const char c : section) lines += c == '\n';
+  EXPECT_LE(lines, 7);  // title + header + rule + 3 rows (+ trailing)
+}
+
+}  // namespace
+}  // namespace iotscope::core

@@ -1,0 +1,178 @@
+// Cross-component consistency invariants over a full study run: every
+// roll-up must agree with the sum of its parts, regardless of scenario
+// randomness. These hold for ANY seed, so they sweep several.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/iotscope.hpp"
+
+namespace iotscope::core {
+namespace {
+
+class StudyInvariantsTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static StudyResult run_for_seed(std::uint64_t seed) {
+    StudyConfig config = StudyConfig::test_default();
+    config.scenario.seed = seed;
+    return run_study(config);
+  }
+};
+
+TEST_P(StudyInvariantsTest, LedgerSumsMatchGlobalCounters) {
+  const auto result = run_for_seed(GetParam());
+  const auto& report = result.report;
+
+  std::uint64_t packets = 0;
+  std::uint64_t tcp_scan = 0;
+  std::uint64_t udp = 0;
+  std::uint64_t backscatter = 0;
+  std::uint64_t icmp_scan = 0;
+  std::size_t consumer = 0;
+  for (const auto& ledger : report.devices) {
+    packets += ledger.packets;
+    tcp_scan += ledger.tcp_scan;
+    udp += ledger.udp;
+    backscatter += ledger.backscatter();
+    icmp_scan += ledger.icmp_scan;
+    if (result.scenario.inventory.devices()[ledger.device].is_consumer()) {
+      ++consumer;
+    }
+    // Per-ledger class split must cover the ledger's packets exactly.
+    EXPECT_EQ(ledger.packets,
+              ledger.tcp() + ledger.udp + ledger.icmp());
+  }
+  EXPECT_EQ(packets, report.total_packets);
+  EXPECT_EQ(tcp_scan, report.tcp_scan_total);
+  EXPECT_EQ(udp, report.udp_total_packets);
+  EXPECT_EQ(backscatter, report.backscatter_total);
+  EXPECT_EQ(icmp_scan, report.icmp_scan_total);
+  EXPECT_EQ(consumer, report.discovered_consumer);
+}
+
+TEST_P(StudyInvariantsTest, RealmProtocolMixCoversAllTraffic) {
+  const auto& report = run_for_seed(GetParam()).report;
+  const std::uint64_t split =
+      report.tcp_packets.consumer + report.tcp_packets.cps +
+      report.udp_packets.consumer + report.udp_packets.cps +
+      report.icmp_packets.consumer + report.icmp_packets.cps;
+  EXPECT_EQ(split, report.total_packets);
+}
+
+TEST_P(StudyInvariantsTest, HourlySeriesSumToTotals) {
+  const auto& report = run_for_seed(GetParam()).report;
+  const double scan_series =
+      report.scan_series.consumer.packets.total() +
+      report.scan_series.cps.packets.total();
+  EXPECT_DOUBLE_EQ(scan_series, static_cast<double>(report.tcp_scan_total));
+  const double udp_series = report.udp_series.consumer.packets.total() +
+                            report.udp_series.cps.packets.total();
+  EXPECT_DOUBLE_EQ(udp_series, static_cast<double>(report.udp_total_packets));
+  const double bs_series = report.backscatter_series.consumer.total() +
+                           report.backscatter_series.cps.total();
+  EXPECT_DOUBLE_EQ(bs_series, static_cast<double>(report.backscatter_total));
+}
+
+TEST_P(StudyInvariantsTest, ServiceTableSumsToScanTotal) {
+  const auto& report = run_for_seed(GetParam()).report;
+  std::uint64_t by_service = 0;
+  for (std::size_t s = 0; s < report.scan_services.size(); ++s) {
+    by_service += report.scan_services[s].packets;
+    // Series and table agree per service.
+    EXPECT_DOUBLE_EQ(report.scan_service_series[s].total(),
+                     static_cast<double>(report.scan_services[s].packets));
+    // Consumer packets never exceed the service total.
+    EXPECT_LE(report.scan_services[s].consumer_packets,
+              report.scan_services[s].packets);
+  }
+  EXPECT_EQ(by_service, report.tcp_scan_total);
+}
+
+TEST_P(StudyInvariantsTest, CharacterizationJoinsMatchDiscovery) {
+  const auto result = run_for_seed(GetParam());
+  const auto& character = result.character;
+  const auto& report = result.report;
+
+  std::size_t by_country = 0;
+  for (const auto& row : character.by_country_compromised) {
+    by_country += row.compromised();
+  }
+  EXPECT_EQ(by_country, report.discovered_total());
+
+  std::size_t consumer_isps = 0;
+  for (const auto& row : character.consumer_isps) consumer_isps += row.devices;
+  EXPECT_EQ(consumer_isps, report.discovered_consumer);
+  std::size_t cps_isps = 0;
+  for (const auto& row : character.cps_isps) cps_isps += row.devices;
+  EXPECT_EQ(cps_isps, report.discovered_cps);
+
+  const std::size_t by_type = std::accumulate(
+      character.consumer_types.begin(), character.consumer_types.end(),
+      std::size_t{0});
+  EXPECT_EQ(by_type, report.discovered_consumer);
+}
+
+TEST_P(StudyInvariantsTest, CumulativeDiscoveryIsMonotoneAndComplete) {
+  const auto& report = run_for_seed(GetParam()).report;
+  std::size_t prev = 0;
+  for (int d = 0; d < 6; ++d) {
+    const std::size_t cum =
+        report.cumulative_by_day_consumer[static_cast<std::size_t>(d)] +
+        report.cumulative_by_day_cps[static_cast<std::size_t>(d)];
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+  EXPECT_EQ(prev, report.discovered_total());
+}
+
+TEST_P(StudyInvariantsTest, VictimCountsConsistent) {
+  const auto& report = run_for_seed(GetParam()).report;
+  std::size_t victims = 0;
+  std::size_t cps = 0;
+  for (const auto& ledger : report.devices) {
+    if (ledger.backscatter() == 0) continue;
+    ++victims;
+  }
+  EXPECT_EQ(victims, report.dos_victims);
+  EXPECT_LE(report.dos_victims_cps, report.dos_victims);
+  (void)cps;
+  EXPECT_EQ(report.backscatter_total,
+            report.backscatter_packets.consumer + report.backscatter_packets.cps);
+}
+
+TEST_P(StudyInvariantsTest, UdpPortTableBoundedByTotals) {
+  const auto& report = run_for_seed(GetParam()).report;
+  std::uint64_t top_packets = 0;
+  for (const auto& row : report.udp_top_ports) {
+    EXPECT_GT(row.packets, 0u);
+    EXPECT_GE(row.devices, 1u);
+    top_packets += row.packets;
+  }
+  EXPECT_LE(top_packets, report.udp_total_packets);
+  // Table is sorted descending.
+  for (std::size_t i = 1; i < report.udp_top_ports.size(); ++i) {
+    EXPECT_GE(report.udp_top_ports[i - 1].packets,
+              report.udp_top_ports[i].packets);
+  }
+}
+
+TEST_P(StudyInvariantsTest, ExploredSupersetOfFlaggedAndVictims) {
+  const auto result = run_for_seed(GetParam());
+  EXPECT_LE(result.malicious.flagged_devices,
+            result.malicious.explored_devices);
+  EXPECT_GE(result.malicious.explored_devices, result.report.dos_victims);
+  EXPECT_EQ(result.malicious.explored_packets.size(),
+            result.malicious.explored_devices);
+  EXPECT_EQ(result.malicious.flagged_packets.size(),
+            result.malicious.flagged_devices);
+  for (std::size_t c = 0; c < result.malicious.category_devices.size(); ++c) {
+    EXPECT_LE(result.malicious.category_devices[c],
+              result.malicious.flagged_devices);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StudyInvariantsTest,
+                         ::testing::Values(20170412ULL, 1ULL, 777ULL));
+
+}  // namespace
+}  // namespace iotscope::core

@@ -1,0 +1,211 @@
+// Tests for the darknet space, the capture/aggregation engine, and the
+// flowtuple stores.
+#include <gtest/gtest.h>
+
+#include "net/pcap.hpp"
+#include "telescope/capture.hpp"
+#include "telescope/darknet.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::telescope {
+namespace {
+
+using net::Ipv4Address;
+using util::AnalysisWindow;
+
+TEST(DarknetSpace, DefaultIsSlashEight) {
+  DarknetSpace space;
+  EXPECT_EQ(space.address_count(), 1ULL << 24);
+  EXPECT_TRUE(space.observes(Ipv4Address::from_octets(10, 1, 2, 3)));
+  EXPECT_FALSE(space.observes(Ipv4Address::from_octets(11, 1, 2, 3)));
+}
+
+TEST(DarknetSpace, RandomAddressesStayInside) {
+  DarknetSpace space(net::Ipv4Prefix(Ipv4Address::from_octets(10, 4, 0, 0), 16));
+  util::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(space.observes(space.random_address(rng)));
+  }
+}
+
+TEST(DarknetSpace, AddressAtWrapsAround) {
+  DarknetSpace space(net::Ipv4Prefix(Ipv4Address::from_octets(10, 0, 0, 0), 30));
+  EXPECT_EQ(space.address_at(0), Ipv4Address::from_octets(10, 0, 0, 0));
+  EXPECT_EQ(space.address_at(5), Ipv4Address::from_octets(10, 0, 0, 1));
+}
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  std::vector<net::HourlyFlows> hours_;
+  DarknetSpace space_;
+  TelescopeCapture capture_{space_, [this](net::HourlyFlows&& flows) {
+                              hours_.push_back(std::move(flows));
+                            }};
+  const Ipv4Address src_ = Ipv4Address::from_octets(93, 184, 216, 34);
+  const Ipv4Address dark_ = Ipv4Address::from_octets(10, 1, 2, 3);
+};
+
+TEST_F(CaptureTest, AggregatesIdenticalKeysIntoOneFlow) {
+  const auto ts = AnalysisWindow::start() + 10;
+  for (int i = 0; i < 5; ++i) {
+    capture_.ingest(net::make_tcp_syn(ts + i, src_, dark_, 40000, 23));
+  }
+  capture_.finish();
+  ASSERT_EQ(hours_.size(), 1u);
+  ASSERT_EQ(hours_[0].records.size(), 1u);
+  EXPECT_EQ(hours_[0].records[0].packet_count, 5u);
+  EXPECT_EQ(capture_.stats().packets_observed, 5u);
+  EXPECT_EQ(capture_.stats().flows_emitted, 1u);
+}
+
+TEST_F(CaptureTest, DistinctKeysStaySeparate) {
+  const auto ts = AnalysisWindow::start();
+  capture_.ingest(net::make_tcp_syn(ts, src_, dark_, 40000, 23));
+  capture_.ingest(net::make_tcp_syn(ts, src_, dark_, 40000, 2323));
+  capture_.ingest(net::make_udp(ts, src_, dark_, 40000, 23));
+  capture_.finish();
+  ASSERT_EQ(hours_.size(), 1u);
+  EXPECT_EQ(hours_[0].records.size(), 3u);
+}
+
+TEST_F(CaptureTest, DropsPacketsOutsideDarkSpace) {
+  const auto outside = Ipv4Address::from_octets(8, 8, 8, 8);
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::start(), src_, outside,
+                                    40000, 23));
+  capture_.finish();
+  EXPECT_EQ(capture_.stats().packets_dropped, 1u);
+  EXPECT_EQ(capture_.stats().packets_observed, 0u);
+  EXPECT_TRUE(hours_.empty());
+}
+
+TEST_F(CaptureTest, RotatesHourlyInOrderIncludingGaps) {
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::interval_start(0), src_,
+                                    dark_, 1, 23));
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::interval_start(3) + 5,
+                                    src_, dark_, 2, 23));
+  capture_.finish();
+  // Hours 0..3 are all emitted (1 and 2 empty) so interval indexing holds.
+  ASSERT_EQ(hours_.size(), 4u);
+  EXPECT_EQ(hours_[0].interval, 0);
+  EXPECT_EQ(hours_[0].records.size(), 1u);
+  EXPECT_TRUE(hours_[1].records.empty());
+  EXPECT_TRUE(hours_[2].records.empty());
+  EXPECT_EQ(hours_[3].interval, 3);
+  EXPECT_EQ(hours_[3].start_time, AnalysisWindow::interval_start(3));
+  EXPECT_EQ(capture_.stats().hours_rotated, 4);
+}
+
+TEST_F(CaptureTest, FinishIsIdempotentAndIngestAfterFinishThrows) {
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::start(), src_, dark_, 1, 23));
+  capture_.finish();
+  capture_.finish();
+  EXPECT_EQ(hours_.size(), 1u);
+  EXPECT_THROW(capture_.ingest(net::make_tcp_syn(AnalysisWindow::start(),
+                                                 src_, dark_, 1, 23)),
+               std::logic_error);
+}
+
+TEST(Capture, EmptySinkRejected) {
+  EXPECT_THROW(TelescopeCapture(DarknetSpace(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Capture, PcapFedCaptureMatchesDirectFeed) {
+  // Property: packets -> pcap -> read -> capture gives identical flows to
+  // feeding the packets directly (the real-tap ingestion path).
+  util::Rng rng(9);
+  DarknetSpace space;
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 300; ++i) {
+    packets.push_back(net::make_tcp_syn(
+        AnalysisWindow::start() + static_cast<long>(rng.uniform(0, 3599)),
+        Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+        space.random_address(rng), static_cast<net::Port>(rng.uniform(1, 65535)),
+        23));
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const net::PacketRecord& a, const net::PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+
+  util::TempDir dir;
+  net::write_pcap_file(dir.path() / "t.pcap", packets);
+  const auto replayed = net::read_pcap_file(dir.path() / "t.pcap");
+
+  auto run = [&space](const std::vector<net::PacketRecord>& input) {
+    std::vector<net::HourlyFlows> out;
+    TelescopeCapture capture(space, [&out](net::HourlyFlows&& flows) {
+      out.push_back(std::move(flows));
+    });
+    for (const auto& p : input) capture.ingest(p);
+    capture.finish();
+    return out;
+  };
+  const auto direct = run(packets);
+  const auto via_pcap = run(replayed);
+  ASSERT_EQ(direct.size(), via_pcap.size());
+  for (std::size_t h = 0; h < direct.size(); ++h) {
+    EXPECT_EQ(direct[h].total_packets(), via_pcap[h].total_packets());
+    EXPECT_EQ(direct[h].records.size(), via_pcap[h].records.size());
+  }
+}
+
+TEST(FlowTupleStore, PutGetIterate) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path() / "flows");
+  for (const int interval : {5, 1, 9}) {
+    net::HourlyFlows flows;
+    flows.interval = interval;
+    flows.start_time = AnalysisWindow::interval_start(interval);
+    net::FlowTuple t;
+    t.src = Ipv4Address(interval);
+    t.packet_count = static_cast<std::uint64_t>(interval) * 10;
+    flows.records.push_back(t);
+    store.put(flows);
+  }
+  EXPECT_EQ(store.intervals(), (std::vector<int>{1, 5, 9}));
+  EXPECT_FALSE(store.get(2).has_value());
+  const auto five = store.get(5);
+  ASSERT_TRUE(five.has_value());
+  EXPECT_EQ(five->records[0].packet_count, 50u);
+
+  std::vector<int> visited;
+  store.for_each([&visited](const net::HourlyFlows& flows) {
+    visited.push_back(flows.interval);
+  });
+  EXPECT_EQ(visited, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(FlowTupleStore, OverwritesExistingHour) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path());
+  net::HourlyFlows flows;
+  flows.interval = 3;
+  store.put(flows);
+  net::FlowTuple t;
+  t.packet_count = 7;
+  flows.records.push_back(t);
+  store.put(flows);
+  EXPECT_EQ(store.get(3)->records.size(), 1u);
+}
+
+TEST(MemoryFlowStore, KeepsHoursSortedAndCounts) {
+  MemoryFlowStore store;
+  for (const int interval : {7, 2, 4}) {
+    net::HourlyFlows flows;
+    flows.interval = interval;
+    net::FlowTuple t;
+    t.packet_count = 3;
+    flows.records.push_back(t);
+    store.put(std::move(flows));
+  }
+  ASSERT_EQ(store.hours().size(), 3u);
+  EXPECT_EQ(store.hours()[0].interval, 2);
+  EXPECT_EQ(store.hours()[2].interval, 7);
+  EXPECT_EQ(store.total_packets(), 9u);
+}
+
+}  // namespace
+}  // namespace iotscope::telescope

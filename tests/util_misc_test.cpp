@@ -1,0 +1,184 @@
+// Tests for the time base, string helpers, and binary I/O primitives.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/io.hpp"
+#include "util/strings.hpp"
+#include "util/timebase.hpp"
+
+namespace iotscope::util {
+namespace {
+
+// ---------------- timebase ----------------
+
+TEST(AnalysisWindow, BoundsAndContainment) {
+  EXPECT_EQ(AnalysisWindow::kHours, 143);
+  EXPECT_EQ(AnalysisWindow::end() - AnalysisWindow::start(),
+            143 * kSecondsPerHour);
+  EXPECT_TRUE(AnalysisWindow::contains(AnalysisWindow::start()));
+  EXPECT_TRUE(AnalysisWindow::contains(AnalysisWindow::end() - 1));
+  EXPECT_FALSE(AnalysisWindow::contains(AnalysisWindow::end()));
+  EXPECT_FALSE(AnalysisWindow::contains(AnalysisWindow::start() - 1));
+}
+
+TEST(AnalysisWindow, StartIsApril12_2017Utc) {
+  EXPECT_EQ(format_utc(AnalysisWindow::start()), "2017-04-12 00:00:00");
+}
+
+TEST(AnalysisWindow, IntervalOfMapsHourBoundaries) {
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::start()), 0);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::start() + 3599), 0);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::start() + 3600), 1);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::end() - 1), 142);
+}
+
+TEST(AnalysisWindow, IntervalOfClampsOutOfRange) {
+  EXPECT_EQ(AnalysisWindow::interval_of(0), 0);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::end() + 999999), 142);
+}
+
+TEST(AnalysisWindow, IntervalStartInvertsIntervalOf) {
+  for (int h = 0; h < AnalysisWindow::kHours; ++h) {
+    EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::interval_start(h)),
+              h);
+  }
+}
+
+TEST(AnalysisWindow, DayOfInterval) {
+  EXPECT_EQ(AnalysisWindow::day_of_interval(0), 0);
+  EXPECT_EQ(AnalysisWindow::day_of_interval(23), 0);
+  EXPECT_EQ(AnalysisWindow::day_of_interval(24), 1);
+  EXPECT_EQ(AnalysisWindow::day_of_interval(142), 5);
+  EXPECT_EQ(AnalysisWindow::day_of_interval(-3), 0);
+}
+
+TEST(Timebase, FormatWindowDay) {
+  EXPECT_EQ(format_window_day(0), "APR-12");
+  EXPECT_EQ(format_window_day(5), "APR-17");
+  EXPECT_EQ(format_window_day(99), "APR-17");  // clamped
+}
+
+// ---------------- strings ----------------
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("TeLnEt/23"), "telnet/23");
+  EXPECT_TRUE(starts_with("flowtuple-0042.ift", "flowtuple-"));
+  EXPECT_FALSE(starts_with("flow", "flowtuple"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(26881), "26,881");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(26881), "26.9K");
+  EXPECT_EQ(human_count(141300000), "141.3M");
+  EXPECT_EQ(human_count(2.5e9), "2.5B");
+}
+
+TEST(Strings, PercentAndFixed) {
+  EXPECT_EQ(percent(26.881), "26.9%");
+  EXPECT_EQ(percent(2.52, 2), "2.52%");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+// ---------------- binary io ----------------
+
+TEST(Io, IntegerRoundTripAllWidths) {
+  std::stringstream ss;
+  write_u8(ss, 0xAB);
+  write_u16(ss, 0xBEEF);
+  write_u32(ss, 0xDEADBEEF);
+  write_u64(ss, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(read_u8(ss), 0xAB);
+  EXPECT_EQ(read_u16(ss), 0xBEEF);
+  EXPECT_EQ(read_u32(ss), 0xDEADBEEFu);
+  EXPECT_EQ(read_u64(ss), 0x0123456789ABCDEFULL);
+}
+
+TEST(Io, LittleEndianOnDisk) {
+  std::stringstream ss;
+  write_u32(ss, 0x01020304);
+  const std::string bytes = ss.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(Io, ReadPastEndThrows) {
+  std::stringstream ss;
+  write_u16(ss, 7);
+  read_u16(ss);
+  EXPECT_THROW(read_u8(ss), IoError);
+}
+
+TEST(Io, StringRoundTripIncludingEmbeddedNulAndUnicode) {
+  std::stringstream ss;
+  const std::string original("a\0b\xc3\xa9", 4);
+  write_string(ss, original);
+  EXPECT_EQ(read_string(ss), original);
+}
+
+TEST(Io, StringSanityCapEnforced) {
+  std::stringstream ss;
+  write_string(ss, std::string(64, 'x'));
+  EXPECT_THROW(read_string(ss, 10), IoError);
+}
+
+TEST(Io, TruncatedStringThrows) {
+  std::stringstream ss;
+  write_u32(ss, 100);  // claims 100 bytes, provides none
+  EXPECT_THROW(read_string(ss), IoError);
+}
+
+TEST(Io, FileRoundTripAndMissingFile) {
+  TempDir dir;
+  const auto path = dir.path() / "blob.bin";
+  write_file(path, "hello\0world");
+  EXPECT_EQ(read_file(path), "hello");  // std::string ctor stops at NUL here
+  write_file(path, std::string("a\0b", 3));
+  EXPECT_EQ(read_file(path).size(), 3u);
+  EXPECT_THROW(read_file(dir.path() / "absent"), IoError);
+}
+
+TEST(Io, TempDirCreatesAndCleansUp) {
+  std::filesystem::path captured;
+  {
+    TempDir dir("iotscope-test");
+    captured = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(captured));
+    write_file(captured / "f.txt", "x");
+  }
+  EXPECT_FALSE(std::filesystem::exists(captured));
+}
+
+}  // namespace
+}  // namespace iotscope::util

@@ -1,0 +1,331 @@
+// Tests for the scenario spec tables, compromise/role assignment, and the
+// traffic synthesizer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "inventory/catalog.hpp"
+#include "workload/scenario.hpp"
+#include "workload/spec.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::workload {
+namespace {
+
+// ---------------- spec tables ----------------
+
+TEST(Spec, ScanServicesShareSumsNearHundred) {
+  double total = 0;
+  for (const auto& svc : scan_services()) total += svc.packet_share_pct;
+  EXPECT_NEAR(total, 100.0, 0.5);
+}
+
+TEST(Spec, ScanServicePortWeightsMatchPortLists) {
+  for (const auto& svc : scan_services()) {
+    EXPECT_EQ(svc.ports.size(), svc.port_weights.size()) << svc.name;
+    EXPECT_GE(svc.consumer_packet_share, 0.0);
+    EXPECT_LE(svc.consumer_packet_share, 1.0);
+  }
+}
+
+TEST(Spec, TelnetIsFirstWithPaperShare) {
+  const auto& telnet = scan_services().front();
+  EXPECT_EQ(telnet.name, "Telnet");
+  EXPECT_NEAR(telnet.packet_share_pct, 50.2, 0.01);
+  EXPECT_EQ(telnet.ports[0], 23);
+}
+
+TEST(Spec, ScanServiceIndexLookup) {
+  EXPECT_EQ(scan_service_index("Telnet"), 0);
+  EXPECT_GE(scan_service_index("CWMP"), 0);
+  EXPECT_EQ(scan_service_index("NotAService"), -1);
+}
+
+TEST(Spec, UdpPortsMatchTable4) {
+  const auto& ports = udp_ports();
+  ASSERT_EQ(ports.size(), 10u);
+  EXPECT_EQ(ports[0].port, 37547);
+  EXPECT_NEAR(ports[0].packet_share_pct, 2.52, 0.001);
+  EXPECT_EQ(ports[0].devices, 10115);
+  EXPECT_EQ(ports[1].service, "NetBIOS");
+  double named = 0;
+  for (const auto& p : ports) named += p.packet_share_pct;
+  EXPECT_NEAR(named, 10.7, 0.2);  // paper: top 10 take ~10.7% of UDP
+}
+
+TEST(Spec, DosEventsReferenceValidCatalogEntries) {
+  const auto& catalog = inventory::Catalog::standard();
+  for (const auto& event : dos_events()) {
+    EXPECT_NO_THROW(catalog.country_id(event.country)) << event.label;
+    if (!event.cps_protocol.empty()) {
+      EXPECT_NO_THROW(catalog.cps_protocol_id(event.cps_protocol))
+          << event.label;
+    }
+    EXPECT_GT(event.total_packets, 0.0);
+    EXPECT_FALSE(event.intervals.empty());
+    for (const int h : event.intervals) {
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, util::AnalysisWindow::kHours);
+    }
+  }
+}
+
+TEST(Spec, SevenScriptedVictimsAtOrAbove100K) {
+  // The paper reports 7 devices with >= 100K backscatter packets, 5 CPS.
+  int heavy = 0;
+  int heavy_cps = 0;
+  for (const auto& event : dos_events()) {
+    if (event.total_packets >= 100000) {
+      ++heavy;
+      if (event.cps) ++heavy_cps;
+    }
+  }
+  EXPECT_EQ(heavy, 8);  // 8 scripted; background adds none above the cap
+  EXPECT_EQ(heavy_cps, 5);
+}
+
+TEST(Spec, ScanHeroesReferenceValidServicesAndCountries) {
+  const auto& catalog = inventory::Catalog::standard();
+  double telnet_share = 0;
+  for (const auto& hero : scan_heroes()) {
+    EXPECT_GE(scan_service_index(hero.service), 0) << hero.label;
+    EXPECT_NO_THROW(catalog.country_id(hero.country)) << hero.label;
+    if (hero.service == "Telnet") telnet_share += hero.packet_share;
+  }
+  EXPECT_NEAR(telnet_share, 0.55, 0.01);  // 7+1 heroes carry 55% of Telnet
+}
+
+TEST(Spec, DiscoveryWeightsMatchFig2) {
+  const PopulationSpec pop;
+  double total = 0;
+  for (const double w : pop.discovery_day_weights) total += w;
+  EXPECT_NEAR(total, 1.0, 0.01);
+  EXPECT_NEAR(pop.discovery_day_weights[0], 0.46, 0.001);
+}
+
+// ---------------- scenario assignment ----------------
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static const Scenario& scenario() {
+    static const Scenario instance = [] {
+      ScenarioConfig config;
+      config.inventory_scale = 0.02;
+      config.traffic_scale = 0.004;
+      return build_scenario(config);
+    }();
+    return instance;
+  }
+};
+
+TEST_F(ScenarioTest, CompromisedCountsNearScaledTargets) {
+  const auto& truth = scenario().truth;
+  // Targets: 15,299 * 0.02 = 306 consumer; 11,582 * 0.02 = 232 CPS.
+  EXPECT_NEAR(static_cast<double>(truth.compromised_consumer), 306.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(truth.compromised_cps), 232.0, 55.0);
+}
+
+TEST_F(ScenarioTest, PlanIndexIsConsistent) {
+  const auto& truth = scenario().truth;
+  for (std::uint32_t i = 0; i < truth.plans.size(); ++i) {
+    const auto* plan = truth.plan_for(truth.plans[i].device);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->device, truth.plans[i].device);
+  }
+  EXPECT_EQ(truth.by_device.size(), truth.plans.size());
+}
+
+TEST_F(ScenarioTest, EveryPlanHasPositiveExpectedEmission) {
+  for (const auto& plan : scenario().truth.plans) {
+    double expected = plan.scan.total_packets + plan.udp.trio_packets +
+                      plan.udp.dedicated_packets + plan.udp.sweep_packets +
+                      plan.misconfig_packets + plan.icmp_scan_packets;
+    for (const auto& attack : plan.attacks) expected += attack.total_packets;
+    EXPECT_GE(expected, 1.0) << "device " << plan.device;
+  }
+}
+
+TEST_F(ScenarioTest, FirstIntervalWithinWindowAndBeforeAttacks) {
+  for (const auto& plan : scenario().truth.plans) {
+    EXPECT_GE(plan.first_interval, 0);
+    EXPECT_LT(plan.first_interval, util::AnalysisWindow::kHours);
+    for (const auto& attack : plan.attacks) {
+      for (const int h : attack.intervals) {
+        EXPECT_LE(plan.first_interval, h);
+      }
+    }
+  }
+}
+
+TEST_F(ScenarioTest, ScriptedVictimsAllPresent) {
+  const auto& truth = scenario().truth;
+  std::set<int> seen_events;
+  for (const auto& plan : truth.plans) {
+    for (const auto& attack : plan.attacks) {
+      if (attack.event >= 0) seen_events.insert(attack.event);
+    }
+  }
+  EXPECT_EQ(seen_events.size(), dos_events().size());
+}
+
+TEST_F(ScenarioTest, HeroesAssignedWithMatchingAttributes) {
+  const auto& truth = scenario().truth;
+  const auto& db = scenario().inventory;
+  std::set<int> seen;
+  for (const auto& plan : truth.plans) {
+    if (plan.scan.hero < 0) continue;
+    seen.insert(plan.scan.hero);
+    const auto& hero = scan_heroes()[static_cast<std::size_t>(plan.scan.hero)];
+    const auto& device = db.devices()[plan.device];
+    EXPECT_EQ(device.is_cps(), hero.cps) << hero.label;
+    EXPECT_GT(plan.scan.total_packets, 0.0) << hero.label;
+  }
+  EXPECT_EQ(seen.size(), scan_heroes().size());
+}
+
+TEST_F(ScenarioTest, RolesRoughlyMatchQuotas) {
+  const auto& truth = scenario().truth;
+  std::size_t scanners = 0;
+  std::size_t udp = 0;
+  std::size_t victims = 0;
+  for (const auto& plan : truth.plans) {
+    if (plan.has(kRoleScanner)) ++scanners;
+    if (plan.has(kRoleUdp)) ++udp;
+    if (!plan.attacks.empty()) ++victims;
+  }
+  // Quotas at 0.02: scanners ~247, UDP ~505, victims ~30 (scripted add 8).
+  EXPECT_NEAR(static_cast<double>(scanners), 247.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(udp), 505.0, 120.0);
+  EXPECT_GE(victims, dos_events().size());
+  EXPECT_EQ(truth.dos_victims, victims);
+}
+
+TEST_F(ScenarioTest, DutyCyclesWithinBounds) {
+  for (const auto& plan : scenario().truth.plans) {
+    EXPECT_GT(plan.duty, 0.0);
+    EXPECT_LE(plan.duty, 1.0);
+  }
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  ScenarioConfig config;
+  config.inventory_scale = 0.005;
+  config.traffic_scale = 0.001;
+  const auto a = build_scenario(config);
+  const auto b = build_scenario(config);
+  ASSERT_EQ(a.truth.plans.size(), b.truth.plans.size());
+  for (std::size_t i = 0; i < a.truth.plans.size(); ++i) {
+    EXPECT_EQ(a.truth.plans[i].device, b.truth.plans[i].device);
+    EXPECT_EQ(a.truth.plans[i].roles, b.truth.plans[i].roles);
+    EXPECT_DOUBLE_EQ(a.truth.plans[i].scan.total_packets,
+                     b.truth.plans[i].scan.total_packets);
+  }
+}
+
+TEST(ScenarioConfig, ScalingHelpers) {
+  ScenarioConfig config;
+  config.inventory_scale = 0.1;
+  config.traffic_scale = 0.5;
+  EXPECT_EQ(config.scaled_count(1000), 100u);
+  EXPECT_EQ(config.scaled_count(3), 1u);  // rounds to at least 1
+  EXPECT_EQ(config.scaled_count(0), 0u);
+  EXPECT_DOUBLE_EQ(config.scaled_packets(100.0), 50.0);
+}
+
+// ---------------- synthesizer ----------------
+
+class SynthTest : public ::testing::Test {
+ protected:
+  static ScenarioConfig config() {
+    ScenarioConfig c;
+    c.inventory_scale = 0.01;
+    c.traffic_scale = 0.002;
+    c.noise_ratio = 0.05;
+    return c;
+  }
+  static const Scenario& scenario() {
+    static const Scenario instance = build_scenario(config());
+    return instance;
+  }
+};
+
+TEST_F(SynthTest, EmitsBudgetedVolumesWithinTolerance) {
+  std::uint64_t count = 0;
+  const auto stats = synthesize_traffic(
+      scenario(), config(), [&count](const net::PacketRecord&) { ++count; });
+  EXPECT_EQ(stats.total, count);
+  const VolumeSpec vol;
+  const double expected_scan = vol.tcp_scan_packets * 0.002;
+  EXPECT_NEAR(static_cast<double>(stats.tcp_scan), expected_scan,
+              expected_scan * 0.35);
+  const double expected_udp = vol.udp_packets * 0.002;
+  EXPECT_NEAR(static_cast<double>(stats.udp), expected_udp,
+              expected_udp * 0.35);
+  const double expected_bs = vol.backscatter_packets * 0.002;
+  EXPECT_NEAR(static_cast<double>(stats.backscatter), expected_bs,
+              expected_bs * 0.35);
+  EXPECT_GT(stats.noise, 0u);
+}
+
+TEST_F(SynthTest, PacketsAreWellFormedAndOrdered) {
+  util::UnixTime last_hour = 0;
+  const telescope::DarknetSpace space(config().darknet);
+  std::size_t checked = 0;
+  synthesize_traffic(scenario(), config(), [&](const net::PacketRecord& p) {
+    ASSERT_TRUE(util::AnalysisWindow::contains(p.timestamp));
+    ASSERT_TRUE(space.observes(p.dst));
+    const auto hour = util::AnalysisWindow::interval_of(p.timestamp);
+    ASSERT_GE(hour, last_hour);
+    last_hour = hour;
+    ++checked;
+  });
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_F(SynthTest, DeterministicStream) {
+  std::vector<std::uint64_t> digest_a;
+  synthesize_traffic(scenario(), config(), [&](const net::PacketRecord& p) {
+    if (digest_a.size() < 1000) {
+      digest_a.push_back((static_cast<std::uint64_t>(p.src.value()) << 32) ^
+                         p.dst.value() ^ p.dst_port);
+    }
+  });
+  std::vector<std::uint64_t> digest_b;
+  synthesize_traffic(scenario(), config(), [&](const net::PacketRecord& p) {
+    if (digest_b.size() < 1000) {
+      digest_b.push_back((static_cast<std::uint64_t>(p.src.value()) << 32) ^
+                         p.dst.value() ^ p.dst_port);
+    }
+  });
+  EXPECT_EQ(digest_a, digest_b);
+}
+
+TEST_F(SynthTest, ScanPacketsAreSynOnlyAndBackscatterMatchesTaxonomy) {
+  std::uint64_t syn_only = 0;
+  std::uint64_t scan_total = 0;
+  synthesize_traffic(scenario(), config(), [&](const net::PacketRecord& p) {
+    if (p.is_tcp() && p.tcp_syn_only()) ++syn_only;
+    if (p.is_tcp()) ++scan_total;
+  });
+  // Most TCP should be SYN probes (scanning dominates the paper's mix).
+  EXPECT_GT(syn_only, scan_total / 2);
+}
+
+TEST_F(SynthTest, SynthesizeIntoCaptureProducesAllHours) {
+  std::vector<int> intervals;
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config().darknet),
+      [&intervals](net::HourlyFlows&& flows) {
+        intervals.push_back(flows.interval);
+      });
+  synthesize_into(scenario(), config(), capture);
+  ASSERT_FALSE(intervals.empty());
+  EXPECT_EQ(intervals.front(), 0);
+  EXPECT_EQ(intervals.back(), util::AnalysisWindow::kHours - 1);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_EQ(intervals[i], intervals[i - 1] + 1);
+  }
+}
+
+}  // namespace
+}  // namespace iotscope::workload

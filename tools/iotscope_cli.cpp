@@ -1,0 +1,328 @@
+// The iotscope command-line tool: generate a full telescope dataset on
+// disk, then analyze it exactly the way an operator with real darknet
+// data would — everything flows through the library's persistence
+// formats (CSV inventory/intel, binary hourly flowtuples, XML sandbox
+// reports).
+//
+//   iotscope synth       --out DIR [--inventory-scale S] [--traffic-scale S]
+//                        [--seed N] [--noise R] [--with-truth]
+//   iotscope analyze     --data DIR [--top N]
+//   iotscope fingerprint --data DIR [--threshold X] [--min-packets N]
+//   iotscope campaigns   --data DIR
+//   iotscope info        --data DIR
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/campaigns.hpp"
+#include "core/fingerprint.hpp"
+#include "core/iotscope.hpp"
+#include "core/report_text.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "workload/synth.hpp"
+
+using namespace iotscope;
+
+namespace {
+
+/// Minimal --key value flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  iotscope synth       --out DIR [--inventory-scale S] "
+               "[--traffic-scale S] [--seed N] [--noise R] [--with-truth]\n"
+               "  iotscope analyze     --data DIR [--top N] [--full]\n"
+               "  iotscope fingerprint --data DIR [--threshold X] "
+               "[--min-packets N]\n"
+               "  iotscope campaigns   --data DIR\n"
+               "  iotscope info        --data DIR\n");
+  return 2;
+}
+
+// ---------------------------------------------------------------- synth
+
+int cmd_synth(const Args& args) {
+  if (!args.has("out")) return usage();
+  const std::filesystem::path out_dir = args.get("out", "");
+  std::filesystem::create_directories(out_dir);
+
+  workload::ScenarioConfig config;
+  config.inventory_scale = args.get_double("inventory-scale", 0.05);
+  config.traffic_scale = args.get_double("traffic-scale", 0.01);
+  config.noise_ratio = args.get_double("noise", 0.10);
+  config.seed = static_cast<std::uint64_t>(args.get_double("seed", 20170412));
+
+  std::printf("synthesizing scenario (inventory %.3g, traffic %.3g, seed "
+              "%llu)...\n",
+              config.inventory_scale, config.traffic_scale,
+              static_cast<unsigned long long>(config.seed));
+  const auto scenario = workload::build_scenario(config);
+  scenario.inventory.save_csv(out_dir / "inventory.csv");
+
+  telescope::FlowTupleStore store(out_dir / "flowtuples");
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.darknet),
+      [&store](net::HourlyFlows&& flows) { store.put(flows); });
+  const auto stats = workload::synthesize_into(scenario, config, capture);
+
+  const auto threats =
+      intel::synthesize_threat_repository(scenario, config);
+  threats.save_csv(out_dir / "threats.csv");
+  intel::MalwareSynthConfig malware_config;
+  malware_config.corpus_size = 300;
+  const auto corpus =
+      intel::synthesize_malware_corpus(scenario, config, malware_config);
+  corpus.database.export_xml(out_dir / "malware");
+  corpus.resolver.save_csv(out_dir / "verdicts.csv");
+
+  if (args.has("with-truth")) {
+    // Validation aid: the ground-truth compromised set.
+    std::string truth;
+    for (const auto& plan : scenario.truth.plans) {
+      truth += scenario.inventory.devices()[plan.device].ip.to_string();
+      truth += "\n";
+    }
+    util::write_file(out_dir / "truth_compromised.txt", truth);
+  }
+
+  std::printf("wrote %s: inventory.csv (%zu devices), flowtuples/ (%zu "
+              "hours, %s packets), threats.csv (%zu events), malware/ (%zu "
+              "reports), verdicts.csv\n",
+              out_dir.string().c_str(), scenario.inventory.size(),
+              store.intervals().size(),
+              util::human_count(static_cast<double>(stats.total)).c_str(),
+              threats.event_count(), corpus.database.size());
+  return 0;
+}
+
+// ------------------------------------------------------------- loading
+
+struct Dataset {
+  inventory::IoTDeviceDatabase inventory;
+  telescope::FlowTupleStore store;
+  intel::ThreatRepository threats;
+  intel::MalwareDatabase malware;
+  intel::FamilyResolver resolver;
+};
+
+Dataset load_dataset(const std::filesystem::path& dir) {
+  Dataset data{inventory::IoTDeviceDatabase::load_csv(dir / "inventory.csv"),
+               telescope::FlowTupleStore(dir / "flowtuples"),
+               {},
+               {},
+               {}};
+  if (std::filesystem::exists(dir / "threats.csv")) {
+    data.threats = intel::ThreatRepository::load_csv(dir / "threats.csv");
+  }
+  if (std::filesystem::exists(dir / "malware")) {
+    data.malware = intel::MalwareDatabase::import_xml(dir / "malware");
+  }
+  if (std::filesystem::exists(dir / "verdicts.csv")) {
+    data.resolver = intel::FamilyResolver::load_csv(dir / "verdicts.csv");
+  }
+  return data;
+}
+
+core::Report run_pipeline(const Dataset& data) {
+  core::AnalysisPipeline pipeline(data.inventory);
+  data.store.for_each(
+      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); });
+  return pipeline.finalize();
+}
+
+// ------------------------------------------------------------- analyze
+
+int cmd_analyze(const Args& args) {
+  if (!args.has("data")) return usage();
+  const auto data = load_dataset(args.get("data", ""));
+  const auto report = run_pipeline(data);
+  const auto character = core::characterize(report, data.inventory);
+  const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
+
+  if (args.has("full")) {
+    std::printf("%s\n", core::render_inference_report(report, character,
+                                                      data.inventory)
+                            .c_str());
+    std::printf("%s\n",
+                core::render_traffic_report(report, data.inventory).c_str());
+    if (data.threats.flagged_ips() > 0) {
+      core::MaliciousnessOptions options;
+      options.top_per_realm = static_cast<std::size_t>(
+          static_cast<double>(report.discovered_total()) * 0.15);
+      const auto malicious = core::analyze_maliciousness(
+          report, data.inventory, data.threats, data.malware, data.resolver,
+          options);
+      std::printf("%s", core::render_maliciousness_report(malicious).c_str());
+    }
+    return 0;
+  }
+
+  std::printf("== iotscope analysis ==\n");
+  std::printf("hours analyzed: %zu; IoT packets %s (+%s unattributed)\n",
+              data.store.intervals().size(),
+              util::human_count(static_cast<double>(report.total_packets)).c_str(),
+              util::human_count(static_cast<double>(report.unattributed_packets)).c_str());
+  std::printf("compromised devices: %zu (%zu consumer / %zu CPS) across %zu "
+              "countries\n",
+              report.discovered_total(), report.discovered_consumer,
+              report.discovered_cps, character.countries_with_compromised);
+  std::printf("traffic: scanning %s, UDP %s, backscatter %s (%zu victims)\n",
+              util::human_count(static_cast<double>(report.tcp_scan_total)).c_str(),
+              util::human_count(static_cast<double>(report.udp_total_packets)).c_str(),
+              util::human_count(static_cast<double>(report.backscatter_total)).c_str(),
+              report.dos_victims);
+
+  std::printf("\ntop countries by compromised devices:\n");
+  for (std::size_t i = 0;
+       i < character.by_country_compromised.size() && i < top; ++i) {
+    const auto& row = character.by_country_compromised[i];
+    std::printf("  %-24s %6zu (%s of fleet)\n",
+                data.inventory.country_name(row.country).c_str(),
+                row.compromised(),
+                util::percent(row.pct_compromised()).c_str());
+  }
+
+  std::printf("\ntop scanned services:\n");
+  for (std::size_t s = 0; s < report.scan_services.size() && s < top; ++s) {
+    const auto& svc = report.scan_services[s];
+    if (svc.packets == 0) continue;
+    std::printf("  %-18s %10s packets (%zu consumer / %zu CPS devices)\n",
+                svc.name.c_str(), util::with_commas(svc.packets).c_str(),
+                svc.consumer_devices, svc.cps_devices);
+  }
+
+  if (data.threats.flagged_ips() > 0) {
+    core::MaliciousnessOptions options;
+    options.top_per_realm = static_cast<std::size_t>(
+        static_cast<double>(report.discovered_total()) * 0.15);
+    const auto malicious = core::analyze_maliciousness(
+        report, data.inventory, data.threats, data.malware, data.resolver,
+        options);
+    std::printf("\nmaliciousness: %zu of %zu explored devices flagged; %zu "
+                "devices in sandbox reports; families:",
+                malicious.flagged_devices, malicious.explored_devices,
+                malicious.devices_in_reports);
+    for (const auto& family : malicious.families) {
+      std::printf(" %s", family.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// --------------------------------------------------------- fingerprint
+
+int cmd_fingerprint(const Args& args) {
+  if (!args.has("data")) return usage();
+  const auto data = load_dataset(args.get("data", ""));
+  const auto report = run_pipeline(data);
+  core::FingerprintOptions options;
+  options.iot_port_share_threshold = args.get_double("threshold", 0.5);
+  options.min_packets = static_cast<std::uint64_t>(
+      args.get_double("min-packets", 20));
+  const auto fp = core::fingerprint_unindexed(report, options);
+  std::printf("%zu sustained unknown sources; %zu match the IoT "
+              "fingerprint:\n",
+              report.unknown_sources.size(), fp.candidates.size());
+  for (const auto& c : fp.candidates) {
+    std::printf("  %-15s %8s packets, IoT-port share %s, SYN share %s\n",
+                c.ip.to_string().c_str(), util::with_commas(c.packets).c_str(),
+                util::percent(100 * c.iot_port_share, 0).c_str(),
+                util::percent(100 * c.syn_share, 0).c_str());
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------- campaigns
+
+int cmd_campaigns(const Args& args) {
+  if (!args.has("data")) return usage();
+  const auto data = load_dataset(args.get("data", ""));
+  const auto report = run_pipeline(data);
+  const auto campaigns = core::cluster_campaigns(report, data.inventory);
+  std::printf("%zu probing campaigns (%zu scanners clustered):\n",
+              campaigns.campaigns.size(), campaigns.devices_clustered);
+  for (const auto& c : campaigns.campaigns) {
+    std::printf("  %-18s %5zu devices, %12s packets, hours %d-%d\n",
+                c.service_name.c_str(), c.devices.size(),
+                util::with_commas(c.packets).c_str(), c.start_interval + 1,
+                c.end_interval + 1);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- info
+
+int cmd_info(const Args& args) {
+  if (!args.has("data")) return usage();
+  const std::filesystem::path dir = args.get("data", "");
+  const auto db = inventory::IoTDeviceDatabase::load_csv(dir / "inventory.csv");
+  telescope::FlowTupleStore store(dir / "flowtuples");
+  std::uint64_t packets = 0;
+  std::size_t flows = 0;
+  store.for_each([&](const net::HourlyFlows& h) {
+    packets += h.total_packets();
+    flows += h.records.size();
+  });
+  std::printf("dataset %s:\n", dir.string().c_str());
+  std::printf("  inventory: %zu devices (%zu consumer / %zu CPS), %zu ISPs, "
+              "%zu countries\n",
+              db.size(), db.consumer_count(), db.cps_count(), db.isps().size(),
+              db.country_count());
+  std::printf("  flowtuples: %zu hourly files, %zu flows, %s packets\n",
+              store.intervals().size(), flows,
+              util::human_count(static_cast<double>(packets)).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::Warn);
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "synth") return cmd_synth(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "fingerprint") return cmd_fingerprint(args);
+  if (command == "campaigns") return cmd_campaigns(args);
+  if (command == "info") return cmd_info(args);
+  return usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_taxonomy"
+  "../bench/bench_ablation_taxonomy.pdb"
+  "CMakeFiles/bench_ablation_taxonomy.dir/bench_ablation_taxonomy.cpp.o"
+  "CMakeFiles/bench_ablation_taxonomy.dir/bench_ablation_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

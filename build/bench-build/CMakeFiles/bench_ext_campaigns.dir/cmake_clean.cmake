@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_campaigns"
+  "../bench/bench_ext_campaigns.pdb"
+  "CMakeFiles/bench_ext_campaigns.dir/bench_ext_campaigns.cpp.o"
+  "CMakeFiles/bench_ext_campaigns.dir/bench_ext_campaigns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_campaigns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_fingerprint"
+  "../bench/bench_ext_fingerprint.pdb"
+  "CMakeFiles/bench_ext_fingerprint.dir/bench_ext_fingerprint.cpp.o"
+  "CMakeFiles/bench_ext_fingerprint.dir/bench_ext_fingerprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_top_services_series"
+  "../bench/bench_fig10_top_services_series.pdb"
+  "CMakeFiles/bench_fig10_top_services_series.dir/bench_fig10_top_services_series.cpp.o"
+  "CMakeFiles/bench_fig10_top_services_series.dir/bench_fig10_top_services_series.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_top_services_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1b_compromised_countries"
+  "../bench/bench_fig1b_compromised_countries.pdb"
+  "CMakeFiles/bench_fig1b_compromised_countries.dir/bench_fig1b_compromised_countries.cpp.o"
+  "CMakeFiles/bench_fig1b_compromised_countries.dir/bench_fig1b_compromised_countries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_compromised_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

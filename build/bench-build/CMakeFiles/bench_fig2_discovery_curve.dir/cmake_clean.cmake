@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_discovery_curve"
+  "../bench/bench_fig2_discovery_curve.pdb"
+  "CMakeFiles/bench_fig2_discovery_curve.dir/bench_fig2_discovery_curve.cpp.o"
+  "CMakeFiles/bench_fig2_discovery_curve.dir/bench_fig2_discovery_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_discovery_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_udp_timeseries.cpp" "bench-build/CMakeFiles/bench_fig5_udp_timeseries.dir/bench_fig5_udp_timeseries.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig5_udp_timeseries.dir/bench_fig5_udp_timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/iotscope_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iotscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/iotscope_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iotscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iotscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/iotscope_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/iotscope_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

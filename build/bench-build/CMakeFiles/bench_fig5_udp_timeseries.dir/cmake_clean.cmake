@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_udp_timeseries"
+  "../bench/bench_fig5_udp_timeseries.pdb"
+  "CMakeFiles/bench_fig5_udp_timeseries.dir/bench_fig5_udp_timeseries.cpp.o"
+  "CMakeFiles/bench_fig5_udp_timeseries.dir/bench_fig5_udp_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_udp_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

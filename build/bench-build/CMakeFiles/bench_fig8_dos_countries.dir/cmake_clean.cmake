@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_dos_countries"
+  "../bench/bench_fig8_dos_countries.pdb"
+  "CMakeFiles/bench_fig8_dos_countries.dir/bench_fig8_dos_countries.cpp.o"
+  "CMakeFiles/bench_fig8_dos_countries.dir/bench_fig8_dos_countries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dos_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_scan_timeseries"
+  "../bench/bench_fig9_scan_timeseries.pdb"
+  "CMakeFiles/bench_fig9_scan_timeseries.dir/bench_fig9_scan_timeseries.cpp.o"
+  "CMakeFiles/bench_fig9_scan_timeseries.dir/bench_fig9_scan_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scan_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

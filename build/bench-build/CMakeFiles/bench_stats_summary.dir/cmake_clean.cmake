@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stats_summary"
+  "../bench/bench_stats_summary.pdb"
+  "CMakeFiles/bench_stats_summary.dir/bench_stats_summary.cpp.o"
+  "CMakeFiles/bench_stats_summary.dir/bench_stats_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

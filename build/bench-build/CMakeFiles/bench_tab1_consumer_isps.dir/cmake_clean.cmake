@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_consumer_isps"
+  "../bench/bench_tab1_consumer_isps.pdb"
+  "CMakeFiles/bench_tab1_consumer_isps.dir/bench_tab1_consumer_isps.cpp.o"
+  "CMakeFiles/bench_tab1_consumer_isps.dir/bench_tab1_consumer_isps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_consumer_isps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab2_cps_isps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_cps_protocols"
+  "../bench/bench_tab3_cps_protocols.pdb"
+  "CMakeFiles/bench_tab3_cps_protocols.dir/bench_tab3_cps_protocols.cpp.o"
+  "CMakeFiles/bench_tab3_cps_protocols.dir/bench_tab3_cps_protocols.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_cps_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_udp_ports"
+  "../bench/bench_tab4_udp_ports.pdb"
+  "CMakeFiles/bench_tab4_udp_ports.dir/bench_tab4_udp_ports.cpp.o"
+  "CMakeFiles/bench_tab4_udp_ports.dir/bench_tab4_udp_ports.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_udp_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

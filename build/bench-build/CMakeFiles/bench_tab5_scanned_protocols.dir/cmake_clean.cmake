@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab5_scanned_protocols"
+  "../bench/bench_tab5_scanned_protocols.pdb"
+  "CMakeFiles/bench_tab5_scanned_protocols.dir/bench_tab5_scanned_protocols.cpp.o"
+  "CMakeFiles/bench_tab5_scanned_protocols.dir/bench_tab5_scanned_protocols.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_scanned_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab6_threat_categories"
+  "../bench/bench_tab6_threat_categories.pdb"
+  "CMakeFiles/bench_tab6_threat_categories.dir/bench_tab6_threat_categories.cpp.o"
+  "CMakeFiles/bench_tab6_threat_categories.dir/bench_tab6_threat_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_threat_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

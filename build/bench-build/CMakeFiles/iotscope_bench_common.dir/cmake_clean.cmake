@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_bench_common.dir/common.cpp.o"
+  "CMakeFiles/iotscope_bench_common.dir/common.cpp.o.d"
+  "libiotscope_bench_common.a"
+  "libiotscope_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

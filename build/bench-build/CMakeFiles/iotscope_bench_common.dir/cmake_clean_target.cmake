@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiotscope_bench_common.a"
+)

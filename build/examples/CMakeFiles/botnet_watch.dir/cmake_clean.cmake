@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_watch.dir/botnet_watch.cpp.o"
+  "CMakeFiles/botnet_watch.dir/botnet_watch.cpp.o.d"
+  "botnet_watch"
+  "botnet_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compromised_census.dir/compromised_census.cpp.o"
+  "CMakeFiles/compromised_census.dir/compromised_census.cpp.o.d"
+  "compromised_census"
+  "compromised_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compromised_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

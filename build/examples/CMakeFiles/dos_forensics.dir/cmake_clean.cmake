@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_forensics.dir/dos_forensics.cpp.o"
+  "CMakeFiles/dos_forensics.dir/dos_forensics.cpp.o.d"
+  "dos_forensics"
+  "dos_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_capture_pcap.cpp" "examples/CMakeFiles/live_capture_pcap.dir/live_capture_pcap.cpp.o" "gcc" "examples/CMakeFiles/live_capture_pcap.dir/live_capture_pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iotscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/iotscope_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iotscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iotscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/iotscope_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/iotscope_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

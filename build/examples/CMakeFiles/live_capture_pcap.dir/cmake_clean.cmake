@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_capture_pcap.dir/live_capture_pcap.cpp.o"
+  "CMakeFiles/live_capture_pcap.dir/live_capture_pcap.cpp.o.d"
+  "live_capture_pcap"
+  "live_capture_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_capture_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ecdf.cpp" "src/analysis/CMakeFiles/iotscope_analysis.dir/ecdf.cpp.o" "gcc" "src/analysis/CMakeFiles/iotscope_analysis.dir/ecdf.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/iotscope_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/iotscope_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/iotscope_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/iotscope_analysis.dir/table.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/iotscope_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/iotscope_analysis.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

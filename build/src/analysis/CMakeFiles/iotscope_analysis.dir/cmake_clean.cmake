@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_analysis.dir/ecdf.cpp.o"
+  "CMakeFiles/iotscope_analysis.dir/ecdf.cpp.o.d"
+  "CMakeFiles/iotscope_analysis.dir/stats.cpp.o"
+  "CMakeFiles/iotscope_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/iotscope_analysis.dir/table.cpp.o"
+  "CMakeFiles/iotscope_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/iotscope_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/iotscope_analysis.dir/timeseries.cpp.o.d"
+  "libiotscope_analysis.a"
+  "libiotscope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaigns.cpp" "src/core/CMakeFiles/iotscope_core.dir/campaigns.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/campaigns.cpp.o.d"
+  "/root/repo/src/core/characterize.cpp" "src/core/CMakeFiles/iotscope_core.dir/characterize.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/characterize.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/iotscope_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "src/core/CMakeFiles/iotscope_core.dir/fingerprint.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/core/malicious.cpp" "src/core/CMakeFiles/iotscope_core.dir/malicious.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/malicious.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/iotscope_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report_text.cpp" "src/core/CMakeFiles/iotscope_core.dir/report_text.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/report_text.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/iotscope_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/iotscope_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/iotscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/iotscope_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iotscope_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/iotscope_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/iotscope_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_core.dir/campaigns.cpp.o"
+  "CMakeFiles/iotscope_core.dir/campaigns.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/characterize.cpp.o"
+  "CMakeFiles/iotscope_core.dir/characterize.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/classifier.cpp.o"
+  "CMakeFiles/iotscope_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/iotscope_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/malicious.cpp.o"
+  "CMakeFiles/iotscope_core.dir/malicious.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/pipeline.cpp.o"
+  "CMakeFiles/iotscope_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/report_text.cpp.o"
+  "CMakeFiles/iotscope_core.dir/report_text.cpp.o.d"
+  "CMakeFiles/iotscope_core.dir/study.cpp.o"
+  "CMakeFiles/iotscope_core.dir/study.cpp.o.d"
+  "libiotscope_core.a"
+  "libiotscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

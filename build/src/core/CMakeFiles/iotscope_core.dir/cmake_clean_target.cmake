@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiotscope_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intel/malware.cpp" "src/intel/CMakeFiles/iotscope_intel.dir/malware.cpp.o" "gcc" "src/intel/CMakeFiles/iotscope_intel.dir/malware.cpp.o.d"
+  "/root/repo/src/intel/synth.cpp" "src/intel/CMakeFiles/iotscope_intel.dir/synth.cpp.o" "gcc" "src/intel/CMakeFiles/iotscope_intel.dir/synth.cpp.o.d"
+  "/root/repo/src/intel/threat.cpp" "src/intel/CMakeFiles/iotscope_intel.dir/threat.cpp.o" "gcc" "src/intel/CMakeFiles/iotscope_intel.dir/threat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/iotscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/iotscope_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/iotscope_telescope.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_intel.dir/malware.cpp.o"
+  "CMakeFiles/iotscope_intel.dir/malware.cpp.o.d"
+  "CMakeFiles/iotscope_intel.dir/synth.cpp.o"
+  "CMakeFiles/iotscope_intel.dir/synth.cpp.o.d"
+  "CMakeFiles/iotscope_intel.dir/threat.cpp.o"
+  "CMakeFiles/iotscope_intel.dir/threat.cpp.o.d"
+  "libiotscope_intel.a"
+  "libiotscope_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inventory/catalog.cpp" "src/inventory/CMakeFiles/iotscope_inventory.dir/catalog.cpp.o" "gcc" "src/inventory/CMakeFiles/iotscope_inventory.dir/catalog.cpp.o.d"
+  "/root/repo/src/inventory/database.cpp" "src/inventory/CMakeFiles/iotscope_inventory.dir/database.cpp.o" "gcc" "src/inventory/CMakeFiles/iotscope_inventory.dir/database.cpp.o.d"
+  "/root/repo/src/inventory/device.cpp" "src/inventory/CMakeFiles/iotscope_inventory.dir/device.cpp.o" "gcc" "src/inventory/CMakeFiles/iotscope_inventory.dir/device.cpp.o.d"
+  "/root/repo/src/inventory/generator.cpp" "src/inventory/CMakeFiles/iotscope_inventory.dir/generator.cpp.o" "gcc" "src/inventory/CMakeFiles/iotscope_inventory.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/iotscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

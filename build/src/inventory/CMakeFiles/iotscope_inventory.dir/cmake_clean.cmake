@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_inventory.dir/catalog.cpp.o"
+  "CMakeFiles/iotscope_inventory.dir/catalog.cpp.o.d"
+  "CMakeFiles/iotscope_inventory.dir/database.cpp.o"
+  "CMakeFiles/iotscope_inventory.dir/database.cpp.o.d"
+  "CMakeFiles/iotscope_inventory.dir/device.cpp.o"
+  "CMakeFiles/iotscope_inventory.dir/device.cpp.o.d"
+  "CMakeFiles/iotscope_inventory.dir/generator.cpp.o"
+  "CMakeFiles/iotscope_inventory.dir/generator.cpp.o.d"
+  "libiotscope_inventory.a"
+  "libiotscope_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

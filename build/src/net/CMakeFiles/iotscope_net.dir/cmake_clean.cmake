@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_net.dir/checksum.cpp.o"
+  "CMakeFiles/iotscope_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/iotscope_net.dir/flowtuple.cpp.o"
+  "CMakeFiles/iotscope_net.dir/flowtuple.cpp.o.d"
+  "CMakeFiles/iotscope_net.dir/ipv4.cpp.o"
+  "CMakeFiles/iotscope_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/iotscope_net.dir/packet.cpp.o"
+  "CMakeFiles/iotscope_net.dir/packet.cpp.o.d"
+  "CMakeFiles/iotscope_net.dir/pcap.cpp.o"
+  "CMakeFiles/iotscope_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/iotscope_net.dir/protocol.cpp.o"
+  "CMakeFiles/iotscope_net.dir/protocol.cpp.o.d"
+  "libiotscope_net.a"
+  "libiotscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiotscope_net.a"
+)

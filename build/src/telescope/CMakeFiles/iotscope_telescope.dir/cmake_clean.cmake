@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_telescope.dir/capture.cpp.o"
+  "CMakeFiles/iotscope_telescope.dir/capture.cpp.o.d"
+  "CMakeFiles/iotscope_telescope.dir/store.cpp.o"
+  "CMakeFiles/iotscope_telescope.dir/store.cpp.o.d"
+  "libiotscope_telescope.a"
+  "libiotscope_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

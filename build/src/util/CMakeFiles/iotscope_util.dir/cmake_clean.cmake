@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_util.dir/io.cpp.o"
+  "CMakeFiles/iotscope_util.dir/io.cpp.o.d"
+  "CMakeFiles/iotscope_util.dir/logging.cpp.o"
+  "CMakeFiles/iotscope_util.dir/logging.cpp.o.d"
+  "CMakeFiles/iotscope_util.dir/rng.cpp.o"
+  "CMakeFiles/iotscope_util.dir/rng.cpp.o.d"
+  "CMakeFiles/iotscope_util.dir/strings.cpp.o"
+  "CMakeFiles/iotscope_util.dir/strings.cpp.o.d"
+  "CMakeFiles/iotscope_util.dir/timebase.cpp.o"
+  "CMakeFiles/iotscope_util.dir/timebase.cpp.o.d"
+  "libiotscope_util.a"
+  "libiotscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/iotscope_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/iotscope_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "src/workload/CMakeFiles/iotscope_workload.dir/spec.cpp.o" "gcc" "src/workload/CMakeFiles/iotscope_workload.dir/spec.cpp.o.d"
+  "/root/repo/src/workload/synth.cpp" "src/workload/CMakeFiles/iotscope_workload.dir/synth.cpp.o" "gcc" "src/workload/CMakeFiles/iotscope_workload.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inventory/CMakeFiles/iotscope_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/iotscope_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

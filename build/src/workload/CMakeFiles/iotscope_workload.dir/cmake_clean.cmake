@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_workload.dir/scenario.cpp.o"
+  "CMakeFiles/iotscope_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/iotscope_workload.dir/spec.cpp.o"
+  "CMakeFiles/iotscope_workload.dir/spec.cpp.o.d"
+  "CMakeFiles/iotscope_workload.dir/synth.cpp.o"
+  "CMakeFiles/iotscope_workload.dir/synth.cpp.o.d"
+  "libiotscope_workload.a"
+  "libiotscope_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_malicious_test.dir/core_malicious_test.cpp.o"
+  "CMakeFiles/core_malicious_test.dir/core_malicious_test.cpp.o.d"
+  "core_malicious_test"
+  "core_malicious_test.pdb"
+  "core_malicious_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_malicious_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intel_synth_test.dir/intel_synth_test.cpp.o"
+  "CMakeFiles/intel_synth_test.dir/intel_synth_test.cpp.o.d"
+  "intel_synth_test"
+  "intel_synth_test.pdb"
+  "intel_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intel_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_flowtuple_test.dir/net_flowtuple_test.cpp.o"
+  "CMakeFiles/net_flowtuple_test.dir/net_flowtuple_test.cpp.o.d"
+  "net_flowtuple_test"
+  "net_flowtuple_test.pdb"
+  "net_flowtuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_flowtuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_prefix_map_test.dir/net_prefix_map_test.cpp.o"
+  "CMakeFiles/net_prefix_map_test.dir/net_prefix_map_test.cpp.o.d"
+  "net_prefix_map_test"
+  "net_prefix_map_test.pdb"
+  "net_prefix_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_prefix_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

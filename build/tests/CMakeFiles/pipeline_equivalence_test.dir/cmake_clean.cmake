@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_equivalence_test.dir/pipeline_equivalence_test.cpp.o"
+  "CMakeFiles/pipeline_equivalence_test.dir/pipeline_equivalence_test.cpp.o.d"
+  "pipeline_equivalence_test"
+  "pipeline_equivalence_test.pdb"
+  "pipeline_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

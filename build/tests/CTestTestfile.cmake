@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/net_ipv4_test[1]_include.cmake")
+include("/root/repo/build/tests/net_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/net_flowtuple_test[1]_include.cmake")
+include("/root/repo/build/tests/net_pcap_test[1]_include.cmake")
+include("/root/repo/build/tests/net_prefix_map_test[1]_include.cmake")
+include("/root/repo/build/tests/telescope_test[1]_include.cmake")
+include("/root/repo/build/tests/inventory_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/intel_test[1]_include.cmake")
+include("/root/repo/build/tests/intel_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/core_malicious_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_study_test[1]_include.cmake")
+include("/root/repo/build/tests/study_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/report_text_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_equivalence_test[1]_include.cmake")

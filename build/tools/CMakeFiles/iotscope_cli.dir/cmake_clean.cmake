@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotscope_cli.dir/iotscope_cli.cpp.o"
+  "CMakeFiles/iotscope_cli.dir/iotscope_cli.cpp.o.d"
+  "iotscope"
+  "iotscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

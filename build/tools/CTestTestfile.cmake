@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_synth_analyze_roundtrip "bash" "-c" "set -e; d=\$(mktemp -d); trap 'rm -rf \$d' EXIT;              /root/repo/build/tools/iotscope synth --out \$d --inventory-scale 0.01 --traffic-scale 0.002 --with-truth;              /root/repo/build/tools/iotscope info --data \$d;              /root/repo/build/tools/iotscope analyze --data \$d | grep -q 'compromised devices:';              /root/repo/build/tools/iotscope fingerprint --data \$d;              /root/repo/build/tools/iotscope campaigns --data \$d | grep -q Telnet")
+set_tests_properties(cli_synth_analyze_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,13 +1,15 @@
 // google-benchmark microbenchmarks of the pipeline hot paths: flowtuple
 // encode/decode, inventory join (hash lookup) vs a sorted-merge baseline
 // (the DESIGN.md join ablation), taxonomy classification, telescope
-// aggregation, and pcap round-trip.
+// aggregation, pcap round-trip, and the sharded analysis pipeline at
+// 1/2/4/8 worker threads (the threading speedup table in EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <sstream>
 
 #include "core/classifier.hpp"
+#include "core/study.hpp"
 #include "inventory/generator.hpp"
 #include "net/flowtuple.hpp"
 #include "net/pcap.hpp"
@@ -204,6 +206,62 @@ void BM_PcapRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_PcapRoundTrip);
+
+// --- Sharded analysis pipeline: sequential vs N worker threads ---------
+//
+// The workload is the bench-default study scenario (10% inventory, 1/50
+// traffic), synthesized once and replayed into a fresh pipeline per
+// iteration. Arg(0) is the thread count; Arg(1) exists so ratios can be
+// read straight off the items/s column.
+
+const core::StudyConfig& bench_study_config() {
+  static const auto config = core::StudyConfig::bench_default();
+  return config;
+}
+
+struct BenchWorkload {
+  workload::Scenario scenario;
+  std::vector<net::HourlyFlows> hours;
+  std::uint64_t total_packets = 0;
+};
+
+const BenchWorkload& bench_workload() {
+  static const BenchWorkload instance = [] {
+    BenchWorkload w;
+    const auto& config = bench_study_config();
+    w.scenario = workload::build_scenario(config.scenario);
+    telescope::TelescopeCapture capture(
+        telescope::DarknetSpace(config.scenario.darknet),
+        [&w](net::HourlyFlows&& flows) { w.hours.push_back(std::move(flows)); });
+    workload::synthesize_into(w.scenario, config.scenario, capture);
+    for (const auto& h : w.hours) w.total_packets += h.total_packets();
+    return w;
+  }();
+  return instance;
+}
+
+void BM_PipelineAnalysis(benchmark::State& state) {
+  const auto& w = bench_workload();
+  core::PipelineOptions options = bench_study_config().pipeline;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    core::AnalysisPipeline pipeline(w.scenario.inventory, options);
+    for (const auto& h : w.hours) pipeline.observe(h);
+    auto report = pipeline.finalize();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * w.total_packets));
+  state.counters["threads"] = static_cast<double>(options.threads);
+}
+BENCHMARK(BM_PipelineAnalysis)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,6 +1,9 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <bitset>
+#include <unordered_map>
+#include <utility>
 
 #include "core/fingerprint.hpp"
 #include "util/timebase.hpp"
@@ -9,19 +12,57 @@
 namespace iotscope::core {
 
 namespace {
+
 constexpr int kHours = util::AnalysisWindow::kHours;
+
+/// Element-wise accumulation of one hourly series into another. All
+/// pipeline series carry integral packet/device counts < 2^53, so the
+/// double sums are exact and the merge order cannot change the result.
+void add_series(analysis::HourlySeries& into,
+                const analysis::HourlySeries& from) {
+  for (int h = 0; h < kHours; ++h) {
+    const double v = from.at(h);
+    if (v != 0.0) into.add(h, v);
+  }
 }
 
-/// Cross-hour accumulation state too bulky for the header.
-struct AnalysisPipeline::Impl {
-  // UDP per-port totals and distinct-device tracking.
+}  // namespace
+
+/// One shard's accumulator. The partition key is the flow source IP, so
+/// everything keyed by source (device ledgers, per-device distinct pairs,
+/// victim series, unknown-source profiles) is disjoint across shards and
+/// merges by concatenation; additive tallies merge by summation in fixed
+/// shard order.
+struct AnalysisPipeline::ShardState {
+  /// A device ledger plus the position of its first sighting in the
+  /// observation stream ((observe-call sequence << 32) | record index),
+  /// used at finalize() to rebuild the sequential discovery order.
+  struct LedgerSlot {
+    DeviceTraffic traffic;
+    std::uint64_t first_seen = 0;
+  };
+
+  // ---- per-device ledgers (source-partitioned, disjoint) ----
+  std::unordered_map<std::uint32_t, std::uint32_t> ledger_index;
+  std::vector<LedgerSlot> ledgers;
+
+  // ---- additive report-level tallies ----
+  std::uint64_t total_packets = 0;
+  std::uint64_t unattributed_packets = 0;
+  ByRealm<std::uint64_t> tcp_packets{};
+  ByRealm<std::uint64_t> udp_packets{};
+  ByRealm<std::uint64_t> icmp_packets{};
+  ByRealm<analysis::HourlySeries> udp_packet_series;
+  ByRealm<analysis::HourlySeries> scan_packet_series;
+  ByRealm<analysis::HourlySeries> backscatter_series;
+
+  // ---- UDP per-port totals and distinct-device tracking ----
   std::array<std::uint64_t, 65536> udp_port_packets{};
   std::array<std::uint32_t, 65536> udp_port_devices{};
   std::unordered_set<std::uint64_t> udp_port_device_pairs;
   std::bitset<65536> udp_ports_seen;
 
-  // TCP scanning per named service (spec row index) per realm.
-  std::array<int, 65536> port_to_service;  // -1 = unnamed ("Other")
+  // ---- TCP scanning per named service (spec row index) ----
   std::vector<std::uint64_t> service_packets;
   std::vector<std::uint64_t> service_consumer_packets;
   std::unordered_set<std::uint64_t> service_device_pairs;
@@ -29,66 +70,63 @@ struct AnalysisPipeline::Impl {
   std::vector<std::size_t> service_cps_devices;
   std::vector<analysis::HourlySeries> service_series;
 
-  // Per-victim hourly backscatter (devices with any backscatter only).
+  // ---- per-victim hourly backscatter (devices with backscatter only) ----
   std::unordered_map<std::uint32_t, std::vector<double>> victim_series;
 
-  // Hourly distinct scanner devices (for the no-correlation check).
-  analysis::HourlySeries scanners_per_hour;
-
-  // Non-inventory sources with sustained activity (fingerprint substrate).
+  // ---- non-inventory sources with sustained activity ----
   std::unordered_map<std::uint32_t, UnknownSourceProfile> unknown_profiles;
 
-  Impl() {
-    port_to_service.fill(-1);
-    const auto& services = workload::scan_services();
-    service_packets.resize(services.size(), 0);
-    service_consumer_packets.resize(services.size(), 0);
-    service_consumer_devices.resize(services.size(), 0);
-    service_cps_devices.resize(services.size(), 0);
-    service_series.resize(services.size());
-    for (std::size_t s = 0; s < services.size(); ++s) {
-      for (const auto port : services[s].ports) {
-        port_to_service[port] = static_cast<int>(s);
-      }
-    }
+  // ---- per-observe-call scratch, read by the coordinator at fan-in ----
+  // (index 0 = consumer realm, 1 = CPS)
+  std::unordered_set<std::uint32_t> hour_udp_dsts[2];
+  std::unordered_set<std::uint32_t> hour_scan_dsts[2];
+  std::bitset<65536> hour_udp_ports[2];
+  std::bitset<65536> hour_scan_ports[2];
+  std::unordered_set<std::uint32_t> hour_scanners;
+  std::vector<std::pair<std::uint32_t, Discovery>> hour_discoveries;
+
+  explicit ShardState(std::size_t service_count) {
+    service_packets.resize(service_count, 0);
+    service_consumer_packets.resize(service_count, 0);
+    service_consumer_devices.resize(service_count, 0);
+    service_cps_devices.resize(service_count, 0);
+    service_series.resize(service_count);
   }
+
+  LedgerSlot& ledger_for(std::uint32_t device, std::uint64_t first_seen) {
+    const auto it = ledger_index.find(device);
+    if (it != ledger_index.end()) return ledgers[it->second];
+    LedgerSlot slot;
+    slot.traffic.device = device;
+    slot.first_seen = first_seen;
+    const auto index = static_cast<std::uint32_t>(ledgers.size());
+    ledgers.push_back(std::move(slot));
+    ledger_index.emplace(device, index);
+    return ledgers[index];
+  }
+
+  void observe(const AnalysisPipeline& pipe, const net::HourlyFlows& flows,
+               const std::vector<std::uint32_t>* indices,
+               std::uint32_t observe_seq, bool collect_discoveries);
 };
 
-AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
-                                   PipelineOptions options)
-    : db_(&db), options_(options), impl_(std::make_unique<Impl>()) {
-  report_.scan_service_series.resize(workload::scan_services().size());
-}
-
-AnalysisPipeline::~AnalysisPipeline() = default;
-
-DeviceTraffic& AnalysisPipeline::ledger_for(std::uint32_t device) {
-  const auto it = report_.device_index.find(device);
-  if (it != report_.device_index.end()) return report_.devices[it->second];
-  DeviceTraffic ledger;
-  ledger.device = device;
-  const auto index = static_cast<std::uint32_t>(report_.devices.size());
-  report_.devices.push_back(ledger);
-  report_.device_index.emplace(device, index);
-  if (db_->devices()[device].is_consumer()) {
-    ++report_.discovered_consumer;
-  } else {
-    ++report_.discovered_cps;
-  }
-  return report_.devices[index];
-}
-
-void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
+void AnalysisPipeline::ShardState::observe(
+    const AnalysisPipeline& pipe, const net::HourlyFlows& flows,
+    const std::vector<std::uint32_t>* indices, std::uint32_t observe_seq,
+    bool collect_discoveries) {
   const int h = flows.interval;
   const int day = util::AnalysisWindow::day_of_interval(h);
+  const inventory::IoTDeviceDatabase& db = *pipe.db_;
+  const PipelineOptions& options = pipe.options_;
 
-  // Per-hour distinct-destination trackers, one pair per realm
-  // (index 0 = consumer, 1 = CPS).
-  std::unordered_set<std::uint32_t> udp_dsts[2];
-  std::bitset<65536> udp_ports[2];
-  std::unordered_set<std::uint32_t> scan_dsts[2];
-  std::bitset<65536> scan_ports[2];
-  std::unordered_set<std::uint32_t> scanners_this_hour;
+  for (int realm = 0; realm < 2; ++realm) {
+    hour_udp_dsts[realm].clear();
+    hour_scan_dsts[realm].clear();
+    hour_udp_ports[realm].reset();
+    hour_scan_ports[realm].reset();
+  }
+  hour_scanners.clear();
+  hour_discoveries.clear();
 
   struct UnknownHourTally {
     std::uint64_t packets = 0;
@@ -97,14 +135,19 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
   };
   std::unordered_map<std::uint32_t, UnknownHourTally> unknown_hour;
 
-  for (const auto& flow : flows.records) {
-    const inventory::DeviceRecord* device = db_->find(flow.src);
+  const std::size_t record_count =
+      indices ? indices->size() : flows.records.size();
+  for (std::size_t k = 0; k < record_count; ++k) {
+    const auto record_idx =
+        indices ? (*indices)[k] : static_cast<std::uint32_t>(k);
+    const auto& flow = flows.records[record_idx];
+    const inventory::DeviceRecord* device = db.find(flow.src);
     if (device == nullptr) {
-      report_.unattributed_packets += flow.packet_count;
+      unattributed_packets += flow.packet_count;
       auto& tally = unknown_hour[flow.src.value()];
       tally.packets += flow.packet_count;
       if (flow.protocol == net::Protocol::Tcp &&
-          classify(flow, options_.taxonomy) == FlowClass::TcpScan) {
+          classify(flow, options.taxonomy) == FlowClass::TcpScan) {
         tally.tcp_syn += flow.packet_count;
       }
       if (flow.protocol != net::Protocol::Icmp &&
@@ -114,12 +157,15 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
       continue;
     }
     const auto device_id = static_cast<std::uint32_t>(
-        device - db_->devices().data());
+        device - db.devices().data());
     const bool consumer = device->is_consumer();
     const int realm = consumer ? 0 : 1;
     const std::uint64_t n = flow.packet_count;
 
-    DeviceTraffic& ledger = ledger_for(device_id);
+    DeviceTraffic& ledger =
+        ledger_for(device_id,
+                   (static_cast<std::uint64_t>(observe_seq) << 32) | record_idx)
+            .traffic;
     const bool first_sighting = ledger.packets == 0;
     if (ledger.first_interval < 0 || h < ledger.first_interval) {
       ledger.first_interval = h;
@@ -127,38 +173,36 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
     if (h > ledger.last_interval) ledger.last_interval = h;
     ledger.packets += n;
     ledger.days_active_mask |= static_cast<std::uint8_t>(1u << day);
-    report_.total_packets += n;
+    total_packets += n;
 
-    const FlowClass cls = classify(flow, options_.taxonomy);
-    if (first_sighting && discovery_sink_) {
-      discovery_sink_(Discovery{device_id, h, cls, n});
+    const FlowClass cls = classify(flow, options.taxonomy);
+    if (first_sighting && collect_discoveries) {
+      hour_discoveries.emplace_back(record_idx,
+                                    Discovery{device_id, h, cls, n});
     }
     switch (cls) {
       case FlowClass::TcpScan: {
         ledger.tcp_scan += n;
-        report_.tcp_packets.of(consumer) += n;
-        auto& series = report_.scan_series.of(consumer);
-        series.packets.add(h, static_cast<double>(n));
-        scan_dsts[realm].insert(flow.dst.value());
-        scan_ports[realm].set(flow.dst_port);
-        scanners_this_hour.insert(device_id);
+        tcp_packets.of(consumer) += n;
+        scan_packet_series.of(consumer).add(h, static_cast<double>(n));
+        hour_scan_dsts[realm].insert(flow.dst.value());
+        hour_scan_ports[realm].set(flow.dst_port);
+        hour_scanners.insert(device_id);
         // Named-service attribution (Table V / Fig 10).
-        int service = impl_->port_to_service[flow.dst_port];
-        const int other =
-            workload::scan_service_index("Other");
-        if (service < 0) service = other;
+        int service = pipe.port_to_service_[flow.dst_port];
+        if (service < 0) service = pipe.other_service_;
         const auto s = static_cast<std::size_t>(service);
         if (s < ledger.scan_by_service.size()) ledger.scan_by_service[s] += n;
-        impl_->service_packets[s] += n;
-        if (consumer) impl_->service_consumer_packets[s] += n;
-        impl_->service_series[s].add(h, static_cast<double>(n));
+        service_packets[s] += n;
+        if (consumer) service_consumer_packets[s] += n;
+        service_series[s].add(h, static_cast<double>(n));
         const std::uint64_t pair =
             (static_cast<std::uint64_t>(s) << 32) | device_id;
-        if (impl_->service_device_pairs.insert(pair).second) {
+        if (service_device_pairs.insert(pair).second) {
           if (consumer) {
-            ++impl_->service_consumer_devices[s];
+            ++service_consumer_devices[s];
           } else {
-            ++impl_->service_cps_devices[s];
+            ++service_cps_devices[s];
           }
         }
         break;
@@ -167,13 +211,13 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
       case FlowClass::IcmpBackscatter: {
         if (cls == FlowClass::TcpBackscatter) {
           ledger.tcp_backscatter += n;
-          report_.tcp_packets.of(consumer) += n;
+          tcp_packets.of(consumer) += n;
         } else {
           ledger.icmp_backscatter += n;
-          report_.icmp_packets.of(consumer) += n;
+          icmp_packets.of(consumer) += n;
         }
-        report_.backscatter_series.of(consumer).add(h, static_cast<double>(n));
-        auto [it, inserted] = impl_->victim_series.try_emplace(device_id);
+        backscatter_series.of(consumer).add(h, static_cast<double>(n));
+        auto [it, inserted] = victim_series.try_emplace(device_id);
         if (inserted) it->second.assign(kHours, 0.0);
         if (h >= 0 && h < kHours) {
           it->second[static_cast<std::size_t>(h)] += static_cast<double>(n);
@@ -182,56 +226,40 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
       }
       case FlowClass::IcmpScan: {
         ledger.icmp_scan += n;
-        report_.icmp_packets.of(consumer) += n;
+        icmp_packets.of(consumer) += n;
         break;
       }
       case FlowClass::Udp: {
         ledger.udp += n;
-        report_.udp_packets.of(consumer) += n;
-        auto& series = report_.udp_series.of(consumer);
-        series.packets.add(h, static_cast<double>(n));
-        udp_dsts[realm].insert(flow.dst.value());
-        udp_ports[realm].set(flow.dst_port);
-        impl_->udp_port_packets[flow.dst_port] += n;
-        impl_->udp_ports_seen.set(flow.dst_port);
+        udp_packets.of(consumer) += n;
+        udp_packet_series.of(consumer).add(h, static_cast<double>(n));
+        hour_udp_dsts[realm].insert(flow.dst.value());
+        hour_udp_ports[realm].set(flow.dst_port);
+        udp_port_packets[flow.dst_port] += n;
+        udp_ports_seen.set(flow.dst_port);
         const std::uint64_t pair =
             (static_cast<std::uint64_t>(flow.dst_port) << 32) | device_id;
-        if (impl_->udp_port_device_pairs.insert(pair).second) {
-          ++impl_->udp_port_devices[flow.dst_port];
+        if (udp_port_device_pairs.insert(pair).second) {
+          ++udp_port_devices[flow.dst_port];
         }
         break;
       }
       case FlowClass::TcpOther:
         ledger.tcp_other += n;
-        report_.tcp_packets.of(consumer) += n;
+        tcp_packets.of(consumer) += n;
         break;
       case FlowClass::IcmpOther:
         ledger.icmp_other += n;
-        report_.icmp_packets.of(consumer) += n;
+        icmp_packets.of(consumer) += n;
         break;
     }
   }
 
-  // Commit the hour's distinct-destination counts.
-  for (int realm = 0; realm < 2; ++realm) {
-    const bool consumer = realm == 0;
-    report_.udp_series.of(consumer).dst_ips.add(
-        h, static_cast<double>(udp_dsts[realm].size()));
-    report_.udp_series.of(consumer).dst_ports.add(
-        h, static_cast<double>(udp_ports[realm].count()));
-    report_.scan_series.of(consumer).dst_ips.add(
-        h, static_cast<double>(scan_dsts[realm].size()));
-    report_.scan_series.of(consumer).dst_ports.add(
-        h, static_cast<double>(scan_ports[realm].count()));
-  }
-  impl_->scanners_per_hour.add(
-      h, static_cast<double>(scanners_this_hour.size()));
-
   // Promote sustained unknown sources into cross-hour profiles; the floor
   // keeps one-packet background radiation out of memory.
   for (const auto& [src, tally] : unknown_hour) {
-    if (tally.packets < options_.unknown_profile_hourly_floor) continue;
-    auto& profile = impl_->unknown_profiles[src];
+    if (tally.packets < options.unknown_profile_hourly_floor) continue;
+    auto& profile = unknown_profiles[src];
     profile.ip = net::Ipv4Address(src);
     profile.packets += tally.packets;
     profile.tcp_syn_packets += tally.tcp_syn;
@@ -241,9 +269,211 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
   }
 }
 
+AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
+                                   PipelineOptions options)
+    : db_(&db), options_(options) {
+  const auto& services = workload::scan_services();
+  port_to_service_.fill(-1);
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    for (const auto port : services[s].ports) {
+      port_to_service_[port] = static_cast<int>(s);
+    }
+  }
+  other_service_ = workload::scan_service_index("Other");
+  report_.scan_service_series.resize(services.size());
+
+  const unsigned threads = util::ThreadPool::resolve(options_.threads);
+  shards_.reserve(threads);
+  for (unsigned s = 0; s < threads; ++s) {
+    shards_.push_back(std::make_unique<ShardState>(services.size()));
+  }
+  partition_.resize(threads);
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+AnalysisPipeline::~AnalysisPipeline() = default;
+
+std::size_t AnalysisPipeline::shard_of(std::uint32_t src) const noexcept {
+  // Fibonacci-hash the source so adjacent /24 neighbours spread across
+  // shards; the assignment must be stable (it defines the partition).
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(src) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(mixed >> 33) % shards_.size();
+}
+
+void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
+  const std::uint32_t seq = observe_seq_++;
+  const bool collect_discoveries = static_cast<bool>(discovery_sink_);
+  const int h = flows.interval;
+
+  // ---- fan-out ----
+  if (shards_.size() == 1) {
+    shards_[0]->observe(*this, flows, nullptr, seq, collect_discoveries);
+  } else {
+    for (auto& bucket : partition_) bucket.clear();
+    for (std::uint32_t i = 0; i < flows.records.size(); ++i) {
+      partition_[shard_of(flows.records[i].src.value())].push_back(i);
+    }
+    pool_->run_indexed(shards_.size(), [&](std::size_t s) {
+      shards_[s]->observe(*this, flows, &partition_[s], seq,
+                          collect_discoveries);
+    });
+  }
+
+  // ---- fan-in: per-hour distinct-destination counts ----
+  for (int realm = 0; realm < 2; ++realm) {
+    const bool consumer = realm == 0;
+    std::size_t udp_ips, udp_ports, scan_ips, scan_ports;
+    if (shards_.size() == 1) {
+      udp_ips = shards_[0]->hour_udp_dsts[realm].size();
+      udp_ports = shards_[0]->hour_udp_ports[realm].count();
+      scan_ips = shards_[0]->hour_scan_dsts[realm].size();
+      scan_ports = shards_[0]->hour_scan_ports[realm].count();
+    } else {
+      // Destinations are not shard-partitioned — union across shards.
+      std::bitset<65536> udp_port_union, scan_port_union;
+      union_scratch_.clear();
+      for (const auto& shard : shards_) {
+        union_scratch_.insert(shard->hour_udp_dsts[realm].begin(),
+                              shard->hour_udp_dsts[realm].end());
+        udp_port_union |= shard->hour_udp_ports[realm];
+      }
+      udp_ips = union_scratch_.size();
+      udp_ports = udp_port_union.count();
+      union_scratch_.clear();
+      for (const auto& shard : shards_) {
+        union_scratch_.insert(shard->hour_scan_dsts[realm].begin(),
+                              shard->hour_scan_dsts[realm].end());
+        scan_port_union |= shard->hour_scan_ports[realm];
+      }
+      scan_ips = union_scratch_.size();
+      scan_ports = scan_port_union.count();
+    }
+    report_.udp_series.of(consumer).dst_ips.add(
+        h, static_cast<double>(udp_ips));
+    report_.udp_series.of(consumer).dst_ports.add(
+        h, static_cast<double>(udp_ports));
+    report_.scan_series.of(consumer).dst_ips.add(
+        h, static_cast<double>(scan_ips));
+    report_.scan_series.of(consumer).dst_ports.add(
+        h, static_cast<double>(scan_ports));
+  }
+  // Scanner devices are source-keyed, hence disjoint across shards.
+  std::size_t scanners = 0;
+  for (const auto& shard : shards_) scanners += shard->hour_scanners.size();
+  scanners_per_hour_.add(h, static_cast<double>(scanners));
+
+  // ---- fan-in: first-sighting notifications, in record order ----
+  if (collect_discoveries) {
+    if (shards_.size() == 1) {
+      for (const auto& [idx, discovery] : shards_[0]->hour_discoveries) {
+        (void)idx;
+        discovery_sink_(discovery);
+      }
+    } else {
+      std::vector<std::pair<std::uint32_t, Discovery>> events;
+      for (const auto& shard : shards_) {
+        events.insert(events.end(), shard->hour_discoveries.begin(),
+                      shard->hour_discoveries.end());
+      }
+      std::sort(events.begin(), events.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [idx, discovery] : events) {
+        (void)idx;
+        discovery_sink_(discovery);
+      }
+    }
+  }
+}
+
 Report AnalysisPipeline::finalize() {
   if (finalized_) return report_;
   finalized_ = true;
+
+  // ---- merge shard state in fixed shard order ----
+  // Device ledgers: rebuild the sequential discovery order by sorting on
+  // the (observe sequence, record index) of each device's first sighting;
+  // one record names one source, so keys are unique.
+  struct DeviceEntry {
+    std::uint64_t first_seen;
+    std::uint32_t shard;
+    std::uint32_t slot;
+  };
+  std::vector<DeviceEntry> order;
+  std::size_t device_total = 0;
+  for (const auto& shard : shards_) device_total += shard->ledgers.size();
+  order.reserve(device_total);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const auto& ledgers = shards_[s]->ledgers;
+    for (std::uint32_t i = 0; i < ledgers.size(); ++i) {
+      order.push_back({ledgers[i].first_seen, s, i});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const DeviceEntry& a, const DeviceEntry& b) {
+              return a.first_seen < b.first_seen;
+            });
+  report_.devices.reserve(order.size());
+  report_.device_index.reserve(order.size());
+  for (const auto& entry : order) {
+    const DeviceTraffic& traffic =
+        shards_[entry.shard]->ledgers[entry.slot].traffic;
+    const auto index = static_cast<std::uint32_t>(report_.devices.size());
+    report_.devices.push_back(traffic);
+    report_.device_index.emplace(traffic.device, index);
+    if (db_->devices()[traffic.device].is_consumer()) {
+      ++report_.discovered_consumer;
+    } else {
+      ++report_.discovered_cps;
+    }
+  }
+
+  // Additive tallies, series, and disjoint maps fold into one merged
+  // accumulator (shard order is fixed; all sums are integral, so the
+  // result is independent of the shard count).
+  auto merged = std::make_unique<ShardState>(workload::scan_services().size());
+  for (const auto& shard : shards_) {
+    merged->total_packets += shard->total_packets;
+    merged->unattributed_packets += shard->unattributed_packets;
+    for (const bool consumer : {true, false}) {
+      merged->tcp_packets.of(consumer) += shard->tcp_packets.of(consumer);
+      merged->udp_packets.of(consumer) += shard->udp_packets.of(consumer);
+      merged->icmp_packets.of(consumer) += shard->icmp_packets.of(consumer);
+      add_series(merged->udp_packet_series.of(consumer),
+                 shard->udp_packet_series.of(consumer));
+      add_series(merged->scan_packet_series.of(consumer),
+                 shard->scan_packet_series.of(consumer));
+      add_series(merged->backscatter_series.of(consumer),
+                 shard->backscatter_series.of(consumer));
+    }
+    for (std::uint32_t port = 0; port < 65536; ++port) {
+      merged->udp_port_packets[port] += shard->udp_port_packets[port];
+      merged->udp_port_devices[port] += shard->udp_port_devices[port];
+    }
+    merged->udp_ports_seen |= shard->udp_ports_seen;
+    for (std::size_t s = 0; s < merged->service_packets.size(); ++s) {
+      merged->service_packets[s] += shard->service_packets[s];
+      merged->service_consumer_packets[s] += shard->service_consumer_packets[s];
+      merged->service_consumer_devices[s] += shard->service_consumer_devices[s];
+      merged->service_cps_devices[s] += shard->service_cps_devices[s];
+      add_series(merged->service_series[s], shard->service_series[s]);
+    }
+    merged->victim_series.merge(shard->victim_series);      // disjoint keys
+    merged->unknown_profiles.merge(shard->unknown_profiles);  // disjoint keys
+  }
+  report_.total_packets = merged->total_packets;
+  report_.unattributed_packets = merged->unattributed_packets;
+  for (const bool consumer : {true, false}) {
+    report_.tcp_packets.of(consumer) = merged->tcp_packets.of(consumer);
+    report_.udp_packets.of(consumer) = merged->udp_packets.of(consumer);
+    report_.icmp_packets.of(consumer) = merged->icmp_packets.of(consumer);
+    report_.udp_series.of(consumer).packets =
+        merged->udp_packet_series.of(consumer);
+    report_.scan_series.of(consumer).packets =
+        merged->scan_packet_series.of(consumer);
+    report_.backscatter_series.of(consumer) =
+        merged->backscatter_series.of(consumer);
+  }
 
   // ---- discovery curve (Fig 2) and daily activity ----
   for (const auto& ledger : report_.devices) {
@@ -273,15 +503,15 @@ Report AnalysisPipeline::finalize() {
       }
     }
   }
-  report_.udp_distinct_ports = impl_->udp_ports_seen.count();
+  report_.udp_distinct_ports = merged->udp_ports_seen.count();
   {
     // Top UDP ports by packets.
     std::vector<UdpPortRow> rows;
     for (std::uint32_t port = 0; port < 65536; ++port) {
-      if (impl_->udp_port_packets[port] > 0) {
+      if (merged->udp_port_packets[port] > 0) {
         rows.push_back({static_cast<net::Port>(port),
-                        impl_->udp_port_packets[port],
-                        impl_->udp_port_devices[port]});
+                        merged->udp_port_packets[port],
+                        merged->udp_port_devices[port]});
       }
     }
     std::sort(rows.begin(), rows.end(),
@@ -325,9 +555,11 @@ Report AnalysisPipeline::finalize() {
       spike.interval = h;
       spike.backscatter_packets = total_bs.at(h);
       double best = 0.0;
-      for (const auto& [device, series] : impl_->victim_series) {
+      for (const auto& [device, series] : merged->victim_series) {
         const double v = series[static_cast<std::size_t>(h)];
-        if (v > best) {
+        // Strict tie-break on the device id: the winner must not depend
+        // on hash-map iteration order (it differs per shard count).
+        if (v > best || (v == best && v > 0.0 && device < spike.top_victim)) {
           best = v;
           spike.top_victim = device;
         }
@@ -358,12 +590,12 @@ Report AnalysisPipeline::finalize() {
     for (std::size_t s = 0; s < services.size(); ++s) {
       ScanServiceRow row;
       row.name = services[s].name;
-      row.packets = impl_->service_packets[s];
-      row.consumer_packets = impl_->service_consumer_packets[s];
-      row.consumer_devices = impl_->service_consumer_devices[s];
-      row.cps_devices = impl_->service_cps_devices[s];
+      row.packets = merged->service_packets[s];
+      row.consumer_packets = merged->service_consumer_packets[s];
+      row.consumer_devices = merged->service_consumer_devices[s];
+      row.cps_devices = merged->service_cps_devices[s];
       report_.scan_services.push_back(std::move(row));
-      report_.scan_service_series[s] = impl_->service_series[s];
+      report_.scan_service_series[s] = merged->service_series[s];
     }
   }
   {
@@ -373,17 +605,21 @@ Report AnalysisPipeline::finalize() {
                             report_.scan_series.cps.packets.at(h));
     }
     report_.scan_device_packet_correlation = analysis::pearson(
-        impl_->scanners_per_hour.values(), scan_total.values());
+        scanners_per_hour_.values(), scan_total.values());
   }
 
   // ---- unknown-source profiles ----
-  report_.unknown_sources.reserve(impl_->unknown_profiles.size());
-  for (const auto& [src, profile] : impl_->unknown_profiles) {
+  report_.unknown_sources.reserve(merged->unknown_profiles.size());
+  for (const auto& [src, profile] : merged->unknown_profiles) {
     report_.unknown_sources.push_back(profile);
   }
   std::sort(report_.unknown_sources.begin(), report_.unknown_sources.end(),
             [](const UnknownSourceProfile& a, const UnknownSourceProfile& b) {
-              return a.packets > b.packets;
+              // Total order (packets desc, then IP): a packets-only
+              // comparator would leave tied rows in hash-map iteration
+              // order, which varies with the shard count.
+              if (a.packets != b.packets) return a.packets > b.packets;
+              return a.ip.value() < b.ip.value();
             });
 
   // ---- ICMP scanning ----

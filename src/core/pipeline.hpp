@@ -1,22 +1,37 @@
 // The inference-and-characterization pipeline — the paper's core
-// methodology. A single streaming pass over hourly flowtuple files:
-// each flow's source IP is joined against the IoT inventory (correlation,
-// Section III-B), classified by the darknet taxonomy (Section IV), and
+// methodology. A streaming pass over hourly flowtuple files: each flow's
+// source IP is joined against the IoT inventory (correlation, Section
+// III-B), classified by the darknet taxonomy (Section IV), and
 // accumulated into every per-device, per-country, per-port, and per-hour
 // aggregate the evaluation reports.
+//
+// Threading model: each observe() call fans the hour's records out over N
+// source-IP-partitioned shards (N = PipelineOptions::threads, default the
+// hardware concurrency). Every shard owns an independent accumulator
+// (ShardState); because the partition key is the source IP, all state
+// keyed by source/device is shard-local and never contended. Per-hour
+// distinct-destination counts are the only cross-shard quantity; the
+// coordinator unions them at the end of each observe() (fan-in).
+// finalize() merges shard state in fixed shard order, so the resulting
+// Report is byte-identical to the sequential (threads = 1) path
+// regardless of thread count — all hourly series hold integral packet
+// counts well below 2^53, so even the double accumulators are exact and
+// order-insensitive.
 #pragma once
 
 #include <array>
-#include <bitset>
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "analysis/timeseries.hpp"
 #include "core/classifier.hpp"
 #include "core/notify.hpp"
 #include "core/report.hpp"
 #include "inventory/database.hpp"
 #include "net/flowtuple.hpp"
+#include "util/thread_pool.hpp"
 
 namespace iotscope::core {
 
@@ -30,6 +45,10 @@ struct PipelineOptions {
   /// promoted to an UnknownSourceProfile (fingerprinting substrate); keeps
   /// one-packet background radiation out of memory.
   std::uint64_t unknown_profile_hourly_floor = 4;
+  /// Number of analysis shards/worker threads. 0 = auto (the hardware
+  /// concurrency); 1 = sequential. The Report is identical for every
+  /// value — threads only trade wall-clock for cores.
+  unsigned threads = 0;
 };
 
 /// Streaming analysis over hourly flowtuple files.
@@ -48,30 +67,50 @@ class AnalysisPipeline {
 
   /// Optional near-real-time sink invoked on each device's first
   /// sighting (see core/notify.hpp). Set before the first observe().
+  /// Invoked from the coordinating thread, in record order, after the
+  /// hour's shard fan-in — never from a worker thread.
   void set_discovery_sink(DiscoverySink sink) { discovery_sink_ = std::move(sink); }
 
-  /// Processes one hourly flowtuple file.
+  /// Processes one hourly flowtuple file (fan-out across shards, fan-in
+  /// of the hour's distinct-destination counts).
   void observe(const net::HourlyFlows& flows);
 
-  /// Completes cross-hour statistics and returns the report. The pipeline
-  /// must not be observed again afterwards.
+  /// Merges shard state (in fixed shard order), completes cross-hour
+  /// statistics, and returns the report. The pipeline must not be
+  /// observed again afterwards.
   Report finalize();
 
   const inventory::IoTDeviceDatabase& database() const noexcept {
     return *db_;
   }
 
- private:
-  struct Impl;
+  /// Resolved shard/worker count (>= 1).
+  unsigned threads() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
 
-  DeviceTraffic& ledger_for(std::uint32_t device);
+ private:
+  struct ShardState;
+
+  /// Stable source-IP -> shard assignment (multiplicative hash).
+  std::size_t shard_of(std::uint32_t src) const noexcept;
 
   const inventory::IoTDeviceDatabase* db_;
   PipelineOptions options_;
   Report report_;
   bool finalized_ = false;
   DiscoverySink discovery_sink_;
-  std::unique_ptr<Impl> impl_;
+
+  // Shared read-only lookup: dst port -> scan service row (-1 = unnamed).
+  std::array<int, 65536> port_to_service_;
+  int other_service_ = -1;
+
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
+  std::uint32_t observe_seq_ = 0;  ///< observe() call counter (merge order)
+  std::vector<std::vector<std::uint32_t>> partition_;  ///< per-shard record indices
+  std::unordered_set<std::uint32_t> union_scratch_;    ///< fan-in dst-IP union
+  analysis::HourlySeries scanners_per_hour_;  ///< coordinator-owned
 };
 
 }  // namespace iotscope::core

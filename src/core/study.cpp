@@ -1,9 +1,96 @@
 #include "core/study.hpp"
 
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 #include "telescope/capture.hpp"
 #include "util/logging.hpp"
 
 namespace iotscope::core {
+
+namespace {
+
+/// Streams synthetic traffic through the telescope into the pipeline.
+///
+/// Sequential pipelines observe each completed hour inline. Threaded
+/// pipelines move analysis onto a dedicated consumer: the capture sink
+/// enqueues completed hours into a small bounded queue, so packet
+/// synthesis/aggregation of hour N+1 overlaps the sharded analysis of
+/// hour N (fan-out inside observe(), fan-in here at the queue).
+workload::SynthStats synthesize_and_analyze(
+    const workload::Scenario& scenario, const workload::ScenarioConfig& config,
+    AnalysisPipeline& pipeline) {
+  if (pipeline.threads() <= 1) {
+    telescope::TelescopeCapture capture(
+        telescope::DarknetSpace(config.darknet),
+        [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+    return workload::synthesize_into(scenario, config, capture);
+  }
+
+  // Bounded hand-off queue: deep enough to ride out uneven hours, small
+  // enough that at most a few hours of flowtuples are in flight.
+  constexpr std::size_t kMaxQueuedHours = 4;
+  std::mutex mutex;
+  std::condition_variable queue_ready;
+  std::condition_variable queue_drained;
+  std::deque<net::HourlyFlows> queue;
+  bool producer_done = false;
+  std::exception_ptr analyst_error;
+
+  std::thread analyst([&] {
+    for (;;) {
+      net::HourlyFlows flows;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_ready.wait(lock,
+                         [&] { return !queue.empty() || producer_done; });
+        if (queue.empty()) return;
+        flows = std::move(queue.front());
+        queue.pop_front();
+      }
+      queue_drained.notify_one();
+      try {
+        pipeline.observe(flows);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!analyst_error) analyst_error = std::current_exception();
+        }
+        queue_drained.notify_all();  // unblock a producer at the cap
+        return;
+      }
+    }
+  });
+
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.darknet),
+      [&](net::HourlyFlows&& flows) {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_drained.wait(lock, [&] {
+          return queue.size() < kMaxQueuedHours || analyst_error;
+        });
+        if (analyst_error) return;  // drop; the error surfaces below
+        queue.push_back(std::move(flows));
+        lock.unlock();
+        queue_ready.notify_one();
+      });
+  const auto stats = workload::synthesize_into(scenario, config, capture);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    producer_done = true;
+  }
+  queue_ready.notify_one();
+  analyst.join();
+  if (analyst_error) std::rethrow_exception(analyst_error);
+  return stats;
+}
+
+}  // namespace
 
 std::size_t scaled_top_per_realm(const workload::ScenarioConfig& scenario) {
   return scenario.scaled_count(4000);
@@ -13,16 +100,9 @@ StudyResult run_study(const StudyConfig& config) {
   StudyResult result{
       workload::build_scenario(config.scenario), {}, {}, {}, {}, {}, {}};
 
-  // Stream synthetic traffic through the telescope into the pipeline: the
-  // capture engine aggregates packets into hourly flowtuples, and each
-  // completed hour is fed straight to the analysis (no disk round-trip;
-  // see FlowTupleStore for the persistent variant).
   AnalysisPipeline pipeline(result.scenario.inventory, config.pipeline);
-  telescope::TelescopeCapture capture(
-      telescope::DarknetSpace(config.scenario.darknet),
-      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
   result.synth_stats =
-      workload::synthesize_into(result.scenario, config.scenario, capture);
+      synthesize_and_analyze(result.scenario, config.scenario, pipeline);
   result.report = pipeline.finalize();
 
   result.character = characterize(result.report, result.scenario.inventory);
@@ -39,10 +119,11 @@ StudyResult run_study(const StudyConfig& config) {
       result.malware.database, result.malware.resolver, mal_options);
 
   IOTSCOPE_LOG_INFO(
-      "study complete: %zu devices discovered, %llu IoT packets, %zu victims",
+      "study complete: %zu devices discovered, %llu IoT packets, %zu victims "
+      "(%u analysis threads)",
       result.report.discovered_total(),
       static_cast<unsigned long long>(result.report.total_packets),
-      result.report.dos_victims);
+      result.report.dos_victims, pipeline.threads());
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "net/flowtuple.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -85,7 +86,12 @@ HourlyFlows FlowTupleCodec::read(std::istream& is) {
   if (count > (1ULL << 30)) {
     throw util::IoError("flowtuple file: implausible record count");
   }
-  flows.records.reserve(count);
+  // The count is untrusted until the records actually decode: reserve at
+  // most 1M slots (~32 MB) upfront so a corrupt header can't force a
+  // multi-gigabyte allocation before the first short read throws, and let
+  // the vector grow normally past that.
+  flows.records.reserve(
+      static_cast<std::size_t>(std::min(count, std::uint64_t{1} << 20)));
   for (std::uint64_t i = 0; i < count; ++i) {
     FlowTuple r;
     r.src = Ipv4Address(util::read_u32(is));

@@ -122,6 +122,13 @@ PcapWriter::PcapWriter(std::ostream& os) : os_(os) {
 }
 
 void PcapWriter::write(const PacketRecord& packet) {
+  // The classic pcap record header carries a 32-bit seconds field; a
+  // silent truncation of the 64-bit timestamp would time-warp post-2106
+  // (or negative) captures instead of failing loudly.
+  if (packet.timestamp < 0 ||
+      packet.timestamp > static_cast<util::UnixTime>(0xFFFFFFFFu)) {
+    throw util::IoError("pcap: timestamp out of 32-bit range");
+  }
   const auto frame = build_datagram(packet);
   util::write_u32(os_, static_cast<std::uint32_t>(packet.timestamp));
   util::write_u32(os_, 0);  // microseconds
@@ -164,30 +171,47 @@ bool PcapReader::next(PacketRecord& out) {
   }
   if ((buf[0] >> 4) != 4) throw util::IoError("pcap: non-IPv4 frame");
   const std::size_t ihl = static_cast<std::size_t>(buf[0] & 0x0f) * 4;
-  if (ihl < 20 || ihl + 4 > buf.size()) {
+  if (ihl < 20 || ihl > buf.size()) {
     throw util::IoError("pcap: bad IPv4 header length");
   }
 
   PacketRecord p;
   p.timestamp = ts_sec;
   p.ip_length = get_u16be(buf, 2);
+  // The IP header's own length claim must fit inside the captured frame;
+  // a frame whose ip_length overruns incl_len is corrupt (our writer
+  // never snaplen-truncates), and trusting either bound alone lets the
+  // transport-header reads below index past the real datagram.
+  if (p.ip_length < ihl || p.ip_length > incl_len) {
+    throw util::IoError("pcap: IPv4 total length disagrees with frame");
+  }
   p.ttl = buf[8];
   const std::uint8_t proto = buf[9];
   p.src = Ipv4Address(get_u32be(buf, 12));
   p.dst = Ipv4Address(get_u32be(buf, 16));
+  // Per-protocol minimum transport header, checked against both the
+  // capture buffer and the datagram's own length claim.
+  const auto require_transport = [&](std::size_t min_header) {
+    if (ihl + min_header > buf.size() || ihl + min_header > p.ip_length) {
+      throw util::IoError("pcap: truncated transport header");
+    }
+  };
   switch (proto) {
     case static_cast<std::uint8_t>(Protocol::Tcp):
+      require_transport(20);  // fixed TCP header (ports..urgent pointer)
       p.protocol = Protocol::Tcp;
       p.src_port = get_u16be(buf, ihl + 0);
       p.dst_port = get_u16be(buf, ihl + 2);
-      if (ihl + 14 <= buf.size()) p.tcp_flags = buf[ihl + 13];
+      p.tcp_flags = buf[ihl + 13];
       break;
     case static_cast<std::uint8_t>(Protocol::Udp):
+      require_transport(8);  // UDP header
       p.protocol = Protocol::Udp;
       p.src_port = get_u16be(buf, ihl + 0);
       p.dst_port = get_u16be(buf, ihl + 2);
       break;
     case static_cast<std::uint8_t>(Protocol::Icmp):
+      require_transport(4);  // ICMP type/code/checksum
       p.protocol = Protocol::Icmp;
       p.icmp_type = buf[ihl + 0];
       p.icmp_code = buf[ihl + 1];

@@ -1,6 +1,11 @@
 #include "telescope/store.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "util/io.hpp"
 
@@ -42,6 +47,74 @@ void FlowTupleStore::for_each(
     auto flows = get(interval);
     if (flows) visit(*flows);
   }
+}
+
+void FlowTupleStore::for_each(
+    const std::function<void(const net::HourlyFlows&)>& visit,
+    std::size_t prefetch) const {
+  if (prefetch == 0) {
+    for_each(visit);
+    return;
+  }
+  const auto order = intervals();
+
+  std::mutex mutex;
+  std::condition_variable produced;
+  std::condition_variable consumed;
+  std::deque<net::HourlyFlows> queue;
+  bool reader_done = false;
+  bool abort = false;
+  std::exception_ptr reader_error;
+
+  std::thread reader([&] {
+    for (int interval : order) {
+      std::optional<net::HourlyFlows> flows;
+      try {
+        flows = get(interval);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        reader_error = std::current_exception();
+        break;
+      }
+      if (!flows) continue;
+      std::unique_lock<std::mutex> lock(mutex);
+      consumed.wait(lock, [&] { return queue.size() < prefetch || abort; });
+      if (abort) return;
+      queue.push_back(std::move(*flows));
+      lock.unlock();
+      produced.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      reader_done = true;
+    }
+    produced.notify_one();
+  });
+
+  try {
+    for (;;) {
+      net::HourlyFlows flows;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        produced.wait(lock, [&] { return !queue.empty() || reader_done; });
+        if (queue.empty()) break;
+        flows = std::move(queue.front());
+        queue.pop_front();
+      }
+      consumed.notify_one();
+      visit(flows);
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      abort = true;
+    }
+    consumed.notify_all();
+    reader.join();
+    throw;
+  }
+  reader.join();
+  if (reader_error) std::rethrow_exception(reader_error);
 }
 
 void MemoryFlowStore::put(net::HourlyFlows flows) {

@@ -34,6 +34,14 @@ class FlowTupleStore {
   /// hold more than one hour in memory.
   void for_each(const std::function<void(const net::HourlyFlows&)>& visit) const;
 
+  /// Like for_each, but reads and decodes up to `prefetch` upcoming hourly
+  /// files on a background reader thread while the visitor processes the
+  /// current one — disk I/O and codec work overlap the analysis. Visit
+  /// order is still strictly interval order; a decode error is rethrown on
+  /// the calling thread. prefetch == 0 degenerates to the serial path.
+  void for_each(const std::function<void(const net::HourlyFlows&)>& visit,
+                std::size_t prefetch) const;
+
   const std::filesystem::path& directory() const noexcept { return dir_; }
 
  private:

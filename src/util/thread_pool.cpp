@@ -1,0 +1,120 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iotscope::util {
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable job_done;
+
+  // Current job, valid while generation is odd-stepped forward; workers
+  // pick up indices with a shared atomic cursor.
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::uint64_t generation = 0;
+  std::size_t busy = 0;  ///< workers still draining the current job
+  bool stop = false;
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void drain() {
+    // Claim indices until the job is exhausted; record the first error
+    // but keep consuming indices so the join cannot deadlock.
+    for (std::size_t i = cursor.fetch_add(1); i < count;
+         i = cursor.fetch_add(1)) {
+      try {
+        (*job)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_ready.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      lock.unlock();
+
+      drain();
+
+      lock.lock();
+      if (--busy == 0) job_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  const unsigned n = resolve(threads);
+  impl_->workers.reserve(n > 0 ? n - 1 : 0);
+  for (unsigned i = 1; i < n; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+}
+
+unsigned ThreadPool::size() const noexcept {
+  return static_cast<unsigned>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (impl_->workers.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = &fn;
+    impl_->count = count;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->busy = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+
+  impl_->drain();  // the caller is a worker too
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->job_done.wait(lock, [&] { return impl_->busy == 0; });
+    impl_->job = nullptr;
+  }
+  if (impl_->error) {
+    auto error = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+unsigned ThreadPool::resolve(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace iotscope::util

@@ -1,0 +1,51 @@
+// A small fixed-size worker pool for fork/join parallelism — the
+// concurrency substrate of the sharded analysis pipeline and the
+// prefetching flowtuple iteration. Deliberately minimal: one blocking
+// parallel-for primitive, no futures, no task graph.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace iotscope::util {
+
+/// A persistent pool of worker threads executing indexed jobs.
+///
+/// run_indexed(count, fn) calls fn(i) exactly once for every
+/// i in [0, count), distributing indices across the workers plus the
+/// calling thread, and returns when all calls have completed (a full
+/// fork/join barrier). The first exception thrown by any fn is captured
+/// and rethrown on the calling thread after the join.
+///
+/// The pool itself is not re-entrant: run_indexed must not be called
+/// concurrently from two threads, and fn must not call back into the
+/// same pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in
+  /// every run_indexed). threads == 0 or 1 spawns no workers; the pool
+  /// then degenerates to a serial loop.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that participate in a run (workers + caller).
+  unsigned size() const noexcept;
+
+  /// Runs fn(i) for every i in [0, count); blocks until all are done.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Resolves a thread-count request: 0 means "auto" (the hardware
+  /// concurrency, at least 1); anything else is returned unchanged.
+  static unsigned resolve(unsigned requested) noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace iotscope::util

@@ -106,6 +106,100 @@ TEST_P(CodecFuzzTest, PcapReaderSurvivesRandomMutations) {
   }
 }
 
+TEST_P(CodecFuzzTest, FlowtupleEveryPrefixTruncationFailsCleanly) {
+  // Systematic sweep, not random: cutting a valid blob at EVERY byte
+  // boundary must raise IoError (only the full blob and the empty-records
+  // header boundary parse). This catches "partial record silently
+  // accepted" regressions that random truncation can miss.
+  util::Rng rng(GetParam() ^ 0xA0B1C2D3ULL);
+  const std::string valid = valid_flowtuple_blob(rng);
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    std::istringstream is(valid.substr(0, cut));
+    EXPECT_THROW(net::FlowTupleCodec::read(is), util::IoError)
+        << "prefix of " << cut << " bytes must not parse";
+  }
+  std::istringstream whole(valid);
+  EXPECT_NO_THROW(net::FlowTupleCodec::read(whole));
+}
+
+TEST_P(CodecFuzzTest, PcapEveryRecordTruncationFailsCleanly) {
+  // Any cut inside a record (past the global header, not on a record
+  // boundary) must throw; cuts on record boundaries are clean EOF.
+  util::Rng rng(GetParam() ^ 0xB1C2D3E4ULL);
+  const std::string valid = valid_pcap_blob(rng);
+  constexpr std::size_t kGlobalHeader = 24;
+  // Record header + UDP frame (20 IP + 8 UDP + default 32-byte payload).
+  constexpr std::size_t kRecord = 16 + 60;
+  ASSERT_EQ((valid.size() - kGlobalHeader) % kRecord, 0u);
+  for (std::size_t cut = kGlobalHeader; cut < valid.size(); ++cut) {
+    std::istringstream is(valid.substr(0, cut));
+    net::PcapReader reader(is);
+    net::PacketRecord packet;
+    const bool on_boundary = (cut - kGlobalHeader) % kRecord == 0;
+    if (on_boundary) {
+      const std::size_t whole_records = (cut - kGlobalHeader) / kRecord;
+      std::size_t frames = 0;
+      while (reader.next(packet)) ++frames;
+      EXPECT_EQ(frames, whole_records);
+    } else {
+      EXPECT_THROW(
+          {
+            while (reader.next(packet)) {
+            }
+          },
+          util::IoError)
+          << "cut at " << cut << " must not read to clean EOF";
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, FlowtupleHugeCountHeadersNeverAllocateHuge) {
+  // Corrupt headers claiming up to the 2^30 sanity cap must throw on the
+  // missing body without attempting a records.reserve() of gigabytes.
+  // (The address-sanitizer build turns an over-allocation into a hard
+  // failure; in plain builds this still bounds the test's RSS.)
+  util::Rng rng(GetParam() ^ 0xC2D3E4F5ULL);
+  for (int round = 0; round < 50; ++round) {
+    std::ostringstream os;
+    util::write_u32(os, net::FlowTupleCodec::kMagic);
+    util::write_u16(os, net::FlowTupleCodec::kVersion);
+    util::write_u32(os, static_cast<std::uint32_t>(rng.uniform(0, 142)));
+    util::write_u64(os, 1491955200);
+    util::write_u64(os, rng.uniform((1u << 21), (1u << 30)));
+    // A few stray body bytes — not enough for even one record.
+    const auto stray = rng.uniform(0, 24);
+    for (std::uint64_t i = 0; i < stray; ++i) {
+      util::write_u8(os, static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    }
+    std::istringstream is(os.str());
+    EXPECT_THROW(net::FlowTupleCodec::read(is), util::IoError);
+  }
+}
+
+TEST_P(CodecFuzzTest, PcapGarbageAfterValidHeaderFailsCleanly) {
+  // A well-formed global header followed by random bytes: next() must
+  // either throw IoError or report clean EOF, never crash or spin.
+  util::Rng rng(GetParam() ^ 0xD3E4F506ULL);
+  for (int round = 0; round < 200; ++round) {
+    std::ostringstream os;
+    net::PcapWriter writer(os);  // just the global header
+    std::string garbage(rng.uniform(0, 256), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.uniform(0, 255));
+    os.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+    std::istringstream is(os.str());
+    net::PcapReader reader(is);
+    net::PacketRecord packet;
+    try {
+      int frames = 0;
+      while (reader.next(packet) && frames < 1000) ++frames;
+      // Reaching here means clean EOF — only possible with no garbage.
+      EXPECT_TRUE(garbage.empty());
+    } catch (const util::IoError&) {
+      // Expected rejection path.
+    }
+  }
+}
+
 TEST_P(CodecFuzzTest, SandboxXmlParserSurvivesMutations) {
   util::Rng rng(GetParam() ^ 0x99AA77EEULL);
   intel::MalwareReport report;

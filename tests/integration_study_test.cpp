@@ -245,6 +245,24 @@ TEST_F(StudyTest, StudyIsDeterministic) {
             result().malicious.flagged_devices);
 }
 
+TEST_F(StudyTest, ThreadedStudyMatchesSequential) {
+  // Forcing threads > 1 drives both the sharded pipeline AND the
+  // synthesis/analysis overlap queue in run_study, regardless of the
+  // host's core count; the result must not move.
+  auto config = StudyConfig::test_default();
+  config.pipeline.threads = 4;
+  const auto threaded = run_study(config);
+  EXPECT_EQ(threaded.report.total_packets, result().report.total_packets);
+  EXPECT_EQ(threaded.report.discovered_total(),
+            result().report.discovered_total());
+  EXPECT_EQ(threaded.report.tcp_scan_total, result().report.tcp_scan_total);
+  EXPECT_EQ(threaded.report.backscatter_total,
+            result().report.backscatter_total);
+  EXPECT_EQ(threaded.report.dos_victims, result().report.dos_victims);
+  EXPECT_EQ(threaded.malicious.flagged_devices,
+            result().malicious.flagged_devices);
+}
+
 TEST_F(StudyTest, MannWhitneyDirectionMatchesPaper) {
   // Paper: CPS hourly backscatter significantly exceeds consumer.
   const auto& mwu = result().report.backscatter_mwu;

@@ -158,6 +158,51 @@ TEST(FlowTupleCodec, RejectsImplausibleRecordCount) {
   EXPECT_THROW(FlowTupleCodec::read(ss), util::IoError);
 }
 
+TEST(FlowTupleCodec, HugeClaimedCountWithNoBodyFailsWithoutHugeReserve) {
+  // Regression: a corrupt 14-byte header used to drive
+  // records.reserve(count) for any count up to 2^30 (~32 GB of FlowTuples)
+  // before the first short read threw. The reserve must now be clamped so
+  // this rejects quickly and cheaply.
+  for (const std::uint64_t count :
+       {std::uint64_t{1} << 30, (std::uint64_t{1} << 30) - 1,
+        std::uint64_t{1} << 24}) {
+    std::stringstream ss;
+    util::write_u32(ss, FlowTupleCodec::kMagic);
+    util::write_u16(ss, FlowTupleCodec::kVersion);
+    util::write_u32(ss, 7);
+    util::write_u64(ss, 1491955200);
+    util::write_u64(ss, count);  // header claims records that never follow
+    EXPECT_THROW(FlowTupleCodec::read(ss), util::IoError);
+  }
+}
+
+TEST(FlowTupleCodec, TruncatedCountFieldItselfThrows) {
+  // Header cut inside the u64 count field.
+  std::stringstream ss;
+  util::write_u32(ss, FlowTupleCodec::kMagic);
+  util::write_u16(ss, FlowTupleCodec::kVersion);
+  util::write_u32(ss, 7);
+  util::write_u64(ss, 1491955200);
+  util::write_u16(ss, 0xFFFF);  // 2 of the count's 8 bytes
+  EXPECT_THROW(FlowTupleCodec::read(ss), util::IoError);
+}
+
+TEST(FlowTupleCodec, CountLargerThanBodyThrowsNotSilentlyShortReads) {
+  // A file with N records but a header claiming N + 1 must throw, never
+  // return a short vector as if it parsed cleanly.
+  HourlyFlows flows;
+  util::Rng rng(9);
+  for (int i = 0; i < 10; ++i) flows.records.push_back(random_tuple(rng));
+  std::stringstream ss;
+  FlowTupleCodec::write(ss, flows);
+  std::string blob = ss.str();
+  // Count field lives at offset 4 (magic) + 2 (version) + 4 (interval) +
+  // 8 (start_time) = 18, little-endian u64.
+  blob[18] = 11;
+  std::istringstream overdrawn(blob);
+  EXPECT_THROW(FlowTupleCodec::read(overdrawn), util::IoError);
+}
+
 TEST(FlowTupleCodec, FileRoundTripAndName) {
   util::TempDir dir;
   HourlyFlows flows;

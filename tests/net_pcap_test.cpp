@@ -37,6 +37,35 @@ PacketRecord random_packet(util::Rng& rng) {
   }
 }
 
+/// Emits a capture containing one hand-crafted LINKTYPE_RAW frame so tests
+/// can produce shapes the writer itself refuses to (bad lengths, short
+/// transport headers). Only the fields the reader inspects are populated.
+std::string capture_with_raw_frame(std::uint8_t proto,
+                                   std::uint16_t frame_len,
+                                   std::uint16_t ip_length_field,
+                                   std::uint8_t version_ihl = 0x45) {
+  std::stringstream ss;
+  PcapWriter writer(ss);  // global header
+  util::write_u32(ss, 100);        // ts_sec
+  util::write_u32(ss, 0);          // ts_usec
+  util::write_u32(ss, frame_len);  // incl_len
+  util::write_u32(ss, frame_len);  // orig_len
+  std::vector<std::uint8_t> buf(frame_len, 0);
+  buf[0] = version_ihl;
+  buf[2] = static_cast<std::uint8_t>(ip_length_field >> 8);
+  buf[3] = static_cast<std::uint8_t>(ip_length_field);
+  buf[9] = proto;
+  ss.write(reinterpret_cast<const char*>(buf.data()), frame_len);
+  return ss.str();
+}
+
+void expect_frame_rejected(const std::string& blob) {
+  std::istringstream is(blob);
+  PcapReader reader(is);
+  PacketRecord p;
+  EXPECT_THROW(reader.next(p), util::IoError);
+}
+
 TEST(Pcap, RoundTripProperty) {
   util::Rng rng(7);
   std::vector<PacketRecord> packets;
@@ -65,7 +94,9 @@ TEST(Pcap, RoundTripProperty) {
       EXPECT_EQ(decoded.src_port, original.src_port);
       EXPECT_EQ(decoded.dst_port, original.dst_port);
     }
-    if (original.is_tcp()) EXPECT_EQ(decoded.tcp_flags, original.tcp_flags);
+    if (original.is_tcp()) {
+      EXPECT_EQ(decoded.tcp_flags, original.tcp_flags);
+    }
   }
   EXPECT_EQ(i, packets.size());
 }
@@ -132,6 +163,111 @@ TEST(Pcap, CleanEofReturnsFalse) {
   PacketRecord p;
   EXPECT_FALSE(reader.next(p));
   EXPECT_FALSE(reader.next(p));  // repeated calls stay false
+}
+
+TEST(Pcap, Post2038TimestampRoundTrips) {
+  // Regression: write() used to static_cast the 64-bit timestamp to
+  // uint32 with no range check. Timestamps past 2038-01-19 (signed
+  // 32-bit rollover) are legal pcap and must survive a round trip.
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  const util::UnixTime post2038 = 4000000000;  // 2096-10-02
+  const util::UnixTime last_representable = 0xFFFFFFFF;  // 2106-02-07
+  writer.write(make_udp(post2038, Ipv4Address(1), Ipv4Address(2), 53, 53));
+  writer.write(
+      make_icmp(last_representable, Ipv4Address(3), Ipv4Address(4),
+                IcmpType::EchoRequest, 0));
+  PcapReader reader(ss);
+  PacketRecord p;
+  ASSERT_TRUE(reader.next(p));
+  EXPECT_EQ(p.timestamp, post2038);
+  ASSERT_TRUE(reader.next(p));
+  EXPECT_EQ(p.timestamp, last_representable);
+  EXPECT_FALSE(reader.next(p));
+}
+
+TEST(Pcap, TimestampOutside32BitRangeThrowsInsteadOfWrapping) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  auto packet = make_udp(0, Ipv4Address(1), Ipv4Address(2), 1, 2);
+  packet.timestamp = static_cast<util::UnixTime>(0xFFFFFFFF) + 1;  // 2106+
+  EXPECT_THROW(writer.write(packet), util::IoError);
+  packet.timestamp = -1;
+  EXPECT_THROW(writer.write(packet), util::IoError);
+  // Nothing but the global header may have been emitted for the
+  // rejected packets.
+  EXPECT_EQ(writer.packets_written(), 0u);
+  EXPECT_EQ(ss.str().size(), 24u);
+}
+
+TEST(Pcap, RejectsIpLengthLargerThanCapturedFrame) {
+  // The datagram claims 100 bytes but only 28 were captured; trusting
+  // ip_length would read past the frame.
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Udp), /*frame_len=*/28,
+      /*ip_length_field=*/100));
+}
+
+TEST(Pcap, RejectsIpLengthSmallerThanIpHeader) {
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Udp), /*frame_len=*/28,
+      /*ip_length_field=*/8));
+}
+
+TEST(Pcap, RejectsIhlPastEndOfFrame) {
+  // IHL of 15 words (60 bytes) in a 28-byte frame.
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Udp), /*frame_len=*/28,
+      /*ip_length_field=*/28, /*version_ihl=*/0x4F));
+}
+
+TEST(Pcap, RejectsTcpFrameWithoutFullTcpHeader) {
+  // 28 bytes holds the IP header plus only 8 of TCP's fixed 20: reading
+  // flags at ihl+13 or checksum at ihl+16 would index off the end.
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Tcp), /*frame_len=*/28,
+      /*ip_length_field=*/28));
+}
+
+TEST(Pcap, RejectsUdpFrameWithoutFullUdpHeader) {
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Udp), /*frame_len=*/24,
+      /*ip_length_field=*/24));
+}
+
+TEST(Pcap, RejectsIcmpFrameWithoutTypeCodeChecksum) {
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Icmp), /*frame_len=*/22,
+      /*ip_length_field=*/22));
+}
+
+TEST(Pcap, RejectsTransportTruncatedByIpLengthClaim) {
+  // Frame buffer is long enough, but the datagram's own length claim
+  // says the transport header isn't all datagram payload.
+  expect_frame_rejected(capture_with_raw_frame(
+      static_cast<std::uint8_t>(Protocol::Tcp), /*frame_len=*/40,
+      /*ip_length_field=*/30));
+}
+
+TEST(Pcap, MinimalValidFramesOfEachProtocolStillParse) {
+  // Guard against over-tightening: exactly ihl + minimum transport
+  // header must be accepted for each protocol.
+  struct Shape {
+    std::uint8_t proto;
+    std::uint16_t len;
+  };
+  for (const auto& s :
+       {Shape{static_cast<std::uint8_t>(Protocol::Tcp), 40},
+        Shape{static_cast<std::uint8_t>(Protocol::Udp), 28},
+        Shape{static_cast<std::uint8_t>(Protocol::Icmp), 24}}) {
+    std::istringstream is(capture_with_raw_frame(s.proto, s.len, s.len));
+    PcapReader reader(is);
+    PacketRecord p;
+    ASSERT_TRUE(reader.next(p));
+    EXPECT_EQ(static_cast<std::uint8_t>(p.protocol), s.proto);
+    EXPECT_EQ(p.ip_length, s.len);
+    EXPECT_FALSE(reader.next(p));
+  }
 }
 
 TEST(Pcap, FileHelpersRoundTrip) {

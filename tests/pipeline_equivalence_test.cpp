@@ -1,12 +1,16 @@
 // Cross-path equivalence properties: the analysis result must be
 // identical whether hourly flows reach the pipeline directly from the
 // capture engine, from an on-disk flowtuple store, or from a pcap replay
-// — and independent of hour processing order.
+// — independent of hour processing order, and byte-for-byte independent
+// of the worker-thread count.
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <tuple>
+#include <vector>
 
 #include "core/iotscope.hpp"
+#include "core/report_text.hpp"
 #include "net/pcap.hpp"
 #include "telescope/store.hpp"
 #include "util/io.hpp"
@@ -87,6 +91,22 @@ class EquivalenceTest : public ::testing::Test {
     for (const auto& h : hours()) pipeline.observe(h);
     return pipeline.finalize();
   }
+
+  static Report run_with_threads(unsigned threads) {
+    PipelineOptions options;
+    options.threads = threads;
+    AnalysisPipeline pipeline(scenario().inventory, options);
+    for (const auto& h : hours()) pipeline.observe(h);
+    return pipeline.finalize();
+  }
+
+  /// Full operator-facing rendering — the strongest equality oracle we
+  /// have, since it serializes every derived statistic in the report.
+  static std::string render_everything(const Report& report) {
+    const auto character = characterize(report, scenario().inventory);
+    return render_inference_report(report, character, scenario().inventory) +
+           render_traffic_report(report, scenario().inventory);
+  }
 };
 
 TEST_F(EquivalenceTest, DiskStoreRoundTripPreservesTheReport) {
@@ -155,6 +175,72 @@ TEST_F(EquivalenceTest, SplittingAnHourIntoTwoFilesIsEquivalent) {
   // Totals and ledgers must match exactly; per-hour distinct counts also
   // match because both halves of an hour share the distinct-set scope of
   // that hour only if processed together — so compare totals here.
+  EXPECT_EQ(direct.total_packets, split_report.total_packets);
+  EXPECT_EQ(direct.discovered_total(), split_report.discovered_total());
+  EXPECT_EQ(direct.tcp_scan_total, split_report.tcp_scan_total);
+  EXPECT_EQ(direct.backscatter_total, split_report.backscatter_total);
+  EXPECT_EQ(direct.udp_total_packets, split_report.udp_total_packets);
+}
+
+TEST_F(EquivalenceTest, ThreadCountDoesNotChangeTheReportByteForByte) {
+  // The tentpole guarantee: the sharded pipeline's Report is
+  // byte-identical to the sequential one at any thread count. Structural
+  // comparison first, then the rendered report text as a whole-surface
+  // oracle (it serializes every derived statistic, including tie-broken
+  // orderings like unknown-source rankings and DoS top victims).
+  const Report sequential = run_with_threads(1);
+  const std::string golden = render_everything(sequential);
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    const Report parallel = run_with_threads(threads);
+    expect_reports_equal(sequential, parallel);
+    EXPECT_EQ(render_everything(parallel), golden);
+  }
+  // threads = 0 resolves to the hardware concurrency — whatever that is
+  // on the host, the bytes must not move.
+  EXPECT_EQ(render_everything(run_with_threads(0)), golden);
+}
+
+TEST_F(EquivalenceTest, DiscoverySinkOrderIsThreadCountInvariant) {
+  // First-sighting notifications must arrive in record order regardless
+  // of which shard observed the device.
+  const auto discoveries_at = [](unsigned threads) {
+    PipelineOptions options;
+    options.threads = threads;
+    AnalysisPipeline pipeline(scenario().inventory, options);
+    std::vector<std::tuple<std::uint32_t, int, std::uint64_t>> seen;
+    pipeline.set_discovery_sink([&seen](const Discovery& d) {
+      seen.emplace_back(d.device, d.interval, d.packets);
+    });
+    for (const auto& h : hours()) pipeline.observe(h);
+    pipeline.finalize();
+    return seen;
+  };
+  const auto sequential = discoveries_at(1);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(discoveries_at(2), sequential);
+  EXPECT_EQ(discoveries_at(8), sequential);
+}
+
+TEST_F(EquivalenceTest, SplitHoursStayEquivalentUnderThreading) {
+  // Re-aggregation invariance (two observe() calls per interval) must
+  // survive the parallel path too.
+  PipelineOptions options;
+  options.threads = 4;
+  AnalysisPipeline split(scenario().inventory, options);
+  for (const auto& h : hours()) {
+    net::HourlyFlows first;
+    net::HourlyFlows second;
+    first.interval = second.interval = h.interval;
+    first.start_time = second.start_time = h.start_time;
+    for (std::size_t i = 0; i < h.records.size(); ++i) {
+      (i % 2 ? first : second).records.push_back(h.records[i]);
+    }
+    split.observe(first);
+    split.observe(second);
+  }
+  const auto split_report = split.finalize();
+  const auto direct = run_with_threads(1);
   EXPECT_EQ(direct.total_packets, split_report.total_packets);
   EXPECT_EQ(direct.discovered_total(), split_report.discovered_total());
   EXPECT_EQ(direct.tcp_scan_total, split_report.tcp_scan_total);

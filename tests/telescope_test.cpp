@@ -2,6 +2,8 @@
 // flowtuple stores.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/pcap.hpp"
 #include "telescope/capture.hpp"
 #include "telescope/darknet.hpp"
@@ -176,6 +178,65 @@ TEST(FlowTupleStore, PutGetIterate) {
     visited.push_back(flows.interval);
   });
   EXPECT_EQ(visited, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(FlowTupleStore, PrefetchingIterationMatchesSerialOrder) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path() / "flows");
+  for (int interval = 0; interval < 12; ++interval) {
+    net::HourlyFlows flows;
+    flows.interval = interval;
+    flows.start_time = AnalysisWindow::interval_start(interval);
+    net::FlowTuple t;
+    t.src = Ipv4Address(static_cast<std::uint32_t>(interval));
+    t.packet_count = static_cast<std::uint64_t>(interval) + 1;
+    flows.records.push_back(t);
+    store.put(flows);
+  }
+  for (const std::size_t prefetch : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{2}, std::size_t{32}}) {
+    std::vector<int> visited;
+    store.for_each(
+        [&visited](const net::HourlyFlows& flows) {
+          visited.push_back(flows.interval);
+        },
+        prefetch);
+    std::vector<int> expected(12);
+    for (int i = 0; i < 12; ++i) expected[static_cast<std::size_t>(i)] = i;
+    EXPECT_EQ(visited, expected) << "prefetch=" << prefetch;
+  }
+}
+
+TEST(FlowTupleStore, PrefetchingIterationPropagatesVisitorException) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path());
+  for (int interval = 0; interval < 6; ++interval) {
+    net::HourlyFlows flows;
+    flows.interval = interval;
+    store.put(flows);
+  }
+  int seen = 0;
+  EXPECT_THROW(store.for_each(
+                   [&seen](const net::HourlyFlows&) {
+                     if (++seen == 3) throw std::runtime_error("boom");
+                   },
+                   2),
+               std::runtime_error);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(FlowTupleStore, PrefetchingIterationPropagatesDecodeError) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path());
+  net::HourlyFlows flows;
+  flows.interval = 4;
+  store.put(flows);
+  // Corrupt the stored file's magic: the background reader's decode
+  // failure must surface on the calling thread.
+  util::write_file(dir.path() / net::FlowTupleCodec::file_name(4),
+                   "not a flowtuple file");
+  EXPECT_THROW(store.for_each([](const net::HourlyFlows&) {}, 2),
+               util::IoError);
 }
 
 TEST(FlowTupleStore, OverwritesExistingHour) {

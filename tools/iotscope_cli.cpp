@@ -6,9 +6,9 @@
 //
 //   iotscope synth       --out DIR [--inventory-scale S] [--traffic-scale S]
 //                        [--seed N] [--noise R] [--with-truth]
-//   iotscope analyze     --data DIR [--top N]
+//   iotscope analyze     --data DIR [--top N] [--threads N]
 //   iotscope fingerprint --data DIR [--threshold X] [--min-packets N]
-//   iotscope campaigns   --data DIR
+//   iotscope campaigns   --data DIR [--threads N]
 //   iotscope info        --data DIR
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +58,13 @@ class Args {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
+  unsigned get_unsigned(const std::string& key, unsigned fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<unsigned>(std::strtoul(it->second.c_str(),
+                                                    nullptr, 10));
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -68,11 +75,15 @@ int usage() {
                "usage:\n"
                "  iotscope synth       --out DIR [--inventory-scale S] "
                "[--traffic-scale S] [--seed N] [--noise R] [--with-truth]\n"
-               "  iotscope analyze     --data DIR [--top N] [--full]\n"
+               "  iotscope analyze     --data DIR [--top N] [--full] "
+               "[--threads N]\n"
                "  iotscope fingerprint --data DIR [--threshold X] "
-               "[--min-packets N]\n"
-               "  iotscope campaigns   --data DIR\n"
-               "  iotscope info        --data DIR\n");
+               "[--min-packets N] [--threads N]\n"
+               "  iotscope campaigns   --data DIR [--threads N]\n"
+               "  iotscope info        --data DIR\n"
+               "\n"
+               "  --threads N  analysis worker shards (default: all cores; "
+               "1 = sequential; identical output at any value)\n");
   return 2;
 }
 
@@ -160,10 +171,14 @@ Dataset load_dataset(const std::filesystem::path& dir) {
   return data;
 }
 
-core::Report run_pipeline(const Dataset& data) {
-  core::AnalysisPipeline pipeline(data.inventory);
+core::Report run_pipeline(const Dataset& data, const Args& args) {
+  core::PipelineOptions options;
+  options.threads = args.get_unsigned("threads", 0);  // 0 = all cores
+  core::AnalysisPipeline pipeline(data.inventory, options);
+  // Decode the next hours on a reader thread while this one analyzes.
   data.store.for_each(
-      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); });
+      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); },
+      /*prefetch=*/2);
   return pipeline.finalize();
 }
 
@@ -172,7 +187,7 @@ core::Report run_pipeline(const Dataset& data) {
 int cmd_analyze(const Args& args) {
   if (!args.has("data")) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data);
+  const auto report = run_pipeline(data, args);
   const auto character = core::characterize(report, data.inventory);
   const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
 
@@ -252,7 +267,7 @@ int cmd_analyze(const Args& args) {
 int cmd_fingerprint(const Args& args) {
   if (!args.has("data")) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data);
+  const auto report = run_pipeline(data, args);
   core::FingerprintOptions options;
   options.iot_port_share_threshold = args.get_double("threshold", 0.5);
   options.min_packets = static_cast<std::uint64_t>(
@@ -275,7 +290,7 @@ int cmd_fingerprint(const Args& args) {
 int cmd_campaigns(const Args& args) {
   if (!args.has("data")) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data);
+  const auto report = run_pipeline(data, args);
   const auto campaigns = core::cluster_campaigns(report, data.inventory);
   std::printf("%zu probing campaigns (%zu scanners clustered):\n",
               campaigns.campaigns.size(), campaigns.devices_clustered);
@@ -318,11 +333,19 @@ int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::Warn);
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args(argc, argv, 2);
-  if (command == "synth") return cmd_synth(args);
-  if (command == "analyze") return cmd_analyze(args);
-  if (command == "fingerprint") return cmd_fingerprint(args);
-  if (command == "campaigns") return cmd_campaigns(args);
-  if (command == "info") return cmd_info(args);
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "synth") return cmd_synth(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "fingerprint") return cmd_fingerprint(args);
+    if (command == "campaigns") return cmd_campaigns(args);
+    if (command == "info") return cmd_info(args);
+  } catch (const std::exception& e) {
+    // Corrupt datasets (bad magic, truncated files, implausible counts)
+    // surface as util::IoError from the codecs; exit cleanly instead of
+    // aborting on an uncaught exception.
+    std::fprintf(stderr, "iotscope %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
   return usage();
 }

@@ -13,6 +13,7 @@
 #include "inventory/generator.hpp"
 #include "net/flowtuple.hpp"
 #include "net/pcap.hpp"
+#include "obs/metrics.hpp"
 #include "telescope/capture.hpp"
 #include "util/rng.hpp"
 
@@ -244,6 +245,9 @@ void BM_PipelineAnalysis(benchmark::State& state) {
   const auto& w = bench_workload();
   core::PipelineOptions options = bench_study_config().pipeline;
   options.threads = static_cast<unsigned>(state.range(0));
+  // Zero the obs registry so the stage breakdown below covers exactly
+  // this run's iterations at this thread count.
+  obs::Registry::instance().reset();
   for (auto _ : state) {
     core::AnalysisPipeline pipeline(w.scenario.inventory, options);
     for (const auto& h : w.hours) pipeline.observe(h);
@@ -253,11 +257,53 @@ void BM_PipelineAnalysis(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * w.total_packets));
   state.counters["threads"] = static_cast<double>(options.threads);
+
+  // Per-stage wall time per iteration (ms), straight from the metrics
+  // registry — the per-thread-count stage breakdown for EXPERIMENTS.md.
+  const auto snapshot = obs::Registry::instance().snapshot();
+  const auto stage_ms = [&](const char* name) {
+    const auto* s = snapshot.stage(name);
+    return s == nullptr ? 0.0
+                        : static_cast<double>(s->total_ns) / 1e6 /
+                              static_cast<double>(state.iterations());
+  };
+  state.counters["partition_ms"] = stage_ms("pipeline.partition");
+  state.counters["shard_observe_ms"] = stage_ms("pipeline.observe.shard");
+  state.counters["fanin_ms"] = stage_ms("pipeline.fanin");
+  state.counters["finalize_ms"] = stage_ms("pipeline.finalize");
+  state.counters["observe_ms"] = stage_ms("pipeline.observe");
 }
 BENCHMARK(BM_PipelineAnalysis)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Metrics-off ablation: identical workload with obs collection disabled.
+// Compare against BM_PipelineAnalysis at the same thread count to read
+// the observability overhead (budget: ≤ 2 %; instrumentation is at
+// hour/shard granularity so the expected delta is noise).
+void BM_PipelineAnalysisMetricsOff(benchmark::State& state) {
+  const auto& w = bench_workload();
+  core::PipelineOptions options = bench_study_config().pipeline;
+  options.threads = static_cast<unsigned>(state.range(0));
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    core::AnalysisPipeline pipeline(w.scenario.inventory, options);
+    for (const auto& h : w.hours) pipeline.observe(h);
+    auto report = pipeline.finalize();
+    benchmark::DoNotOptimize(report);
+  }
+  obs::set_enabled(true);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * w.total_packets));
+  state.counters["threads"] = static_cast<double>(options.threads);
+}
+BENCHMARK(BM_PipelineAnalysisMetricsOff)
+    ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()

@@ -3,11 +3,19 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 namespace iotscope::analysis {
+
+/// A key type usable with Counter::top(): must supply a strict weak
+/// order via operator< so count ties break deterministically.
+template <typename K>
+concept OrderedKey = requires(const K& a, const K& b) {
+  { a < b } -> std::convertible_to<bool>;
+};
 
 /// Accumulates counts per key and extracts the k heaviest entries.
 template <typename Key, typename Hash = std::hash<Key>>
@@ -33,10 +41,17 @@ class Counter {
     std::uint64_t count;
   };
 
-  /// The k heaviest entries, descending by count (ties broken by key order
-  /// via stable comparison on the key's operator< when available is NOT
-  /// required; ties are broken arbitrarily but deterministically by sort).
+  /// The k heaviest entries, descending by count; ties break by
+  /// ascending key order (Key::operator<), so the result is fully
+  /// deterministic and independent of hash-map iteration order. Keys
+  /// without operator< fail to compile here (see the static_assert) —
+  /// supply an ordered key or sort the raw() map yourself.
   std::vector<Entry> top(std::size_t k) const {
+    static_assert(OrderedKey<Key>,
+                  "analysis::Counter::top requires an ordered Key "
+                  "(operator< returning bool) so count ties break "
+                  "deterministically; add operator< to the key type or "
+                  "rank the raw() map with an explicit comparator");
     std::vector<Entry> all;
     all.reserve(counts_.size());
     for (const auto& [key, count] : counts_) all.push_back({key, count});

@@ -269,6 +269,15 @@ void AnalysisPipeline::ShardState::observe(
   }
 }
 
+AnalysisPipeline::Obs::Obs()
+    : observe(obs::Registry::instance().stage("pipeline.observe")),
+      partition(obs::Registry::instance().stage("pipeline.partition")),
+      shard(obs::Registry::instance().stage("pipeline.observe.shard")),
+      fanin(obs::Registry::instance().stage("pipeline.fanin")),
+      finalize(obs::Registry::instance().stage("pipeline.finalize")),
+      hours(obs::Registry::instance().counter("pipeline.hours")),
+      records(obs::Registry::instance().counter("pipeline.records")) {}
+
 AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
                                    PipelineOptions options)
     : db_(&db), options_(options) {
@@ -302,24 +311,34 @@ std::size_t AnalysisPipeline::shard_of(std::uint32_t src) const noexcept {
 }
 
 void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
+  obs::ScopedTimer observe_timer(obs_.observe);
+  obs_.hours.add(1);
+  obs_.records.add(flows.records.size());
+
   const std::uint32_t seq = observe_seq_++;
   const bool collect_discoveries = static_cast<bool>(discovery_sink_);
   const int h = flows.interval;
 
   // ---- fan-out ----
   if (shards_.size() == 1) {
+    obs::ScopedTimer shard_timer(obs_.shard);
     shards_[0]->observe(*this, flows, nullptr, seq, collect_discoveries);
   } else {
-    for (auto& bucket : partition_) bucket.clear();
-    for (std::uint32_t i = 0; i < flows.records.size(); ++i) {
-      partition_[shard_of(flows.records[i].src.value())].push_back(i);
+    {
+      obs::ScopedTimer partition_timer(obs_.partition);
+      for (auto& bucket : partition_) bucket.clear();
+      for (std::uint32_t i = 0; i < flows.records.size(); ++i) {
+        partition_[shard_of(flows.records[i].src.value())].push_back(i);
+      }
     }
     pool_->run_indexed(shards_.size(), [&](std::size_t s) {
+      obs::ScopedTimer shard_timer(obs_.shard);
       shards_[s]->observe(*this, flows, &partition_[s], seq,
                           collect_discoveries);
     });
   }
 
+  obs::ScopedTimer fanin_timer(obs_.fanin);
   // ---- fan-in: per-hour distinct-destination counts ----
   for (int realm = 0; realm < 2; ++realm) {
     const bool consumer = realm == 0;
@@ -389,6 +408,7 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
 Report AnalysisPipeline::finalize() {
   if (finalized_) return report_;
   finalized_ = true;
+  obs::ScopedTimer finalize_timer(obs_.finalize);
 
   // ---- merge shard state in fixed shard order ----
   // Device ledgers: rebuild the sequential discovery order by sorting on

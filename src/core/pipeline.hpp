@@ -31,6 +31,7 @@
 #include "core/report.hpp"
 #include "inventory/database.hpp"
 #include "net/flowtuple.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace iotscope::core {
@@ -104,6 +105,21 @@ class AnalysisPipeline {
   // Shared read-only lookup: dst port -> scan service row (-1 = unnamed).
   std::array<int, 65536> port_to_service_;
   int other_service_ = -1;
+
+  // Observability handles (obs/metrics.hpp), looked up once here so the
+  // per-hour paths never touch the registry mutex. Instrumentation is at
+  // hour/shard granularity — the per-record loops carry none.
+  struct Obs {
+    obs::Stage& observe;    ///< whole observe() call
+    obs::Stage& partition;  ///< record partitioning (threaded path only)
+    obs::Stage& shard;      ///< per-shard ShardState::observe task
+    obs::Stage& fanin;      ///< per-hour cross-shard union + notifications
+    obs::Stage& finalize;   ///< finalize() merge
+    obs::Counter& hours;    ///< observe() calls
+    obs::Counter& records;  ///< flowtuple records seen
+    Obs();
+  };
+  Obs obs_;
 
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1

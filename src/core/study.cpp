@@ -1,13 +1,12 @@
 #include "core/study.hpp"
 
-#include <condition_variable>
-#include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "telescope/capture.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/logging.hpp"
 
 namespace iotscope::core {
@@ -21,6 +20,14 @@ namespace {
 /// enqueues completed hours into a small bounded queue, so packet
 /// synthesis/aggregation of hour N+1 overlaps the sharded analysis of
 /// hour N (fan-out inside observe(), fan-in here at the queue).
+///
+/// Error paths (DESIGN.md §8): if the analyst throws, it poisons the
+/// queue — the producer's pushes start failing (hours are dropped),
+/// synthesis winds down, and the analyst's original exception is
+/// rethrown here. If synthesis itself throws, the join guard closes the
+/// queue and joins the analyst before the exception propagates, so the
+/// analyst is never left blocked on a queue nobody feeds (and the
+/// std::thread is never destroyed joinable, which would terminate).
 workload::SynthStats synthesize_and_analyze(
     const workload::Scenario& scenario, const workload::ScenarioConfig& config,
     AnalysisPipeline& pipeline) {
@@ -34,57 +41,43 @@ workload::SynthStats synthesize_and_analyze(
   // Bounded hand-off queue: deep enough to ride out uneven hours, small
   // enough that at most a few hours of flowtuples are in flight.
   constexpr std::size_t kMaxQueuedHours = 4;
-  std::mutex mutex;
-  std::condition_variable queue_ready;
-  std::condition_variable queue_drained;
-  std::deque<net::HourlyFlows> queue;
-  bool producer_done = false;
-  std::exception_ptr analyst_error;
+  util::BoundedQueue<net::HourlyFlows> queue(kMaxQueuedHours, "study.queue");
 
+  std::exception_ptr analyst_error;
   std::thread analyst([&] {
-    for (;;) {
-      net::HourlyFlows flows;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        queue_ready.wait(lock,
-                         [&] { return !queue.empty() || producer_done; });
-        if (queue.empty()) return;
-        flows = std::move(queue.front());
-        queue.pop_front();
-      }
-      queue_drained.notify_one();
+    while (auto flows = queue.pop()) {
       try {
-        pipeline.observe(flows);
+        pipeline.observe(*flows);
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (!analyst_error) analyst_error = std::current_exception();
-        }
-        queue_drained.notify_all();  // unblock a producer at the cap
+        analyst_error = std::current_exception();
+        queue.close();  // poison: producer pushes fail from here on
         return;
       }
     }
   });
 
+  // Runs on every exit path, including a throwing synthesize_into: close
+  // the queue so the analyst's pop() returns, then join. On the normal
+  // path the explicit close/join below has already happened and the
+  // guard's join degenerates to a no-op joinable() check.
+  struct JoinGuard {
+    util::BoundedQueue<net::HourlyFlows>& queue;
+    std::thread& analyst;
+    ~JoinGuard() {
+      queue.close();
+      if (analyst.joinable()) analyst.join();
+    }
+  } guard{queue, analyst};
+
   telescope::TelescopeCapture capture(
-      telescope::DarknetSpace(config.darknet),
-      [&](net::HourlyFlows&& flows) {
-        std::unique_lock<std::mutex> lock(mutex);
-        queue_drained.wait(lock, [&] {
-          return queue.size() < kMaxQueuedHours || analyst_error;
-        });
-        if (analyst_error) return;  // drop; the error surfaces below
-        queue.push_back(std::move(flows));
-        lock.unlock();
-        queue_ready.notify_one();
+      telescope::DarknetSpace(config.darknet), [&](net::HourlyFlows&& flows) {
+        // A false return means the analyst died; the error surfaces
+        // below, after synthesis winds down.
+        (void)queue.push(std::move(flows));
       });
   const auto stats = workload::synthesize_into(scenario, config, capture);
 
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    producer_done = true;
-  }
-  queue_ready.notify_one();
+  queue.close();
   analyst.join();
   if (analyst_error) std::rethrow_exception(analyst_error);
   return stats;
@@ -97,10 +90,16 @@ std::size_t scaled_top_per_realm(const workload::ScenarioConfig& scenario) {
 }
 
 StudyResult run_study(const StudyConfig& config) {
+  obs::ScopedTimer study_timer(
+      obs::Registry::instance().stage("study.run"));
+
   StudyResult result{
       workload::build_scenario(config.scenario), {}, {}, {}, {}, {}, {}};
 
   AnalysisPipeline pipeline(result.scenario.inventory, config.pipeline);
+  if (config.discovery_sink) {
+    pipeline.set_discovery_sink(config.discovery_sink);
+  }
   result.synth_stats =
       synthesize_and_analyze(result.scenario, config.scenario, pipeline);
   result.report = pipeline.finalize();

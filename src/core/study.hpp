@@ -21,6 +21,12 @@ struct StudyConfig {
   intel::ThreatSynthConfig threat;
   intel::MalwareSynthConfig malware;
 
+  /// Optional near-real-time first-sighting sink (core/notify.hpp),
+  /// forwarded to the pipeline before the first observe(). Runs on the
+  /// analysis thread; an exception it throws aborts the study and is
+  /// rethrown from run_study (see DESIGN.md §8 error propagation).
+  DiscoverySink discovery_sink;
+
   /// Convenience: the default bench scale (1/50 of the paper's traffic,
   /// full device population scaled to 10%) finishing in seconds.
   static StudyConfig bench_default() {

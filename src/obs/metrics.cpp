@@ -1,0 +1,330 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace iotscope::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+namespace detail {
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return index;
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------- Stage
+
+namespace {
+std::size_t bucket_of(std::uint64_t ns) noexcept {
+  const auto width = static_cast<std::size_t>(std::bit_width(ns));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+std::uint64_t bucket_upper_ns(std::size_t bucket) noexcept {
+  // Bucket i holds durations with bit_width == i: [2^(i-1), 2^i) ns.
+  return bucket >= 63 ? ~0ULL : (1ULL << bucket);
+}
+}  // namespace
+
+void Stage::record_ns(std::uint64_t ns) noexcept {
+  if (!enabled()) return;
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Stage::percentile_ns(double q) const noexcept {
+  const std::uint64_t n = calls();
+  if (n == 0) return 0;
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // ceil(q * n) samples.
+  const auto rank = static_cast<std::uint64_t>(std::min(
+      static_cast<double>(n),
+      std::max(1.0, std::ceil(q * static_cast<double>(n)))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) return bucket_upper_ns(i);
+  }
+  return max_ns();
+}
+
+void Stage::reset() noexcept {
+  calls_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map keeps snapshots sorted by name; unique_ptr keeps handle
+  // addresses stable across rehashes/registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Stage>, std::less<>> stages;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Stage& Registry::stage(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.stages.find(name);
+  if (it == i.stages.end()) {
+    it = i.stages.emplace(std::string(name), std::make_unique<Stage>()).first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  Snapshot snap;
+  snap.counters.reserve(i.counters.size());
+  for (const auto& [name, counter] : i.counters) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(i.gauges.size());
+  for (const auto& [name, gauge] : i.gauges) {
+    snap.gauges.push_back({name, gauge->value(), gauge->max()});
+  }
+  snap.stages.reserve(i.stages.size());
+  for (const auto& [name, stage] : i.stages) {
+    StageSample sample;
+    sample.name = name;
+    sample.calls = stage->calls();
+    sample.total_ns = stage->total_ns();
+    sample.max_ns = stage->max_ns();
+    sample.p50_ns = stage->percentile_ns(0.50);
+    sample.p99_ns = stage->percentile_ns(0.99);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      const auto count = stage->bucket(b);
+      if (count > 0) sample.buckets.emplace_back(bucket_upper_ns(b), count);
+    }
+    snap.stages.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void Registry::reset() noexcept {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, counter] : i.counters) counter->reset();
+  for (auto& [name, gauge] : i.gauges) gauge->reset();
+  for (auto& [name, stage] : i.stages) stage->reset();
+}
+
+// ------------------------------------------------------------ Snapshot
+
+const StageSample* Snapshot::stage(std::string_view name) const noexcept {
+  for (const auto& sample : stages) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const CounterSample* Snapshot::counter(std::string_view name) const noexcept {
+  for (const auto& sample : counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ rendering
+
+namespace {
+
+/// "1.23s" / "45.6ms" / "789us" / "12ns".
+std::string human_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string render_text(const Snapshot& snapshot) {
+  std::string out = "== iotscope metrics ==\n";
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& c : snapshot.counters) {
+      char line[128];
+      std::snprintf(line, sizeof(line), "  %-40s %20llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : snapshot.gauges) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-40s %20lld (max %lld)\n",
+                    g.name.c_str(), static_cast<long long>(g.value),
+                    static_cast<long long>(g.max));
+      out += line;
+    }
+  }
+  if (!snapshot.stages.empty()) {
+    out += "stages:                                      calls      total"
+           "       mean        p50        p99        max\n";
+    for (const auto& s : snapshot.stages) {
+      const std::uint64_t mean = s.calls > 0 ? s.total_ns / s.calls : 0;
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-40s %9llu %10s %10s %10s %10s %10s\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.calls),
+                    human_ns(s.total_ns).c_str(), human_ns(mean).c_str(),
+                    human_ns(s.p50_ns).c_str(), human_ns(s.p99_ns).c_str(),
+                    human_ns(s.max_ns).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, g.name);
+    out += ": {\"value\": " + std::to_string(g.value) +
+           ", \"max\": " + std::to_string(g.max) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"stages\": {";
+  first = true;
+  for (const auto& s : snapshot.stages) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, s.name);
+    out += ": {\"calls\": " + std::to_string(s.calls) +
+           ", \"total_ns\": " + std::to_string(s.total_ns) +
+           ", \"max_ns\": " + std::to_string(s.max_ns) +
+           ", \"p50_ns\": " + std::to_string(s.p50_ns) +
+           ", \"p99_ns\": " + std::to_string(s.p99_ns) + ", \"buckets\": [";
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "[" + std::to_string(s.buckets[b].first) + ", " +
+             std::to_string(s.buckets[b].second) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace iotscope::obs

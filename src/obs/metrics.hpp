@@ -1,0 +1,232 @@
+// Lightweight observability substrate: named counters, gauges, and
+// fixed-bucket latency histograms ("stages"), collected in a global
+// registry and aggregated only at read time.
+//
+// Design rules (DESIGN.md §9):
+//  * Counters are striped across cache-line-padded atomic slots, one per
+//    writer-thread stripe, so concurrent increments never contend — the
+//    same idea as the shard-local accumulators in the analysis pipeline.
+//    value() sums the stripes at read time.
+//  * Stages are RAII-timed latency histograms with power-of-two
+//    nanosecond buckets; recording is a handful of relaxed atomic adds.
+//  * Instrumentation sits at hour/job granularity, never inside the
+//    per-record hot loops, so the cost is a few clock reads per hour.
+//  * This layer depends on nothing but the standard library (it sits
+//    below util so the thread pool, queues, and time base can use it).
+//
+// Handles returned by the registry are stable for the process lifetime;
+// call sites that record frequently should look the handle up once and
+// keep the reference.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotscope::obs {
+
+/// Number of independent counter slots; increments from up to this many
+/// threads proceed with no cache-line sharing at all, and more threads
+/// only ever share a slot, never a lock.
+inline constexpr std::size_t kCounterStripes = 16;
+
+/// Histogram buckets: bucket i counts durations with bit_width(ns) == i,
+/// i.e. [2^(i-1), 2^i) ns; the last bucket absorbs everything longer
+/// (2^46 ns ≈ 19.5 hours).
+inline constexpr std::size_t kHistogramBuckets = 47;
+
+/// Monotonic nanosecond clock used by all spans and stall timers.
+std::uint64_t now_ns() noexcept;
+
+/// Globally enables/disables collection (default: enabled). Disabling
+/// short-circuits counter adds and timer clock reads; it never clears
+/// already-collected values (use Registry::reset for that).
+void set_enabled(bool on) noexcept;
+bool enabled() noexcept;
+
+namespace detail {
+struct alignas(64) Stripe {
+  std::atomic<std::uint64_t> value{0};
+};
+/// Stable per-thread stripe slot (round-robin over kCounterStripes).
+std::size_t stripe_index() noexcept;
+}  // namespace detail
+
+/// A monotonically increasing, write-contention-free counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    stripes_[detail::stripe_index()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum of all stripes (aggregation happens here, at read time).
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& stripe : stripes_) {
+      stripe.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::array<detail::Stripe, kCounterStripes> stripes_;
+};
+
+/// A point-in-time value with a high-water mark (e.g. queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// A named pipeline stage: call count, cumulative and maximum duration,
+/// and a fixed power-of-two latency histogram. Record with ScopedTimer
+/// (preferred) or record_ns() directly.
+class Stage {
+ public:
+  void record_ns(std::uint64_t ns) noexcept;
+
+  std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Approximate percentile (0 < q <= 1) from the histogram; returns the
+  /// upper bound of the bucket holding the q-th recorded duration.
+  std::uint64_t percentile_ns(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// RAII span: times its scope and records into a Stage on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stage& stage) noexcept
+      : stage_(enabled() ? &stage : nullptr),
+        start_ns_(stage_ ? now_ns() : 0) {}
+  ~ScopedTimer() {
+    if (stage_ != nullptr) stage_->record_ns(now_ns() - start_ns_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stage* stage_;
+  std::uint64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------
+// Registry and snapshots
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value;
+  std::int64_t max;
+};
+
+struct StageSample {
+  std::string name;
+  std::uint64_t calls;
+  std::uint64_t total_ns;
+  std::uint64_t max_ns;
+  std::uint64_t p50_ns;
+  std::uint64_t p99_ns;
+  /// (bucket upper bound in ns, count) for every non-empty bucket.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/// A consistent-enough point-in-time copy of every registered metric
+/// (individual values are read with relaxed atomics; the snapshot is
+/// safe to take while writers are active).
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<StageSample> stages;
+
+  const StageSample* stage(std::string_view name) const noexcept;
+  const CounterSample* counter(std::string_view name) const noexcept;
+};
+
+/// The process-wide metric registry. Registration (first lookup of a
+/// name) takes a mutex; the returned handles are lock-free and stable.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Stage& stage(std::string_view name);
+
+  /// Samples every metric, sorted by name.
+  Snapshot snapshot() const;
+
+  /// Zeroes all values (registrations survive). Meant for benchmarks
+  /// measuring one region; not for use concurrent with writers.
+  void reset() noexcept;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Human-readable multi-line summary of a snapshot.
+std::string render_text(const Snapshot& snapshot);
+
+/// Machine-readable JSON document (counters, gauges, stages).
+std::string render_json(const Snapshot& snapshot);
+
+}  // namespace iotscope::obs

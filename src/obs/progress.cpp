@@ -1,0 +1,61 @@
+#include "obs/progress.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace iotscope::obs {
+
+namespace {
+/// "1.2M" / "350.4k" / "87" — obs keeps its own tiny formatter so the
+/// layer stays below util.
+std::string human_count(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total_units,
+                             std::FILE* out, std::uint64_t min_interval_ms)
+    : label_(std::move(label)),
+      total_units_(total_units),
+      out_(out),
+      min_interval_ns_(min_interval_ms * 1000000ULL),
+      start_ns_(now_ns()) {}
+
+void ProgressMeter::update(std::size_t units_done, std::uint64_t packets,
+                           std::size_t devices) {
+  const std::uint64_t now = now_ns();
+  if (now - last_emit_ns_ < min_interval_ns_) return;
+  last_emit_ns_ = now;
+  emit(units_done, packets, devices, false);
+}
+
+void ProgressMeter::finish(std::size_t units_done, std::uint64_t packets,
+                           std::size_t devices) {
+  emit(units_done, packets, devices, true);
+}
+
+void ProgressMeter::emit(std::size_t units_done, std::uint64_t packets,
+                         std::size_t devices, bool final_line) {
+  const double elapsed_s =
+      static_cast<double>(now_ns() - start_ns_) / 1e9;
+  const double rate =
+      elapsed_s > 0 ? static_cast<double>(packets) / elapsed_s : 0.0;
+  std::fprintf(out_, "[iotscope progress] %s: %zu/%zu hours, %s pkts "
+                     "(%s pkts/s), %zu devices%s\n",
+               label_.c_str(), units_done, total_units_,
+               human_count(static_cast<double>(packets)).c_str(),
+               human_count(rate).c_str(), devices,
+               final_line ? " — done" : "");
+  std::fflush(out_);
+}
+
+}  // namespace iotscope::obs

@@ -1,0 +1,41 @@
+// Periodic one-line progress reporting for long pipeline runs: hours
+// processed, packet throughput, devices discovered. Rate-limited so a
+// per-hour update cadence never floods the terminal.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace iotscope::obs {
+
+/// Emits "[iotscope progress] 42/143 hours, 1.2M pkts (350.4k pkts/s),
+/// 1234 devices" lines to a stream (default stderr), at most once per
+/// min_interval_ms. finish() always emits a final line.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(std::string label, std::size_t total_units,
+                         std::FILE* out = stderr,
+                         std::uint64_t min_interval_ms = 500);
+
+  /// Rate-limited update; prints only when the interval has elapsed.
+  void update(std::size_t units_done, std::uint64_t packets,
+              std::size_t devices);
+
+  /// Unconditional final line with overall throughput.
+  void finish(std::size_t units_done, std::uint64_t packets,
+              std::size_t devices);
+
+ private:
+  void emit(std::size_t units_done, std::uint64_t packets,
+            std::size_t devices, bool final_line);
+
+  std::string label_;
+  std::size_t total_units_;
+  std::FILE* out_;
+  std::uint64_t min_interval_ns_;
+  std::uint64_t start_ns_;
+  std::uint64_t last_emit_ns_ = 0;
+};
+
+}  // namespace iotscope::obs

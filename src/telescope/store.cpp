@@ -1,12 +1,11 @@
 #include "telescope/store.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/io.hpp"
 
 namespace iotscope::telescope {
@@ -43,8 +42,13 @@ std::vector<int> FlowTupleStore::intervals() const {
 
 void FlowTupleStore::for_each(
     const std::function<void(const net::HourlyFlows&)>& visit) const {
+  auto& decode_stage = obs::Registry::instance().stage("store.decode");
   for (int interval : intervals()) {
-    auto flows = get(interval);
+    std::optional<net::HourlyFlows> flows;
+    {
+      obs::ScopedTimer timer(decode_stage);
+      flows = get(interval);
+    }
     if (flows) visit(*flows);
   }
 }
@@ -57,59 +61,36 @@ void FlowTupleStore::for_each(
     return;
   }
   const auto order = intervals();
+  auto& decode_stage = obs::Registry::instance().stage("store.decode");
 
-  std::mutex mutex;
-  std::condition_variable produced;
-  std::condition_variable consumed;
-  std::deque<net::HourlyFlows> queue;
-  bool reader_done = false;
-  bool abort = false;
+  // Error paths mirror run_study's (DESIGN.md §8): a visitor exception
+  // closes the queue (the reader's next push fails and it exits), a
+  // decode error is recorded, the queue closed so the consumer drains
+  // and stops, and the error is rethrown here after the join. Both sides
+  // always join before an exception leaves this frame.
+  util::BoundedQueue<net::HourlyFlows> queue(prefetch, "store.prefetch");
   std::exception_ptr reader_error;
 
   std::thread reader([&] {
     for (int interval : order) {
       std::optional<net::HourlyFlows> flows;
       try {
+        obs::ScopedTimer timer(decode_stage);
         flows = get(interval);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
         reader_error = std::current_exception();
         break;
       }
       if (!flows) continue;
-      std::unique_lock<std::mutex> lock(mutex);
-      consumed.wait(lock, [&] { return queue.size() < prefetch || abort; });
-      if (abort) return;
-      queue.push_back(std::move(*flows));
-      lock.unlock();
-      produced.notify_one();
+      if (!queue.push(std::move(*flows))) return;  // consumer aborted
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      reader_done = true;
-    }
-    produced.notify_one();
+    queue.close();  // end of stream (or decode error recorded above)
   });
 
   try {
-    for (;;) {
-      net::HourlyFlows flows;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        produced.wait(lock, [&] { return !queue.empty() || reader_done; });
-        if (queue.empty()) break;
-        flows = std::move(queue.front());
-        queue.pop_front();
-      }
-      consumed.notify_one();
-      visit(flows);
-    }
+    while (auto flows = queue.pop()) visit(*flows);
   } catch (...) {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      abort = true;
-    }
-    consumed.notify_all();
+    queue.close();
     reader.join();
     throw;
   }

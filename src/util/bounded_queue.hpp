@@ -1,0 +1,125 @@
+// A closeable bounded FIFO hand-off queue — the producer/consumer
+// substrate of run_study's synthesis→analysis overlap and the flowtuple
+// store's prefetching reader.
+//
+// Error-path semantics (DESIGN.md §8): either side may close() the queue
+// at any time. A closed queue rejects new items (push returns false —
+// the producer's signal to stop producing) while pop() still drains
+// whatever was queued before the close and then returns nullopt. close()
+// wakes every blocked producer and consumer, so no thread can be left
+// waiting on a peer that has already died — the deadlock class this
+// replaces (a consumer exception leaving the producer blocked on a full
+// queue forever).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "obs/metrics.hpp"
+
+namespace iotscope::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 is promoted to 1 (a zero-capacity queue could never
+  /// accept an item). With a metrics_prefix, the queue registers
+  /// `<prefix>.depth` (gauge with high-water mark) and
+  /// `<prefix>.producer_stall_ns` / `<prefix>.consumer_stall_ns`
+  /// counters in the global obs registry.
+  explicit BoundedQueue(std::size_t capacity,
+                        const char* metrics_prefix = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    if (metrics_prefix != nullptr) {
+      auto& registry = obs::Registry::instance();
+      const std::string prefix(metrics_prefix);
+      depth_ = &registry.gauge(prefix + ".depth");
+      producer_stall_ = &registry.counter(prefix + ".producer_stall_ns");
+      consumer_stall_ = &registry.counter(prefix + ".consumer_stall_ns");
+    }
+  }
+
+  /// Blocks while the queue is full. Returns true once the item is
+  /// enqueued; false if the queue is (or becomes) closed — the item is
+  /// dropped and the producer should stop.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= capacity_ && !closed_) {
+      const auto t0 = obs::now_ns();
+      not_full_.wait(lock,
+                     [&] { return queue_.size() < capacity_ || closed_; });
+      if (producer_stall_ != nullptr) {
+        producer_stall_->add(obs::now_ns() - t0);
+      }
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    if (depth_ != nullptr) {
+      depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns the next item, or
+  /// nullopt once the queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty() && !closed_) {
+      const auto t0 = obs::now_ns();
+      not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      if (consumer_stall_ != nullptr) {
+        consumer_stall_->add(obs::now_ns() - t0);
+      }
+    }
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(queue_.front()));
+    queue_.pop_front();
+    if (depth_ != nullptr) {
+      depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Poisons the queue: wakes all waiters, push() fails from now on,
+  /// pop() drains the backlog then ends. Idempotent; callable from any
+  /// thread (typically the side that hit an error, and the producer at
+  /// normal end-of-stream).
+  void close() noexcept {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+
+  obs::Gauge* depth_ = nullptr;
+  obs::Counter* producer_stall_ = nullptr;
+  obs::Counter* consumer_stall_ = nullptr;
+};
+
+}  // namespace iotscope::util

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace iotscope::util {
 
 struct ThreadPool::Impl {
@@ -25,19 +27,31 @@ struct ThreadPool::Impl {
   std::size_t busy = 0;  ///< workers still draining the current job
   bool stop = false;
 
+  // Exception channel: the first error is recorded here and rethrown on
+  // the calling thread after the join; `failed` fail-fasts the other
+  // workers out of the remaining indices.
   std::mutex error_mutex;
   std::exception_ptr error;
+  std::atomic<bool> failed{false};
+
+  obs::Stage& run_stage =
+      obs::Registry::instance().stage("threadpool.run_indexed");
+  obs::Counter& task_counter =
+      obs::Registry::instance().counter("threadpool.tasks");
 
   void drain() {
-    // Claim indices until the job is exhausted; record the first error
-    // but keep consuming indices so the join cannot deadlock.
+    // Claim indices until the job is exhausted or another task failed;
+    // record the first error and fail-fast so the join never waits on
+    // work that is already pointless.
     for (std::size_t i = cursor.fetch_add(1); i < count;
          i = cursor.fetch_add(1)) {
+      if (failed.load(std::memory_order_acquire)) return;
       try {
         (*job)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_release);
       }
     }
   }
@@ -83,6 +97,8 @@ unsigned ThreadPool::size() const noexcept {
 void ThreadPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  obs::ScopedTimer timer(impl_->run_stage);
+  impl_->task_counter.add(count);
   if (impl_->workers.empty()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
@@ -92,6 +108,7 @@ void ThreadPool::run_indexed(std::size_t count,
     impl_->job = &fn;
     impl_->count = count;
     impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->failed.store(false, std::memory_order_relaxed);
     impl_->busy = impl_->workers.size();
     ++impl_->generation;
   }

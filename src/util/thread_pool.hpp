@@ -12,11 +12,16 @@ namespace iotscope::util {
 
 /// A persistent pool of worker threads executing indexed jobs.
 ///
-/// run_indexed(count, fn) calls fn(i) exactly once for every
+/// run_indexed(count, fn) calls fn(i) at most once for every
 /// i in [0, count), distributing indices across the workers plus the
 /// calling thread, and returns when all calls have completed (a full
 /// fork/join barrier). The first exception thrown by any fn is captured
-/// and rethrown on the calling thread after the join.
+/// and rethrown on the calling thread after the join; once an exception
+/// is recorded, unclaimed indices are skipped (fail-fast) so a poisoned
+/// job drains quickly instead of running to completion on broken state.
+/// When no fn throws, every index runs exactly once. The pool stays
+/// usable after a throwing job. Each run_indexed call is timed into the
+/// obs stage "threadpool.run_indexed".
 ///
 /// The pool itself is not re-entrant: run_indexed must not be called
 /// concurrently from two threads, and fn must not call back into the

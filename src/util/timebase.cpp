@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <ctime>
 
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
 namespace iotscope::util {
 
 std::string format_utc(UnixTime ts) {
@@ -17,8 +20,20 @@ std::string format_utc(UnixTime ts) {
 }
 
 std::string format_window_day(int day) {
-  if (day < 0) day = 0;
-  if (day >= AnalysisWindow::kDays) day = AnalysisWindow::kDays - 1;
+  // Out-of-range days indicate an interval outside the 143-hour window
+  // (e.g. a changed AnalysisWindow::kDays without matching callers).
+  // Clamp so labels stay well-formed, but never silently: a mislabeled
+  // hourly row is a data bug worth surfacing.
+  if (day < 0 || day >= AnalysisWindow::kDays) {
+    static obs::Counter& clamped =
+        obs::Registry::instance().counter("time.window_day_out_of_range");
+    clamped.add(1);
+    IOTSCOPE_LOG_WARN(
+        "format_window_day: day %d outside the analysis window [0, %d); "
+        "clamping — hourly rows may be mislabeled",
+        day, AnalysisWindow::kDays);
+    day = day < 0 ? 0 : AnalysisWindow::kDays - 1;
+  }
   char buf[16];
   std::snprintf(buf, sizeof(buf), "APR-%02d", 12 + day);
   return buf;

@@ -1,0 +1,248 @@
+// Regression tests for the error paths of the concurrent machinery:
+// a throwing shard task must surface from ThreadPool::run_indexed, a
+// throwing analysis consumer must not deadlock run_study's bounded
+// queue, and the prefetching store must join its reader on both visitor
+// and decode errors. Every test here used to be a hang or a
+// std::terminate. Run them under TSan (preset `tsan`) for full value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/study.hpp"
+#include "net/flowtuple.hpp"
+#include "telescope/store.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace iotscope {
+namespace {
+
+// ------------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueueTest, FifoHandOff) {
+  util::BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsBacklogThenEnds) {
+  util::BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // rejected after close
+  EXPECT_EQ(queue.pop(), 1);    // backlog still drains
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksAProducerStuckOnAFullQueue) {
+  // The run_study deadlock shape: producer blocked at the capacity cap,
+  // consumer dies. close() must wake the producer with push == false.
+  util::BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));  // now full
+
+  std::atomic<bool> push_returned{false};
+  bool push_result = true;
+  std::thread producer([&] {
+    push_result = queue.push(1);  // blocks until close()
+    push_returned.store(true);
+  });
+
+  // Give the producer time to block, then poison the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksAConsumerStuckOnAnEmptyQueue) {
+  util::BoundedQueue<int> queue(1);
+  std::optional<int> popped = 99;
+  std::thread consumer([&] { popped = queue.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(popped, std::nullopt);
+}
+
+// --------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolErrorTest, WorkerExceptionPropagatesToTheCaller) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_indexed(64,
+                       [](std::size_t i) {
+                         if (i == 13) {
+                           throw std::runtime_error("shard task failed");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolErrorTest, ExceptionMessageSurvivesTheChannel) {
+  util::ThreadPool pool(3);
+  try {
+    pool.run_indexed(32, [](std::size_t i) {
+      if (i == 7) throw std::runtime_error("boom at 7");
+    });
+    FAIL() << "expected the worker exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 7");
+  }
+}
+
+TEST(ThreadPoolErrorTest, PoolStaysUsableAfterAThrowingJob) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.run_indexed(
+                   16, [](std::size_t) { throw std::runtime_error("dead"); }),
+               std::runtime_error);
+
+  // The next job must run every index exactly once.
+  constexpr std::size_t kCount = 100;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run_indexed(kCount, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolErrorTest, FailFastSkipsIndicesAfterAnError) {
+  // With a failing first index and many slow followers, fail-fast must
+  // leave some indices unvisited (at most one in-flight task per thread
+  // finishes after the error is recorded).
+  util::ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.run_indexed(10000,
+                                [&executed](std::size_t i) {
+                                  if (i == 0) {
+                                    throw std::runtime_error("poison");
+                                  }
+                                  executed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 10000u);
+}
+
+TEST(ThreadPoolErrorTest, SerialPoolPropagatesDirectly) {
+  util::ThreadPool pool(1);
+  EXPECT_THROW(pool.run_indexed(
+                   4, [](std::size_t) { throw std::runtime_error("serial"); }),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- run_study consumer
+
+core::StudyConfig tiny_study_config(unsigned threads) {
+  auto config = core::StudyConfig::test_default();
+  config.scenario.inventory_scale = 0.005;
+  config.scenario.traffic_scale = 0.001;
+  config.pipeline.threads = threads;
+  return config;
+}
+
+TEST(StudyErrorPathTest, ConsumerThrowDoesNotDeadlockTheBoundedQueue) {
+  // The PR-2 headline bug: the analysis consumer throwing used to leave
+  // the synthesis producer blocked forever on the full hand-off queue.
+  // A throwing DiscoverySink makes pipeline.observe() throw on the
+  // consumer thread; run_study must unwind and rethrow, not hang.
+  auto config = tiny_study_config(/*threads=*/2);
+  config.discovery_sink = [](const core::Discovery&) {
+    throw std::runtime_error("sink rejected the discovery");
+  };
+  try {
+    core::run_study(config);
+    FAIL() << "expected the consumer exception to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sink rejected the discovery");
+  }
+}
+
+TEST(StudyErrorPathTest, SequentialPathPropagatesTheSameError) {
+  auto config = tiny_study_config(/*threads=*/1);
+  config.discovery_sink = [](const core::Discovery&) {
+    throw std::runtime_error("sink rejected the discovery");
+  };
+  EXPECT_THROW(core::run_study(config), std::runtime_error);
+}
+
+TEST(StudyErrorPathTest, LateConsumerThrowStillUnwinds) {
+  // Throw only after the queue has had a chance to fill (producer ahead
+  // of consumer), exercising the close-while-producer-blocked path.
+  auto config = tiny_study_config(/*threads=*/2);
+  auto count = std::make_shared<std::atomic<int>>(0);
+  config.discovery_sink = [count](const core::Discovery&) {
+    if (count->fetch_add(1) >= 50) {
+      throw std::runtime_error("late failure");
+    }
+  };
+  EXPECT_THROW(core::run_study(config), std::runtime_error);
+}
+
+// -------------------------------------------- FlowTupleStore prefetch
+
+net::HourlyFlows make_hour(int interval) {
+  net::HourlyFlows flows;
+  flows.interval = interval;
+  flows.start_time = util::AnalysisWindow::interval_start(interval);
+  net::FlowTuple t;
+  t.src = net::Ipv4Address::from_octets(192, 0, 2, 1);
+  t.dst = net::Ipv4Address::from_octets(10, 0, 0, 1);
+  t.src_port = 1024;
+  t.dst_port = 23;
+  t.protocol = net::Protocol::Tcp;
+  t.tcp_flags = net::kSyn;
+  t.ttl = 64;
+  t.ip_length = 44;
+  t.packet_count = 3;
+  flows.records.push_back(t);
+  return flows;
+}
+
+TEST(StorePrefetchErrorTest, VisitorExceptionJoinsTheReaderAndRethrows) {
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  for (int h = 0; h < 12; ++h) store.put(make_hour(h));
+
+  int visited = 0;
+  EXPECT_THROW(store.for_each(
+                   [&visited](const net::HourlyFlows&) {
+                     if (++visited == 3) {
+                       throw std::runtime_error("visitor failed");
+                     }
+                   },
+                   /*prefetch=*/2),
+               std::runtime_error);
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(StorePrefetchErrorTest, DecodeErrorSurfacesOnTheCallingThread) {
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  for (int h = 0; h < 4; ++h) store.put(make_hour(h));
+  // Corrupt hour 2 in place: bad magic/truncation must throw from the
+  // background reader and be rethrown here after the join.
+  util::write_file(dir.path() / "flowtuple-0002.ift", "not a flowtuple file");
+
+  std::vector<int> seen;
+  EXPECT_THROW(store.for_each(
+                   [&seen](const net::HourlyFlows& flows) {
+                     seen.push_back(flows.interval);
+                   },
+                   /*prefetch=*/2),
+               std::exception);
+  // Hours before the corrupt one were still delivered in order.
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_EQ(seen[1], 1);
+}
+
+}  // namespace
+}  // namespace iotscope

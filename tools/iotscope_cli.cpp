@@ -20,6 +20,8 @@
 #include "core/fingerprint.hpp"
 #include "core/iotscope.hpp"
 #include "core/report_text.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "telescope/store.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
@@ -76,14 +78,20 @@ int usage() {
                "  iotscope synth       --out DIR [--inventory-scale S] "
                "[--traffic-scale S] [--seed N] [--noise R] [--with-truth]\n"
                "  iotscope analyze     --data DIR [--top N] [--full] "
-               "[--threads N]\n"
+               "[--threads N] [--metrics] [--metrics-out FILE]\n"
                "  iotscope fingerprint --data DIR [--threshold X] "
-               "[--min-packets N] [--threads N]\n"
-               "  iotscope campaigns   --data DIR [--threads N]\n"
+               "[--min-packets N] [--threads N] [--metrics] "
+               "[--metrics-out FILE]\n"
+               "  iotscope campaigns   --data DIR [--threads N] [--metrics] "
+               "[--metrics-out FILE]\n"
                "  iotscope info        --data DIR\n"
                "\n"
-               "  --threads N  analysis worker shards (default: all cores; "
-               "1 = sequential; identical output at any value)\n");
+               "  --threads N        analysis worker shards (default: all "
+               "cores; 1 = sequential; identical output at any value)\n"
+               "  --metrics          progress lines while analyzing + a "
+               "per-stage timing summary on stderr\n"
+               "  --metrics-out F    write the full metrics snapshot "
+               "(counters, gauges, stage histograms) as JSON to F\n");
   return 2;
 }
 
@@ -171,15 +179,55 @@ Dataset load_dataset(const std::filesystem::path& dir) {
   return data;
 }
 
+bool metrics_requested(const Args& args) {
+  return args.has("metrics") || args.has("metrics-out");
+}
+
+/// Prints the per-stage summary (--metrics) and/or writes the JSON
+/// snapshot (--metrics-out FILE). Call at the end of a command, after
+/// all pipeline work.
+void emit_metrics(const Args& args) {
+  if (!metrics_requested(args)) return;
+  const auto snapshot = obs::Registry::instance().snapshot();
+  if (args.has("metrics")) {
+    std::fprintf(stderr, "%s", obs::render_text(snapshot).c_str());
+  }
+  const auto out = args.get("metrics-out", "");
+  if (!out.empty()) util::write_file(out, obs::render_json(snapshot));
+}
+
 core::Report run_pipeline(const Dataset& data, const Args& args) {
   core::PipelineOptions options;
   options.threads = args.get_unsigned("threads", 0);  // 0 = all cores
   core::AnalysisPipeline pipeline(data.inventory, options);
+
+  const bool metrics = metrics_requested(args);
+  const std::size_t total_hours = metrics ? data.store.intervals().size() : 0;
+  obs::ProgressMeter progress("analyze", total_hours);
+  std::size_t hours = 0;
+  std::size_t devices = 0;
+  std::uint64_t packets = 0;
+  if (metrics) {
+    // Passive discovery counter for the progress line; the sink does not
+    // alter the report (see pipeline_equivalence_test).
+    pipeline.set_discovery_sink(
+        [&devices](const core::Discovery&) { ++devices; });
+  }
+
   // Decode the next hours on a reader thread while this one analyzes.
   data.store.for_each(
-      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); },
+      [&](const net::HourlyFlows& flows) {
+        pipeline.observe(flows);
+        if (metrics) {
+          ++hours;
+          packets += flows.total_packets();
+          progress.update(hours, packets, devices);
+        }
+      },
       /*prefetch=*/2);
-  return pipeline.finalize();
+  auto report = pipeline.finalize();
+  if (metrics) progress.finish(hours, packets, devices);
+  return report;
 }
 
 // ------------------------------------------------------------- analyze
@@ -335,11 +383,16 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (command == "synth") return cmd_synth(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "fingerprint") return cmd_fingerprint(args);
-    if (command == "campaigns") return cmd_campaigns(args);
-    if (command == "info") return cmd_info(args);
+    int rc = -1;
+    if (command == "synth") rc = cmd_synth(args);
+    else if (command == "analyze") rc = cmd_analyze(args);
+    else if (command == "fingerprint") rc = cmd_fingerprint(args);
+    else if (command == "campaigns") rc = cmd_campaigns(args);
+    else if (command == "info") rc = cmd_info(args);
+    if (rc >= 0) {
+      emit_metrics(args);
+      return rc;
+    }
   } catch (const std::exception& e) {
     // Corrupt datasets (bad magic, truncated files, implausible counts)
     // surface as util::IoError from the codecs; exit cleanly instead of

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/classifier.hpp"
 #include "core/study.hpp"
@@ -15,6 +17,7 @@
 #include "net/pcap.hpp"
 #include "obs/metrics.hpp"
 #include "telescope/capture.hpp"
+#include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 
 using namespace iotscope;
@@ -61,7 +64,24 @@ const inventory::IoTDeviceDatabase& bench_inventory() {
   return db;
 }
 
+// Block encoder into a reused buffer — the production write path.
 void BM_FlowtupleEncode(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  std::string blob;
+  for (auto _ : state) {
+    blob.clear();
+    net::FlowTupleCodec::encode(blob, flows);
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowtupleEncode)->Arg(1000)->Arg(100000);
+
+// Before-variant: the same records through the ostream wrapper (buffer
+// build + one os.write per file). The delta over BM_FlowtupleEncode is
+// the stream overhead the block path avoids.
+void BM_FlowtupleEncodeStream(benchmark::State& state) {
   util::Rng rng(1);
   const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
   for (auto _ : state) {
@@ -71,22 +91,39 @@ void BM_FlowtupleEncode(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_FlowtupleEncode)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_FlowtupleEncodeStream)->Arg(1000)->Arg(100000);
 
+// Block decoder over an in-memory blob — the production read path
+// (read_file slurps then calls exactly this).
 void BM_FlowtupleDecode(benchmark::State& state) {
   util::Rng rng(1);
   const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
-  std::ostringstream os;
-  net::FlowTupleCodec::write(os, flows);
-  const std::string blob = os.str();
+  std::string blob;
+  net::FlowTupleCodec::encode(blob, flows);
   for (auto _ : state) {
-    std::istringstream is(blob);
-    auto decoded = net::FlowTupleCodec::read(is);
+    auto decoded = net::FlowTupleCodec::decode(blob);
     benchmark::DoNotOptimize(decoded);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FlowtupleDecode)->Arg(1000)->Arg(100000);
+
+// Before-variant: the original per-field istream decoder this PR
+// replaced (kept as FlowTupleCodec::read_unbuffered). The speedup
+// target in ISSUE/EXPERIMENTS is BM_FlowtupleDecode vs this.
+void BM_FlowtupleDecodeUnbuffered(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  std::string blob;
+  net::FlowTupleCodec::encode(blob, flows);
+  for (auto _ : state) {
+    std::istringstream is(blob);
+    auto decoded = net::FlowTupleCodec::read_unbuffered(is);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowtupleDecodeUnbuffered)->Arg(1000)->Arg(100000);
 
 void BM_InventoryHashJoin(benchmark::State& state) {
   const auto& db = bench_inventory();
@@ -107,6 +144,31 @@ void BM_InventoryHashJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_InventoryHashJoin)->Arg(100000);
+
+// Before-variant: the node-based std::unordered_map index the flat
+// open-addressing index replaced. Same key mix, same hit rate.
+void BM_InventoryUnorderedJoin(benchmark::State& state) {
+  const auto& db = bench_inventory();
+  util::Rng rng(2);
+  auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  for (std::size_t i = 0; i < flows.records.size(); i += 3) {
+    flows.records[i].src = db.devices()[rng.uniform(0, db.size() - 1)].ip;
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> by_ip;
+  by_ip.reserve(db.size());
+  for (std::uint32_t i = 0; i < db.size(); ++i) {
+    by_ip.emplace(db.devices()[i].ip.value(), i);
+  }
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& record : flows.records) {
+      if (by_ip.find(record.src.value()) != by_ip.end()) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InventoryUnorderedJoin)->Arg(100000);
 
 // Join ablation: sorted-merge join over (sorted flows x sorted device IPs).
 void BM_InventorySortedMergeJoin(benchmark::State& state) {
@@ -140,6 +202,72 @@ void BM_InventorySortedMergeJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_InventorySortedMergeJoin)->Arg(100000);
+
+// --- Per-hour accumulator ablation -------------------------------------
+//
+// Models ShardState's per-hour distinct sets: each "hour" inserts a mix
+// of fresh and repeated u32 keys (distinct dst IPs) and u64 keys
+// ((port<<32)|device dedup pairs), then clears. The flat variant is the
+// epoch-cleared open-addressing set the pipeline now uses — steady state
+// allocates nothing; the unordered variant is the std::unordered_set it
+// replaced, which re-allocates nodes every hour.
+
+constexpr std::size_t kAccumHourInserts = 20000;
+constexpr std::size_t kAccumHours = 16;
+
+std::vector<std::uint32_t> accum_keys() {
+  util::Rng rng(6);
+  std::vector<std::uint32_t> keys(kAccumHourInserts);
+  for (auto& k : keys) {
+    // ~50% duplicates within an hour, like repeated dst IPs.
+    k = static_cast<std::uint32_t>(rng.uniform(0, kAccumHourInserts / 2));
+  }
+  return keys;
+}
+
+void BM_AccumulatorFlatSets(benchmark::State& state) {
+  const auto keys = accum_keys();
+  util::FlatSet<std::uint32_t> dsts;
+  util::FlatSet<std::uint64_t> pairs;
+  for (auto _ : state) {
+    std::size_t fresh = 0;
+    for (std::size_t hour = 0; hour < kAccumHours; ++hour) {
+      for (const auto k : keys) {
+        if (dsts.insert(k)) ++fresh;
+        pairs.insert((std::uint64_t{k} << 32) | hour);
+      }
+      dsts.clear();
+      pairs.clear();
+    }
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kAccumHours *
+                                kAccumHourInserts));
+}
+BENCHMARK(BM_AccumulatorFlatSets);
+
+void BM_AccumulatorUnorderedSets(benchmark::State& state) {
+  const auto keys = accum_keys();
+  std::unordered_set<std::uint32_t> dsts;
+  std::unordered_set<std::uint64_t> pairs;
+  for (auto _ : state) {
+    std::size_t fresh = 0;
+    for (std::size_t hour = 0; hour < kAccumHours; ++hour) {
+      for (const auto k : keys) {
+        if (dsts.insert(k).second) ++fresh;
+        pairs.insert((std::uint64_t{k} << 32) | hour);
+      }
+      dsts.clear();
+      pairs.clear();
+    }
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kAccumHours *
+                                kAccumHourInserts));
+}
+BENCHMARK(BM_AccumulatorUnorderedSets);
 
 void BM_Classify(benchmark::State& state) {
   util::Rng rng(3);

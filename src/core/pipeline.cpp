@@ -33,6 +33,14 @@ void add_series(analysis::HourlySeries& into,
 /// victim series, unknown-source profiles) is disjoint across shards and
 /// merges by concatenation; additive tallies merge by summation in fixed
 /// shard order.
+///
+/// The per-record containers are flat open-addressing tables
+/// (util::FlatSet/FlatMap): inserts never allocate once a table reaches
+/// its high-water capacity and the per-hour scratch sets clear by epoch
+/// bump, so steady-state observe() performs zero heap allocations per
+/// record. Cross-hour per-device maps (victim series, unknown profiles)
+/// stay node-based — they are keyed per device, not per record, and
+/// finalize() merges them by disjoint-key splicing.
 struct AnalysisPipeline::ShardState {
   /// A device ledger plus the position of its first sighting in the
   /// observation stream ((observe-call sequence << 32) | record index),
@@ -42,8 +50,16 @@ struct AnalysisPipeline::ShardState {
     std::uint64_t first_seen = 0;
   };
 
+  /// Per-hour tally for one non-inventory source (promoted to an
+  /// UnknownSourceProfile when it crosses the hourly floor).
+  struct UnknownHourTally {
+    std::uint64_t packets = 0;
+    std::uint64_t tcp_syn = 0;
+    std::uint64_t iot_port = 0;
+  };
+
   // ---- per-device ledgers (source-partitioned, disjoint) ----
-  std::unordered_map<std::uint32_t, std::uint32_t> ledger_index;
+  util::FlatMap<std::uint32_t, std::uint32_t> ledger_index;
   std::vector<LedgerSlot> ledgers;
 
   // ---- additive report-level tallies ----
@@ -59,13 +75,13 @@ struct AnalysisPipeline::ShardState {
   // ---- UDP per-port totals and distinct-device tracking ----
   std::array<std::uint64_t, 65536> udp_port_packets{};
   std::array<std::uint32_t, 65536> udp_port_devices{};
-  std::unordered_set<std::uint64_t> udp_port_device_pairs;
+  util::FlatSet<std::uint64_t> udp_port_device_pairs;
   std::bitset<65536> udp_ports_seen;
 
   // ---- TCP scanning per named service (spec row index) ----
   std::vector<std::uint64_t> service_packets;
   std::vector<std::uint64_t> service_consumer_packets;
-  std::unordered_set<std::uint64_t> service_device_pairs;
+  util::FlatSet<std::uint64_t> service_device_pairs;
   std::vector<std::size_t> service_consumer_devices;
   std::vector<std::size_t> service_cps_devices;
   std::vector<analysis::HourlySeries> service_series;
@@ -77,12 +93,14 @@ struct AnalysisPipeline::ShardState {
   std::unordered_map<std::uint32_t, UnknownSourceProfile> unknown_profiles;
 
   // ---- per-observe-call scratch, read by the coordinator at fan-in ----
-  // (index 0 = consumer realm, 1 = CPS)
-  std::unordered_set<std::uint32_t> hour_udp_dsts[2];
-  std::unordered_set<std::uint32_t> hour_scan_dsts[2];
+  // (index 0 = consumer realm, 1 = CPS). The flat sets clear by epoch
+  // bump (O(1)) and keep their high-water capacity across hours.
+  util::FlatSet<std::uint32_t> hour_udp_dsts[2];
+  util::FlatSet<std::uint32_t> hour_scan_dsts[2];
   std::bitset<65536> hour_udp_ports[2];
   std::bitset<65536> hour_scan_ports[2];
-  std::unordered_set<std::uint32_t> hour_scanners;
+  util::FlatSet<std::uint32_t> hour_scanners;
+  util::FlatMap<std::uint32_t, UnknownHourTally> unknown_hour;
   std::vector<std::pair<std::uint32_t, Discovery>> hour_discoveries;
 
   explicit ShardState(std::size_t service_count) {
@@ -94,14 +112,15 @@ struct AnalysisPipeline::ShardState {
   }
 
   LedgerSlot& ledger_for(std::uint32_t device, std::uint64_t first_seen) {
-    const auto it = ledger_index.find(device);
-    if (it != ledger_index.end()) return ledgers[it->second];
+    if (const std::uint32_t* existing = ledger_index.find(device)) {
+      return ledgers[*existing];
+    }
     LedgerSlot slot;
     slot.traffic.device = device;
     slot.first_seen = first_seen;
     const auto index = static_cast<std::uint32_t>(ledgers.size());
     ledgers.push_back(std::move(slot));
-    ledger_index.emplace(device, index);
+    ledger_index.insert(device, index);
     return ledgers[index];
   }
 
@@ -126,14 +145,8 @@ void AnalysisPipeline::ShardState::observe(
     hour_scan_ports[realm].reset();
   }
   hour_scanners.clear();
+  unknown_hour.clear();
   hour_discoveries.clear();
-
-  struct UnknownHourTally {
-    std::uint64_t packets = 0;
-    std::uint64_t tcp_syn = 0;
-    std::uint64_t iot_port = 0;
-  };
-  std::unordered_map<std::uint32_t, UnknownHourTally> unknown_hour;
 
   const std::size_t record_count =
       indices ? indices->size() : flows.records.size();
@@ -198,7 +211,7 @@ void AnalysisPipeline::ShardState::observe(
         service_series[s].add(h, static_cast<double>(n));
         const std::uint64_t pair =
             (static_cast<std::uint64_t>(s) << 32) | device_id;
-        if (service_device_pairs.insert(pair).second) {
+        if (service_device_pairs.insert(pair)) {
           if (consumer) {
             ++service_consumer_devices[s];
           } else {
@@ -239,7 +252,7 @@ void AnalysisPipeline::ShardState::observe(
         udp_ports_seen.set(flow.dst_port);
         const std::uint64_t pair =
             (static_cast<std::uint64_t>(flow.dst_port) << 32) | device_id;
-        if (udp_port_device_pairs.insert(pair).second) {
+        if (udp_port_device_pairs.insert(pair)) {
           ++udp_port_devices[flow.dst_port];
         }
         break;
@@ -256,9 +269,11 @@ void AnalysisPipeline::ShardState::observe(
   }
 
   // Promote sustained unknown sources into cross-hour profiles; the floor
-  // keeps one-packet background radiation out of memory.
-  for (const auto& [src, tally] : unknown_hour) {
-    if (tally.packets < options.unknown_profile_hourly_floor) continue;
+  // keeps one-packet background radiation out of memory. (Profiles only
+  // accumulate sums here, so the flat map's slot-order iteration cannot
+  // affect the report.)
+  unknown_hour.for_each([&](std::uint32_t src, const UnknownHourTally& tally) {
+    if (tally.packets < options.unknown_profile_hourly_floor) return;
     auto& profile = unknown_profiles[src];
     profile.ip = net::Ipv4Address(src);
     profile.packets += tally.packets;
@@ -266,7 +281,7 @@ void AnalysisPipeline::ShardState::observe(
     profile.iot_port_packets += tally.iot_port;
     if (profile.first_interval < 0) profile.first_interval = h;
     profile.last_interval = h;
-  }
+  });
 }
 
 AnalysisPipeline::Obs::Obs()
@@ -353,16 +368,16 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
       std::bitset<65536> udp_port_union, scan_port_union;
       union_scratch_.clear();
       for (const auto& shard : shards_) {
-        union_scratch_.insert(shard->hour_udp_dsts[realm].begin(),
-                              shard->hour_udp_dsts[realm].end());
+        shard->hour_udp_dsts[realm].for_each(
+            [this](std::uint32_t dst) { union_scratch_.insert(dst); });
         udp_port_union |= shard->hour_udp_ports[realm];
       }
       udp_ips = union_scratch_.size();
       udp_ports = udp_port_union.count();
       union_scratch_.clear();
       for (const auto& shard : shards_) {
-        union_scratch_.insert(shard->hour_scan_dsts[realm].begin(),
-                              shard->hour_scan_dsts[realm].end());
+        shard->hour_scan_dsts[realm].for_each(
+            [this](std::uint32_t dst) { union_scratch_.insert(dst); });
         scan_port_union |= shard->hour_scan_ports[realm];
       }
       scan_ips = union_scratch_.size();

@@ -22,7 +22,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "analysis/timeseries.hpp"
@@ -32,6 +31,7 @@
 #include "inventory/database.hpp"
 #include "net/flowtuple.hpp"
 #include "obs/metrics.hpp"
+#include "util/flat_hash.hpp"
 #include "util/thread_pool.hpp"
 
 namespace iotscope::core {
@@ -125,7 +125,7 @@ class AnalysisPipeline {
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
   std::uint32_t observe_seq_ = 0;  ///< observe() call counter (merge order)
   std::vector<std::vector<std::uint32_t>> partition_;  ///< per-shard record indices
-  std::unordered_set<std::uint32_t> union_scratch_;    ///< fan-in dst-IP union
+  util::FlatSet<std::uint32_t> union_scratch_;         ///< fan-in dst-IP union
   analysis::HourlySeries scanners_per_hour_;  ///< coordinator-owned
 };
 

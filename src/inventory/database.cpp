@@ -1,12 +1,35 @@
 #include "inventory/database.hpp"
 
 #include <fstream>
-#include <set>
 
 #include "util/io.hpp"
 #include "util/strings.hpp"
 
 namespace iotscope::inventory {
+
+namespace {
+
+/// Strict decimal parser for inventory CSV fields. Rejects empty,
+/// non-digit, and out-of-range text with a util::IoError carrying the
+/// field name and line number — raw std::stoul would let
+/// std::invalid_argument/std::out_of_range escape the loader instead.
+std::uint64_t parse_uint_field(const std::string& text, std::uint64_t max,
+                               const char* field, std::size_t line_no) {
+  const auto fail = [&](const char* why) -> util::IoError {
+    return util::IoError("inventory csv line " + std::to_string(line_no) +
+                         ": " + why + " " + field + " '" + text + "'");
+  };
+  if (text.empty() || text.size() > 20) throw fail("malformed");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') throw fail("malformed");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > max) throw fail("out-of-range");
+  }
+  return value;
+}
+
+}  // namespace
 
 IoTDeviceDatabase::IoTDeviceDatabase(const Catalog* catalog)
     : catalog_(catalog) {}
@@ -21,24 +44,17 @@ IspId IoTDeviceDatabase::add_isp(std::string name, CountryId country) {
 }
 
 bool IoTDeviceDatabase::add_device(DeviceRecord device) {
-  const auto [it, inserted] =
-      by_ip_.emplace(device.ip, static_cast<std::uint32_t>(devices_.size()));
-  if (!inserted) return false;
+  if (!by_ip_.insert(device.ip.value(),
+                     static_cast<std::uint32_t>(devices_.size()))) {
+    return false;
+  }
   if (device.is_consumer()) ++consumer_count_;
+  if (device.country >= country_devices_.size()) {
+    country_devices_.resize(device.country + 1, 0);
+  }
+  if (++country_devices_[device.country] == 1) ++distinct_countries_;
   devices_.push_back(std::move(device));
   return true;
-}
-
-const DeviceRecord* IoTDeviceDatabase::find(
-    net::Ipv4Address ip) const noexcept {
-  const auto it = by_ip_.find(ip);
-  return it == by_ip_.end() ? nullptr : &devices_[it->second];
-}
-
-std::size_t IoTDeviceDatabase::country_count() const {
-  std::set<CountryId> seen;
-  for (const auto& d : devices_) seen.insert(d.country);
-  return seen.size();
 }
 
 // CSV layout:
@@ -74,27 +90,38 @@ IoTDeviceDatabase IoTDeviceDatabase::load_csv(
   if (!in) throw util::IoError("cannot open " + path.string());
   IoTDeviceDatabase db(catalog);
   std::string line;
+  std::size_t line_no = 0;
+
+  const auto next_line = [&](const char* what) {
+    if (!std::getline(in, line)) {
+      throw util::IoError(std::string("truncated ") + what);
+    }
+    ++line_no;
+  };
 
   auto expect_count = [&](const char* tag) -> std::size_t {
-    if (!std::getline(in, line)) throw util::IoError("truncated inventory csv");
+    next_line("inventory csv");
     const auto fields = util::split(line, ',');
     if (fields.size() != 2 || fields[0] != tag) {
       throw util::IoError(std::string("expected ") + tag + " header");
     }
-    return static_cast<std::size_t>(std::stoull(fields[1]));
+    return static_cast<std::size_t>(
+        parse_uint_field(fields[1], std::uint64_t{1} << 32, tag, line_no));
   };
 
   const std::size_t isp_count = expect_count("isp_count");
   for (std::size_t i = 0; i < isp_count; ++i) {
-    if (!std::getline(in, line)) throw util::IoError("truncated isp table");
+    next_line("isp table");
     const auto fields = util::split(line, ',');
     if (fields.size() != 2) throw util::IoError("malformed isp row");
-    db.add_isp(fields[0], static_cast<CountryId>(std::stoul(fields[1])));
+    db.add_isp(fields[0],
+               static_cast<CountryId>(parse_uint_field(
+                   fields[1], 0xFFFF, "isp country", line_no)));
   }
 
   const std::size_t device_count = expect_count("device_count");
   for (std::size_t i = 0; i < device_count; ++i) {
-    if (!std::getline(in, line)) throw util::IoError("truncated device table");
+    next_line("device table");
     const auto fields = util::split(line, ',');
     if (fields.size() != 6) throw util::IoError("malformed device row");
     DeviceRecord d;
@@ -103,14 +130,18 @@ IoTDeviceDatabase IoTDeviceDatabase::load_csv(
     d.ip = *ip;
     d.category = fields[1] == "consumer" ? DeviceCategory::Consumer
                                          : DeviceCategory::Cps;
-    d.consumer_type = static_cast<ConsumerType>(std::stoi(fields[2]));
+    d.consumer_type = static_cast<ConsumerType>(
+        parse_uint_field(fields[2], 0xFF, "consumer type", line_no));
     if (!fields[3].empty()) {
       for (const auto& s : util::split(fields[3], ';')) {
-        d.services.push_back(static_cast<CpsProtocolId>(std::stoi(s)));
+        d.services.push_back(static_cast<CpsProtocolId>(
+            parse_uint_field(s, 0xFF, "service id", line_no)));
       }
     }
-    d.country = static_cast<CountryId>(std::stoul(fields[4]));
-    d.isp = static_cast<IspId>(std::stoul(fields[5]));
+    d.country = static_cast<CountryId>(
+        parse_uint_field(fields[4], 0xFFFF, "country", line_no));
+    d.isp = static_cast<IspId>(
+        parse_uint_field(fields[5], 0xFFFFFFFF, "isp id", line_no));
     db.add_device(std::move(d));
   }
   return db;

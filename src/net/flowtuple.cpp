@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <iterator>
 
 #include "util/io.hpp"
 
@@ -52,26 +52,98 @@ std::uint64_t HourlyFlows::total_packets() const noexcept {
   return total;
 }
 
-void FlowTupleCodec::write(std::ostream& os, const HourlyFlows& flows) {
-  util::write_u32(os, kMagic);
-  util::write_u16(os, kVersion);
-  util::write_u32(os, static_cast<std::uint32_t>(flows.interval));
-  util::write_u64(os, static_cast<std::uint64_t>(flows.start_time));
-  util::write_u64(os, flows.records.size());
+namespace {
+
+/// True for the three protocol values the telescope retains.
+bool known_protocol(std::uint8_t proto) noexcept {
+  return proto == static_cast<std::uint8_t>(Protocol::Tcp) ||
+         proto == static_cast<std::uint8_t>(Protocol::Udp) ||
+         proto == static_cast<std::uint8_t>(Protocol::Icmp);
+}
+
+}  // namespace
+
+void FlowTupleCodec::encode(std::string& out, const HourlyFlows& flows) {
+  out.reserve(out.size() + 26 + flows.records.size() * kRecordBytes);
+  util::ByteWriter w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(flows.interval));
+  w.u64(static_cast<std::uint64_t>(flows.start_time));
+  w.u64(flows.records.size());
   for (const auto& r : flows.records) {
-    util::write_u32(os, r.src.value());
-    util::write_u32(os, r.dst.value());
-    util::write_u16(os, r.src_port);
-    util::write_u16(os, r.dst_port);
-    util::write_u8(os, static_cast<std::uint8_t>(r.protocol));
-    util::write_u8(os, r.ttl);
-    util::write_u8(os, r.tcp_flags);
-    util::write_u16(os, r.ip_length);
-    util::write_u64(os, r.packet_count);
+    unsigned char b[kRecordBytes];
+    util::store_le32(b + 0, r.src.value());
+    util::store_le32(b + 4, r.dst.value());
+    util::store_le16(b + 8, r.src_port);
+    util::store_le16(b + 10, r.dst_port);
+    b[12] = static_cast<std::uint8_t>(r.protocol);
+    b[13] = r.ttl;
+    b[14] = r.tcp_flags;
+    util::store_le16(b + 15, r.ip_length);
+    util::store_le64(b + 17, r.packet_count);
+    w.bytes(b, sizeof b);
   }
 }
 
+HourlyFlows FlowTupleCodec::decode(std::string_view blob) {
+  util::ByteReader r(blob);
+  if (r.u32() != kMagic) {
+    throw util::IoError("flowtuple file: bad magic");
+  }
+  if (r.u16() != kVersion) {
+    throw util::IoError("flowtuple file: unsupported version");
+  }
+  HourlyFlows flows;
+  flows.interval = static_cast<int>(r.u32());
+  flows.start_time = static_cast<std::int64_t>(r.u64());
+  const std::uint64_t count = r.u64();
+  // Sanity cap: an hourly file beyond 1B records is corrupt.
+  if (count > (1ULL << 30)) {
+    throw util::IoError("flowtuple file: implausible record count");
+  }
+  // The whole blob is already in memory, so the untrusted count can be
+  // clamped to what the remaining bytes can actually yield — a corrupt
+  // header cannot force an allocation beyond the file's own size.
+  flows.records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining() / kRecordBytes)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const unsigned char* b = r.bytes(kRecordBytes);
+    FlowTuple t;
+    t.src = Ipv4Address(util::load_le32(b + 0));
+    t.dst = Ipv4Address(util::load_le32(b + 4));
+    t.src_port = util::load_le16(b + 8);
+    t.dst_port = util::load_le16(b + 10);
+    if (!known_protocol(b[12])) {
+      throw util::IoError("flowtuple file: unknown protocol value");
+    }
+    t.protocol = static_cast<Protocol>(b[12]);
+    t.ttl = b[13];
+    t.tcp_flags = b[14];
+    t.ip_length = util::load_le16(b + 15);
+    t.packet_count = util::load_le64(b + 17);
+    flows.records.push_back(t);
+  }
+  return flows;
+}
+
+void FlowTupleCodec::write(std::ostream& os, const HourlyFlows& flows) {
+  std::string blob;
+  encode(blob, flows);
+  os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
 HourlyFlows FlowTupleCodec::read(std::istream& is) {
+  // Slurp the remaining stream and block-decode. Like the per-field
+  // reader this replaced, bytes after the declared records are left
+  // unconsumed logically (they are ignored), and every truncation or
+  // corruption failure is a util::IoError.
+  std::string blob((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  return decode(blob);
+}
+
+HourlyFlows FlowTupleCodec::read_unbuffered(std::istream& is) {
   if (util::read_u32(is) != kMagic) {
     throw util::IoError("flowtuple file: bad magic");
   }
@@ -99,9 +171,7 @@ HourlyFlows FlowTupleCodec::read(std::istream& is) {
     r.src_port = util::read_u16(is);
     r.dst_port = util::read_u16(is);
     const std::uint8_t proto = util::read_u8(is);
-    if (proto != static_cast<std::uint8_t>(Protocol::Tcp) &&
-        proto != static_cast<std::uint8_t>(Protocol::Udp) &&
-        proto != static_cast<std::uint8_t>(Protocol::Icmp)) {
+    if (!known_protocol(proto)) {
       throw util::IoError("flowtuple file: unknown protocol value");
     }
     r.protocol = static_cast<Protocol>(proto);
@@ -116,16 +186,13 @@ HourlyFlows FlowTupleCodec::read(std::istream& is) {
 
 void FlowTupleCodec::write_file(const std::filesystem::path& path,
                                 const HourlyFlows& flows) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw util::IoError("cannot create " + path.string());
-  write(out, flows);
-  if (!out) throw util::IoError("write failed: " + path.string());
+  std::string blob;
+  encode(blob, flows);
+  util::write_file(path, blob);
 }
 
 HourlyFlows FlowTupleCodec::read_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw util::IoError("cannot open " + path.string());
-  return read(in);
+  return decode(util::read_file(path));
 }
 
 std::string FlowTupleCodec::file_name(int interval) {

@@ -74,16 +74,38 @@ struct HourlyFlows {
 /// Binary codec for hourly flowtuple files.
 ///
 /// Layout: magic "IFT1", format version (u16), interval (u32), start time
-/// (u64), record count (u64), then fixed-width 24-byte records. All
+/// (u64), record count (u64), then fixed-width 25-byte records. All
 /// integers little-endian. Readers validate magic/version and record
 /// bounds and throw util::IoError on malformed input.
+///
+/// Hot path: encode()/decode() run over a contiguous in-memory buffer
+/// (util::ByteWriter/ByteReader) — one bounds check per 25-byte record
+/// instead of four-to-nine virtual istream reads. The stream overloads
+/// and the file helpers route through them; read_unbuffered() keeps the
+/// original per-field istream decoder as the reference implementation for
+/// equivalence tests and the bench ablation.
 class FlowTupleCodec {
  public:
   static constexpr std::uint32_t kMagic = 0x31544649;  // "IFT1"
   static constexpr std::uint16_t kVersion = 1;
+  /// On-disk size of one record (src, dst, ports, proto, ttl, flags,
+  /// ip_length, packet_count): 4+4+2+2+1+1+1+2+8.
+  static constexpr std::size_t kRecordBytes = 25;
+
+  /// Appends the exact on-disk byte stream for `flows` to `out`.
+  static void encode(std::string& out, const HourlyFlows& flows);
+  /// Decodes a complete in-memory blob with a bounds-checked cursor.
+  /// Trailing bytes after the declared records are ignored, matching the
+  /// stream decoder.
+  static HourlyFlows decode(std::string_view blob);
 
   static void write(std::ostream& os, const HourlyFlows& flows);
   static HourlyFlows read(std::istream& is);
+
+  /// Reference decoder: the per-field istream path decode() replaced.
+  /// Kept (not used by production code) so tests can pin byte-for-byte
+  /// acceptance and error parity between the two implementations.
+  static HourlyFlows read_unbuffered(std::istream& is);
 
   static void write_file(const std::filesystem::path& path,
                          const HourlyFlows& flows);

@@ -1,7 +1,6 @@
 #include "net/pcap.hpp"
 
 #include <algorithm>
-#include <array>
 #include <fstream>
 
 #include "net/checksum.hpp"
@@ -11,35 +10,31 @@ namespace iotscope::net {
 
 namespace {
 
-void put_u16be(std::vector<std::uint8_t>& buf, std::size_t off,
-               std::uint16_t v) {
-  buf[off] = static_cast<std::uint8_t>(v >> 8);
-  buf[off + 1] = static_cast<std::uint8_t>(v);
+void put_u16be(std::uint8_t* buf, std::uint16_t v) {
+  buf[0] = static_cast<std::uint8_t>(v >> 8);
+  buf[1] = static_cast<std::uint8_t>(v);
 }
 
-void put_u32be(std::vector<std::uint8_t>& buf, std::size_t off,
-               std::uint32_t v) {
-  buf[off] = static_cast<std::uint8_t>(v >> 24);
-  buf[off + 1] = static_cast<std::uint8_t>(v >> 16);
-  buf[off + 2] = static_cast<std::uint8_t>(v >> 8);
-  buf[off + 3] = static_cast<std::uint8_t>(v);
+void put_u32be(std::uint8_t* buf, std::uint32_t v) {
+  buf[0] = static_cast<std::uint8_t>(v >> 24);
+  buf[1] = static_cast<std::uint8_t>(v >> 16);
+  buf[2] = static_cast<std::uint8_t>(v >> 8);
+  buf[3] = static_cast<std::uint8_t>(v);
 }
 
-std::uint16_t get_u16be(const std::vector<std::uint8_t>& buf,
-                        std::size_t off) {
-  return static_cast<std::uint16_t>((buf[off] << 8) | buf[off + 1]);
+std::uint16_t get_u16be(const std::uint8_t* buf) {
+  return static_cast<std::uint16_t>((buf[0] << 8) | buf[1]);
 }
 
-std::uint32_t get_u32be(const std::vector<std::uint8_t>& buf,
-                        std::size_t off) {
-  return (static_cast<std::uint32_t>(buf[off]) << 24) |
-         (static_cast<std::uint32_t>(buf[off + 1]) << 16) |
-         (static_cast<std::uint32_t>(buf[off + 2]) << 8) |
-         static_cast<std::uint32_t>(buf[off + 3]);
+std::uint32_t get_u32be(const std::uint8_t* buf) {
+  return (static_cast<std::uint32_t>(buf[0]) << 24) |
+         (static_cast<std::uint32_t>(buf[1]) << 16) |
+         (static_cast<std::uint32_t>(buf[2]) << 8) |
+         static_cast<std::uint32_t>(buf[3]);
 }
 
-/// Builds the on-wire IPv4 datagram for a PacketRecord.
-std::vector<std::uint8_t> build_datagram(const PacketRecord& p) {
+/// On-wire size of the IPv4 datagram a PacketRecord serializes to.
+std::size_t datagram_length(const PacketRecord& p) {
   const std::size_t ip_header = 20;
   std::size_t transport_header = 0;
   switch (p.protocol) {
@@ -51,43 +46,48 @@ std::vector<std::uint8_t> build_datagram(const PacketRecord& p) {
       transport_header = 8;
       break;
   }
-  const std::size_t total =
-      std::max<std::size_t>(p.ip_length, ip_header + transport_header);
-  std::vector<std::uint8_t> buf(total, 0);
+  return std::max<std::size_t>(p.ip_length, ip_header + transport_header);
+}
+
+/// Builds the on-wire IPv4 datagram into buf (zero-filled, `total` =
+/// datagram_length(p) bytes).
+void build_datagram(const PacketRecord& p, std::uint8_t* buf,
+                    std::size_t total) {
+  const std::size_t ip_header = 20;
 
   // --- IPv4 header ---
   buf[0] = 0x45;  // version 4, IHL 5
-  put_u16be(buf, 2, static_cast<std::uint16_t>(total));
+  put_u16be(buf + 2, static_cast<std::uint16_t>(total));
   buf[8] = p.ttl;
   buf[9] = static_cast<std::uint8_t>(p.protocol);
-  put_u32be(buf, 12, p.src.value());
-  put_u32be(buf, 16, p.dst.value());
-  put_u16be(buf, 10, internet_checksum({buf.data(), ip_header}));
+  put_u32be(buf + 12, p.src.value());
+  put_u32be(buf + 16, p.dst.value());
+  put_u16be(buf + 10, internet_checksum({buf, ip_header}));
 
   // --- transport header ---
   const std::size_t t = ip_header;
   switch (p.protocol) {
     case Protocol::Tcp: {
-      put_u16be(buf, t + 0, p.src_port);
-      put_u16be(buf, t + 2, p.dst_port);
+      put_u16be(buf + t + 0, p.src_port);
+      put_u16be(buf + t + 2, p.dst_port);
       buf[t + 12] = 0x50;  // data offset 5
       buf[t + 13] = p.tcp_flags;
-      put_u16be(buf, t + 14, 14600);  // window
-      ChecksumAccumulator acc;        // pseudo-header + segment
+      put_u16be(buf + t + 14, 14600);  // window
+      ChecksumAccumulator acc;         // pseudo-header + segment
       acc.feed_word(static_cast<std::uint16_t>(p.src.value() >> 16));
       acc.feed_word(static_cast<std::uint16_t>(p.src.value()));
       acc.feed_word(static_cast<std::uint16_t>(p.dst.value() >> 16));
       acc.feed_word(static_cast<std::uint16_t>(p.dst.value()));
       acc.feed_word(static_cast<std::uint16_t>(p.protocol));
       acc.feed_word(static_cast<std::uint16_t>(total - ip_header));
-      acc.feed({buf.data() + t, total - t});
-      put_u16be(buf, t + 16, acc.finish());
+      acc.feed({buf + t, total - t});
+      put_u16be(buf + t + 16, acc.finish());
       break;
     }
     case Protocol::Udp: {
-      put_u16be(buf, t + 0, p.src_port);
-      put_u16be(buf, t + 2, p.dst_port);
-      put_u16be(buf, t + 4, static_cast<std::uint16_t>(total - ip_header));
+      put_u16be(buf + t + 0, p.src_port);
+      put_u16be(buf + t + 2, p.dst_port);
+      put_u16be(buf + t + 4, static_cast<std::uint16_t>(total - ip_header));
       ChecksumAccumulator acc;
       acc.feed_word(static_cast<std::uint16_t>(p.src.value() >> 16));
       acc.feed_word(static_cast<std::uint16_t>(p.src.value()));
@@ -95,19 +95,76 @@ std::vector<std::uint8_t> build_datagram(const PacketRecord& p) {
       acc.feed_word(static_cast<std::uint16_t>(p.dst.value()));
       acc.feed_word(static_cast<std::uint16_t>(p.protocol));
       acc.feed_word(static_cast<std::uint16_t>(total - ip_header));
-      acc.feed({buf.data() + t, total - t});
-      put_u16be(buf, t + 6, acc.finish());
+      acc.feed({buf + t, total - t});
+      put_u16be(buf + t + 6, acc.finish());
       break;
     }
     case Protocol::Icmp: {
       buf[t + 0] = p.icmp_type;
       buf[t + 1] = p.icmp_code;
-      put_u16be(buf, t + 2, internet_checksum({buf.data() + t, total - t}));
+      put_u16be(buf + t + 2, internet_checksum({buf + t, total - t}));
       break;
     }
   }
-  return buf;
 }
+
+/// Parses a captured IPv4 frame back into a PacketRecord (timestamp left
+/// for the caller). `size` >= 20, enforced by both record readers before
+/// the frame bytes are obtained.
+PacketRecord parse_frame(const std::uint8_t* buf, std::size_t size) {
+  if ((buf[0] >> 4) != 4) throw util::IoError("pcap: non-IPv4 frame");
+  const std::size_t ihl = static_cast<std::size_t>(buf[0] & 0x0f) * 4;
+  if (ihl < 20 || ihl > size) {
+    throw util::IoError("pcap: bad IPv4 header length");
+  }
+
+  PacketRecord p;
+  p.ip_length = get_u16be(buf + 2);
+  // The IP header's own length claim must fit inside the captured frame;
+  // a frame whose ip_length overruns incl_len is corrupt (our writer
+  // never snaplen-truncates), and trusting either bound alone lets the
+  // transport-header reads below index past the real datagram.
+  if (p.ip_length < ihl || p.ip_length > size) {
+    throw util::IoError("pcap: IPv4 total length disagrees with frame");
+  }
+  p.ttl = buf[8];
+  const std::uint8_t proto = buf[9];
+  p.src = Ipv4Address(get_u32be(buf + 12));
+  p.dst = Ipv4Address(get_u32be(buf + 16));
+  // Per-protocol minimum transport header, checked against both the
+  // capture buffer and the datagram's own length claim.
+  const auto require_transport = [&](std::size_t min_header) {
+    if (ihl + min_header > size || ihl + min_header > p.ip_length) {
+      throw util::IoError("pcap: truncated transport header");
+    }
+  };
+  switch (proto) {
+    case static_cast<std::uint8_t>(Protocol::Tcp):
+      require_transport(20);  // fixed TCP header (ports..urgent pointer)
+      p.protocol = Protocol::Tcp;
+      p.src_port = get_u16be(buf + ihl + 0);
+      p.dst_port = get_u16be(buf + ihl + 2);
+      p.tcp_flags = buf[ihl + 13];
+      break;
+    case static_cast<std::uint8_t>(Protocol::Udp):
+      require_transport(8);  // UDP header
+      p.protocol = Protocol::Udp;
+      p.src_port = get_u16be(buf + ihl + 0);
+      p.dst_port = get_u16be(buf + ihl + 2);
+      break;
+    case static_cast<std::uint8_t>(Protocol::Icmp):
+      require_transport(4);  // ICMP type/code/checksum
+      p.protocol = Protocol::Icmp;
+      p.icmp_type = buf[ihl + 0];
+      p.icmp_code = buf[ihl + 1];
+      break;
+    default:
+      throw util::IoError("pcap: unsupported transport protocol");
+  }
+  return p;
+}
+
+constexpr std::size_t kRecordHeader = 16;  // ts_sec ts_usec incl_len orig_len
 
 }  // namespace
 
@@ -129,13 +186,18 @@ void PcapWriter::write(const PacketRecord& packet) {
       packet.timestamp > static_cast<util::UnixTime>(0xFFFFFFFFu)) {
     throw util::IoError("pcap: timestamp out of 32-bit range");
   }
-  const auto frame = build_datagram(packet);
-  util::write_u32(os_, static_cast<std::uint32_t>(packet.timestamp));
-  util::write_u32(os_, 0);  // microseconds
-  util::write_u32(os_, static_cast<std::uint32_t>(frame.size()));  // incl_len
-  util::write_u32(os_, static_cast<std::uint32_t>(frame.size()));  // orig_len
-  os_.write(reinterpret_cast<const char*>(frame.data()),
-            static_cast<std::streamsize>(frame.size()));
+  const std::size_t frame_len = datagram_length(packet);
+  scratch_.assign(kRecordHeader + frame_len, 0);
+  util::store_le32(scratch_.data() + 0,
+                   static_cast<std::uint32_t>(packet.timestamp));
+  util::store_le32(scratch_.data() + 4, 0);  // microseconds
+  util::store_le32(scratch_.data() + 8,
+                   static_cast<std::uint32_t>(frame_len));  // incl_len
+  util::store_le32(scratch_.data() + 12,
+                   static_cast<std::uint32_t>(frame_len));  // orig_len
+  build_datagram(packet, scratch_.data() + kRecordHeader, frame_len);
+  os_.write(reinterpret_cast<const char*>(scratch_.data()),
+            static_cast<std::streamsize>(scratch_.size()));
   ++count_;
 }
 
@@ -156,71 +218,54 @@ PcapReader::PcapReader(std::istream& is) : is_(is) {
 bool PcapReader::next(PacketRecord& out) {
   // Peek for clean EOF before the record header.
   if (is_.peek() == std::char_traits<char>::eof()) return false;
-  const std::uint32_t ts_sec = util::read_u32(is_);
-  util::read_u32(is_);  // ts_usec
-  const std::uint32_t incl_len = util::read_u32(is_);
-  util::read_u32(is_);  // orig_len
+  std::uint8_t header[kRecordHeader];
+  is_.read(reinterpret_cast<char*>(header),
+           static_cast<std::streamsize>(sizeof header));
+  if (static_cast<std::size_t>(is_.gcount()) != sizeof header) {
+    throw util::IoError("unexpected end of stream");
+  }
+  const std::uint32_t ts_sec = util::load_le32(header + 0);
+  const std::uint32_t incl_len = util::load_le32(header + 8);
   if (incl_len < 20 || incl_len > 65535) {
     throw util::IoError("pcap: implausible frame length");
   }
-  std::vector<std::uint8_t> buf(incl_len);
-  is_.read(reinterpret_cast<char*>(buf.data()),
+  frame_.resize(incl_len);
+  is_.read(reinterpret_cast<char*>(frame_.data()),
            static_cast<std::streamsize>(incl_len));
   if (static_cast<std::uint32_t>(is_.gcount()) != incl_len) {
     throw util::IoError("pcap: truncated frame");
   }
-  if ((buf[0] >> 4) != 4) throw util::IoError("pcap: non-IPv4 frame");
-  const std::size_t ihl = static_cast<std::size_t>(buf[0] & 0x0f) * 4;
-  if (ihl < 20 || ihl > buf.size()) {
-    throw util::IoError("pcap: bad IPv4 header length");
-  }
-
-  PacketRecord p;
-  p.timestamp = ts_sec;
-  p.ip_length = get_u16be(buf, 2);
-  // The IP header's own length claim must fit inside the captured frame;
-  // a frame whose ip_length overruns incl_len is corrupt (our writer
-  // never snaplen-truncates), and trusting either bound alone lets the
-  // transport-header reads below index past the real datagram.
-  if (p.ip_length < ihl || p.ip_length > incl_len) {
-    throw util::IoError("pcap: IPv4 total length disagrees with frame");
-  }
-  p.ttl = buf[8];
-  const std::uint8_t proto = buf[9];
-  p.src = Ipv4Address(get_u32be(buf, 12));
-  p.dst = Ipv4Address(get_u32be(buf, 16));
-  // Per-protocol minimum transport header, checked against both the
-  // capture buffer and the datagram's own length claim.
-  const auto require_transport = [&](std::size_t min_header) {
-    if (ihl + min_header > buf.size() || ihl + min_header > p.ip_length) {
-      throw util::IoError("pcap: truncated transport header");
-    }
-  };
-  switch (proto) {
-    case static_cast<std::uint8_t>(Protocol::Tcp):
-      require_transport(20);  // fixed TCP header (ports..urgent pointer)
-      p.protocol = Protocol::Tcp;
-      p.src_port = get_u16be(buf, ihl + 0);
-      p.dst_port = get_u16be(buf, ihl + 2);
-      p.tcp_flags = buf[ihl + 13];
-      break;
-    case static_cast<std::uint8_t>(Protocol::Udp):
-      require_transport(8);  // UDP header
-      p.protocol = Protocol::Udp;
-      p.src_port = get_u16be(buf, ihl + 0);
-      p.dst_port = get_u16be(buf, ihl + 2);
-      break;
-    case static_cast<std::uint8_t>(Protocol::Icmp):
-      require_transport(4);  // ICMP type/code/checksum
-      p.protocol = Protocol::Icmp;
-      p.icmp_type = buf[ihl + 0];
-      p.icmp_code = buf[ihl + 1];
-      break;
-    default:
-      throw util::IoError("pcap: unsupported transport protocol");
-  }
-  out = p;
+  out = parse_frame(frame_.data(), incl_len);
+  out.timestamp = ts_sec;
   return true;
+}
+
+std::vector<PacketRecord> decode_pcap(std::string_view blob) {
+  util::ByteReader r(blob);
+  if (r.u32() != PcapWriter::kMagic) {
+    throw util::IoError("pcap: unsupported magic (expect usec little-endian)");
+  }
+  r.bytes(16);  // version major/minor, thiszone, sigfigs, snaplen
+  if (r.u32() != PcapWriter::kLinkTypeRaw) {
+    throw util::IoError("pcap: only LINKTYPE_RAW (101) captures supported");
+  }
+  std::vector<PacketRecord> out;
+  // Lower bound on record size keeps the reserve proportional to the
+  // bytes actually present.
+  out.reserve(r.remaining() / (kRecordHeader + 20));
+  while (!r.done()) {
+    const unsigned char* header = r.bytes(kRecordHeader);
+    const std::uint32_t ts_sec = util::load_le32(header + 0);
+    const std::uint32_t incl_len = util::load_le32(header + 8);
+    if (incl_len < 20 || incl_len > 65535) {
+      throw util::IoError("pcap: implausible frame length");
+    }
+    const unsigned char* frame = r.bytes(incl_len);
+    PacketRecord p = parse_frame(frame, incl_len);
+    p.timestamp = ts_sec;
+    out.push_back(p);
+  }
+  return out;
 }
 
 void write_pcap_file(const std::filesystem::path& path,
@@ -232,13 +277,7 @@ void write_pcap_file(const std::filesystem::path& path,
 }
 
 std::vector<PacketRecord> read_pcap_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw util::IoError("cannot open " + path.string());
-  PcapReader reader(in);
-  std::vector<PacketRecord> out;
-  PacketRecord p;
-  while (reader.next(p)) out.push_back(p);
-  return out;
+  return decode_pcap(util::read_file(path));
 }
 
 }  // namespace iotscope::net

@@ -11,13 +11,16 @@
 #include <filesystem>
 #include <istream>
 #include <ostream>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.hpp"
 
 namespace iotscope::net {
 
-/// Streaming pcap writer. Emits the global header on construction.
+/// Streaming pcap writer. Emits the global header on construction. Each
+/// record (header + frame) is assembled in a reused contiguous buffer and
+/// flushed with a single stream write.
 class PcapWriter {
  public:
   static constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond tsres
@@ -34,9 +37,12 @@ class PcapWriter {
  private:
   std::ostream& os_;
   std::size_t count_ = 0;
+  std::vector<std::uint8_t> scratch_;  ///< per-record assembly buffer
 };
 
 /// Streaming pcap reader. Validates the global header on construction.
+/// Record headers are read in one 16-byte gulp and frames land in a
+/// reused buffer, so steady-state reading does not allocate.
 class PcapReader {
  public:
   explicit PcapReader(std::istream& is);
@@ -47,7 +53,14 @@ class PcapReader {
 
  private:
   std::istream& is_;
+  std::vector<std::uint8_t> frame_;  ///< reused frame buffer
 };
+
+/// Block decoder: parses a complete in-memory pcap capture with a
+/// bounds-checked cursor — same validation and failure modes as
+/// PcapReader, without the per-field stream reads. read_pcap_file slurps
+/// the file and routes through this.
+std::vector<PacketRecord> decode_pcap(std::string_view blob);
 
 /// Writes all packets to a pcap file.
 void write_pcap_file(const std::filesystem::path& path,

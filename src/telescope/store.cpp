@@ -30,11 +30,24 @@ std::vector<int> FlowTupleStore::intervals() const {
   std::vector<int> out;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     const auto name = entry.path().filename().string();
-    // flowtuple-NNNN.ift
-    if (name.size() == 18 && name.rfind("flowtuple-", 0) == 0 &&
-        name.substr(14) == ".ift") {
-      out.push_back(std::stoi(name.substr(10, 4)));
+    // flowtuple-NNNN.ift — the interval must be exactly four decimal
+    // digits. Stray files like "flowtuple-abcd.ift" are skipped (they are
+    // not ours), where std::stoi would have thrown std::invalid_argument.
+    if (name.size() != 18 || name.rfind("flowtuple-", 0) != 0 ||
+        name.substr(14) != ".ift") {
+      continue;
     }
+    int interval = 0;
+    bool digits = true;
+    for (std::size_t i = 10; i < 14; ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') {
+        digits = false;
+        break;
+      }
+      interval = interval * 10 + (c - '0');
+    }
+    if (digits) out.push_back(interval);
   }
   std::sort(out.begin(), out.end());
   return out;

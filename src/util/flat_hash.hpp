@@ -1,0 +1,278 @@
+// Cache-resident open-addressing hash containers for the record hot path.
+//
+// The analysis pipeline touches a handful of small keyed accumulators for
+// every flowtuple record (inventory join, per-hour distinct sets,
+// (service, device) novelty pairs). Node-based std::unordered_* containers
+// pay a heap allocation per insert and a pointer chase per probe; these
+// flat variants keep all slots in one contiguous std::vector, index with a
+// Fibonacci multiplicative hash, and probe linearly — so a steady-state
+// probe is one or two cache lines and an insert never allocates once the
+// table has reached its high-water capacity.
+//
+// clear() is O(1): each slot carries the epoch it was written in, and
+// clearing just bumps the table epoch, invalidating every slot at once.
+// The per-hour scratch sets in the pipeline are cleared 143 times per run;
+// epoch clearing means their memory is written only when re-populated.
+//
+// Scope: unsigned integral keys, no erase, values live until the next
+// clear()/insert that grows the table. That is exactly the accumulator
+// access pattern; use std::unordered_map for anything richer.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace iotscope::util {
+
+namespace detail {
+
+/// Fibonacci multiplicative hash: multiply and keep the top bits. The
+/// golden-ratio constant spreads sequential keys (IPs from one /24,
+/// ascending port/device pairs) across the table.
+inline std::size_t fib_index(std::uint64_t key, int shift) noexcept {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> shift);
+}
+
+inline constexpr std::size_t kMinCapacity = 16;
+
+/// Smallest power-of-two capacity holding n entries below max load
+/// (3/4 full).
+inline std::size_t capacity_for(std::size_t n) noexcept {
+  std::size_t cap = kMinCapacity;
+  while (cap * 3 < n * 4) cap *= 2;
+  return cap;
+}
+
+}  // namespace detail
+
+/// Open-addressing flat hash set over an unsigned integral key.
+template <typename Key>
+class FlatSet {
+  static_assert(std::is_unsigned_v<Key>,
+                "FlatSet requires an unsigned integral key");
+
+ public:
+  FlatSet() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// O(1): invalidates every slot by bumping the table epoch.
+  void clear() noexcept {
+    size_ = 0;
+    if (++epoch_ == 0) {
+      // u32 epoch wrapped (once per 4B clears): physically reset so stale
+      // slots from epoch 0 cannot resurrect.
+      for (auto& slot : slots_) slot.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  void reserve(std::size_t n) {
+    const std::size_t cap = detail::capacity_for(n);
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Inserts the key; returns true if it was not present.
+  bool insert(Key key) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(grown_capacity());
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = detail::fib_index(key, shift_);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) {
+        slot.key = key;
+        slot.epoch = epoch_;
+        ++size_;
+        return true;
+      }
+      if (slot.key == key) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool contains(Key key) const noexcept {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = detail::fib_index(key, shift_);
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) return false;
+      if (slot.key == key) return true;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Visits every live key (slot order — not deterministic across
+  /// capacities; callers must not depend on order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.epoch == epoch_) fn(slot.key);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    std::uint32_t epoch = 0;
+  };
+
+  std::size_t grown_capacity() const noexcept {
+    return slots_.empty() ? detail::kMinCapacity : slots_.size() * 2;
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    const std::uint32_t old_epoch = epoch_;
+    slots_.assign(cap, Slot{});
+    shift_ = 64 - (std::bit_width(cap) - 1);
+    epoch_ = 1;
+    size_ = 0;
+    const std::size_t mask = cap - 1;
+    for (const auto& slot : old) {
+      if (slot.epoch != old_epoch) continue;
+      std::size_t i = detail::fib_index(slot.key, shift_);
+      while (slots_[i].epoch == 1) i = (i + 1) & mask;
+      slots_[i].key = slot.key;
+      slots_[i].epoch = 1;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  int shift_ = 64;
+  std::uint32_t epoch_ = 1;
+};
+
+/// Open-addressing flat hash map from an unsigned integral key to a
+/// value. Values of slots invalidated by clear() are value-initialized
+/// again when the slot is re-claimed.
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_unsigned_v<Key>,
+                "FlatMap requires an unsigned integral key");
+
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// O(1): invalidates every slot by bumping the table epoch.
+  void clear() noexcept {
+    size_ = 0;
+    if (++epoch_ == 0) {
+      for (auto& slot : slots_) slot.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  void reserve(std::size_t n) {
+    const std::size_t cap = detail::capacity_for(n);
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Pointer to the key's value, or nullptr. Valid until the next
+  /// mutating call.
+  Value* find(Key key) noexcept {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = detail::fib_index(key, shift_);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) return nullptr;
+      if (slot.key == key) return &slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+  const Value* find(Key key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Inserts (key, value); returns false (leaving the existing value
+  /// untouched) if the key is already present.
+  bool insert(Key key, const Value& value) {
+    bool inserted = false;
+    Value& slot = find_or_insert(key, inserted);
+    if (inserted) slot = value;
+    return inserted;
+  }
+
+  /// The key's value, value-initialized on first access this epoch.
+  Value& operator[](Key key) {
+    bool inserted = false;
+    return find_or_insert(key, inserted);
+  }
+
+  /// Visits every live (key, value) pair (slot order — callers must not
+  /// depend on order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.epoch == epoch_) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+    std::uint32_t epoch = 0;
+  };
+
+  Value& find_or_insert(Key key, bool& inserted) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(grown_capacity());
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = detail::fib_index(key, shift_);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) {
+        slot.key = key;
+        slot.value = Value{};
+        slot.epoch = epoch_;
+        ++size_;
+        inserted = true;
+        return slot.value;
+      }
+      if (slot.key == key) return slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t grown_capacity() const noexcept {
+    return slots_.empty() ? detail::kMinCapacity : slots_.size() * 2;
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    const std::uint32_t old_epoch = epoch_;
+    slots_.assign(cap, Slot{});
+    shift_ = 64 - (std::bit_width(cap) - 1);
+    epoch_ = 1;
+    size_ = 0;
+    const std::size_t mask = cap - 1;
+    for (auto& slot : old) {
+      if (slot.epoch != old_epoch) continue;
+      std::size_t i = detail::fib_index(slot.key, shift_);
+      while (slots_[i].epoch == 1) i = (i + 1) & mask;
+      slots_[i].key = slot.key;
+      slots_[i].value = std::move(slot.value);
+      slots_[i].epoch = 1;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  int shift_ = 64;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace iotscope::util

@@ -250,13 +250,54 @@ TEST_P(CodecFuzzTest, InventoryCsvLoaderSurvivesMutations) {
           static_cast<char>(rng.uniform(32, 126));
     }
     util::write_file(path, csv);
+    // Every rejection must be a util::IoError with field/line context —
+    // the strict field parser means no raw std::invalid_argument /
+    // std::out_of_range can escape std::stoul-style conversions anymore.
     try {
       const auto loaded = inventory::IoTDeviceDatabase::load_csv(path);
       EXPECT_LE(loaded.size(), 5u);
     } catch (const util::IoError&) {
-    } catch (const std::invalid_argument&) {
-      // std::stoi/stoul on mutated numeric fields.
-    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, FlowtupleBlockDecoderParityUnderMutation) {
+  // The block decoder (decode over an in-memory blob) and the reference
+  // per-field istream decoder (read_unbuffered) must reach the same
+  // verdict on every mutated/truncated input: both accept with identical
+  // records, or both throw util::IoError.
+  util::Rng rng(GetParam() ^ 0x5566AABBULL);
+  const std::string valid = valid_flowtuple_blob(rng);
+  for (int round = 0; round < 200; ++round) {
+    std::string blob = valid;
+    const std::size_t flips = rng.uniform(1, 8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      blob[rng.uniform(0, blob.size() - 1)] ^=
+          static_cast<char>(rng.uniform(1, 255));
+    }
+    if (rng.chance(0.5)) blob.resize(rng.uniform(0, blob.size()));
+
+    net::HourlyFlows block, reference;
+    bool block_ok = true, reference_ok = true;
+    try {
+      block = net::FlowTupleCodec::decode(blob);
+    } catch (const util::IoError&) {
+      block_ok = false;
+    }
+    try {
+      std::istringstream is(blob);
+      reference = net::FlowTupleCodec::read_unbuffered(is);
+    } catch (const util::IoError&) {
+      reference_ok = false;
+    }
+    ASSERT_EQ(block_ok, reference_ok) << "round " << round;
+    if (block_ok) {
+      ASSERT_EQ(block.interval, reference.interval);
+      ASSERT_EQ(block.start_time, reference.start_time);
+      ASSERT_EQ(block.records.size(), reference.records.size());
+      for (std::size_t i = 0; i < block.records.size(); ++i) {
+        ASSERT_EQ(block.records[i], reference.records[i]);
+      }
     }
   }
 }

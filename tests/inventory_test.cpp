@@ -2,7 +2,9 @@
 // inventory synthesizer.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <set>
+#include <unordered_map>
 
 #include "inventory/catalog.hpp"
 #include "inventory/database.hpp"
@@ -154,6 +156,93 @@ TEST(Database, LoadRejectsMalformedCsv) {
   EXPECT_THROW(IoTDeviceDatabase::load_csv(path), util::IoError);
   util::write_file(path, "isp_count,1\n");  // truncated
   EXPECT_THROW(IoTDeviceDatabase::load_csv(path), util::IoError);
+}
+
+TEST(Database, LoadRejectsBadNumericFieldsWithIoErrorNotStdExceptions) {
+  // Every malformed numeric field must surface as util::IoError carrying
+  // the line number and field name — raw std::stoul would instead leak
+  // std::invalid_argument / std::out_of_range to the caller.
+  util::TempDir dir;
+  const auto path = dir.path() / "bad.csv";
+  const auto expect_io_error = [&](const std::string& csv,
+                                   const std::string& needle) {
+    util::write_file(path, csv);
+    try {
+      IoTDeviceDatabase::load_csv(path);
+      FAIL() << "expected util::IoError for: " << csv;
+    } catch (const util::IoError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    } catch (const std::exception& e) {
+      FAIL() << "non-IoError escaped (" << typeid(e).name()
+             << "): " << e.what();
+    }
+  };
+  // Non-numeric header count.
+  expect_io_error("isp_count,abc\n", "isp_count");
+  // Non-numeric ISP country (line 2).
+  expect_io_error("isp_count,1\nAcme,xy\ndevice_count,0\n", "line 2");
+  // Out-of-range consumer type (line 4).
+  expect_io_error(
+      "isp_count,1\nAcme,0\ndevice_count,1\n1.2.3.4,consumer,999,,0,0\n",
+      "out-of-range");
+  // Non-numeric service id.
+  expect_io_error(
+      "isp_count,1\nAcme,0\ndevice_count,1\n1.2.3.4,cps,0,3;x;7,0,0\n",
+      "service id");
+  // Overlong digit string (would overflow u64 silently in naive parsers).
+  expect_io_error(
+      "isp_count,1\nAcme,0\ndevice_count,1\n"
+      "1.2.3.4,consumer,0,,0,999999999999999999999999\n",
+      "isp id");
+}
+
+TEST(Database, FlatIndexMatchesUnorderedMapReference) {
+  // Property test for the open-addressing flat index behind find():
+  // randomized inventories of varying sizes, compared against a plain
+  // std::unordered_map built from the same devices — identical hit set,
+  // identical looked-up record, miss parity on perturbed keys.
+  std::mt19937_64 rng(20260806);
+  for (const std::size_t count : {0u, 1u, 2u, 15u, 16u, 17u, 1000u, 4096u}) {
+    IoTDeviceDatabase db;
+    std::unordered_map<std::uint32_t, std::size_t> reference;
+    while (reference.size() < count) {
+      const auto ip = static_cast<std::uint32_t>(rng());
+      DeviceRecord d;
+      d.ip = net::Ipv4Address(ip);
+      d.country = static_cast<CountryId>(rng() % 50);
+      if (db.add_device(d)) {
+        reference.emplace(ip, db.size() - 1);
+      } else {
+        ASSERT_TRUE(reference.count(ip));
+      }
+    }
+    ASSERT_EQ(db.size(), reference.size());
+    for (const auto& [ip, index] : reference) {
+      const auto* found = db.find(net::Ipv4Address(ip));
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found, &db.devices()[index]);
+      // Perturbed keys must miss unless they collide with a real device.
+      const std::uint32_t miss = ip ^ 0x80000001u;
+      EXPECT_EQ(db.find(net::Ipv4Address(miss)) != nullptr,
+                reference.count(miss) != 0);
+    }
+  }
+}
+
+TEST(Database, CountryCountMatchesSetReference) {
+  std::mt19937_64 rng(42);
+  IoTDeviceDatabase db;
+  std::set<CountryId> reference;
+  EXPECT_EQ(db.country_count(), 0u);
+  for (int i = 0; i < 500; ++i) {
+    DeviceRecord d;
+    d.ip = net::Ipv4Address(static_cast<std::uint32_t>(i + 1));
+    d.country = static_cast<CountryId>(rng() % 60);
+    ASSERT_TRUE(db.add_device(d));
+    reference.insert(d.country);
+    ASSERT_EQ(db.country_count(), reference.size());
+  }
 }
 
 // ---------------- generator ----------------

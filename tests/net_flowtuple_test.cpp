@@ -203,6 +203,97 @@ TEST(FlowTupleCodec, CountLargerThanBodyThrowsNotSilentlyShortReads) {
   EXPECT_THROW(FlowTupleCodec::read(overdrawn), util::IoError);
 }
 
+// --- Block codec vs reference istream decoder parity -------------------
+//
+// The block path (encode/decode over a contiguous buffer) replaced the
+// per-field istream path. read_unbuffered() keeps the old decoder
+// verbatim; these tests pin that the two implementations agree on every
+// byte produced and on every accept/reject decision.
+
+TEST(FlowTupleCodec, BlockAndStreamPathsProduceIdenticalBytes) {
+  util::Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    HourlyFlows flows;
+    flows.interval = static_cast<int>(rng.uniform(0, 142));
+    flows.start_time = static_cast<std::int64_t>(rng.uniform(0, 1u << 30));
+    const auto n = rng.uniform(0, 300);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      flows.records.push_back(random_tuple(rng));
+    }
+
+    std::string encoded;
+    FlowTupleCodec::encode(encoded, flows);
+    std::ostringstream os;
+    FlowTupleCodec::write(os, flows);
+    ASSERT_EQ(encoded, os.str());
+    ASSERT_EQ(encoded.size(), 26 + n * FlowTupleCodec::kRecordBytes);
+
+    const auto block = FlowTupleCodec::decode(encoded);
+    std::istringstream is(encoded);
+    const auto reference = FlowTupleCodec::read_unbuffered(is);
+    ASSERT_EQ(block.interval, reference.interval);
+    ASSERT_EQ(block.start_time, reference.start_time);
+    ASSERT_EQ(block.records.size(), reference.records.size());
+    for (std::size_t i = 0; i < block.records.size(); ++i) {
+      ASSERT_EQ(block.records[i], reference.records[i]);
+    }
+  }
+}
+
+TEST(FlowTupleCodec, TruncationParityAtEveryPrefix) {
+  HourlyFlows flows;
+  util::Rng rng(12);
+  flows.interval = 7;
+  flows.start_time = 1491955200;
+  for (int i = 0; i < 5; ++i) flows.records.push_back(random_tuple(rng));
+  std::string blob;
+  FlowTupleCodec::encode(blob, flows);
+
+  // Every proper prefix must make the block and istream decoders reach
+  // the same verdict: identical records on accept, util::IoError on
+  // reject — never a std exception, never a silent short read.
+  for (std::size_t len = 0; len <= blob.size(); ++len) {
+    const std::string prefix = blob.substr(0, len);
+    HourlyFlows block, reference;
+    bool block_ok = true, reference_ok = true;
+    try {
+      block = FlowTupleCodec::decode(prefix);
+    } catch (const util::IoError&) {
+      block_ok = false;
+    }
+    try {
+      std::istringstream is(prefix);
+      reference = FlowTupleCodec::read_unbuffered(is);
+    } catch (const util::IoError&) {
+      reference_ok = false;
+    }
+    ASSERT_EQ(block_ok, reference_ok) << "prefix length " << len;
+    if (block_ok) {
+      ASSERT_EQ(block.records.size(), reference.records.size());
+      for (std::size_t i = 0; i < block.records.size(); ++i) {
+        ASSERT_EQ(block.records[i], reference.records[i]) << "prefix " << len;
+      }
+    }
+  }
+}
+
+TEST(FlowTupleCodec, ProtocolCorruptionParity) {
+  HourlyFlows flows;
+  util::Rng rng(13);
+  for (int i = 0; i < 3; ++i) flows.records.push_back(random_tuple(rng));
+  std::string blob;
+  FlowTupleCodec::encode(blob, flows);
+  // Corrupt the protocol byte of each record in turn (offset 26 + 25*i +
+  // 12) and require both decoders to reject with util::IoError.
+  for (std::size_t rec = 0; rec < flows.records.size(); ++rec) {
+    std::string corrupt = blob;
+    corrupt[26 + FlowTupleCodec::kRecordBytes * rec + 12] = 99;
+    EXPECT_THROW(FlowTupleCodec::decode(corrupt), util::IoError);
+    std::istringstream is(corrupt);
+    EXPECT_THROW(FlowTupleCodec::read_unbuffered(is), util::IoError);
+  }
+}
+
 TEST(FlowTupleCodec, FileRoundTripAndName) {
   util::TempDir dir;
   HourlyFlows flows;

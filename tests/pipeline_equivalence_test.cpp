@@ -190,7 +190,7 @@ TEST_F(EquivalenceTest, ThreadCountDoesNotChangeTheReportByteForByte) {
   // orderings like unknown-source rankings and DoS top victims).
   const Report sequential = run_with_threads(1);
   const std::string golden = render_everything(sequential);
-  for (const unsigned threads : {2u, 8u}) {
+  for (const unsigned threads : {2u, 4u, 8u}) {
     SCOPED_TRACE(testing::Message() << threads << " threads");
     const Report parallel = run_with_threads(threads);
     expect_reports_equal(sequential, parallel);

@@ -180,6 +180,25 @@ TEST(FlowTupleStore, PutGetIterate) {
   EXPECT_EQ(visited, (std::vector<int>{1, 5, 9}));
 }
 
+TEST(FlowTupleStore, IntervalsSkipStrayAndMalformedFileNames) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path() / "flows");
+  net::HourlyFlows flows;
+  flows.interval = 3;
+  store.put(flows);
+  // Stray files in the store directory must be ignored, not crash
+  // interval discovery. "flowtuple-abcd.ift" in particular has the right
+  // shape but non-digit interval characters — std::stoi used to throw
+  // std::invalid_argument out of intervals() on it.
+  for (const char* stray :
+       {"flowtuple-abcd.ift", "flowtuple-00a1.ift", "flowtuple-....ift",
+        "flowtuple-12345.ift", "flowtuple-001.ift", "notes.txt",
+        "flowtuple-0042.bak"}) {
+    util::write_file((dir.path() / "flows") / stray, "junk");
+  }
+  EXPECT_EQ(store.intervals(), (std::vector<int>{3}));
+}
+
 TEST(FlowTupleStore, PrefetchingIterationMatchesSerialOrder) {
   util::TempDir dir;
   FlowTupleStore store(dir.path() / "flows");

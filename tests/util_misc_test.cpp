@@ -1,8 +1,12 @@
 // Tests for the time base, string helpers, and binary I/O primitives.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "util/flat_hash.hpp"
 #include "util/io.hpp"
 #include "util/strings.hpp"
 #include "util/timebase.hpp"
@@ -178,6 +182,148 @@ TEST(Io, TempDirCreatesAndCleansUp) {
     write_file(captured / "f.txt", "x");
   }
   EXPECT_FALSE(std::filesystem::exists(captured));
+}
+
+// ---------------- block codec cursor ----------------
+
+TEST(ByteCursor, WriterReaderRoundTripAllWidths) {
+  std::string buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  const unsigned char raw[3] = {1, 2, 3};
+  w.bytes(raw, sizeof raw);
+  ASSERT_EQ(buf.size(), 1u + 2 + 4 + 8 + 3);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  const unsigned char* tail = r.bytes(3);
+  EXPECT_EQ(tail[0], 1);
+  EXPECT_EQ(tail[2], 3);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteCursor, WriterMatchesStreamPrimitivesByteForByte) {
+  // The block writer must lay down exactly the bytes the stream
+  // primitives do — the two codec paths share one on-disk format.
+  std::string buf;
+  ByteWriter w(buf);
+  w.u16(0x1234);
+  w.u32(0xCAFEBABE);
+  w.u64(0x1122334455667788ULL);
+  std::ostringstream os;
+  write_u16(os, 0x1234);
+  write_u32(os, 0xCAFEBABE);
+  write_u64(os, 0x1122334455667788ULL);
+  EXPECT_EQ(buf, os.str());
+}
+
+TEST(ByteCursor, ReaderThrowsOnOverrunWithoutAdvancing) {
+  const std::string buf("\x01\x02\x03", 3);
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), IoError);
+  EXPECT_THROW(r.bytes(4), IoError);
+  // A failed read must not consume input.
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(r.u16(), 0x0201);
+  EXPECT_THROW(r.u16(), IoError);
+  EXPECT_EQ(r.u8(), 0x03);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), IoError);
+}
+
+// ---------------- flat hash containers ----------------
+
+TEST(FlatHash, SetInsertContainsAndDuplicates) {
+  FlatSet<std::uint32_t> set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));  // duplicate
+  EXPECT_TRUE(set.insert(0));   // zero is a valid key (epoch marks empties)
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatHash, EpochClearForgetsEverythingWithoutShrinking) {
+  FlatSet<std::uint32_t> set;
+  for (std::uint32_t i = 0; i < 100; ++i) set.insert(i);
+  EXPECT_EQ(set.size(), 100u);
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_FALSE(set.contains(i));
+  // Reuse after clear: stale slots must be treated as empty, and
+  // re-inserting must report "fresh" again.
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_TRUE(set.insert(i));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(FlatHash, SetMatchesUnorderedReferenceUnderChurn) {
+  std::mt19937_64 rng(99);
+  FlatSet<std::uint64_t> set;
+  std::unordered_set<std::uint64_t> reference;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = rng() % 1500;  // force duplicates
+      EXPECT_EQ(set.insert(key), reference.insert(key).second);
+    }
+    ASSERT_EQ(set.size(), reference.size());
+    std::size_t visited = 0;
+    set.for_each([&](std::uint64_t key) {
+      ++visited;
+      EXPECT_TRUE(reference.count(key));
+    });
+    EXPECT_EQ(visited, reference.size());
+    for (std::uint64_t probe = 0; probe < 2000; ++probe) {
+      ASSERT_EQ(set.contains(probe), reference.count(probe) != 0);
+    }
+    set.clear();
+    reference.clear();
+  }
+}
+
+TEST(FlatHash, MapOperatorBracketAndFind) {
+  FlatMap<std::uint32_t, std::uint64_t> map;
+  EXPECT_EQ(map.find(5), nullptr);
+  map[5] = 50;
+  map[5] += 1;
+  map[9];  // value-initialized
+  ASSERT_NE(map.find(5), nullptr);
+  EXPECT_EQ(*map.find(5), 51u);
+  ASSERT_NE(map.find(9), nullptr);
+  EXPECT_EQ(*map.find(9), 0u);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.insert(7, 70));
+  EXPECT_FALSE(map.insert(7, 71));  // already present, value untouched
+  EXPECT_EQ(*map.find(7), 70u);
+}
+
+TEST(FlatHash, MapMatchesUnorderedReferenceUnderChurnAndGrowth) {
+  std::mt19937_64 rng(123);
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t key = rng() % 3000;
+      map[key] += 1;
+      reference[key] += 1;
+    }
+    ASSERT_EQ(map.size(), reference.size());
+    map.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+      auto it = reference.find(key);
+      ASSERT_NE(it, reference.end());
+      EXPECT_EQ(value, it->second);
+    });
+    map.clear();
+    reference.clear();
+  }
 }
 
 }  // namespace

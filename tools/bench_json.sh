@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the bench_perf_micro microbenchmark suite and distills its
+# google-benchmark JSON into a flat, diff-friendly summary committed as
+# BENCH_pr<N>.json at the repo root: benchmark name -> ns/op and
+# records/s (items_per_second where the bench reports one).
+#
+# Usage: tools/bench_json.sh [output.json] [bench-binary] [extra bench args...]
+#   output.json    default BENCH_pr3.json (repo root)
+#   bench-binary   default build/bench/bench_perf_micro
+#
+# Example: tools/bench_json.sh BENCH_pr3.json build/bench/bench_perf_micro \
+#            --benchmark_filter='Flowtuple|Inventory|Accumulator'
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out="${1:-$repo_root/BENCH_pr3.json}"
+bench="${2:-$repo_root/build/bench/bench_perf_micro}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+if [[ ! -x "$bench" ]]; then
+  echo "bench_json: benchmark binary not found: $bench" >&2
+  echo "bench_json: build it first (cmake --build build --target bench_perf_micro)" >&2
+  exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+"$bench" --benchmark_format=json --benchmark_out_format=json "$@" > "$raw"
+
+python3 - "$raw" "$out" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+benchmarks = {}
+for bench in report.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    # Normalize to nanoseconds regardless of the bench's display unit.
+    unit = bench.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    entry = {"ns_per_op": round(bench["real_time"] * scale, 3)}
+    if "items_per_second" in bench:
+        entry["records_per_s"] = round(bench["items_per_second"], 1)
+    benchmarks[bench["name"]] = entry
+
+summary = {
+    "source": "bench/bench_perf_micro.cpp",
+    "context": {
+        k: report.get("context", {}).get(k)
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+    },
+    "benchmarks": benchmarks,
+}
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"bench_json: wrote {len(benchmarks)} benchmarks to {out_path}")
+PY

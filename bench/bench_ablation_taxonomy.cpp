@@ -20,7 +20,7 @@ core::Report run_variant(const workload::Scenario& scenario,
   core::AnalysisPipeline pipeline(scenario.inventory, options);
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(scenario_config.darknet),
-      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+      [&pipeline](net::FlowBatch&& batch) { pipeline.observe(batch); });
   workload::synthesize_into(scenario, scenario_config, capture);
   return pipeline.finalize();
 }

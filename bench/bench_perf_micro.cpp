@@ -12,6 +12,7 @@
 
 #include "core/classifier.hpp"
 #include "core/study.hpp"
+#include "net/flow_batch.hpp"
 #include "inventory/generator.hpp"
 #include "net/flowtuple.hpp"
 #include "net/pcap.hpp"
@@ -107,6 +108,22 @@ void BM_FlowtupleDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FlowtupleDecode)->Arg(1000)->Arg(100000);
+
+// Columnar decode: the same blob filled straight into FlowBatch column
+// vectors — the production read path since the SoA refactor. Compare
+// against BM_FlowtupleDecode (decode-to-AoS) for the layout delta.
+void BM_FlowtupleDecodeColumns(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto flows = make_flows(static_cast<std::size_t>(state.range(0)), rng);
+  std::string blob;
+  net::FlowTupleCodec::encode(blob, flows);
+  for (auto _ : state) {
+    auto decoded = net::FlowTupleCodec::decode_columns(blob);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowtupleDecodeColumns)->Arg(1000)->Arg(100000);
 
 // Before-variant: the original per-field istream decoder this PR
 // replaced (kept as FlowTupleCodec::read_unbuffered). The speedup
@@ -283,6 +300,26 @@ void BM_Classify(benchmark::State& state) {
 }
 BENCHMARK(BM_Classify);
 
+// The shared columnar classification pass: one classify_tag per record
+// over contiguous proto/flags/port columns into the reused tag vector —
+// what AnalysisPipeline::observe(FlowBatch) runs once per hour. Compare
+// against BM_Classify (AoS record structs, one classify per use).
+void BM_ClassifyBatch(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto batch = net::FlowBatch::from_rows(make_flows(100000, rng));
+  std::vector<core::ClassTag> tags;
+  for (auto _ : state) {
+    core::classify_batch(batch, core::TaxonomyOptions{}, tags);
+    std::size_t scans = 0;
+    for (const auto tag : tags) {
+      if (core::tag_class(tag) == core::FlowClass::TcpScan) ++scans;
+    }
+    benchmark::DoNotOptimize(scans);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ClassifyBatch);
+
 void BM_TelescopeAggregate(benchmark::State& state) {
   util::Rng rng(4);
   const std::size_t n = 100000;
@@ -299,8 +336,8 @@ void BM_TelescopeAggregate(benchmark::State& state) {
   for (auto _ : state) {
     std::size_t flows_out = 0;
     telescope::TelescopeCapture capture(
-        space, [&flows_out](net::HourlyFlows&& flows) {
-          flows_out += flows.records.size();
+        space, [&flows_out](net::FlowBatch&& batch) {
+          flows_out += batch.size();
         });
     for (const auto& packet : packets) capture.ingest(packet);
     capture.finish();
@@ -350,7 +387,8 @@ const core::StudyConfig& bench_study_config() {
 
 struct BenchWorkload {
   workload::Scenario scenario;
-  std::vector<net::HourlyFlows> hours;
+  std::vector<net::FlowBatch> batches;      ///< the production SoA path
+  std::vector<net::HourlyFlows> hours;      ///< same records as AoS rows
   std::uint64_t total_packets = 0;
 };
 
@@ -361,9 +399,15 @@ const BenchWorkload& bench_workload() {
     w.scenario = workload::build_scenario(config.scenario);
     telescope::TelescopeCapture capture(
         telescope::DarknetSpace(config.scenario.darknet),
-        [&w](net::HourlyFlows&& flows) { w.hours.push_back(std::move(flows)); });
+        [&w](net::FlowBatch&& batch) { w.batches.push_back(std::move(batch)); });
     workload::synthesize_into(w.scenario, config.scenario, capture);
-    for (const auto& h : w.hours) w.total_packets += h.total_packets();
+    for (auto& b : w.batches) {
+      // Production form: the batch is tagged once where it is born (the
+      // shared classification pass); observe() consumes the column.
+      core::classify_batch(b, config.pipeline.taxonomy);
+      w.total_packets += b.total_packets();
+      w.hours.push_back(b.to_rows());
+    }
     return w;
   }();
   return instance;
@@ -378,7 +422,7 @@ void BM_PipelineAnalysis(benchmark::State& state) {
   obs::Registry::instance().reset();
   for (auto _ : state) {
     core::AnalysisPipeline pipeline(w.scenario.inventory, options);
-    for (const auto& h : w.hours) pipeline.observe(h);
+    for (const auto& b : w.batches) pipeline.observe(b);
     auto report = pipeline.finalize();
     benchmark::DoNotOptimize(report);
   }
@@ -400,6 +444,7 @@ void BM_PipelineAnalysis(benchmark::State& state) {
   state.counters["fanin_ms"] = stage_ms("pipeline.fanin");
   state.counters["finalize_ms"] = stage_ms("pipeline.finalize");
   state.counters["observe_ms"] = stage_ms("pipeline.observe");
+  state.counters["classify_ms"] = stage_ms("pipeline.classify");
 }
 BENCHMARK(BM_PipelineAnalysis)
     ->Arg(1)
@@ -421,7 +466,7 @@ void BM_PipelineAnalysisMetricsOff(benchmark::State& state) {
   obs::set_enabled(false);
   for (auto _ : state) {
     core::AnalysisPipeline pipeline(w.scenario.inventory, options);
-    for (const auto& h : w.hours) pipeline.observe(h);
+    for (const auto& b : w.batches) pipeline.observe(b);
     auto report = pipeline.finalize();
     benchmark::DoNotOptimize(report);
   }
@@ -433,6 +478,51 @@ void BM_PipelineAnalysisMetricsOff(benchmark::State& state) {
 BENCHMARK(BM_PipelineAnalysisMetricsOff)
     ->Arg(1)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// --- AoS vs SoA end-to-end analysis (the PR-4 tentpole ablation) -------
+//
+// Identical records, identical Report, two record paths: observe_aos
+// walks the retained AoS FlowTuple vectors and classifies at every point
+// of use (the pre-batch implementation); observe(FlowBatch) walks
+// contiguous columns and consumes the class_tag column the shared
+// classification pass stamped when the batch was born. Single thread,
+// so the delta is pure record-path cost (no partition/fan-out).
+
+void BM_PipelineAnalysisAoS(benchmark::State& state) {
+  const auto& w = bench_workload();
+  core::PipelineOptions options = bench_study_config().pipeline;
+  options.threads = 1;
+  for (auto _ : state) {
+    core::AnalysisPipeline pipeline(w.scenario.inventory, options);
+    for (const auto& h : w.hours) pipeline.observe_aos(h);
+    auto report = pipeline.finalize();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * w.total_packets));
+}
+BENCHMARK(BM_PipelineAnalysisAoS)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_PipelineAnalysisBatch(benchmark::State& state) {
+  const auto& w = bench_workload();
+  core::PipelineOptions options = bench_study_config().pipeline;
+  options.threads = 1;
+  for (auto _ : state) {
+    core::AnalysisPipeline pipeline(w.scenario.inventory, options);
+    for (const auto& b : w.batches) pipeline.observe(b);
+    auto report = pipeline.finalize();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * w.total_packets));
+}
+BENCHMARK(BM_PipelineAnalysisBatch)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
 
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(config.darknet),
-      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+      [&pipeline](net::FlowBatch&& batch) { pipeline.observe(batch); });
   workload::synthesize_into(scenario, config, capture);
   const auto report = pipeline.finalize();
   std::printf("... %zu discovery alerts in total\n\n", alerts);

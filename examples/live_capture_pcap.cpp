@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   {
     telescope::TelescopeCapture capture(
         telescope::DarknetSpace(scenario_config.darknet),
-        [&store](net::HourlyFlows&& flows) { store.put(flows); });
+        [&store](net::FlowBatch&& batch) { store.put(batch); });
     std::ifstream in(pcap_path, std::ios::binary);
     net::PcapReader reader(in);
     net::PacketRecord packet;
@@ -68,8 +68,8 @@ int main(int argc, char** argv) {
 
   // ---- 3. stream the on-disk hourly files through the pipeline ----
   core::AnalysisPipeline pipeline(scenario.inventory);
-  store.for_each([&pipeline](const net::HourlyFlows& flows) {
-    pipeline.observe(flows);
+  store.for_each([&pipeline](const net::FlowBatch& batch) {
+    pipeline.observe(batch);
   });
   const auto report = pipeline.finalize();
 

@@ -1,5 +1,9 @@
 #include "core/classifier.hpp"
 
+#include <array>
+
+#include "net/flow_batch.hpp"
+
 namespace iotscope::core {
 
 const char* to_string(FlowClass c) noexcept {
@@ -54,6 +58,103 @@ FlowClass classify(const net::FlowTuple& flow,
     }
   }
   return FlowClass::TcpOther;
+}
+
+ClassTag classify_tag(net::Protocol proto, std::uint8_t tcp_flags,
+                      net::Port icmp_type_port,
+                      const TaxonomyOptions& options) noexcept {
+  const auto tag_of = [](FlowClass c, ClassTag sub) noexcept {
+    return static_cast<ClassTag>(static_cast<ClassTag>(c) | sub);
+  };
+  switch (proto) {
+    case net::Protocol::Udp:
+      return tag_of(FlowClass::Udp, 0);
+    case net::Protocol::Tcp: {
+      const bool syn = tcp_flags & net::kSyn;
+      const bool ack = tcp_flags & net::kAck;
+      const bool rst = tcp_flags & net::kRst;
+      const bool fin = tcp_flags & net::kFin;
+      const ClassTag sub = syn ? kTagTcpSyn : ClassTag{0};
+      if (syn && ack && !rst) return tag_of(FlowClass::TcpBackscatter, sub);
+      if (rst) {
+        return tag_of(options.rst_counts_as_backscatter
+                          ? FlowClass::TcpBackscatter
+                          : FlowClass::TcpOther,
+                      sub);
+      }
+      if (syn && !ack && !fin) return tag_of(FlowClass::TcpScan, sub);
+      return tag_of(FlowClass::TcpOther, sub);
+    }
+    case net::Protocol::Icmp: {
+      const auto type = static_cast<net::IcmpType>(icmp_type_port);
+      const ClassTag sub = (type == net::IcmpType::EchoRequest ||
+                            type == net::IcmpType::EchoReply)
+                               ? kTagIcmpEcho
+                               : ClassTag{0};
+      if (type == net::IcmpType::EchoRequest) {
+        return tag_of(FlowClass::IcmpScan, sub);
+      }
+      if (options.full_icmp_reply_family) {
+        if (net::is_icmp_backscatter(type)) {
+          return tag_of(FlowClass::IcmpBackscatter, sub);
+        }
+      } else if (type == net::IcmpType::EchoReply ||
+                 type == net::IcmpType::DestinationUnreachable) {
+        return tag_of(FlowClass::IcmpBackscatter, sub);
+      }
+      return tag_of(FlowClass::IcmpOther, sub);
+    }
+  }
+  return tag_of(FlowClass::TcpOther, 0);
+}
+
+void classify_batch(const net::FlowBatch& batch, const TaxonomyOptions& options,
+                    std::vector<ClassTag>& out) {
+  // The tag is a pure function of (protocol, one byte): tcp_flags for
+  // TCP, the low type byte for ICMP (the IcmpType cast truncates the
+  // 16-bit port column to the enum's uint8_t underlying type), a
+  // constant for UDP, and classify_tag's constant fallback for anything
+  // out of domain. This pass sits ahead of every consumer on the hot
+  // path, so materialize classify_tag into a four-segment table up
+  // front and make the per-record loop branchless: segment base from
+  // the protocol byte, offset from the flags/type byte.
+  enum : std::size_t { kTcp = 0, kIcmp = 256, kUdp = 512, kOther = 768 };
+  std::array<ClassTag, 1024> lut;
+  for (std::size_t v = 0; v < 256; ++v) {
+    lut[kTcp + v] = classify_tag(net::Protocol::Tcp,
+                                 static_cast<std::uint8_t>(v), 0, options);
+    lut[kIcmp + v] = classify_tag(net::Protocol::Icmp, 0,
+                                  static_cast<net::Port>(v), options);
+    lut[kUdp + v] = classify_tag(net::Protocol::Udp, 0, 0, options);
+    lut[kOther + v] =
+        classify_tag(static_cast<net::Protocol>(0), 0, 0, options);
+  }
+  std::array<std::uint16_t, 256> base;
+  base.fill(kOther);
+  base[static_cast<std::uint8_t>(net::Protocol::Tcp)] = kTcp;
+  base[static_cast<std::uint8_t>(net::Protocol::Icmp)] = kIcmp;
+  base[static_cast<std::uint8_t>(net::Protocol::Udp)] = kUdp;
+
+  const std::size_t n = batch.size();
+  out.resize(n);
+  const net::Protocol* proto = batch.proto.data();
+  const std::uint8_t* flags = batch.tcp_flags.data();
+  const net::Port* src_port = batch.src_port.data();
+  ClassTag* tags = out.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = static_cast<std::uint8_t>(proto[i]);
+    // For non-ICMP records src_port holds a real port; the byte only
+    // reaches an ICMP segment when the protocol base says so.
+    const std::uint8_t byte = p == static_cast<std::uint8_t>(net::Protocol::Tcp)
+                                  ? flags[i]
+                                  : static_cast<std::uint8_t>(src_port[i]);
+    tags[i] = lut[base[p] + byte];
+  }
+}
+
+void classify_batch(net::FlowBatch& batch, const TaxonomyOptions& options) {
+  classify_batch(batch, options, batch.class_tag);
+  batch.tag_recipe = tag_recipe_for(options);
 }
 
 }  // namespace iotscope::core

@@ -2,7 +2,21 @@
 // classified as scanning, backscatter, UDP probing, or other/
 // misconfiguration, using exactly the header semantics the paper relies
 // on — TCP flags and ICMP message types.
+//
+// Two entry points share one taxonomy:
+//  * classify() — the per-record reference implementation over an AoS
+//    FlowTuple (unchanged semantics since PR 0).
+//  * classify_tag()/classify_batch() — the columnar pass: one branchy
+//    decode of tcp_flags/ICMP types per record, written once into a
+//    per-batch `class_tag` byte column that every downstream consumer
+//    (inventory ledgers, DoS inference, scan analysis, unknown-source
+//    tallies) reads instead of re-deriving flag logic. classify_tag is
+//    implemented independently of classify(); classifier_batch_test pins
+//    the two equal over randomized flag/proto/port sweeps.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "net/flowtuple.hpp"
 #include "net/protocol.hpp"
@@ -46,6 +60,53 @@ constexpr bool is_scanning(FlowClass c) noexcept {
 /// True for backscatter classes (Section IV-B).
 constexpr bool is_backscatter(FlowClass c) noexcept {
   return c == FlowClass::TcpBackscatter || c == FlowClass::IcmpBackscatter;
+}
+
+// ---------------------------------------------------------------------
+// Columnar classification: the shared one-pass tag column.
+
+/// One byte per record: the FlowClass in the low 3 bits plus cheap
+/// sub-predicate bits so consumers never re-inspect tcp_flags/ICMP types.
+using ClassTag = std::uint8_t;
+
+inline constexpr ClassTag kTagClassMask = 0x07;
+/// Set for TCP records whose flags carry SYN (scan probes and SYN-ACK
+/// backscatter both qualify; combine with the class bits to separate).
+inline constexpr ClassTag kTagTcpSyn = 0x08;
+/// Set for ICMP Echo Request / Echo Reply records (the ping family).
+inline constexpr ClassTag kTagIcmpEcho = 0x10;
+
+/// The FlowClass encoded in a tag.
+constexpr FlowClass tag_class(ClassTag tag) noexcept {
+  return static_cast<FlowClass>(tag & kTagClassMask);
+}
+
+/// Classifies one record from its column fields. For ICMP the type rides
+/// in the src_port column (corsaro convention). Independent of
+/// classify() by construction — the property test keeps them equal.
+ClassTag classify_tag(net::Protocol proto, std::uint8_t tcp_flags,
+                      net::Port icmp_type_port,
+                      const TaxonomyOptions& options = {}) noexcept;
+
+/// Writes one tag per record of `batch` into `out` (resized to match).
+/// The out-param form lets the pipeline reuse a scratch vector and apply
+/// its own TaxonomyOptions without mutating a shared batch.
+void classify_batch(const net::FlowBatch& batch, const TaxonomyOptions& options,
+                    std::vector<ClassTag>& out);
+
+/// Fills `batch.class_tag` in place and stamps `batch.tag_recipe` (the
+/// producer side of the shared classification pass: tag once where the
+/// batch is born, every consumer reads the column).
+void classify_batch(net::FlowBatch& batch, const TaxonomyOptions& options = {});
+
+/// The nonzero fingerprint classify_batch stamps into FlowBatch::
+/// tag_recipe for `options`. Consumers accept a batch's tags only when
+/// the batch carries the recipe for *their* options (see
+/// AnalysisPipeline::observe); 0 always means untagged.
+constexpr std::uint8_t tag_recipe_for(const TaxonomyOptions& options) noexcept {
+  return static_cast<std::uint8_t>(
+      0x01 | (options.full_icmp_reply_family ? 0x02 : 0) |
+      (options.rst_counts_as_backscatter ? 0x04 : 0));
 }
 
 }  // namespace iotscope::core

@@ -26,6 +26,91 @@ void add_series(analysis::HourlySeries& into,
   }
 }
 
+// ---------------------------------------------------------------------
+// Record access policies for the shard walk. The shard loop is written
+// once against this accessor surface; which memory it reads — and when
+// classification happens — is the policy:
+//
+//  * BatchView — the production path: contiguous FlowBatch columns plus
+//    the tag column the coordinator filled in one up-front pass, so
+//    cls() is a byte load.
+//  * RowsView — the retained pre-batch path: AoS FlowTuple records,
+//    classify at every point of use (the historical per-consumer cost).
+//    Kept alive for the bench before-variant and the equivalence test.
+
+/// Columnar accessors over a FlowBatch and its precomputed tag column.
+/// Holds the raw column pointers (not the batch) and is passed by value:
+/// the pointers live in registers across the shard walk's opaque calls
+/// instead of being re-derived from the vectors after each one.
+struct BatchView {
+  /// Columns are dense, so the shard walk can read future source IPs for
+  /// free and prefetch the inventory join ahead.
+  static constexpr bool kPrefetchJoin = true;
+
+  const net::Ipv4Address* src_col;
+  const net::Ipv4Address* dst_col;
+  const net::Port* dst_port_col;
+  const net::Protocol* proto_col;
+  const std::uint64_t* pkt_col;
+  const ClassTag* tag_col;
+  std::size_t count;
+
+  BatchView(const net::FlowBatch& batch,
+            const std::vector<ClassTag>& tags) noexcept
+      : src_col(batch.src.data()),
+        dst_col(batch.dst.data()),
+        dst_port_col(batch.dst_port.data()),
+        proto_col(batch.proto.data()),
+        pkt_col(batch.pkt_count.data()),
+        tag_col(tags.data()),
+        count(batch.size()) {}
+
+  std::size_t size() const noexcept { return count; }
+  net::Ipv4Address src(std::size_t i) const noexcept { return src_col[i]; }
+  std::uint32_t dst(std::size_t i) const noexcept { return dst_col[i].value(); }
+  net::Port dst_port(std::size_t i) const noexcept { return dst_port_col[i]; }
+  net::Protocol proto(std::size_t i) const noexcept { return proto_col[i]; }
+  std::uint64_t packets(std::size_t i) const noexcept { return pkt_col[i]; }
+  ClassTag cls(std::size_t i) const noexcept { return tag_col[i]; }
+};
+
+/// AoS accessors over HourlyFlows records; cls() re-derives the taxonomy
+/// from the record's flags on every call.
+struct RowsView {
+  /// The pre-batch walk stays exactly as it was (no look-ahead): this
+  /// view is the before-variant the batch path is measured against.
+  static constexpr bool kPrefetchJoin = false;
+
+  const net::FlowTuple* records;
+  std::size_t count;
+  const TaxonomyOptions* taxonomy;
+
+  RowsView(const net::HourlyFlows& flows,
+           const TaxonomyOptions& options) noexcept
+      : records(flows.records.data()),
+        count(flows.records.size()),
+        taxonomy(&options) {}
+
+  std::size_t size() const noexcept { return count; }
+  net::Ipv4Address src(std::size_t i) const noexcept { return records[i].src; }
+  std::uint32_t dst(std::size_t i) const noexcept {
+    return records[i].dst.value();
+  }
+  net::Port dst_port(std::size_t i) const noexcept {
+    return records[i].dst_port;
+  }
+  net::Protocol proto(std::size_t i) const noexcept {
+    return records[i].protocol;
+  }
+  std::uint64_t packets(std::size_t i) const noexcept {
+    return records[i].packet_count;
+  }
+  ClassTag cls(std::size_t i) const noexcept {
+    const net::FlowTuple& r = records[i];
+    return classify_tag(r.protocol, r.tcp_flags, r.src_port, *taxonomy);
+  }
+};
+
 }  // namespace
 
 /// One shard's accumulator. The partition key is the flow source IP, so
@@ -124,16 +209,23 @@ struct AnalysisPipeline::ShardState {
     return ledgers[index];
   }
 
-  void observe(const AnalysisPipeline& pipe, const net::HourlyFlows& flows,
+  /// Walks one hour's records through every analysis consumer. The View
+  /// policy decides the record layout (columns vs AoS structs) and where
+  /// the taxonomy tag comes from (precomputed column vs per-use
+  /// classification); the accumulation logic is identical either way, so
+  /// both instantiations produce the same Report by construction.
+  template <typename View>
+  void observe(const AnalysisPipeline& pipe, View view, int interval,
                const std::vector<std::uint32_t>* indices,
                std::uint32_t observe_seq, bool collect_discoveries);
 };
 
+template <typename View>
 void AnalysisPipeline::ShardState::observe(
-    const AnalysisPipeline& pipe, const net::HourlyFlows& flows,
+    const AnalysisPipeline& pipe, const View view, int interval,
     const std::vector<std::uint32_t>* indices, std::uint32_t observe_seq,
     bool collect_discoveries) {
-  const int h = flows.interval;
+  const int h = interval;
   const int day = util::AnalysisWindow::day_of_interval(h);
   const inventory::IoTDeviceDatabase& db = *pipe.db_;
   const PipelineOptions& options = pipe.options_;
@@ -148,24 +240,35 @@ void AnalysisPipeline::ShardState::observe(
   unknown_hour.clear();
   hour_discoveries.clear();
 
-  const std::size_t record_count =
-      indices ? indices->size() : flows.records.size();
+  const std::size_t record_count = indices ? indices->size() : view.size();
   for (std::size_t k = 0; k < record_count; ++k) {
     const auto record_idx =
         indices ? (*indices)[k] : static_cast<std::uint32_t>(k);
-    const auto& flow = flows.records[record_idx];
-    const inventory::DeviceRecord* device = db.find(flow.src);
-    if (device == nullptr) {
-      unattributed_packets += flow.packet_count;
-      auto& tally = unknown_hour[flow.src.value()];
-      tally.packets += flow.packet_count;
-      if (flow.protocol == net::Protocol::Tcp &&
-          classify(flow, options.taxonomy) == FlowClass::TcpScan) {
-        tally.tcp_syn += flow.packet_count;
+    if constexpr (View::kPrefetchJoin) {
+      // Hide the inventory join's probe latency: hint the slot for the
+      // source a handful of records ahead (far enough to beat a memory
+      // round-trip, near enough to still be cached on arrival).
+      constexpr std::size_t kJoinLookahead = 16;
+      if (k + kJoinLookahead < record_count) {
+        const auto ahead = indices ? (*indices)[k + kJoinLookahead]
+                                   : static_cast<std::uint32_t>(k + kJoinLookahead);
+        db.prefetch(view.src(ahead));
       }
-      if (flow.protocol != net::Protocol::Icmp &&
-          is_iot_associated_port(flow.dst_port)) {
-        tally.iot_port += flow.packet_count;
+    }
+    const net::Ipv4Address src = view.src(record_idx);
+    const std::uint64_t n = view.packets(record_idx);
+    const inventory::DeviceRecord* device = db.find(src);
+    if (device == nullptr) {
+      unattributed_packets += n;
+      auto& tally = unknown_hour[src.value()];
+      tally.packets += n;
+      // TcpScan implies the TCP protocol, so the tag alone decides.
+      if (tag_class(view.cls(record_idx)) == FlowClass::TcpScan) {
+        tally.tcp_syn += n;
+      }
+      if (view.proto(record_idx) != net::Protocol::Icmp &&
+          is_iot_associated_port(view.dst_port(record_idx))) {
+        tally.iot_port += n;
       }
       continue;
     }
@@ -173,7 +276,6 @@ void AnalysisPipeline::ShardState::observe(
         device - db.devices().data());
     const bool consumer = device->is_consumer();
     const int realm = consumer ? 0 : 1;
-    const std::uint64_t n = flow.packet_count;
 
     DeviceTraffic& ledger =
         ledger_for(device_id,
@@ -188,7 +290,7 @@ void AnalysisPipeline::ShardState::observe(
     ledger.days_active_mask |= static_cast<std::uint8_t>(1u << day);
     total_packets += n;
 
-    const FlowClass cls = classify(flow, options.taxonomy);
+    const FlowClass cls = tag_class(view.cls(record_idx));
     if (first_sighting && collect_discoveries) {
       hour_discoveries.emplace_back(record_idx,
                                     Discovery{device_id, h, cls, n});
@@ -198,11 +300,12 @@ void AnalysisPipeline::ShardState::observe(
         ledger.tcp_scan += n;
         tcp_packets.of(consumer) += n;
         scan_packet_series.of(consumer).add(h, static_cast<double>(n));
-        hour_scan_dsts[realm].insert(flow.dst.value());
-        hour_scan_ports[realm].set(flow.dst_port);
+        const net::Port port = view.dst_port(record_idx);
+        hour_scan_dsts[realm].insert(view.dst(record_idx));
+        hour_scan_ports[realm].set(port);
         hour_scanners.insert(device_id);
         // Named-service attribution (Table V / Fig 10).
-        int service = pipe.port_to_service_[flow.dst_port];
+        int service = pipe.port_to_service_[port];
         if (service < 0) service = pipe.other_service_;
         const auto s = static_cast<std::size_t>(service);
         if (s < ledger.scan_by_service.size()) ledger.scan_by_service[s] += n;
@@ -246,14 +349,15 @@ void AnalysisPipeline::ShardState::observe(
         ledger.udp += n;
         udp_packets.of(consumer) += n;
         udp_packet_series.of(consumer).add(h, static_cast<double>(n));
-        hour_udp_dsts[realm].insert(flow.dst.value());
-        hour_udp_ports[realm].set(flow.dst_port);
-        udp_port_packets[flow.dst_port] += n;
-        udp_ports_seen.set(flow.dst_port);
+        const net::Port port = view.dst_port(record_idx);
+        hour_udp_dsts[realm].insert(view.dst(record_idx));
+        hour_udp_ports[realm].set(port);
+        udp_port_packets[port] += n;
+        udp_ports_seen.set(port);
         const std::uint64_t pair =
-            (static_cast<std::uint64_t>(flow.dst_port) << 32) | device_id;
+            (static_cast<std::uint64_t>(port) << 32) | device_id;
         if (udp_port_device_pairs.insert(pair)) {
-          ++udp_port_devices[flow.dst_port];
+          ++udp_port_devices[port];
         }
         break;
       }
@@ -286,12 +390,17 @@ void AnalysisPipeline::ShardState::observe(
 
 AnalysisPipeline::Obs::Obs()
     : observe(obs::Registry::instance().stage("pipeline.observe")),
+      classify(obs::Registry::instance().stage("pipeline.classify")),
       partition(obs::Registry::instance().stage("pipeline.partition")),
       shard(obs::Registry::instance().stage("pipeline.observe.shard")),
       fanin(obs::Registry::instance().stage("pipeline.fanin")),
       finalize(obs::Registry::instance().stage("pipeline.finalize")),
       hours(obs::Registry::instance().counter("pipeline.hours")),
-      records(obs::Registry::instance().counter("pipeline.records")) {}
+      records(obs::Registry::instance().counter("pipeline.records")),
+      batch_records(
+          obs::Registry::instance().counter("pipeline.batch.records")),
+      batch_bytes(obs::Registry::instance().counter("pipeline.batch.bytes")),
+      batch_mem(obs::Registry::instance().gauge("pipeline.batch.mem_peak")) {}
 
 AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
                                    PipelineOptions options)
@@ -325,30 +434,64 @@ std::size_t AnalysisPipeline::shard_of(std::uint32_t src) const noexcept {
   return static_cast<std::size_t>(mixed >> 33) % shards_.size();
 }
 
+void AnalysisPipeline::observe(const net::FlowBatch& batch) {
+  obs::ScopedTimer observe_timer(obs_.observe);
+  obs_.hours.add(1);
+  obs_.records.add(batch.size());
+  obs_.batch_records.add(batch.size());
+  obs_.batch_bytes.add(batch.size() * net::FlowTupleCodec::kRecordBytes);
+
+  // The shared classification pass: one branchy decode of tcp_flags/ICMP
+  // types per record, written to a tag column every shard consumer
+  // reads. A batch that already carries tags stamped with *this
+  // pipeline's* taxonomy recipe (tag once where the batch is born —
+  // study producer thread, pre-tagged corpora) is consumed as-is; any
+  // other recipe, including untagged, is classified here so foreign
+  // options can never skew the report.
+  const std::vector<ClassTag>* tags = &batch.class_tag;
+  if (batch.tag_recipe != tag_recipe_for(options_.taxonomy) ||
+      batch.class_tag.size() != batch.size()) {
+    obs::ScopedTimer classify_timer(obs_.classify);
+    classify_batch(batch, options_.taxonomy, tag_scratch_);
+    tags = &tag_scratch_;
+  }
+  observe_view(BatchView(batch, *tags), batch.interval);
+}
+
 void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
+  batch_scratch_.assign_rows(flows);
+  observe(batch_scratch_);
+}
+
+void AnalysisPipeline::observe_aos(const net::HourlyFlows& flows) {
   obs::ScopedTimer observe_timer(obs_.observe);
   obs_.hours.add(1);
   obs_.records.add(flows.records.size());
+  observe_view(RowsView(flows, options_.taxonomy), flows.interval);
+}
 
+template <typename View>
+void AnalysisPipeline::observe_view(const View view, int interval) {
   const std::uint32_t seq = observe_seq_++;
   const bool collect_discoveries = static_cast<bool>(discovery_sink_);
-  const int h = flows.interval;
+  const int h = interval;
 
   // ---- fan-out ----
   if (shards_.size() == 1) {
     obs::ScopedTimer shard_timer(obs_.shard);
-    shards_[0]->observe(*this, flows, nullptr, seq, collect_discoveries);
+    shards_[0]->observe(*this, view, h, nullptr, seq, collect_discoveries);
   } else {
     {
       obs::ScopedTimer partition_timer(obs_.partition);
       for (auto& bucket : partition_) bucket.clear();
-      for (std::uint32_t i = 0; i < flows.records.size(); ++i) {
-        partition_[shard_of(flows.records[i].src.value())].push_back(i);
+      const auto n = static_cast<std::uint32_t>(view.size());
+      for (std::uint32_t i = 0; i < n; ++i) {
+        partition_[shard_of(view.src(i).value())].push_back(i);
       }
     }
     pool_->run_indexed(shards_.size(), [&](std::size_t s) {
       obs::ScopedTimer shard_timer(obs_.shard);
-      shards_[s]->observe(*this, flows, &partition_[s], seq,
+      shards_[s]->observe(*this, view, h, &partition_[s], seq,
                           collect_discoveries);
     });
   }

@@ -29,6 +29,7 @@
 #include "core/notify.hpp"
 #include "core/report.hpp"
 #include "inventory/database.hpp"
+#include "net/flow_batch.hpp"
 #include "net/flowtuple.hpp"
 #include "obs/metrics.hpp"
 #include "util/flat_hash.hpp"
@@ -72,9 +73,25 @@ class AnalysisPipeline {
   /// hour's shard fan-in — never from a worker thread.
   void set_discovery_sink(DiscoverySink sink) { discovery_sink_ = std::move(sink); }
 
-  /// Processes one hourly flowtuple file (fan-out across shards, fan-in
-  /// of the hour's distinct-destination counts).
+  /// Processes one hourly flowtuple batch (fan-out across shards, fan-in
+  /// of the hour's distinct-destination counts). The columnar hot path:
+  /// one shared classification pass tags every record up front, then
+  /// every shard walks the columns it needs. A batch whose tag_recipe
+  /// matches this pipeline's TaxonomyOptions is consumed as-is (tag once
+  /// where the batch is born); any other recipe — untagged included — is
+  /// re-classified here, so foreign options never leak into the report.
+  void observe(const net::FlowBatch& batch);
+
+  /// AoS convenience: converts into a reused scratch batch and runs the
+  /// columnar path. Splitting an hour across several HourlyFlows calls
+  /// accumulates identically, as before.
   void observe(const net::HourlyFlows& flows);
+
+  /// Retained AoS record walk (classify-at-point-of-use over the record
+  /// structs, no shared tag column) — the pre-batch implementation, kept
+  /// as the before-variant for bench_perf_micro and the batch/AoS
+  /// equivalence test. Produces the identical Report.
+  void observe_aos(const net::HourlyFlows& flows);
 
   /// Merges shard state (in fixed shard order), completes cross-hour
   /// statistics, and returns the report. The pipeline must not be
@@ -84,6 +101,8 @@ class AnalysisPipeline {
   const inventory::IoTDeviceDatabase& database() const noexcept {
     return *db_;
   }
+
+  const PipelineOptions& options() const noexcept { return options_; }
 
   /// Resolved shard/worker count (>= 1).
   unsigned threads() const noexcept {
@@ -95,6 +114,12 @@ class AnalysisPipeline {
 
   /// Stable source-IP -> shard assignment (multiplicative hash).
   std::size_t shard_of(std::uint32_t src) const noexcept;
+
+  /// Shared fan-out/fan-in body, parameterized over the record access
+  /// policy (columnar BatchView or AoS RowsView — both defined in
+  /// pipeline.cpp, where every instantiation lives).
+  template <typename View>
+  void observe_view(View view, int interval);
 
   const inventory::IoTDeviceDatabase* db_;
   PipelineOptions options_;
@@ -111,12 +136,19 @@ class AnalysisPipeline {
   // hour/shard granularity — the per-record loops carry none.
   struct Obs {
     obs::Stage& observe;    ///< whole observe() call
+    obs::Stage& classify;   ///< shared per-batch classification pass
     obs::Stage& partition;  ///< record partitioning (threaded path only)
     obs::Stage& shard;      ///< per-shard ShardState::observe task
     obs::Stage& fanin;      ///< per-hour cross-shard union + notifications
     obs::Stage& finalize;   ///< finalize() merge
     obs::Counter& hours;    ///< observe() calls
     obs::Counter& records;  ///< flowtuple records seen
+    obs::Counter& batch_records;  ///< records arriving as FlowBatch columns
+    obs::Counter& batch_bytes;    ///< record payload bytes of those batches
+    /// High-water of batch bytes resident across the prefetch queue
+    /// (written by FlowTupleStore::for_each; looked up here so every
+    /// snapshot carries the gauge even on prefetch-free runs).
+    obs::Gauge& batch_mem;
     Obs();
   };
   Obs obs_;
@@ -127,6 +159,8 @@ class AnalysisPipeline {
   std::vector<std::vector<std::uint32_t>> partition_;  ///< per-shard record indices
   util::FlatSet<std::uint32_t> union_scratch_;         ///< fan-in dst-IP union
   analysis::HourlySeries scanners_per_hour_;  ///< coordinator-owned
+  net::FlowBatch batch_scratch_;      ///< AoS observe() conversion, reused
+  std::vector<ClassTag> tag_scratch_;  ///< per-batch tag column, reused
 };
 
 }  // namespace iotscope::core

@@ -34,25 +34,30 @@ workload::SynthStats synthesize_and_analyze(
   if (pipeline.threads() <= 1) {
     telescope::TelescopeCapture capture(
         telescope::DarknetSpace(config.darknet),
-        [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+        [&pipeline](net::FlowBatch&& batch) { pipeline.observe(batch); });
     return workload::synthesize_into(scenario, config, capture);
   }
 
   // Bounded hand-off queue: deep enough to ride out uneven hours, small
-  // enough that at most a few hours of flowtuples are in flight.
+  // enough that at most a few hours of flowtuples are in flight. The
+  // mem-peak gauge tracks how many batch bytes that actually is.
   constexpr std::size_t kMaxQueuedHours = 4;
-  util::BoundedQueue<net::HourlyFlows> queue(kMaxQueuedHours, "study.queue");
+  util::BoundedQueue<net::FlowBatch> queue(kMaxQueuedHours, "study.queue");
+  auto& mem_gauge = obs::Registry::instance().gauge("pipeline.batch.mem_peak");
 
   std::exception_ptr analyst_error;
   std::thread analyst([&] {
-    while (auto flows = queue.pop()) {
+    while (auto batch = queue.pop()) {
+      const auto bytes = static_cast<std::int64_t>(batch->resident_bytes());
       try {
-        pipeline.observe(*flows);
+        pipeline.observe(*batch);
       } catch (...) {
+        mem_gauge.add(-bytes);
         analyst_error = std::current_exception();
         queue.close();  // poison: producer pushes fail from here on
         return;
       }
+      mem_gauge.add(-bytes);
     }
   });
 
@@ -61,7 +66,7 @@ workload::SynthStats synthesize_and_analyze(
   // path the explicit close/join below has already happened and the
   // guard's join degenerates to a no-op joinable() check.
   struct JoinGuard {
-    util::BoundedQueue<net::HourlyFlows>& queue;
+    util::BoundedQueue<net::FlowBatch>& queue;
     std::thread& analyst;
     ~JoinGuard() {
       queue.close();
@@ -70,10 +75,16 @@ workload::SynthStats synthesize_and_analyze(
   } guard{queue, analyst};
 
   telescope::TelescopeCapture capture(
-      telescope::DarknetSpace(config.darknet), [&](net::HourlyFlows&& flows) {
+      telescope::DarknetSpace(config.darknet), [&](net::FlowBatch&& batch) {
+        // Tag on the producer thread with the analyst's own taxonomy so
+        // classification overlaps the analysis of the previous hour; the
+        // recipe stamp lets observe() consume the column directly.
+        classify_batch(batch, pipeline.options().taxonomy);
+        const auto bytes = static_cast<std::int64_t>(batch.resident_bytes());
+        mem_gauge.add(bytes);
         // A false return means the analyst died; the error surfaces
         // below, after synthesis winds down.
-        (void)queue.push(std::move(flows));
+        if (!queue.push(std::move(batch))) mem_gauge.add(-bytes);
       });
   const auto stats = workload::synthesize_into(scenario, config, capture);
 

@@ -47,6 +47,13 @@ class IoTDeviceDatabase {
     return index == nullptr ? nullptr : &devices_[*index];
   }
 
+  /// Cache-hints the find() probe's home slot for `ip`. The columnar
+  /// pipeline walk issues this a few records ahead of its join — the
+  /// dense source column makes the future keys free to read.
+  void prefetch(net::Ipv4Address ip) const noexcept {
+    by_ip_.prefetch(ip.value());
+  }
+
   const std::vector<DeviceRecord>& devices() const noexcept {
     return devices_;
   }

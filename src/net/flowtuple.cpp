@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iterator>
 
+#include "net/flow_batch.hpp"
 #include "util/io.hpp"
 
 namespace iotscope::net {
@@ -86,6 +87,30 @@ void FlowTupleCodec::encode(std::string& out, const HourlyFlows& flows) {
   }
 }
 
+void FlowTupleCodec::encode(std::string& out, const FlowBatch& batch) {
+  const std::size_t n = batch.size();
+  out.reserve(out.size() + 26 + n * kRecordBytes);
+  util::ByteWriter w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(batch.interval));
+  w.u64(static_cast<std::uint64_t>(batch.start_time));
+  w.u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned char b[kRecordBytes];
+    util::store_le32(b + 0, batch.src[i].value());
+    util::store_le32(b + 4, batch.dst[i].value());
+    util::store_le16(b + 8, batch.src_port[i]);
+    util::store_le16(b + 10, batch.dst_port[i]);
+    b[12] = static_cast<std::uint8_t>(batch.proto[i]);
+    b[13] = batch.ttl[i];
+    b[14] = batch.tcp_flags[i];
+    util::store_le16(b + 15, batch.ip_len[i]);
+    util::store_le64(b + 17, batch.pkt_count[i]);
+    w.bytes(b, sizeof b);
+  }
+}
+
 HourlyFlows FlowTupleCodec::decode(std::string_view blob) {
   util::ByteReader r(blob);
   if (r.u32() != kMagic) {
@@ -125,6 +150,44 @@ HourlyFlows FlowTupleCodec::decode(std::string_view blob) {
     flows.records.push_back(t);
   }
   return flows;
+}
+
+FlowBatch FlowTupleCodec::decode_columns(std::string_view blob) {
+  util::ByteReader r(blob);
+  if (r.u32() != kMagic) {
+    throw util::IoError("flowtuple file: bad magic");
+  }
+  if (r.u16() != kVersion) {
+    throw util::IoError("flowtuple file: unsupported version");
+  }
+  FlowBatch batch;
+  batch.interval = static_cast<int>(r.u32());
+  batch.start_time = static_cast<std::int64_t>(r.u64());
+  const std::uint64_t count = r.u64();
+  // Sanity cap: an hourly file beyond 1B records is corrupt.
+  if (count > (1ULL << 30)) {
+    throw util::IoError("flowtuple file: implausible record count");
+  }
+  // Same clamp as decode(): the blob is in memory, so a corrupt count
+  // cannot force allocations beyond what the remaining bytes can yield.
+  batch.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining() / kRecordBytes)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const unsigned char* b = r.bytes(kRecordBytes);
+    if (!known_protocol(b[12])) {
+      throw util::IoError("flowtuple file: unknown protocol value");
+    }
+    batch.src.push_back(Ipv4Address(util::load_le32(b + 0)));
+    batch.dst.push_back(Ipv4Address(util::load_le32(b + 4)));
+    batch.src_port.push_back(util::load_le16(b + 8));
+    batch.dst_port.push_back(util::load_le16(b + 10));
+    batch.proto.push_back(static_cast<Protocol>(b[12]));
+    batch.ttl.push_back(b[13]);
+    batch.tcp_flags.push_back(b[14]);
+    batch.ip_len.push_back(util::load_le16(b + 15));
+    batch.pkt_count.push_back(util::load_le64(b + 17));
+  }
+  return batch;
 }
 
 void FlowTupleCodec::write(std::ostream& os, const HourlyFlows& flows) {

@@ -17,6 +17,8 @@
 
 namespace iotscope::net {
 
+struct FlowBatch;  // net/flow_batch.hpp — the SoA twin of HourlyFlows
+
 /// The aggregation key + count. For ICMP flows, src_port/dst_port carry the
 /// ICMP type/code (the corsaro convention), so no information is lost.
 struct FlowTuple {
@@ -94,10 +96,18 @@ class FlowTupleCodec {
 
   /// Appends the exact on-disk byte stream for `flows` to `out`.
   static void encode(std::string& out, const HourlyFlows& flows);
+  /// Columnar encode: identical byte stream, reading from a FlowBatch's
+  /// column vectors instead of AoS records (class_tag is derived state
+  /// and never serialized).
+  static void encode(std::string& out, const FlowBatch& batch);
   /// Decodes a complete in-memory blob with a bounds-checked cursor.
   /// Trailing bytes after the declared records are ignored, matching the
   /// stream decoder.
   static HourlyFlows decode(std::string_view blob);
+  /// Columnar decode: same validation and error surface as decode(), but
+  /// fills FlowBatch columns straight from the block buffer so records
+  /// never materialize as AoS structs on the read path.
+  static FlowBatch decode_columns(std::string_view blob);
 
   static void write(std::ostream& os, const HourlyFlows& flows);
   static HourlyFlows read(std::istream& is);

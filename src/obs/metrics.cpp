@@ -191,6 +191,13 @@ const CounterSample* Snapshot::counter(std::string_view name) const noexcept {
   return nullptr;
 }
 
+const GaugeSample* Snapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& sample : gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
 // ------------------------------------------------------------ rendering
 
 namespace {

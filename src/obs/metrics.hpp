@@ -95,6 +95,19 @@ class Gauge {
     }
   }
 
+  /// Adjusts the value by a (possibly negative) delta from any thread —
+  /// set() would race when several writers account shared state such as
+  /// bytes resident in a queue. Updates the high-water mark like set().
+  void add(std::int64_t delta) noexcept {
+    if (!enabled()) return;
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
   std::int64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
@@ -198,6 +211,7 @@ struct Snapshot {
 
   const StageSample* stage(std::string_view name) const noexcept;
   const CounterSample* counter(std::string_view name) const noexcept;
+  const GaugeSample* gauge(std::string_view name) const noexcept;
 };
 
 /// The process-wide metric registry. Registration (first lookup of a

@@ -34,19 +34,22 @@ void TelescopeCapture::ingest(const net::PacketRecord& packet) {
 
 void TelescopeCapture::rotate_to(int interval) {
   while (current_interval_ < interval) {
-    net::HourlyFlows flows;
-    flows.interval = current_interval_;
-    flows.start_time = util::AnalysisWindow::interval_start(current_interval_);
-    flows.records.reserve(accumulator_.size());
-    for (auto& [key, count] : accumulator_) {
+    net::FlowBatch batch;
+    batch.interval = current_interval_;
+    batch.start_time = util::AnalysisWindow::interval_start(current_interval_);
+    batch.reserve(accumulator_.size());
+    accumulator_.for_each([&batch](const net::FlowTuple& key,
+                                   std::uint64_t count) {
       net::FlowTuple r = key;
       r.packet_count = count;
-      flows.records.push_back(r);
-    }
-    stats_.flows_emitted += flows.records.size();
+      batch.push_back(r);
+    });
+    stats_.flows_emitted += batch.size();
     ++stats_.hours_rotated;
+    // Epoch clear: O(1), keeps the table's high-water capacity so the
+    // next hour inserts without rehashing.
     accumulator_.clear();
-    sink_(std::move(flows));
+    sink_(std::move(batch));
     ++current_interval_;
   }
 }

@@ -5,12 +5,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "net/flow_batch.hpp"
 #include "net/flowtuple.hpp"
 #include "net/packet.hpp"
 #include "telescope/darknet.hpp"
+#include "util/flat_hash.hpp"
 #include "util/timebase.hpp"
 
 namespace iotscope::telescope {
@@ -23,16 +24,17 @@ struct CaptureStats {
   int hours_rotated = 0;                ///< completed hourly files
 };
 
-/// Aggregates packets into hourly flowtuple files.
+/// Aggregates packets into hourly flowtuple batches.
 ///
 /// Packets must be fed in non-decreasing timestamp order (the simulator
 /// replays time forward); when an hour boundary passes, the accumulated
-/// records are flushed to the sink callback as a completed HourlyFlows.
+/// records are flushed to the sink callback as a completed FlowBatch
+/// (column vectors — see net/flow_batch.hpp).
 class TelescopeCapture {
  public:
-  using Sink = std::function<void(net::HourlyFlows&&)>;
+  using Sink = std::function<void(net::FlowBatch&&)>;
 
-  /// sink receives each completed hourly file; must not be empty.
+  /// sink receives each completed hourly batch; must not be empty.
   TelescopeCapture(DarknetSpace space, Sink sink);
 
   /// Ingests one packet. Packets outside the dark space are counted as
@@ -55,8 +57,13 @@ class TelescopeCapture {
   CaptureStats stats_;
   int current_interval_ = -1;
   bool finished_ = false;
-  std::unordered_map<net::FlowTuple, std::uint64_t, net::FlowTupleKeyHash,
-                     net::FlowTupleKeyEq>
+  /// Flowtuple-key -> packet count for the hour in flight. A flat
+  /// open-addressing table (one contiguous slot array, epoch clear at
+  /// rotation) instead of a node-based map: at telescope scale this map
+  /// takes one insert-or-bump per packet, so probe locality and
+  /// allocation-free steady state dominate the ingest cost.
+  util::FlatKeyMap<net::FlowTuple, std::uint64_t, net::FlowTupleKeyHash,
+                   net::FlowTupleKeyEq>
       accumulator_;
 };
 

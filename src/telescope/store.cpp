@@ -1,11 +1,7 @@
 #include "telescope/store.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <thread>
 
-#include "obs/metrics.hpp"
-#include "util/bounded_queue.hpp"
 #include "util/io.hpp"
 
 namespace iotscope::telescope {
@@ -20,10 +16,23 @@ void FlowTupleStore::put(const net::HourlyFlows& flows) const {
       dir_ / net::FlowTupleCodec::file_name(flows.interval), flows);
 }
 
+void FlowTupleStore::put(const net::FlowBatch& batch) const {
+  std::string blob;
+  net::FlowTupleCodec::encode(blob, batch);
+  util::write_file(dir_ / net::FlowTupleCodec::file_name(batch.interval),
+                   blob);
+}
+
 std::optional<net::HourlyFlows> FlowTupleStore::get(int interval) const {
   const auto path = dir_ / net::FlowTupleCodec::file_name(interval);
   if (!std::filesystem::exists(path)) return std::nullopt;
   return net::FlowTupleCodec::read_file(path);
+}
+
+std::optional<net::FlowBatch> FlowTupleStore::get_batch(int interval) const {
+  const auto path = dir_ / net::FlowTupleCodec::file_name(interval);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  return net::FlowTupleCodec::decode_columns(util::read_file(path));
 }
 
 std::vector<int> FlowTupleStore::intervals() const {
@@ -54,61 +63,9 @@ std::vector<int> FlowTupleStore::intervals() const {
 }
 
 void FlowTupleStore::for_each(
-    const std::function<void(const net::HourlyFlows&)>& visit) const {
-  auto& decode_stage = obs::Registry::instance().stage("store.decode");
-  for (int interval : intervals()) {
-    std::optional<net::HourlyFlows> flows;
-    {
-      obs::ScopedTimer timer(decode_stage);
-      flows = get(interval);
-    }
-    if (flows) visit(*flows);
-  }
-}
-
-void FlowTupleStore::for_each(
-    const std::function<void(const net::HourlyFlows&)>& visit,
+    const std::function<void(const net::FlowBatch&)>& visit,
     std::size_t prefetch) const {
-  if (prefetch == 0) {
-    for_each(visit);
-    return;
-  }
-  const auto order = intervals();
-  auto& decode_stage = obs::Registry::instance().stage("store.decode");
-
-  // Error paths mirror run_study's (DESIGN.md §8): a visitor exception
-  // closes the queue (the reader's next push fails and it exits), a
-  // decode error is recorded, the queue closed so the consumer drains
-  // and stops, and the error is rethrown here after the join. Both sides
-  // always join before an exception leaves this frame.
-  util::BoundedQueue<net::HourlyFlows> queue(prefetch, "store.prefetch");
-  std::exception_ptr reader_error;
-
-  std::thread reader([&] {
-    for (int interval : order) {
-      std::optional<net::HourlyFlows> flows;
-      try {
-        obs::ScopedTimer timer(decode_stage);
-        flows = get(interval);
-      } catch (...) {
-        reader_error = std::current_exception();
-        break;
-      }
-      if (!flows) continue;
-      if (!queue.push(std::move(*flows))) return;  // consumer aborted
-    }
-    queue.close();  // end of stream (or decode error recorded above)
-  });
-
-  try {
-    while (auto flows = queue.pop()) visit(*flows);
-  } catch (...) {
-    queue.close();
-    reader.join();
-    throw;
-  }
-  reader.join();
-  if (reader_error) std::rethrow_exception(reader_error);
+  for_each<const std::function<void(const net::FlowBatch&)>&>(visit, prefetch);
 }
 
 void MemoryFlowStore::put(net::HourlyFlows flows) {

@@ -4,16 +4,26 @@
 // traffic").
 #pragma once
 
+#include <exception>
 #include <filesystem>
 #include <functional>
 #include <optional>
+#include <thread>
 #include <vector>
 
+#include "net/flow_batch.hpp"
 #include "net/flowtuple.hpp"
+#include "obs/metrics.hpp"
+#include "util/bounded_queue.hpp"
 
 namespace iotscope::telescope {
 
 /// A directory of hourly flowtuple files.
+///
+/// Reads surface columnar net::FlowBatch values (decoded straight into
+/// columns — records never materialize as AoS structs on the hot read
+/// path); the on-disk bytes are unchanged, so files written from AoS
+/// HourlyFlows and from batches are interchangeable.
 class FlowTupleStore {
  public:
   /// Opens (and creates if absent) the store rooted at dir.
@@ -21,26 +31,102 @@ class FlowTupleStore {
 
   /// Persists one hourly file; overwrites any existing file for the hour.
   void put(const net::HourlyFlows& flows) const;
+  /// Columnar variant: identical file bytes for the same records.
+  void put(const net::FlowBatch& batch) const;
 
   /// Loads the file for an interval; nullopt if the hour is absent
   /// (the paper itself had a missing-hours day it discarded).
   std::optional<net::HourlyFlows> get(int interval) const;
+  /// Columnar load of one interval (the read path the pipeline uses).
+  std::optional<net::FlowBatch> get_batch(int interval) const;
 
   /// Sorted list of intervals present on disk.
   std::vector<int> intervals() const;
 
-  /// Calls visit for every stored hour in interval order. This is the
-  /// streaming entry point the pipeline uses so that full-scale runs never
-  /// hold more than one hour in memory.
-  void for_each(const std::function<void(const net::HourlyFlows&)>& visit) const;
+  /// Calls visit(const net::FlowBatch&) for every stored hour in interval
+  /// order — the streaming entry point the pipeline uses so full-scale
+  /// runs never hold more than one hour (plus prefetch) in memory.
+  ///
+  /// With prefetch > 0, a background reader thread decodes up to that
+  /// many upcoming hours while the visitor processes the current one;
+  /// visit order is still strictly interval order and a decode or visitor
+  /// error is rethrown on the calling thread after both sides join
+  /// (DESIGN.md §8). prefetch == 0 is the serial path.
+  ///
+  /// The visitor is a deduced template parameter so the per-hour call is
+  /// direct (inlinable) rather than through std::function type erasure; a
+  /// std::function overload below serves callers that need to pass an
+  /// erased callable (e.g. the CLI assembling visitors at runtime).
+  template <typename Visitor>
+  void for_each(Visitor&& visit, std::size_t prefetch = 0) const {
+    auto& decode_stage = obs::Registry::instance().stage("store.decode");
+    if (prefetch == 0) {
+      for (const int interval : intervals()) {
+        std::optional<net::FlowBatch> batch;
+        {
+          obs::ScopedTimer timer(decode_stage);
+          batch = get_batch(interval);
+        }
+        if (batch) visit(static_cast<const net::FlowBatch&>(*batch));
+      }
+      return;
+    }
 
-  /// Like for_each, but reads and decodes up to `prefetch` upcoming hourly
-  /// files on a background reader thread while the visitor processes the
-  /// current one — disk I/O and codec work overlap the analysis. Visit
-  /// order is still strictly interval order; a decode error is rethrown on
-  /// the calling thread. prefetch == 0 degenerates to the serial path.
-  void for_each(const std::function<void(const net::HourlyFlows&)>& visit,
-                std::size_t prefetch) const;
+    const auto order = intervals();
+    // High-water of batch bytes resident in (or just handed out of) the
+    // prefetch queue: added before push, released after the visitor is
+    // done with the batch. If an exception unwinds mid-flight the gauge
+    // may keep a residual value — its max() is the surfaced statistic.
+    auto& mem_gauge =
+        obs::Registry::instance().gauge("pipeline.batch.mem_peak");
+
+    // Error paths mirror run_study's (DESIGN.md §8): a visitor exception
+    // closes the queue (the reader's next push fails and it exits), a
+    // decode error is recorded, the queue closed so the consumer drains
+    // and stops, and the error is rethrown here after the join. Both
+    // sides always join before an exception leaves this frame.
+    util::BoundedQueue<net::FlowBatch> queue(prefetch, "store.prefetch");
+    std::exception_ptr reader_error;
+
+    std::thread reader([&] {
+      for (const int interval : order) {
+        std::optional<net::FlowBatch> batch;
+        try {
+          obs::ScopedTimer timer(decode_stage);
+          batch = get_batch(interval);
+        } catch (...) {
+          reader_error = std::current_exception();
+          break;
+        }
+        if (!batch) continue;
+        const auto bytes = static_cast<std::int64_t>(batch->resident_bytes());
+        mem_gauge.add(bytes);
+        if (!queue.push(std::move(*batch))) {
+          mem_gauge.add(-bytes);  // consumer aborted; batch dropped
+          return;
+        }
+      }
+      queue.close();  // end of stream (or decode error recorded above)
+    });
+
+    try {
+      while (auto batch = queue.pop()) {
+        const auto bytes = static_cast<std::int64_t>(batch->resident_bytes());
+        visit(static_cast<const net::FlowBatch&>(*batch));
+        mem_gauge.add(-bytes);
+      }
+    } catch (...) {
+      queue.close();
+      reader.join();
+      throw;
+    }
+    reader.join();
+    if (reader_error) std::rethrow_exception(reader_error);
+  }
+
+  /// Type-erased overload for callers assembling visitors at runtime.
+  void for_each(const std::function<void(const net::FlowBatch&)>& visit,
+                std::size_t prefetch = 0) const;
 
   const std::filesystem::path& directory() const noexcept { return dir_; }
 
@@ -49,7 +135,8 @@ class FlowTupleStore {
 };
 
 /// An in-memory store variant used by tests and small benches: same
-/// interface shape, no disk round-trip.
+/// interface shape, no disk round-trip. Stays AoS — it exists to hold
+/// reference rows, not to be fast.
 class MemoryFlowStore {
  public:
   void put(net::HourlyFlows flows);

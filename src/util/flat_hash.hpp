@@ -192,6 +192,20 @@ class FlatMap {
       i = (i + 1) & mask;
     }
   }
+
+  /// Read-hints the key's home slot into cache. Streaming callers that
+  /// know their keys a few iterations ahead (e.g. a columnar walk over a
+  /// dense key vector) issue this to hide the find() probe's miss
+  /// latency; a no-op on toolchains without the builtin.
+  void prefetch(Key key) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[detail::fib_index(key, shift_)], 0, 1);
+    }
+#else
+    (void)key;
+#endif
+  }
   const Value* find(Key key) const noexcept {
     return const_cast<FlatMap*>(this)->find(key);
   }
@@ -263,6 +277,121 @@ class FlatMap {
       std::size_t i = detail::fib_index(slot.key, shift_);
       while (slots_[i].epoch == 1) i = (i + 1) & mask;
       slots_[i].key = slot.key;
+      slots_[i].value = std::move(slot.value);
+      slots_[i].epoch = 1;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  int shift_ = 64;
+  std::uint32_t epoch_ = 1;
+};
+
+/// Open-addressing flat hash map over an arbitrary key type with a
+/// caller-supplied hasher/equality — the generic sibling of FlatMap for
+/// composite keys (e.g. the 17-byte flowtuple aggregation key in the
+/// capture engine). Same contract: epoch clear() in O(1), no erase,
+/// values live until the next clear() or growth.
+template <typename Key, typename Value, typename Hash, typename Eq>
+class FlatKeyMap {
+ public:
+  FlatKeyMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// O(1): invalidates every slot by bumping the table epoch.
+  void clear() noexcept {
+    size_ = 0;
+    if (++epoch_ == 0) {
+      for (auto& slot : slots_) slot.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  void reserve(std::size_t n) {
+    const std::size_t cap = detail::capacity_for(n);
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Pointer to the key's value, or nullptr. Valid until the next
+  /// mutating call.
+  Value* find(const Key& key) noexcept {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) return nullptr;
+      if (Eq{}(slot.key, key)) return &slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+  const Value* find(const Key& key) const noexcept {
+    return const_cast<FlatKeyMap*>(this)->find(key);
+  }
+
+  /// The key's value, value-initialized on first access this epoch.
+  Value& operator[](const Key& key) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash(grown_capacity());
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) {
+        slot.key = key;
+        slot.value = Value{};
+        slot.epoch = epoch_;
+        ++size_;
+        return slot.value;
+      }
+      if (Eq{}(slot.key, key)) return slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Visits every live (key, value) pair (slot order — callers must not
+  /// depend on order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.epoch == epoch_) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    Value value;
+    std::uint32_t epoch = 0;
+  };
+
+  /// The caller's hash may be weak in the low bits; remix through the
+  /// Fibonacci constant like the integral-key tables.
+  std::size_t index_of(const Key& key) const noexcept {
+    return detail::fib_index(static_cast<std::uint64_t>(Hash{}(key)), shift_);
+  }
+
+  std::size_t grown_capacity() const noexcept {
+    return slots_.empty() ? detail::kMinCapacity : slots_.size() * 2;
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    const std::uint32_t old_epoch = epoch_;
+    slots_.assign(cap, Slot{});
+    shift_ = 64 - (std::bit_width(cap) - 1);
+    epoch_ = 1;
+    size_ = 0;
+    const std::size_t mask = cap - 1;
+    for (auto& slot : old) {
+      if (slot.epoch != old_epoch) continue;
+      std::size_t i = index_of(slot.key);
+      while (slots_[i].epoch == 1) i = (i + 1) & mask;
+      slots_[i].key = std::move(slot.key);
       slots_[i].value = std::move(slot.value);
       slots_[i].epoch = 1;
       ++size_;

@@ -1,0 +1,152 @@
+// Property tests pinning the columnar classifier (classify_tag /
+// classify_batch) to the per-record reference implementation
+// (classify()). The two are written independently; these sweeps are the
+// only thing keeping them equal, so they cover the full TCP flag space,
+// every ICMP type value (including ones outside the named enum), and
+// both taxonomy-option variants.
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flow_batch.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope::core {
+namespace {
+
+using net::Protocol;
+
+/// The FlowTuple whose column projection is (proto, flags, type_port).
+net::FlowTuple make_flow(Protocol proto, std::uint8_t tcp_flags,
+                         net::Port src_port) {
+  net::FlowTuple t;
+  t.src = net::Ipv4Address(0x0A000001);
+  t.dst = net::Ipv4Address(0x0A000002);
+  t.src_port = src_port;  // carries the ICMP type (corsaro convention)
+  t.dst_port = 23;
+  t.protocol = proto;
+  t.tcp_flags = tcp_flags;
+  t.ttl = 64;
+  t.ip_length = 40;
+  t.packet_count = 1;
+  return t;
+}
+
+const std::vector<TaxonomyOptions>& taxonomy_variants() {
+  static const std::vector<TaxonomyOptions> variants = [] {
+    std::vector<TaxonomyOptions> out;
+    for (const bool full_family : {true, false}) {
+      for (const bool rst_backscatter : {true, false}) {
+        TaxonomyOptions o;
+        o.full_icmp_reply_family = full_family;
+        o.rst_counts_as_backscatter = rst_backscatter;
+        out.push_back(o);
+      }
+    }
+    return out;
+  }();
+  return variants;
+}
+
+TEST(ClassifierBatch, TagClassMatchesReferenceOverFullTcpFlagSpace) {
+  for (const auto& options : taxonomy_variants()) {
+    for (int flags = 0; flags < 256; ++flags) {
+      const auto f = static_cast<std::uint8_t>(flags);
+      const ClassTag tag = classify_tag(Protocol::Tcp, f, 0, options);
+      EXPECT_EQ(tag_class(tag), classify(make_flow(Protocol::Tcp, f, 0), options))
+          << "flags " << flags;
+      // SYN subtag: exactly the SYN bit, independent of the class.
+      EXPECT_EQ((tag & kTagTcpSyn) != 0, (f & net::kSyn) != 0)
+          << "flags " << flags;
+      EXPECT_EQ(tag & kTagIcmpEcho, 0) << "flags " << flags;
+    }
+  }
+}
+
+TEST(ClassifierBatch, TagClassMatchesReferenceOverAllIcmpTypes) {
+  // Sweep every possible type byte, not just the named enum values —
+  // the reply-family edge cases (Timestamp/Information/AddressMask
+  // replies) flip class with full_icmp_reply_family, and unnamed types
+  // must land in IcmpOther under both.
+  for (const auto& options : taxonomy_variants()) {
+    for (int type = 0; type < 256; ++type) {
+      const auto port = static_cast<net::Port>(type);
+      const ClassTag tag = classify_tag(Protocol::Icmp, 0, port, options);
+      EXPECT_EQ(tag_class(tag),
+                classify(make_flow(Protocol::Icmp, 0, port), options))
+          << "icmp type " << type;
+      const bool echo_family =
+          type == static_cast<int>(net::IcmpType::EchoRequest) ||
+          type == static_cast<int>(net::IcmpType::EchoReply);
+      EXPECT_EQ((tag & kTagIcmpEcho) != 0, echo_family) << "icmp type " << type;
+      EXPECT_EQ(tag & kTagTcpSyn, 0) << "icmp type " << type;
+    }
+  }
+}
+
+TEST(ClassifierBatch, UdpIsAlwaysUdpWithNoSubtags) {
+  for (const auto& options : taxonomy_variants()) {
+    for (int flags = 0; flags < 256; flags += 17) {
+      const ClassTag tag = classify_tag(
+          Protocol::Udp, static_cast<std::uint8_t>(flags), 53, options);
+      EXPECT_EQ(tag_class(tag), FlowClass::Udp);
+      EXPECT_EQ(tag & ~kTagClassMask, 0);
+    }
+  }
+}
+
+TEST(ClassifierBatch, RandomizedSweepMatchesReferenceRecordByRecord) {
+  util::Rng rng(42);
+  for (const auto& options : taxonomy_variants()) {
+    for (int i = 0; i < 20000; ++i) {
+      const auto r = rng.uniform(0, 2);
+      const Protocol proto =
+          r == 0 ? Protocol::Tcp : (r == 1 ? Protocol::Udp : Protocol::Icmp);
+      const auto flags = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      const auto port = static_cast<net::Port>(rng.uniform(0, 65535));
+      const ClassTag tag = classify_tag(proto, flags, port, options);
+      EXPECT_EQ(tag_class(tag), classify(make_flow(proto, flags, port), options));
+    }
+  }
+}
+
+TEST(ClassifierBatch, ClassifyBatchEqualsPerRecordClassify) {
+  // End-to-end column form: a randomized batch tagged in one pass must
+  // agree with classify() applied to each reconstructed row.
+  util::Rng rng(7);
+  net::FlowBatch batch;
+  batch.interval = 3;
+  batch.start_time = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = rng.uniform(0, 2);
+    net::FlowTuple t = make_flow(
+        r == 0 ? Protocol::Tcp : (r == 1 ? Protocol::Udp : Protocol::Icmp),
+        static_cast<std::uint8_t>(rng.uniform(0, 255)),
+        static_cast<net::Port>(rng.uniform(0, 65535)));
+    t.src = net::Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    t.dst = net::Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    t.dst_port = static_cast<net::Port>(rng.uniform(0, 65535));
+    t.packet_count = rng.uniform(1, 1000);
+    batch.push_back(t);
+  }
+
+  for (const auto& options : taxonomy_variants()) {
+    std::vector<ClassTag> tags;
+    classify_batch(batch, options, tags);
+    ASSERT_EQ(tags.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(tag_class(tags[i]), classify(batch.row(i), options)) << i;
+    }
+  }
+
+  // The in-place convenience writes the same tags into the column.
+  classify_batch(batch);
+  std::vector<ClassTag> expected;
+  classify_batch(batch, TaxonomyOptions{}, expected);
+  EXPECT_EQ(batch.class_tag, expected);
+}
+
+}  // namespace
+}  // namespace iotscope::core

@@ -213,7 +213,7 @@ TEST(StorePrefetchErrorTest, VisitorExceptionJoinsTheReaderAndRethrows) {
 
   int visited = 0;
   EXPECT_THROW(store.for_each(
-                   [&visited](const net::HourlyFlows&) {
+                   [&visited](const net::FlowBatch&) {
                      if (++visited == 3) {
                        throw std::runtime_error("visitor failed");
                      }
@@ -233,8 +233,8 @@ TEST(StorePrefetchErrorTest, DecodeErrorSurfacesOnTheCallingThread) {
 
   std::vector<int> seen;
   EXPECT_THROW(store.for_each(
-                   [&seen](const net::HourlyFlows& flows) {
-                     seen.push_back(flows.interval);
+                   [&seen](const net::FlowBatch& batch) {
+                     seen.push_back(batch.interval);
                    },
                    /*prefetch=*/2),
                std::exception);

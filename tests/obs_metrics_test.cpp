@@ -265,12 +265,12 @@ const workload::Scenario& tiny_scenario() {
   return instance;
 }
 
-const std::vector<net::HourlyFlows>& tiny_hours() {
-  static const std::vector<net::HourlyFlows> instance = [] {
-    std::vector<net::HourlyFlows> out;
+const std::vector<net::FlowBatch>& tiny_hours() {
+  static const std::vector<net::FlowBatch> instance = [] {
+    std::vector<net::FlowBatch> out;
     telescope::TelescopeCapture capture(
         telescope::DarknetSpace(tiny_config().darknet),
-        [&out](net::HourlyFlows&& flows) { out.push_back(std::move(flows)); });
+        [&out](net::FlowBatch&& batch) { out.push_back(std::move(batch)); });
     workload::synthesize_into(tiny_scenario(), tiny_config(), capture);
     return out;
   }();
@@ -317,7 +317,7 @@ TEST(ObsMetricsTest, PipelineRunCoversAllStagesAndReconcilesWallTime) {
   core::AnalysisPipeline pipeline(tiny_scenario().inventory, options);
   const auto wall_start = now_ns();
   store.for_each(
-      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); },
+      [&pipeline](const net::FlowBatch& batch) { pipeline.observe(batch); },
       /*prefetch=*/2);
   pipeline.finalize();
   const auto wall_ns = now_ns() - wall_start;
@@ -325,9 +325,9 @@ TEST(ObsMetricsTest, PipelineRunCoversAllStagesAndReconcilesWallTime) {
   const auto snap = Registry::instance().snapshot();
   const std::size_t hour_count = tiny_hours().size();
   for (const char* name :
-       {"store.decode", "pipeline.observe", "pipeline.observe.shard",
-        "pipeline.partition", "pipeline.fanin", "pipeline.finalize",
-        "threadpool.run_indexed"}) {
+       {"store.decode", "pipeline.observe", "pipeline.classify",
+        "pipeline.observe.shard", "pipeline.partition", "pipeline.fanin",
+        "pipeline.finalize", "threadpool.run_indexed"}) {
     SCOPED_TRACE(name);
     const auto* stage = snap.stage(name);
     ASSERT_NE(stage, nullptr);
@@ -354,9 +354,20 @@ TEST(ObsMetricsTest, PipelineRunCoversAllStagesAndReconcilesWallTime) {
   EXPECT_LE(total("pipeline.observe.shard"),
             wall_ns * static_cast<std::uint64_t>(options.threads));
 
-  // Counters carried the volume.
+  // Counters carried the volume. Every record arrived through the
+  // columnar path, so the batch counters match the record counters and
+  // the byte counter is exactly records x on-disk record size.
   EXPECT_EQ(snap.counter("pipeline.hours")->value, hour_count);
   EXPECT_GT(snap.counter("pipeline.records")->value, 0u);
+  EXPECT_EQ(snap.counter("pipeline.batch.records")->value,
+            snap.counter("pipeline.records")->value);
+  EXPECT_EQ(snap.counter("pipeline.batch.bytes")->value,
+            snap.counter("pipeline.records")->value *
+                net::FlowTupleCodec::kRecordBytes);
+  // Prefetch was on, so the resident-batch gauge saw a high-water mark.
+  const auto* mem = snap.gauge("pipeline.batch.mem_peak");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_GT(mem->max, 0);
 }
 
 TEST(ObsMetricsTest, JsonSnapshotIsWellFormedAndCoversTheStages) {
@@ -367,7 +378,7 @@ TEST(ObsMetricsTest, JsonSnapshotIsWellFormedAndCoversTheStages) {
   for (const auto& h : tiny_hours()) store.put(h);
   core::AnalysisPipeline pipeline(tiny_scenario().inventory);
   store.for_each(
-      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); });
+      [&pipeline](const net::FlowBatch& batch) { pipeline.observe(batch); });
   pipeline.finalize();
 
   const auto snap = Registry::instance().snapshot();

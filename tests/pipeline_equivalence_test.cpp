@@ -73,14 +73,26 @@ class EquivalenceTest : public ::testing::Test {
     return instance;
   }
 
-  /// All hours of synthetic traffic, captured once.
+  /// All hours of synthetic traffic, captured once as columnar batches.
+  static const std::vector<net::FlowBatch>& batches() {
+    static const std::vector<net::FlowBatch> instance = [] {
+      std::vector<net::FlowBatch> out;
+      telescope::TelescopeCapture capture(
+          telescope::DarknetSpace(tiny_config().darknet),
+          [&out](net::FlowBatch&& batch) { out.push_back(std::move(batch)); });
+      workload::synthesize_into(scenario(), tiny_config(), capture);
+      return out;
+    }();
+    return instance;
+  }
+
+  /// The same hours as AoS record vectors (for the row-oriented
+  /// observe() overloads and the split-hour tests).
   static const std::vector<net::HourlyFlows>& hours() {
     static const std::vector<net::HourlyFlows> instance = [] {
       std::vector<net::HourlyFlows> out;
-      telescope::TelescopeCapture capture(
-          telescope::DarknetSpace(tiny_config().darknet),
-          [&out](net::HourlyFlows&& flows) { out.push_back(std::move(flows)); });
-      workload::synthesize_into(scenario(), tiny_config(), capture);
+      out.reserve(batches().size());
+      for (const auto& b : batches()) out.push_back(b.to_rows());
       return out;
     }();
     return instance;
@@ -88,7 +100,7 @@ class EquivalenceTest : public ::testing::Test {
 
   static Report run_direct() {
     AnalysisPipeline pipeline(scenario().inventory);
-    for (const auto& h : hours()) pipeline.observe(h);
+    for (const auto& b : batches()) pipeline.observe(b);
     return pipeline.finalize();
   }
 
@@ -96,7 +108,7 @@ class EquivalenceTest : public ::testing::Test {
     PipelineOptions options;
     options.threads = threads;
     AnalysisPipeline pipeline(scenario().inventory, options);
-    for (const auto& h : hours()) pipeline.observe(h);
+    for (const auto& b : batches()) pipeline.observe(b);
     return pipeline.finalize();
   }
 
@@ -115,7 +127,7 @@ TEST_F(EquivalenceTest, DiskStoreRoundTripPreservesTheReport) {
   for (const auto& h : hours()) store.put(h);
   AnalysisPipeline pipeline(scenario().inventory);
   store.for_each(
-      [&pipeline](const net::HourlyFlows& flows) { pipeline.observe(flows); });
+      [&pipeline](const net::FlowBatch& batch) { pipeline.observe(batch); });
   expect_reports_equal(run_direct(), pipeline.finalize());
 }
 
@@ -146,7 +158,7 @@ TEST_F(EquivalenceTest, PcapReplayPreservesTheReport) {
   AnalysisPipeline pipeline(scenario().inventory);
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(tiny_config().darknet),
-      [&pipeline](net::HourlyFlows&& flows) { pipeline.observe(flows); });
+      [&pipeline](net::FlowBatch&& batch) { pipeline.observe(batch); });
   std::ifstream in(pcap_path, std::ios::binary);
   net::PcapReader reader(in);
   net::PacketRecord packet;
@@ -180,6 +192,58 @@ TEST_F(EquivalenceTest, SplittingAnHourIntoTwoFilesIsEquivalent) {
   EXPECT_EQ(direct.tcp_scan_total, split_report.tcp_scan_total);
   EXPECT_EQ(direct.backscatter_total, split_report.backscatter_total);
   EXPECT_EQ(direct.udp_total_packets, split_report.udp_total_packets);
+}
+
+TEST_F(EquivalenceTest, AosPathMatchesBatchPathByteForByte) {
+  // The retained AoS record walk (classify at point of use, no shared
+  // tag column) and the columnar batch path must produce the same
+  // Report down to the rendered byte — sequentially and sharded.
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    PipelineOptions options;
+    options.threads = threads;
+    AnalysisPipeline aos(scenario().inventory, options);
+    for (const auto& h : hours()) aos.observe_aos(h);
+    AnalysisPipeline batch(scenario().inventory, options);
+    for (const auto& b : batches()) batch.observe(b);
+    const Report aos_report = aos.finalize();
+    const Report batch_report = batch.finalize();
+    expect_reports_equal(aos_report, batch_report);
+    EXPECT_EQ(render_everything(aos_report),
+              render_everything(batch_report));
+  }
+}
+
+TEST_F(EquivalenceTest, RowObserveMatchesBatchObserve) {
+  // The AoS convenience overload converts into a scratch batch; its
+  // result is the batch path's result.
+  AnalysisPipeline rows(scenario().inventory);
+  for (const auto& h : hours()) rows.observe(h);
+  expect_reports_equal(run_direct(), rows.finalize());
+}
+
+TEST_F(EquivalenceTest, PreTaggedBatchesDoNotChangeTheReport) {
+  // Tags computed under *different* taxonomy options must be rejected
+  // (recipe mismatch -> the pipeline re-classifies with its own
+  // options), and tags computed under *matching* options must be
+  // consumed as-is — the report is identical either way.
+  TaxonomyOptions strict;
+  strict.full_icmp_reply_family = false;
+  strict.rst_counts_as_backscatter = false;
+  ASSERT_NE(tag_recipe_for(strict), tag_recipe_for(TaxonomyOptions{}));
+
+  AnalysisPipeline mismatched(scenario().inventory);
+  AnalysisPipeline matching(scenario().inventory);
+  for (const auto& b : batches()) {
+    net::FlowBatch tagged = b;
+    classify_batch(tagged, strict);
+    mismatched.observe(tagged);
+    classify_batch(tagged, TaxonomyOptions{});
+    matching.observe(tagged);
+  }
+  const Report direct = run_direct();
+  expect_reports_equal(direct, mismatched.finalize());
+  expect_reports_equal(direct, matching.finalize());
 }
 
 TEST_F(EquivalenceTest, ThreadCountDoesNotChangeTheReportByteForByte) {

@@ -40,10 +40,10 @@ TEST(DarknetSpace, AddressAtWrapsAround) {
 
 class CaptureTest : public ::testing::Test {
  protected:
-  std::vector<net::HourlyFlows> hours_;
+  std::vector<net::FlowBatch> hours_;
   DarknetSpace space_;
-  TelescopeCapture capture_{space_, [this](net::HourlyFlows&& flows) {
-                              hours_.push_back(std::move(flows));
+  TelescopeCapture capture_{space_, [this](net::FlowBatch&& batch) {
+                              hours_.push_back(std::move(batch));
                             }};
   const Ipv4Address src_ = Ipv4Address::from_octets(93, 184, 216, 34);
   const Ipv4Address dark_ = Ipv4Address::from_octets(10, 1, 2, 3);
@@ -56,8 +56,8 @@ TEST_F(CaptureTest, AggregatesIdenticalKeysIntoOneFlow) {
   }
   capture_.finish();
   ASSERT_EQ(hours_.size(), 1u);
-  ASSERT_EQ(hours_[0].records.size(), 1u);
-  EXPECT_EQ(hours_[0].records[0].packet_count, 5u);
+  ASSERT_EQ(hours_[0].size(), 1u);
+  EXPECT_EQ(hours_[0].pkt_count[0], 5u);
   EXPECT_EQ(capture_.stats().packets_observed, 5u);
   EXPECT_EQ(capture_.stats().flows_emitted, 1u);
 }
@@ -69,7 +69,7 @@ TEST_F(CaptureTest, DistinctKeysStaySeparate) {
   capture_.ingest(net::make_udp(ts, src_, dark_, 40000, 23));
   capture_.finish();
   ASSERT_EQ(hours_.size(), 1u);
-  EXPECT_EQ(hours_[0].records.size(), 3u);
+  EXPECT_EQ(hours_[0].size(), 3u);
 }
 
 TEST_F(CaptureTest, DropsPacketsOutsideDarkSpace) {
@@ -91,9 +91,9 @@ TEST_F(CaptureTest, RotatesHourlyInOrderIncludingGaps) {
   // Hours 0..3 are all emitted (1 and 2 empty) so interval indexing holds.
   ASSERT_EQ(hours_.size(), 4u);
   EXPECT_EQ(hours_[0].interval, 0);
-  EXPECT_EQ(hours_[0].records.size(), 1u);
-  EXPECT_TRUE(hours_[1].records.empty());
-  EXPECT_TRUE(hours_[2].records.empty());
+  EXPECT_EQ(hours_[0].size(), 1u);
+  EXPECT_TRUE(hours_[1].empty());
+  EXPECT_TRUE(hours_[2].empty());
   EXPECT_EQ(hours_[3].interval, 3);
   EXPECT_EQ(hours_[3].start_time, AnalysisWindow::interval_start(3));
   EXPECT_EQ(capture_.stats().hours_rotated, 4);
@@ -137,9 +137,9 @@ TEST(Capture, PcapFedCaptureMatchesDirectFeed) {
   const auto replayed = net::read_pcap_file(dir.path() / "t.pcap");
 
   auto run = [&space](const std::vector<net::PacketRecord>& input) {
-    std::vector<net::HourlyFlows> out;
-    TelescopeCapture capture(space, [&out](net::HourlyFlows&& flows) {
-      out.push_back(std::move(flows));
+    std::vector<net::FlowBatch> out;
+    TelescopeCapture capture(space, [&out](net::FlowBatch&& batch) {
+      out.push_back(std::move(batch));
     });
     for (const auto& p : input) capture.ingest(p);
     capture.finish();
@@ -150,7 +150,10 @@ TEST(Capture, PcapFedCaptureMatchesDirectFeed) {
   ASSERT_EQ(direct.size(), via_pcap.size());
   for (std::size_t h = 0; h < direct.size(); ++h) {
     EXPECT_EQ(direct[h].total_packets(), via_pcap[h].total_packets());
-    EXPECT_EQ(direct[h].records.size(), via_pcap[h].records.size());
+    EXPECT_EQ(direct[h].size(), via_pcap[h].size());
+    // Identical ingest order must reproduce the exact emission, column
+    // for column (the accumulator's iteration is deterministic).
+    EXPECT_TRUE(direct[h].same_records(via_pcap[h]));
   }
 }
 
@@ -169,13 +172,18 @@ TEST(FlowTupleStore, PutGetIterate) {
   }
   EXPECT_EQ(store.intervals(), (std::vector<int>{1, 5, 9}));
   EXPECT_FALSE(store.get(2).has_value());
+  EXPECT_FALSE(store.get_batch(2).has_value());
   const auto five = store.get(5);
   ASSERT_TRUE(five.has_value());
   EXPECT_EQ(five->records[0].packet_count, 50u);
+  // The columnar load sees the same file, record for record.
+  const auto five_batch = store.get_batch(5);
+  ASSERT_TRUE(five_batch.has_value());
+  EXPECT_TRUE(five_batch->same_records(net::FlowBatch::from_rows(*five)));
 
   std::vector<int> visited;
-  store.for_each([&visited](const net::HourlyFlows& flows) {
-    visited.push_back(flows.interval);
+  store.for_each([&visited](const net::FlowBatch& batch) {
+    visited.push_back(batch.interval);
   });
   EXPECT_EQ(visited, (std::vector<int>{1, 5, 9}));
 }
@@ -216,8 +224,8 @@ TEST(FlowTupleStore, PrefetchingIterationMatchesSerialOrder) {
                                      std::size_t{2}, std::size_t{32}}) {
     std::vector<int> visited;
     store.for_each(
-        [&visited](const net::HourlyFlows& flows) {
-          visited.push_back(flows.interval);
+        [&visited](const net::FlowBatch& batch) {
+          visited.push_back(batch.interval);
         },
         prefetch);
     std::vector<int> expected(12);
@@ -236,7 +244,7 @@ TEST(FlowTupleStore, PrefetchingIterationPropagatesVisitorException) {
   }
   int seen = 0;
   EXPECT_THROW(store.for_each(
-                   [&seen](const net::HourlyFlows&) {
+                   [&seen](const net::FlowBatch&) {
                      if (++seen == 3) throw std::runtime_error("boom");
                    },
                    2),
@@ -254,7 +262,7 @@ TEST(FlowTupleStore, PrefetchingIterationPropagatesDecodeError) {
   // failure must surface on the calling thread.
   util::write_file(dir.path() / net::FlowTupleCodec::file_name(4),
                    "not a flowtuple file");
-  EXPECT_THROW(store.for_each([](const net::HourlyFlows&) {}, 2),
+  EXPECT_THROW(store.for_each([](const net::FlowBatch&) {}, 2),
                util::IoError);
 }
 
@@ -269,6 +277,36 @@ TEST(FlowTupleStore, OverwritesExistingHour) {
   flows.records.push_back(t);
   store.put(flows);
   EXPECT_EQ(store.get(3)->records.size(), 1u);
+}
+
+TEST(FlowTupleStore, BatchPutWritesIdenticalBytesToRowPut) {
+  // put(FlowBatch) and put(HourlyFlows) must produce the same file for
+  // the same records — the on-disk format is layout-agnostic.
+  util::TempDir dir;
+  util::Rng rng(11);
+  net::HourlyFlows flows;
+  flows.interval = 7;
+  flows.start_time = AnalysisWindow::interval_start(7);
+  for (int i = 0; i < 200; ++i) {
+    net::FlowTuple t;
+    t.src = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    t.dst = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    t.src_port = static_cast<net::Port>(rng.uniform(0, 65535));
+    t.dst_port = static_cast<net::Port>(rng.uniform(0, 65535));
+    t.protocol = i % 2 ? net::Protocol::Tcp : net::Protocol::Udp;
+    t.ttl = static_cast<std::uint8_t>(rng.uniform(1, 255));
+    t.tcp_flags = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    t.ip_length = static_cast<std::uint16_t>(rng.uniform(20, 1500));
+    t.packet_count = rng.uniform(1, 1000);
+    flows.records.push_back(t);
+  }
+  FlowTupleStore rows_store(dir.path() / "rows");
+  FlowTupleStore batch_store(dir.path() / "batch");
+  rows_store.put(flows);
+  batch_store.put(net::FlowBatch::from_rows(flows));
+  const auto name = net::FlowTupleCodec::file_name(7);
+  EXPECT_EQ(util::read_file(dir.path() / "rows" / name),
+            util::read_file(dir.path() / "batch" / name));
 }
 
 TEST(MemoryFlowStore, KeepsHoursSortedAndCounts) {

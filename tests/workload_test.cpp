@@ -315,8 +315,8 @@ TEST_F(SynthTest, SynthesizeIntoCaptureProducesAllHours) {
   std::vector<int> intervals;
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(config().darknet),
-      [&intervals](net::HourlyFlows&& flows) {
-        intervals.push_back(flows.interval);
+      [&intervals](net::FlowBatch&& batch) {
+        intervals.push_back(batch.interval);
       });
   synthesize_into(scenario(), config(), capture);
   ASSERT_FALSE(intervals.empty());

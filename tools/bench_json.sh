@@ -5,15 +5,15 @@
 # records/s (items_per_second where the bench reports one).
 #
 # Usage: tools/bench_json.sh [output.json] [bench-binary] [extra bench args...]
-#   output.json    default BENCH_pr3.json (repo root)
+#   output.json    default BENCH_pr4.json (repo root)
 #   bench-binary   default build/bench/bench_perf_micro
 #
-# Example: tools/bench_json.sh BENCH_pr3.json build/bench/bench_perf_micro \
+# Example: tools/bench_json.sh BENCH_pr4.json build/bench/bench_perf_micro \
 #            --benchmark_filter='Flowtuple|Inventory|Accumulator'
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out="${1:-$repo_root/BENCH_pr3.json}"
+out="${1:-$repo_root/BENCH_pr4.json}"
 bench="${2:-$repo_root/build/bench/bench_perf_micro}"
 shift $(( $# > 2 ? 2 : $# )) || true
 

@@ -118,7 +118,7 @@ int cmd_synth(const Args& args) {
   telescope::FlowTupleStore store(out_dir / "flowtuples");
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(config.darknet),
-      [&store](net::HourlyFlows&& flows) { store.put(flows); });
+      [&store](net::FlowBatch&& batch) { store.put(batch); });
   const auto stats = workload::synthesize_into(scenario, config, capture);
 
   const auto threats =
@@ -215,16 +215,19 @@ core::Report run_pipeline(const Dataset& data, const Args& args) {
   }
 
   // Decode the next hours on a reader thread while this one analyzes.
-  data.store.for_each(
-      [&](const net::HourlyFlows& flows) {
-        pipeline.observe(flows);
+  // Goes through the type-erased overload deliberately: the CLI is the
+  // designated std::function caller (visitors assembled at runtime); the
+  // library-internal paths use the templated for_each.
+  const std::function<void(const net::FlowBatch&)> visit =
+      [&](const net::FlowBatch& batch) {
+        pipeline.observe(batch);
         if (metrics) {
           ++hours;
-          packets += flows.total_packets();
+          packets += batch.total_packets();
           progress.update(hours, packets, devices);
         }
-      },
-      /*prefetch=*/2);
+      };
+  data.store.for_each(visit, /*prefetch=*/2);
   auto report = pipeline.finalize();
   if (metrics) progress.finish(hours, packets, devices);
   return report;
@@ -360,9 +363,9 @@ int cmd_info(const Args& args) {
   telescope::FlowTupleStore store(dir / "flowtuples");
   std::uint64_t packets = 0;
   std::size_t flows = 0;
-  store.for_each([&](const net::HourlyFlows& h) {
+  store.for_each([&](const net::FlowBatch& h) {
     packets += h.total_packets();
-    flows += h.records.size();
+    flows += h.size();
   });
   std::printf("dataset %s:\n", dir.string().c_str());
   std::printf("  inventory: %zu devices (%zu consumer / %zu CPS), %zu ISPs, "

@@ -390,6 +390,7 @@ struct BenchWorkload {
   std::vector<net::FlowBatch> batches;      ///< the production SoA path
   std::vector<net::HourlyFlows> hours;      ///< same records as AoS rows
   std::uint64_t total_packets = 0;
+  std::uint64_t total_records = 0;          ///< flowtuple records (rows)
 };
 
 const BenchWorkload& bench_workload() {
@@ -406,6 +407,7 @@ const BenchWorkload& bench_workload() {
       // shared classification pass); observe() consumes the column.
       core::classify_batch(b, config.pipeline.taxonomy);
       w.total_packets += b.total_packets();
+      w.total_records += b.size();
       w.hours.push_back(b.to_rows());
     }
     return w;
@@ -523,6 +525,121 @@ void BM_PipelineAnalysisBatch(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * w.total_packets));
 }
 BENCHMARK(BM_PipelineAnalysisBatch)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// --- Heavy-hitter skew: static shard split vs morsel stealing ----------
+//
+// One source emits ~80% of every hour (heavy_hitter_share = 0.8), so the
+// hash partition pins ~80% of each hour's records to one shard. The
+// static schedule's critical path is that hot shard; morsel stealing
+// chops it into kMorselRecords-sized units that idle workers pull.
+//
+// Besides wall time (which needs a multi-core box to separate — on a
+// single-core CI runner the threads time-slice and all variants collapse
+// to sequential), each run reports machine-independent load-balance
+// numbers derived from the scheduler's own instrumentation:
+//   skew_pct       pipeline.shard.skew high-water: hottest shard as a
+//                  percent of the per-shard mean (100 = even,
+//                  threads*100 = everything on one shard)
+//   model_speedup  per-hour records / critical-path records.
+//                  Static: the hot shard is the critical path, so this
+//                  is threads*100/skew_pct. Stealing: the critical path
+//                  is an even share plus one trailing morsel,
+//                  n / (n/threads + kMorselRecords).
+//   stolen_share   fraction of morsels that ran on a lane other than
+//                  the one the partition assigned them to (stealing
+//                  variant only).
+
+const BenchWorkload& skewed_workload() {
+  static const BenchWorkload instance = [] {
+    BenchWorkload w;
+    auto config = bench_study_config().scenario;
+    // The skew source adds share/(1-share) = 4x extra records per hour;
+    // scale the base traffic down so the total stays bench-sized.
+    config.traffic_scale *= 0.25;
+    config.heavy_hitter_share = 0.8;
+    w.scenario = workload::build_scenario(config);
+    telescope::TelescopeCapture capture(
+        telescope::DarknetSpace(config.darknet),
+        [&w](net::FlowBatch&& batch) { w.batches.push_back(std::move(batch)); });
+    workload::synthesize_into(w.scenario, config, capture);
+    for (auto& b : w.batches) {
+      core::classify_batch(b, bench_study_config().pipeline.taxonomy);
+      w.total_packets += b.total_packets();
+      w.total_records += b.size();
+    }
+    return w;
+  }();
+  return instance;
+}
+
+void run_skewed_pipeline(benchmark::State& state,
+                         core::ShardScheduler scheduler) {
+  const auto& w = skewed_workload();
+  core::PipelineOptions options = bench_study_config().pipeline;
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  options.threads = threads;
+  options.scheduler = scheduler;
+  obs::Registry::instance().reset();
+  for (auto _ : state) {
+    core::AnalysisPipeline pipeline(w.scenario.inventory, options);
+    for (const auto& b : w.batches) pipeline.observe(b);
+    auto report = pipeline.finalize();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * w.total_packets));
+  state.counters["threads"] = static_cast<double>(threads);
+
+  const auto snapshot = obs::Registry::instance().snapshot();
+  const auto* skew = snapshot.gauge("pipeline.shard.skew");
+  // threads == 1 takes the single-shard fast path: no partition, no
+  // skew gauge, and by definition no speedup to model.
+  const double skew_pct =
+      (threads > 1 && skew != nullptr) ? static_cast<double>(skew->max)
+                                       : 100.0;
+  state.counters["skew_pct"] = skew_pct;
+  const double per_hour = static_cast<double>(w.total_records) /
+                          static_cast<double>(w.batches.size());
+  double model = 1.0;
+  if (threads > 1) {
+    model = scheduler == core::ShardScheduler::Static
+                ? static_cast<double>(threads) * 100.0 / skew_pct
+                : per_hour / (per_hour / static_cast<double>(threads) +
+                              static_cast<double>(core::kMorselRecords));
+  }
+  state.counters["model_speedup"] = model;
+  if (scheduler == core::ShardScheduler::Stealing) {
+    const auto* claimed = snapshot.counter("pipeline.morsel.claimed");
+    const auto* stolen = snapshot.counter("pipeline.morsel.stolen");
+    const double c = claimed != nullptr ? static_cast<double>(claimed->value) : 0;
+    const double s = stolen != nullptr ? static_cast<double>(stolen->value) : 0;
+    state.counters["stolen_share"] = c + s > 0 ? s / (c + s) : 0.0;
+  }
+}
+
+void BM_PipelineSkewedStatic(benchmark::State& state) {
+  run_skewed_pipeline(state, core::ShardScheduler::Static);
+}
+BENCHMARK(BM_PipelineSkewedStatic)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_PipelineSkewedStealing(benchmark::State& state) {
+  run_skewed_pipeline(state, core::ShardScheduler::Stealing);
+}
+BENCHMARK(BM_PipelineSkewedStealing)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

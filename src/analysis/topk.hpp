@@ -21,18 +21,20 @@ concept OrderedKey = requires(const K& a, const K& b) {
 template <typename Key, typename Hash = std::hash<Key>>
 class Counter {
  public:
-  void add(const Key& key, std::uint64_t count = 1) { counts_[key] += count; }
+  void add(const Key& key, std::uint64_t count = 1) {
+    counts_[key] += count;
+    total_ += count;
+  }
 
   std::uint64_t count(const Key& key) const {
     const auto it = counts_.find(key);
     return it == counts_.end() ? 0 : it->second;
   }
 
-  std::uint64_t total() const noexcept {
-    std::uint64_t t = 0;
-    for (const auto& [k, v] : counts_) t += v;
-    return t;
-  }
+  /// Sum of every added count. Maintained on add(), so this is O(1) —
+  /// it used to walk all distinct keys, which made per-record callers
+  /// quadratic in the number of distinct keys.
+  std::uint64_t total() const noexcept { return total_; }
 
   std::size_t distinct() const noexcept { return counts_.size(); }
 
@@ -69,6 +71,7 @@ class Counter {
 
  private:
   std::unordered_map<Key, std::uint64_t, Hash> counts_;
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace iotscope::analysis

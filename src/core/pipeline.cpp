@@ -26,6 +26,31 @@ void add_series(analysis::HourlySeries& into,
   }
 }
 
+/// Commutative-exact merge of two per-device ledgers (integral sums,
+/// min/max intervals, OR'd day mask) — the reduction that makes the
+/// stealing scheduler's partials collapse to the sequential result.
+void merge_traffic(DeviceTraffic& into, const DeviceTraffic& from) {
+  if (from.first_interval >= 0 &&
+      (into.first_interval < 0 || from.first_interval < into.first_interval)) {
+    into.first_interval = from.first_interval;
+  }
+  if (from.last_interval > into.last_interval) {
+    into.last_interval = from.last_interval;
+  }
+  into.packets += from.packets;
+  for (std::size_t s = 0; s < into.scan_by_service.size(); ++s) {
+    into.scan_by_service[s] += from.scan_by_service[s];
+  }
+  into.tcp_scan += from.tcp_scan;
+  into.tcp_backscatter += from.tcp_backscatter;
+  into.icmp_scan += from.icmp_scan;
+  into.icmp_backscatter += from.icmp_backscatter;
+  into.udp += from.udp;
+  into.tcp_other += from.tcp_other;
+  into.icmp_other += from.icmp_other;
+  into.days_active_mask |= from.days_active_mask;
+}
+
 // ---------------------------------------------------------------------
 // Record access policies for the shard walk. The shard loop is written
 // once against this accessor surface; which memory it reads — and when
@@ -113,37 +138,44 @@ struct RowsView {
 
 }  // namespace
 
-/// One shard's accumulator. The partition key is the flow source IP, so
-/// everything keyed by source (device ledgers, per-device distinct pairs,
-/// victim series, unknown-source profiles) is disjoint across shards and
-/// merges by concatenation; additive tallies merge by summation in fixed
-/// shard order.
+/// One worker's accumulator. Under the static scheduler each state
+/// receives exactly one source-keyed partition bucket, so source-keyed
+/// state is disjoint across states; under the stealing scheduler a state
+/// receives whatever morsels its worker claimed, so the same source (and
+/// the same device) may accumulate into several states. Every merged
+/// quantity is therefore commutative-exact — integral sums, min/max,
+/// bitwise OR, and set unions — and the fan-in/finalize reduction walks
+/// states in fixed order: the disjoint layouts are just the special case
+/// where each key appears once, which is what keeps the three schedules
+/// byte-identical.
 ///
 /// The per-record containers are flat open-addressing tables
 /// (util::FlatSet/FlatMap): inserts never allocate once a table reaches
 /// its high-water capacity and the per-hour scratch sets clear by epoch
 /// bump, so steady-state observe() performs zero heap allocations per
-/// record. Cross-hour per-device maps (victim series, unknown profiles)
-/// stay node-based — they are keyed per device, not per record, and
-/// finalize() merges them by disjoint-key splicing.
+/// record. Cross-hour per-device maps (the victim series) stay
+/// node-based — they are keyed per device, not per record, and
+/// finalize() merges them by element-wise addition.
 struct AnalysisPipeline::ShardState {
-  /// A device ledger plus the position of its first sighting in the
-  /// observation stream ((observe-call sequence << 32) | record index),
-  /// used at finalize() to rebuild the sequential discovery order.
+  /// Sentinel for "no record seen yet" — larger than any real
+  /// ((observe sequence << 32) | record index) stream position.
+  static constexpr std::uint64_t kNeverSeen = ~0ULL;
+
+  /// A device ledger plus its first sighting in the observation stream:
+  /// the minimum ((observe-call sequence << 32) | record index) over the
+  /// records THIS state processed, with the class and packet count of
+  /// that minimum record. Min-tracked per record (not set at creation)
+  /// because a stealing worker can walk a device's records out of index
+  /// order; finalize() takes the min across states to rebuild the
+  /// sequential discovery order.
   struct LedgerSlot {
     DeviceTraffic traffic;
-    std::uint64_t first_seen = 0;
+    std::uint64_t first_seen = kNeverSeen;
+    FlowClass first_cls = FlowClass::TcpScan;
+    std::uint64_t first_n = 0;
   };
 
-  /// Per-hour tally for one non-inventory source (promoted to an
-  /// UnknownSourceProfile when it crosses the hourly floor).
-  struct UnknownHourTally {
-    std::uint64_t packets = 0;
-    std::uint64_t tcp_syn = 0;
-    std::uint64_t iot_port = 0;
-  };
-
-  // ---- per-device ledgers (source-partitioned, disjoint) ----
+  // ---- per-device ledgers ----
   util::FlatMap<std::uint32_t, std::uint32_t> ledger_index;
   std::vector<LedgerSlot> ledgers;
 
@@ -158,6 +190,10 @@ struct AnalysisPipeline::ShardState {
   ByRealm<analysis::HourlySeries> backscatter_series;
 
   // ---- UDP per-port totals and distinct-device tracking ----
+  // Distinct (port, device) membership lives in the pair set; the
+  // per-port device counts are recomputed at finalize() from the union
+  // of the states' pair sets (a per-state insert-gated increment would
+  // double-count devices split across stealing partials).
   std::array<std::uint64_t, 65536> udp_port_packets{};
   std::array<std::uint32_t, 65536> udp_port_devices{};
   util::FlatSet<std::uint64_t> udp_port_device_pairs;
@@ -174,9 +210,6 @@ struct AnalysisPipeline::ShardState {
   // ---- per-victim hourly backscatter (devices with backscatter only) ----
   std::unordered_map<std::uint32_t, std::vector<double>> victim_series;
 
-  // ---- non-inventory sources with sustained activity ----
-  std::unordered_map<std::uint32_t, UnknownSourceProfile> unknown_profiles;
-
   // ---- per-observe-call scratch, read by the coordinator at fan-in ----
   // (index 0 = consumer realm, 1 = CPS). The flat sets clear by epoch
   // bump (O(1)) and keep their high-water capacity across hours.
@@ -186,7 +219,9 @@ struct AnalysisPipeline::ShardState {
   std::bitset<65536> hour_scan_ports[2];
   util::FlatSet<std::uint32_t> hour_scanners;
   util::FlatMap<std::uint32_t, UnknownHourTally> unknown_hour;
-  std::vector<std::pair<std::uint32_t, Discovery>> hour_discoveries;
+  /// Devices whose ledger was created during the current observe call —
+  /// first-sighting candidates the coordinator dedups globally.
+  std::vector<std::uint32_t> hour_new_devices;
 
   explicit ShardState(std::size_t service_count) {
     service_packets.resize(service_count, 0);
@@ -196,61 +231,64 @@ struct AnalysisPipeline::ShardState {
     service_series.resize(service_count);
   }
 
-  LedgerSlot& ledger_for(std::uint32_t device, std::uint64_t first_seen) {
+  /// Resets the per-observe-call scratch. Called once per state per
+  /// observe() by the coordinator — observe() itself is purely additive,
+  /// because the stealing scheduler invokes it once per morsel.
+  void begin_hour() {
+    for (int realm = 0; realm < 2; ++realm) {
+      hour_udp_dsts[realm].clear();
+      hour_scan_dsts[realm].clear();
+      hour_udp_ports[realm].reset();
+      hour_scan_ports[realm].reset();
+    }
+    hour_scanners.clear();
+    unknown_hour.clear();
+    hour_new_devices.clear();
+  }
+
+  LedgerSlot& ledger_for(std::uint32_t device) {
     if (const std::uint32_t* existing = ledger_index.find(device)) {
       return ledgers[*existing];
     }
     LedgerSlot slot;
     slot.traffic.device = device;
-    slot.first_seen = first_seen;
     const auto index = static_cast<std::uint32_t>(ledgers.size());
     ledgers.push_back(std::move(slot));
     ledger_index.insert(device, index);
     return ledgers[index];
   }
 
-  /// Walks one hour's records through every analysis consumer. The View
-  /// policy decides the record layout (columns vs AoS structs) and where
-  /// the taxonomy tag comes from (precomputed column vs per-use
+  /// Walks a slice of one hour's records (indices == nullptr walks
+  /// [0, count) of the view directly) through every analysis consumer.
+  /// The View policy decides the record layout (columns vs AoS structs)
+  /// and where the taxonomy tag comes from (precomputed column vs per-use
   /// classification); the accumulation logic is identical either way, so
   /// both instantiations produce the same Report by construction.
   template <typename View>
   void observe(const AnalysisPipeline& pipe, View view, int interval,
-               const std::vector<std::uint32_t>* indices,
+               const std::uint32_t* indices, std::size_t count,
                std::uint32_t observe_seq, bool collect_discoveries);
 };
 
 template <typename View>
 void AnalysisPipeline::ShardState::observe(
     const AnalysisPipeline& pipe, const View view, int interval,
-    const std::vector<std::uint32_t>* indices, std::uint32_t observe_seq,
-    bool collect_discoveries) {
+    const std::uint32_t* indices, std::size_t count,
+    std::uint32_t observe_seq, bool collect_discoveries) {
   const int h = interval;
   const int day = util::AnalysisWindow::day_of_interval(h);
   const inventory::IoTDeviceDatabase& db = *pipe.db_;
-  const PipelineOptions& options = pipe.options_;
 
-  for (int realm = 0; realm < 2; ++realm) {
-    hour_udp_dsts[realm].clear();
-    hour_scan_dsts[realm].clear();
-    hour_udp_ports[realm].reset();
-    hour_scan_ports[realm].reset();
-  }
-  hour_scanners.clear();
-  unknown_hour.clear();
-  hour_discoveries.clear();
-
-  const std::size_t record_count = indices ? indices->size() : view.size();
-  for (std::size_t k = 0; k < record_count; ++k) {
+  for (std::size_t k = 0; k < count; ++k) {
     const auto record_idx =
-        indices ? (*indices)[k] : static_cast<std::uint32_t>(k);
+        indices ? indices[k] : static_cast<std::uint32_t>(k);
     if constexpr (View::kPrefetchJoin) {
       // Hide the inventory join's probe latency: hint the slot for the
       // source a handful of records ahead (far enough to beat a memory
       // round-trip, near enough to still be cached on arrival).
       constexpr std::size_t kJoinLookahead = 16;
-      if (k + kJoinLookahead < record_count) {
-        const auto ahead = indices ? (*indices)[k + kJoinLookahead]
+      if (k + kJoinLookahead < count) {
+        const auto ahead = indices ? indices[k + kJoinLookahead]
                                    : static_cast<std::uint32_t>(k + kJoinLookahead);
         db.prefetch(view.src(ahead));
       }
@@ -276,12 +314,20 @@ void AnalysisPipeline::ShardState::observe(
         device - db.devices().data());
     const bool consumer = device->is_consumer();
     const int realm = consumer ? 0 : 1;
+    const FlowClass cls = tag_class(view.cls(record_idx));
 
-    DeviceTraffic& ledger =
-        ledger_for(device_id,
-                   (static_cast<std::uint64_t>(observe_seq) << 32) | record_idx)
-            .traffic;
-    const bool first_sighting = ledger.packets == 0;
+    LedgerSlot& slot = ledger_for(device_id);
+    if (slot.first_seen == kNeverSeen && collect_discoveries) {
+      hour_new_devices.push_back(device_id);
+    }
+    const std::uint64_t stream_pos =
+        (static_cast<std::uint64_t>(observe_seq) << 32) | record_idx;
+    if (stream_pos < slot.first_seen) {
+      slot.first_seen = stream_pos;
+      slot.first_cls = cls;
+      slot.first_n = n;
+    }
+    DeviceTraffic& ledger = slot.traffic;
     if (ledger.first_interval < 0 || h < ledger.first_interval) {
       ledger.first_interval = h;
     }
@@ -290,11 +336,6 @@ void AnalysisPipeline::ShardState::observe(
     ledger.days_active_mask |= static_cast<std::uint8_t>(1u << day);
     total_packets += n;
 
-    const FlowClass cls = tag_class(view.cls(record_idx));
-    if (first_sighting && collect_discoveries) {
-      hour_discoveries.emplace_back(record_idx,
-                                    Discovery{device_id, h, cls, n});
-    }
     switch (cls) {
       case FlowClass::TcpScan: {
         ledger.tcp_scan += n;
@@ -312,15 +353,8 @@ void AnalysisPipeline::ShardState::observe(
         service_packets[s] += n;
         if (consumer) service_consumer_packets[s] += n;
         service_series[s].add(h, static_cast<double>(n));
-        const std::uint64_t pair =
-            (static_cast<std::uint64_t>(s) << 32) | device_id;
-        if (service_device_pairs.insert(pair)) {
-          if (consumer) {
-            ++service_consumer_devices[s];
-          } else {
-            ++service_cps_devices[s];
-          }
-        }
+        service_device_pairs.insert(
+            (static_cast<std::uint64_t>(s) << 32) | device_id);
         break;
       }
       case FlowClass::TcpBackscatter:
@@ -354,11 +388,8 @@ void AnalysisPipeline::ShardState::observe(
         hour_udp_ports[realm].set(port);
         udp_port_packets[port] += n;
         udp_ports_seen.set(port);
-        const std::uint64_t pair =
-            (static_cast<std::uint64_t>(port) << 32) | device_id;
-        if (udp_port_device_pairs.insert(pair)) {
-          ++udp_port_devices[port];
-        }
+        udp_port_device_pairs.insert(
+            (static_cast<std::uint64_t>(port) << 32) | device_id);
         break;
       }
       case FlowClass::TcpOther:
@@ -371,21 +402,6 @@ void AnalysisPipeline::ShardState::observe(
         break;
     }
   }
-
-  // Promote sustained unknown sources into cross-hour profiles; the floor
-  // keeps one-packet background radiation out of memory. (Profiles only
-  // accumulate sums here, so the flat map's slot-order iteration cannot
-  // affect the report.)
-  unknown_hour.for_each([&](std::uint32_t src, const UnknownHourTally& tally) {
-    if (tally.packets < options.unknown_profile_hourly_floor) return;
-    auto& profile = unknown_profiles[src];
-    profile.ip = net::Ipv4Address(src);
-    profile.packets += tally.packets;
-    profile.tcp_syn_packets += tally.tcp_syn;
-    profile.iot_port_packets += tally.iot_port;
-    if (profile.first_interval < 0) profile.first_interval = h;
-    profile.last_interval = h;
-  });
 }
 
 AnalysisPipeline::Obs::Obs()
@@ -395,11 +411,17 @@ AnalysisPipeline::Obs::Obs()
       shard(obs::Registry::instance().stage("pipeline.observe.shard")),
       fanin(obs::Registry::instance().stage("pipeline.fanin")),
       finalize(obs::Registry::instance().stage("pipeline.finalize")),
+      merge(obs::Registry::instance().stage("pipeline.merge")),
       hours(obs::Registry::instance().counter("pipeline.hours")),
       records(obs::Registry::instance().counter("pipeline.records")),
       batch_records(
           obs::Registry::instance().counter("pipeline.batch.records")),
       batch_bytes(obs::Registry::instance().counter("pipeline.batch.bytes")),
+      morsel_claimed(
+          obs::Registry::instance().counter("pipeline.morsel.claimed")),
+      morsel_stolen(
+          obs::Registry::instance().counter("pipeline.morsel.stolen")),
+      shard_skew(obs::Registry::instance().gauge("pipeline.shard.skew")),
       batch_mem(obs::Registry::instance().gauge("pipeline.batch.mem_peak")) {}
 
 AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
@@ -476,24 +498,63 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
   const bool collect_discoveries = static_cast<bool>(discovery_sink_);
   const int h = interval;
 
+  for (auto& shard : shards_) shard->begin_hour();
+
   // ---- fan-out ----
   if (shards_.size() == 1) {
     obs::ScopedTimer shard_timer(obs_.shard);
-    shards_[0]->observe(*this, view, h, nullptr, seq, collect_discoveries);
+    shards_[0]->observe(*this, view, h, nullptr, view.size(), seq,
+                        collect_discoveries);
   } else {
+    const auto n = static_cast<std::uint32_t>(view.size());
     {
       obs::ScopedTimer partition_timer(obs_.partition);
       for (auto& bucket : partition_) bucket.clear();
-      const auto n = static_cast<std::uint32_t>(view.size());
       for (std::uint32_t i = 0; i < n; ++i) {
         partition_[shard_of(view.src(i).value())].push_back(i);
       }
+      if (n > 0) {
+        std::size_t max_bucket = 0;
+        for (const auto& bucket : partition_) {
+          max_bucket = std::max(max_bucket, bucket.size());
+        }
+        // max/mean x 100: 100 = even partition, threads x 100 = one hot
+        // bucket. The gauge max over a run is its worst hour.
+        obs_.shard_skew.set(static_cast<std::int64_t>(
+            max_bucket * 100 * partition_.size() / n));
+      }
     }
-    pool_->run_indexed(shards_.size(), [&](std::size_t s) {
-      obs::ScopedTimer shard_timer(obs_.shard);
-      shards_[s]->observe(*this, view, h, &partition_[s], seq,
-                          collect_discoveries);
-    });
+    if (options_.scheduler == ShardScheduler::Static) {
+      pool_->run_indexed(shards_.size(), [&](std::size_t s) {
+        obs::ScopedTimer shard_timer(obs_.shard);
+        const auto& bucket = partition_[s];
+        shards_[s]->observe(*this, view, h, bucket.data(), bucket.size(), seq,
+                            collect_discoveries);
+      });
+    } else {
+      morsels_.clear();
+      for (std::uint32_t s = 0; s < partition_.size(); ++s) {
+        const auto bucket_size = static_cast<std::uint32_t>(partition_[s].size());
+        for (std::uint32_t begin = 0; begin < bucket_size;
+             begin += kMorselRecords) {
+          morsels_.push_back(
+              {s, begin, std::min(begin + kMorselRecords, bucket_size)});
+        }
+      }
+      util::ThreadPool::MorselStats stats;
+      pool_->run_morsels(
+          morsels_.size(),
+          [&](unsigned worker, std::size_t m) {
+            obs::ScopedTimer shard_timer(obs_.shard);
+            const Morsel& morsel = morsels_[m];
+            shards_[worker]->observe(
+                *this, view, h, partition_[morsel.shard].data() + morsel.begin,
+                morsel.end - morsel.begin, seq, collect_discoveries);
+          },
+          &stats);
+      obs_.morsel_claimed.add(stats.claimed);
+      obs_.morsel_stolen.add(stats.stolen);
+    }
   }
 
   obs::ScopedTimer fanin_timer(obs_.fanin);
@@ -507,7 +568,7 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
       scan_ips = shards_[0]->hour_scan_dsts[realm].size();
       scan_ports = shards_[0]->hour_scan_ports[realm].count();
     } else {
-      // Destinations are not shard-partitioned — union across shards.
+      // Destinations are not partitioned by the shard key — union.
       std::bitset<65536> udp_port_union, scan_port_union;
       union_scratch_.clear();
       for (const auto& shard : shards_) {
@@ -535,30 +596,72 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
     report_.scan_series.of(consumer).dst_ports.add(
         h, static_cast<double>(scan_ports));
   }
-  // Scanner devices are source-keyed, hence disjoint across shards.
-  std::size_t scanners = 0;
-  for (const auto& shard : shards_) scanners += shard->hour_scanners.size();
+  // Scanner devices: a union, not a sum of sizes — under stealing the
+  // same device can scan from several worker partials in one hour.
+  std::size_t scanners;
+  if (shards_.size() == 1) {
+    scanners = shards_[0]->hour_scanners.size();
+  } else {
+    union_scratch_.clear();
+    for (const auto& shard : shards_) {
+      shard->hour_scanners.for_each(
+          [this](std::uint32_t device) { union_scratch_.insert(device); });
+    }
+    scanners = union_scratch_.size();
+  }
   scanners_per_hour_.add(h, static_cast<double>(scanners));
 
+  // ---- fan-in: unknown-source promotion ----
+  // The hourly floor must see a source's whole hour, so the per-state
+  // tallies are summed first (under stealing one source's records can be
+  // split across states; with one state — or the static schedule, where
+  // a source maps to one bucket — the sum is the single tally).
+  const auto promote = [&](std::uint32_t src, const UnknownHourTally& tally) {
+    if (tally.packets < options_.unknown_profile_hourly_floor) return;
+    auto& profile = unknown_profiles_[src];
+    profile.ip = net::Ipv4Address(src);
+    profile.packets += tally.packets;
+    profile.tcp_syn_packets += tally.tcp_syn;
+    profile.iot_port_packets += tally.iot_port;
+    if (profile.first_interval < 0) profile.first_interval = h;
+    profile.last_interval = h;
+  };
+  if (shards_.size() == 1) {
+    shards_[0]->unknown_hour.for_each(promote);
+  } else {
+    unknown_scratch_.clear();
+    for (const auto& shard : shards_) {
+      shard->unknown_hour.for_each(
+          [this](std::uint32_t src, const UnknownHourTally& tally) {
+            auto& sum = unknown_scratch_[src];
+            sum.packets += tally.packets;
+            sum.tcp_syn += tally.tcp_syn;
+            sum.iot_port += tally.iot_port;
+          });
+    }
+    unknown_scratch_.for_each(promote);
+  }
+
   // ---- fan-in: first-sighting notifications, in record order ----
+  // Each state lists the devices whose ledger it created this call; the
+  // candidates are ordered by their min stream position (unique — one
+  // record, one device) and deduped through the global discovered set,
+  // so the sink sees exactly the sequential first sightings.
   if (collect_discoveries) {
-    if (shards_.size() == 1) {
-      for (const auto& [idx, discovery] : shards_[0]->hour_discoveries) {
-        (void)idx;
-        discovery_sink_(discovery);
+    std::vector<std::pair<std::uint64_t, Discovery>> events;
+    for (const auto& shard : shards_) {
+      for (const std::uint32_t device : shard->hour_new_devices) {
+        const std::uint32_t* slot_index = shard->ledger_index.find(device);
+        const ShardState::LedgerSlot& slot = shard->ledgers[*slot_index];
+        events.emplace_back(slot.first_seen,
+                            Discovery{device, h, slot.first_cls, slot.first_n});
       }
-    } else {
-      std::vector<std::pair<std::uint32_t, Discovery>> events;
-      for (const auto& shard : shards_) {
-        events.insert(events.end(), shard->hour_discoveries.begin(),
-                      shard->hour_discoveries.end());
-      }
-      std::sort(events.begin(), events.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      for (const auto& [idx, discovery] : events) {
-        (void)idx;
-        discovery_sink_(discovery);
-      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [pos, discovery] : events) {
+      (void)pos;
+      if (discovered_.insert(discovery.device)) discovery_sink_(discovery);
     }
   }
 }
@@ -568,76 +671,119 @@ Report AnalysisPipeline::finalize() {
   finalized_ = true;
   obs::ScopedTimer finalize_timer(obs_.finalize);
 
-  // ---- merge shard state in fixed shard order ----
-  // Device ledgers: rebuild the sequential discovery order by sorting on
-  // the (observe sequence, record index) of each device's first sighting;
-  // one record names one source, so keys are unique.
-  struct DeviceEntry {
-    std::uint64_t first_seen;
-    std::uint32_t shard;
-    std::uint32_t slot;
-  };
-  std::vector<DeviceEntry> order;
-  std::size_t device_total = 0;
-  for (const auto& shard : shards_) device_total += shard->ledgers.size();
-  order.reserve(device_total);
-  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-    const auto& ledgers = shards_[s]->ledgers;
-    for (std::uint32_t i = 0; i < ledgers.size(); ++i) {
-      order.push_back({ledgers[i].first_seen, s, i});
-    }
-  }
-  std::sort(order.begin(), order.end(),
-            [](const DeviceEntry& a, const DeviceEntry& b) {
-              return a.first_seen < b.first_seen;
-            });
-  report_.devices.reserve(order.size());
-  report_.device_index.reserve(order.size());
-  for (const auto& entry : order) {
-    const DeviceTraffic& traffic =
-        shards_[entry.shard]->ledgers[entry.slot].traffic;
-    const auto index = static_cast<std::uint32_t>(report_.devices.size());
-    report_.devices.push_back(traffic);
-    report_.device_index.emplace(traffic.device, index);
-    if (db_->devices()[traffic.device].is_consumer()) {
-      ++report_.discovered_consumer;
-    } else {
-      ++report_.discovered_cps;
-    }
-  }
-
-  // Additive tallies, series, and disjoint maps fold into one merged
-  // accumulator (shard order is fixed; all sums are integral, so the
-  // result is independent of the shard count).
+  // ---- deterministic reduction: merge worker state in fixed order ----
+  // Every operation below is commutative-exact (integral sums, min/max,
+  // OR, set unions), so the result does not depend on which worker
+  // processed which morsel — only the fixed state order and the total
+  // sort keys decide the bytes.
   auto merged = std::make_unique<ShardState>(workload::scan_services().size());
-  for (const auto& shard : shards_) {
-    merged->total_packets += shard->total_packets;
-    merged->unattributed_packets += shard->unattributed_packets;
-    for (const bool consumer : {true, false}) {
-      merged->tcp_packets.of(consumer) += shard->tcp_packets.of(consumer);
-      merged->udp_packets.of(consumer) += shard->udp_packets.of(consumer);
-      merged->icmp_packets.of(consumer) += shard->icmp_packets.of(consumer);
-      add_series(merged->udp_packet_series.of(consumer),
-                 shard->udp_packet_series.of(consumer));
-      add_series(merged->scan_packet_series.of(consumer),
-                 shard->scan_packet_series.of(consumer));
-      add_series(merged->backscatter_series.of(consumer),
-                 shard->backscatter_series.of(consumer));
+  {
+    obs::ScopedTimer merge_timer(obs_.merge);
+
+    // Device ledgers: the same device can hold a ledger in several
+    // states under stealing — fold them per device (min first sighting,
+    // summed counters, OR'd day mask), then rebuild the sequential
+    // discovery order by sorting on the min stream position of each
+    // device's first sighting (one record names one source, so the keys
+    // are unique).
+    std::size_t slot_total = 0;
+    for (const auto& shard : shards_) slot_total += shard->ledgers.size();
+    std::vector<ShardState::LedgerSlot> ledgers;
+    ledgers.reserve(slot_total);
+    util::FlatMap<std::uint32_t, std::uint32_t> device_slot;
+    device_slot.reserve(slot_total);
+    for (const auto& shard : shards_) {
+      for (const auto& slot : shard->ledgers) {
+        if (const std::uint32_t* existing =
+                device_slot.find(slot.traffic.device)) {
+          ShardState::LedgerSlot& into = ledgers[*existing];
+          if (slot.first_seen < into.first_seen) {
+            into.first_seen = slot.first_seen;
+            into.first_cls = slot.first_cls;
+            into.first_n = slot.first_n;
+          }
+          merge_traffic(into.traffic, slot.traffic);
+        } else {
+          device_slot.insert(slot.traffic.device,
+                             static_cast<std::uint32_t>(ledgers.size()));
+          ledgers.push_back(slot);
+        }
+      }
     }
-    for (std::uint32_t port = 0; port < 65536; ++port) {
-      merged->udp_port_packets[port] += shard->udp_port_packets[port];
-      merged->udp_port_devices[port] += shard->udp_port_devices[port];
+    std::vector<std::uint32_t> order(ledgers.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&ledgers](std::uint32_t a, std::uint32_t b) {
+                return ledgers[a].first_seen < ledgers[b].first_seen;
+              });
+    report_.devices.reserve(order.size());
+    report_.device_index.reserve(order.size());
+    for (const std::uint32_t i : order) {
+      const DeviceTraffic& traffic = ledgers[i].traffic;
+      const auto index = static_cast<std::uint32_t>(report_.devices.size());
+      report_.devices.push_back(traffic);
+      report_.device_index.emplace(traffic.device, index);
+      if (db_->devices()[traffic.device].is_consumer()) {
+        ++report_.discovered_consumer;
+      } else {
+        ++report_.discovered_cps;
+      }
     }
-    merged->udp_ports_seen |= shard->udp_ports_seen;
-    for (std::size_t s = 0; s < merged->service_packets.size(); ++s) {
-      merged->service_packets[s] += shard->service_packets[s];
-      merged->service_consumer_packets[s] += shard->service_consumer_packets[s];
-      merged->service_consumer_devices[s] += shard->service_consumer_devices[s];
-      merged->service_cps_devices[s] += shard->service_cps_devices[s];
-      add_series(merged->service_series[s], shard->service_series[s]);
+
+    // Additive tallies and series fold into one merged accumulator;
+    // distinct-device counts are recomputed from the union of the
+    // states' (key, device) pair sets.
+    for (const auto& shard : shards_) {
+      merged->total_packets += shard->total_packets;
+      merged->unattributed_packets += shard->unattributed_packets;
+      for (const bool consumer : {true, false}) {
+        merged->tcp_packets.of(consumer) += shard->tcp_packets.of(consumer);
+        merged->udp_packets.of(consumer) += shard->udp_packets.of(consumer);
+        merged->icmp_packets.of(consumer) += shard->icmp_packets.of(consumer);
+        add_series(merged->udp_packet_series.of(consumer),
+                   shard->udp_packet_series.of(consumer));
+        add_series(merged->scan_packet_series.of(consumer),
+                   shard->scan_packet_series.of(consumer));
+        add_series(merged->backscatter_series.of(consumer),
+                   shard->backscatter_series.of(consumer));
+      }
+      for (std::uint32_t port = 0; port < 65536; ++port) {
+        merged->udp_port_packets[port] += shard->udp_port_packets[port];
+      }
+      merged->udp_ports_seen |= shard->udp_ports_seen;
+      shard->udp_port_device_pairs.for_each([&](std::uint64_t pair) {
+        if (merged->udp_port_device_pairs.insert(pair)) {
+          ++merged->udp_port_devices[static_cast<std::size_t>(pair >> 32)];
+        }
+      });
+      for (std::size_t s = 0; s < merged->service_packets.size(); ++s) {
+        merged->service_packets[s] += shard->service_packets[s];
+        merged->service_consumer_packets[s] +=
+            shard->service_consumer_packets[s];
+        add_series(merged->service_series[s], shard->service_series[s]);
+      }
+      shard->service_device_pairs.for_each([&](std::uint64_t pair) {
+        if (merged->service_device_pairs.insert(pair)) {
+          const auto s = static_cast<std::size_t>(pair >> 32);
+          const auto device = static_cast<std::uint32_t>(pair & 0xffffffffu);
+          if (db_->devices()[device].is_consumer()) {
+            ++merged->service_consumer_devices[s];
+          } else {
+            ++merged->service_cps_devices[s];
+          }
+        }
+      });
+      // Victim series add element-wise: per-hour sums are order-exact,
+      // and under stealing one victim can appear in several states.
+      for (const auto& [device, series] : shard->victim_series) {
+        auto [it, inserted] = merged->victim_series.try_emplace(device);
+        if (inserted) it->second.assign(kHours, 0.0);
+        for (int hh = 0; hh < kHours; ++hh) {
+          it->second[static_cast<std::size_t>(hh)] +=
+              series[static_cast<std::size_t>(hh)];
+        }
+      }
     }
-    merged->victim_series.merge(shard->victim_series);      // disjoint keys
-    merged->unknown_profiles.merge(shard->unknown_profiles);  // disjoint keys
   }
   report_.total_packets = merged->total_packets;
   report_.unattributed_packets = merged->unattributed_packets;
@@ -786,9 +932,9 @@ Report AnalysisPipeline::finalize() {
         scanners_per_hour_.values(), scan_total.values());
   }
 
-  // ---- unknown-source profiles ----
-  report_.unknown_sources.reserve(merged->unknown_profiles.size());
-  for (const auto& [src, profile] : merged->unknown_profiles) {
+  // ---- unknown-source profiles (coordinator-owned; see observe_view) ----
+  report_.unknown_sources.reserve(unknown_profiles_.size());
+  for (const auto& [src, profile] : unknown_profiles_) {
     report_.unknown_sources.push_back(profile);
   }
   std::sort(report_.unknown_sources.begin(), report_.unknown_sources.end(),

@@ -5,23 +5,27 @@
 // accumulated into every per-device, per-country, per-port, and per-hour
 // aggregate the evaluation reports.
 //
-// Threading model: each observe() call fans the hour's records out over N
-// source-IP-partitioned shards (N = PipelineOptions::threads, default the
-// hardware concurrency). Every shard owns an independent accumulator
-// (ShardState); because the partition key is the source IP, all state
-// keyed by source/device is shard-local and never contended. Per-hour
-// distinct-destination counts are the only cross-shard quantity; the
-// coordinator unions them at the end of each observe() (fan-in).
-// finalize() merges shard state in fixed shard order, so the resulting
-// Report is byte-identical to the sequential (threads = 1) path
-// regardless of thread count — all hourly series hold integral packet
-// counts well below 2^53, so even the double accumulators are exact and
-// order-insensitive.
+// Threading model: each observe() call partitions the hour's records by
+// source IP into N buckets (N = PipelineOptions::threads, default the
+// hardware concurrency) and fans them out over N worker-owned
+// accumulators (ShardState). The default scheduler chops the buckets into
+// fixed-size morsels that workers pull with work stealing, so one
+// heavy-hitter source that pins an entire bucket cannot idle the other
+// workers; the static scheduler (one bucket per worker, no stealing) is
+// kept as the before-variant. Under stealing any worker may touch any
+// source, so every accumulated quantity is merged with commutative-exact
+// operations only (integral sums, min/max, bitwise OR, set unions) and
+// the per-hour fan-in plus finalize() reduce the partials in fixed shard
+// order — the resulting Report is byte-identical across the sequential,
+// static, and stealing paths at every thread count. All hourly series
+// hold integral packet counts well below 2^53, so even the double
+// accumulators are exact and order-insensitive.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/timeseries.hpp"
@@ -37,6 +41,25 @@
 
 namespace iotscope::core {
 
+/// Records per stealing morsel. Small enough that an hour dominated by
+/// one source still splits into hundreds of units across the workers;
+/// large enough that the per-morsel scheduling cost (one CAS plus a
+/// stage-timer read) is noise against 2k record walks. Exposed so the
+/// benchmarks can compute the machine-independent load-balance model
+/// (critical path ≈ records/threads + one trailing morsel).
+inline constexpr std::uint32_t kMorselRecords = 2048;
+
+/// How the threaded fan-out distributes partitioned records to workers.
+enum class ShardScheduler {
+  /// Buckets are chopped into fixed-size morsels pulled from per-worker
+  /// deques with work stealing — a skewed partition (one hot source)
+  /// drains across all workers instead of serializing on one.
+  Stealing,
+  /// One whole bucket per worker (the historical path): collapses to
+  /// single-worker throughput when one source dominates the hour.
+  Static,
+};
+
 /// Pipeline options.
 struct PipelineOptions {
   TaxonomyOptions taxonomy;
@@ -51,6 +74,9 @@ struct PipelineOptions {
   /// concurrency); 1 = sequential. The Report is identical for every
   /// value — threads only trade wall-clock for cores.
   unsigned threads = 0;
+  /// Worker scheduling policy for the threaded path (ignored when the
+  /// resolved thread count is 1). The Report is identical either way.
+  ShardScheduler scheduler = ShardScheduler::Stealing;
 };
 
 /// Streaming analysis over hourly flowtuple files.
@@ -112,6 +138,23 @@ class AnalysisPipeline {
  private:
   struct ShardState;
 
+  /// Per-hour tally for one non-inventory source; summed across workers
+  /// at fan-in before the promotion floor is applied, so the floor sees
+  /// the source's whole hour no matter how its records were scheduled.
+  struct UnknownHourTally {
+    std::uint64_t packets = 0;
+    std::uint64_t tcp_syn = 0;
+    std::uint64_t iot_port = 0;
+  };
+
+  /// One unit of stolen work: a contiguous slice of one partition
+  /// bucket's record-index list.
+  struct Morsel {
+    std::uint32_t shard = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
   /// Stable source-IP -> shard assignment (multiplicative hash).
   std::size_t shard_of(std::uint32_t src) const noexcept;
 
@@ -133,18 +176,25 @@ class AnalysisPipeline {
 
   // Observability handles (obs/metrics.hpp), looked up once here so the
   // per-hour paths never touch the registry mutex. Instrumentation is at
-  // hour/shard granularity — the per-record loops carry none.
+  // hour/morsel granularity — the per-record loops carry none.
   struct Obs {
     obs::Stage& observe;    ///< whole observe() call
     obs::Stage& classify;   ///< shared per-batch classification pass
     obs::Stage& partition;  ///< record partitioning (threaded path only)
-    obs::Stage& shard;      ///< per-shard ShardState::observe task
+    obs::Stage& shard;      ///< per-shard / per-morsel accumulation task
     obs::Stage& fanin;      ///< per-hour cross-shard union + notifications
-    obs::Stage& finalize;   ///< finalize() merge
+    obs::Stage& finalize;   ///< finalize() total
+    obs::Stage& merge;      ///< finalize()'s shard-ordered reduction
     obs::Counter& hours;    ///< observe() calls
     obs::Counter& records;  ///< flowtuple records seen
     obs::Counter& batch_records;  ///< records arriving as FlowBatch columns
     obs::Counter& batch_bytes;    ///< record payload bytes of those batches
+    obs::Counter& morsel_claimed;  ///< morsels run from a worker's own slice
+    obs::Counter& morsel_stolen;   ///< morsels obtained through stealing
+    /// Partition imbalance per hour: max/mean bucket records x 100 (100 =
+    /// perfectly even; threads x 100 = everything in one bucket). The
+    /// snapshot max is the run's worst hour.
+    obs::Gauge& shard_skew;
     /// High-water of batch bytes resident across the prefetch queue
     /// (written by FlowTupleStore::for_each; looked up here so every
     /// snapshot carries the gauge even on prefetch-free runs).
@@ -157,8 +207,17 @@ class AnalysisPipeline {
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
   std::uint32_t observe_seq_ = 0;  ///< observe() call counter (merge order)
   std::vector<std::vector<std::uint32_t>> partition_;  ///< per-shard record indices
+  std::vector<Morsel> morsels_;                        ///< stealing work list, reused
   util::FlatSet<std::uint32_t> union_scratch_;         ///< fan-in dst-IP union
   analysis::HourlySeries scanners_per_hour_;  ///< coordinator-owned
+  /// Devices already announced to the discovery sink. Under stealing a
+  /// device's ledger can be created in several worker partials (even in
+  /// different hours), so first-sighting dedup must be global.
+  util::FlatSet<std::uint32_t> discovered_;
+  /// Cross-hour unknown-source profiles, coordinator-owned: promotion
+  /// happens at fan-in on the per-hour totals, never per worker.
+  std::unordered_map<std::uint32_t, UnknownSourceProfile> unknown_profiles_;
+  util::FlatMap<std::uint32_t, UnknownHourTally> unknown_scratch_;  ///< fan-in sum
   net::FlowBatch batch_scratch_;      ///< AoS observe() conversion, reused
   std::vector<ClassTag> tag_scratch_;  ///< per-batch tag column, reused
 };

@@ -64,15 +64,22 @@ workload::SynthStats synthesize_and_analyze(
   // Runs on every exit path, including a throwing synthesize_into: close
   // the queue so the analyst's pop() returns, then join. On the normal
   // path the explicit close/join below has already happened and the
-  // guard's join degenerates to a no-op joinable() check.
+  // guard's join degenerates to a no-op joinable() check. After the
+  // join, drain whatever the analyst never popped — a dead analyst
+  // strands already-enqueued hours, and destroying them without the
+  // matching add(-bytes) would leave the mem gauge permanently high.
   struct JoinGuard {
     util::BoundedQueue<net::FlowBatch>& queue;
     std::thread& analyst;
+    obs::Gauge& mem_gauge;
     ~JoinGuard() {
       queue.close();
       if (analyst.joinable()) analyst.join();
+      while (auto batch = queue.pop()) {
+        mem_gauge.add(-static_cast<std::int64_t>(batch->resident_bytes()));
+      }
     }
-  } guard{queue, analyst};
+  } guard{queue, analyst, mem_gauge};
 
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(config.darknet), [&](net::FlowBatch&& batch) {

@@ -21,13 +21,12 @@ class PrefixMap {
   /// Inserts or replaces the value for an exact prefix.
   void insert(Ipv4Prefix prefix, Value value) {
     auto& table = tables_[prefix.length()];
+    // insert_or_assign, not emplace-then-assign: emplace may move the
+    // value into a discarded node even when the key already exists, so
+    // the subsequent assignment would store a moved-from husk.
     const auto [it, inserted] =
-        table.emplace(prefix.base().value(), std::move(value));
-    if (!inserted) {
-      it->second = std::move(value);
-    } else {
-      ++size_;
-    }
+        table.insert_or_assign(prefix.base().value(), std::move(value));
+    if (inserted) ++size_;
     if (!(lengths_mask_ >> prefix.length() & 1u)) {
       lengths_mask_ |= 1ULL << prefix.length();
       rebuild_lengths();

@@ -11,6 +11,23 @@
 
 namespace iotscope::util {
 
+namespace {
+
+/// Packs a half-open [begin, end) index range into one atomic word so a
+/// pop (front) or a steal (back) is a single compare-exchange.
+constexpr std::uint64_t pack_range(std::uint32_t begin,
+                                   std::uint32_t end) noexcept {
+  return (static_cast<std::uint64_t>(begin) << 32) | end;
+}
+constexpr std::uint32_t range_begin(std::uint64_t r) noexcept {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+constexpr std::uint32_t range_end(std::uint64_t r) noexcept {
+  return static_cast<std::uint32_t>(r);
+}
+
+}  // namespace
+
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
 
@@ -19,13 +36,26 @@ struct ThreadPool::Impl {
   std::condition_variable job_done;
 
   // Current job, valid while generation is odd-stepped forward; workers
-  // pick up indices with a shared atomic cursor.
+  // pick up indices with a shared atomic cursor (indexed mode) or the
+  // per-lane stealing ranges below (morsel mode).
   const std::function<void(std::size_t)>* job = nullptr;
+  const std::function<void(unsigned, std::size_t)>* morsel_job = nullptr;
   std::size_t count = 0;
   std::atomic<std::size_t> cursor{0};
   std::uint64_t generation = 0;
   std::size_t busy = 0;  ///< workers still draining the current job
   bool stop = false;
+
+  /// One lane's stealing state, cache-line isolated: the packed range is
+  /// contended by thieves; the tallies are written only by the owning
+  /// lane during a run and read by the caller after the join barrier.
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> range{0};
+    std::uint64_t claimed = 0;
+    std::uint64_t stolen = 0;
+  };
+  std::unique_ptr<Lane[]> lanes;
+  unsigned lane_count = 1;
 
   // Exception channel: the first error is recorded here and rethrown on
   // the calling thread after the join; `failed` fail-fasts the other
@@ -36,8 +66,16 @@ struct ThreadPool::Impl {
 
   obs::Stage& run_stage =
       obs::Registry::instance().stage("threadpool.run_indexed");
+  obs::Stage& morsel_stage =
+      obs::Registry::instance().stage("threadpool.run_morsels");
   obs::Counter& task_counter =
       obs::Registry::instance().counter("threadpool.tasks");
+
+  void record_error() {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error) error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  }
 
   void drain() {
     // Claim indices until the job is exhausted or another task failed;
@@ -49,35 +87,123 @@ struct ThreadPool::Impl {
       try {
         (*job)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_release);
+        record_error();
       }
     }
   }
 
-  void worker_loop() {
+  /// Steals the back half of the fullest other lane into `lane`'s own
+  /// (empty) range. Returns false when every range is empty — no work is
+  /// left that this lane could ever see: morsels only become visible by
+  /// being carved out of a non-empty range, so an all-empty scan means
+  /// the remaining in-flight indices are already owned by other lanes.
+  bool steal_into(unsigned lane) {
+    for (;;) {
+      unsigned victim = lane_count;
+      std::uint32_t best_remaining = 0;
+      for (unsigned v = 0; v < lane_count; ++v) {
+        if (v == lane) continue;
+        const std::uint64_t r = lanes[v].range.load(std::memory_order_acquire);
+        const std::uint32_t remaining = range_end(r) - range_begin(r);
+        if (remaining > best_remaining) {
+          best_remaining = remaining;
+          victim = v;
+        }
+      }
+      if (victim == lane_count) return false;
+      std::uint64_t r = lanes[victim].range.load(std::memory_order_acquire);
+      const std::uint32_t begin = range_begin(r);
+      const std::uint32_t end = range_end(r);
+      if (begin >= end) continue;  // raced to empty; rescan
+      const std::uint32_t take = (end - begin + 1) / 2;
+      if (!lanes[victim].range.compare_exchange_strong(
+              r, pack_range(begin, end - take), std::memory_order_acq_rel)) {
+        continue;  // victim moved; rescan for the new fullest range
+      }
+      // The stolen back half is invisible between the shrink above and
+      // this install, but only to *other* thieves — this lane executes
+      // it, so no index is lost. (ABA on the victim's word is impossible:
+      // every index is claimed at most once, so a non-empty range value
+      // can never reappear within one run.)
+      lanes[lane].range.store(pack_range(end - take, end),
+                              std::memory_order_release);
+      return true;
+    }
+  }
+
+  void drain_morsels(unsigned lane) {
+    Lane& mine = lanes[lane];
+    bool range_is_stolen = false;
+    for (;;) {
+      std::uint64_t r = mine.range.load(std::memory_order_acquire);
+      while (range_begin(r) < range_end(r)) {
+        const std::uint32_t index = range_begin(r);
+        if (!mine.range.compare_exchange_weak(
+                r, pack_range(index + 1, range_end(r)),
+                std::memory_order_acq_rel)) {
+          continue;  // a thief shrank the range; retry with the new word
+        }
+        if (failed.load(std::memory_order_acquire)) return;
+        try {
+          (*morsel_job)(lane, index);
+        } catch (...) {
+          record_error();
+        }
+        (range_is_stolen ? mine.stolen : mine.claimed) += 1;
+        r = mine.range.load(std::memory_order_acquire);
+      }
+      if (failed.load(std::memory_order_acquire)) return;
+      if (!steal_into(lane)) return;
+      range_is_stolen = true;
+    }
+  }
+
+  void worker_loop(unsigned lane) {
     std::uint64_t seen = 0;
     for (;;) {
       std::unique_lock<std::mutex> lock(mutex);
       work_ready.wait(lock, [&] { return stop || generation != seen; });
       if (stop) return;
       seen = generation;
+      const bool morsels = morsel_job != nullptr;
       lock.unlock();
 
-      drain();
+      if (morsels) {
+        drain_morsels(lane);
+      } else {
+        drain();
+      }
 
       lock.lock();
       if (--busy == 0) job_done.notify_all();
+    }
+  }
+
+  /// Blocks until every worker finished the current job, then rethrows
+  /// the first recorded error (if any).
+  void join_and_rethrow() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      job_done.wait(lock, [&] { return busy == 0; });
+      job = nullptr;
+      morsel_job = nullptr;
+    }
+    if (error) {
+      auto pending = error;
+      error = nullptr;
+      std::rethrow_exception(pending);
     }
   }
 };
 
 ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
   const unsigned n = resolve(threads);
+  impl_->lane_count = n > 0 ? n : 1;
+  impl_->lanes = std::make_unique<Impl::Lane[]>(impl_->lane_count);
   impl_->workers.reserve(n > 0 ? n - 1 : 0);
   for (unsigned i = 1; i < n; ++i) {
-    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+    impl_->workers.emplace_back(
+        [impl = impl_.get(), i] { impl->worker_loop(i); });
   }
 }
 
@@ -106,6 +232,7 @@ void ThreadPool::run_indexed(std::size_t count,
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->job = &fn;
+    impl_->morsel_job = nullptr;
     impl_->count = count;
     impl_->cursor.store(0, std::memory_order_relaxed);
     impl_->failed.store(false, std::memory_order_relaxed);
@@ -116,15 +243,53 @@ void ThreadPool::run_indexed(std::size_t count,
 
   impl_->drain();  // the caller is a worker too
 
-  {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->job_done.wait(lock, [&] { return impl_->busy == 0; });
-    impl_->job = nullptr;
+  impl_->join_and_rethrow();
+}
+
+void ThreadPool::run_morsels(std::size_t count,
+                             const std::function<void(unsigned, std::size_t)>& fn,
+                             MorselStats* stats) {
+  if (stats) *stats = {};
+  if (count == 0) return;
+  obs::ScopedTimer timer(impl_->morsel_stage);
+  impl_->task_counter.add(count);
+  if (impl_->workers.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    if (stats) stats->claimed = count;
+    return;
   }
-  if (impl_->error) {
-    auto error = impl_->error;
-    impl_->error = nullptr;
-    std::rethrow_exception(error);
+  const auto n = static_cast<std::uint32_t>(count);
+  const unsigned lanes = impl_->lane_count;
+  for (unsigned l = 0; l < lanes; ++l) {
+    // Even contiguous split; the publish to the workers happens-before
+    // their wake-up via the generation bump under the mutex below.
+    const auto begin = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(n) * l / lanes);
+    const auto end = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(n) * (l + 1) / lanes);
+    impl_->lanes[l].range.store(pack_range(begin, end),
+                                std::memory_order_relaxed);
+    impl_->lanes[l].claimed = 0;
+    impl_->lanes[l].stolen = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = nullptr;
+    impl_->morsel_job = &fn;
+    impl_->failed.store(false, std::memory_order_relaxed);
+    impl_->busy = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+
+  impl_->drain_morsels(0);  // the caller is lane 0
+
+  impl_->join_and_rethrow();
+  if (stats) {
+    for (unsigned l = 0; l < lanes; ++l) {
+      stats->claimed += impl_->lanes[l].claimed;
+      stats->stolen += impl_->lanes[l].stolen;
+    }
   }
 }
 

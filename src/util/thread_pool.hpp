@@ -1,10 +1,12 @@
 // A small fixed-size worker pool for fork/join parallelism — the
 // concurrency substrate of the sharded analysis pipeline and the
-// prefetching flowtuple iteration. Deliberately minimal: one blocking
-// parallel-for primitive, no futures, no task graph.
+// prefetching flowtuple iteration. Deliberately minimal: two blocking
+// parallel-for primitives (static index claiming and morsel-range work
+// stealing), no futures, no task graph.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -23,9 +25,9 @@ namespace iotscope::util {
 /// usable after a throwing job. Each run_indexed call is timed into the
 /// obs stage "threadpool.run_indexed".
 ///
-/// The pool itself is not re-entrant: run_indexed must not be called
-/// concurrently from two threads, and fn must not call back into the
-/// same pool.
+/// The pool itself is not re-entrant: run_indexed/run_morsels must not
+/// be called concurrently from two threads, and fn must not call back
+/// into the same pool.
 class ThreadPool {
  public:
   /// Spawns `threads - 1` workers (the calling thread participates in
@@ -43,6 +45,34 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, count); blocks until all are done.
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
+
+  /// Tallies of one run_morsels call: how many morsels each lane took
+  /// from its initial contiguous range vs obtained through stealing.
+  struct MorselStats {
+    std::uint64_t claimed = 0;
+    std::uint64_t stolen = 0;
+  };
+
+  /// Work-stealing variant: runs fn(lane, i) exactly once for every
+  /// i in [0, count) (count must fit in 32 bits). Each participating
+  /// lane — worker threads plus the caller, lane ids in [0, size()) —
+  /// starts with an even contiguous slice of the index space held in a
+  /// packed atomic [begin, end) range; a lane pops indices off the front
+  /// of its own range, and when it runs dry it steals the back half of
+  /// the fullest remaining range. Under a balanced load every lane
+  /// drains its own slice (cache behaviour matches run_indexed); under a
+  /// skewed per-index cost the idle lanes drain the loaded lane's slice
+  /// instead of idling at the barrier.
+  ///
+  /// No ordering guarantee: which lane runs which index — and in what
+  /// order — is scheduling-dependent, so fn's per-lane accumulation must
+  /// be merge-order-insensitive. Error semantics match run_indexed
+  /// (first exception rethrown after the join, fail-fast skip of the
+  /// remaining indices, pool stays usable). Timed into the obs stage
+  /// "threadpool.run_morsels".
+  void run_morsels(std::size_t count,
+                   const std::function<void(unsigned, std::size_t)>& fn,
+                   MorselStats* stats = nullptr);
 
   /// Resolves a thread-count request: 0 means "auto" (the hardware
   /// concurrency, at least 1); anything else is returned unchanged.

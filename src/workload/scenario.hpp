@@ -27,6 +27,12 @@ struct ScenarioConfig {
   /// the targets of the fuzzy fingerprinting extension. Scaled by
   /// inventory_scale.
   std::size_t unindexed_iot_devices = 400;
+  /// Fraction of each hour's records emitted by ONE aggressive
+  /// non-inventory source (a Telnet-sweeping heavy hitter). 0 disables
+  /// the source entirely — existing scenarios are byte-stable. At 0.8 the
+  /// source pins ~80 % of every hour to a single partition bucket, the
+  /// load shape that collapses static shard scheduling.
+  double heavy_hitter_share = 0.0;
   net::Ipv4Prefix darknet{net::Ipv4Address::from_octets(10, 0, 0, 0), 8};
 
   /// Scaled device-count helper (at least 1 when count is positive).

@@ -76,11 +76,13 @@ class Synthesizer {
   SynthStats run() {
     for (int h = 0; h < kHours; ++h) {
       hour_start_ = AnalysisWindow::interval_start(h);
+      const std::uint64_t hour_base = stats_.total;
       for (std::size_t i = 0; i < scenario_.truth.plans.size(); ++i) {
         emit_plan_hour(scenario_.truth.plans[i], derived_[i], h);
       }
       emit_unindexed_hour(h);
       emit_noise_hour();
+      emit_heavy_hitter_hour(stats_.total - hour_base);
     }
     return stats_;
   }
@@ -177,6 +179,17 @@ class Synthesizer {
                std::max(1.0, static_cast<double>(kHours - device.first_interval));
       u.ttl = static_cast<std::uint8_t>(rng_.uniform(30, 200));
       unindexed_.push_back(u);
+    }
+
+    // Skewed-workload source: one fixed non-inventory IP (benchmarking
+    // range, RFC 2544) emitting heavy_hitter_share of every hour. Picked
+    // without consuming rng_ draws so share = 0 leaves every existing
+    // scenario's packet stream byte-identical.
+    if (config_.heavy_hitter_share > 0.0) {
+      heavy_hitter_src_ = net::Ipv4Address::from_octets(198, 18, 0, 66);
+      while (scenario_.inventory.find(heavy_hitter_src_) != nullptr) {
+        heavy_hitter_src_ = net::Ipv4Address(heavy_hitter_src_.value() + 1);
+      }
     }
 
     // Expected per-hour noise volume: scale with total IoT budget.
@@ -403,6 +416,25 @@ class Synthesizer {
     }
   }
 
+  // ---- the skewed-workload heavy hitter ----
+  // One source emitting `share` of the hour's records: with T records
+  // already emitted this hour, another T*s/(1-s) Telnet SYNs make the
+  // source's share of the hour s. Distinct ephemeral source ports keep
+  // every packet its own flow, so the record-level skew survives
+  // flowtuple aggregation.
+  void emit_heavy_hitter_hour(std::uint64_t hour_records) {
+    const double share = std::min(config_.heavy_hitter_share, 0.95);
+    if (share <= 0.0 || hour_records == 0) return;
+    const auto extra = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(hour_records) * share / (1.0 - share)));
+    for (std::uint64_t k = 0; k < extra; ++k) {
+      emit(net::make_tcp_syn(ts(), heavy_hitter_src_,
+                             space_.random_address(rng_), ephemeral(), 23,
+                             64));
+      ++stats_.heavy_hitter;
+    }
+  }
+
   // ---- background radiation from non-inventory sources ----
   void emit_noise_hour() {
     const std::uint64_t n = rng_.poisson(noise_per_hour_);
@@ -442,6 +474,7 @@ class Synthesizer {
   util::Rng rng_;
   std::vector<Derived> derived_;
   std::vector<UnindexedDerived> unindexed_;
+  net::Ipv4Address heavy_hitter_src_;
   SynthStats stats_;
   util::UnixTime hour_start_ = 0;
   double noise_per_hour_ = 0.0;

@@ -23,6 +23,7 @@ struct SynthStats {
   std::uint64_t misconfig = 0;
   std::uint64_t noise = 0;      ///< spray-and-pray non-inventory radiation
   std::uint64_t unindexed = 0;  ///< scanning from unindexed IoT devices
+  std::uint64_t heavy_hitter = 0;  ///< skew source (heavy_hitter_share > 0)
 };
 
 /// Packet sink. Called in non-decreasing hour order.

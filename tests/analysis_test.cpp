@@ -268,6 +268,24 @@ TEST(Counter, TopTieBrokenByKey) {
   EXPECT_EQ(top[1].key, 9);
 }
 
+TEST(Counter, RunningTotalMatchesSumOverRaw) {
+  // total() is now a running sum maintained on add(); pin it to the old
+  // definition (walk raw() and sum) over a mixed add pattern: fresh
+  // keys, repeats, explicit counts, and zero-count adds.
+  Counter<int> counter;
+  EXPECT_EQ(counter.total(), 0u);
+  for (int i = 0; i < 500; ++i) {
+    counter.add(i % 37, static_cast<std::uint64_t>(i % 11));
+    counter.add(i % 7);  // default count = 1
+  }
+  counter.add(1000, 0);  // zero-count add creates the key, adds nothing
+  std::uint64_t recomputed = 0;
+  for (const auto& [key, value] : counter.raw()) recomputed += value;
+  EXPECT_EQ(counter.total(), recomputed);
+  EXPECT_EQ(counter.count(1000), 0u);
+  EXPECT_EQ(counter.distinct(), 38u);  // 37 mod keys + the zero-count key
+}
+
 // ---------------- hourly series ----------------
 
 TEST(HourlySeries, AddAtAndBoundsIgnored) {

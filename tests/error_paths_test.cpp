@@ -13,6 +13,7 @@
 
 #include "core/study.hpp"
 #include "net/flowtuple.hpp"
+#include "obs/metrics.hpp"
 #include "telescope/store.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/io.hpp"
@@ -184,6 +185,27 @@ TEST(StudyErrorPathTest, LateConsumerThrowStillUnwinds) {
     }
   };
   EXPECT_THROW(core::run_study(config), std::runtime_error);
+}
+
+TEST(StudyErrorPathTest, ConsumerDeathReleasesQueuedBatchBytes) {
+  // When the analyst dies mid-run, hours already sitting in the hand-off
+  // queue are destroyed without ever being observed. Their bytes were
+  // added to pipeline.batch.mem_peak at enqueue time and used to leak —
+  // the gauge stayed permanently high after the unwind. The join guard
+  // must drain the backlog and give the bytes back.
+  auto& gauge = obs::Registry::instance().gauge("pipeline.batch.mem_peak");
+  const std::int64_t before = gauge.value();
+
+  auto config = tiny_study_config(/*threads=*/2);
+  auto count = std::make_shared<std::atomic<int>>(0);
+  config.discovery_sink = [count](const core::Discovery&) {
+    if (count->fetch_add(1) >= 50) {
+      throw std::runtime_error("late failure");
+    }
+  };
+  EXPECT_THROW(core::run_study(config), std::runtime_error);
+  EXPECT_EQ(gauge.value(), before)
+      << "queued-but-unobserved batches must decrement the mem gauge";
 }
 
 // -------------------------------------------- FlowTupleStore prefetch

@@ -61,6 +61,40 @@ TEST(PrefixMap, InsertReplacesExistingEntry) {
   EXPECT_EQ(*map.lookup(ip("10.1.1.1")), 2);
 }
 
+TEST(PrefixMap, InsertReplacementKeepsTheNewValueIntact) {
+  // Regression: the old emplace-then-assign replacement path could move
+  // the value into a discarded node when the key already existed, then
+  // assign the moved-from husk — a long (heap-allocated) string came
+  // back empty. The replacement must store the full new value.
+  PrefixMap<std::string> map;
+  const std::string first(128, 'a');
+  const std::string second(128, 'b');
+  map.insert(pfx("203.0.113.0/24"), std::string(first));
+  map.insert(pfx("203.0.113.0/24"), std::string(second));
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.lookup(ip("203.0.113.7")), nullptr);
+  EXPECT_EQ(*map.lookup(ip("203.0.113.7")), second);
+}
+
+TEST(PrefixMap, DefaultRouteMaskAndLifecycle) {
+  // The /0 table uses an explicit zero mask (`~0u << 32` would be UB):
+  // every address must probe slot 0. Cover the full lifecycle — insert,
+  // replace, exact fetch, erase — at length 0.
+  PrefixMap<int> map;
+  map.insert(pfx("0.0.0.0/0"), 1);
+  EXPECT_EQ(*map.lookup(ip("0.0.0.0")), 1);
+  EXPECT_EQ(*map.lookup(ip("127.255.255.255")), 1);
+  EXPECT_EQ(*map.lookup(ip("255.255.255.255")), 1);
+  map.insert(pfx("0.0.0.0/0"), 2);  // replacement at length 0
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.lookup(ip("198.51.100.1")), 2);
+  ASSERT_TRUE(map.exact(pfx("0.0.0.0/0")).has_value());
+  EXPECT_EQ(*map.exact(pfx("0.0.0.0/0")), 2);
+  EXPECT_TRUE(map.erase(pfx("0.0.0.0/0")));
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.lookup(ip("198.51.100.1")), nullptr);
+}
+
 TEST(PrefixMap, ExactFetchIgnoresCoveringPrefixes) {
   PrefixMap<int> map;
   map.insert(pfx("10.0.0.0/8"), 1);

@@ -327,7 +327,7 @@ TEST(ObsMetricsTest, PipelineRunCoversAllStagesAndReconcilesWallTime) {
   for (const char* name :
        {"store.decode", "pipeline.observe", "pipeline.classify",
         "pipeline.observe.shard", "pipeline.partition", "pipeline.fanin",
-        "pipeline.finalize", "threadpool.run_indexed"}) {
+        "pipeline.finalize", "pipeline.merge", "threadpool.run_morsels"}) {
     SCOPED_TRACE(name);
     const auto* stage = snap.stage(name);
     ASSERT_NE(stage, nullptr);
@@ -368,6 +368,21 @@ TEST(ObsMetricsTest, PipelineRunCoversAllStagesAndReconcilesWallTime) {
   const auto* mem = snap.gauge("pipeline.batch.mem_peak");
   ASSERT_NE(mem, nullptr);
   EXPECT_GT(mem->max, 0);
+
+  // The stealing scheduler (the default) accounted for every morsel it
+  // dispatched, and the partition pass published a skew gauge: max/mean
+  // bucket records x 100 is at least 100 (an even split) and at most
+  // threads x 100 (everything in one bucket).
+  const auto* claimed = snap.counter("pipeline.morsel.claimed");
+  const auto* stolen = snap.counter("pipeline.morsel.stolen");
+  ASSERT_NE(claimed, nullptr);
+  ASSERT_NE(stolen, nullptr);
+  EXPECT_GT(claimed->value + stolen->value, 0u);
+  const auto* skew = snap.gauge("pipeline.shard.skew");
+  ASSERT_NE(skew, nullptr);
+  EXPECT_GE(skew->max, 100);
+  EXPECT_LE(skew->max, static_cast<std::int64_t>(options.threads) * 100);
+  EXPECT_EQ(snap.stage("pipeline.merge")->calls, 1u);
 }
 
 TEST(ObsMetricsTest, JsonSnapshotIsWellFormedAndCoversTheStages) {

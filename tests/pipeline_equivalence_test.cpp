@@ -104,9 +104,11 @@ class EquivalenceTest : public ::testing::Test {
     return pipeline.finalize();
   }
 
-  static Report run_with_threads(unsigned threads) {
+  static Report run_with_threads(
+      unsigned threads, ShardScheduler scheduler = ShardScheduler::Stealing) {
     PipelineOptions options;
     options.threads = threads;
+    options.scheduler = scheduler;
     AnalysisPipeline pipeline(scenario().inventory, options);
     for (const auto& b : batches()) pipeline.observe(b);
     return pipeline.finalize();
@@ -284,6 +286,116 @@ TEST_F(EquivalenceTest, DiscoverySinkOrderIsThreadCountInvariant) {
   EXPECT_FALSE(sequential.empty());
   EXPECT_EQ(discoveries_at(2), sequential);
   EXPECT_EQ(discoveries_at(8), sequential);
+}
+
+TEST_F(EquivalenceTest, SchedulerChoiceDoesNotChangeTheReportByteForByte) {
+  // Static bucket-per-worker scheduling and morsel-driven work stealing
+  // must land on the same bytes as the sequential walk at every thread
+  // count — the stealing partials are nondeterministic in content, so
+  // only the deterministic reduction can make this hold.
+  const std::string golden = render_everything(run_with_threads(1));
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    for (const auto scheduler :
+         {ShardScheduler::Static, ShardScheduler::Stealing}) {
+      SCOPED_TRACE(testing::Message()
+                   << threads << " threads, "
+                   << (scheduler == ShardScheduler::Static ? "static"
+                                                           : "stealing"));
+      EXPECT_EQ(render_everything(run_with_threads(threads, scheduler)),
+                golden);
+    }
+  }
+}
+
+/// The skewed fixture: one heavy-hitter source emits ~80 % of every
+/// hour's records, so its partition bucket dwarfs the rest — exactly the
+/// load shape where the static schedule serializes. Determinism must
+/// survive maximal stealing.
+class SkewedEquivalenceTest : public ::testing::Test {
+ protected:
+  static workload::ScenarioConfig skewed_config() {
+    workload::ScenarioConfig config = tiny_config();
+    config.heavy_hitter_share = 0.8;
+    return config;
+  }
+
+  static const workload::Scenario& scenario() {
+    static const workload::Scenario instance =
+        workload::build_scenario(skewed_config());
+    return instance;
+  }
+
+  static const std::vector<net::FlowBatch>& batches() {
+    static const std::vector<net::FlowBatch> instance = [] {
+      std::vector<net::FlowBatch> out;
+      telescope::TelescopeCapture capture(
+          telescope::DarknetSpace(skewed_config().darknet),
+          [&out](net::FlowBatch&& batch) { out.push_back(std::move(batch)); });
+      workload::synthesize_into(scenario(), skewed_config(), capture);
+      return out;
+    }();
+    return instance;
+  }
+
+  static Report run(unsigned threads,
+                    ShardScheduler scheduler = ShardScheduler::Stealing) {
+    PipelineOptions options;
+    options.threads = threads;
+    options.scheduler = scheduler;
+    AnalysisPipeline pipeline(scenario().inventory, options);
+    for (const auto& b : batches()) pipeline.observe(b);
+    return pipeline.finalize();
+  }
+
+  static std::string render_everything(const Report& report) {
+    const auto character = characterize(report, scenario().inventory);
+    return render_inference_report(report, character, scenario().inventory) +
+           render_traffic_report(report, scenario().inventory);
+  }
+};
+
+TEST_F(SkewedEquivalenceTest, HeavyHitterWorkloadStaysByteIdentical) {
+  // The skew source is a non-inventory IP, so it also exercises the
+  // cross-worker unknown-source tally merge and the hourly promotion
+  // floor under stealing.
+  const Report sequential = run(1);
+  EXPECT_GT(sequential.unattributed_packets,
+            sequential.total_packets);  // the hitter dominates
+  const std::string golden = render_everything(sequential);
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    for (const auto scheduler :
+         {ShardScheduler::Static, ShardScheduler::Stealing}) {
+      SCOPED_TRACE(testing::Message()
+                   << threads << " threads, "
+                   << (scheduler == ShardScheduler::Static ? "static"
+                                                           : "stealing"));
+      EXPECT_EQ(render_everything(run(threads, scheduler)), golden);
+    }
+  }
+}
+
+TEST_F(SkewedEquivalenceTest, DiscoveryOrderSurvivesMaximalStealing) {
+  // Work stealing can create a device's ledger in several worker
+  // partials; the sink must still see exactly the sequential first
+  // sightings, in record order.
+  const auto discoveries_at = [](unsigned threads, ShardScheduler scheduler) {
+    PipelineOptions options;
+    options.threads = threads;
+    options.scheduler = scheduler;
+    AnalysisPipeline pipeline(scenario().inventory, options);
+    std::vector<std::tuple<std::uint32_t, int, std::uint64_t>> seen;
+    pipeline.set_discovery_sink([&seen](const Discovery& d) {
+      seen.emplace_back(d.device, d.interval, d.packets);
+    });
+    for (const auto& b : batches()) pipeline.observe(b);
+    pipeline.finalize();
+    return seen;
+  };
+  const auto sequential = discoveries_at(1, ShardScheduler::Stealing);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(discoveries_at(4, ShardScheduler::Stealing), sequential);
+  EXPECT_EQ(discoveries_at(8, ShardScheduler::Stealing), sequential);
+  EXPECT_EQ(discoveries_at(4, ShardScheduler::Static), sequential);
 }
 
 TEST_F(EquivalenceTest, SplitHoursStayEquivalentUnderThreading) {

@@ -46,6 +46,20 @@ for bench in report.get("benchmarks", []):
     entry = {"ns_per_op": round(bench["real_time"] * scale, 3)}
     if "items_per_second" in bench:
         entry["records_per_s"] = round(bench["items_per_second"], 1)
+    # User counters (state.counters[...]) surface as extra numeric keys;
+    # keep them — the scheduler benches report machine-independent
+    # load-balance numbers (skew_pct, model_speedup, stolen_share) there.
+    standard = {
+        "real_time", "cpu_time", "iterations", "items_per_second",
+        "bytes_per_second", "repetitions", "repetition_index",
+        "family_index", "per_family_instance_index", "threads",
+    }
+    for key, value in bench.items():
+        if key in standard or not isinstance(value, (int, float)):
+            continue
+        if isinstance(value, bool):
+            continue
+        entry[key] = round(value, 4)
     benchmarks[bench["name"]] = entry
 
 summary = {

@@ -10,9 +10,11 @@
 //   iotscope fingerprint --data DIR [--threshold X] [--min-packets N]
 //   iotscope campaigns   --data DIR [--threads N]
 //   iotscope info        --data DIR
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -72,6 +74,39 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Validates --threads. Absent means auto (0: all cores); an explicit
+/// value must be a positive integer. `0`, negative, non-numeric, and
+/// out-of-range values are rejected with a pointed error instead of
+/// being silently coerced by strtoul (the old behavior turned
+/// `--threads abc` into auto and `--threads -1` into 4294967295).
+bool parse_threads(const Args& args, unsigned* threads) {
+  *threads = 0;  // auto
+  if (!args.has("threads")) return true;
+  const std::string value = args.get("threads", "");
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr,
+                 "iotscope: --threads expects a positive integer, got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  errno = 0;
+  const unsigned long parsed = std::strtoul(value.c_str(), nullptr, 10);
+  if (errno == ERANGE || parsed > std::numeric_limits<unsigned>::max()) {
+    std::fprintf(stderr, "iotscope: --threads value '%s' is out of range\n",
+                 value.c_str());
+    return false;
+  }
+  if (parsed == 0) {
+    std::fprintf(stderr,
+                 "iotscope: --threads must be >= 1 (omit the flag to use all "
+                 "cores)\n");
+    return false;
+  }
+  *threads = static_cast<unsigned>(parsed);
+  return true;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -86,8 +121,9 @@ int usage() {
                "[--metrics-out FILE]\n"
                "  iotscope info        --data DIR\n"
                "\n"
-               "  --threads N        analysis worker shards (default: all "
-               "cores; 1 = sequential; identical output at any value)\n"
+               "  --threads N        analysis worker shards; N must be a "
+               "positive integer (default: all cores; 1 = sequential; "
+               "identical output at any value)\n"
                "  --metrics          progress lines while analyzing + a "
                "per-stage timing summary on stderr\n"
                "  --metrics-out F    write the full metrics snapshot "
@@ -196,9 +232,10 @@ void emit_metrics(const Args& args) {
   if (!out.empty()) util::write_file(out, obs::render_json(snapshot));
 }
 
-core::Report run_pipeline(const Dataset& data, const Args& args) {
+core::Report run_pipeline(const Dataset& data, const Args& args,
+                          unsigned threads) {
   core::PipelineOptions options;
-  options.threads = args.get_unsigned("threads", 0);  // 0 = all cores
+  options.threads = threads;  // validated by parse_threads; 0 = all cores
   core::AnalysisPipeline pipeline(data.inventory, options);
 
   const bool metrics = metrics_requested(args);
@@ -237,8 +274,10 @@ core::Report run_pipeline(const Dataset& data, const Args& args) {
 
 int cmd_analyze(const Args& args) {
   if (!args.has("data")) return usage();
+  unsigned threads = 0;
+  if (!parse_threads(args, &threads)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data, args);
+  const auto report = run_pipeline(data, args, threads);
   const auto character = core::characterize(report, data.inventory);
   const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
 
@@ -317,8 +356,10 @@ int cmd_analyze(const Args& args) {
 
 int cmd_fingerprint(const Args& args) {
   if (!args.has("data")) return usage();
+  unsigned threads = 0;
+  if (!parse_threads(args, &threads)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data, args);
+  const auto report = run_pipeline(data, args, threads);
   core::FingerprintOptions options;
   options.iot_port_share_threshold = args.get_double("threshold", 0.5);
   options.min_packets = static_cast<std::uint64_t>(
@@ -340,8 +381,10 @@ int cmd_fingerprint(const Args& args) {
 
 int cmd_campaigns(const Args& args) {
   if (!args.has("data")) return usage();
+  unsigned threads = 0;
+  if (!parse_threads(args, &threads)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data, args);
+  const auto report = run_pipeline(data, args, threads);
   const auto campaigns = core::cluster_campaigns(report, data.inventory);
   std::printf("%zu probing campaigns (%zu scanners clustered):\n",
               campaigns.campaigns.size(), campaigns.devices_clustered);

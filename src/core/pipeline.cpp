@@ -668,8 +668,39 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
 
 Report AnalysisPipeline::finalize() {
   if (finalized_) return report_;
+  report_ = build_report();
   finalized_ = true;
+  return report_;
+}
+
+Report AnalysisPipeline::snapshot() const {
+  // After finalize() the stored report already holds the completed
+  // reduction; rebuilding from it would double-count.
+  if (finalized_) return report_;
+  return build_report();
+}
+
+std::size_t AnalysisPipeline::evict_idle_unknown_profiles(int before_interval) {
+  std::size_t evicted = 0;
+  for (auto it = unknown_profiles_.begin(); it != unknown_profiles_.end();) {
+    if (it->second.last_interval < before_interval) {
+      frozen_unknown_.push_back(it->second);
+      it = unknown_profiles_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+Report AnalysisPipeline::build_report() const {
   obs::ScopedTimer finalize_timer(obs_.finalize);
+
+  // Everything below reads the accumulated state and writes only into
+  // this copy (the incrementally-maintained series and tallies are
+  // already in report_), so repeated snapshots stay independent.
+  Report report = report_;
 
   // ---- deterministic reduction: merge worker state in fixed order ----
   // Every operation below is commutative-exact (integral sums, min/max,
@@ -716,17 +747,17 @@ Report AnalysisPipeline::finalize() {
               [&ledgers](std::uint32_t a, std::uint32_t b) {
                 return ledgers[a].first_seen < ledgers[b].first_seen;
               });
-    report_.devices.reserve(order.size());
-    report_.device_index.reserve(order.size());
+    report.devices.reserve(order.size());
+    report.device_index.reserve(order.size());
     for (const std::uint32_t i : order) {
       const DeviceTraffic& traffic = ledgers[i].traffic;
-      const auto index = static_cast<std::uint32_t>(report_.devices.size());
-      report_.devices.push_back(traffic);
-      report_.device_index.emplace(traffic.device, index);
+      const auto index = static_cast<std::uint32_t>(report.devices.size());
+      report.devices.push_back(traffic);
+      report.device_index.emplace(traffic.device, index);
       if (db_->devices()[traffic.device].is_consumer()) {
-        ++report_.discovered_consumer;
+        ++report.discovered_consumer;
       } else {
-        ++report_.discovered_cps;
+        ++report.discovered_cps;
       }
     }
 
@@ -785,49 +816,49 @@ Report AnalysisPipeline::finalize() {
       }
     }
   }
-  report_.total_packets = merged->total_packets;
-  report_.unattributed_packets = merged->unattributed_packets;
+  report.total_packets = merged->total_packets;
+  report.unattributed_packets = merged->unattributed_packets;
   for (const bool consumer : {true, false}) {
-    report_.tcp_packets.of(consumer) = merged->tcp_packets.of(consumer);
-    report_.udp_packets.of(consumer) = merged->udp_packets.of(consumer);
-    report_.icmp_packets.of(consumer) = merged->icmp_packets.of(consumer);
-    report_.udp_series.of(consumer).packets =
+    report.tcp_packets.of(consumer) = merged->tcp_packets.of(consumer);
+    report.udp_packets.of(consumer) = merged->udp_packets.of(consumer);
+    report.icmp_packets.of(consumer) = merged->icmp_packets.of(consumer);
+    report.udp_series.of(consumer).packets =
         merged->udp_packet_series.of(consumer);
-    report_.scan_series.of(consumer).packets =
+    report.scan_series.of(consumer).packets =
         merged->scan_packet_series.of(consumer);
-    report_.backscatter_series.of(consumer) =
+    report.backscatter_series.of(consumer) =
         merged->backscatter_series.of(consumer);
   }
 
   // ---- discovery curve (Fig 2) and daily activity ----
-  for (const auto& ledger : report_.devices) {
+  for (const auto& ledger : report.devices) {
     const bool consumer = db_->devices()[ledger.device].is_consumer();
     const int first_day =
         util::AnalysisWindow::day_of_interval(std::max(0, ledger.first_interval));
     for (int d = first_day; d < 6; ++d) {
-      (consumer ? report_.cumulative_by_day_consumer
-                : report_.cumulative_by_day_cps)[static_cast<std::size_t>(d)]++;
+      (consumer ? report.cumulative_by_day_consumer
+                : report.cumulative_by_day_cps)[static_cast<std::size_t>(d)]++;
     }
     for (int d = 0; d < 6; ++d) {
       if (ledger.days_active_mask & (1u << d)) {
-        (consumer ? report_.active_by_day_consumer
-                  : report_.active_by_day_cps)[static_cast<std::size_t>(d)]++;
+        (consumer ? report.active_by_day_consumer
+                  : report.active_by_day_cps)[static_cast<std::size_t>(d)]++;
       }
     }
   }
 
   // ---- UDP roll-ups ----
-  report_.udp_total_packets =
-      report_.udp_packets.consumer + report_.udp_packets.cps;
-  for (const auto& ledger : report_.devices) {
+  report.udp_total_packets =
+      report.udp_packets.consumer + report.udp_packets.cps;
+  for (const auto& ledger : report.devices) {
     if (ledger.udp > 0) {
-      ++report_.udp_device_count;
+      ++report.udp_device_count;
       if (db_->devices()[ledger.device].is_consumer()) {
-        ++report_.udp_consumer_devices;
+        ++report.udp_consumer_devices;
       }
     }
   }
-  report_.udp_distinct_ports = merged->udp_ports_seen.count();
+  report.udp_distinct_ports = merged->udp_ports_seen.count();
   {
     // Top UDP ports by packets.
     std::vector<UdpPortRow> rows;
@@ -844,35 +875,35 @@ Report AnalysisPipeline::finalize() {
                 return a.port < b.port;
               });
     if (rows.size() > 32) rows.resize(32);
-    report_.udp_top_ports = std::move(rows);
+    report.udp_top_ports = std::move(rows);
   }
-  report_.udp_consumer_port_ip_correlation = analysis::pearson(
-      report_.udp_series.consumer.dst_ports.values(),
-      report_.udp_series.consumer.dst_ips.values());
+  report.udp_consumer_port_ip_correlation = analysis::pearson(
+      report.udp_series.consumer.dst_ports.values(),
+      report.udp_series.consumer.dst_ips.values());
 
   // ---- backscatter / DoS ----
-  report_.backscatter_packets.consumer = 0;
-  report_.backscatter_packets.cps = 0;
-  for (const auto& ledger : report_.devices) {
+  report.backscatter_packets.consumer = 0;
+  report.backscatter_packets.cps = 0;
+  for (const auto& ledger : report.devices) {
     const std::uint64_t bs = ledger.backscatter();
     if (bs == 0) continue;
-    ++report_.dos_victims;
+    ++report.dos_victims;
     const bool consumer = db_->devices()[ledger.device].is_consumer();
-    if (!consumer) ++report_.dos_victims_cps;
-    report_.backscatter_packets.of(consumer) += bs;
+    if (!consumer) ++report.dos_victims_cps;
+    report.backscatter_packets.of(consumer) += bs;
   }
-  report_.backscatter_total =
-      report_.backscatter_packets.consumer + report_.backscatter_packets.cps;
-  report_.backscatter_mwu =
-      analysis::mann_whitney_u(report_.backscatter_series.cps.values(),
-                               report_.backscatter_series.consumer.values());
+  report.backscatter_total =
+      report.backscatter_packets.consumer + report.backscatter_packets.cps;
+  report.backscatter_mwu =
+      analysis::mann_whitney_u(report.backscatter_series.cps.values(),
+                               report.backscatter_series.consumer.values());
 
   // Spike detection with dominant-victim attribution (Section IV-B1).
   {
     analysis::HourlySeries total_bs;
     for (int h = 0; h < kHours; ++h) {
-      total_bs.add(h, report_.backscatter_series.consumer.at(h) +
-                          report_.backscatter_series.cps.at(h));
+      total_bs.add(h, report.backscatter_series.consumer.at(h) +
+                          report.backscatter_series.cps.at(h));
     }
     for (const int h : total_bs.spikes(options_.spike_multiple)) {
       DosSpike spike;
@@ -890,24 +921,24 @@ Report AnalysisPipeline::finalize() {
       }
       spike.top_victim_share =
           spike.backscatter_packets > 0 ? best / spike.backscatter_packets : 0;
-      report_.dos_spikes.push_back(spike);
+      report.dos_spikes.push_back(spike);
     }
-    std::sort(report_.dos_spikes.begin(), report_.dos_spikes.end(),
+    std::sort(report.dos_spikes.begin(), report.dos_spikes.end(),
               [](const DosSpike& a, const DosSpike& b) {
                 return a.interval < b.interval;
               });
   }
 
   // ---- TCP scanning roll-ups ----
-  report_.tcp_scan_total = 0;
-  for (const auto& ledger : report_.devices) {
+  report.tcp_scan_total = 0;
+  for (const auto& ledger : report.devices) {
     if (ledger.tcp_scan > 0) {
-      ++report_.scanner_devices;
+      ++report.scanner_devices;
       if (db_->devices()[ledger.device].is_consumer()) {
-        ++report_.scanner_consumer_devices;
+        ++report.scanner_consumer_devices;
       }
     }
-    report_.tcp_scan_total += ledger.tcp_scan;
+    report.tcp_scan_total += ledger.tcp_scan;
   }
   {
     const auto& services = workload::scan_services();
@@ -918,26 +949,51 @@ Report AnalysisPipeline::finalize() {
       row.consumer_packets = merged->service_consumer_packets[s];
       row.consumer_devices = merged->service_consumer_devices[s];
       row.cps_devices = merged->service_cps_devices[s];
-      report_.scan_services.push_back(std::move(row));
-      report_.scan_service_series[s] = merged->service_series[s];
+      report.scan_services.push_back(std::move(row));
+      report.scan_service_series[s] = merged->service_series[s];
     }
   }
   {
     analysis::HourlySeries scan_total;
     for (int h = 0; h < kHours; ++h) {
-      scan_total.add(h, report_.scan_series.consumer.packets.at(h) +
-                            report_.scan_series.cps.packets.at(h));
+      scan_total.add(h, report.scan_series.consumer.packets.at(h) +
+                            report.scan_series.cps.packets.at(h));
     }
-    report_.scan_device_packet_correlation = analysis::pearson(
+    report.scan_device_packet_correlation = analysis::pearson(
         scanners_per_hour_.values(), scan_total.values());
   }
 
   // ---- unknown-source profiles (coordinator-owned; see observe_view) ----
-  report_.unknown_sources.reserve(unknown_profiles_.size());
-  for (const auto& [src, profile] : unknown_profiles_) {
-    report_.unknown_sources.push_back(profile);
+  // A source can hold one hot profile and any number of frozen partials
+  // (evicted, then re-promoted when it re-emerged). Fold them per IP with
+  // the same commutative-exact operations as every other merge — summed
+  // tallies, min first / max last interval — so eviction never shows in
+  // the report bytes.
+  std::unordered_map<std::uint32_t, UnknownSourceProfile> folded;
+  folded.reserve(unknown_profiles_.size() + frozen_unknown_.size());
+  const auto fold = [&folded](const UnknownSourceProfile& partial) {
+    auto [it, inserted] = folded.try_emplace(partial.ip.value(), partial);
+    if (inserted) return;
+    UnknownSourceProfile& into = it->second;
+    into.packets += partial.packets;
+    into.tcp_syn_packets += partial.tcp_syn_packets;
+    into.iot_port_packets += partial.iot_port_packets;
+    if (partial.first_interval >= 0 &&
+        (into.first_interval < 0 ||
+         partial.first_interval < into.first_interval)) {
+      into.first_interval = partial.first_interval;
+    }
+    if (partial.last_interval > into.last_interval) {
+      into.last_interval = partial.last_interval;
+    }
+  };
+  for (const auto& [src, profile] : unknown_profiles_) fold(profile);
+  for (const auto& profile : frozen_unknown_) fold(profile);
+  report.unknown_sources.reserve(folded.size());
+  for (const auto& [src, profile] : folded) {
+    report.unknown_sources.push_back(profile);
   }
-  std::sort(report_.unknown_sources.begin(), report_.unknown_sources.end(),
+  std::sort(report.unknown_sources.begin(), report.unknown_sources.end(),
             [](const UnknownSourceProfile& a, const UnknownSourceProfile& b) {
               // Total order (packets desc, then IP): a packets-only
               // comparator would leave tied rows in hash-map iteration
@@ -947,18 +1003,18 @@ Report AnalysisPipeline::finalize() {
             });
 
   // ---- ICMP scanning ----
-  for (const auto& ledger : report_.devices) {
+  for (const auto& ledger : report.devices) {
     if (ledger.icmp_scan > 0) {
-      ++report_.icmp_scanner_devices;
-      report_.icmp_scan_total += ledger.icmp_scan;
+      ++report.icmp_scanner_devices;
+      report.icmp_scan_total += ledger.icmp_scan;
       if (db_->devices()[ledger.device].is_consumer()) {
-        ++report_.icmp_scanner_consumer_devices;
-        report_.icmp_scan_consumer_packets += ledger.icmp_scan;
+        ++report.icmp_scanner_consumer_devices;
+        report.icmp_scan_consumer_packets += ledger.icmp_scan;
       }
     }
   }
 
-  return report_;
+  return report;
 }
 
 }  // namespace iotscope::core

@@ -124,6 +124,32 @@ class AnalysisPipeline {
   /// observed again afterwards.
   Report finalize();
 
+  /// Point-in-time report over everything observed so far, without
+  /// consuming the pipeline: the same fixed-order commutative-exact
+  /// reduction finalize() runs, but over copies — observe() may continue
+  /// afterwards. A snapshot taken after the last observe() is
+  /// byte-identical to finalize()'s report; this is what lets the
+  /// streaming study publish periodic reports mid-run and still end on
+  /// the exact batch report.
+  Report snapshot() const;
+
+  /// Moves unknown-source profiles whose last activity predates
+  /// `before_interval` out of the hot per-source map into a compact
+  /// frozen archive, and returns how many moved. Bounds the hot
+  /// first-seen state a long-running stream keeps hashable; a frozen
+  /// source that re-emerges is re-promoted into the hot map and the two
+  /// partials are folded back per IP at report build with the same
+  /// commutative-exact operations as every other merge (summed packet
+  /// tallies, min first / max last interval) — eviction is invisible in
+  /// the final report.
+  std::size_t evict_idle_unknown_profiles(int before_interval);
+
+  /// Unknown-source profiles currently resident in the hot map (the
+  /// evictable working set; the frozen archive is not counted).
+  std::size_t hot_unknown_profiles() const noexcept {
+    return unknown_profiles_.size();
+  }
+
   const inventory::IoTDeviceDatabase& database() const noexcept {
     return *db_;
   }
@@ -157,6 +183,12 @@ class AnalysisPipeline {
 
   /// Stable source-IP -> shard assignment (multiplicative hash).
   std::size_t shard_of(std::uint32_t src) const noexcept;
+
+  /// The full cross-hour reduction: copies the incrementally-maintained
+  /// report, merges shard partials in fixed shard order into the copy,
+  /// and completes every derived statistic. Const — shared by finalize()
+  /// (which memoizes the result) and snapshot() (which does not).
+  Report build_report() const;
 
   /// Shared fan-out/fan-in body, parameterized over the record access
   /// policy (columnar BatchView or AoS RowsView — both defined in
@@ -217,6 +249,10 @@ class AnalysisPipeline {
   /// Cross-hour unknown-source profiles, coordinator-owned: promotion
   /// happens at fan-in on the per-hour totals, never per worker.
   std::unordered_map<std::uint32_t, UnknownSourceProfile> unknown_profiles_;
+  /// Profiles moved out of the hot map by evict_idle_unknown_profiles():
+  /// append-only, never hashed again. Folded back with the hot map per IP
+  /// when a report is built.
+  std::vector<UnknownSourceProfile> frozen_unknown_;
   util::FlatMap<std::uint32_t, UnknownHourTally> unknown_scratch_;  ///< fan-in sum
   net::FlowBatch batch_scratch_;      ///< AoS observe() conversion, reused
   std::vector<ClassTag> tag_scratch_;  ///< per-batch tag column, reused

@@ -1,0 +1,136 @@
+#include "core/stream.hpp"
+
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace iotscope::core {
+
+StreamingStudy::StreamingStudy(const inventory::IoTDeviceDatabase& db,
+                               const telescope::FlowTupleStore& store,
+                               PipelineOptions pipeline_options,
+                               StreamOptions options)
+    : store_(&store),
+      options_(options),
+      pipeline_(db, std::move(pipeline_options)),
+      watcher_(store),
+      watermark_gauge_(obs::Registry::instance().gauge("stream.watermark")),
+      snapshot_stage_(obs::Registry::instance().stage("stream.snapshot")),
+      admit_stage_(obs::Registry::instance().stage("stream.admit")),
+      decode_stage_(obs::Registry::instance().stage("store.decode")),
+      hours_counter_(obs::Registry::instance().counter("stream.hours")),
+      late_counter_(obs::Registry::instance().counter("stream.late_hours")),
+      evicted_counter_(
+          obs::Registry::instance().counter("stream.evicted")) {}
+
+std::size_t StreamingStudy::poll_once() {
+  std::size_t admitted = 0;
+  for (const int interval : watcher_.poll()) {
+    if (interval < watermark_.load(std::memory_order_relaxed)) {
+      // The merged reduction already moved past this slot; admitting it
+      // now would reorder the stream against the batch run. Drop it, as
+      // a dataflow watermark drops late data.
+      ++stats_.hours_late;
+      late_counter_.add(1);
+      if (!warned_late_) {
+        warned_late_ = true;
+        IOTSCOPE_LOG_WARN(
+            "stream: dropping late hour %d (watermark %d); further late "
+            "hours counted silently",
+            interval, watermark_.load(std::memory_order_relaxed));
+      }
+      continue;
+    }
+    // Atomic rename publication means a listed file is complete; a
+    // nullopt read can only mean the file was removed, which is outside
+    // the store's contract — skip rather than crash.
+    std::optional<net::FlowBatch> batch;
+    {
+      obs::ScopedTimer timer(decode_stage_);
+      batch = store_->get_batch(interval);
+    }
+    if (!batch) continue;
+    admit(*batch);
+    ++admitted;
+  }
+  return admitted;
+}
+
+void StreamingStudy::admit(const net::FlowBatch& batch) {
+  {
+    obs::ScopedTimer timer(admit_stage_);
+    pipeline_.observe(batch);
+  }
+  watermark_.store(batch.interval + 1, std::memory_order_release);
+  watermark_gauge_.set(batch.interval + 1);
+  ++stats_.hours_admitted;
+  hours_counter_.add(1);
+
+  if (options_.evict_after_hours > 0) {
+    const std::size_t evicted = pipeline_.evict_idle_unknown_profiles(
+        batch.interval + 1 - options_.evict_after_hours);
+    if (evicted > 0) {
+      stats_.profiles_evicted += evicted;
+      evicted_counter_.add(static_cast<std::int64_t>(evicted));
+    }
+  }
+
+  if (options_.snapshot_every > 0 &&
+      stats_.hours_admitted % static_cast<std::uint64_t>(
+                                  options_.snapshot_every) ==
+          0) {
+    publish_snapshot();
+  }
+}
+
+void StreamingStudy::follow(const std::function<bool()>& should_stop) {
+  for (;;) {
+    if (poll_once() != 0) continue;
+    // Only consult the stop predicate on a drained store: a stop raised
+    // while hours are still landing must not strand published files.
+    if (should_stop()) {
+      // The writer may have published more hours between our empty poll
+      // and the stop signal (a finishing writer publishes its last file
+      // and THEN raises the flag) — drain once more so a stop observed
+      // in that window never strands the tail of the stream.
+      while (poll_once() != 0) {
+      }
+      return;
+    }
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+}
+
+std::shared_ptr<const Report> StreamingStudy::publish_snapshot() {
+  std::shared_ptr<const Report> report;
+  {
+    obs::ScopedTimer timer(snapshot_stage_);
+    report = std::make_shared<const Report>(pipeline_.snapshot());
+  }
+  {
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    latest_ = report;
+  }
+  ++stats_.snapshots_published;
+  return report;
+}
+
+std::shared_ptr<const Report> StreamingStudy::latest_snapshot() const {
+  std::lock_guard<std::mutex> lock(latest_mutex_);
+  return latest_;
+}
+
+Report StreamingStudy::finalize() {
+  Report report = pipeline_.finalize();
+  auto shared = std::make_shared<const Report>(report);
+  {
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    latest_ = std::move(shared);
+  }
+  ++stats_.snapshots_published;
+  return report;
+}
+
+}  // namespace iotscope::core

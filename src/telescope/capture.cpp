@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
 namespace iotscope::telescope {
 
 TelescopeCapture::TelescopeCapture(DarknetSpace space, Sink sink)
@@ -19,6 +22,22 @@ void TelescopeCapture::ingest(const net::PacketRecord& packet) {
     return;
   }
   const int interval = util::AnalysisWindow::interval_of(packet.timestamp);
+  if (interval == util::AnalysisWindow::kOutOfWindow) {
+    // Explicit disposition, never a clamp: a stray timestamp must not
+    // fold into the hour-0/hour-142 time series.
+    ++stats_.out_of_window;
+    obs::Registry::instance().counter("ingest.out_of_window").add(1);
+    if (!warned_out_of_window_) {
+      warned_out_of_window_ = true;
+      IOTSCOPE_LOG_WARN(
+          "telescope: dropping packet with out-of-window timestamp %lld "
+          "(window [%lld, %lld)); further drops counted silently",
+          static_cast<long long>(packet.timestamp),
+          static_cast<long long>(util::AnalysisWindow::start()),
+          static_cast<long long>(util::AnalysisWindow::end()));
+    }
+    return;
+  }
   if (current_interval_ < 0) {
     current_interval_ = interval;
   } else if (interval > current_interval_) {

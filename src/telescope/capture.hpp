@@ -20,6 +20,7 @@ namespace iotscope::telescope {
 struct CaptureStats {
   std::uint64_t packets_observed = 0;   ///< packets inside the dark space
   std::uint64_t packets_dropped = 0;    ///< destinations outside the space
+  std::uint64_t out_of_window = 0;      ///< timestamps outside the window
   std::uint64_t flows_emitted = 0;      ///< aggregated records emitted
   int hours_rotated = 0;                ///< completed hourly files
 };
@@ -38,8 +39,12 @@ class TelescopeCapture {
   TelescopeCapture(DarknetSpace space, Sink sink);
 
   /// Ingests one packet. Packets outside the dark space are counted as
-  /// dropped (the telescope only sees its own prefix). Out-of-window
-  /// timestamps are clamped into the analysis window.
+  /// dropped (the telescope only sees its own prefix). A packet whose
+  /// timestamp falls outside the analysis window is dropped and counted
+  /// (stats().out_of_window and the `ingest.out_of_window` obs counter,
+  /// with one warning log per capture) — never clamped into hour 0 or
+  /// 142, which would corrupt both edge intervals of every hourly
+  /// series under continuous ingestion.
   void ingest(const net::PacketRecord& packet);
 
   /// Flushes the final partially-filled hour. Call once after the last
@@ -57,6 +62,7 @@ class TelescopeCapture {
   CaptureStats stats_;
   int current_interval_ = -1;
   bool finished_ = false;
+  bool warned_out_of_window_ = false;
   /// Flowtuple-key -> packet count for the hour in flight. A flat
   /// open-addressing table (one contiguous slot array, epoch clear at
   /// rotation) instead of a node-based map: at telescope scale this map

@@ -1,10 +1,35 @@
 #include "telescope/store.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 
 #include "util/io.hpp"
 
 namespace iotscope::telescope {
+
+namespace {
+
+/// Atomic hourly-file publication: the bytes land in a dot-prefixed temp
+/// file in the same directory (same filesystem, so rename() cannot fall
+/// back to copy), then rename into the final name. A concurrent reader —
+/// the streaming study polling the directory — therefore either sees no
+/// file or the complete hour, never a torn prefix mid-write. The temp
+/// name is excluded from intervals() by the strict flowtuple-NNNN.ift
+/// pattern match, and a per-process counter keeps concurrent writers of
+/// the same hour from colliding on it.
+void publish_atomically(const std::filesystem::path& dir,
+                        const std::string& file_name,
+                        const std::string& blob) {
+  static std::atomic<std::uint64_t> sequence{0};
+  const auto tmp =
+      dir / ("." + file_name + ".tmp" +
+             std::to_string(sequence.fetch_add(1, std::memory_order_relaxed)));
+  util::write_file(tmp, blob);
+  std::filesystem::rename(tmp, dir / file_name);
+}
+
+}  // namespace
 
 FlowTupleStore::FlowTupleStore(std::filesystem::path dir)
     : dir_(std::move(dir)) {
@@ -12,15 +37,14 @@ FlowTupleStore::FlowTupleStore(std::filesystem::path dir)
 }
 
 void FlowTupleStore::put(const net::HourlyFlows& flows) const {
-  net::FlowTupleCodec::write_file(
-      dir_ / net::FlowTupleCodec::file_name(flows.interval), flows);
+  put(net::FlowBatch::from_rows(flows));
 }
 
 void FlowTupleStore::put(const net::FlowBatch& batch) const {
   std::string blob;
   net::FlowTupleCodec::encode(blob, batch);
-  util::write_file(dir_ / net::FlowTupleCodec::file_name(batch.interval),
-                   blob);
+  publish_atomically(dir_, net::FlowTupleCodec::file_name(batch.interval),
+                     blob);
 }
 
 std::optional<net::HourlyFlows> FlowTupleStore::get(int interval) const {
@@ -66,6 +90,14 @@ void FlowTupleStore::for_each(
     const std::function<void(const net::FlowBatch&)>& visit,
     std::size_t prefetch) const {
   for_each<const std::function<void(const net::FlowBatch&)>&>(visit, prefetch);
+}
+
+std::vector<int> RotationWatcher::poll() {
+  std::vector<int> fresh;
+  for (const int interval : store_->intervals()) {
+    if (seen_.insert(interval).second) fresh.push_back(interval);
+  }
+  return fresh;  // intervals() is sorted, so fresh is too
 }
 
 void MemoryFlowStore::put(net::HourlyFlows flows) {

@@ -9,6 +9,7 @@
 #include <functional>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "net/flow_batch.hpp"
@@ -30,6 +31,10 @@ class FlowTupleStore {
   explicit FlowTupleStore(std::filesystem::path dir);
 
   /// Persists one hourly file; overwrites any existing file for the hour.
+  /// Publication is atomic (temp file + rename in the same directory), so
+  /// a concurrent reader polling the store — the streaming study's
+  /// rotation watcher — either sees the complete hour or no file at all,
+  /// never a torn partial write.
   void put(const net::HourlyFlows& flows) const;
   /// Columnar variant: identical file bytes for the same records.
   void put(const net::FlowBatch& batch) const;
@@ -74,9 +79,11 @@ class FlowTupleStore {
 
     const auto order = intervals();
     // High-water of batch bytes resident in (or just handed out of) the
-    // prefetch queue: added before push, released after the visitor is
-    // done with the batch. If an exception unwinds mid-flight the gauge
-    // may keep a residual value — its max() is the surfaced statistic.
+    // prefetch queue: added before push, released when the visitor is
+    // done with the batch — via an RAII guard on the consumer side, so a
+    // throwing visitor still releases its in-flight bytes and the
+    // surfaced max() never carries a permanent residual from an
+    // unwound iteration.
     auto& mem_gauge =
         obs::Registry::instance().gauge("pipeline.batch.mem_peak");
 
@@ -109,15 +116,29 @@ class FlowTupleStore {
       queue.close();  // end of stream (or decode error recorded above)
     });
 
+    // Releases one batch's gauge bytes on every exit path, including a
+    // throwing visit() — without it, an unwound iteration left the
+    // in-flight bytes in the gauge forever (a permanent residual in the
+    // surfaced high-water mark).
+    struct GaugeRelease {
+      obs::Gauge& gauge;
+      std::int64_t bytes;
+      ~GaugeRelease() { gauge.add(-bytes); }
+    };
     try {
       while (auto batch = queue.pop()) {
-        const auto bytes = static_cast<std::int64_t>(batch->resident_bytes());
+        GaugeRelease release{
+            mem_gauge, static_cast<std::int64_t>(batch->resident_bytes())};
         visit(static_cast<const net::FlowBatch&>(*batch));
-        mem_gauge.add(-bytes);
       }
     } catch (...) {
       queue.close();
       reader.join();
+      // Drain what the reader had already accounted into the gauge but
+      // the dead consumer never popped.
+      while (auto batch = queue.pop()) {
+        mem_gauge.add(-static_cast<std::int64_t>(batch->resident_bytes()));
+      }
       throw;
     }
     reader.join();
@@ -132,6 +153,26 @@ class FlowTupleStore {
 
  private:
   std::filesystem::path dir_;
+};
+
+/// Incremental rotation watcher over a FlowTupleStore directory: each
+/// poll() returns the intervals whose hourly files have appeared since
+/// the previous poll, in ascending interval order. Because put()
+/// publishes by atomic rename, a file is either absent or complete —
+/// an interval this watcher reports is immediately readable in full.
+/// Files are never forgotten once reported; deleting or renaming hours
+/// out from under a live watcher is outside the contract.
+class RotationWatcher {
+ public:
+  /// The store must outlive the watcher.
+  explicit RotationWatcher(const FlowTupleStore& store) : store_(&store) {}
+
+  /// Newly appeared intervals since the previous poll (ascending).
+  std::vector<int> poll();
+
+ private:
+  const FlowTupleStore* store_;
+  std::unordered_set<int> seen_;
 };
 
 /// An in-memory store variant used by tests and small benches: same

@@ -41,12 +41,18 @@ class AnalysisWindow {
     return ts >= start() && ts < end();
   }
 
+  /// interval_of's disposition for a timestamp outside the window.
+  /// Callers must handle it explicitly: the historical behavior —
+  /// silently clamping to hour 0 or kHours-1 — folded stray records
+  /// into the edge intervals and corrupted both ends of every hourly
+  /// time series the moment ingestion ran continuously.
+  static constexpr int kOutOfWindow = -1;
+
   /// Hourly interval index in [0, kHours) for a timestamp inside the
-  /// window; timestamps outside are clamped to the nearest edge interval.
+  /// window; kOutOfWindow for any timestamp outside it.
   static constexpr int interval_of(UnixTime ts) noexcept {
-    if (ts < start()) return 0;
-    const auto h = (ts - start()) / kSecondsPerHour;
-    return h >= kHours ? kHours - 1 : static_cast<int>(h);
+    if (!contains(ts)) return kOutOfWindow;
+    return static_cast<int>((ts - start()) / kSecondsPerHour);
   }
 
   /// Start timestamp of an interval index (clamped to valid range).

@@ -1,0 +1,22 @@
+#include "workload/rotating_writer.hpp"
+
+namespace iotscope::workload {
+
+RotatingWriterResult write_rotating(const Scenario& scenario,
+                                    const ScenarioConfig& config,
+                                    const telescope::FlowTupleStore& store,
+                                    const HourPublished& on_publish) {
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.darknet),
+      [&store, &on_publish](net::FlowBatch&& batch) {
+        const int interval = batch.interval;
+        store.put(batch);  // atomic rename: readers see the whole hour
+        if (on_publish) on_publish(interval);
+      });
+  RotatingWriterResult result;
+  result.synth = synthesize_into(scenario, config, capture);
+  result.capture = capture.stats();
+  return result;
+}
+
+}  // namespace iotscope::workload

@@ -1,0 +1,37 @@
+// Rotating-file writer: the ingest side of the streaming study. Where
+// synthesize_into feeds a capture whose sink the caller wires directly
+// into a pipeline, this driver plays the role of a real telescope's
+// collection process — each completed hour is encoded and atomically
+// renamed into a FlowTupleStore directory, in interval order, while a
+// StreamingStudy follows the same directory from another thread (or
+// another process; the handshake is only the filesystem).
+#pragma once
+
+#include <functional>
+
+#include "telescope/capture.hpp"
+#include "telescope/store.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::workload {
+
+/// Called after an hour's file is visible in the store (rename done),
+/// with the published interval. Tests and benches use it to pace or
+/// observe a concurrent reader; may be empty.
+using HourPublished = std::function<void(int interval)>;
+
+/// Ground truth plus capture accounting for a rotating-writer run.
+struct RotatingWriterResult {
+  SynthStats synth;               ///< emitted-traffic ground truth
+  telescope::CaptureStats capture;  ///< telescope-side accounting
+};
+
+/// Synthesizes the scenario and rotates every completed hour into the
+/// store. Deterministic in config.seed; the store's file set afterwards
+/// is exactly what a batch run would have put() hour by hour.
+RotatingWriterResult write_rotating(const Scenario& scenario,
+                                    const ScenarioConfig& config,
+                                    const telescope::FlowTupleStore& store,
+                                    const HourPublished& on_publish = {});
+
+}  // namespace iotscope::workload

@@ -245,6 +245,32 @@ TEST(StorePrefetchErrorTest, VisitorExceptionJoinsTheReaderAndRethrows) {
   EXPECT_EQ(visited, 3);
 }
 
+TEST(StorePrefetchErrorTest, ThrowingVisitorLeavesNoMemGaugeResidual) {
+  // Regression for the documented pipeline.batch.mem_peak residual: the
+  // in-flight batch's bytes (and any batches stranded in the prefetch
+  // queue) were added at enqueue time but never released when the
+  // visitor threw, permanently inflating the surfaced gauge value. The
+  // RAII release guard plus the unwind-path drain must return the gauge
+  // exactly to its pre-iteration value.
+  auto& gauge = obs::Registry::instance().gauge("pipeline.batch.mem_peak");
+  const std::int64_t before = gauge.value();
+
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  for (int h = 0; h < 12; ++h) store.put(make_hour(h));
+  int visited = 0;
+  EXPECT_THROW(store.for_each(
+                   [&visited](const net::FlowBatch&) {
+                     if (++visited == 2) {
+                       throw std::runtime_error("visitor failed");
+                     }
+                   },
+                   /*prefetch=*/4),
+               std::runtime_error);
+  EXPECT_EQ(gauge.value(), before)
+      << "an unwound for_each must release every accounted batch byte";
+}
+
 TEST(StorePrefetchErrorTest, DecodeErrorSurfacesOnTheCallingThread) {
   util::TempDir dir;
   telescope::FlowTupleStore store(dir.path());

@@ -1,0 +1,286 @@
+// Streaming-vs-batch equivalence: a StreamingStudy following a store
+// while the rotating writer publishes hourly files from another thread
+// must end on a report byte-identical to the batch pipeline over the
+// same files — at every thread count, with eviction enabled, on both a
+// normal and a heavy-hitter-dominated workload. Mid-stream snapshots
+// must grow monotonically, and below-watermark arrivals must be dropped
+// as late rather than admitted out of order. The concurrent tests pit
+// the writer's atomic rename publication against the reader's directory
+// polls; run under TSan (ctest label `tsan`) for full value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/iotscope.hpp"
+#include "core/report_text.hpp"
+#include "core/stream.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "workload/rotating_writer.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::core {
+namespace {
+
+workload::ScenarioConfig stream_config(double heavy_hitter_share = 0.0) {
+  workload::ScenarioConfig config;
+  config.inventory_scale = 0.005;
+  config.traffic_scale = 0.001;
+  config.noise_ratio = 0.05;
+  config.heavy_hitter_share = heavy_hitter_share;
+  return config;
+}
+
+PipelineOptions stream_pipeline_options(unsigned threads) {
+  PipelineOptions options;
+  options.threads = threads;
+  // Floor 1 promotes even one-shot noise sources into unknown-source
+  // profiles. Noise IPs are drawn fresh per packet, so most profiles go
+  // idle immediately — the eviction path is guaranteed to run (asserted
+  // below) while byte-identity must still hold.
+  options.unknown_profile_hourly_floor = 1;
+  return options;
+}
+
+StreamOptions tight_stream_options() {
+  StreamOptions options;
+  options.snapshot_every = 10;
+  options.evict_after_hours = 2;
+  options.poll_interval = std::chrono::milliseconds(1);
+  return options;
+}
+
+std::string render_everything(const Report& report,
+                              const inventory::IoTDeviceDatabase& inventory) {
+  const auto character = characterize(report, inventory);
+  return render_inference_report(report, character, inventory) +
+         render_traffic_report(report, inventory);
+}
+
+/// The batch golden over an already-written store: plain for_each into a
+/// sequential pipeline with the same promotion floor.
+std::string batch_golden(const workload::Scenario& scenario,
+                         const telescope::FlowTupleStore& store) {
+  AnalysisPipeline pipeline(scenario.inventory, stream_pipeline_options(1));
+  store.for_each(
+      [&pipeline](const net::FlowBatch& batch) { pipeline.observe(batch); });
+  return render_everything(pipeline.finalize(), scenario.inventory);
+}
+
+struct StreamRun {
+  Report report;
+  StreamStats stats;
+  std::string final_snapshot_render;  ///< latest_snapshot() after finalize
+};
+
+/// Follows `store` on the calling thread while a writer thread rotates
+/// the scenario's hours in, then finalizes. The stop predicate fires
+/// only once the writer is done AND a poll found nothing, so every
+/// published hour is admitted.
+StreamRun stream_concurrently(const workload::Scenario& scenario,
+                              const workload::ScenarioConfig& config,
+                              const telescope::FlowTupleStore& store,
+                              unsigned threads) {
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    workload::write_rotating(scenario, config, store);
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  StreamingStudy stream(scenario.inventory, store,
+                        stream_pipeline_options(threads),
+                        tight_stream_options());
+  stream.follow(
+      [&writer_done] { return writer_done.load(std::memory_order_acquire); });
+  writer.join();
+
+  StreamRun run;
+  run.stats = stream.stats();
+  run.report = stream.finalize();
+  const auto latest = stream.latest_snapshot();
+  run.final_snapshot_render =
+      latest ? render_everything(*latest, scenario.inventory) : std::string();
+  return run;
+}
+
+TEST(StreamEquivalenceTest, FinalSnapshotMatchesBatchAtEveryThreadCount) {
+  const auto config = stream_config();
+  const auto scenario = workload::build_scenario(config);
+
+  // Golden from a dedicated pre-written store; the rotating writer is
+  // deterministic in the seed, so every concurrent run below publishes
+  // the identical file set.
+  util::TempDir golden_dir;
+  telescope::FlowTupleStore golden_store(golden_dir.path());
+  workload::write_rotating(scenario, config, golden_store);
+  const std::string golden = batch_golden(scenario, golden_store);
+  const std::size_t hour_count = golden_store.intervals().size();
+
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    SCOPED_TRACE(threads);
+    util::TempDir dir;
+    telescope::FlowTupleStore store(dir.path());
+    const auto run = stream_concurrently(scenario, config, store, threads);
+    EXPECT_EQ(render_everything(run.report, scenario.inventory), golden);
+    EXPECT_EQ(run.final_snapshot_render, golden);
+    EXPECT_EQ(run.stats.hours_admitted, hour_count);
+    EXPECT_EQ(run.stats.hours_late, 0u);
+    EXPECT_GT(run.stats.profiles_evicted, 0u)
+        << "the floor-1 noise profiles must exercise eviction";
+  }
+}
+
+TEST(StreamEquivalenceTest, HeavyHitterWorkloadStreamsIdentically) {
+  // 80 % of every hour from one aggressive non-inventory source: the
+  // partition skew that used to collapse static scheduling, now also
+  // streamed with eviction on.
+  const auto config = stream_config(/*heavy_hitter_share=*/0.8);
+  const auto scenario = workload::build_scenario(config);
+
+  util::TempDir golden_dir;
+  telescope::FlowTupleStore golden_store(golden_dir.path());
+  workload::write_rotating(scenario, config, golden_store);
+  const std::string golden = batch_golden(scenario, golden_store);
+  const std::size_t hour_count = golden_store.intervals().size();
+
+  for (const unsigned threads : {2u, 0u}) {
+    SCOPED_TRACE(threads);
+    util::TempDir dir;
+    telescope::FlowTupleStore store(dir.path());
+    const auto run = stream_concurrently(scenario, config, store, threads);
+    EXPECT_EQ(render_everything(run.report, scenario.inventory), golden);
+    EXPECT_EQ(run.stats.hours_admitted, hour_count);
+    EXPECT_EQ(run.stats.hours_late, 0u);
+  }
+}
+
+TEST(StreamEquivalenceTest, EvictionIsInvisibleInTheFinalReport) {
+  // Aggressive eviction (idle for one hour) against no eviction at all,
+  // over the same files: the frozen-archive fold must reproduce the
+  // unevicted report bytes exactly.
+  const auto config = stream_config();
+  const auto scenario = workload::build_scenario(config);
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  workload::write_rotating(scenario, config, store);
+
+  auto run_with_evict_after = [&](int evict_after_hours) {
+    auto options = tight_stream_options();
+    options.evict_after_hours = evict_after_hours;
+    StreamingStudy stream(scenario.inventory, store,
+                          stream_pipeline_options(1), options);
+    stream.poll_once();
+    const Report report = stream.finalize();
+    return std::make_pair(render_everything(report, scenario.inventory),
+                          stream.stats().profiles_evicted);
+  };
+
+  const auto [evicted_render, evicted_count] = run_with_evict_after(1);
+  const auto [unevicted_render, unevicted_count] = run_with_evict_after(0);
+  EXPECT_GT(evicted_count, 0u);
+  EXPECT_EQ(unevicted_count, 0u);
+  EXPECT_EQ(evicted_render, unevicted_render);
+}
+
+TEST(StreamSnapshotTest, MidStreamSnapshotsGrowMonotonically) {
+  // Deterministic pacing: capture all hours first, publish them into the
+  // store one at a time, and poll after each publication — every
+  // periodic snapshot boundary is observed exactly once.
+  const auto config = stream_config();
+  const auto scenario = workload::build_scenario(config);
+  std::vector<net::FlowBatch> batches;
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.darknet),
+      [&batches](net::FlowBatch&& batch) {
+        batches.push_back(std::move(batch));
+      });
+  workload::synthesize_into(scenario, config, capture);
+  ASSERT_GT(batches.size(), 20u);
+
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  StreamingStudy stream(scenario.inventory, store, stream_pipeline_options(1),
+                        tight_stream_options());
+
+  std::shared_ptr<const Report> previous;
+  int previous_watermark = 0;
+  std::size_t snapshots_seen = 0;
+  for (const auto& batch : batches) {
+    store.put(batch);
+    ASSERT_EQ(stream.poll_once(), 1u);
+    EXPECT_EQ(stream.watermark(), batch.interval + 1);
+    EXPECT_GT(stream.watermark(), previous_watermark);
+    previous_watermark = stream.watermark();
+
+    const auto snapshot = stream.latest_snapshot();
+    if (snapshot && snapshot != previous) {
+      ++snapshots_seen;
+      if (previous) {
+        // Cumulative quantities never move backwards between snapshots.
+        EXPECT_GE(snapshot->total_packets, previous->total_packets);
+        EXPECT_GE(snapshot->discovered_total(), previous->discovered_total());
+        EXPECT_GE(snapshot->devices.size(), previous->devices.size());
+        EXPECT_GE(snapshot->tcp_scan_total, previous->tcp_scan_total);
+        EXPECT_GE(snapshot->backscatter_total, previous->backscatter_total);
+      }
+      previous = snapshot;
+    }
+  }
+  EXPECT_EQ(snapshots_seen,
+            batches.size() / static_cast<std::size_t>(
+                                 tight_stream_options().snapshot_every));
+  EXPECT_EQ(stream.stats().snapshots_published, snapshots_seen);
+
+  // The stream's end state is the batch report.
+  const std::string golden = batch_golden(scenario, store);
+  EXPECT_EQ(render_everything(stream.finalize(), scenario.inventory), golden);
+}
+
+TEST(StreamWatermarkTest, BelowWatermarkArrivalsAreDroppedAsLate) {
+  const auto config = stream_config();
+  const auto scenario = workload::build_scenario(config);
+  std::vector<net::FlowBatch> batches;
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.darknet),
+      [&batches](net::FlowBatch&& batch) {
+        batches.push_back(std::move(batch));
+      });
+  workload::synthesize_into(scenario, config, capture);
+  ASSERT_GT(batches.size(), 8u);
+
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  StreamingStudy stream(scenario.inventory, store, stream_pipeline_options(1),
+                        tight_stream_options());
+
+  // Hour 5 lands first: watermark jumps past the earlier hours.
+  store.put(batches[5]);
+  EXPECT_EQ(stream.poll_once(), 1u);
+  EXPECT_EQ(stream.watermark(), batches[5].interval + 1);
+
+  // Hour 3 surfaces afterwards — below the watermark, dropped as late.
+  store.put(batches[3]);
+  EXPECT_EQ(stream.poll_once(), 0u);
+  EXPECT_EQ(stream.stats().hours_late, 1u);
+  EXPECT_EQ(stream.watermark(), batches[5].interval + 1);
+
+  // Hour 7 is above the watermark and admits normally.
+  store.put(batches[7]);
+  EXPECT_EQ(stream.poll_once(), 1u);
+  EXPECT_EQ(stream.stats().hours_admitted, 2u);
+  EXPECT_EQ(stream.stats().hours_late, 1u);
+  EXPECT_EQ(stream.watermark(), batches[7].interval + 1);
+
+  // The late hour's packets are genuinely absent from the report.
+  const auto report = stream.finalize();
+  EXPECT_EQ(report.total_packets + report.unattributed_packets,
+            batches[5].total_packets() + batches[7].total_packets());
+}
+
+}  // namespace
+}  // namespace iotscope::core

@@ -2,7 +2,10 @@
 // flowtuple stores.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "net/pcap.hpp"
 #include "telescope/capture.hpp"
@@ -80,6 +83,25 @@ TEST_F(CaptureTest, DropsPacketsOutsideDarkSpace) {
   EXPECT_EQ(capture_.stats().packets_dropped, 1u);
   EXPECT_EQ(capture_.stats().packets_observed, 0u);
   EXPECT_TRUE(hours_.empty());
+}
+
+TEST_F(CaptureTest, DropsOutOfWindowTimestampsInsteadOfClamping) {
+  // Regression: pre-window and post-window packets used to be clamped
+  // into hours 0 and 142, corrupting both edges of every hourly series.
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::start() - 1, src_, dark_,
+                                    40000, 23));
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::end(), src_, dark_,
+                                    40001, 23));
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::end() + 12345, src_,
+                                    dark_, 40002, 23));
+  capture_.ingest(net::make_tcp_syn(AnalysisWindow::start() + 30, src_, dark_,
+                                    40003, 23));
+  capture_.finish();
+  EXPECT_EQ(capture_.stats().out_of_window, 3u);
+  EXPECT_EQ(capture_.stats().packets_observed, 1u);
+  ASSERT_EQ(hours_.size(), 1u);
+  EXPECT_EQ(hours_[0].interval, 0);
+  EXPECT_EQ(hours_[0].total_packets(), 1u);
 }
 
 TEST_F(CaptureTest, RotatesHourlyInOrderIncludingGaps) {
@@ -307,6 +329,68 @@ TEST(FlowTupleStore, BatchPutWritesIdenticalBytesToRowPut) {
   const auto name = net::FlowTupleCodec::file_name(7);
   EXPECT_EQ(util::read_file(dir.path() / "rows" / name),
             util::read_file(dir.path() / "batch" / name));
+}
+
+TEST(FlowTupleStore, AtomicPublishLeavesNoTempResidue) {
+  util::TempDir dir;
+  FlowTupleStore store(dir.path());
+  net::HourlyFlows flows;
+  flows.interval = 11;
+  store.put(flows);
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(),
+              net::FlowTupleCodec::file_name(11));
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(FlowTupleStore, ConcurrentPutNeverExposesATornFile) {
+  // Rotation safety for the streaming study: while a writer repeatedly
+  // rewrites an hour (growing it each time), a reader polling get_batch
+  // must always decode a complete file — some full version of the hour,
+  // never a torn prefix (which would surface as an IoError from the
+  // codec, or as a record count no complete version ever had).
+  util::TempDir dir;
+  FlowTupleStore store(dir.path());
+  constexpr int kVersions = 60;
+  constexpr std::size_t kRecordsPerVersion = 400;
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    net::HourlyFlows flows;
+    flows.interval = 7;
+    flows.start_time = AnalysisWindow::interval_start(7);
+    for (int v = 1; v <= kVersions; ++v) {
+      for (std::size_t r = 0; r < kRecordsPerVersion; ++r) {
+        net::FlowTuple t;
+        t.src = Ipv4Address(static_cast<std::uint32_t>(v * 100000 + r));
+        t.packet_count = static_cast<std::uint64_t>(v);
+        flows.records.push_back(t);
+      }
+      store.put(flows);
+    }
+    done.store(true);
+  });
+
+  std::size_t reads = 0;
+  while (!done.load()) {
+    std::optional<net::FlowBatch> batch;
+    ASSERT_NO_THROW(batch = store.get_batch(7)) << "torn file decoded";
+    if (!batch) continue;  // not yet published
+    // Every complete version holds a multiple of kRecordsPerVersion
+    // records; a torn read would land in between.
+    EXPECT_EQ(batch->size() % kRecordsPerVersion, 0u);
+    EXPECT_GT(batch->size(), 0u);
+    ++reads;
+  }
+  writer.join();
+  EXPECT_GT(reads, 0u);
+  const auto final_batch = store.get_batch(7);
+  ASSERT_TRUE(final_batch.has_value());
+  EXPECT_EQ(final_batch->size(),
+            static_cast<std::size_t>(kVersions) * kRecordsPerVersion);
 }
 
 TEST(MemoryFlowStore, KeepsHoursSortedAndCounts) {

@@ -37,9 +37,17 @@ TEST(AnalysisWindow, IntervalOfMapsHourBoundaries) {
   EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::end() - 1), 142);
 }
 
-TEST(AnalysisWindow, IntervalOfClampsOutOfRange) {
-  EXPECT_EQ(AnalysisWindow::interval_of(0), 0);
-  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::end() + 999999), 142);
+TEST(AnalysisWindow, IntervalOfRejectsOutOfWindowTimestamps) {
+  // Regression: these used to clamp to hours 0/142, silently folding
+  // stray records into the edge intervals of every hourly series.
+  EXPECT_EQ(AnalysisWindow::interval_of(0), AnalysisWindow::kOutOfWindow);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::start() - 1),
+            AnalysisWindow::kOutOfWindow);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::end()),
+            AnalysisWindow::kOutOfWindow);
+  EXPECT_EQ(AnalysisWindow::interval_of(AnalysisWindow::end() + 999999),
+            AnalysisWindow::kOutOfWindow);
+  EXPECT_LT(AnalysisWindow::kOutOfWindow, 0);
 }
 
 TEST(AnalysisWindow, IntervalStartInvertsIntervalOf) {

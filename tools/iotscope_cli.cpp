@@ -11,6 +11,7 @@
 //   iotscope campaigns   --data DIR [--threads N]
 //   iotscope info        --data DIR
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,6 +23,7 @@
 #include "core/fingerprint.hpp"
 #include "core/iotscope.hpp"
 #include "core/report_text.hpp"
+#include "core/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "telescope/store.hpp"
@@ -114,6 +116,8 @@ int usage() {
                "[--traffic-scale S] [--seed N] [--noise R] [--with-truth]\n"
                "  iotscope analyze     --data DIR [--top N] [--full] "
                "[--threads N] [--metrics] [--metrics-out FILE]\n"
+               "                       [--follow] [--snapshot-every N] "
+               "[--idle-ms N] [--evict-after N]\n"
                "  iotscope fingerprint --data DIR [--threshold X] "
                "[--min-packets N] [--threads N] [--metrics] "
                "[--metrics-out FILE]\n"
@@ -127,7 +131,14 @@ int usage() {
                "  --metrics          progress lines while analyzing + a "
                "per-stage timing summary on stderr\n"
                "  --metrics-out F    write the full metrics snapshot "
-               "(counters, gauges, stage histograms) as JSON to F\n");
+               "(counters, gauges, stage histograms) as JSON to F\n"
+               "  --follow           streaming analyze: watch the flowtuple "
+               "directory, admit hourly files as they rotate in (watermark "
+               "order), stop after --idle-ms ms without a new hour "
+               "(default 500); --snapshot-every N publishes an interim "
+               "report every N hours (default 24), --evict-after N freezes "
+               "unknown-source state idle for N hours (default 6). The "
+               "final report is byte-identical to the batch path.\n");
   return 2;
 }
 
@@ -270,6 +281,53 @@ core::Report run_pipeline(const Dataset& data, const Args& args,
   return report;
 }
 
+/// Streaming analyze (--follow): follow the dataset's flowtuple
+/// directory as a live store — hourly files that rotate in while we run
+/// are admitted in watermark order — and stop once no new hour has
+/// appeared for --idle-ms. Prints stream accounting on stderr; the
+/// returned report is byte-identical to run_pipeline over the same set
+/// of hours, so the printed analysis does not depend on which path
+/// produced it.
+core::Report run_streaming(const Dataset& data, const Args& args,
+                           unsigned threads) {
+  core::PipelineOptions pipeline_options;
+  pipeline_options.threads = threads;
+  core::StreamOptions stream_options;
+  stream_options.snapshot_every =
+      static_cast<int>(args.get_double("snapshot-every", 24));
+  stream_options.evict_after_hours =
+      static_cast<int>(args.get_double("evict-after", 6));
+  const auto idle_budget = std::chrono::milliseconds(
+      static_cast<long>(args.get_double("idle-ms", 500)));
+
+  core::StreamingStudy stream(data.inventory, data.store, pipeline_options,
+                              stream_options);
+  std::uint64_t hours_at_last_change = 0;
+  auto last_change = std::chrono::steady_clock::now();
+  stream.follow([&] {
+    // Consulted only on drained polls: reset the idle clock whenever an
+    // hour landed since we last looked, stop once the writer has been
+    // quiet for the whole budget.
+    const auto now = std::chrono::steady_clock::now();
+    if (stream.stats().hours_admitted != hours_at_last_change) {
+      hours_at_last_change = stream.stats().hours_admitted;
+      last_change = now;
+    }
+    return now - last_change >= idle_budget;
+  });
+  auto report = stream.finalize();
+  const auto& stats = stream.stats();
+  std::fprintf(stderr,
+               "stream: %llu hours admitted (%llu late dropped), %llu "
+               "snapshots, %llu profiles evicted, final watermark %d\n",
+               static_cast<unsigned long long>(stats.hours_admitted),
+               static_cast<unsigned long long>(stats.hours_late),
+               static_cast<unsigned long long>(stats.snapshots_published),
+               static_cast<unsigned long long>(stats.profiles_evicted),
+               stream.watermark());
+  return report;
+}
+
 // ------------------------------------------------------------- analyze
 
 int cmd_analyze(const Args& args) {
@@ -277,7 +335,8 @@ int cmd_analyze(const Args& args) {
   unsigned threads = 0;
   if (!parse_threads(args, &threads)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data, args, threads);
+  const auto report = args.has("follow") ? run_streaming(data, args, threads)
+                                         : run_pipeline(data, args, threads);
   const auto character = core::characterize(report, data.inventory);
   const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
 

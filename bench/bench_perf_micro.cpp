@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -18,6 +22,8 @@
 #include "net/flowtuple.hpp"
 #include "net/pcap.hpp"
 #include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "telescope/capture.hpp"
 #include "telescope/store.hpp"
 #include "util/flat_hash.hpp"
@@ -717,6 +723,211 @@ BENCHMARK(BM_StreamingIngest)
     ->Args({24, 0})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// --- Snapshot query server: Zipf-keyed load over live ingest -----------
+//
+// A ReportServer answers a single keep-alive HTTP client whose targets
+// are drawn Zipf(s=1) over a few hundred distinct endpoints — summary /
+// top-ports / healthz dominate, then a per-country, per-ISP and
+// per-device tail. That skew is the operator-dashboard access pattern
+// the sharded LRU exists for: the hot head should hit the cache, the
+// tail should exercise the render path. Arg(0) = server worker threads;
+// Arg(1) = 1 runs a concurrent streaming-ingest thread that keeps
+// republishing snapshots (each epoch bump lazily invalidates the whole
+// cache) while queries run, 0 serves one frozen snapshot.
+//
+// items/s is QPS (one item per request). Counters:
+//   p50_us / p99_us   client-observed request latency percentiles
+//   cache_hit_pct     LRU hit rate across the run
+//   epochs            snapshots republished while measuring (ingest=1)
+
+/// Percent-encodes everything outside the URL-unreserved set, so ISP
+/// and country names with spaces survive the request line.
+std::string percent_encode(std::string_view raw) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (const unsigned char c : raw) {
+    const bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                            c == '_' || c == '~' || c == '/';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+/// The query universe, ordered hot-to-cold for the Zipf head to land on
+/// the dashboard staples.
+const std::vector<std::string>& serve_targets() {
+  static const std::vector<std::string> instance = [] {
+    const auto& db = bench_workload().scenario.inventory;
+    std::vector<std::string> targets;
+    targets.emplace_back("/report/summary");
+    for (const int k : {10, 5, 20, 3}) {
+      targets.push_back("/report/ports/top?k=" + std::to_string(k));
+    }
+    targets.emplace_back("/healthz");
+    std::unordered_set<inventory::CountryId> countries;
+    for (const auto& device : db.devices()) {
+      if (countries.insert(device.country).second) {
+        targets.push_back("/report/country/" +
+                          percent_encode(db.country_name(device.country)));
+      }
+      if (countries.size() >= 24) break;
+    }
+    for (std::size_t i = 0; i < db.isps().size() && i < 32; ++i) {
+      targets.push_back("/report/isp/" + percent_encode(db.isps()[i].name));
+    }
+    const std::size_t stride = std::max<std::size_t>(1, db.size() / 192);
+    for (std::size_t i = 0; i < db.size(); i += stride) {
+      targets.push_back("/report/device/" + db.devices()[i].ip.to_string() +
+                        "/timeline");
+    }
+    return targets;
+  }();
+  return instance;
+}
+
+/// Zipf(s) over [0, n): precomputed CDF + binary search, sampled with
+/// the project Rng so runs are replayable.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::size_t next(util::Rng& rng) const {
+    const auto it =
+        std::lower_bound(cdf_.begin(), cdf_.end(), rng.uniform01());
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+void BM_ServeQuery(benchmark::State& state) {
+  const auto& w = bench_workload();
+  // The frozen baseline snapshot (epoch 1): the batch pipeline's final
+  // report over the whole workload.
+  static const auto baseline = [] {
+    core::AnalysisPipeline pipeline(bench_workload().scenario.inventory,
+                                    bench_study_config().pipeline);
+    for (const auto& b : bench_workload().batches) pipeline.observe(b);
+    return std::make_shared<const core::Report>(pipeline.finalize());
+  }();
+
+  std::atomic<std::shared_ptr<const serve::Snapshot>> slot{
+      std::make_shared<const serve::Snapshot>(serve::Snapshot{1, baseline})};
+
+  const bool with_ingest = state.range(1) != 0;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> published{0};
+  std::thread ingest;
+  if (with_ingest) {
+    // Replays the store through fresh StreamingStudies for as long as the
+    // measurement runs, publishing every new epoch into the provider slot
+    // (offset by the epochs of earlier passes so the stamp stays
+    // monotonic — regressing it would resurrect stale cache entries).
+    ingest = std::thread([&w, &slot, &stop, &published] {
+      core::PipelineOptions pipeline_options = bench_study_config().pipeline;
+      core::StreamOptions stream_options;
+      stream_options.snapshot_every = 8;
+      std::uint64_t base = 1;  // the frozen baseline owns epoch 1
+      while (!stop.load(std::memory_order_acquire)) {
+        util::TempDir dir;
+        telescope::FlowTupleStore store(dir.path());
+        core::StreamingStudy stream(w.scenario.inventory, store,
+                                    pipeline_options, stream_options);
+        std::uint64_t last = 0;
+        for (const auto& b : w.batches) {
+          if (stop.load(std::memory_order_acquire)) break;
+          store.put(b);
+          stream.poll_once();
+          const auto pub = stream.latest_published();
+          if (pub != nullptr && pub->epoch != last) {
+            last = pub->epoch;
+            slot.store(std::make_shared<const serve::Snapshot>(serve::Snapshot{
+                base + pub->epoch,
+                std::shared_ptr<const core::Report>(pub, &pub->report)}));
+            published.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        base += last;
+      }
+    });
+  }
+
+  obs::Registry::instance().reset();
+  serve::ServerOptions options;
+  options.port = 0;
+  options.threads = static_cast<unsigned>(state.range(0));
+  serve::ReportServer server(
+      w.scenario.inventory,
+      [&slot] { return *slot.load(std::memory_order_acquire); }, options);
+  server.start();
+
+  const auto& targets = serve_targets();
+  const ZipfSampler zipf(targets.size(), 1.0);
+  util::Rng rng(11);
+  serve::HttpClient client(server.port());
+  std::vector<std::uint64_t> latencies_ns;
+  latencies_ns.reserve(1 << 16);
+  for (auto _ : state) {
+    const auto& target = targets[zipf.next(rng)];
+    const auto t0 = std::chrono::steady_clock::now();
+    auto response = client.get(target);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!response) {
+      // Idle-timeout close mid-run; reconnect and keep going.
+      client = serve::HttpClient(server.port());
+      continue;
+    }
+    latencies_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    benchmark::DoNotOptimize(response->status);
+  }
+  stop.store(true, std::memory_order_release);
+  if (ingest.joinable()) ingest.join();
+  const auto cache = server.cache_stats();
+  server.stop();
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto percentile_us = [&latencies_ns](double q) {
+    if (latencies_ns.empty()) return 0.0;
+    const auto index = std::min(
+        latencies_ns.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies_ns.size())));
+    return static_cast<double>(latencies_ns[index]) / 1e3;
+  };
+  state.counters["p50_us"] = percentile_us(0.50);
+  state.counters["p99_us"] = percentile_us(0.99);
+  const double lookups = static_cast<double>(cache.hits + cache.misses);
+  state.counters["cache_hit_pct"] =
+      lookups > 0 ? 100.0 * static_cast<double>(cache.hits) / lookups : 0.0;
+  state.counters["epochs"] =
+      static_cast<double>(published.load(std::memory_order_relaxed));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeQuery)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
 }  // namespace

@@ -104,31 +104,43 @@ void StreamingStudy::follow(const std::function<bool()>& should_stop) {
 }
 
 std::shared_ptr<const Report> StreamingStudy::publish_snapshot() {
-  std::shared_ptr<const Report> report;
+  std::shared_ptr<const PublishedReport> published;
   {
     obs::ScopedTimer timer(snapshot_stage_);
-    report = std::make_shared<const Report>(pipeline_.snapshot());
+    published = std::make_shared<const PublishedReport>(
+        PublishedReport{stats_.snapshots_published + 1, pipeline_.snapshot()});
   }
-  {
-    std::lock_guard<std::mutex> lock(latest_mutex_);
-    latest_ = report;
-  }
+  // Atomic publication: server workers loading latest_ concurrently see
+  // either the previous snapshot or this one, never a torn pointer.
+  latest_.store(published, std::memory_order_release);
   ++stats_.snapshots_published;
-  return report;
+  return {published, &published->report};
 }
 
 std::shared_ptr<const Report> StreamingStudy::latest_snapshot() const {
-  std::lock_guard<std::mutex> lock(latest_mutex_);
-  return latest_;
+  auto published = latest_.load(std::memory_order_acquire);
+  if (!published) return nullptr;
+  // Aliasing constructor: the Report pointer shares the
+  // PublishedReport's control block, so the epoch wrapper stays alive
+  // exactly as long as any reader holds the report.
+  return {published, &published->report};
+}
+
+std::shared_ptr<const PublishedReport> StreamingStudy::latest_published()
+    const {
+  return latest_.load(std::memory_order_acquire);
+}
+
+std::uint64_t StreamingStudy::epoch() const noexcept {
+  const auto published = latest_.load(std::memory_order_acquire);
+  return published ? published->epoch : 0;
 }
 
 Report StreamingStudy::finalize() {
   Report report = pipeline_.finalize();
-  auto shared = std::make_shared<const Report>(report);
-  {
-    std::lock_guard<std::mutex> lock(latest_mutex_);
-    latest_ = std::move(shared);
-  }
+  latest_.store(std::make_shared<const PublishedReport>(PublishedReport{
+                    stats_.snapshots_published + 1, report}),
+                std::memory_order_release);
   ++stats_.snapshots_published;
   return report;
 }

@@ -22,11 +22,12 @@
 //
 //  * Periodic immutable snapshots. Every `snapshot_every` admitted
 //    hours the engine builds a full Report via the pipeline's const
-//    snapshot() reduction and publishes it as a shared_ptr<const>:
-//    readers on other threads grab the pointer under a brief mutex and
-//    then read an immutable object at leisure while ingestion
-//    continues. The final snapshot equals finalize()'s batch report
-//    byte for byte.
+//    snapshot() reduction and publishes it — stamped with a
+//    monotonically increasing epoch — through an atomic shared_ptr:
+//    readers on other threads (the serve/ query workers) load the
+//    pointer lock-free and then read an immutable object at leisure
+//    while ingestion continues. The final snapshot equals finalize()'s
+//    batch report byte for byte.
 //
 //  * Bounded memory. Cold unknown-source first-seen state (the one
 //    per-source map that grows with the source population, not the
@@ -41,7 +42,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -50,6 +50,17 @@
 #include "telescope/store.hpp"
 
 namespace iotscope::core {
+
+/// One published snapshot: an immutable Report stamped with the epoch it
+/// was published under. Epochs are assigned by the publishing study and
+/// increase by one per publication (periodic snapshot, explicit
+/// publish_snapshot(), or finalize()), so a consumer that caches derived
+/// artifacts — the serve/ query layer keys rendered responses on
+/// (epoch, query) — invalidates naturally when a new snapshot lands.
+struct PublishedReport {
+  std::uint64_t epoch = 0;
+  Report report;
+};
 
 /// Streaming-engine knobs (pipeline knobs live in PipelineOptions).
 struct StreamOptions {
@@ -104,8 +115,22 @@ class StreamingStudy {
   std::shared_ptr<const Report> publish_snapshot();
 
   /// Most recently published snapshot (null before the first one).
-  /// Safe from any thread; the returned report is immutable.
+  /// Lock-free and safe from any thread — publication is an atomic
+  /// shared_ptr store, so a server worker hammering this during
+  /// follow() never blocks ingest (and never races it: the returned
+  /// report is immutable). The pointer aliases the PublishedReport
+  /// that owns it, so it stays valid for as long as the caller holds it.
   std::shared_ptr<const Report> latest_snapshot() const;
+
+  /// The same snapshot together with its epoch stamp, as one consistent
+  /// load (epoch and report travel in a single atomic pointer — a reader
+  /// can never observe a new report under an old epoch). Null before the
+  /// first publication. Lock-free, any thread.
+  std::shared_ptr<const PublishedReport> latest_published() const;
+
+  /// Epoch of the latest published snapshot (0 before the first one).
+  /// Lock-free, any thread.
+  std::uint64_t epoch() const noexcept;
 
   /// Finalizes the pipeline and publishes the result as the latest
   /// snapshot. Byte-identical to a batch run over the same hours. The
@@ -132,8 +157,11 @@ class StreamingStudy {
   std::atomic<int> watermark_{0};
   bool warned_late_ = false;
 
-  mutable std::mutex latest_mutex_;
-  std::shared_ptr<const Report> latest_;
+  /// Publication slot. A plain shared_ptr store here raced the server's
+  /// worker-thread readers (shared_ptr copy vs store is a data race on
+  /// the control block pointer); the atomic specialization makes
+  /// publish-and-read lock-free on both sides.
+  std::atomic<std::shared_ptr<const PublishedReport>> latest_;
 
   // Observability handles, resolved once (registry lookups are mutexed).
   obs::Gauge& watermark_gauge_;  ///< stream.watermark (display only;

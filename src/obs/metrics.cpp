@@ -9,6 +9,10 @@
 #include <memory>
 #include <mutex>
 
+// Header-only escaping shared with the serve/ JSON emitters; obs links
+// against nothing above it, and this include keeps it that way.
+#include "util/json.hpp"
+
 namespace iotscope::obs {
 
 namespace {
@@ -223,30 +227,7 @@ std::string human_ns(std::uint64_t ns) {
 
 void append_json_string(std::string& out, std::string_view s) {
   out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  util::append_json_escaped(out, s);
   out += '"';
 }
 

@@ -1,0 +1,83 @@
+#include "serve/cache.hpp"
+
+#include <functional>
+
+namespace iotscope::serve {
+
+ResponseCache::ResponseCache(std::size_t shards,
+                             std::size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResponseCache::Shard& ResponseCache::shard_of(std::string_view key) noexcept {
+  return *shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string> ResponseCache::get(std::uint64_t epoch,
+                                                      std::string_view key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (it->second->epoch != epoch) {
+    // Rendered from a superseded snapshot: drop it now rather than let a
+    // stale body linger at the LRU front.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.invalidated;
+    ++shard.misses;
+    return nullptr;
+  }
+  // Most recently used: move to the front without touching the entry
+  // (splice keeps the index's iterators and key views valid).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->body;
+}
+
+void ResponseCache::put(std::uint64_t epoch, std::string_view key,
+                        std::shared_ptr<const std::string> body) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent renderers of the same key land here; last writer wins
+    // (both rendered from immutable snapshots, so either body is right
+    // for its epoch).
+    it->second->epoch = epoch;
+    it->second->body = std::move(body);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{std::string(key), epoch, std::move(body)});
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+  while (shard.lru.size() > capacity_per_shard_) {
+    shard.index.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ResponseCache::stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.invalidated += shard->invalidated;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace iotscope::serve

@@ -1,0 +1,81 @@
+// Sharded LRU cache for rendered query responses, keyed on
+// (epoch, request target). The epoch is the publication counter of the
+// snapshot a response was rendered from, so a snapshot swap invalidates
+// every cached body without any explicit flush: the next lookup under
+// the new epoch misses (and replaces) the stale entry in place. Sharding
+// by key hash keeps the per-shard mutex uncontended under the worker
+// pool — the same striping idea as the obs counters.
+//
+// Bodies are shared_ptr<const string> so a hit hands the caller a
+// reference into the cache without copying the payload, and an entry
+// evicted mid-flight stays alive until the last response referencing it
+// has been written to its socket.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace iotscope::serve {
+
+/// Hit/miss/eviction tallies across all shards (point-in-time sums).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;   ///< capacity evictions (LRU tail drops)
+  std::uint64_t invalidated = 0; ///< stale-epoch entries replaced
+  std::size_t entries = 0;       ///< currently resident
+};
+
+class ResponseCache {
+ public:
+  /// `shards` is clamped to >= 1; `capacity_per_shard` entries are kept
+  /// per shard before the least-recently-used entry is dropped.
+  ResponseCache(std::size_t shards, std::size_t capacity_per_shard);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// The cached body for `key` rendered under `epoch`, or null. An entry
+  /// cached under a different epoch is treated as a miss (and dropped, so
+  /// stale bodies never outlive their snapshot by more than one lookup).
+  std::shared_ptr<const std::string> get(std::uint64_t epoch,
+                                         std::string_view key);
+
+  /// Inserts (or replaces) the body for `key` under `epoch` and marks it
+  /// most recently used. Evicts the shard's LRU tail beyond capacity.
+  void put(std::uint64_t epoch, std::string_view key,
+           std::shared_ptr<const std::string> body);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const std::string> body;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used. Stable iterators under splice.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidated = 0;
+  };
+
+  Shard& shard_of(std::string_view key) noexcept;
+
+  std::size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace iotscope::serve

@@ -1,0 +1,163 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/io.hpp"
+#include "util/strings.hpp"
+
+namespace iotscope::serve {
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Reads until `buffer` contains at least `need` bytes; false on EOF or
+/// error before that.
+bool read_until(int fd, std::string& buffer, std::size_t need) {
+  char chunk[4096];
+  while (buffer.size() < need) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw util::IoError(std::string("client: socket() failed: ") +
+                        std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw util::IoError("client: cannot connect to 127.0.0.1:" +
+                        std::to_string(port) + ": " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  // A response that takes this long means the server is wedged or every
+  // worker is pinned; surface nullopt instead of blocking the caller
+  // forever (get() treats the EAGAIN as a broken connection).
+  timeval tv{};
+  tv.tv_sec = 30;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+HttpClient::~HttpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::optional<HttpResponse> HttpClient::get(std::string_view target) {
+  if (fd_ < 0) return std::nullopt;
+  std::string request;
+  request.reserve(target.size() + 64);
+  request += "GET ";
+  request += target;
+  request += " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (!send_all(fd_, request)) return std::nullopt;
+
+  std::string buffer;
+  std::size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (!read_until(fd_, buffer, buffer.size() + 1)) return std::nullopt;
+  }
+  const std::string_view head(buffer.data(), head_end);
+
+  // Status line: "HTTP/1.1 200 OK".
+  const auto first_space = head.find(' ');
+  if (first_space == std::string_view::npos) return std::nullopt;
+  const auto status_text = head.substr(first_space + 1, 3);
+  const auto status = util::parse_decimal(status_text);
+  if (!status) return std::nullopt;
+
+  // Content-Length framing (the server always sends it).
+  std::size_t content_length = 0;
+  for (std::size_t pos = head.find("\r\n"); pos != std::string_view::npos;
+       pos = head.find("\r\n", pos + 2)) {
+    const auto line = head.substr(pos + 2);
+    static constexpr std::string_view kName = "content-length:";
+    if (line.size() >= kName.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        const char c = line[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        auto value = line.substr(kName.size());
+        value = util::trim(value.substr(0, value.find("\r\n")));
+        if (const auto parsed = util::parse_decimal(value)) {
+          content_length = static_cast<std::size_t>(*parsed);
+        }
+        break;
+      }
+    }
+  }
+
+  const std::size_t total = head_end + 4 + content_length;
+  if (!read_until(fd_, buffer, total)) return std::nullopt;
+  HttpResponse response;
+  response.status = static_cast<int>(*status);
+  response.body = buffer.substr(head_end + 4, content_length);
+  return response;
+}
+
+std::optional<HttpResponse> http_get(std::uint16_t port,
+                                     std::string_view target) {
+  try {
+    HttpClient client(port);
+    return client.get(target);
+  } catch (const util::IoError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace iotscope::serve

@@ -1,0 +1,44 @@
+// A deliberately small blocking HTTP/1.1 client — just enough to drive
+// the embedded query server from the e2e tests and the load-generator
+// bench. Keep-alive by default so a bench connection amortises the TCP
+// handshake across thousands of requests, exactly like a dashboard
+// poller would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iotscope::serve {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  /// Connects to 127.0.0.1:port; throws util::IoError on failure.
+  explicit HttpClient(std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Issues GET <target> on the kept-alive connection and reads the full
+  /// Content-Length-framed response. nullopt if the connection broke
+  /// (the caller may reconnect and retry).
+  std::optional<HttpResponse> get(std::string_view target);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One-shot convenience: connect, GET, close. nullopt on any failure.
+std::optional<HttpResponse> http_get(std::uint16_t port,
+                                     std::string_view target);
+
+}  // namespace iotscope::serve

@@ -1,0 +1,161 @@
+#include "serve/http.hpp"
+
+#include <cctype>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace iotscope::serve {
+
+namespace {
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// ASCII case-insensitive equality (header names, Connection tokens).
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+      } else {
+        out += '%';
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::optional<HttpRequest> parse_request(std::string_view head) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // METHOD SP TARGET SP VERSION. The version is split off the LAST
+  // space so a naive client sending an unencoded space inside the
+  // target ("GET /report/isp/Deutsche Telekom HTTP/1.1") still parses.
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return std::nullopt;
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp2 == sp1) return std::nullopt;  // only two tokens: no version
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!util::starts_with(version, "HTTP/1.")) return std::nullopt;
+
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  for (char& c : request.method) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (request.target.empty() || request.target[0] != '/') return std::nullopt;
+  // HTTP/1.0 defaults to close; 1.1 to keep-alive.
+  request.keep_alive = version != "HTTP/1.0";
+
+  // Split target into path and query, percent-decoding each component
+  // separately (an encoded '&' inside a value must not split the pair).
+  const std::string_view target(request.target);
+  const std::size_t qmark = target.find('?');
+  request.path = url_decode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    std::string_view qs = target.substr(qmark + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair =
+          amp == std::string_view::npos ? qs : qs.substr(0, amp);
+      qs = amp == std::string_view::npos ? std::string_view()
+                                         : qs.substr(amp + 1);
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        request.query.emplace_back(url_decode(pair), std::string());
+      } else {
+        request.query.emplace_back(url_decode(pair.substr(0, eq)),
+                                   url_decode(pair.substr(eq + 1)));
+      }
+    }
+  }
+
+  // Header lines: only Connection matters to the server loop.
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view name = util::trim(line.substr(0, colon));
+    const std::string_view value = util::trim(line.substr(colon + 1));
+    if (iequals(name, "connection")) {
+      if (iequals(value, "close")) request.keep_alive = false;
+      if (iequals(value, "keep-alive")) request.keep_alive = true;
+    }
+  }
+  return request;
+}
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string render_response(int status, std::string_view body,
+                            std::string_view content_type, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string error_body(std::string_view message) {
+  std::string out = "{\"error\": ";
+  out += util::json_quote(message);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace iotscope::serve

@@ -1,0 +1,60 @@
+// Minimal HTTP/1.1 message handling for the embedded query server: just
+// enough of RFC 9112 to parse a GET request line + headers off a socket
+// buffer and to render a response with Content-Length framing. No
+// chunked transfer, no bodies on requests, no TLS — the server fronts
+// immutable report snapshots on an operator's loopback/LAN, not the
+// open internet.
+//
+// Parsing is pure (string_view in, struct out) so the unit tests cover
+// it without sockets; the socket loop lives in server.cpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iotscope::serve {
+
+/// A parsed request line + the headers the server cares about.
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercased as received
+  std::string target;  ///< raw request target, e.g. "/report/ports/top?k=5"
+  std::string path;    ///< percent-decoded path component, no query
+  /// Percent-decoded query parameters in order of appearance.
+  std::vector<std::pair<std::string, std::string>> query;
+  bool keep_alive = true;  ///< HTTP/1.1 default unless "Connection: close"
+
+  /// First value of the named query parameter, or nullopt.
+  std::optional<std::string_view> param(std::string_view name) const noexcept {
+    for (const auto& [key, value] : query) {
+      if (key == name) return std::string_view(value);
+    }
+    return std::nullopt;
+  }
+};
+
+/// Percent-decodes a URL component ("%2F" -> "/", "+" -> " "). Malformed
+/// escapes (truncated or non-hex) pass through literally rather than
+/// failing the whole request.
+std::string url_decode(std::string_view s);
+
+/// Parses one request's head (everything up to and excluding the blank
+/// line). Returns nullopt on a malformed request line. Header names are
+/// matched case-insensitively; only Connection is interpreted.
+std::optional<HttpRequest> parse_request(std::string_view head);
+
+/// Renders a complete response: status line, Content-Type,
+/// Content-Length, Connection, then the body.
+std::string render_response(int status, std::string_view body,
+                            std::string_view content_type = "application/json",
+                            bool keep_alive = true);
+
+/// Canonical reason phrase for the handful of statuses the server emits.
+std::string_view status_reason(int status) noexcept;
+
+/// A JSON error body: {"error": "<message>"} with proper escaping.
+std::string error_body(std::string_view message);
+
+}  // namespace iotscope::serve

@@ -1,0 +1,299 @@
+#include "serve/report_json.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace iotscope::serve {
+
+namespace {
+
+void field(std::string& out, std::string_view name, std::uint64_t value,
+           bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += name;
+  out += "\": ";
+  out += std::to_string(value);
+}
+
+void field(std::string& out, std::string_view name, std::int64_t value,
+           bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += name;
+  out += "\": ";
+  out += std::to_string(value);
+}
+
+void field_str(std::string& out, std::string_view name,
+               std::string_view value, bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += name;
+  out += "\": ";
+  out += util::json_quote(value);
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  return util::to_lower(a) == util::to_lower(b);
+}
+
+}  // namespace
+
+std::string render_summary(std::uint64_t epoch, const core::Report& report,
+                           const inventory::IoTDeviceDatabase& db) {
+  std::string out = "{";
+  field(out, "epoch", epoch, /*first=*/true);
+  field(out, "total_packets", report.total_packets);
+  field(out, "unattributed_packets", report.unattributed_packets);
+  field(out, "compromised_devices",
+        static_cast<std::uint64_t>(report.discovered_total()));
+  field(out, "compromised_consumer",
+        static_cast<std::uint64_t>(report.discovered_consumer));
+  field(out, "compromised_cps",
+        static_cast<std::uint64_t>(report.discovered_cps));
+  field(out, "inventory_devices", static_cast<std::uint64_t>(db.size()));
+  field(out, "tcp_scan_packets", report.tcp_scan_total);
+  field(out, "udp_packets", report.udp_total_packets);
+  field(out, "backscatter_packets", report.backscatter_total);
+  field(out, "dos_victims", static_cast<std::uint64_t>(report.dos_victims));
+  field(out, "scanner_devices",
+        static_cast<std::uint64_t>(report.scanner_devices));
+  field(out, "unknown_sources",
+        static_cast<std::uint64_t>(report.unknown_sources.size()));
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::string> render_country(
+    std::uint64_t epoch, const core::Report& report,
+    const inventory::IoTDeviceDatabase& db, std::string_view name) {
+  const auto& countries = db.catalog().countries();
+  int country = -1;
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    if (iequals(countries[i].name, name)) {
+      country = static_cast<int>(i);
+      break;
+    }
+  }
+  if (country < 0) return std::nullopt;
+  const auto id = static_cast<inventory::CountryId>(country);
+
+  std::size_t deployed_consumer = 0;
+  std::size_t deployed_cps = 0;
+  for (const auto& device : db.devices()) {
+    if (device.country != id) continue;
+    ++(device.is_consumer() ? deployed_consumer : deployed_cps);
+  }
+  std::size_t compromised_consumer = 0;
+  std::size_t compromised_cps = 0;
+  std::uint64_t packets = 0;
+  for (const auto& traffic : report.devices) {
+    const auto& device = db.devices()[traffic.device];
+    if (device.country != id) continue;
+    ++(device.is_consumer() ? compromised_consumer : compromised_cps);
+    packets += traffic.packets;
+  }
+
+  std::string out = "{";
+  field(out, "epoch", epoch, /*first=*/true);
+  field_str(out, "country", countries[static_cast<std::size_t>(country)].name);
+  field(out, "deployed", static_cast<std::uint64_t>(deployed_consumer +
+                                                    deployed_cps));
+  field(out, "deployed_consumer", static_cast<std::uint64_t>(deployed_consumer));
+  field(out, "deployed_cps", static_cast<std::uint64_t>(deployed_cps));
+  field(out, "compromised", static_cast<std::uint64_t>(compromised_consumer +
+                                                       compromised_cps));
+  field(out, "compromised_consumer",
+        static_cast<std::uint64_t>(compromised_consumer));
+  field(out, "compromised_cps", static_cast<std::uint64_t>(compromised_cps));
+  field(out, "packets", packets);
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::string> render_isp(std::uint64_t epoch,
+                                      const core::Report& report,
+                                      const inventory::IoTDeviceDatabase& db,
+                                      std::string_view name) {
+  const auto& isps = db.isps();
+  int isp = -1;
+  for (std::size_t i = 0; i < isps.size(); ++i) {
+    if (iequals(isps[i].name, name)) {
+      isp = static_cast<int>(i);
+      break;
+    }
+  }
+  if (isp < 0) return std::nullopt;
+  const auto id = static_cast<inventory::IspId>(isp);
+
+  std::size_t deployed = 0;
+  for (const auto& device : db.devices()) deployed += device.isp == id;
+  std::size_t compromised_consumer = 0;
+  std::size_t compromised_cps = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t scan_packets = 0;
+  for (const auto& traffic : report.devices) {
+    const auto& device = db.devices()[traffic.device];
+    if (device.isp != id) continue;
+    ++(device.is_consumer() ? compromised_consumer : compromised_cps);
+    packets += traffic.packets;
+    scan_packets += traffic.tcp_scan;
+  }
+
+  std::string out = "{";
+  field(out, "epoch", epoch, /*first=*/true);
+  field_str(out, "isp", isps[static_cast<std::size_t>(isp)].name);
+  field_str(out, "country", db.country_name(isps[static_cast<std::size_t>(isp)].country));
+  field(out, "deployed", static_cast<std::uint64_t>(deployed));
+  field(out, "compromised", static_cast<std::uint64_t>(compromised_consumer +
+                                                       compromised_cps));
+  field(out, "compromised_consumer",
+        static_cast<std::uint64_t>(compromised_consumer));
+  field(out, "compromised_cps", static_cast<std::uint64_t>(compromised_cps));
+  field(out, "packets", packets);
+  field(out, "tcp_scan_packets", scan_packets);
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::string> render_type(std::uint64_t epoch,
+                                       const core::Report& report,
+                                       const inventory::IoTDeviceDatabase& db,
+                                       std::string_view name) {
+  int type = -1;
+  for (int t = 0; t < inventory::kConsumerTypeCount; ++t) {
+    if (iequals(to_string(static_cast<inventory::ConsumerType>(t)), name)) {
+      type = t;
+      break;
+    }
+  }
+  if (type < 0) return std::nullopt;
+  const auto wanted = static_cast<inventory::ConsumerType>(type);
+
+  std::size_t deployed = 0;
+  for (const auto& device : db.devices()) {
+    deployed += device.is_consumer() && device.consumer_type == wanted;
+  }
+  std::size_t compromised = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t scan_packets = 0;
+  for (const auto& traffic : report.devices) {
+    const auto& device = db.devices()[traffic.device];
+    if (!device.is_consumer() || device.consumer_type != wanted) continue;
+    ++compromised;
+    packets += traffic.packets;
+    scan_packets += traffic.tcp_scan;
+  }
+
+  std::string out = "{";
+  field(out, "epoch", epoch, /*first=*/true);
+  field_str(out, "type", to_string(wanted));
+  field(out, "deployed", static_cast<std::uint64_t>(deployed));
+  field(out, "compromised", static_cast<std::uint64_t>(compromised));
+  field(out, "packets", packets);
+  field(out, "tcp_scan_packets", scan_packets);
+  out += "}\n";
+  return out;
+}
+
+std::string render_top_ports(std::uint64_t epoch, const core::Report& report,
+                             std::size_t k) {
+  const std::size_t n = std::min(k, report.udp_top_ports.size());
+  std::string out = "{";
+  field(out, "epoch", epoch, /*first=*/true);
+  field(out, "k", static_cast<std::uint64_t>(n));
+  field(out, "udp_total_packets", report.udp_total_packets);
+  out += ", \"ports\": [";
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& row = report.udp_top_ports[i];
+    if (i > 0) out += ", ";
+    out += "{";
+    field(out, "port", static_cast<std::uint64_t>(row.port), /*first=*/true);
+    field(out, "packets", row.packets);
+    field(out, "devices", static_cast<std::uint64_t>(row.devices));
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::optional<std::string> render_device_timeline(
+    std::uint64_t epoch, const core::Report& report,
+    const inventory::IoTDeviceDatabase& db, net::Ipv4Address ip) {
+  if (const auto* device = db.find(ip)) {
+    const auto index =
+        static_cast<std::uint32_t>(device - db.devices().data());
+    const auto* traffic = report.traffic_for(index);
+
+    std::string out = "{";
+    field(out, "epoch", epoch, /*first=*/true);
+    field_str(out, "ip", ip.to_string());
+    field_str(out, "kind", "device");
+    field_str(out, "category", to_string(device->category));
+    if (device->is_consumer()) {
+      field_str(out, "type", to_string(device->consumer_type));
+    }
+    field_str(out, "country", db.country_name(device->country));
+    field_str(out, "isp", db.isp_name(device->isp));
+    field(out, "packets", traffic ? traffic->packets : 0);
+    field(out, "first_interval",
+          static_cast<std::int64_t>(traffic ? traffic->first_interval : -1));
+    field(out, "last_interval",
+          static_cast<std::int64_t>(traffic ? traffic->last_interval : -1));
+    field(out, "days_active",
+          static_cast<std::int64_t>(traffic ? traffic->days_active() : 0));
+    if (traffic) {
+      out += ", \"classes\": {";
+      field(out, "tcp_scan", traffic->tcp_scan, /*first=*/true);
+      field(out, "tcp_backscatter", traffic->tcp_backscatter);
+      field(out, "icmp_scan", traffic->icmp_scan);
+      field(out, "icmp_backscatter", traffic->icmp_backscatter);
+      field(out, "udp", traffic->udp);
+      field(out, "tcp_other", traffic->tcp_other);
+      field(out, "icmp_other", traffic->icmp_other);
+      out += "}";
+      out += ", \"scan_services\": [";
+      bool first = true;
+      for (std::size_t s = 0;
+           s < traffic->scan_by_service.size() &&
+           s < report.scan_services.size();
+           ++s) {
+        if (traffic->scan_by_service[s] == 0) continue;
+        if (!first) out += ", ";
+        first = false;
+        out += "{";
+        field_str(out, "service", report.scan_services[s].name,
+                  /*first=*/true);
+        field(out, "packets", traffic->scan_by_service[s]);
+        out += "}";
+      }
+      out += "]";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  // Outside the inventory: maybe a profiled unknown source.
+  for (const auto& profile : report.unknown_sources) {
+    if (profile.ip.value() != ip.value()) continue;
+    std::string out = "{";
+    field(out, "epoch", epoch, /*first=*/true);
+    field_str(out, "ip", ip.to_string());
+    field_str(out, "kind", "unknown_source");
+    field(out, "packets", profile.packets);
+    field(out, "tcp_syn_packets", profile.tcp_syn_packets);
+    field(out, "iot_port_packets", profile.iot_port_packets);
+    field(out, "first_interval",
+          static_cast<std::int64_t>(profile.first_interval));
+    field(out, "last_interval",
+          static_cast<std::int64_t>(profile.last_interval));
+    out += "}\n";
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iotscope::serve

@@ -1,0 +1,63 @@
+// JSON projections of a published Report for the query server: each
+// function renders one endpoint's response body from the immutable
+// snapshot + the inventory it was correlated against. Pure functions of
+// their inputs — the server caches the rendered bodies keyed on
+// (epoch, request target), so a projection runs at most once per
+// snapshot per distinct query under cache pressure.
+//
+// All inventory-derived strings (ISP names, country names, device
+// types) pass through util::json_escape: the inventory CSV is operator
+// input and a vendor/ISP name containing `"` or `\` must not corrupt
+// the document.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/report.hpp"
+#include "inventory/database.hpp"
+
+namespace iotscope::serve {
+
+/// GET /report/summary — headline totals of the snapshot.
+std::string render_summary(std::uint64_t epoch, const core::Report& report,
+                           const inventory::IoTDeviceDatabase& db);
+
+/// GET /report/country/<name> — deployed vs compromised for one country
+/// (name match is ASCII case-insensitive). nullopt = unknown country.
+std::optional<std::string> render_country(
+    std::uint64_t epoch, const core::Report& report,
+    const inventory::IoTDeviceDatabase& db, std::string_view name);
+
+/// GET /report/isp/<name> — compromised devices and attributed packets
+/// hosted by one ISP (case-insensitive). nullopt = unknown ISP.
+std::optional<std::string> render_isp(std::uint64_t epoch,
+                                      const core::Report& report,
+                                      const inventory::IoTDeviceDatabase& db,
+                                      std::string_view name);
+
+/// GET /report/type/<t> — compromised consumer devices of one type
+/// ("Router", "IP camera", ... as printed by to_string(ConsumerType);
+/// case-insensitive). nullopt = unknown type.
+std::optional<std::string> render_type(std::uint64_t epoch,
+                                       const core::Report& report,
+                                       const inventory::IoTDeviceDatabase& db,
+                                       std::string_view name);
+
+/// GET /report/ports/top?k=N — the top-k scanned UDP ports (clamped to
+/// what the report tracks).
+std::string render_top_ports(std::uint64_t epoch, const core::Report& report,
+                             std::size_t k);
+
+/// GET /report/device/<ip>/timeline — activity window, per-class packet
+/// tallies, and per-service scan volumes for one source IP. An inventory
+/// device renders even when never observed (packets 0, intervals -1:
+/// "deployed but quiet" is an answer). IPs outside the inventory fall
+/// back to the unknown-source profiles; nullopt = in neither.
+std::optional<std::string> render_device_timeline(
+    std::uint64_t epoch, const core::Report& report,
+    const inventory::IoTDeviceDatabase& db, net::Ipv4Address ip);
+
+}  // namespace iotscope::serve

@@ -1,0 +1,78 @@
+// Minimal JSON string escaping, shared by every JSON emitter in the
+// project (the obs --metrics-out snapshot and the serve/ query server).
+// Header-only on purpose: obs sits below util in the link graph and can
+// include this without taking a link dependency on iotscope_util.
+//
+// Escapes exactly what RFC 8259 requires: quote, backslash, and the
+// C0 control range (with the common two-character forms for the
+// whitespace controls). Everything else — UTF-8 multibyte sequences
+// included — passes through byte-for-byte, which keeps inventory ISP /
+// vendor names readable in the output while still producing a document
+// any JSON parser accepts even when a name contains `"` or `\`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace iotscope::util {
+
+/// Appends `s` to `out` with JSON string escaping applied (no
+/// surrounding quotes — callers decide the quoting).
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `s` as a complete JSON string literal, quotes included.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+/// The escaped body alone (no quotes) — for callers building into a
+/// larger buffer.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_json_escaped(out, s);
+  return out;
+}
+
+}  // namespace iotscope::util

@@ -86,4 +86,16 @@ std::string fixed(double value, int decimals) {
   return buf;
 }
 
+std::optional<std::uint64_t> parse_decimal(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 }  // namespace iotscope::util

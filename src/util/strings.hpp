@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,5 +32,13 @@ std::string percent(double value, int decimals = 1);
 
 /// Fixed-point double formatting without iostream locale surprises.
 std::string fixed(double value, int decimals);
+
+/// Strict decimal parse for CLI-flag style values: ASCII digits only —
+/// no sign, no whitespace, no exponent — and the result must fit in 64
+/// bits. Returns nullopt for anything else ("", "abc", "-3", "1e3",
+/// "18446744073709551616"). Callers decide whether 0 is acceptable;
+/// the loose strtoul/atof coercions this replaces turned "--threads -1"
+/// into 4294967295 and "--idle-ms abc" into 0.
+std::optional<std::uint64_t> parse_decimal(std::string_view s) noexcept;
 
 }  // namespace iotscope::util

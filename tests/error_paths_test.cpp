@@ -17,10 +17,43 @@
 #include "telescope/store.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/io.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace iotscope {
 namespace {
+
+// ------------------------------------------------------ parse_decimal
+
+TEST(ParseDecimalTest, AcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(util::parse_decimal("0"), 0u);
+  EXPECT_EQ(util::parse_decimal("7"), 7u);
+  EXPECT_EQ(util::parse_decimal("65535"), 65535u);
+  EXPECT_EQ(util::parse_decimal("18446744073709551615"),
+            18446744073709551615ULL);
+}
+
+TEST(ParseDecimalTest, RejectsWhatStrtoulSilentlyCoerced) {
+  // Every one of these used to slip through the CLI's strtoul/atof
+  // paths as 0, a huge wrapped value, or a truncated prefix.
+  EXPECT_FALSE(util::parse_decimal(""));
+  EXPECT_FALSE(util::parse_decimal("abc"));
+  EXPECT_FALSE(util::parse_decimal("-3"));     // strtoul wrapped this
+  EXPECT_FALSE(util::parse_decimal("+3"));
+  EXPECT_FALSE(util::parse_decimal("1e3"));    // atof read 1000
+  EXPECT_FALSE(util::parse_decimal("2.5"));    // atof truncated to 2
+  EXPECT_FALSE(util::parse_decimal("12x"));    // strtoul read 12
+  EXPECT_FALSE(util::parse_decimal(" 5"));     // no whitespace skipping
+  EXPECT_FALSE(util::parse_decimal("5 "));
+  EXPECT_FALSE(util::parse_decimal("0x10"));
+}
+
+TEST(ParseDecimalTest, RejectsOverflowInsteadOfWrapping) {
+  EXPECT_FALSE(util::parse_decimal("18446744073709551616"));  // 2^64
+  EXPECT_FALSE(util::parse_decimal("99999999999999999999999"));
+  // Leading zeros are fine; they don't overflow the accumulator.
+  EXPECT_EQ(util::parse_decimal("000000000000000000000042"), 42u);
+}
 
 // ------------------------------------------------------- BoundedQueue
 

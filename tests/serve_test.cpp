@@ -1,0 +1,686 @@
+// The embedded query server, bottom-up: HTTP parsing and response
+// framing (pure, no sockets), the epoch-keyed sharded LRU cache,
+// endpoint routing through ReportServer::handle() against a real
+// pipeline report, JSON escaping of hostile operator-supplied inventory
+// strings, and finally the full socket path — concurrent clients
+// querying an ephemeral-port server while a StreamingStudy ingests a
+// rotating store underneath it. The concurrent test races snapshot
+// publication against query-side snapshot loads and the shared cache;
+// run under TSan (ctest label `tsan`) for full value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/iotscope.hpp"
+#include "core/stream.hpp"
+#include "inventory/database.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/report_json.hpp"
+#include "serve/server.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "workload/rotating_writer.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::serve {
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+/// Minimal recursive-descent JSON validator (same idiom as the obs
+/// metrics test): enough to prove a response body is a well-formed
+/// document, which is exactly what the escaping bugs break.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_lit();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++pos_;
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!string_lit()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string_lit() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_])) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character: invalid JSON
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool valid_json(const std::string& text) { return JsonChecker(text).valid(); }
+
+/// "…"epoch": 42…" -> 42; 0 if the field is absent.
+std::uint64_t extract_u64(const std::string& body, std::string_view field) {
+  std::string needle = "\"";
+  needle += field;
+  needle += "\": ";
+  const auto pos = body.find(needle);
+  if (pos == std::string::npos) return 0;
+  const auto parsed = util::parse_decimal(std::string_view(body).substr(
+      pos + needle.size(),
+      body.find_first_not_of("0123456789", pos + needle.size()) - pos -
+          needle.size()));
+  return parsed.value_or(0);
+}
+
+workload::ScenarioConfig tiny_config() {
+  workload::ScenarioConfig config;
+  config.inventory_scale = 0.005;
+  config.traffic_scale = 0.001;
+  config.noise_ratio = 0.05;
+  return config;
+}
+
+/// A real report out of the batch pipeline, shared by the routing tests.
+struct Fixture {
+  workload::Scenario scenario;
+  std::shared_ptr<const core::Report> report;
+
+  explicit Fixture(const workload::ScenarioConfig& config = tiny_config())
+      : scenario(workload::build_scenario(config)) {
+    util::TempDir dir;
+    telescope::FlowTupleStore store(dir.path());
+    workload::write_rotating(scenario, config, store);
+    core::AnalysisPipeline pipeline(scenario.inventory, {});
+    store.for_each(
+        [&pipeline](const net::FlowBatch& batch) { pipeline.observe(batch); });
+    report = std::make_shared<const core::Report>(pipeline.finalize());
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture shared;
+  return shared;
+}
+
+// --------------------------------------------------------- HTTP units
+
+TEST(HttpParseTest, ParsesRequestLineAndQuery) {
+  const auto request = parse_request(
+      "GET /report/ports/top?k=5&unused=x%20y HTTP/1.1\r\n"
+      "Host: localhost\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_TRUE(request);
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/report/ports/top?k=5&unused=x%20y");
+  EXPECT_EQ(request->path, "/report/ports/top");
+  ASSERT_TRUE(request->param("k"));
+  EXPECT_EQ(*request->param("k"), "5");
+  ASSERT_TRUE(request->param("unused"));
+  EXPECT_EQ(*request->param("unused"), "x y");
+  EXPECT_FALSE(request->param("absent"));
+  EXPECT_TRUE(request->keep_alive);
+}
+
+TEST(HttpParseTest, PercentDecodesThePath) {
+  const auto request =
+      parse_request("GET /report/isp/Deutsche%20Telekom HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request);
+  EXPECT_EQ(request->path, "/report/isp/Deutsche Telekom");
+}
+
+TEST(HttpParseTest, ConnectionCloseAndHttp10DisableKeepAlive) {
+  const auto explicit_close =
+      parse_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(explicit_close);
+  EXPECT_FALSE(explicit_close->keep_alive);
+
+  const auto http10 = parse_request("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(http10);
+  EXPECT_FALSE(http10->keep_alive);
+}
+
+TEST(HttpParseTest, RejectsMalformedRequestLines) {
+  EXPECT_FALSE(parse_request(""));
+  EXPECT_FALSE(parse_request("\r\n\r\n"));
+  EXPECT_FALSE(parse_request("GET\r\n\r\n"));
+  EXPECT_FALSE(parse_request("GET /\r\n\r\n"));          // no version
+  EXPECT_FALSE(parse_request("GET / SPDY/3\r\n\r\n"));   // wrong protocol
+  EXPECT_FALSE(parse_request("GET no-slash HTTP/1.1\r\n\r\n"));
+}
+
+TEST(HttpParseTest, UrlDecodeHandlesEscapesAndGarbage) {
+  EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(url_decode("%2Fetc%2fpasswd"), "/etc/passwd");
+  EXPECT_EQ(url_decode("100%"), "100%");     // truncated escape: literal
+  EXPECT_EQ(url_decode("%zz"), "%zz");       // non-hex escape: literal
+  EXPECT_EQ(url_decode(""), "");
+}
+
+TEST(HttpRenderTest, FramesWithContentLength) {
+  const std::string response = render_response(200, "{\"x\": 1}\n");
+  EXPECT_TRUE(response.starts_with("HTTP/1.1 200 OK\r\n"));
+  EXPECT_NE(response.find("Content-Length: 9\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_TRUE(response.ends_with("\r\n\r\n{\"x\": 1}\n"));
+
+  const std::string closing = render_response(404, "{}", "application/json",
+                                              /*keep_alive=*/false);
+  EXPECT_TRUE(closing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpRenderTest, ErrorBodyEscapesTheMessage) {
+  const std::string body = error_body("bad \"value\" \\ here");
+  EXPECT_TRUE(valid_json(body));
+  EXPECT_NE(body.find("\\\"value\\\""), std::string::npos);
+}
+
+// --------------------------------------------------------- cache units
+
+TEST(ResponseCacheTest, HitsAfterPutAndCountsStats) {
+  ResponseCache cache(/*shards=*/2, /*capacity_per_shard=*/4);
+  EXPECT_EQ(cache.get(1, "/a"), nullptr);
+  cache.put(1, "/a", std::make_shared<const std::string>("body-a"));
+  const auto hit = cache.get(1, "/a");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, "body-a");
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ResponseCacheTest, EpochMismatchInvalidatesLazily) {
+  ResponseCache cache(1, 4);
+  cache.put(1, "/a", std::make_shared<const std::string>("epoch-1"));
+  ASSERT_TRUE(cache.get(1, "/a"));
+
+  // Snapshot swap: same key under the new epoch misses and drops the
+  // stale entry.
+  EXPECT_EQ(cache.get(2, "/a"), nullptr);
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // Refill under the new epoch; the old epoch must not resurrect it.
+  cache.put(2, "/a", std::make_shared<const std::string>("epoch-2"));
+  const auto hit = cache.get(2, "/a");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, "epoch-2");
+  EXPECT_EQ(cache.get(1, "/a"), nullptr);
+}
+
+TEST(ResponseCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  ResponseCache cache(1, 2);
+  cache.put(1, "/a", std::make_shared<const std::string>("a"));
+  cache.put(1, "/b", std::make_shared<const std::string>("b"));
+  ASSERT_TRUE(cache.get(1, "/a"));  // /a is now MRU, /b is LRU
+
+  cache.put(1, "/c", std::make_shared<const std::string>("c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.get(1, "/a"));
+  EXPECT_FALSE(cache.get(1, "/b"));  // the LRU victim
+  EXPECT_TRUE(cache.get(1, "/c"));
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResponseCacheTest, PutReplacesInPlace) {
+  ResponseCache cache(1, 2);
+  cache.put(1, "/a", std::make_shared<const std::string>("old"));
+  cache.put(2, "/a", std::make_shared<const std::string>("new"));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const auto hit = cache.get(2, "/a");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, "new");
+}
+
+// ------------------------------------------------------ routing units
+
+ServerOptions no_socket_options() {
+  ServerOptions options;
+  options.threads = 1;
+  return options;
+}
+
+TEST(ServeRoutingTest, AnswersEveryEndpointWithValidJson) {
+  const auto& fx = fixture();
+  ReportServer server(
+      fx.scenario.inventory, [&fx] { return Snapshot{7, fx.report}; },
+      no_socket_options());
+
+  const auto check_ok = [&](const std::string& target) {
+    const auto response = server.handle("GET", target);
+    EXPECT_EQ(response.status, 200) << target << ": " << *response.body;
+    EXPECT_TRUE(valid_json(*response.body)) << target << ": "
+                                            << *response.body;
+    EXPECT_EQ(extract_u64(*response.body, "epoch"), 7u) << target;
+    return *response.body;
+  };
+
+  const auto summary = check_ok("/report/summary");
+  EXPECT_EQ(extract_u64(summary, "total_packets"), fx.report->total_packets);
+  EXPECT_EQ(extract_u64(summary, "compromised_devices"),
+            fx.report->discovered_total());
+
+  // Every country/ISP/type that actually hosts devices must resolve.
+  const auto& db = fx.scenario.inventory;
+  ASSERT_FALSE(fx.report->devices.empty());
+  const auto& device = db.devices()[fx.report->devices.front().device];
+  check_ok("/report/country/" + db.country_name(device.country));
+  check_ok("/report/isp/" + db.isp_name(device.isp));
+  check_ok("/report/type/Router");
+
+  const auto ports = check_ok("/report/ports/top?k=3");
+  EXPECT_LE(extract_u64(ports, "k"), 3u);
+  check_ok("/report/ports/top");  // default k
+
+  const auto timeline =
+      check_ok("/report/device/" + device.ip.to_string() + "/timeline");
+  EXPECT_NE(timeline.find("\"classes\""), std::string::npos);
+
+  // Case-insensitive name matching.
+  check_ok("/report/type/router");
+
+  // /healthz and /metrics are always on.
+  EXPECT_EQ(server.handle("GET", "/healthz").status, 200);
+  const auto metrics = server.handle("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(valid_json(*metrics.body));
+}
+
+TEST(ServeRoutingTest, ErrorsArePointedAndJson) {
+  const auto& fx = fixture();
+  ReportServer server(
+      fx.scenario.inventory, [&fx] { return Snapshot{1, fx.report}; },
+      no_socket_options());
+
+  const auto expect_status = [&](const std::string& target, int status) {
+    const auto response = server.handle("GET", target);
+    EXPECT_EQ(response.status, status) << target;
+    EXPECT_TRUE(valid_json(*response.body)) << target;
+  };
+
+  expect_status("/nope", 404);
+  expect_status("/report/unknown", 404);
+  expect_status("/report/country/Atlantis", 404);
+  expect_status("/report/isp/No Such ISP", 404);
+  expect_status("/report/type/Toaster", 404);
+  expect_status("/report/ports/top?k=0", 400);
+  expect_status("/report/ports/top?k=banana", 400);
+  expect_status("/report/device/not-an-ip/timeline", 400);
+  expect_status("/report/device/203.0.113.250/timeline", 404);  // unobserved
+  EXPECT_EQ(server.handle("POST", "/report/summary").status, 405);
+}
+
+TEST(ServeRoutingTest, Answers503UntilTheFirstSnapshot) {
+  const auto& fx = fixture();
+  std::atomic<bool> published{false};
+  ReportServer server(
+      fx.scenario.inventory,
+      [&]() -> Snapshot {
+        if (!published.load()) return {};
+        return Snapshot{1, fx.report};
+      },
+      no_socket_options());
+
+  EXPECT_EQ(server.handle("GET", "/report/summary").status, 503);
+  EXPECT_EQ(server.handle("GET", "/healthz").status, 200);  // still alive
+  published.store(true);
+  EXPECT_EQ(server.handle("GET", "/report/summary").status, 200);
+}
+
+TEST(ServeRoutingTest, CacheHitsWithinAnEpochInvalidateAcrossEpochs) {
+  const auto& fx = fixture();
+  std::atomic<std::uint64_t> epoch{1};
+  ReportServer server(
+      fx.scenario.inventory,
+      [&] { return Snapshot{epoch.load(), fx.report}; }, no_socket_options());
+
+  const auto first = server.handle("GET", "/report/summary");
+  const auto second = server.handle("GET", "/report/summary");
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(second.status, 200);
+  // Second answer is the same cached object, not a re-render.
+  EXPECT_EQ(first.body.get(), second.body.get());
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+
+  // Epoch bump = snapshot swap: the cached body must not be served.
+  epoch.store(2);
+  const auto third = server.handle("GET", "/report/summary");
+  EXPECT_EQ(third.status, 200);
+  EXPECT_NE(third.body.get(), first.body.get());
+  EXPECT_EQ(extract_u64(*third.body, "epoch"), 2u);
+  EXPECT_EQ(server.cache_stats().invalidated, 1u);
+
+  // Distinct parameters are distinct cache keys.
+  const auto k2 = server.handle("GET", "/report/ports/top?k=2");
+  const auto k3 = server.handle("GET", "/report/ports/top?k=3");
+  EXPECT_NE(k2.body.get(), k3.body.get());
+}
+
+// ---------------------------------------------- hostile-string escaping
+
+TEST(ServeEscapingTest, HostileIspNameSurvivesEveryJsonPath) {
+  // The inventory CSV is operator input: a vendor/ISP name with quotes,
+  // backslashes, and control characters must never corrupt a JSON
+  // document. This used to break --metrics-out too; both paths now go
+  // through util::json_escape.
+  const std::string hostile = "Evil \"ISP\" \\ Corp\nLine2\tEnd";
+  inventory::IoTDeviceDatabase db;
+  const auto isp = db.add_isp(hostile, /*country=*/0);
+  inventory::DeviceRecord device;
+  device.ip = *net::Ipv4Address::parse("198.51.100.7");
+  device.country = 0;
+  device.isp = isp;
+  ASSERT_TRUE(db.add_device(device));
+
+  const core::Report empty_report;
+  const auto isp_body = render_isp(1, empty_report, db, hostile);
+  ASSERT_TRUE(isp_body);
+  EXPECT_TRUE(valid_json(*isp_body)) << *isp_body;
+  EXPECT_NE(isp_body->find("Evil \\\"ISP\\\" \\\\ Corp\\nLine2\\tEnd"),
+            std::string::npos)
+      << *isp_body;
+
+  // An inventory device renders even unobserved ("deployed but quiet"),
+  // and its hostile ISP name must come out escaped there too.
+  const auto timeline_body = render_device_timeline(
+      1, empty_report, db, *net::Ipv4Address::parse("198.51.100.7"));
+  ASSERT_TRUE(timeline_body);
+  EXPECT_TRUE(valid_json(*timeline_body)) << *timeline_body;
+  EXPECT_NE(timeline_body->find("\\\"ISP\\\""), std::string::npos);
+
+  // Outside the inventory and never profiled: genuinely unknown.
+  EXPECT_FALSE(render_device_timeline(
+      1, empty_report, db, *net::Ipv4Address::parse("203.0.113.199")));
+
+  // The shared escaper itself, exhaustively over the control range.
+  std::string control;
+  for (char c = 1; c < 0x20; ++c) control += c;
+  const std::string quoted = util::json_quote(control);
+  EXPECT_TRUE(valid_json(quoted)) << quoted;
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_quote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(ServeEscapingTest, HostileNameThroughTheFullServer) {
+  const std::string hostile = "Quote\"Back\\slash";
+  inventory::IoTDeviceDatabase db;
+  const auto isp = db.add_isp(hostile, /*country=*/0);
+  inventory::DeviceRecord device;
+  device.ip = *net::Ipv4Address::parse("198.51.100.9");
+  device.isp = isp;
+  ASSERT_TRUE(db.add_device(device));
+
+  auto report = std::make_shared<const core::Report>();
+  ReportServer server(
+      db, [report] { return Snapshot{1, report}; }, no_socket_options());
+  const auto response =
+      server.handle("GET", "/report/isp/Quote%22Back%5Cslash");
+  EXPECT_EQ(response.status, 200) << *response.body;
+  EXPECT_TRUE(valid_json(*response.body)) << *response.body;
+}
+
+// ------------------------------------------------------- socket e2e
+
+TEST(ServeE2eTest, ServesOverRealSocketsWithKeepAlive) {
+  const auto& fx = fixture();
+  ServerOptions options;
+  options.threads = 2;
+  ReportServer server(
+      fx.scenario.inventory, [&fx] { return Snapshot{3, fx.report}; },
+      options);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  HttpClient client(server.port());
+  // Several requests over one keep-alive connection.
+  for (const char* target :
+       {"/healthz", "/report/summary", "/report/summary", "/metrics"}) {
+    const auto response = client.get(target);
+    ASSERT_TRUE(response) << target;
+    EXPECT_EQ(response->status, 200) << target;
+    EXPECT_TRUE(valid_json(response->body)) << target;
+  }
+  const auto missing = client.get("/report/country/Atlantis");
+  ASSERT_TRUE(missing);
+  EXPECT_EQ(missing->status, 404);
+
+  // One-shot convenience path.
+  const auto oneshot = http_get(server.port(), "/report/summary");
+  ASSERT_TRUE(oneshot);
+  EXPECT_EQ(oneshot->status, 200);
+  EXPECT_EQ(extract_u64(oneshot->body, "total_packets"),
+            fx.report->total_packets);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // A stopped server refuses connections.
+  EXPECT_FALSE(http_get(server.port(), "/healthz"));
+}
+
+TEST(ServeE2eTest, ConcurrentQueriesDuringStreamingIngest) {
+  // The acceptance scenario: an ephemeral-port server fronting a
+  // StreamingStudy while the rotating writer lands hours underneath it.
+  // Client threads hammer every endpoint throughout; every response must
+  // parse, and the epochs observed by any one client must never move
+  // backwards.
+  const auto config = tiny_config();
+  const auto scenario = workload::build_scenario(config);
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+
+  core::StreamOptions stream_options;
+  stream_options.snapshot_every = 2;  // many epochs while we query
+  stream_options.poll_interval = std::chrono::milliseconds(1);
+  core::PipelineOptions pipeline_options;
+  pipeline_options.threads = 2;
+  core::StreamingStudy stream(scenario.inventory, store, pipeline_options,
+                              stream_options);
+
+  // One more worker than concurrent keep-alive clients: a long-lived
+  // connection pins its worker for its whole lifetime, so the final
+  // one-shot verification below needs a free slot of its own.
+  ServerOptions server_options;
+  server_options.threads = 3;
+  ReportServer server(
+      scenario.inventory,
+      [&stream]() -> Snapshot {
+        auto published = stream.latest_published();
+        if (!published) return {};
+        return Snapshot{published->epoch,
+                        std::shared_ptr<const core::Report>(
+                            published, &published->report)};
+      },
+      server_options);
+  server.start();
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    workload::write_rotating(scenario, config, store);
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::atomic<bool> stop_clients{false};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> ok_responses{0};
+  std::atomic<std::uint64_t> parse_failures{0};
+  std::atomic<std::uint64_t> epoch_regressions{0};
+  const std::vector<std::string> targets = {
+      "/healthz",
+      "/report/summary",
+      "/report/ports/top?k=5",
+      "/report/type/Router",
+      "/metrics",
+  };
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client(server.port());
+      std::uint64_t last_epoch = 0;
+      std::size_t i = static_cast<std::size_t>(c);
+      while (!stop_clients.load(std::memory_order_acquire)) {
+        const auto& target = targets[i++ % targets.size()];
+        auto response = client.get(target);
+        if (!response) {  // broken pipe or idle close: reconnect
+          try {
+            client = HttpClient(server.port());
+          } catch (const util::IoError&) {
+          }
+          continue;
+        }
+        responses.fetch_add(1, std::memory_order_relaxed);
+        if (response->status == 200) {
+          ok_responses.fetch_add(1, std::memory_order_relaxed);
+          if (!valid_json(response->body)) {
+            parse_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          const auto epoch = extract_u64(response->body, "epoch");
+          if (epoch != 0) {
+            if (epoch < last_epoch) {
+              epoch_regressions.fetch_add(1, std::memory_order_relaxed);
+            }
+            last_epoch = epoch;
+          }
+        }
+      }
+    });
+  }
+
+  stream.follow(
+      [&writer_done] { return writer_done.load(std::memory_order_acquire); });
+  writer.join();
+  const core::Report final_report = stream.finalize();
+
+  // Release the keep-alive connections (each pins a worker) before the
+  // one-shot verification connection needs to be served.
+  stop_clients.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+
+  // Post-finalize: the served snapshot is the final report.
+  const auto final_summary = http_get(server.port(), "/report/summary");
+  ASSERT_TRUE(final_summary);
+  EXPECT_EQ(final_summary->status, 200);
+  EXPECT_EQ(extract_u64(final_summary->body, "total_packets"),
+            final_report.total_packets);
+  EXPECT_EQ(extract_u64(final_summary->body, "epoch"), stream.epoch());
+
+  server.stop();
+
+  EXPECT_GT(responses.load(), 0u);
+  EXPECT_GT(ok_responses.load(), 0u);
+  EXPECT_EQ(parse_failures.load(), 0u);
+  EXPECT_EQ(epoch_regressions.load(), 0u);
+  EXPECT_GT(stream.stats().snapshots_published, 0u);
+
+  const auto cache = server.cache_stats();
+  EXPECT_GT(cache.hits + cache.misses, 0u);
+}
+
+}  // namespace
+}  // namespace iotscope::serve

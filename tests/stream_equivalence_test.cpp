@@ -241,6 +241,87 @@ TEST(StreamSnapshotTest, MidStreamSnapshotsGrowMonotonically) {
   EXPECT_EQ(render_everything(stream.finalize(), scenario.inventory), golden);
 }
 
+TEST(StreamSnapshotTest, LatestSnapshotIsSafeToReadDuringFollow) {
+  // The publication race this pins down: follow()'s snapshot publication
+  // on the streaming thread vs latest_snapshot()/latest_published() on
+  // dashboard/server threads. Publication must be a single atomic store
+  // of an epoch+report bundle, so a reader can only ever observe a
+  // fully-built report whose epoch and packet totals never move
+  // backwards. Run under TSan (ctest label `tsan`) for full value —
+  // a plain shared_ptr store here is a data race TSan flags instantly.
+  const auto config = stream_config();
+  const auto scenario = workload::build_scenario(config);
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    workload::write_rotating(scenario, config, store);
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  auto options = tight_stream_options();
+  options.snapshot_every = 2;  // many publications → many racing reads
+  StreamingStudy stream(scenario.inventory, store, stream_pipeline_options(2),
+                        options);
+
+  // Violations are tallied instead of EXPECTed inside the reader threads
+  // (gtest assertions are not thread-safe).
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> epoch_regressions{0};
+  std::atomic<std::uint64_t> packet_regressions{0};
+  std::atomic<std::uint64_t> bundle_mismatches{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      std::uint64_t last_packets = 0;
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        if (const auto published = stream.latest_published()) {
+          if (published->epoch < last_epoch) ++epoch_regressions;
+          if (published->report.total_packets < last_packets) {
+            ++packet_regressions;
+          }
+          last_epoch = published->epoch;
+          last_packets = published->report.total_packets;
+          // The aliasing accessor must hand out a report at least as new
+          // as the bundle we just saw (totals are cumulative).
+          const auto aliased = stream.latest_snapshot();
+          if (!aliased || aliased->total_packets <
+                              published->report.total_packets) {
+            ++bundle_mismatches;
+          }
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  stream.follow(
+      [&writer_done] { return writer_done.load(std::memory_order_acquire); });
+  writer.join();
+  const Report final_report = stream.finalize();
+  stop_readers.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(epoch_regressions.load(), 0u);
+  EXPECT_EQ(packet_regressions.load(), 0u);
+  EXPECT_EQ(bundle_mismatches.load(), 0u);
+  EXPECT_GT(stream.stats().snapshots_published, 0u);
+
+  // finalize() published the end state as the newest epoch: the epoch
+  // accessor and the published bundle agree, and the bundle's report is
+  // the finalized one.
+  EXPECT_EQ(stream.epoch(), stream.stats().snapshots_published);
+  const auto published = stream.latest_published();
+  ASSERT_TRUE(published);
+  EXPECT_EQ(published->epoch, stream.epoch());
+  EXPECT_EQ(render_everything(published->report, scenario.inventory),
+            render_everything(final_report, scenario.inventory));
+}
+
 TEST(StreamWatermarkTest, BelowWatermarkArrivalsAreDroppedAsLate) {
   const auto config = stream_config();
   const auto scenario = workload::build_scenario(config);

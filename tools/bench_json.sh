@@ -10,6 +10,13 @@
 #
 # Example: tools/bench_json.sh BENCH_pr4.json build/bench/bench_perf_micro \
 #            --benchmark_filter='Flowtuple|Inventory|Accumulator'
+#
+# User counters pass through untouched, so the serve-layer load bench
+# lands with its latency percentiles intact:
+#   tools/bench_json.sh BENCH_pr7.json build/bench/bench_perf_micro \
+#     --benchmark_filter='ServeQuery'
+# -> BM_ServeQuery/<threads>/<ingest> entries carrying p50_us, p99_us,
+#    cache_hit_pct, epochs, and records_per_s (= QPS).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

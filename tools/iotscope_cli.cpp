@@ -10,14 +10,19 @@
 //   iotscope fingerprint --data DIR [--threshold X] [--min-packets N]
 //   iotscope campaigns   --data DIR [--threads N]
 //   iotscope info        --data DIR
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "core/campaigns.hpp"
 #include "core/fingerprint.hpp"
@@ -26,6 +31,7 @@
 #include "core/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "serve/server.hpp"
 #include "telescope/store.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
@@ -109,6 +115,66 @@ bool parse_threads(const Args& args, unsigned* threads) {
   return true;
 }
 
+/// Validates an integer-valued flag through util::parse_decimal: empty,
+/// non-numeric, negative, and out-of-range values are rejected with a
+/// pointed error naming the flag. Runs before any dataset I/O, so
+/// `--snapshot-every banana` fails in milliseconds instead of after a
+/// multi-second load (the old get_double path silently coerced it to 0,
+/// which meant "publish a snapshot after every hour" — or, for
+/// --idle-ms, "stop immediately").
+bool parse_flag_u64(const Args& args, const char* flag, std::uint64_t min,
+                    std::uint64_t max, std::uint64_t* out) {
+  if (!args.has(flag)) return true;
+  const std::string value = args.get(flag, "");
+  const auto parsed = util::parse_decimal(value);
+  if (!parsed || *parsed < min || *parsed > max) {
+    std::fprintf(stderr,
+                 "iotscope: --%s expects an integer in [%llu, %llu], got "
+                 "'%s'\n",
+                 flag, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max), value.c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// All analyze-mode knobs, validated up front (before the dataset loads).
+struct AnalyzeFlags {
+  unsigned threads = 0;  // auto
+  std::uint64_t snapshot_every = 24;
+  std::uint64_t evict_after = 6;
+  std::uint64_t idle_ms = 500;
+  bool serve = false;
+  std::uint16_t serve_port = 0;  // 0 = ephemeral
+};
+
+bool parse_analyze_flags(const Args& args, AnalyzeFlags* flags) {
+  if (!parse_threads(args, &flags->threads)) return false;
+  if (!parse_flag_u64(args, "snapshot-every", 1, 1000000,
+                      &flags->snapshot_every)) {
+    return false;
+  }
+  if (!parse_flag_u64(args, "evict-after", 1, 1000000, &flags->evict_after)) {
+    return false;
+  }
+  if (!parse_flag_u64(args, "idle-ms", 1, 86'400'000, &flags->idle_ms)) {
+    return false;
+  }
+  if (args.has("serve")) {
+    std::uint64_t port = 0;
+    if (!parse_flag_u64(args, "serve", 0, 65535, &port)) return false;
+    flags->serve = true;
+    flags->serve_port = static_cast<std::uint16_t>(port);
+  }
+  return true;
+}
+
+/// Set by SIGINT/SIGTERM while the batch-mode server is up.
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -117,7 +183,7 @@ int usage() {
                "  iotscope analyze     --data DIR [--top N] [--full] "
                "[--threads N] [--metrics] [--metrics-out FILE]\n"
                "                       [--follow] [--snapshot-every N] "
-               "[--idle-ms N] [--evict-after N]\n"
+               "[--idle-ms N] [--evict-after N] [--serve PORT]\n"
                "  iotscope fingerprint --data DIR [--threshold X] "
                "[--min-packets N] [--threads N] [--metrics] "
                "[--metrics-out FILE]\n"
@@ -138,7 +204,14 @@ int usage() {
                "(default 500); --snapshot-every N publishes an interim "
                "report every N hours (default 24), --evict-after N freezes "
                "unknown-source state idle for N hours (default 6). The "
-               "final report is byte-identical to the batch path.\n");
+               "final report is byte-identical to the batch path.\n"
+               "  --serve PORT       HTTP query server on 127.0.0.1:PORT "
+               "(0 = ephemeral; the bound port is printed on stderr). With "
+               "--follow it serves live snapshots while the stream runs; "
+               "without it serves the final report until SIGINT/SIGTERM. "
+               "Endpoints: /healthz /metrics /report/summary "
+               "/report/country/<name> /report/isp/<name> /report/type/<t> "
+               "/report/ports/top?k=N /report/device/<ip>/timeline\n");
   return 2;
 }
 
@@ -288,20 +361,41 @@ core::Report run_pipeline(const Dataset& data, const Args& args,
 /// returned report is byte-identical to run_pipeline over the same set
 /// of hours, so the printed analysis does not depend on which path
 /// produced it.
-core::Report run_streaming(const Dataset& data, const Args& args,
-                           unsigned threads) {
+core::Report run_streaming(const Dataset& data, const AnalyzeFlags& flags) {
   core::PipelineOptions pipeline_options;
-  pipeline_options.threads = threads;
+  pipeline_options.threads = flags.threads;
   core::StreamOptions stream_options;
-  stream_options.snapshot_every =
-      static_cast<int>(args.get_double("snapshot-every", 24));
-  stream_options.evict_after_hours =
-      static_cast<int>(args.get_double("evict-after", 6));
-  const auto idle_budget = std::chrono::milliseconds(
-      static_cast<long>(args.get_double("idle-ms", 500)));
+  stream_options.snapshot_every = static_cast<int>(flags.snapshot_every);
+  stream_options.evict_after_hours = static_cast<int>(flags.evict_after);
+  const auto idle_budget = std::chrono::milliseconds(flags.idle_ms);
 
   core::StreamingStudy stream(data.inventory, data.store, pipeline_options,
                               stream_options);
+
+  // --serve with --follow: answer queries against whatever snapshot the
+  // stream has published most recently, while ingestion keeps running.
+  // The provider is one atomic load; a query mid-swap sees either the
+  // old or the new epoch+report bundle, never a mix.
+  std::optional<serve::ReportServer> server;
+  if (flags.serve) {
+    serve::ServerOptions server_options;
+    server_options.port = flags.serve_port;
+    server.emplace(
+        data.inventory,
+        [&stream]() -> serve::Snapshot {
+          auto published = stream.latest_published();
+          if (!published) return {};
+          return serve::Snapshot{
+              published->epoch,
+              std::shared_ptr<const core::Report>(published,
+                                                  &published->report)};
+        },
+        server_options);
+    server->start();
+    std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server->port()));
+  }
+
   std::uint64_t hours_at_last_change = 0;
   auto last_change = std::chrono::steady_clock::now();
   stream.follow([&] {
@@ -316,6 +410,7 @@ core::Report run_streaming(const Dataset& data, const Args& args,
     return now - last_change >= idle_budget;
   });
   auto report = stream.finalize();
+  if (server) server->stop();
   const auto& stats = stream.stats();
   std::fprintf(stderr,
                "stream: %llu hours admitted (%llu late dropped), %llu "
@@ -330,13 +425,37 @@ core::Report run_streaming(const Dataset& data, const Args& args,
 
 // ------------------------------------------------------------- analyze
 
+/// Batch-mode --serve: hold the final report up for queries until the
+/// operator interrupts (SIGINT/SIGTERM). Runs after the printed summary
+/// so the terminal shows the analysis before the "listening" line.
+void serve_final_report(const Dataset& data, const core::Report& report,
+                        const AnalyzeFlags& flags) {
+  auto shared = std::make_shared<const core::Report>(report);
+  serve::ServerOptions server_options;
+  server_options.port = flags.serve_port;
+  serve::ReportServer server(
+      data.inventory,
+      [shared]() { return serve::Snapshot{1, shared}; }, server_options);
+  server.start();
+  std::fprintf(stderr,
+               "serve: listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+               static_cast<unsigned>(server.port()));
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_interrupted.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+}
+
 int cmd_analyze(const Args& args) {
   if (!args.has("data")) return usage();
-  unsigned threads = 0;
-  if (!parse_threads(args, &threads)) return usage();
+  AnalyzeFlags flags;
+  if (!parse_analyze_flags(args, &flags)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = args.has("follow") ? run_streaming(data, args, threads)
-                                         : run_pipeline(data, args, threads);
+  const auto report = args.has("follow")
+                          ? run_streaming(data, flags)
+                          : run_pipeline(data, args, flags.threads);
   const auto character = core::characterize(report, data.inventory);
   const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
 
@@ -354,6 +473,9 @@ int cmd_analyze(const Args& args) {
           report, data.inventory, data.threats, data.malware, data.resolver,
           options);
       std::printf("%s", core::render_maliciousness_report(malicious).c_str());
+    }
+    if (flags.serve && !args.has("follow")) {
+      serve_final_report(data, report, flags);
     }
     return 0;
   }
@@ -407,6 +529,9 @@ int cmd_analyze(const Args& args) {
       std::printf(" %s", family.c_str());
     }
     std::printf("\n");
+  }
+  if (flags.serve && !args.has("follow")) {
+    serve_final_report(data, report, flags);
   }
   return 0;
 }

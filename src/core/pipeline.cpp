@@ -569,8 +569,18 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
       scan_ports = shards_[0]->hour_scan_ports[realm].count();
     } else {
       // Destinations are not partitioned by the shard key — union.
+      // Reserve the union bound up front: for_each feeds keys in hash
+      // order, and a destination smaller than its sources probes
+      // quadratically on such a stream (see build_report's pair-set
+      // merge).
       std::bitset<65536> udp_port_union, scan_port_union;
+      std::size_t udp_bound = 0, scan_bound = 0;
+      for (const auto& shard : shards_) {
+        udp_bound += shard->hour_udp_dsts[realm].size();
+        scan_bound += shard->hour_scan_dsts[realm].size();
+      }
       union_scratch_.clear();
+      union_scratch_.reserve(udp_bound);
       for (const auto& shard : shards_) {
         shard->hour_udp_dsts[realm].for_each(
             [this](std::uint32_t dst) { union_scratch_.insert(dst); });
@@ -579,6 +589,7 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
       udp_ips = union_scratch_.size();
       udp_ports = udp_port_union.count();
       union_scratch_.clear();
+      union_scratch_.reserve(scan_bound);
       for (const auto& shard : shards_) {
         shard->hour_scan_dsts[realm].for_each(
             [this](std::uint32_t dst) { union_scratch_.insert(dst); });
@@ -602,7 +613,12 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
   if (shards_.size() == 1) {
     scanners = shards_[0]->hour_scanners.size();
   } else {
+    std::size_t scanner_bound = 0;
+    for (const auto& shard : shards_) {
+      scanner_bound += shard->hour_scanners.size();
+    }
     union_scratch_.clear();
+    union_scratch_.reserve(scanner_bound);
     for (const auto& shard : shards_) {
       shard->hour_scanners.for_each(
           [this](std::uint32_t device) { union_scratch_.insert(device); });
@@ -629,7 +645,12 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
   if (shards_.size() == 1) {
     shards_[0]->unknown_hour.for_each(promote);
   } else {
+    std::size_t unknown_bound = 0;
+    for (const auto& shard : shards_) {
+      unknown_bound += shard->unknown_hour.size();
+    }
     unknown_scratch_.clear();
+    unknown_scratch_.reserve(unknown_bound);
     for (const auto& shard : shards_) {
       shard->unknown_hour.for_each(
           [this](std::uint32_t src, const UnknownHourTally& tally) {
@@ -764,6 +785,21 @@ Report AnalysisPipeline::build_report() const {
     // Additive tallies and series fold into one merged accumulator;
     // distinct-device counts are recomputed from the union of the
     // states' (key, device) pair sets.
+    //
+    // The pair sets must be pre-sized to the union's upper bound:
+    // for_each visits a FlatSet in slot (= hash) order, and feeding a
+    // large hash-ordered stream into a smaller table with the same hash
+    // function packs every key into one low-index probe cluster —
+    // the union degenerates to quadratic probing (hours of CPU at
+    // 10^8-record scale). A destination at least as large as the source
+    // keeps the monotone arrivals at their home slots.
+    std::size_t udp_pair_bound = 0, service_pair_bound = 0;
+    for (const auto& shard : shards_) {
+      udp_pair_bound += shard->udp_port_device_pairs.size();
+      service_pair_bound += shard->service_device_pairs.size();
+    }
+    merged->udp_port_device_pairs.reserve(udp_pair_bound);
+    merged->service_device_pairs.reserve(service_pair_bound);
     for (const auto& shard : shards_) {
       merged->total_packets += shard->total_packets;
       merged->unattributed_packets += shard->unattributed_packets;

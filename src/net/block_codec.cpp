@@ -1,0 +1,733 @@
+#include "net/block_codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/bitpack.hpp"
+#include "util/crc32.hpp"
+#include "util/io.hpp"
+
+namespace iotscope::net {
+
+namespace {
+
+using util::BitReader;
+using util::BitWriter;
+using util::ByteReader;
+using util::ByteWriter;
+using util::IoError;
+
+constexpr std::uint32_t kRecordCountCap = 1u << 30;
+
+/// Column encodings. The encoder computes the exact byte cost of every
+/// applicable mode and emits the cheapest; ties break toward the lower
+/// mode number so the output is deterministic.
+///
+/// Modes 4 and 5 exploit cross-column structure: telescope columns like
+/// ttl, dst_port, and ip_len are (nearly) functions of the source —
+/// each scanner keeps one TTL, probes one service, sends one packet
+/// shape. When the src column of a block is dictionary-coded, those
+/// columns can be stored as one value per *source* instead of one per
+/// record, reusing the src column's per-record indexes for free.
+enum ColumnMode : std::uint8_t {
+  kModeConstant = 0,     // varint value
+  kModeMinMax = 1,       // varint min | u8 width | bit-packed (v - min)
+  kModeDict = 2,         // varint count | delta-varint sorted dict |
+                         // u8 index width | bit-packed indexes
+  kModeVarint = 3,       // one varint per record
+  kModeSrcKeyed = 4,     // per-src-dict-entry varint table; row i's value
+                         // is table[src_index(i)] (pure function of src)
+  kModeSrcKeyedExc = 5,  // table as mode 4 (per-src modal value) |
+                         // exception bitmap, LSB-first | varint value per
+                         // set bit, in row order
+};
+
+/// Per-block src-column context: the per-row dictionary indexes the
+/// src column produced (encoder side) or decoded (decoder side), which
+/// modes 4/5 of later columns key off.
+struct SrcContext {
+  bool valid = false;  // src column was dictionary-coded this block
+  std::size_t dict_size = 0;
+  std::vector<std::uint32_t> idx;  // per-row src dictionary index
+  // Rows grouped by src index (counting sort), encoder side only:
+  // rows[offsets[g]..offsets[g+1]) are the rows of src group g.
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint32_t> offsets;
+
+  void reset() noexcept {
+    valid = false;
+    dict_size = 0;
+  }
+
+  void build_groups(std::size_t n) {
+    offsets.assign(dict_size + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++offsets[idx[i] + 1];
+    for (std::size_t g = 1; g <= dict_size; ++g) {
+      offsets[g] += offsets[g - 1];
+    }
+    rows.resize(n);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[cursor[idx[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+};
+
+bool known_protocol(std::uint8_t proto) noexcept {
+  return proto == static_cast<std::uint8_t>(Protocol::Tcp) ||
+         proto == static_cast<std::uint8_t>(Protocol::Udp) ||
+         proto == static_cast<std::uint8_t>(Protocol::Icmp);
+}
+
+unsigned bit_width64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+/// Encodes one column's block slice (already widened to u64). `dict` is
+/// caller-owned scratch so block after block reuses its capacity. With
+/// `src` set (and valid), the src-keyed modes 4/5 compete on cost; with
+/// `capture` set, a winning dictionary encoding records its per-row
+/// indexes so later columns in the same block can key off them.
+void encode_column(std::string& out, const std::vector<std::uint64_t>& vals,
+                   std::vector<std::uint64_t>& dict,
+                   const SrcContext* src = nullptr,
+                   SrcContext* capture = nullptr) {
+  const std::size_t n = vals.size();
+  std::uint64_t mn = vals[0];
+  std::uint64_t mx = vals[0];
+  for (const std::uint64_t v : vals) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  if (mn == mx) {
+    out.push_back(static_cast<char>(kModeConstant));
+    util::put_varint(out, mn);
+    return;
+  }
+
+  const unsigned width = bit_width64(mx - mn);
+  const std::size_t cost_minmax =
+      2 + util::varint_len(mn) + util::packed_bytes(n, width);
+
+  dict.assign(vals.begin(), vals.end());
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  const std::size_t dc = dict.size();  // >= 2 since mn != mx
+  std::size_t dict_body = util::varint_len(dc) + util::varint_len(dict[0]);
+  for (std::size_t i = 1; i < dc; ++i) {
+    dict_body += util::varint_len(dict[i] - dict[i - 1]);
+  }
+  const unsigned idx_width = bit_width64(dc - 1);
+  const std::size_t cost_dict = 2 + dict_body + util::packed_bytes(n, idx_width);
+
+  std::size_t cost_varint = 1;
+  for (const std::uint64_t v : vals) cost_varint += util::varint_len(v);
+
+  // Src-keyed candidates: one modal value per src group plus (mode 5)
+  // a bitmap and varints for the rows that deviate. Mode 4 applies only
+  // when every group is pure (zero exceptions).
+  constexpr std::size_t kInapplicable = static_cast<std::size_t>(-1);
+  std::size_t cost_src_pure = kInapplicable;
+  std::size_t cost_src_exc = kInapplicable;
+  std::vector<std::uint64_t> table;
+  if (src != nullptr && src->valid) {
+    table.resize(src->dict_size);
+    std::vector<std::uint64_t> grp;
+    std::size_t table_bytes = 0;
+    std::size_t exceptions = 0;
+    for (std::size_t g = 0; g < src->dict_size; ++g) {
+      grp.clear();
+      for (std::uint32_t o = src->offsets[g]; o < src->offsets[g + 1]; ++o) {
+        grp.push_back(vals[src->rows[o]]);
+      }
+      std::sort(grp.begin(), grp.end());
+      std::uint64_t best_v = grp[0];
+      std::size_t best_c = 1;
+      std::size_t run = 1;
+      for (std::size_t i = 1; i < grp.size(); ++i) {
+        run = (grp[i] == grp[i - 1]) ? run + 1 : 1;
+        if (run > best_c) {
+          best_c = run;
+          best_v = grp[i];
+        }
+      }
+      table[g] = best_v;
+      table_bytes += util::varint_len(best_v);
+      exceptions += grp.size() - best_c;
+    }
+    if (exceptions == 0) {
+      cost_src_pure = 1 + table_bytes;
+    } else {
+      std::size_t exc_value_bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (vals[i] != table[src->idx[i]]) {
+          exc_value_bytes += util::varint_len(vals[i]);
+        }
+      }
+      cost_src_exc = 1 + table_bytes + (n + 7) / 8 + exc_value_bytes;
+    }
+  }
+
+  // Lowest cost wins; ties break toward the lower mode number.
+  std::uint8_t best_mode = kModeMinMax;
+  std::size_t best_cost = cost_minmax;
+  if (cost_dict < best_cost) {
+    best_mode = kModeDict;
+    best_cost = cost_dict;
+  }
+  if (cost_varint < best_cost) {
+    best_mode = kModeVarint;
+    best_cost = cost_varint;
+  }
+  if (cost_src_pure < best_cost) {
+    best_mode = kModeSrcKeyed;
+    best_cost = cost_src_pure;
+  }
+  if (cost_src_exc < best_cost) {
+    best_mode = kModeSrcKeyedExc;
+    best_cost = cost_src_exc;
+  }
+
+  switch (best_mode) {
+    case kModeMinMax: {
+      out.push_back(static_cast<char>(kModeMinMax));
+      util::put_varint(out, mn);
+      out.push_back(static_cast<char>(width));
+      BitWriter bw(out);
+      for (const std::uint64_t v : vals) bw.put(v - mn, width);
+      bw.flush();
+      break;
+    }
+    case kModeDict: {
+      out.push_back(static_cast<char>(kModeDict));
+      util::put_varint(out, dc);
+      util::put_varint(out, dict[0]);
+      for (std::size_t i = 1; i < dc; ++i) {
+        util::put_varint(out, dict[i] - dict[i - 1]);
+      }
+      out.push_back(static_cast<char>(idx_width));
+      if (capture != nullptr) capture->idx.resize(n);
+      BitWriter bw(out);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto it = std::lower_bound(dict.begin(), dict.end(), vals[i]);
+        const auto idx = static_cast<std::uint64_t>(it - dict.begin());
+        if (capture != nullptr) {
+          capture->idx[i] = static_cast<std::uint32_t>(idx);
+        }
+        bw.put(idx, idx_width);
+      }
+      bw.flush();
+      if (capture != nullptr) {
+        capture->dict_size = dc;
+        capture->valid = true;
+        capture->build_groups(n);
+      }
+      break;
+    }
+    case kModeVarint: {
+      out.push_back(static_cast<char>(kModeVarint));
+      for (const std::uint64_t v : vals) util::put_varint(out, v);
+      break;
+    }
+    case kModeSrcKeyed: {
+      out.push_back(static_cast<char>(kModeSrcKeyed));
+      for (const std::uint64_t v : table) util::put_varint(out, v);
+      break;
+    }
+    case kModeSrcKeyedExc: {
+      out.push_back(static_cast<char>(kModeSrcKeyedExc));
+      for (const std::uint64_t v : table) util::put_varint(out, v);
+      std::vector<unsigned char> bits((n + 7) / 8, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (vals[i] != table[src->idx[i]]) {
+          bits[i >> 3] |= static_cast<unsigned char>(1u << (i & 7));
+        }
+      }
+      out.append(reinterpret_cast<const char*>(bits.data()), bits.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (vals[i] != table[src->idx[i]]) util::put_varint(out, vals[i]);
+      }
+      break;
+    }
+  }
+}
+
+/// Decodes one column, appending exactly n values to `col` via `make`
+/// (which validates and converts the widened u64). Every mode is
+/// validated strictly: values must fit `max_value`, bit widths must be
+/// in range, dictionaries must be strictly increasing with in-bounds
+/// indexes, and the payload cursor advances by exactly the declared
+/// region sizes. Modes 4/5 are accepted only when `src` carries a valid
+/// context (the src column of this block was dictionary-coded); the src
+/// column itself passes `capture` so its indexes are stashed for them.
+template <typename Out, typename Make>
+void decode_column(ByteReader& pr, std::size_t n, std::uint64_t max_value,
+                   unsigned max_width, std::vector<Out>& col,
+                   std::vector<std::uint64_t>& dict, Make make,
+                   const SrcContext* src = nullptr,
+                   SrcContext* capture = nullptr) {
+  const std::size_t base = col.size();
+  col.resize(base + n);
+  Out* out = col.data() + base;
+  const std::uint8_t mode = pr.u8();
+  switch (mode) {
+    case kModeConstant: {
+      const std::uint64_t v = util::get_varint(pr);
+      if (v > max_value) throw IoError("column constant out of range");
+      const Out o = make(v);
+      std::fill(out, out + n, o);
+      break;
+    }
+    case kModeMinMax: {
+      const std::uint64_t mn = util::get_varint(pr);
+      if (mn > max_value) throw IoError("column minimum out of range");
+      const unsigned width = pr.u8();
+      if (width == 0 || width > max_width) {
+        throw IoError("bad column bit width");
+      }
+      const std::size_t packed = util::packed_bytes(n, width);
+      BitReader br(pr.bytes(packed), packed);
+      const std::uint64_t headroom = max_value - mn;
+      Out* cursor = out;
+      br.run(n, width, [&](std::uint64_t delta) {
+        if (delta > headroom) throw IoError("column value out of range");
+        *cursor++ = make(mn + delta);
+      });
+      break;
+    }
+    case kModeDict: {
+      const std::uint64_t dc = util::get_varint(pr);
+      if (dc < 2 || dc > n) throw IoError("bad dictionary size");
+      dict.clear();
+      dict.reserve(static_cast<std::size_t>(dc));
+      std::uint64_t entry = util::get_varint(pr);
+      if (entry > max_value) throw IoError("dictionary entry out of range");
+      dict.push_back(entry);
+      for (std::uint64_t i = 1; i < dc; ++i) {
+        const std::uint64_t delta = util::get_varint(pr);
+        if (delta == 0) throw IoError("dictionary not strictly increasing");
+        if (delta > max_value - entry) {
+          throw IoError("dictionary entry out of range");
+        }
+        entry += delta;
+        dict.push_back(entry);
+      }
+      const unsigned idx_width = pr.u8();
+      if (idx_width != bit_width64(dc - 1)) {
+        throw IoError("bad dictionary index width");
+      }
+      const std::size_t packed = util::packed_bytes(n, idx_width);
+      BitReader br(pr.bytes(packed), packed);
+      Out* cursor = out;
+      if (capture == nullptr) {
+        br.run(n, idx_width, [&](std::uint64_t idx) {
+          if (idx >= dc) throw IoError("dictionary index out of range");
+          *cursor++ = make(dict[static_cast<std::size_t>(idx)]);
+        });
+      } else {
+        capture->idx.resize(n);
+        std::uint32_t* stash = capture->idx.data();
+        br.run(n, idx_width, [&](std::uint64_t idx) {
+          if (idx >= dc) throw IoError("dictionary index out of range");
+          *stash++ = static_cast<std::uint32_t>(idx);
+          *cursor++ = make(dict[static_cast<std::size_t>(idx)]);
+        });
+        capture->dict_size = static_cast<std::size_t>(dc);
+        capture->valid = true;
+      }
+      break;
+    }
+    case kModeVarint: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t v = util::get_varint(pr);
+        if (v > max_value) throw IoError("column value out of range");
+        out[i] = make(v);
+      }
+      break;
+    }
+    case kModeSrcKeyed: {
+      if (src == nullptr || !src->valid) {
+        throw IoError("src-keyed column without dictionary-coded src");
+      }
+      dict.clear();  // reused as the per-src value table
+      dict.reserve(src->dict_size);
+      for (std::size_t g = 0; g < src->dict_size; ++g) {
+        const std::uint64_t v = util::get_varint(pr);
+        if (v > max_value) throw IoError("column value out of range");
+        dict.push_back(v);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = make(dict[src->idx[i]]);
+      }
+      break;
+    }
+    case kModeSrcKeyedExc: {
+      if (src == nullptr || !src->valid) {
+        throw IoError("src-keyed column without dictionary-coded src");
+      }
+      dict.clear();  // reused as the per-src value table
+      dict.reserve(src->dict_size);
+      for (std::size_t g = 0; g < src->dict_size; ++g) {
+        const std::uint64_t v = util::get_varint(pr);
+        if (v > max_value) throw IoError("column value out of range");
+        dict.push_back(v);
+      }
+      const std::size_t bitmap_bytes = (n + 7) / 8;
+      const unsigned char* bits = pr.bytes(bitmap_bytes);
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((bits[i >> 3] >> (i & 7)) & 1u) {
+          const std::uint64_t v = util::get_varint(pr);
+          if (v > max_value) throw IoError("column value out of range");
+          out[i] = make(v);
+        } else {
+          out[i] = make(dict[src->idx[i]]);
+        }
+      }
+      break;
+    }
+    default:
+      throw IoError("unknown column mode");
+  }
+}
+
+struct FileHeader {
+  int interval = 0;
+  std::int64_t start_time = 0;
+  std::uint64_t record_count = 0;
+  std::uint32_t block_count = 0;
+};
+
+FileHeader parse_file_header(ByteReader& r) {
+  if (r.remaining() < CompressedFlowCodec::kFileHeaderBytes) {
+    throw IoError("compressed flowtuple: truncated file header");
+  }
+  if (r.u32() != CompressedFlowCodec::kMagic) {
+    throw IoError("compressed flowtuple: bad magic");
+  }
+  if (r.u16() != CompressedFlowCodec::kVersion) {
+    throw IoError("compressed flowtuple: unsupported version");
+  }
+  FileHeader h;
+  const std::uint32_t interval = r.u32();
+  if (interval > 0xFFFF) {
+    throw IoError("compressed flowtuple: implausible interval");
+  }
+  h.interval = static_cast<int>(interval);
+  h.start_time = static_cast<std::int64_t>(r.u64());
+  h.record_count = r.u64();
+  if (h.record_count > kRecordCountCap) {
+    throw IoError("compressed flowtuple: implausible record count");
+  }
+  h.block_count = r.u32();
+  return h;
+}
+
+/// Decodes one block's payload (CRC already verified), appending
+/// `records` rows to dst. The protocol column must stay inside the
+/// block summary's protocol set — decode enforces the invariant
+/// pushdown skipping relies on.
+void decode_block(ByteReader& pr, std::size_t records, std::uint8_t proto_mask,
+                  FlowBatch& dst, std::vector<std::uint64_t>& dict,
+                  SrcContext& ctx) {
+  ctx.reset();
+  decode_column(pr, records, 0xFFFFFFFFull, 32, dst.src, dict,
+                [](std::uint64_t v) {
+                  return Ipv4Address(static_cast<std::uint32_t>(v));
+                },
+                nullptr, &ctx);
+  decode_column(pr, records, 0xFFFFFFFFull, 32, dst.dst, dict,
+                [](std::uint64_t v) {
+                  return Ipv4Address(static_cast<std::uint32_t>(v));
+                },
+                &ctx);
+  decode_column(pr, records, 0xFFFFull, 16, dst.src_port, dict,
+                [](std::uint64_t v) { return static_cast<Port>(v); }, &ctx);
+  decode_column(pr, records, 0xFFFFull, 16, dst.dst_port, dict,
+                [](std::uint64_t v) { return static_cast<Port>(v); }, &ctx);
+  decode_column(pr, records, 0xFFull, 8, dst.proto, dict,
+                [proto_mask](std::uint64_t v) {
+                  const auto p = static_cast<std::uint8_t>(v);
+                  if (!known_protocol(p)) {
+                    throw IoError("unknown protocol value");
+                  }
+                  const auto proto = static_cast<Protocol>(p);
+                  if ((BlockPredicate::proto_bit(proto) & proto_mask) == 0) {
+                    throw IoError("protocol outside block summary mask");
+                  }
+                  return proto;
+                },
+                &ctx);
+  decode_column(pr, records, 0xFFull, 8, dst.ttl, dict,
+                [](std::uint64_t v) { return static_cast<std::uint8_t>(v); },
+                &ctx);
+  decode_column(pr, records, 0xFFull, 8, dst.tcp_flags, dict,
+                [](std::uint64_t v) { return static_cast<std::uint8_t>(v); },
+                &ctx);
+  decode_column(pr, records, 0xFFFFull, 16, dst.ip_len, dict,
+                [](std::uint64_t v) { return static_cast<std::uint16_t>(v); },
+                &ctx);
+  decode_column(pr, records, ~0ull, 64, dst.pkt_count, dict,
+                [](std::uint64_t v) { return v; }, &ctx);
+  if (!pr.done()) throw IoError("block payload has trailing bytes");
+}
+
+FlowBatch decode_impl(std::string_view blob, const BlockPredicate* predicate,
+                      BlockScanStats* stats) {
+  ByteReader r(blob);
+  const FileHeader hdr = parse_file_header(r);
+
+  FlowBatch out;
+  out.interval = hdr.interval;
+  out.start_time = hdr.start_time;
+  // One allocation per column up front — block-by-block resize would
+  // reallocate-and-copy every column log(blocks) times. (On the
+  // filtered path most blocks may be skipped, so this deliberately
+  // over-reserves by the filtered-out share.)
+  if (predicate == nullptr) out.reserve(hdr.record_count);
+
+  BlockScanStats local;
+  FlowBatch scratch;  // per-block decode target on the filtered path
+  std::vector<std::uint64_t> dict;
+  SrcContext ctx;
+  std::uint64_t declared_total = 0;
+
+  for (std::uint32_t bi = 0; bi < hdr.block_count; ++bi) {
+    const std::size_t offset = blob.size() - r.remaining();
+    try {
+      if (r.remaining() < CompressedFlowCodec::kBlockHeaderBytes) {
+        throw IoError("truncated block header");
+      }
+      const unsigned char* h =
+          r.bytes(CompressedFlowCodec::kBlockHeaderBytes);
+      const std::uint32_t records = util::load_le32(h);
+      const std::uint32_t raw_bytes = util::load_le32(h + 4);
+      const std::uint32_t payload_bytes = util::load_le32(h + 8);
+      const std::uint32_t crc_stored = util::load_le32(h + 12);
+      BlockSummary summary;
+      summary.interval = util::load_le16(h + 16);
+      summary.proto_mask = h[18];
+      summary.src_port_min = util::load_le16(h + 20);
+      summary.src_port_max = util::load_le16(h + 22);
+      summary.dst_port_min = util::load_le16(h + 24);
+      summary.dst_port_max = util::load_le16(h + 26);
+      summary.records = records;
+
+      if (records == 0 || records > CompressedFlowCodec::kMaxBlockRecords) {
+        throw IoError("implausible block record count");
+      }
+      if (raw_bytes != records * FlowTupleCodec::kRecordBytes) {
+        throw IoError("block raw size mismatch");
+      }
+      if (summary.interval != hdr.interval) {
+        throw IoError("block interval mismatch");
+      }
+      if (h[19] != 0) throw IoError("nonzero reserved byte");
+      declared_total += records;
+      if (declared_total > hdr.record_count) {
+        throw IoError("block records exceed file record count");
+      }
+      if (r.remaining() < payload_bytes) {
+        throw IoError("truncated block payload");
+      }
+      const unsigned char* payload = r.bytes(payload_bytes);
+
+      if (predicate != nullptr && !predicate->may_match(summary)) {
+        ++local.blocks_skipped;
+        continue;
+      }
+
+      unsigned char sealed[CompressedFlowCodec::kBlockHeaderBytes];
+      std::memcpy(sealed, h, sizeof(sealed));
+      util::store_le32(sealed + 12, 0);
+      std::uint32_t crc = util::crc32(sealed, sizeof(sealed));
+      crc = util::crc32(payload, payload_bytes, crc);
+      if (crc != crc_stored) throw IoError("crc mismatch");
+
+      ByteReader pr(payload, payload_bytes);
+      if (predicate == nullptr) {
+        decode_block(pr, records, summary.proto_mask, out, dict, ctx);
+      } else {
+        scratch.clear();
+        scratch.interval = hdr.interval;
+        scratch.start_time = hdr.start_time;
+        decode_block(pr, records, summary.proto_mask, scratch, dict, ctx);
+        filter_batch(scratch, *predicate, out);
+      }
+      ++local.blocks_decoded;
+      local.records_decoded += records;
+      local.bytes_compressed +=
+          CompressedFlowCodec::kBlockHeaderBytes + payload_bytes;
+      local.bytes_raw += raw_bytes;
+    } catch (const IoError& e) {
+      throw IoError("compressed flowtuple: block " + std::to_string(bi) +
+                    " at offset " + std::to_string(offset) + ": " + e.what());
+    }
+  }
+
+  if (predicate == nullptr && declared_total != hdr.record_count) {
+    throw IoError("compressed flowtuple: record count mismatch");
+  }
+  if (stats != nullptr) stats->merge(local);
+  return out;
+}
+
+}  // namespace
+
+void CompressedFlowCodec::encode(std::string& out, const FlowBatch& batch,
+                                 std::size_t block_records) {
+  if (batch.interval < 0 || batch.interval > 0xFFFF) {
+    throw IoError("compressed flowtuple: interval out of range");
+  }
+  if (block_records == 0) block_records = kDefaultBlockRecords;
+  block_records = std::min(block_records, kMaxBlockRecords);
+
+  const std::size_t total = batch.size();
+  const std::uint32_t block_count = static_cast<std::uint32_t>(
+      (total + block_records - 1) / block_records);
+
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(batch.interval));
+  w.u64(static_cast<std::uint64_t>(batch.start_time));
+  w.u64(total);
+  w.u32(block_count);
+
+  std::string payload;
+  std::vector<std::uint64_t> vals;
+  std::vector<std::uint64_t> dict;
+  SrcContext ctx;
+  for (std::size_t b = 0; b < total; b += block_records) {
+    const std::size_t e = std::min(b + block_records, total);
+    const std::size_t n = e - b;
+
+    payload.clear();
+    ctx.reset();
+    const auto gather = [&](auto&& get) -> const std::vector<std::uint64_t>& {
+      vals.clear();
+      vals.reserve(n);
+      for (std::size_t i = b; i < e; ++i) vals.push_back(get(i));
+      return vals;
+    };
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.src[i].value()};
+                  }),
+                  dict, nullptr, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.dst[i].value()};
+                  }),
+                  dict, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.src_port[i]};
+                  }),
+                  dict, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.dst_port[i]};
+                  }),
+                  dict, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{
+                        static_cast<std::uint8_t>(batch.proto[i])};
+                  }),
+                  dict, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.ttl[i]};
+                  }),
+                  dict, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.tcp_flags[i]};
+                  }),
+                  dict, &ctx);
+    encode_column(payload, gather([&](std::size_t i) {
+                    return std::uint64_t{batch.ip_len[i]};
+                  }),
+                  dict, &ctx);
+    encode_column(payload,
+                  gather([&](std::size_t i) { return batch.pkt_count[i]; }),
+                  dict, &ctx);
+
+    std::uint8_t proto_mask = 0;
+    std::uint16_t sp_min = 0xFFFF, sp_max = 0;
+    std::uint16_t dp_min = 0xFFFF, dp_max = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      proto_mask |= BlockPredicate::proto_bit(batch.proto[i]);
+      sp_min = std::min(sp_min, batch.src_port[i]);
+      sp_max = std::max(sp_max, batch.src_port[i]);
+      dp_min = std::min(dp_min, batch.dst_port[i]);
+      dp_max = std::max(dp_max, batch.dst_port[i]);
+    }
+
+    unsigned char h[kBlockHeaderBytes] = {};
+    util::store_le32(h, static_cast<std::uint32_t>(n));
+    util::store_le32(h + 4, static_cast<std::uint32_t>(
+                                n * FlowTupleCodec::kRecordBytes));
+    util::store_le32(h + 8, static_cast<std::uint32_t>(payload.size()));
+    // h+12 (crc) stays zero while the seal is computed.
+    util::store_le16(h + 16, static_cast<std::uint16_t>(batch.interval));
+    h[18] = proto_mask;
+    h[19] = 0;
+    util::store_le16(h + 20, sp_min);
+    util::store_le16(h + 22, sp_max);
+    util::store_le16(h + 24, dp_min);
+    util::store_le16(h + 26, dp_max);
+    std::uint32_t crc = util::crc32(h, kBlockHeaderBytes);
+    crc = util::crc32(payload.data(), payload.size(), crc);
+    util::store_le32(h + 12, crc);
+
+    w.bytes(h, kBlockHeaderBytes);
+    w.bytes(payload.data(), payload.size());
+  }
+}
+
+FlowBatch CompressedFlowCodec::decode(std::string_view blob,
+                                      BlockScanStats* stats) {
+  return decode_impl(blob, nullptr, stats);
+}
+
+FlowBatch CompressedFlowCodec::decode_filtered(std::string_view blob,
+                                               const BlockPredicate& predicate,
+                                               BlockScanStats* stats) {
+  if (predicate.matches_all()) {
+    // Nothing can be skipped; take the straight-through path (which also
+    // cross-checks the file's declared record count).
+    return decode_impl(blob, nullptr, stats);
+  }
+  return decode_impl(blob, &predicate, stats);
+}
+
+std::uint32_t CompressedFlowCodec::peek_block_count(std::string_view blob) {
+  ByteReader r(blob);
+  return parse_file_header(r).block_count;
+}
+
+std::string CompressedFlowCodec::file_name(int interval) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "flowtuple-%04d.iftc", interval);
+  return buf;
+}
+
+void filter_batch(const FlowBatch& in, const BlockPredicate& predicate,
+                  FlowBatch& out) {
+  out.interval = in.interval;
+  out.start_time = in.start_time;
+  if (!predicate.may_match_hour(in.interval)) return;
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!predicate.matches_row(in.proto[i], in.dst_port[i])) continue;
+    out.src.push_back(in.src[i]);
+    out.dst.push_back(in.dst[i]);
+    out.src_port.push_back(in.src_port[i]);
+    out.dst_port.push_back(in.dst_port[i]);
+    out.proto.push_back(in.proto[i]);
+    out.tcp_flags.push_back(in.tcp_flags[i]);
+    out.ttl.push_back(in.ttl[i]);
+    out.ip_len.push_back(in.ip_len[i]);
+    out.pkt_count.push_back(in.pkt_count[i]);
+  }
+}
+
+}  // namespace iotscope::net

@@ -1,0 +1,188 @@
+// Compressed columnar block format (".iftc") for hourly flowtuple files
+// — the storage layer under TB-scale replay (DESIGN.md §15).
+//
+// Where the fixed-width ".ift" format spends 25 bytes per record, the
+// compressed format chops an hour into blocks of (by default) 8K
+// records and encodes each column of each block with whichever of six
+// adaptive modes is smallest for that block's actual value
+// distribution: a single constant, a min-offset bit-pack, a sorted
+// dictionary (delta-varint dictionary + bit-packed indexes), plain
+// per-record varints, or — when the block's src column is dictionary-
+// coded — a src-keyed table storing one value per *source* rather than
+// per record (optionally with an exception bitmap for near-functional
+// columns). The src-keyed modes exploit the telescope's structure:
+// every scanner keeps one TTL, probes one service, and emits one packet
+// shape, so ttl/dst_port/ip_len are (nearly) pure functions of src and
+// compress to their per-source table plus the src indexes already paid
+// for. Record ORDER is preserved exactly — the analysis pipeline's
+// first-sighting tie-breaks depend on record index, so a compacted
+// store must replay to byte-identical reports.
+//
+// Every block is prefixed by a fixed 28-byte header carrying the record
+// count, compressed/uncompressed sizes, a CRC-32C sealing header +
+// payload, and per-column summaries (hour, protocol set, src/dst port
+// min/max). The summaries enable predicate pushdown: decode_filtered()
+// evaluates a BlockPredicate against each header and skips non-matching
+// blocks without touching (or, on an mmap'd file, even faulting in)
+// their payload bytes.
+//
+// Layout, all integers little-endian:
+//
+//   file   := magic "IFC1" u32 | version u16 | interval u32 |
+//             start_time u64 | record_count u64 | block_count u32 |
+//             block*
+//   block  := header(28B) | payload
+//   header := records u32 | raw_bytes u32 | payload_bytes u32 |
+//             crc32 u32 | interval u16 | proto_mask u8 | reserved u8 |
+//             src_port_min u16 | src_port_max u16 |
+//             dst_port_min u16 | dst_port_max u16
+//   payload:= column{src u32, dst u32, src_port u16, dst_port u16,
+//                    proto u8, ttl u8, tcp_flags u8, ip_len u16,
+//                    pkt_count u64}
+//   column := mode u8 | mode-specific body (each body byte-aligned)
+//
+// The CRC covers the header (with the crc field zeroed) plus the
+// payload, so any mutated byte of a block — including the pushdown
+// summaries — fails decode with util::IoError carrying the block's
+// index and file offset.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "net/flow_batch.hpp"
+#include "net/protocol.hpp"
+
+namespace iotscope::net {
+
+/// The pushdown-relevant slice of a block header.
+struct BlockSummary {
+  int interval = 0;
+  std::uint8_t proto_mask = 0;
+  std::uint16_t src_port_min = 0;
+  std::uint16_t src_port_max = 0;
+  std::uint16_t dst_port_min = 0;
+  std::uint16_t dst_port_max = 0;
+  std::uint32_t records = 0;
+};
+
+/// A conjunctive filter over the dimensions the block summaries index:
+/// hour window (inclusive), accepted protocol set, and dst-port range.
+/// Defaults match everything. Skipping is sound because may_match() is
+/// conservative: it only rejects a block whose summary PROVES no row
+/// can match; rows of admitted blocks are then filtered exactly.
+struct BlockPredicate {
+  int hour_min = 0;
+  int hour_max = std::numeric_limits<int>::max();
+  std::uint8_t proto_mask = kAllProtocols;
+  std::uint16_t dst_port_min = 0;
+  std::uint16_t dst_port_max = 0xFFFF;
+
+  static constexpr std::uint8_t kAllProtocols = 0x7;
+
+  /// Bit position for a protocol in summary/predicate masks.
+  static constexpr std::uint8_t proto_bit(Protocol p) noexcept {
+    switch (p) {
+      case Protocol::Tcp:
+        return 1u << 0;
+      case Protocol::Udp:
+        return 1u << 1;
+      case Protocol::Icmp:
+        return 1u << 2;
+    }
+    return 0;
+  }
+
+  bool matches_all() const noexcept {
+    return hour_min <= 0 && hour_max == std::numeric_limits<int>::max() &&
+           (proto_mask & kAllProtocols) == kAllProtocols &&
+           dst_port_min == 0 && dst_port_max == 0xFFFF;
+  }
+
+  /// Hour-level test (whole files share one interval).
+  bool may_match_hour(int interval) const noexcept {
+    return interval >= hour_min && interval <= hour_max;
+  }
+
+  /// Conservative block-level test against the header summary.
+  bool may_match(const BlockSummary& s) const noexcept {
+    return may_match_hour(s.interval) && (s.proto_mask & proto_mask) != 0 &&
+           s.dst_port_max >= dst_port_min && s.dst_port_min <= dst_port_max;
+  }
+
+  /// Exact row-level test (hour is block/file scoped, not per row).
+  bool matches_row(Protocol proto, std::uint16_t dst_port) const noexcept {
+    return (proto_bit(proto) & proto_mask) != 0 && dst_port >= dst_port_min &&
+           dst_port <= dst_port_max;
+  }
+};
+
+/// Accounting for one decode/scan: what pushdown skipped versus decoded
+/// and the byte volumes on both sides of the codec. The store layer
+/// folds these into the `store.*` obs counters.
+struct BlockScanStats {
+  std::uint64_t blocks_decoded = 0;
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t records_decoded = 0;
+  std::uint64_t bytes_compressed = 0;  ///< header+payload bytes of decoded blocks
+  std::uint64_t bytes_raw = 0;         ///< 25-byte-equivalent bytes of decoded blocks
+
+  void merge(const BlockScanStats& other) noexcept {
+    blocks_decoded += other.blocks_decoded;
+    blocks_skipped += other.blocks_skipped;
+    records_decoded += other.records_decoded;
+    bytes_compressed += other.bytes_compressed;
+    bytes_raw += other.bytes_raw;
+  }
+};
+
+/// Encoder/decoder for the compressed hourly format. Mirrors
+/// FlowTupleCodec's shape: encode appends the exact on-disk byte
+/// stream, decode validates everything and throws util::IoError (with
+/// block index + file offset context) on any malformed input.
+class CompressedFlowCodec {
+ public:
+  static constexpr std::uint32_t kMagic = 0x31434649;  // "IFC1"
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::size_t kFileHeaderBytes = 30;
+  static constexpr std::size_t kBlockHeaderBytes = 28;
+  static constexpr std::size_t kDefaultBlockRecords = 8192;
+  static constexpr std::size_t kMaxBlockRecords = 1u << 20;
+
+  /// Appends the compressed byte stream for `batch` to `out`. Record
+  /// order is preserved; class_tag is derived state and not serialized.
+  static void encode(std::string& out, const FlowBatch& batch,
+                     std::size_t block_records = kDefaultBlockRecords);
+
+  /// Full decode of an in-memory (or mmap'd) blob into columnar form.
+  /// Bytes after the declared blocks are ignored, matching the
+  /// uncompressed codec's trailing-bytes convention.
+  static FlowBatch decode(std::string_view blob,
+                          BlockScanStats* stats = nullptr);
+
+  /// Predicate-pushdown decode: blocks whose summaries cannot match are
+  /// skipped before any payload byte is read; rows of decoded blocks
+  /// are then filtered exactly, so the result equals
+  /// filter(decode(blob)) for any predicate.
+  static FlowBatch decode_filtered(std::string_view blob,
+                                   const BlockPredicate& predicate,
+                                   BlockScanStats* stats = nullptr);
+
+  /// Reads only the file header and returns the block count — what an
+  /// hour-level skip costs instead of a full decode.
+  static std::uint32_t peek_block_count(std::string_view blob);
+
+  /// Canonical file name for an interval, e.g. "flowtuple-0042.iftc".
+  static std::string file_name(int interval);
+};
+
+/// Appends the rows of `in` that satisfy `predicate` to `out` — the
+/// row-exact reference the pushdown decode must agree with, and the
+/// filter applied to uncompressed hours so mixed stores answer
+/// predicated scans uniformly. `out` adopts `in`'s interval/start_time.
+void filter_batch(const FlowBatch& in, const BlockPredicate& predicate,
+                  FlowBatch& out);
+
+}  // namespace iotscope::net

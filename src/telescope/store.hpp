@@ -12,12 +12,52 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/block_codec.hpp"
 #include "net/flow_batch.hpp"
 #include "net/flowtuple.hpp"
 #include "obs/metrics.hpp"
 #include "util/bounded_queue.hpp"
 
 namespace iotscope::telescope {
+
+/// On-disk representation put() writes for new hours. Reads are always
+/// format-transparent: a store may hold raw ".ift" and compressed
+/// ".iftc" hours side by side and every read API behaves identically.
+enum class StoreFormat {
+  Raw,         ///< fixed 25-byte records (net::FlowTupleCodec, ".ift")
+  Compressed,  ///< columnar blocks (net::CompressedFlowCodec, ".iftc")
+};
+
+/// Knobs for a predicated, possibly parallel scan() over the store.
+struct ScanOptions {
+  /// Hours decoded ahead of the visitor (single-reader path only).
+  std::size_t prefetch = 0;
+  /// Decoder threads. With more than one, hours are decoded concurrently
+  /// but the visitor still observes strict interval order.
+  std::size_t readers = 1;
+  /// When set, compressed hours decode with predicate pushdown (blocks
+  /// whose summaries cannot match are skipped undecoded) and raw hours
+  /// are row-filtered, so mixed stores answer uniformly.
+  std::optional<net::BlockPredicate> predicate;
+};
+
+/// Knobs for compact() — in-place conversion of raw hours to compressed.
+struct CompactOptions {
+  std::size_t block_records = net::CompressedFlowCodec::kDefaultBlockRecords;
+  /// Decode each freshly written file and require record-exact equality
+  /// with its source before the original is removed.
+  bool verify = true;
+  /// Leave the ".ift" originals beside the compressed files.
+  bool keep_uncompressed = false;
+};
+
+/// What one compact() run converted.
+struct CompactStats {
+  std::size_t hours = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes_raw = 0;         ///< input ".ift" bytes
+  std::uint64_t bytes_compressed = 0;  ///< output ".iftc" bytes
+};
 
 /// A directory of hourly flowtuple files.
 ///
@@ -39,14 +79,43 @@ class FlowTupleStore {
   /// Columnar variant: identical file bytes for the same records.
   void put(const net::FlowBatch& batch) const;
 
+  /// Selects the format put() writes from now on (default Raw). The
+  /// block size only applies to StoreFormat::Compressed.
+  void set_write_format(
+      StoreFormat format,
+      std::size_t block_records = net::CompressedFlowCodec::kDefaultBlockRecords) noexcept {
+    write_format_ = format;
+    block_records_ = block_records;
+  }
+  StoreFormat write_format() const noexcept { return write_format_; }
+
   /// Loads the file for an interval; nullopt if the hour is absent
   /// (the paper itself had a missing-hours day it discarded).
   std::optional<net::HourlyFlows> get(int interval) const;
   /// Columnar load of one interval (the read path the pipeline uses).
   std::optional<net::FlowBatch> get_batch(int interval) const;
 
-  /// Sorted list of intervals present on disk.
+  /// Sorted list of intervals present on disk (either format; an hour
+  /// stored in both appears once).
   std::vector<int> intervals() const;
+
+  /// Converts every raw ".ift" hour to the compressed format in place:
+  /// encode, optionally verify by full round-trip decode, publish the
+  /// ".iftc" atomically (temp + rename), then remove the original unless
+  /// options.keep_uncompressed. Hours already compressed-only are left
+  /// untouched. Throws util::IoError if verification fails (the raw
+  /// original is preserved in that case).
+  CompactStats compact(const CompactOptions& options = {}) const;
+
+  /// Predicated, optionally parallel scan. Semantically equivalent to
+  /// for_each with the predicate's row filter applied per hour, but
+  /// compressed hours decode with predicate pushdown (summary-rejected
+  /// blocks and out-of-window hours are skipped without decoding) and
+  /// options.readers > 1 decodes hours concurrently while preserving
+  /// strict interval visit order. Decode and visitor errors propagate on
+  /// the calling thread after all readers join.
+  void scan(const std::function<void(const net::FlowBatch&)>& visit,
+            const ScanOptions& options = {}) const;
 
   /// Calls visit(const net::FlowBatch&) for every stored hour in interval
   /// order — the streaming entry point the pipeline uses so full-scale
@@ -152,7 +221,17 @@ class FlowTupleStore {
   const std::filesystem::path& directory() const noexcept { return dir_; }
 
  private:
+  /// Loads one hour, preferring the compressed file when both exist.
+  /// With a predicate, compressed hours use pushdown and raw hours are
+  /// row-filtered; an hour entirely outside the predicate's window is
+  /// skipped (compressed: after reading only the 30-byte file header).
+  /// nullopt means the hour is absent or fully skipped.
+  std::optional<net::FlowBatch> load_batch(
+      int interval, const net::BlockPredicate* predicate) const;
+
   std::filesystem::path dir_;
+  StoreFormat write_format_ = StoreFormat::Raw;
+  std::size_t block_records_ = net::CompressedFlowCodec::kDefaultBlockRecords;
 };
 
 /// Incremental rotation watcher over a FlowTupleStore directory: each

@@ -1,0 +1,211 @@
+// Variable-length integers and dense bit packing — the primitives under
+// the compressed flowtuple block format (net/block_codec.hpp). Varints
+// are LEB128 (7 data bits per byte, little-endian groups); bit packing
+// writes fixed-width values back to back with no per-value padding,
+// byte-aligned only at stream boundaries.
+//
+// Both readers mirror util::ByteReader's error contract: overrunning the
+// underlying buffer throws IoError, never reads out of bounds, and a
+// malformed varint (more than 10 bytes, i.e. > 64 bits) is rejected
+// rather than silently wrapped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/io.hpp"
+
+namespace iotscope::util {
+
+/// Appends v as a LEB128 varint (1..10 bytes).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(0x80 | (v & 0x7F)));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Encoded size of v as a varint, without writing it (cost models).
+inline std::size_t varint_len(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Reads one varint; throws IoError on truncation or a > 10-byte group.
+/// With 10+ readable bytes a varint cannot truncate, so the fast path
+/// decodes with raw pointer reads — one branch for the ubiquitous
+/// single-byte case — and pays no per-byte bounds check.
+inline std::uint64_t get_varint(ByteReader& r) {
+  if (r.remaining() >= 10) {
+    const unsigned char* p = r.cursor();
+    std::uint64_t v = *p & 0x7F;
+    if ((*p & 0x80) == 0) {
+      r.advance(1);
+      return v;
+    }
+    unsigned shift = 7;
+    for (std::size_t i = 1; i < 10; ++i, shift += 7) {
+      const std::uint8_t byte = p[i];
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        // The 10th byte may only contribute the single remaining bit.
+        if (shift == 63 && byte > 1) {
+          throw IoError("varint overflows 64 bits");
+        }
+        r.advance(i + 1);
+        return v;
+      }
+    }
+    throw IoError("varint longer than 10 bytes");
+  }
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = r.u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && byte > 1) {
+        throw IoError("varint overflows 64 bits");
+      }
+      return v;
+    }
+  }
+  throw IoError("varint longer than 10 bytes");
+}
+
+/// Appends fixed-width values (width in [0, 64] bits) to a byte buffer.
+/// Values must fit their width (callers mask); width 0 writes nothing.
+/// flush() pads the final partial byte with zero bits — call it exactly
+/// once, after the last value of a packed stream.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string& out) noexcept : out_(&out) {}
+
+  void put(std::uint64_t v, unsigned width) {
+    acc_ |= v << nbits_;
+    const unsigned fit = 64 - nbits_;
+    if (width >= fit) {
+      // acc_ is full (or exactly full): spill 8 bytes, keep the tail.
+      spill64();
+      if (width > fit) acc_ = v >> fit;
+      nbits_ = width - fit;
+    } else {
+      nbits_ += width;
+    }
+  }
+
+  void flush() {
+    while (nbits_ > 0) {
+      out_->push_back(static_cast<char>(acc_ & 0xFF));
+      acc_ >>= 8;
+      nbits_ = nbits_ > 8 ? nbits_ - 8 : 0;
+    }
+    acc_ = 0;
+  }
+
+ private:
+  void spill64() {
+    unsigned char b[8];
+    store_le64(b, acc_);
+    out_->append(reinterpret_cast<const char*>(b), 8);
+    acc_ = 0;
+  }
+
+  std::string* out_;
+  std::uint64_t acc_ = 0;
+  unsigned nbits_ = 0;
+};
+
+/// Bytes needed for n values of the given bit width.
+inline std::size_t packed_bytes(std::size_t n, unsigned width) noexcept {
+  return (n * static_cast<std::size_t>(width) + 7) / 8;
+}
+
+/// Reads fixed-width values from a byte region. Bounds are validated at
+/// construction (the caller hands the exact packed region), so get() is
+/// unchecked-fast: while at least 8 readable bytes remain past the
+/// cursor it decodes with one unaligned 64-bit load; the last few values
+/// fall back to byte assembly.
+class BitReader {
+ public:
+  BitReader(const unsigned char* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  /// Next value of `width` bits (width in [0, 57] for the fast path;
+  /// widths up to 64 are composed by get64). Reading past the region
+  /// throws IoError.
+  std::uint64_t get(unsigned width) {
+    if (width == 0) return 0;
+    const std::size_t byte = bit_ >> 3;
+    const unsigned shift = static_cast<unsigned>(bit_ & 7);
+    if (bit_ + width > size_ * 8) {
+      throw IoError("bit-packed column overruns its region");
+    }
+    bit_ += width;
+    const std::uint64_t mask = width == 64 ? ~0ULL : (1ULL << width) - 1;
+    if (byte + 8 <= size_) {
+      return (load_le64(data_ + byte) >> shift) & mask;
+    }
+    // Tail: assemble from the remaining bytes (shift + width <= 64 is
+    // guaranteed for width <= 57; the tail never needs a 9th byte
+    // because the region bound above already held).
+    std::uint64_t v = 0;
+    unsigned got = 0;
+    for (std::size_t i = byte; i < size_ && got < shift + width; ++i) {
+      v |= static_cast<std::uint64_t>(data_[i]) << got;
+      got += 8;
+    }
+    return (v >> shift) & mask;
+  }
+
+  /// Values up to 64 bits (two fast-path reads when width > 57).
+  std::uint64_t get64(unsigned width) {
+    if (width <= 57) return get(width);
+    const std::uint64_t lo = get(32);
+    return lo | (get(width - 32) << 32);
+  }
+
+  /// Bulk decode: feeds the next n values of `width` bits to fn(v), with
+  /// one bounds check for the whole run and a branch-free single-load
+  /// body while 8 readable bytes remain — the column-decode hot loop
+  /// (per-value get() pays the bounds test, mask rebuild, and tail
+  /// branch on every call).
+  template <typename Fn>
+  void run(std::size_t n, unsigned width, Fn&& fn) {
+    if (width == 0 || width > 64) {
+      throw IoError("bad bit width for packed run");
+    }
+    if (bit_ + n * static_cast<std::size_t>(width) > size_ * 8) {
+      throw IoError("bit-packed column overruns its region");
+    }
+    std::size_t i = 0;
+    if (width <= 57) {
+      if (size_ >= 8) {
+        const std::uint64_t mask = (1ULL << width) - 1;
+        std::size_t bit = bit_;
+        // The last value whose 8-byte load is fully in bounds starts
+        // at bit 8*(size_-8)+7 or earlier; everything after takes the
+        // checked tail path.
+        const std::size_t fast_bits = (size_ - 8) * 8 + 7;
+        for (; i < n && bit <= fast_bits; ++i, bit += width) {
+          fn((load_le64(data_ + (bit >> 3)) >> (bit & 7)) & mask);
+        }
+        bit_ = bit;
+      }
+      for (; i < n; ++i) fn(get(width));
+    } else {
+      for (; i < n; ++i) fn(get64(width));
+    }
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t bit_ = 0;
+};
+
+}  // namespace iotscope::util

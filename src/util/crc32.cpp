@@ -1,0 +1,96 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define IOTSCOPE_CRC32_HW 1
+#endif
+
+namespace iotscope::util {
+
+namespace {
+
+struct Crc32Tables {
+  // tables[k][b]: CRC of byte b followed by k zero bytes — the standard
+  // slice-by-8 construction, letting the hot loop fold 8 input bytes
+  // with 8 independent lookups per iteration.
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Crc32Tables() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c >> 1) ^ ((c & 1) ? 0x82F63B38u : 0);
+      }
+      t[0][i] = c;
+    }
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32Tables& tables() noexcept {
+  static const Crc32Tables instance;
+  return instance;
+}
+
+std::uint32_t crc32_sw(const unsigned char* p, std::size_t n,
+                       std::uint32_t c) noexcept {
+  const auto& t = tables().t;
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  (static_cast<std::uint32_t>(p[1]) << 8) |
+                                  (static_cast<std::uint32_t>(p[2]) << 16) |
+                                  (static_cast<std::uint32_t>(p[3]) << 24));
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+        t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = (c >> 8) ^ t[0][(c ^ *p++) & 0xFF];
+  }
+  return c;
+}
+
+#ifdef IOTSCOPE_CRC32_HW
+__attribute__((target("sse4.2"))) std::uint32_t crc32_hw(
+    const unsigned char* p, std::size_t n, std::uint32_t c) noexcept {
+  std::uint64_t c64 = c;
+  while (n >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    c64 = _mm_crc32_u64(c64, v);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<std::uint32_t>(c64);
+  while (n-- > 0) {
+    c = _mm_crc32_u8(c, *p++);
+  }
+  return c;
+}
+
+bool have_sse42() noexcept {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t c = ~crc;
+#ifdef IOTSCOPE_CRC32_HW
+  if (have_sse42()) return ~crc32_hw(p, n, c);
+#endif
+  return ~crc32_sw(p, n, c);
+}
+
+}  // namespace iotscope::util

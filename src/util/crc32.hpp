@@ -1,0 +1,27 @@
+// CRC-32C (Castagnoli, reflected, polynomial 0x82F63B38) — the block
+// integrity check for the compressed flowtuple format. The Castagnoli
+// polynomial was chosen over IEEE 802.3 because x86-64 has a dedicated
+// instruction for it (SSE4.2 crc32, ~an order of magnitude over table
+// lookup; the check was ~30% of decode time with the software IEEE
+// variant). Dispatches at runtime to the hardware path when available,
+// else a slice-by-8 table fallback with identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace iotscope::util {
+
+/// Incremental CRC-32C: pass the previous call's result as `crc` to
+/// continue a running checksum (crc32(b, crc32(a)) == crc32 of a||b).
+/// The initial value for a fresh checksum is 0.
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t crc = 0) noexcept;
+
+inline std::uint32_t crc32(std::string_view data,
+                           std::uint32_t crc = 0) noexcept {
+  return crc32(data.data(), data.size(), crc);
+}
+
+}  // namespace iotscope::util

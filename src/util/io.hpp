@@ -104,6 +104,11 @@ class ByteReader {
   std::uint32_t u32() { return load_le32(bytes(4)); }
   std::uint64_t u64() { return load_le64(bytes(8)); }
 
+  /// Unchecked cursor access for decoders that have already verified
+  /// bounds against remaining() — advance(n) past the end is UB.
+  const unsigned char* cursor() const noexcept { return p_; }
+  void advance(std::size_t n) noexcept { p_ += n; }
+
  private:
   const unsigned char* p_;
   const unsigned char* end_;

@@ -1,0 +1,83 @@
+#include "util/mmap.hpp"
+
+#include <utility>
+
+#include "util/io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IOTSCOPE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace iotscope::util {
+
+MmapFile::MmapFile(const std::filesystem::path& path) {
+#if IOTSCOPE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError("cannot open file for mapping: " + path.string());
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat file for mapping: " + path.string());
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return;  // empty view via the (empty) fallback buffer
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped != MAP_FAILED) {
+    data_ = mapped;
+    size_ = size;
+    return;
+  }
+#endif
+  // Portable fallback: one owned copy, same view() semantics.
+  fallback_ = read_file(path);
+}
+
+MmapFile::~MmapFile() { unmap(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fallback_(std::move(other.fallback_)) {
+  other.fallback_.clear();
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fallback_ = std::move(other.fallback_);
+    other.fallback_.clear();
+  }
+  return *this;
+}
+
+void MmapFile::advise_sequential() noexcept {
+#if IOTSCOPE_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::madvise(data_, size_, MADV_SEQUENTIAL);
+  }
+#endif
+}
+
+void MmapFile::unmap() noexcept {
+#if IOTSCOPE_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+#endif
+}
+
+}  // namespace iotscope::util

@@ -1,0 +1,54 @@
+// Read-only memory-mapped file view — the zero-copy read path under the
+// compressed flowtuple store. Mapping a multi-gigabyte compacted file
+// costs one syscall and no resident memory until pages are touched, so
+// a predicate-pushdown scan that skips a block never faults that
+// block's payload pages in at all.
+//
+// Lifetime rule (DESIGN.md §15): view() aliases the mapping and every
+// pointer derived from it (ByteReader cursors, dictionary spans, decoded
+// block views) dies with the MmapFile. Decoders must finish
+// materializing FlowBatch columns before the MmapFile goes out of
+// scope; nothing may retain a string_view into it.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace iotscope::util {
+
+class MmapFile {
+ public:
+  /// Maps the whole file read-only; throws IoError if it cannot be
+  /// opened or mapped. Platforms without mmap (and zero-length files,
+  /// which mmap rejects) fall back to an owned in-memory copy — the
+  /// view() contract is identical either way.
+  explicit MmapFile(const std::filesystem::path& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::string_view view() const noexcept {
+    return data_ != nullptr
+               ? std::string_view(static_cast<const char*>(data_), size_)
+               : std::string_view(fallback_);
+  }
+  std::size_t size() const noexcept { return view().size(); }
+
+  /// Hints the kernel that the mapping will be read front to back
+  /// (readahead-friendly); a no-op on the fallback path.
+  void advise_sequential() noexcept;
+
+ private:
+  void unmap() noexcept;
+
+  void* data_ = nullptr;  // nullptr when using the fallback buffer
+  std::size_t size_ = 0;
+  std::string fallback_;
+};
+
+}  // namespace iotscope::util

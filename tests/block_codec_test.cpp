@@ -1,0 +1,428 @@
+// Compressed block codec (".iftc") tests: round-trip fidelity, the
+// hostile-input sweeps the PR3 codec suite runs for ".ift" (every-prefix
+// truncation, per-byte mutation, CRC context), hand-built malformed
+// blocks for the decoder's structural checks, and the pushdown property
+// decode_filtered == filter(decode).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/block_codec.hpp"
+#include "net/flow_batch.hpp"
+#include "net/flowtuple.hpp"
+#include "util/bitpack.hpp"
+#include "util/crc32.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace iotscope {
+namespace {
+
+using net::BlockPredicate;
+using net::BlockScanStats;
+using net::CompressedFlowCodec;
+using net::FlowBatch;
+using util::IoError;
+
+// A batch with telescope-shaped structure: a bounded src pool whose
+// members keep a fixed ttl / near-fixed dport / proto, random dst and
+// sport — so every column mode (constant, minmax, dict, varint,
+// src-keyed with and without exceptions) gets exercised.
+FlowBatch make_batch(util::Rng& rng, std::size_t n, int interval = 42) {
+  FlowBatch b;
+  b.interval = interval;
+  b.start_time = 1491955200 + interval * 3600;
+  const std::size_t pool = std::max<std::size_t>(1, n / 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t src_id =
+        static_cast<std::uint32_t>(rng.uniform(0, pool - 1));
+    b.src.push_back(net::Ipv4Address(0xC0000000u + src_id * 7));
+    b.dst.push_back(net::Ipv4Address(
+        0x0A000000u | static_cast<std::uint32_t>(rng.next() & 0xFFFFFF)));
+    b.src_port.push_back(static_cast<net::Port>(1024 + (rng.next() % 60000)));
+    // dport: a function of src with ~10% exceptions.
+    b.dst_port.push_back(rng.chance(0.1)
+                             ? static_cast<net::Port>(rng.uniform(1, 65535))
+                             : static_cast<net::Port>(23 + (src_id % 5)));
+    const int p = static_cast<int>(src_id % 3);
+    b.proto.push_back(p == 0   ? net::Protocol::Tcp
+                      : p == 1 ? net::Protocol::Udp
+                               : net::Protocol::Icmp);
+    b.ttl.push_back(static_cast<std::uint8_t>(32 + (src_id % 4) * 32));
+    b.tcp_flags.push_back(p == 0 ? std::uint8_t{0x02} : std::uint8_t{0});
+    b.ip_len.push_back(static_cast<std::uint16_t>(40 + (src_id % 8)));
+    b.pkt_count.push_back(rng.chance(0.05) ? rng.uniform(2, 90) : 1);
+  }
+  return b;
+}
+
+std::string encode(const FlowBatch& b, std::size_t block_records =
+                                           CompressedFlowCodec::kDefaultBlockRecords) {
+  std::string out;
+  CompressedFlowCodec::encode(out, b, block_records);
+  return out;
+}
+
+class BlockCodecSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockCodecSeeded, RoundTripPreservesRecordsAndOrder) {
+  util::Rng rng(GetParam());
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{100},
+                              std::size_t{8192}, std::size_t{8193},
+                              std::size_t{20000}}) {
+    const FlowBatch batch = make_batch(rng, n);
+    const std::string blob = encode(batch);
+    BlockScanStats stats;
+    const FlowBatch round = CompressedFlowCodec::decode(blob, &stats);
+    EXPECT_EQ(round.interval, batch.interval);
+    EXPECT_EQ(round.start_time, batch.start_time);
+    EXPECT_TRUE(round.same_records(batch)) << "n=" << n;
+    EXPECT_EQ(stats.records_decoded, n);
+    EXPECT_EQ(stats.bytes_raw, n * net::FlowTupleCodec::kRecordBytes);
+    EXPECT_EQ(stats.blocks_skipped, 0u);
+  }
+}
+
+TEST_P(BlockCodecSeeded, SmallBlocksRoundTrip) {
+  util::Rng rng(GetParam());
+  const FlowBatch batch = make_batch(rng, 1000);
+  for (const std::size_t br : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                               std::size_t{999}, std::size_t{1000}}) {
+    const FlowBatch round = CompressedFlowCodec::decode(encode(batch, br));
+    EXPECT_TRUE(round.same_records(batch)) << "block_records=" << br;
+  }
+}
+
+TEST_P(BlockCodecSeeded, PushdownEqualsDecodeThenFilter) {
+  util::Rng rng(GetParam());
+  const FlowBatch batch = make_batch(rng, 4000, 17);
+  const std::string blob = encode(batch, 256);
+  for (int round = 0; round < 40; ++round) {
+    BlockPredicate p;
+    if (rng.chance(0.5)) {
+      p.hour_min = static_cast<int>(rng.uniform(0, 20));
+      p.hour_max = p.hour_min + static_cast<int>(rng.uniform(0, 10));
+    }
+    if (rng.chance(0.7)) {
+      p.proto_mask = static_cast<std::uint8_t>(rng.uniform(1, 7));
+    }
+    if (rng.chance(0.7)) {
+      p.dst_port_min = static_cast<std::uint16_t>(rng.uniform(0, 100));
+      p.dst_port_max =
+          static_cast<std::uint16_t>(p.dst_port_min + rng.uniform(0, 200));
+    }
+    FlowBatch expected;
+    net::filter_batch(batch, p, expected);
+    expected.interval = batch.interval;
+    expected.start_time = batch.start_time;
+    BlockScanStats stats;
+    const FlowBatch got = CompressedFlowCodec::decode_filtered(blob, p, &stats);
+    EXPECT_TRUE(got.same_records(expected));
+    EXPECT_EQ(got.interval, batch.interval);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockCodecSeeded,
+                         ::testing::Values(1u, 2u, 99u, 20170412u));
+
+TEST(BlockCodec, EmptyBatchRoundTrips) {
+  FlowBatch b;
+  b.interval = 3;
+  b.start_time = 100;
+  const std::string blob = encode(b);
+  EXPECT_EQ(blob.size(), CompressedFlowCodec::kFileHeaderBytes);
+  const FlowBatch round = CompressedFlowCodec::decode(blob);
+  EXPECT_EQ(round.size(), 0u);
+  EXPECT_EQ(round.interval, 3);
+  EXPECT_EQ(CompressedFlowCodec::peek_block_count(blob), 0u);
+}
+
+TEST(BlockCodec, EncodeRejectsOutOfRangeInterval) {
+  FlowBatch b;
+  b.interval = -1;
+  std::string out;
+  EXPECT_THROW(CompressedFlowCodec::encode(out, b), IoError);
+  b.interval = 0x10000;
+  EXPECT_THROW(CompressedFlowCodec::encode(out, b), IoError);
+}
+
+TEST(BlockCodec, TruncationAtEveryPrefixThrows) {
+  util::Rng rng(7);
+  const FlowBatch batch = make_batch(rng, 600);
+  const std::string blob = encode(batch, 512);  // two blocks
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW(CompressedFlowCodec::decode(blob.substr(0, len)), IoError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(BlockCodec, TrailingBytesAfterLastBlockAreIgnored) {
+  util::Rng rng(8);
+  const FlowBatch batch = make_batch(rng, 100);
+  std::string blob = encode(batch);
+  blob += "junk after the declared blocks";
+  EXPECT_TRUE(CompressedFlowCodec::decode(blob).same_records(batch));
+}
+
+// Every single-byte mutation must be rejected, except within the file
+// header's start_time field — the one field no validation can
+// cross-check (the ".ift" codec accepts those too). Block bytes are all
+// CRC-sealed; file-header fields are each caught by a structural check.
+TEST(BlockCodec, MutationSweepEveryByteIsDetected) {
+  util::Rng rng(9);
+  const FlowBatch batch = make_batch(rng, 300);
+  const std::string blob = encode(batch, 256);  // two blocks
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    const bool start_time_byte = i >= 10 && i < 18;
+    for (const unsigned char flip : {0x01, 0x80, 0xFF}) {
+      std::string mutated = blob;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      if (start_time_byte) {
+        // Decodes fine; only the (unvalidatable) start_time differs.
+        FlowBatch got = CompressedFlowCodec::decode(mutated);
+        EXPECT_NE(got.start_time, batch.start_time);
+        got.start_time = batch.start_time;
+        EXPECT_TRUE(got.same_records(batch));
+      } else {
+        EXPECT_THROW(CompressedFlowCodec::decode(mutated), IoError)
+            << "byte " << i << " flip " << int(flip);
+      }
+    }
+  }
+}
+
+TEST(BlockCodec, CrcMismatchReportsBlockIndexAndOffset) {
+  util::Rng rng(10);
+  const FlowBatch batch = make_batch(rng, 600);
+  std::string blob = encode(batch, 512);
+  // Corrupt the last payload byte — that lands in block 1.
+  blob.back() = static_cast<char>(blob.back() ^ 0x40);
+  try {
+    CompressedFlowCodec::decode(blob);
+    FAIL() << "mutated block decoded";
+  } catch (const IoError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("block 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("crc mismatch"), std::string::npos) << msg;
+  }
+}
+
+// --- Hand-built malformed blocks ------------------------------------
+//
+// The CRC catches mutations of well-formed files; these tests build
+// structurally invalid blocks with VALID CRCs, so the decoder's own
+// checks are what must fire.
+
+void append_constant_column(std::string& payload, std::uint64_t v) {
+  payload.push_back('\x00');  // kModeConstant
+  util::put_varint(payload, v);
+}
+
+// Assembles a one-block file around a hand-written payload.
+std::string build_file(std::uint32_t records, const std::string& payload,
+                       std::uint8_t proto_mask = 0x1) {
+  std::string out;
+  util::ByteWriter w(out);
+  w.u32(CompressedFlowCodec::kMagic);
+  w.u16(CompressedFlowCodec::kVersion);
+  w.u32(5);           // interval
+  w.u64(1000);        // start_time
+  w.u64(records);     // record_count
+  w.u32(1);           // block_count
+  unsigned char h[CompressedFlowCodec::kBlockHeaderBytes] = {};
+  util::store_le32(h, records);
+  util::store_le32(h + 4, records * net::FlowTupleCodec::kRecordBytes);
+  util::store_le32(h + 8, static_cast<std::uint32_t>(payload.size()));
+  util::store_le16(h + 16, 5);
+  h[18] = proto_mask;
+  util::store_le16(h + 20, 10);
+  util::store_le16(h + 22, 10);
+  util::store_le16(h + 24, 23);
+  util::store_le16(h + 26, 23);
+  std::uint32_t crc = util::crc32(h, sizeof(h));
+  crc = util::crc32(payload.data(), payload.size(), crc);
+  util::store_le32(h + 12, crc);
+  w.bytes(h, sizeof(h));
+  w.bytes(payload.data(), payload.size());
+  return out;
+}
+
+TEST(BlockCodec, DictionaryIndexOutOfRangeThrowsWithContext) {
+  // src column: dict with dc=3 over 4 records, one packed index == 3.
+  std::string payload;
+  payload.push_back('\x02');  // kModeDict
+  util::put_varint(payload, 3);
+  util::put_varint(payload, 10);  // dict {10, 11, 12}
+  util::put_varint(payload, 1);
+  util::put_varint(payload, 1);
+  payload.push_back('\x02');  // idx_width = bit_width(2) = 2
+  // LSB-first 2-bit indexes {0, 1, 3, 2}: 0b10'11'01'00.
+  payload.push_back(static_cast<char>(0xB4));
+  append_constant_column(payload, 7);     // dst
+  append_constant_column(payload, 10);    // src_port
+  append_constant_column(payload, 23);    // dst_port
+  append_constant_column(payload, 6);     // proto = Tcp
+  append_constant_column(payload, 64);    // ttl
+  append_constant_column(payload, 2);     // tcp_flags
+  append_constant_column(payload, 40);    // ip_len
+  append_constant_column(payload, 1);     // pkt_count
+  const std::string blob = build_file(4, payload);
+  try {
+    CompressedFlowCodec::decode(blob);
+    FAIL() << "out-of-range dictionary index decoded";
+  } catch (const IoError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dictionary index out of range"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("block 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(BlockCodec, SrcKeyedModeWithoutDictCodedSrcThrows) {
+  // src column constant, then ttl claims src-keyed mode 4.
+  std::string payload;
+  append_constant_column(payload, 100);  // src (constant, not dict)
+  append_constant_column(payload, 7);    // dst
+  append_constant_column(payload, 10);   // src_port
+  append_constant_column(payload, 23);   // dst_port
+  append_constant_column(payload, 6);    // proto
+  payload.push_back('\x04');             // ttl: kModeSrcKeyed
+  const std::string blob = build_file(2, payload);
+  try {
+    CompressedFlowCodec::decode(blob);
+    FAIL() << "src-keyed column without dict src decoded";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("src-keyed column without dictionary-coded src"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BlockCodec, UnknownColumnModeThrows) {
+  std::string payload;
+  payload.push_back('\x09');  // no such mode
+  const std::string blob = build_file(2, payload);
+  EXPECT_THROW(CompressedFlowCodec::decode(blob), IoError);
+}
+
+TEST(BlockCodec, ProtocolOutsideSummaryMaskThrows) {
+  // proto column says Udp (17) but the header mask only admits Tcp.
+  std::string payload;
+  append_constant_column(payload, 100);  // src
+  append_constant_column(payload, 7);    // dst
+  append_constant_column(payload, 10);   // src_port
+  append_constant_column(payload, 23);   // dst_port
+  append_constant_column(payload, 17);   // proto = Udp
+  append_constant_column(payload, 64);   // ttl
+  append_constant_column(payload, 0);    // tcp_flags
+  append_constant_column(payload, 40);   // ip_len
+  append_constant_column(payload, 1);    // pkt_count
+  const std::string blob = build_file(2, payload, /*proto_mask=*/0x1);
+  EXPECT_THROW(CompressedFlowCodec::decode(blob), IoError);
+}
+
+// --- Pushdown skipping ----------------------------------------------
+
+TEST(BlockCodec, HourOutsideWindowSkipsEveryBlockUndecoded) {
+  util::Rng rng(11);
+  const FlowBatch batch = make_batch(rng, 1000, 10);
+  const std::string blob = encode(batch, 128);
+  BlockPredicate p;
+  p.hour_min = 0;
+  p.hour_max = 5;  // file is hour 10
+  BlockScanStats stats;
+  const FlowBatch got = CompressedFlowCodec::decode_filtered(blob, p, &stats);
+  EXPECT_EQ(got.size(), 0u);
+  EXPECT_EQ(got.interval, 10);
+  EXPECT_EQ(stats.blocks_decoded, 0u);
+  EXPECT_EQ(stats.blocks_skipped, CompressedFlowCodec::peek_block_count(blob));
+  EXPECT_EQ(stats.bytes_raw, 0u);
+}
+
+TEST(BlockCodec, PortRangeSkipsNonMatchingBlocks) {
+  // Two blocks with disjoint dst-port ranges; a predicate selecting one
+  // range must skip the other block entirely.
+  FlowBatch b;
+  b.interval = 1;
+  b.start_time = 0;
+  for (int i = 0; i < 512; ++i) {
+    const bool first = i < 256;
+    b.src.push_back(net::Ipv4Address(0xC0A80001u));
+    b.dst.push_back(net::Ipv4Address(0x0A000001u + i));
+    b.src_port.push_back(4000);
+    b.dst_port.push_back(first ? 23 : 8080);
+    b.proto.push_back(net::Protocol::Tcp);
+    b.ttl.push_back(64);
+    b.tcp_flags.push_back(2);
+    b.ip_len.push_back(40);
+    b.pkt_count.push_back(1);
+  }
+  const std::string blob = encode(b, 256);
+  BlockPredicate p;
+  p.dst_port_min = 23;
+  p.dst_port_max = 23;
+  BlockScanStats stats;
+  const FlowBatch got = CompressedFlowCodec::decode_filtered(blob, p, &stats);
+  EXPECT_EQ(got.size(), 256u);
+  EXPECT_EQ(stats.blocks_decoded, 1u);
+  EXPECT_EQ(stats.blocks_skipped, 1u);
+}
+
+TEST(BlockCodec, MatchAllPredicateTakesFullDecodePath) {
+  util::Rng rng(12);
+  const FlowBatch batch = make_batch(rng, 500);
+  const std::string blob = encode(batch);
+  BlockScanStats stats;
+  const FlowBatch got =
+      CompressedFlowCodec::decode_filtered(blob, BlockPredicate{}, &stats);
+  EXPECT_TRUE(got.same_records(batch));
+  EXPECT_EQ(stats.blocks_skipped, 0u);
+}
+
+TEST(BlockCodec, CompressionBeatsRawOnStructuredData) {
+  util::Rng rng(13);
+  const FlowBatch batch = make_batch(rng, 20000);
+  const std::string blob = encode(batch);
+  EXPECT_LT(blob.size() * 2,
+            batch.size() * net::FlowTupleCodec::kRecordBytes)
+      << "expected at least 2x compression on telescope-shaped data";
+}
+
+TEST(BlockPredicateTest, ProtoBitsAndRowMatching) {
+  EXPECT_EQ(BlockPredicate::proto_bit(net::Protocol::Tcp), 0x1);
+  EXPECT_EQ(BlockPredicate::proto_bit(net::Protocol::Udp), 0x2);
+  EXPECT_EQ(BlockPredicate::proto_bit(net::Protocol::Icmp), 0x4);
+  BlockPredicate p;
+  EXPECT_TRUE(p.matches_all());
+  p.proto_mask = 0x2;
+  EXPECT_FALSE(p.matches_all());
+  EXPECT_TRUE(p.matches_row(net::Protocol::Udp, 23));
+  EXPECT_FALSE(p.matches_row(net::Protocol::Tcp, 23));
+  p.dst_port_min = 100;
+  EXPECT_FALSE(p.matches_row(net::Protocol::Udp, 23));
+  net::BlockSummary s;
+  s.interval = 4;
+  s.proto_mask = 0x1;  // Tcp only
+  s.dst_port_min = 20;
+  s.dst_port_max = 25;
+  EXPECT_FALSE(p.may_match(s));  // mask disjoint and port range below
+  p.proto_mask = 0x1;
+  p.dst_port_min = 0;
+  p.dst_port_max = 0xFFFF;
+  EXPECT_TRUE(p.may_match(s));
+  p.hour_max = 3;
+  EXPECT_FALSE(p.may_match(s));
+}
+
+TEST(BlockCodec, FileNameMatchesConvention) {
+  EXPECT_EQ(CompressedFlowCodec::file_name(42), "flowtuple-0042.iftc");
+  EXPECT_EQ(CompressedFlowCodec::file_name(0), "flowtuple-0000.iftc");
+}
+
+}  // namespace
+}  // namespace iotscope

@@ -133,6 +133,55 @@ TEST_F(EquivalenceTest, DiskStoreRoundTripPreservesTheReport) {
   expect_reports_equal(run_direct(), pipeline.finalize());
 }
 
+TEST_F(EquivalenceTest, CompressedAndMixedStoresPreserveTheReportByteForByte) {
+  // The PR8 tentpole guarantee: replaying from a compressed (".iftc")
+  // store, a mixed-format store, or a store compacted in place must land
+  // on the same rendered report bytes as the raw store — at every thread
+  // count and reader count.
+  util::TempDir dir;
+  telescope::FlowTupleStore raw_store(dir.path() / "raw");
+  telescope::FlowTupleStore compressed_store(dir.path() / "compressed");
+  telescope::FlowTupleStore mixed_store(dir.path() / "mixed");
+  for (const auto& b : batches()) {
+    raw_store.put(b);
+    compressed_store.set_write_format(telescope::StoreFormat::Compressed);
+    compressed_store.put(b);
+    mixed_store.set_write_format(b.interval % 2
+                                     ? telescope::StoreFormat::Compressed
+                                     : telescope::StoreFormat::Raw);
+    mixed_store.put(b);
+  }
+
+  const auto replay = [this](const telescope::FlowTupleStore& store,
+                             unsigned threads, std::size_t readers) {
+    PipelineOptions options;
+    options.threads = threads;
+    AnalysisPipeline pipeline(scenario().inventory, options);
+    telescope::ScanOptions scan;
+    scan.readers = readers;
+    scan.prefetch = 2;
+    store.scan([&pipeline](const net::FlowBatch& b) { pipeline.observe(b); },
+               scan);
+    return render_everything(pipeline.finalize());
+  };
+
+  const std::string golden = replay(raw_store, 1, 1);
+  for (const unsigned threads : {1u, 2u, 4u, 8u, 0u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    EXPECT_EQ(replay(compressed_store, threads, 1), golden);
+    EXPECT_EQ(replay(mixed_store, threads, 2), golden);
+  }
+  // Parallel decode readers stacked on parallel analysis shards.
+  EXPECT_EQ(replay(compressed_store, 4, 4), golden);
+
+  // Compacting the raw store in place (with verification) changes the
+  // files but not one byte of the report.
+  const auto stats = raw_store.compact();
+  EXPECT_EQ(stats.hours, batches().size());
+  EXPECT_GT(stats.bytes_raw, stats.bytes_compressed);
+  EXPECT_EQ(replay(raw_store, 4, 2), golden);
+}
+
 TEST_F(EquivalenceTest, HourOrderDoesNotMatter) {
   // Process odd hours first, then even ones.
   AnalysisPipeline pipeline(scenario().inventory);

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -156,6 +157,43 @@ TEST(StreamEquivalenceTest, HeavyHitterWorkloadStreamsIdentically) {
     EXPECT_EQ(render_everything(run.report, scenario.inventory), golden);
     EXPECT_EQ(run.stats.hours_admitted, hour_count);
     EXPECT_EQ(run.stats.hours_late, 0u);
+  }
+}
+
+TEST(StreamEquivalenceTest, CompressedRotatingStoreStreamsIdentically) {
+  // The rotating writer publishing compressed ".iftc" hours must be
+  // invisible to the follower: same watcher admission, same report
+  // bytes as the raw-format batch golden.
+  const auto config = stream_config();
+  const auto scenario = workload::build_scenario(config);
+
+  util::TempDir golden_dir;
+  telescope::FlowTupleStore golden_store(golden_dir.path());
+  workload::write_rotating(scenario, config, golden_store);
+  const std::string golden = batch_golden(scenario, golden_store);
+  const std::size_t hour_count = golden_store.intervals().size();
+
+  for (const unsigned threads : {1u, 0u}) {
+    SCOPED_TRACE(threads);
+    util::TempDir dir;
+    telescope::FlowTupleStore store(dir.path());
+    store.set_write_format(telescope::StoreFormat::Compressed,
+                           /*block_records=*/512);
+    const auto run = stream_concurrently(scenario, config, store, threads);
+    EXPECT_EQ(render_everything(run.report, scenario.inventory), golden);
+    EXPECT_EQ(run.final_snapshot_render, golden);
+    EXPECT_EQ(run.stats.hours_admitted, hour_count);
+    EXPECT_EQ(run.stats.hours_late, 0u);
+
+    // The writer really did publish columnar files, not raw ones.
+    std::size_t iftc = 0, ift = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+      const auto ext = entry.path().extension();
+      if (ext == ".iftc") ++iftc;
+      if (ext == ".ift") ++ift;
+    }
+    EXPECT_EQ(iftc, hour_count);
+    EXPECT_EQ(ift, 0u);
   }
 }
 

@@ -5,10 +5,11 @@
 // reports).
 //
 //   iotscope synth       --out DIR [--inventory-scale S] [--traffic-scale S]
-//                        [--seed N] [--noise R] [--with-truth]
-//   iotscope analyze     --data DIR [--top N] [--threads N]
+//                        [--seed N] [--noise R] [--with-truth] [--compress]
+//   iotscope analyze     --data DIR [--top N] [--threads N] [--readers N]
 //   iotscope fingerprint --data DIR [--threshold X] [--min-packets N]
 //   iotscope campaigns   --data DIR [--threads N]
+//   iotscope compact     --data DIR [--block-records N] [--no-verify] [--keep]
 //   iotscope info        --data DIR
 #include <atomic>
 #include <cerrno>
@@ -139,9 +140,16 @@ bool parse_flag_u64(const Args& args, const char* flag, std::uint64_t min,
   return true;
 }
 
+/// Validates --readers (store decoder threads for the batch scan).
+bool parse_readers(const Args& args, std::uint64_t* readers) {
+  *readers = 1;
+  return parse_flag_u64(args, "readers", 1, 1024, readers);
+}
+
 /// All analyze-mode knobs, validated up front (before the dataset loads).
 struct AnalyzeFlags {
   unsigned threads = 0;  // auto
+  std::uint64_t readers = 1;
   std::uint64_t snapshot_every = 24;
   std::uint64_t evict_after = 6;
   std::uint64_t idle_ms = 500;
@@ -151,6 +159,7 @@ struct AnalyzeFlags {
 
 bool parse_analyze_flags(const Args& args, AnalyzeFlags* flags) {
   if (!parse_threads(args, &flags->threads)) return false;
+  if (!parse_readers(args, &flags->readers)) return false;
   if (!parse_flag_u64(args, "snapshot-every", 1, 1000000,
                       &flags->snapshot_every)) {
     return false;
@@ -179,9 +188,10 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  iotscope synth       --out DIR [--inventory-scale S] "
-               "[--traffic-scale S] [--seed N] [--noise R] [--with-truth]\n"
+               "[--traffic-scale S] [--seed N] [--noise R] [--with-truth] "
+               "[--compress]\n"
                "  iotscope analyze     --data DIR [--top N] [--full] "
-               "[--threads N] [--metrics] [--metrics-out FILE]\n"
+               "[--threads N] [--readers N] [--metrics] [--metrics-out FILE]\n"
                "                       [--follow] [--snapshot-every N] "
                "[--idle-ms N] [--evict-after N] [--serve PORT]\n"
                "  iotscope fingerprint --data DIR [--threshold X] "
@@ -189,11 +199,25 @@ int usage() {
                "[--metrics-out FILE]\n"
                "  iotscope campaigns   --data DIR [--threads N] [--metrics] "
                "[--metrics-out FILE]\n"
+               "  iotscope compact     --data DIR [--block-records N] "
+               "[--no-verify] [--keep]\n"
                "  iotscope info        --data DIR\n"
                "\n"
                "  --threads N        analysis worker shards; N must be a "
                "positive integer (default: all cores; 1 = sequential; "
                "identical output at any value)\n"
+               "  --readers N        store decoder threads for the batch "
+               "scan (default 1; hours are still analyzed in interval "
+               "order, so output is identical at any value)\n"
+               "  --compress         synth writes compressed .iftc hourly "
+               "files instead of raw .ift (every analysis reads either "
+               "transparently)\n"
+               "  --block-records N  compact: records per compressed block "
+               "(default 8192)\n"
+               "  --no-verify        compact: skip the round-trip decode "
+               "check before deleting each original\n"
+               "  --keep             compact: keep the .ift originals "
+               "beside the compressed files\n"
                "  --metrics          progress lines while analyzing + a "
                "per-stage timing summary on stderr\n"
                "  --metrics-out F    write the full metrics snapshot "
@@ -236,6 +260,9 @@ int cmd_synth(const Args& args) {
   scenario.inventory.save_csv(out_dir / "inventory.csv");
 
   telescope::FlowTupleStore store(out_dir / "flowtuples");
+  if (args.has("compress")) {
+    store.set_write_format(telescope::StoreFormat::Compressed);
+  }
   telescope::TelescopeCapture capture(
       telescope::DarknetSpace(config.darknet),
       [&store](net::FlowBatch&& batch) { store.put(batch); });
@@ -317,7 +344,7 @@ void emit_metrics(const Args& args) {
 }
 
 core::Report run_pipeline(const Dataset& data, const Args& args,
-                          unsigned threads) {
+                          unsigned threads, std::size_t readers = 1) {
   core::PipelineOptions options;
   options.threads = threads;  // validated by parse_threads; 0 = all cores
   core::AnalysisPipeline pipeline(data.inventory, options);
@@ -335,10 +362,12 @@ core::Report run_pipeline(const Dataset& data, const Args& args,
         [&devices](const core::Discovery&) { ++devices; });
   }
 
-  // Decode the next hours on a reader thread while this one analyzes.
-  // Goes through the type-erased overload deliberately: the CLI is the
+  // Decode the next hours on reader threads while this one analyzes.
+  // Goes through the type-erased scan() deliberately: the CLI is the
   // designated std::function caller (visitors assembled at runtime); the
-  // library-internal paths use the templated for_each.
+  // library-internal paths use the templated for_each. With one reader
+  // this is exactly for_each with prefetch; more readers decode hours
+  // concurrently but visit order (and thus the report) is unchanged.
   const std::function<void(const net::FlowBatch&)> visit =
       [&](const net::FlowBatch& batch) {
         pipeline.observe(batch);
@@ -348,7 +377,10 @@ core::Report run_pipeline(const Dataset& data, const Args& args,
           progress.update(hours, packets, devices);
         }
       };
-  data.store.for_each(visit, /*prefetch=*/2);
+  telescope::ScanOptions scan_options;
+  scan_options.prefetch = 2;
+  scan_options.readers = readers;
+  data.store.scan(visit, scan_options);
   auto report = pipeline.finalize();
   if (metrics) progress.finish(hours, packets, devices);
   return report;
@@ -453,9 +485,11 @@ int cmd_analyze(const Args& args) {
   AnalyzeFlags flags;
   if (!parse_analyze_flags(args, &flags)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = args.has("follow")
-                          ? run_streaming(data, flags)
-                          : run_pipeline(data, args, flags.threads);
+  const auto report =
+      args.has("follow")
+          ? run_streaming(data, flags)
+          : run_pipeline(data, args, flags.threads,
+                         static_cast<std::size_t>(flags.readers));
   const auto character = core::characterize(report, data.inventory);
   const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
 
@@ -581,6 +615,58 @@ int cmd_campaigns(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------- compact
+
+/// Converts a dataset's raw .ift hours to compressed .iftc in place.
+/// Accepts --data pointing at either the dataset root (the flowtuples/
+/// subdirectory is used) or a flowtuple directory itself.
+int cmd_compact(const Args& args) {
+  if (!args.has("data")) return usage();
+  std::uint64_t block_records = net::CompressedFlowCodec::kDefaultBlockRecords;
+  if (!parse_flag_u64(args, "block-records", 1,
+                      net::CompressedFlowCodec::kMaxBlockRecords,
+                      &block_records)) {
+    return usage();
+  }
+  const std::filesystem::path dir = args.get("data", "");
+  const auto store_dir =
+      std::filesystem::is_directory(dir / "flowtuples") ? dir / "flowtuples"
+                                                        : dir;
+  if (!std::filesystem::is_directory(store_dir)) {
+    std::fprintf(stderr, "iotscope compact: no such directory: %s\n",
+                 store_dir.string().c_str());
+    return 1;
+  }
+  telescope::FlowTupleStore store(store_dir);
+
+  telescope::CompactOptions options;
+  options.block_records = static_cast<std::size_t>(block_records);
+  options.verify = !args.has("no-verify");
+  options.keep_uncompressed = args.has("keep");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stats = store.compact(options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  const double ratio =
+      stats.bytes_compressed > 0
+          ? static_cast<double>(stats.bytes_raw) /
+                static_cast<double>(stats.bytes_compressed)
+          : 0.0;
+  std::printf("compacted %zu hours (%s records%s) in %lld ms: %s -> %s "
+              "(%.2fx)\n",
+              stats.hours,
+              util::with_commas(stats.records).c_str(),
+              options.verify ? ", verified" : "",
+              static_cast<long long>(elapsed),
+              util::human_count(static_cast<double>(stats.bytes_raw)).c_str(),
+              util::human_count(static_cast<double>(stats.bytes_compressed))
+                  .c_str(),
+              ratio);
+  return 0;
+}
+
 // ---------------------------------------------------------------- info
 
 int cmd_info(const Args& args) {
@@ -618,6 +704,7 @@ int main(int argc, char** argv) {
     else if (command == "analyze") rc = cmd_analyze(args);
     else if (command == "fingerprint") rc = cmd_fingerprint(args);
     else if (command == "campaigns") rc = cmd_campaigns(args);
+    else if (command == "compact") rc = cmd_compact(args);
     else if (command == "info") rc = cmd_info(args);
     if (rc >= 0) {
       emit_metrics(args);

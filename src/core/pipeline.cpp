@@ -404,6 +404,42 @@ void AnalysisPipeline::ShardState::observe(
   }
 }
 
+/// One in-flight hour of the Graph scheduler: every buffer the hour's
+/// tasks touch before its fan-in, so concurrent hours never share
+/// mutable state (shard scratch and the report are only touched from
+/// the fence-serialized plan/observe/fan-in tail). Slots are reused
+/// round-robin; buffers keep their high-water capacity across hours.
+struct AnalysisPipeline::HourSlot {
+  net::FlowBatch batch;                  ///< the hour, spliced/moved in
+  std::vector<net::FlowBatch> parts;     ///< per-loader decode outputs
+  std::vector<HourLoader> loaders;
+  std::vector<ClassTag> tags;            ///< recompute target
+  const std::vector<ClassTag>* tag_col = nullptr;
+  std::vector<std::vector<std::uint32_t>> partition;
+  std::vector<Morsel> morsels;
+  int interval = 0;
+  std::uint32_t seq = 0;                 ///< submission order (merge keys)
+  bool collect_discoveries = false;
+  AfterHourHook after;
+  /// Fence the NEXT hour's plan task depends on; released by this
+  /// hour's fan-in `finally`.
+  util::TaskScheduler::TaskId fence = util::TaskScheduler::kNoTask;
+  /// Whether the plan task got far enough to submit the fan-in. When
+  /// fail-fast skips the plan (a decode/classify task of this or any
+  /// hour threw), no fan-in exists and the plan's own `finally` must
+  /// settle the hour — without this, the skipped hour's fence was never
+  /// released and every later hour (plus the credit waiter) deadlocked.
+  /// Read only from the plan's `finally`, which runs before the fan-in
+  /// can (the gate below), so slot reuse can never race the read.
+  bool fanin_submitted = false;
+  /// The fan-in's manual-release gate (manual_dependencies = 1 on top
+  /// of its morsel dependencies), released by the plan's `finally`.
+  /// This orders "plan fully done, including its finally" before the
+  /// fan-in — and therefore before finish_hour can recycle this slot.
+  util::TaskScheduler::TaskId fanin_gate = util::TaskScheduler::kNoTask;
+  std::chrono::steady_clock::time_point begin;  ///< for pipeline.overlap
+};
+
 AnalysisPipeline::Obs::Obs()
     : observe(obs::Registry::instance().stage("pipeline.observe")),
       classify(obs::Registry::instance().stage("pipeline.classify")),
@@ -422,7 +458,10 @@ AnalysisPipeline::Obs::Obs()
       morsel_stolen(
           obs::Registry::instance().counter("pipeline.morsel.stolen")),
       shard_skew(obs::Registry::instance().gauge("pipeline.shard.skew")),
-      batch_mem(obs::Registry::instance().gauge("pipeline.batch.mem_peak")) {}
+      batch_mem(obs::Registry::instance().gauge("pipeline.batch.mem_peak")),
+      overlap(obs::Registry::instance().stage("pipeline.overlap")),
+      inflight_hours(
+          obs::Registry::instance().gauge("pipeline.task.inflight_hours")) {}
 
 AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
                                    PipelineOptions options)
@@ -443,7 +482,20 @@ AnalysisPipeline::AnalysisPipeline(const inventory::IoTDeviceDatabase& db,
     shards_.push_back(std::make_unique<ShardState>(services.size()));
   }
   partition_.resize(threads);
-  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+  if (options_.scheduler == ShardScheduler::Graph) {
+    // The graph scheduler replaces the flat pool entirely — synchronous
+    // observe() fans out as a task batch over the same lanes. At one
+    // resolved thread the scheduler runs tasks inline on the caller.
+    graph_ = std::make_unique<util::TaskScheduler>(threads);
+    const unsigned credits = std::max(1u, options_.max_inflight_hours);
+    hour_slots_.reserve(credits);
+    for (unsigned c = 0; c < credits; ++c) {
+      hour_slots_.push_back(std::make_unique<HourSlot>());
+    }
+    credits_available_ = credits;
+  } else if (threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
 }
 
 AnalysisPipeline::~AnalysisPipeline() = default;
@@ -457,6 +509,10 @@ std::size_t AnalysisPipeline::shard_of(std::uint32_t src) const noexcept {
 }
 
 void AnalysisPipeline::observe(const net::FlowBatch& batch) {
+  // Serialize with any in-flight asynchronous hours: the synchronous
+  // path reuses coordinator-owned scratch (partition_, tag_scratch_)
+  // and must observe a quiescent pipeline.
+  drain();
   obs::ScopedTimer observe_timer(obs_.observe);
   obs_.hours.add(1);
   obs_.records.add(batch.size());
@@ -486,10 +542,237 @@ void AnalysisPipeline::observe(const net::HourlyFlows& flows) {
 }
 
 void AnalysisPipeline::observe_aos(const net::HourlyFlows& flows) {
+  drain();
   obs::ScopedTimer observe_timer(obs_.observe);
   obs_.hours.add(1);
   obs_.records.add(flows.records.size());
   observe_view(RowsView(flows, options_.taxonomy), flows.interval);
+}
+
+void AnalysisPipeline::observe_async(net::FlowBatch batch,
+                                     AfterHourHook after) {
+  if (!graph_) {
+    // Synchronous degeneration: one code path for every scheduler.
+    observe(batch);
+    if (after) after(batch, true);
+    return;
+  }
+  submit_hour(std::move(batch), {}, std::move(after));
+}
+
+void AnalysisPipeline::observe_async(std::vector<HourLoader> loaders,
+                                     AfterHourHook after) {
+  if (loaders.empty()) return;  // absent hour
+  if (!graph_) {
+    net::FlowBatch batch = loaders.front()();
+    for (std::size_t p = 1; p < loaders.size(); ++p) {
+      batch.append(loaders[p]());
+    }
+    observe(batch);
+    if (after) after(batch, true);
+    return;
+  }
+  submit_hour(net::FlowBatch(), std::move(loaders), std::move(after));
+}
+
+void AnalysisPipeline::drain() {
+  if (graph_ && !graph_->on_lane()) graph_->wait_idle();
+}
+
+void AnalysisPipeline::submit_hour(net::FlowBatch batch,
+                                   std::vector<HourLoader> loaders,
+                                   AfterHourHook after) {
+  using TaskId = util::TaskScheduler::TaskId;
+
+  // Surface a pending failure before queueing more work on top of it.
+  if (graph_->failed()) drain();  // throws the recorded error
+
+  // The in-flight-hours credit: bounds resident batch memory and picks
+  // the reused slot. Credits return in finish_hour — also on failure —
+  // so this wait always makes progress.
+  {
+    std::unique_lock<std::mutex> lock(credit_mutex_);
+    credit_cv_.wait(lock, [this] { return credits_available_ > 0; });
+    --credits_available_;
+  }
+
+  const std::uint32_t seq = observe_seq_++;
+  HourSlot& slot = *hour_slots_[seq % hour_slots_.size()];
+  slot.batch = std::move(batch);
+  slot.loaders = std::move(loaders);
+  slot.tags.clear();
+  slot.tag_col = nullptr;
+  slot.after = std::move(after);
+  slot.seq = seq;
+  slot.collect_discoveries = static_cast<bool>(discovery_sink_);
+  slot.fanin_submitted = false;
+  slot.begin = std::chrono::steady_clock::now();
+  obs_.inflight_hours.add(1);
+
+  util::TaskScheduler& g = *graph_;
+
+  // Fence for the NEXT hour, satisfied by this hour's finish_hour.
+  util::TaskOptions fence_options;
+  fence_options.manual_dependencies = 1;
+  const TaskId prev_fence = fence_;
+  slot.fence = g.submit([](unsigned) {}, {}, fence_options);
+  fence_ = slot.fence;
+
+  // Stage 1: decode parts (compressed block ranges / whole raw file),
+  // then splice in part order — concatenation order IS record order,
+  // which the first-sighting keys depend on.
+  TaskId decode_tail = util::TaskScheduler::kNoTask;
+  if (!slot.loaders.empty()) {
+    slot.parts.resize(slot.loaders.size());
+    std::vector<TaskId> decodes;
+    decodes.reserve(slot.loaders.size());
+    for (std::size_t p = 0; p < slot.loaders.size(); ++p) {
+      decodes.push_back(g.submit(
+          [s = &slot, p](unsigned) { s->parts[p] = s->loaders[p](); }));
+    }
+    decode_tail = g.submit(
+        [s = &slot](unsigned) {
+          s->batch = std::move(s->parts.front());
+          for (std::size_t p = 1; p < s->parts.size(); ++p) {
+            s->batch.append(s->parts[p]);
+          }
+        },
+        decodes.data(), decodes.size());
+  }
+
+  // Stage 2: the shared classification pass (same recipe guard as the
+  // synchronous observe(): foreign or missing tags are recomputed).
+  const TaskId classify = g.submit(
+      [this, s = &slot](unsigned) {
+        s->interval = s->batch.interval;
+        obs_.hours.add(1);
+        obs_.records.add(s->batch.size());
+        obs_.batch_records.add(s->batch.size());
+        obs_.batch_bytes.add(s->batch.size() *
+                             net::FlowTupleCodec::kRecordBytes);
+        s->tag_col = &s->batch.class_tag;
+        if (s->batch.tag_recipe != tag_recipe_for(options_.taxonomy) ||
+            s->batch.class_tag.size() != s->batch.size()) {
+          obs::ScopedTimer timer(obs_.classify);
+          classify_batch(s->batch, options_.taxonomy, s->tags);
+          s->tag_col = &s->tags;
+        }
+      },
+      {decode_tail});
+
+  // Stage 3: partition + morsel plan, into the slot's own buffers —
+  // this is what may run while an earlier hour is still observing.
+  const TaskId partition = g.submit(
+      [this, s = &slot](unsigned) {
+        obs::ScopedTimer timer(obs_.partition);
+        const auto n = static_cast<std::uint32_t>(s->batch.size());
+        s->partition.resize(shards_.size());
+        for (auto& bucket : s->partition) bucket.clear();
+        for (std::uint32_t i = 0; i < n; ++i) {
+          s->partition[shard_of(s->batch.src[i].value())].push_back(i);
+        }
+        if (n > 0 && s->partition.size() > 1) {
+          std::size_t max_bucket = 0;
+          for (const auto& bucket : s->partition) {
+            max_bucket = std::max(max_bucket, bucket.size());
+          }
+          obs_.shard_skew.set(static_cast<std::int64_t>(
+              max_bucket * 100 * s->partition.size() / n));
+        }
+        s->morsels.clear();
+        for (std::uint32_t b = 0;
+             b < static_cast<std::uint32_t>(s->partition.size()); ++b) {
+          const auto bucket_size =
+              static_cast<std::uint32_t>(s->partition[b].size());
+          for (std::uint32_t begin = 0; begin < bucket_size;
+               begin += kMorselRecords) {
+            s->morsels.push_back(
+                {b, begin, std::min(begin + kMorselRecords, bucket_size)});
+          }
+        }
+      },
+      {classify});
+
+  // Stage 4: the plan task — gated on the previous hour's fence, so
+  // shard scratch (begin_hour) and the report are never touched while
+  // an earlier hour is still folding. Submits the morsel and fan-in
+  // tasks dynamically (their count is known only after partitioning).
+  // Its `finally` settles the hour itself when fail-fast skipped the
+  // body — the fan-in (whose `finally` normally does it) was then never
+  // created, and an unsettled hour would strand its fence and credit
+  // forever (every later hour is fence-chained behind it).
+  util::TaskOptions plan_options;
+  plan_options.finally = [this, s = &slot] {
+    if (s->fanin_submitted) {
+      graph_->release(s->fanin_gate);  // the fan-in may run from here on
+    } else {
+      finish_hour(*s);
+    }
+  };
+  const TaskId plan_deps[] = {partition, prev_fence};
+  g.submit(
+      [this, s = &slot](unsigned) {
+        for (auto& shard : shards_) shard->begin_hour();
+        std::vector<TaskId> morsel_ids;
+        morsel_ids.reserve(s->morsels.size());
+        for (const Morsel& morsel : s->morsels) {
+          util::TaskOptions options;
+          // Locality hint: the first line the task reads is its slice
+          // of the partition index array.
+          options.prefetch =
+              s->partition[morsel.shard].data() + morsel.begin;
+          morsel_ids.push_back(graph_->submit(
+              [this, s, morsel](unsigned lane) {
+                obs::ScopedTimer timer(obs_.shard);
+                const BatchView view(s->batch, *s->tag_col);
+                shards_[lane]->observe(
+                    *this, view, s->interval,
+                    s->partition[morsel.shard].data() + morsel.begin,
+                    morsel.end - morsel.begin, s->seq,
+                    s->collect_discoveries);
+              },
+              {}, options));
+        }
+        util::TaskOptions fanin_options;
+        fanin_options.finally = [this, s] { finish_hour(*s); };
+        // The extra manual dependency keeps the fan-in from running
+        // until the plan's `finally` releases it — even if every morsel
+        // finishes first. Without the gate, the fan-in could complete
+        // and finish_hour recycle this slot before the `finally` reads
+        // fanin_submitted, double-settling the hour.
+        fanin_options.manual_dependencies = 1;
+        s->fanin_gate = graph_->submit(
+            [this, s](unsigned) {
+              obs::ScopedTimer timer(obs_.fanin);
+              fan_in_hour(s->interval, s->collect_discoveries);
+            },
+            morsel_ids.data(), morsel_ids.size(), fanin_options);
+        s->fanin_submitted = true;
+      },
+      plan_deps, 2, plan_options);
+}
+
+void AnalysisPipeline::finish_hour(HourSlot& slot) {
+  // The fan-in task's `finally`: runs even when fail-fast skipped the
+  // hour, so hooks, fences, credits, and gauges always settle.
+  const bool ok = !graph_->failed();
+  if (slot.after) {
+    // Before the fence release: a hook that snapshots or evicts sees
+    // hours up to this one fully folded and no later observe running.
+    slot.after(slot.batch, ok);
+    slot.after = nullptr;
+  }
+  obs_.overlap.record_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - slot.begin)
+          .count()));
+  obs_.inflight_hours.add(-1);
+  graph_->release(slot.fence);
+  {
+    std::lock_guard<std::mutex> lock(credit_mutex_);
+    ++credits_available_;
+  }
+  credit_cv_.notify_one();
 }
 
 template <typename View>
@@ -541,23 +824,44 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
               {s, begin, std::min(begin + kMorselRecords, bucket_size)});
         }
       }
-      util::ThreadPool::MorselStats stats;
-      pool_->run_morsels(
-          morsels_.size(),
-          [&](unsigned worker, std::size_t m) {
-            obs::ScopedTimer shard_timer(obs_.shard);
-            const Morsel& morsel = morsels_[m];
-            shards_[worker]->observe(
-                *this, view, h, partition_[morsel.shard].data() + morsel.begin,
-                morsel.end - morsel.begin, seq, collect_discoveries);
-          },
-          &stats);
-      obs_.morsel_claimed.add(stats.claimed);
-      obs_.morsel_stolen.add(stats.stolen);
+      if (graph_) {
+        // Synchronous observe under the Graph scheduler: the same
+        // morsel fan-out as stealing, but on the task substrate (the
+        // ThreadPool adapter) — an independent task per morsel, each on
+        // the lane-owned shard accumulator, full barrier at the end.
+        graph_->run_indexed(morsels_.size(), [&](unsigned lane,
+                                                 std::size_t m) {
+          obs::ScopedTimer shard_timer(obs_.shard);
+          const Morsel& morsel = morsels_[m];
+          shards_[lane]->observe(
+              *this, view, h, partition_[morsel.shard].data() + morsel.begin,
+              morsel.end - morsel.begin, seq, collect_discoveries);
+        });
+      } else {
+        util::ThreadPool::MorselStats stats;
+        pool_->run_morsels(
+            morsels_.size(),
+            [&](unsigned worker, std::size_t m) {
+              obs::ScopedTimer shard_timer(obs_.shard);
+              const Morsel& morsel = morsels_[m];
+              shards_[worker]->observe(
+                  *this, view, h,
+                  partition_[morsel.shard].data() + morsel.begin,
+                  morsel.end - morsel.begin, seq, collect_discoveries);
+            },
+            &stats);
+        obs_.morsel_claimed.add(stats.claimed);
+        obs_.morsel_stolen.add(stats.stolen);
+      }
     }
   }
 
   obs::ScopedTimer fanin_timer(obs_.fanin);
+  fan_in_hour(h, collect_discoveries);
+}
+
+void AnalysisPipeline::fan_in_hour(const int h,
+                                   const bool collect_discoveries) {
   // ---- fan-in: per-hour distinct-destination counts ----
   for (int realm = 0; realm < 2; ++realm) {
     const bool consumer = realm == 0;
@@ -688,6 +992,7 @@ void AnalysisPipeline::observe_view(const View view, int interval) {
 }
 
 Report AnalysisPipeline::finalize() {
+  drain();
   if (finalized_) return report_;
   report_ = build_report();
   finalized_ = true;
@@ -695,6 +1000,11 @@ Report AnalysisPipeline::finalize() {
 }
 
 Report AnalysisPipeline::snapshot() const {
+  // Off-lane callers must see every submitted hour folded (and a failed
+  // pipeline rethrow, not report partial state). From inside a fan-in
+  // hook the drain is skipped: the fence chain already guarantees hours
+  // up to the hook's are folded, and no later observe task is running.
+  if (graph_ && !graph_->on_lane()) graph_->wait_idle();
   // After finalize() the stored report already holds the completed
   // reduction; rebuilding from it would double-count.
   if (finalized_) return report_;

@@ -23,8 +23,12 @@
 #pragma once
 
 #include <array>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +41,7 @@
 #include "net/flowtuple.hpp"
 #include "obs/metrics.hpp"
 #include "util/flat_hash.hpp"
+#include "util/task_scheduler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace iotscope::core {
@@ -58,6 +63,17 @@ enum class ShardScheduler {
   /// One whole bucket per worker (the historical path): collapses to
   /// single-worker throughput when one source dominates the hour.
   Static,
+  /// Task-graph execution over util::TaskScheduler (DESIGN.md §16):
+  /// each hour is a dependency subgraph — decode parts, classify,
+  /// partition, one observe task per morsel, fan-in — and observe_async
+  /// lets hour N+1's decode/classify/partition run concurrently with
+  /// hour N's observe/fan-in, bounded by the max-in-flight-hours
+  /// credit. Synchronous observe() still works (the fan-out runs as a
+  /// flat task batch). The Report is byte-identical to the other
+  /// schedulers: out-of-order partial folds are legal because every
+  /// merged quantity is commutative-exact and first sightings are
+  /// min-tracked by (submission sequence, record index).
+  Graph,
 };
 
 /// Pipeline options.
@@ -75,8 +91,14 @@ struct PipelineOptions {
   /// value — threads only trade wall-clock for cores.
   unsigned threads = 0;
   /// Worker scheduling policy for the threaded path (ignored when the
-  /// resolved thread count is 1). The Report is identical either way.
+  /// resolved thread count is 1, except Graph, which degenerates to
+  /// inline serial task execution). The Report is identical either way.
   ShardScheduler scheduler = ShardScheduler::Stealing;
+  /// Graph scheduler only: how many hours may be in flight at once
+  /// (decode/classify of later hours overlapping observe/fan-in of
+  /// earlier ones). Bounds resident batch memory to this many hours;
+  /// 1 disables cross-hour overlap without changing the task graph.
+  unsigned max_inflight_hours = 3;
 };
 
 /// Streaming analysis over hourly flowtuple files.
@@ -95,8 +117,10 @@ class AnalysisPipeline {
 
   /// Optional near-real-time sink invoked on each device's first
   /// sighting (see core/notify.hpp). Set before the first observe().
-  /// Invoked from the coordinating thread, in record order, after the
-  /// hour's shard fan-in — never from a worker thread.
+  /// Invoked in record order, after the hour's shard fan-in — from the
+  /// coordinating thread on the synchronous paths, or from the hour's
+  /// fan-in task under the Graph scheduler (fan-ins of different hours
+  /// never overlap, so the sink needs no locking either way).
   void set_discovery_sink(DiscoverySink sink) { discovery_sink_ = std::move(sink); }
 
   /// Processes one hourly flowtuple batch (fan-out across shards, fan-in
@@ -118,6 +142,45 @@ class AnalysisPipeline {
   /// as the before-variant for bench_perf_micro and the batch/AoS
   /// equivalence test. Produces the identical Report.
   void observe_aos(const net::HourlyFlows& flows);
+
+  /// Deferred decode of one slice of an hour (see
+  /// telescope::FlowTupleStore::hour_loaders; any callable returning a
+  /// FlowBatch works — tests use in-memory producers).
+  using HourLoader = std::function<net::FlowBatch()>;
+
+  /// Invoked when an asynchronously submitted hour has fully folded
+  /// into the pipeline (its fan-in completed), before the next hour's
+  /// observe tasks may start — so the hook can safely snapshot() or
+  /// evict. `ok` is false when the pipeline has failed and the hour was
+  /// skipped (drain() will rethrow the error). Under the Graph
+  /// scheduler the hook runs on a scheduler lane; on the synchronous
+  /// fallback it runs inline on the calling thread. Must not throw.
+  using AfterHourHook = std::function<void(const net::FlowBatch&, bool ok)>;
+
+  /// Asynchronous hour submission — the stage-overlap entry point
+  /// (DESIGN.md §16). Under the Graph scheduler this enqueues the
+  /// hour's task subgraph and returns once an in-flight-hours credit is
+  /// available (max_inflight_hours bounds resident memory): hour N+1's
+  /// decode/classify/partition tasks then run concurrently with hour
+  /// N's observe/fan-in. Hours fold in submission order (the fan-in
+  /// chain is fenced), so reports stay byte-identical to the
+  /// synchronous schedulers. Under any other scheduler it degenerates
+  /// to a synchronous observe() plus the hook — one code path for all
+  /// callers. Call drain() before finalize()/snapshot() or reading
+  /// hook-written state from the submitting thread.
+  void observe_async(net::FlowBatch batch, AfterHourHook after = {});
+
+  /// Loader variant: the hour's decode itself becomes parallel tasks
+  /// (one per loader; compressed hours split at block boundaries) whose
+  /// outputs are spliced in order before classification. An empty
+  /// loader list (absent hour) is a no-op.
+  void observe_async(std::vector<HourLoader> loaders, AfterHourHook after = {});
+
+  /// Blocks until every asynchronously submitted hour has folded, and
+  /// rethrows the first task error, if any. No-op on the synchronous
+  /// schedulers, or when called from inside a scheduler task (the
+  /// dependency chain already provides the ordering).
+  void drain();
 
   /// Merges shard state (in fixed shard order), completes cross-hour
   /// statistics, and returns the report. The pipeline must not be
@@ -163,6 +226,7 @@ class AnalysisPipeline {
 
  private:
   struct ShardState;
+  struct HourSlot;
 
   /// Per-hour tally for one non-inventory source; summed across workers
   /// at fan-in before the promotion floor is applied, so the floor sees
@@ -195,6 +259,25 @@ class AnalysisPipeline {
   /// pipeline.cpp, where every instantiation lives).
   template <typename View>
   void observe_view(View view, int interval);
+
+  /// The per-hour cross-shard reduction (distinct-destination unions,
+  /// scanner-device union, unknown-source promotion, first-sighting
+  /// notifications). Runs after every shard/morsel task of the hour has
+  /// completed — inline at the tail of observe_view, or as the hour's
+  /// fan-in task under the Graph scheduler; fan-ins of different hours
+  /// are serialized by the fence chain, so the coordinator-owned state
+  /// it touches needs no locking.
+  void fan_in_hour(int interval, bool collect_discoveries);
+
+  /// Builds and enqueues one hour's task subgraph (Graph scheduler
+  /// only). Blocks until an in-flight-hours credit is free.
+  void submit_hour(net::FlowBatch batch, std::vector<HourLoader> loaders,
+                   AfterHourHook after);
+
+  /// Runs in the hour's fan-in task `finally` — also when fail-fast
+  /// skipped the hour — so the after-hook, fence release, credit, and
+  /// gauges always settle and a failed pipeline still drains.
+  void finish_hour(HourSlot& slot);
 
   const inventory::IoTDeviceDatabase* db_;
   PipelineOptions options_;
@@ -231,6 +314,15 @@ class AnalysisPipeline {
     /// (written by FlowTupleStore::for_each; looked up here so every
     /// snapshot carries the gauge even on prefetch-free runs).
     obs::Gauge& batch_mem;
+    /// Wall-clock span of each asynchronously submitted hour, from
+    /// submission to fan-in completion. Overlap evidence: when hours
+    /// overlap, the sum of these spans exceeds the run's wall clock
+    /// (each span covers time shared with neighbouring hours).
+    obs::Stage& overlap;
+    /// Hours currently in flight under the Graph scheduler (submitted,
+    /// fan-in not yet complete). The snapshot max is the run's deepest
+    /// overlap — ≥ 2 proves hour N+1 was active while hour N folded.
+    obs::Gauge& inflight_hours;
     Obs();
   };
   Obs obs_;
@@ -256,6 +348,26 @@ class AnalysisPipeline {
   util::FlatMap<std::uint32_t, UnknownHourTally> unknown_scratch_;  ///< fan-in sum
   net::FlowBatch batch_scratch_;      ///< AoS observe() conversion, reused
   std::vector<ClassTag> tag_scratch_;  ///< per-batch tag column, reused
+
+  // ---- Graph-scheduler state (null/empty otherwise) ----
+  /// In-flight hour slots, reused round-robin (seq % size). Reuse is
+  /// safe because fan-ins complete in submission order: the credit that
+  /// admits hour N+k (k = slot count) is released by hour N's fan-in,
+  /// and hour N is the slot's previous occupant.
+  std::vector<std::unique_ptr<HourSlot>> hour_slots_;
+  /// Fence released by the most recently submitted hour's fan-in; the
+  /// next hour's plan task depends on it, serializing begin_hour/fan-in
+  /// across hours while leaving decode/classify/partition free to
+  /// overlap.
+  util::TaskScheduler::TaskId fence_ = util::TaskScheduler::kNoTask;
+  std::mutex credit_mutex_;
+  std::condition_variable credit_cv_;
+  unsigned credits_available_ = 0;
+  /// Declared last so its destructor — which drains outstanding tasks,
+  /// running or skipping them with their finally hooks, then joins the
+  /// workers — runs before the hour slots and shard state those tasks
+  /// reference are destroyed.
+  std::unique_ptr<util::TaskScheduler> graph_;
 };
 
 }  // namespace iotscope::core

@@ -26,21 +26,49 @@ StreamingStudy::StreamingStudy(const inventory::IoTDeviceDatabase& db,
           obs::Registry::instance().counter("stream.evicted")) {}
 
 std::size_t StreamingStudy::poll_once() {
+  const bool graph =
+      pipeline_.options().scheduler == ShardScheduler::Graph;
   std::size_t admitted = 0;
   for (const int interval : watcher_.poll()) {
-    if (interval < watermark_.load(std::memory_order_relaxed)) {
-      // The merged reduction already moved past this slot; admitting it
-      // now would reorder the stream against the batch run. Drop it, as
-      // a dataflow watermark drops late data.
+    if (interval < admit_frontier_) {
+      // The merged reduction already moved past this slot (or, in graph
+      // mode, the slot is already in the task graph); admitting it now
+      // would reorder the stream against the batch run. Drop it, as a
+      // dataflow watermark drops late data.
       ++stats_.hours_late;
       late_counter_.add(1);
       if (!warned_late_) {
         warned_late_ = true;
         IOTSCOPE_LOG_WARN(
-            "stream: dropping late hour %d (watermark %d); further late "
+            "stream: dropping late hour %d (frontier %d); further late "
             "hours counted silently",
-            interval, watermark_.load(std::memory_order_relaxed));
+            interval, admit_frontier_);
       }
+      continue;
+    }
+    if (graph) {
+      // Task-graph mode: hand the store read itself to the scheduler as
+      // per-part decode tasks, so hour N+1's decode overlaps hour N's
+      // observe/fan-in. Admission bookkeeping that later polls depend on
+      // (frontier, admitted count, snapshot cadence) happens here at
+      // submission; watermark/eviction/snapshot publication happen in
+      // the fence-serialized after-hook once the hour is folded.
+      auto loaders = store_->hour_loaders(interval, pipeline_.threads());
+      if (loaders.empty()) continue;  // removed out from under us
+      admit_frontier_ = interval + 1;
+      ++stats_.hours_admitted;
+      hours_counter_.add(1);
+      const bool snapshot_due =
+          options_.snapshot_every > 0 &&
+          stats_.hours_admitted %
+                  static_cast<std::uint64_t>(options_.snapshot_every) ==
+              0;
+      pipeline_.observe_async(
+          std::move(loaders),
+          [this, snapshot_due](const net::FlowBatch& batch, bool ok) {
+            hour_folded(batch, ok, snapshot_due);
+          });
+      ++admitted;
       continue;
     }
     // Atomic rename publication means a listed file is complete; a
@@ -63,10 +91,24 @@ void StreamingStudy::admit(const net::FlowBatch& batch) {
     obs::ScopedTimer timer(admit_stage_);
     pipeline_.observe(batch);
   }
-  watermark_.store(batch.interval + 1, std::memory_order_release);
-  watermark_gauge_.set(batch.interval + 1);
+  admit_frontier_ = batch.interval + 1;
   ++stats_.hours_admitted;
   hours_counter_.add(1);
+  hour_folded(batch, /*ok=*/true,
+              options_.snapshot_every > 0 &&
+                  stats_.hours_admitted %
+                          static_cast<std::uint64_t>(options_.snapshot_every) ==
+                      0);
+}
+
+void StreamingStudy::hour_folded(const net::FlowBatch& batch, bool ok,
+                                 bool snapshot_due) {
+  // An aborted hour (a task in its subgraph failed) folded nothing; the
+  // error itself is rethrown from the next drain point — here we only
+  // refrain from advancing the watermark past work that never happened.
+  if (!ok) return;
+  watermark_.store(batch.interval + 1, std::memory_order_release);
+  watermark_gauge_.set(batch.interval + 1);
 
   if (options_.evict_after_hours > 0) {
     const std::size_t evicted = pipeline_.evict_idle_unknown_profiles(
@@ -77,12 +119,7 @@ void StreamingStudy::admit(const net::FlowBatch& batch) {
     }
   }
 
-  if (options_.snapshot_every > 0 &&
-      stats_.hours_admitted % static_cast<std::uint64_t>(
-                                  options_.snapshot_every) ==
-          0) {
-    publish_snapshot();
-  }
+  if (snapshot_due) publish_snapshot();
 }
 
 void StreamingStudy::follow(const std::function<bool()>& should_stop) {
@@ -97,6 +134,10 @@ void StreamingStudy::follow(const std::function<bool()>& should_stop) {
       // in that window never strands the tail of the stream.
       while (poll_once() != 0) {
       }
+      // Graph mode: submitted hours may still be in flight; returning
+      // means every admitted hour is folded (and a task error from any
+      // of them surfaces here, on the ingest thread).
+      pipeline_.drain();
       return;
     }
     std::this_thread::sleep_for(options_.poll_interval);

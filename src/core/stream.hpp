@@ -148,6 +148,13 @@ class StreamingStudy {
 
  private:
   void admit(const net::FlowBatch& batch);
+  /// Graph-mode after-hook: runs on a scheduler lane inside the hour's
+  /// fan-in (fence-serialized — at most one instance at a time, hours in
+  /// submission order, with every hour <= this one fully folded and no
+  /// later observe task running), so the watermark publication, idle
+  /// eviction, and periodic snapshot are exactly as safe here as on the
+  /// ingest thread in admit().
+  void hour_folded(const net::FlowBatch& batch, bool ok, bool snapshot_due);
 
   const telescope::FlowTupleStore* store_;
   StreamOptions options_;
@@ -155,6 +162,14 @@ class StreamingStudy {
   telescope::RotationWatcher watcher_;
   StreamStats stats_;
   std::atomic<int> watermark_{0};
+  /// One past the highest *submitted* interval — the ingest thread's own
+  /// late-drop frontier. Equal to watermark() in the synchronous modes;
+  /// under ShardScheduler::Graph it leads the watermark by the in-flight
+  /// hours (submission happens at poll time, the watermark only moves
+  /// when the hour's fan-in completes), and late-drop decisions must use
+  /// this frontier: an hour below it is already in the task graph even
+  /// if not yet folded.
+  int admit_frontier_ = 0;
   bool warned_late_ = false;
 
   /// Publication slot. A plain shared_ptr store here raced the server's

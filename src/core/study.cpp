@@ -31,6 +31,42 @@ namespace {
 workload::SynthStats synthesize_and_analyze(
     const workload::Scenario& scenario, const workload::ScenarioConfig& config,
     AnalysisPipeline& pipeline) {
+  if (pipeline.options().scheduler == ShardScheduler::Graph) {
+    // Task-graph mode: no hand-off queue or analyst thread. Each
+    // completed hour is submitted as a task subgraph; the scheduler's
+    // credit window (PipelineOptions::max_inflight_hours) is the
+    // backpressure that the bounded queue provides below, and hour N+1's
+    // decode/classify overlaps hour N's observe/fan-in inside the
+    // scheduler instead of across two threads. The mem-peak gauge tracks
+    // the same quantity as the queue path — batch bytes submitted but
+    // not yet fully folded — released by the after-hook, which runs on
+    // every exit path (including an aborted hour after a task failure),
+    // so a failed run leaves no residual in the gauge.
+    auto& mem_gauge =
+        obs::Registry::instance().gauge("pipeline.batch.mem_peak");
+    telescope::TelescopeCapture capture(
+        telescope::DarknetSpace(config.darknet), [&](net::FlowBatch&& batch) {
+          const auto bytes = static_cast<std::int64_t>(batch.resident_bytes());
+          mem_gauge.add(bytes);
+          try {
+            pipeline.observe_async(
+                std::move(batch),
+                [&mem_gauge, bytes](const net::FlowBatch&, bool /*ok*/) {
+                  mem_gauge.add(-bytes);
+                });
+          } catch (...) {
+            // A prior hour's task failure surfaces here before this hour
+            // was submitted — its hook will never run, so release its
+            // bytes before the error unwinds through synthesis.
+            mem_gauge.add(-bytes);
+            throw;
+          }
+        });
+    const auto stats = workload::synthesize_into(scenario, config, capture);
+    pipeline.drain();  // all hours folded; rethrows a task error here
+    return stats;
+  }
+
   if (pipeline.threads() <= 1) {
     telescope::TelescopeCapture capture(
         telescope::DarknetSpace(config.darknet),

@@ -476,9 +476,11 @@ void decode_block(ByteReader& pr, std::size_t records, std::uint8_t proto_mask,
 }
 
 FlowBatch decode_impl(std::string_view blob, const BlockPredicate* predicate,
-                      BlockScanStats* stats) {
+                      BlockScanStats* stats, std::uint32_t block_begin = 0,
+                      std::uint32_t block_end = 0xFFFFFFFFu) {
   ByteReader r(blob);
   const FileHeader hdr = parse_file_header(r);
+  const bool full_range = block_begin == 0 && block_end >= hdr.block_count;
 
   FlowBatch out;
   out.interval = hdr.interval;
@@ -487,7 +489,7 @@ FlowBatch decode_impl(std::string_view blob, const BlockPredicate* predicate,
   // reallocate-and-copy every column log(blocks) times. (On the
   // filtered path most blocks may be skipped, so this deliberately
   // over-reserves by the filtered-out share.)
-  if (predicate == nullptr) out.reserve(hdr.record_count);
+  if (predicate == nullptr && full_range) out.reserve(hdr.record_count);
 
   BlockScanStats local;
   FlowBatch scratch;  // per-block decode target on the filtered path
@@ -535,6 +537,11 @@ FlowBatch decode_impl(std::string_view blob, const BlockPredicate* predicate,
       }
       const unsigned char* payload = r.bytes(payload_bytes);
 
+      // Outside the requested range: the header was still validated and
+      // the payload hopped by its declared size, but decode/skip
+      // accounting belongs to whichever range decode owns the block.
+      if (bi < block_begin || bi >= block_end) continue;
+
       if (predicate != nullptr && !predicate->may_match(summary)) {
         ++local.blocks_skipped;
         continue;
@@ -568,6 +575,8 @@ FlowBatch decode_impl(std::string_view blob, const BlockPredicate* predicate,
     }
   }
 
+  // Every block header is walked (ranges only hop payload decode), so
+  // the declared-total cross-check holds for range decodes too.
   if (predicate == nullptr && declared_total != hdr.record_count) {
     throw IoError("compressed flowtuple: record count mismatch");
   }
@@ -686,6 +695,15 @@ void CompressedFlowCodec::encode(std::string& out, const FlowBatch& batch,
 FlowBatch CompressedFlowCodec::decode(std::string_view blob,
                                       BlockScanStats* stats) {
   return decode_impl(blob, nullptr, stats);
+}
+
+FlowBatch CompressedFlowCodec::decode_blocks(std::string_view blob,
+                                             std::uint32_t block_begin,
+                                             std::uint32_t block_end,
+                                             const BlockPredicate* predicate,
+                                             BlockScanStats* stats) {
+  if (predicate != nullptr && predicate->matches_all()) predicate = nullptr;
+  return decode_impl(blob, predicate, stats, block_begin, block_end);
 }
 
 FlowBatch CompressedFlowCodec::decode_filtered(std::string_view blob,

@@ -170,6 +170,21 @@ class CompressedFlowCodec {
                                    const BlockPredicate& predicate,
                                    BlockScanStats* stats = nullptr);
 
+  /// Decodes only the blocks with index in [block_begin, block_end),
+  /// optionally with predicate pushdown, preserving record order within
+  /// the range. Blocks outside the range are hopped over by their
+  /// declared payload size (headers are still validated) and counted in
+  /// neither decoded nor skipped stats — they belong to another range's
+  /// decode. Concatenating the batches of consecutive ranges covering
+  /// [0, block_count) reproduces decode()/decode_filtered() exactly;
+  /// this is what lets the task-graph pipeline decode one hour's blocks
+  /// as parallel tasks (DESIGN.md §16).
+  static FlowBatch decode_blocks(std::string_view blob,
+                                 std::uint32_t block_begin,
+                                 std::uint32_t block_end,
+                                 const BlockPredicate* predicate = nullptr,
+                                 BlockScanStats* stats = nullptr);
+
   /// Reads only the file header and returns the block count — what an
   /// hour-level skip costs instead of a full decode.
   static std::uint32_t peek_block_count(std::string_view blob);

@@ -41,6 +41,24 @@ void FlowBatch::push_back(const FlowTuple& t) {
   pkt_count.push_back(t.packet_count);
 }
 
+void FlowBatch::append(const FlowBatch& other) {
+  tag_recipe = 0;
+  class_tag.clear();
+  src.insert(src.end(), other.src.begin(), other.src.end());
+  dst.insert(dst.end(), other.dst.begin(), other.dst.end());
+  src_port.insert(src_port.end(), other.src_port.begin(),
+                  other.src_port.end());
+  dst_port.insert(dst_port.end(), other.dst_port.begin(),
+                  other.dst_port.end());
+  proto.insert(proto.end(), other.proto.begin(), other.proto.end());
+  tcp_flags.insert(tcp_flags.end(), other.tcp_flags.begin(),
+                   other.tcp_flags.end());
+  ttl.insert(ttl.end(), other.ttl.begin(), other.ttl.end());
+  ip_len.insert(ip_len.end(), other.ip_len.begin(), other.ip_len.end());
+  pkt_count.insert(pkt_count.end(), other.pkt_count.begin(),
+                   other.pkt_count.end());
+}
+
 FlowTuple FlowBatch::row(std::size_t i) const noexcept {
   FlowTuple t;
   t.src = src[i];

@@ -68,6 +68,12 @@ struct FlowBatch {
   /// Appends one record to every data column (class_tag untouched).
   void push_back(const FlowTuple& t);
 
+  /// Appends all of `other`'s records (the splice step that reassembles
+  /// an hour from per-block-range decode tasks; record order is the
+  /// concatenation order). Tags are dropped — appending changes the
+  /// record set, so any existing class_tag column no longer covers it.
+  void append(const FlowBatch& other);
+
   /// Materializes row i as an AoS FlowTuple (the conversion boundary).
   FlowTuple row(std::size_t i) const noexcept;
 

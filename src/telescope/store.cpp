@@ -167,6 +167,71 @@ std::optional<net::FlowBatch> FlowTupleStore::load_batch(
   return filtered;
 }
 
+std::vector<FlowTupleStore::HourPartLoader> FlowTupleStore::hour_loaders(
+    int interval, std::size_t max_parts,
+    const std::optional<net::BlockPredicate>& predicate) const {
+  std::vector<HourPartLoader> loaders;
+  if (max_parts == 0) max_parts = 1;
+
+  const auto compressed_path =
+      dir_ / net::CompressedFlowCodec::file_name(interval);
+  if (std::filesystem::exists(compressed_path)) {
+    if (predicate && !predicate->may_match_hour(interval)) {
+      // Whole hour outside the window: account the skip now (only the
+      // 30-byte file header is faulted in), return no work.
+      util::MmapFile map(compressed_path);
+      net::BlockScanStats stats;
+      stats.blocks_skipped =
+          net::CompressedFlowCodec::peek_block_count(map.view());
+      StoreMetrics::instance().record(stats);
+      return loaders;
+    }
+    std::uint32_t block_count;
+    {
+      util::MmapFile map(compressed_path);
+      block_count = net::CompressedFlowCodec::peek_block_count(map.view());
+    }
+    const std::uint32_t parts = static_cast<std::uint32_t>(std::min<std::size_t>(
+        max_parts, std::max<std::uint32_t>(block_count, 1)));
+    auto& decode_stage = obs::Registry::instance().stage("store.decode");
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      // Even split of the block index space; part p owns
+      // [p*count/parts, (p+1)*count/parts).
+      const std::uint32_t begin = block_count * p / parts;
+      const std::uint32_t end = block_count * (p + 1) / parts;
+      loaders.push_back([compressed_path, begin, end, predicate,
+                         &decode_stage]() {
+        obs::ScopedTimer timer(decode_stage);
+        util::MmapFile map(compressed_path);
+        net::BlockScanStats stats;
+        net::FlowBatch batch = net::CompressedFlowCodec::decode_blocks(
+            map.view(), begin, end, predicate ? &*predicate : nullptr,
+            &stats);
+        StoreMetrics::instance().record(stats);
+        return batch;
+      });
+    }
+    return loaders;
+  }
+
+  const auto raw_path = dir_ / net::FlowTupleCodec::file_name(interval);
+  if (!std::filesystem::exists(raw_path)) return loaders;
+  if (predicate && !predicate->may_match_hour(interval)) return loaders;
+  // Raw hours decode in one piece — the fixed-stride format decodes at
+  // memory bandwidth, so splitting it buys nothing over the copy cost.
+  auto& decode_stage = obs::Registry::instance().stage("store.decode");
+  loaders.push_back([raw_path, predicate, &decode_stage]() {
+    obs::ScopedTimer timer(decode_stage);
+    net::FlowBatch batch =
+        net::FlowTupleCodec::decode_columns(util::read_file(raw_path));
+    if (!predicate) return batch;
+    net::FlowBatch filtered;
+    net::filter_batch(batch, *predicate, filtered);
+    return filtered;
+  });
+  return loaders;
+}
+
 std::vector<int> FlowTupleStore::intervals() const {
   std::vector<int> out;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {

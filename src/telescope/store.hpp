@@ -218,6 +218,27 @@ class FlowTupleStore {
   void for_each(const std::function<void(const net::FlowBatch&)>& visit,
                 std::size_t prefetch = 0) const;
 
+  /// One deferred decode of a contiguous slice of an hour's records
+  /// (see hour_loaders). Thread-safe to call; each invocation opens and
+  /// maps the file independently.
+  using HourPartLoader = std::function<net::FlowBatch()>;
+
+  /// Splits one hour's decode into up to `max_parts` independent
+  /// loaders — the store-scan tasks of the task-graph pipeline
+  /// (DESIGN.md §16), replacing the dedicated prefetch thread: the
+  /// scheduler runs the parts as parallel tasks and the hour is
+  /// reassembled by appending the part batches in order, which
+  /// reproduces get_batch()'s record order exactly. Compressed hours
+  /// with several blocks split at block boundaries (each part decodes
+  /// its block range, with predicate pushdown when a predicate is
+  /// given); raw hours and single-block files return one loader.
+  /// Returns no loaders when the hour is absent or entirely outside the
+  /// predicate's hour window.
+  std::vector<HourPartLoader> hour_loaders(
+      int interval, std::size_t max_parts,
+      const std::optional<net::BlockPredicate>& predicate = std::nullopt)
+      const;
+
   const std::filesystem::path& directory() const noexcept { return dir_; }
 
  private:

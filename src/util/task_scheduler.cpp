@@ -1,0 +1,524 @@
+#include "util/task_scheduler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace iotscope::util {
+
+namespace {
+
+/// Packs the monotone (head, tail) ring cursors into one atomic word —
+/// the same single-CAS discipline as ThreadPool's morsel ranges, but
+/// both cursors only ever advance, so no word value can recur and the
+/// classic push-after-steal ABA (a reproduced word hiding different
+/// slot contents) is structurally impossible.
+constexpr std::uint64_t pack_cursor(std::uint32_t head,
+                                    std::uint32_t tail) noexcept {
+  return (static_cast<std::uint64_t>(head) << 32) | tail;
+}
+constexpr std::uint32_t cursor_head(std::uint64_t c) noexcept {
+  return static_cast<std::uint32_t>(c >> 32);
+}
+constexpr std::uint32_t cursor_tail(std::uint64_t c) noexcept {
+  return static_cast<std::uint32_t>(c);
+}
+
+constexpr std::uint32_t kSlotBits = 32;
+constexpr std::uint64_t kSlotMask = 0xFFFFFFFFull;
+
+constexpr std::uint32_t id_slot(std::uint64_t id) noexcept {
+  return static_cast<std::uint32_t>(id & kSlotMask);
+}
+constexpr std::uint32_t id_generation(std::uint64_t id) noexcept {
+  return static_cast<std::uint32_t>(id >> kSlotBits);
+}
+constexpr std::uint64_t make_id(std::uint32_t slot,
+                                std::uint32_t generation) noexcept {
+  return (static_cast<std::uint64_t>(generation) << kSlotBits) | slot;
+}
+
+/// Which scheduler (if any) the current thread is a lane of. Used by
+/// on_lane() and to route successor releases to the finishing lane.
+struct LaneContext {
+  const void* scheduler = nullptr;
+  unsigned lane = 0;
+};
+thread_local LaneContext t_lane;
+
+}  // namespace
+
+struct TaskScheduler::Impl {
+  /// Ring capacity per lane. Tasks are hour-subgraph coarse (a morsel
+  /// task covers 2k records), so 4096 in-flight ready tasks per lane is
+  /// far above the credit-bounded pipeline's working set; the overflow
+  /// deque keeps correctness if a caller exceeds it anyway.
+  static constexpr std::uint32_t kRingCapacity = 4096;
+
+  struct alignas(64) Lane {
+    /// (head << 32) | tail, both monotone. size == tail - head.
+    std::atomic<std::uint64_t> cursor{0};
+    /// Serializes producers (successors are released from arbitrary
+    /// finishing lanes). Consumers and thieves stay lock-free on the
+    /// cursor CAS.
+    std::mutex push_mutex;
+    std::atomic<std::uint64_t> slots[kRingCapacity];
+
+    Lane() {
+      for (auto& s : slots) s.store(kNoTask, std::memory_order_relaxed);
+    }
+  };
+
+  struct Task {
+    std::function<void(unsigned)> fn;
+    std::function<void()> finally;
+    std::vector<TaskId> successors;
+    const void* prefetch = nullptr;
+    std::uint32_t pending = 0;  ///< unmet dependencies (graph mutex)
+    std::uint32_t generation = 0;
+    std::int32_t preferred_lane = -1;
+    bool live = false;
+  };
+
+  explicit Impl(unsigned threads)
+      : spawned_counter(obs::Registry::instance().counter(
+            "pipeline.task.spawned")),
+        stolen_counter(obs::Registry::instance().counter(
+            "pipeline.task.stolen")),
+        depth_gauge(obs::Registry::instance().gauge("task.queue_depth")) {
+    const unsigned resolved = ThreadPool::resolve(threads);
+    lane_count = resolved <= 1 ? 1 : resolved;
+    lanes = std::make_unique<Lane[]>(lane_count);
+    if (resolved > 1) {
+      workers.reserve(lane_count);
+      for (unsigned w = 0; w < lane_count; ++w) {
+        workers.emplace_back([this, w] { worker_loop(w); });
+      }
+    }
+  }
+
+  ~Impl() {
+    // Outstanding tasks reference caller-owned state (pipeline hour
+    // slots), so the graph must drain — running or skipping every task,
+    // with its finally hooks — before the workers are joined and the
+    // caller's members die. Destruction during an unwound error leaves
+    // failed set; the skip path drains quickly either way.
+    drain_outstanding();
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex);
+      stop = true;
+    }
+    work_ready.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  // ---------------------------------------------------------- queues
+
+  bool ring_push(Lane& lane, TaskId id) {
+    std::lock_guard<std::mutex> lock(lane.push_mutex);
+    std::uint64_t c = lane.cursor.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t head = cursor_head(c);
+      const std::uint32_t tail = cursor_tail(c);
+      if (tail - head >= kRingCapacity) return false;  // full
+      lane.slots[tail % kRingCapacity].store(id, std::memory_order_relaxed);
+      // Release so a consumer whose acquire load observes the new tail
+      // also observes the slot write. Only head moves concurrently
+      // (pops/steals) — producers are serialized by push_mutex — so a
+      // failed CAS just re-reads and retries with the same slot index.
+      if (lane.cursor.compare_exchange_weak(c, pack_cursor(head, tail + 1),
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+        depth_gauge.add(1);
+        return true;
+      }
+    }
+  }
+
+  bool ring_pop(Lane& lane, TaskId* out) {
+    std::uint64_t c = lane.cursor.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t head = cursor_head(c);
+      const std::uint32_t tail = cursor_tail(c);
+      if (head == tail) return false;
+      const TaskId id =
+          lane.slots[head % kRingCapacity].load(std::memory_order_relaxed);
+      // The slot read is valid iff the CAS succeeds: producers write
+      // only at tail positions, so slots in [head, tail) are stable
+      // while the word is unchanged, and monotone cursors mean the
+      // word cannot have changed and changed back.
+      if (lane.cursor.compare_exchange_weak(c, pack_cursor(head + 1, tail),
+                                            std::memory_order_acquire,
+                                            std::memory_order_acquire)) {
+        depth_gauge.add(-1);
+        *out = id;
+        return true;
+      }
+    }
+  }
+
+  /// Steals half of `victim`'s pending tasks: runs the first, moves the
+  /// rest to `self`'s queue. Returns false if the victim was empty or
+  /// the race was lost.
+  bool ring_steal(Lane& victim, unsigned self_lane, TaskId* out) {
+    std::uint64_t c = victim.cursor.load(std::memory_order_acquire);
+    const std::uint32_t head = cursor_head(c);
+    const std::uint32_t tail = cursor_tail(c);
+    const std::uint32_t size = tail - head;
+    if (size == 0) return false;
+    const std::uint32_t take = (size + 1) / 2;
+    TaskId grabbed[kRingCapacity];
+    for (std::uint32_t i = 0; i < take; ++i) {
+      grabbed[i] = victim.slots[(head + i) % kRingCapacity].load(
+          std::memory_order_relaxed);
+    }
+    if (!victim.cursor.compare_exchange_strong(c, pack_cursor(head + take, tail),
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed)) {
+      return false;  // lost the race; caller rescans
+    }
+    depth_gauge.add(-static_cast<std::int64_t>(take));
+    stolen_total.fetch_add(take, std::memory_order_relaxed);
+    stolen_counter.add(take);
+    *out = grabbed[0];
+    for (std::uint32_t i = 1; i < take; ++i) {
+      enqueue(grabbed[i], self_lane);
+    }
+    return true;
+  }
+
+  /// Routes a ready task to a lane queue (overflow deque if full) and
+  /// wakes a sleeper if one is parked.
+  void enqueue(TaskId id, unsigned home_lane) {
+    // The slab vector may reallocate under a concurrent wire(); index it
+    // only under the graph mutex (the Task pointees themselves are
+    // stable — they live behind unique_ptrs).
+    int preferred;
+    {
+      std::lock_guard<std::mutex> lock(graph_mutex);
+      preferred = slab[id_slot(id)]->preferred_lane;
+    }
+    unsigned lane = home_lane;
+    if (preferred >= 0 && static_cast<unsigned>(preferred) < lane_count) {
+      lane = static_cast<unsigned>(preferred);
+    }
+    if (!ring_push(lanes[lane], id)) {
+      std::lock_guard<std::mutex> lock(graph_mutex);
+      overflow.push_back(id);
+      depth_gauge.add(1);
+    }
+    if (sleepers.load(std::memory_order_seq_cst) > 0) {
+      work_ready.notify_one();
+    }
+  }
+
+  bool pop_overflow(TaskId* out) {
+    std::lock_guard<std::mutex> lock(graph_mutex);
+    if (overflow.empty()) return false;
+    *out = overflow.front();
+    overflow.pop_front();
+    depth_gauge.add(-1);
+    return true;
+  }
+
+  // ----------------------------------------------------------- graph
+
+  /// Allocates and wires a task under the graph mutex; returns its id
+  /// and whether it is immediately ready.
+  TaskId wire(std::function<void(unsigned)> fn, const TaskId* deps,
+              std::size_t dep_count, TaskOptions& options, bool* ready) {
+    std::lock_guard<std::mutex> lock(graph_mutex);
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slab.size());
+      slab.push_back(std::make_unique<Task>());
+    }
+    Task& task = *slab[slot];
+    task.fn = std::move(fn);
+    task.finally = std::move(options.finally);
+    task.prefetch = options.prefetch;
+    task.preferred_lane = options.preferred_lane;
+    task.live = true;
+    task.pending = options.manual_dependencies;
+    const TaskId id = make_id(slot, task.generation);
+    for (std::size_t d = 0; d < dep_count; ++d) {
+      const TaskId dep = deps[d];
+      if (dep == kNoTask) continue;
+      const std::uint32_t dep_slot = id_slot(dep);
+      if (dep_slot >= slab.size()) continue;
+      Task& dep_task = *slab[dep_slot];
+      // A stale generation means the dependency already completed and
+      // its slot was recycled — satisfied by definition.
+      if (!dep_task.live || dep_task.generation != id_generation(dep)) {
+        continue;
+      }
+      dep_task.successors.push_back(id);
+      ++task.pending;
+    }
+    ++outstanding;
+    spawned_total.fetch_add(1, std::memory_order_relaxed);
+    spawned_counter.add(1);
+    *ready = task.pending == 0;
+    return id;
+  }
+
+  /// Runs (or skips, under fail-fast) one task, fires its finally hook,
+  /// retires its slot, and collects the successors its completion
+  /// releases into `released`.
+  void execute(TaskId id, unsigned lane, std::vector<TaskId>& released) {
+    // Stable pointee, unstable vector: fetch the Task* under the graph
+    // mutex (wire() may reallocate the slab concurrently), then run
+    // unlocked — this task was dequeued exactly once, and the only
+    // concurrent mutation of a live incomplete task (a successor push
+    // in wire()) touches a member we only read under the lock below.
+    Task* task_ptr;
+    {
+      std::lock_guard<std::mutex> lock(graph_mutex);
+      task_ptr = slab[id_slot(id)].get();
+    }
+    Task& task = *task_ptr;
+    if (!failed.load(std::memory_order_acquire)) {
+      if (task.prefetch != nullptr) {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(task.prefetch, 0 /*read*/, 3 /*high locality*/);
+#endif
+      }
+      try {
+        task.fn(lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(graph_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    }
+    if (task.finally) task.finally();
+
+    released.clear();
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(graph_mutex);
+      for (const TaskId succ : task.successors) {
+        const std::uint32_t succ_slot = id_slot(succ);
+        Task& succ_task = *slab[succ_slot];
+        if (!succ_task.live || succ_task.generation != id_generation(succ)) {
+          continue;
+        }
+        if (--succ_task.pending == 0) released.push_back(succ);
+      }
+      task.fn = nullptr;
+      task.finally = nullptr;
+      task.successors.clear();
+      task.prefetch = nullptr;
+      task.live = false;
+      ++task.generation;
+      free_slots.push_back(id_slot(id));
+      idle = --outstanding == 0;
+    }
+    if (idle) idle_cv.notify_all();
+  }
+
+  /// Inline serial mode: runs `first` and everything its completions
+  /// transitively release, on the calling thread, in release order.
+  void run_inline(TaskId first) {
+    const LaneContext saved = t_lane;
+    t_lane = {this, 0};
+    std::vector<TaskId> queue{first};
+    std::vector<TaskId> released;
+    while (!queue.empty()) {
+      const TaskId id = queue.front();
+      queue.erase(queue.begin());
+      execute(id, 0, released);
+      queue.insert(queue.end(), released.begin(), released.end());
+    }
+    t_lane = saved;
+  }
+
+  // --------------------------------------------------------- workers
+
+  bool find_work(unsigned self, TaskId* out) {
+    if (ring_pop(lanes[self], out)) return true;
+    // Steal from the fullest other lane — the PR5 victim policy.
+    unsigned victim = lane_count;
+    std::uint32_t best = 0;
+    for (unsigned l = 0; l < lane_count; ++l) {
+      if (l == self) continue;
+      const std::uint64_t c = lanes[l].cursor.load(std::memory_order_relaxed);
+      const std::uint32_t size = cursor_tail(c) - cursor_head(c);
+      if (size > best) {
+        best = size;
+        victim = l;
+      }
+    }
+    if (victim < lane_count && ring_steal(lanes[victim], self, out)) {
+      return true;
+    }
+    return pop_overflow(out);
+  }
+
+  void worker_loop(unsigned lane) {
+    t_lane = {this, lane};
+    std::vector<TaskId> released;
+    for (;;) {
+      TaskId id;
+      if (find_work(lane, &id)) {
+        execute(id, lane, released);
+        for (const TaskId r : released) enqueue(r, lane);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mutex);
+      if (stop) return;
+      sleepers.fetch_add(1, std::memory_order_seq_cst);
+      // Re-check after registering as a sleeper: an enqueue that read
+      // sleepers == 0 before our increment is sequenced (seq_cst)
+      // before this scan, so the scan sees its push. The bounded wait
+      // is belt-and-braces against a missed wakeup, never correctness.
+      if (!any_work_visible()) {
+        work_ready.wait_for(lock, std::chrono::milliseconds(5));
+      }
+      sleepers.fetch_sub(1, std::memory_order_seq_cst);
+      if (stop) return;
+    }
+  }
+
+  bool any_work_visible() {
+    for (unsigned l = 0; l < lane_count; ++l) {
+      const std::uint64_t c = lanes[l].cursor.load(std::memory_order_acquire);
+      if (cursor_head(c) != cursor_tail(c)) return true;
+    }
+    std::lock_guard<std::mutex> lock(graph_mutex);
+    return !overflow.empty();
+  }
+
+  void drain_outstanding() {
+    std::unique_lock<std::mutex> lock(graph_mutex);
+    idle_cv.wait(lock, [this] { return outstanding == 0; });
+  }
+
+  // ------------------------------------------------------------ state
+
+  std::vector<std::thread> workers;
+  std::unique_ptr<Lane[]> lanes;
+  unsigned lane_count = 1;
+
+  std::mutex graph_mutex;  ///< slab, free list, pending counts, overflow
+  std::vector<std::unique_ptr<Task>> slab;
+  std::vector<std::uint32_t> free_slots;
+  std::deque<TaskId> overflow;
+  std::size_t outstanding = 0;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  std::condition_variable_any idle_cv;
+
+  std::mutex sleep_mutex;
+  std::condition_variable work_ready;
+  std::atomic<unsigned> sleepers{0};
+  bool stop = false;
+
+  std::atomic<std::uint64_t> spawned_total{0};
+  std::atomic<std::uint64_t> stolen_total{0};
+  obs::Counter& spawned_counter;
+  obs::Counter& stolen_counter;
+  obs::Gauge& depth_gauge;
+};
+
+TaskScheduler::TaskScheduler(unsigned threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
+
+TaskScheduler::~TaskScheduler() = default;
+
+unsigned TaskScheduler::lanes() const noexcept { return impl_->lane_count; }
+
+TaskScheduler::TaskId TaskScheduler::submit(
+    std::function<void(unsigned lane)> fn, const TaskId* deps,
+    std::size_t dep_count, TaskOptions options) {
+  bool ready = false;
+  const TaskId id =
+      impl_->wire(std::move(fn), deps, dep_count, options, &ready);
+  if (ready) {
+    if (impl_->workers.empty()) {
+      impl_->run_inline(id);
+    } else {
+      const unsigned home =
+          on_lane() ? t_lane.lane
+                    : static_cast<unsigned>(id_slot(id) % impl_->lane_count);
+      impl_->enqueue(id, home);
+    }
+  }
+  return id;
+}
+
+TaskScheduler::TaskId TaskScheduler::submit(
+    std::function<void(unsigned lane)> fn, std::initializer_list<TaskId> deps,
+    TaskOptions options) {
+  return submit(std::move(fn), deps.begin(), deps.size(), std::move(options));
+}
+
+void TaskScheduler::release(TaskId id) {
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->graph_mutex);
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= impl_->slab.size()) return;
+    Impl::Task& task = *impl_->slab[slot];
+    if (!task.live || task.generation != id_generation(id)) return;
+    ready = --task.pending == 0;
+  }
+  if (!ready) return;
+  if (impl_->workers.empty()) {
+    impl_->run_inline(id);
+  } else {
+    const unsigned home =
+        on_lane() ? t_lane.lane
+                  : static_cast<unsigned>(id_slot(id) % impl_->lane_count);
+    impl_->enqueue(id, home);
+  }
+}
+
+void TaskScheduler::wait_idle() {
+  impl_->drain_outstanding();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(impl_->graph_mutex);
+    error = impl_->first_error;
+    impl_->first_error = nullptr;
+    impl_->failed.store(false, std::memory_order_release);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool TaskScheduler::failed() const noexcept {
+  return impl_->failed.load(std::memory_order_acquire);
+}
+
+bool TaskScheduler::on_lane() const noexcept {
+  return t_lane.scheduler == impl_.get();
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const noexcept {
+  return {impl_->spawned_total.load(std::memory_order_relaxed),
+          impl_->stolen_total.load(std::memory_order_relaxed)};
+}
+
+void TaskScheduler::run_indexed(
+    std::size_t count, const std::function<void(unsigned, std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskOptions options;
+    options.preferred_lane = static_cast<int>(i % impl_->lane_count);
+    submit([&fn, i](unsigned lane) { fn(lane, i); }, {}, std::move(options));
+  }
+  wait_idle();
+}
+
+}  // namespace iotscope::util

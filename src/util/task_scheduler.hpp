@@ -1,0 +1,159 @@
+// A task-graph executor generalizing ThreadPool's fork/join primitives
+// (ROADMAP item 3, DESIGN.md §16): small task structs carrying a
+// callable, a dependency count, successor edges, and an optional
+// locality hint, scheduled over per-lane channel queues with CAS
+// front-pop and half stealing.
+//
+// Where ThreadPool::run_morsels expresses ONE flat index space drained
+// to a full barrier, a TaskScheduler holds an explicit dependency graph:
+// submit() wires a task under the graph mutex with a pending count equal
+// to its unfinished dependencies; completing a task decrements each
+// successor's count and releases the ones that reach zero onto the
+// finishing lane's queue (or the task's preferred lane), so independent
+// subgraphs — the analysis pipeline's per-hour decode/classify/observe
+// chains — overlap instead of synchronizing at stage barriers.
+//
+// The per-lane queue reuses the PR5 morsel discipline with one twist
+// that closes the ABA door a dynamic queue would otherwise open: the
+// packed atomic word holds MONOTONE 32-bit (head, tail) ring cursors
+// instead of a [begin, end) slice of a fixed index space. PR5's packed
+// ranges are ABA-safe only because a range never regrows within a run;
+// a task queue is pushed to continually, so a word value could recur
+// with different slot contents. Monotone cursors never repeat a value:
+// a front-pop CASes head+1, a thief CASes head+k after copying the k =
+// ceil(size/2) front ids (the ids it read are stable exactly when the
+// CAS succeeds, because producers only ever write at tail positions),
+// and producers publish a slot write with a tail+1 CAS under a per-lane
+// producer lock (releases arrive from arbitrary finishing lanes, so the
+// push side is multi-producer).
+//
+// Error semantics follow ThreadPool: the first exception is recorded,
+// every not-yet-started task is skipped (fail-fast), but a skipped task
+// still counts as completed for its successors — the graph always
+// drains, wait_idle() rethrows, and the scheduler stays usable. A
+// task's `finally` hook runs even when its callable was skipped, which
+// is what lets callers attach resource accounting (credit release,
+// memory-gauge decrements) that must survive failure.
+//
+// At one resolved thread the scheduler spawns no workers and
+// degenerates to inline serial execution: submit() runs every ready
+// task (and the successors its completion releases) on the calling
+// thread before returning, in submission order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+
+namespace iotscope::util {
+
+/// Locality hints for TaskScheduler::submit. A preferred lane routes
+/// the task to that lane's queue when it becomes ready (instead of the
+/// finishing/submitting lane's); stealing can still move it. The
+/// prefetch pointer is issued (read-prefetched) by the executing worker
+/// immediately before the callable runs — the FlatMap::prefetch
+/// pattern, but scheduler-driven: the submitter names the first cache
+/// line the task will touch (e.g. a morsel's slice of the partition
+/// index array) without the task knowing it is being warmed.
+/// (Namespace-scope rather than nested so it can appear as a defaulted
+/// argument of TaskScheduler members: a nested class's member
+/// initializers are not usable in the enclosing class's default
+/// arguments.)
+struct TaskOptions {
+  int preferred_lane = -1;          ///< -1: finishing/submitting lane
+  const void* prefetch = nullptr;   ///< first line the task reads
+  /// Runs after the callable finishes — or is skipped by fail-fast —
+  /// and before successors are released. Must not throw.
+  std::function<void()> finally;
+  /// Extra unsatisfied dependencies released only by an explicit
+  /// release() call. This is how a subgraph whose tail task does not
+  /// exist yet is chained: hour N+1's head task depends on a fence
+  /// submitted with manual_dependencies = 1 that hour N's fan-in
+  /// releases when it completes.
+  std::uint32_t manual_dependencies = 0;
+};
+
+class TaskScheduler {
+ public:
+  /// Opaque task handle: (generation << 32) | slot. Slots are recycled
+  /// as tasks complete; the generation stamp makes a handle to a
+  /// completed-and-recycled task read as "already satisfied" when named
+  /// as a dependency, so a long-running submitter (the streaming study
+  /// never quiesces between hours) keeps bounded task storage.
+  using TaskId = std::uint64_t;
+  static constexpr TaskId kNoTask = ~0ULL;
+
+  using TaskOptions = iotscope::util::TaskOptions;
+
+  /// Cumulative scheduling tallies (monotone over the scheduler's life).
+  struct Stats {
+    std::uint64_t spawned = 0;   ///< tasks submitted
+    std::uint64_t stolen = 0;    ///< tasks executed on a thief lane
+  };
+
+  /// Resolves like ThreadPool: 0 = hardware concurrency. A resolved
+  /// count of 1 spawns no workers (inline serial mode); otherwise
+  /// `threads` workers are spawned — the submitting thread coordinates
+  /// and does not execute tasks, mirroring the pipeline's producer/
+  /// analyst split.
+  explicit TaskScheduler(unsigned threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Number of execution lanes (== worker threads, or 1 when serial).
+  /// Task callables receive their executing lane in [0, lanes()).
+  unsigned lanes() const noexcept;
+
+  /// Submits a task depending on `deps` (ids from earlier submit()
+  /// calls; already-completed dependencies are satisfied). Thread-safe;
+  /// tasks may submit further tasks. Returns the task's id.
+  TaskId submit(std::function<void(unsigned lane)> fn,
+                const TaskId* deps, std::size_t dep_count,
+                TaskOptions options = {});
+  TaskId submit(std::function<void(unsigned lane)> fn,
+                std::initializer_list<TaskId> deps = {},
+                TaskOptions options = {});
+
+  /// Satisfies one manual dependency of `id` (see
+  /// TaskOptions::manual_dependencies). Releasing more times than were
+  /// reserved is a contract violation.
+  void release(TaskId id);
+
+  /// Blocks until every submitted task has completed (run or been
+  /// skipped by fail-fast), then rethrows the first recorded exception,
+  /// if any. The scheduler is reusable afterwards.
+  void wait_idle();
+
+  /// True once a task has thrown and fail-fast skipping is in effect
+  /// (cleared by the wait_idle() that rethrows the error).
+  bool failed() const noexcept;
+
+  /// True when the calling thread is one of this scheduler's lanes —
+  /// i.e. the caller is inside a task. A task must never wait_idle()
+  /// (it would wait on itself); re-entrant callers use this to skip
+  /// the drain they know the dependency chain already provides.
+  bool on_lane() const noexcept;
+
+  /// Cumulative tallies; callable any time (relaxed reads).
+  Stats stats() const noexcept;
+
+  /// ThreadPool adapter: runs fn(lane, i) exactly once for every i in
+  /// [0, count) as independent tasks spread round-robin across the
+  /// lanes, and blocks until all complete (full barrier, first error
+  /// rethrown) — run_morsels semantics on the task substrate, for
+  /// callers that still want a flat fork/join. Must not be called from
+  /// inside a task, and the scheduler must be otherwise idle (the
+  /// barrier is wait_idle()).
+  void run_indexed(std::size_t count,
+                   const std::function<void(unsigned, std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace iotscope::util

@@ -241,6 +241,77 @@ TEST(StudyErrorPathTest, ConsumerDeathReleasesQueuedBatchBytes) {
       << "queued-but-unobserved batches must decrement the mem gauge";
 }
 
+TEST(StudyErrorPathTest, CloseMidPushReleasesTheBlockedBatchBytes) {
+  // The audited close-mid-push shape, pinned deterministically: the
+  // producer accounted an hour's bytes into pipeline.batch.mem_peak and
+  // then blocked inside push() on a full queue; the analyst died and
+  // closed the queue underneath it. push() returns false and the
+  // producer's `if (!queue.push(...)) mem_gauge.add(-bytes)` must give
+  // exactly those bytes back — the batch was destroyed unobserved, so
+  // nobody else ever will. (The run_study tests above cover this shape
+  // probabilistically; this one forces the blocked-mid-push interleaving
+  // every run.)
+  auto& gauge = obs::Registry::instance().gauge("pipeline.batch.mem_peak");
+  const std::int64_t before = gauge.value();
+
+  util::BoundedQueue<net::FlowBatch> queue(1, "study.queue");
+  net::FlowBatch filler;
+  filler.reserve(8);
+  const auto filler_bytes = static_cast<std::int64_t>(filler.resident_bytes());
+  gauge.add(filler_bytes);
+  ASSERT_TRUE(queue.push(std::move(filler)));  // queue now full
+
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    net::FlowBatch blocked;
+    blocked.reserve(64);
+    const auto bytes = static_cast<std::int64_t>(blocked.resident_bytes());
+    gauge.add(bytes);
+    if (!queue.push(std::move(blocked))) gauge.add(-bytes);
+    push_returned.store(true);
+  });
+  // Let the producer block at the capacity cap, then kill the queue the
+  // way a dead analyst does.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_TRUE(push_returned.load());
+  // Drain the backlog the way run_study's join guard does.
+  while (auto batch = queue.pop()) {
+    gauge.add(-static_cast<std::int64_t>(batch->resident_bytes()));
+  }
+  EXPECT_EQ(gauge.value(), before)
+      << "a batch dropped by close-mid-push must release its gauge bytes";
+}
+
+TEST(StudyErrorPathTest, GraphSchedulerFailureRestoresTheMemGauge) {
+  // Graph-mode run_study: hours are submitted as task subgraphs and the
+  // mem gauge is released by the per-hour after-hook, which runs even
+  // for hours aborted by fail-fast (the fan-in's finally executes on
+  // skipped tasks). A discovery sink throwing mid-stream must surface
+  // with its message intact and leave no gauge residual from the hours
+  // that were in flight or submitted-but-never-run.
+  auto& gauge = obs::Registry::instance().gauge("pipeline.batch.mem_peak");
+  const std::int64_t before = gauge.value();
+
+  auto config = tiny_study_config(/*threads=*/4);
+  config.pipeline.scheduler = core::ShardScheduler::Graph;
+  auto count = std::make_shared<std::atomic<int>>(0);
+  config.discovery_sink = [count](const core::Discovery&) {
+    if (count->fetch_add(1) >= 50) {
+      throw std::runtime_error("sink rejected the discovery");
+    }
+  };
+  try {
+    core::run_study(config);
+    FAIL() << "expected the fan-in exception to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sink rejected the discovery");
+  }
+  EXPECT_EQ(gauge.value(), before)
+      << "aborted in-flight hours must release their gauge bytes";
+}
+
 // -------------------------------------------- FlowTupleStore prefetch
 
 net::HourlyFlows make_hour(int interval) {

@@ -344,12 +344,12 @@ TEST_F(EquivalenceTest, SchedulerChoiceDoesNotChangeTheReportByteForByte) {
   // only the deterministic reduction can make this hold.
   const std::string golden = render_everything(run_with_threads(1));
   for (const unsigned threads : {2u, 4u, 8u, 0u}) {
-    for (const auto scheduler :
-         {ShardScheduler::Static, ShardScheduler::Stealing}) {
+    for (const auto scheduler : {ShardScheduler::Static,
+                                 ShardScheduler::Stealing,
+                                 ShardScheduler::Graph}) {
       SCOPED_TRACE(testing::Message()
-                   << threads << " threads, "
-                   << (scheduler == ShardScheduler::Static ? "static"
-                                                           : "stealing"));
+                   << threads << " threads, scheduler "
+                   << static_cast<int>(scheduler));
       EXPECT_EQ(render_everything(run_with_threads(threads, scheduler)),
                 golden);
     }
@@ -412,12 +412,12 @@ TEST_F(SkewedEquivalenceTest, HeavyHitterWorkloadStaysByteIdentical) {
             sequential.total_packets);  // the hitter dominates
   const std::string golden = render_everything(sequential);
   for (const unsigned threads : {2u, 4u, 8u, 0u}) {
-    for (const auto scheduler :
-         {ShardScheduler::Static, ShardScheduler::Stealing}) {
+    for (const auto scheduler : {ShardScheduler::Static,
+                                 ShardScheduler::Stealing,
+                                 ShardScheduler::Graph}) {
       SCOPED_TRACE(testing::Message()
-                   << threads << " threads, "
-                   << (scheduler == ShardScheduler::Static ? "static"
-                                                           : "stealing"));
+                   << threads << " threads, scheduler "
+                   << static_cast<int>(scheduler));
       EXPECT_EQ(render_everything(run(threads, scheduler)), golden);
     }
   }

@@ -1,0 +1,446 @@
+// Property tests for util::TaskScheduler — the task-graph executor that
+// replaced the hour-level stage barriers (DESIGN.md §16) — plus report
+// byte-identity across {Static, Stealing, Graph} × thread counts ×
+// {batch, --follow} ingestion. The ordering tests are deliberately
+// adversarial about successor-release races (many tasks finishing at
+// once all decrementing one fan-in's pending count); run under TSan
+// (preset `tsan`) for full value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/report_text.hpp"
+#include "core/stream.hpp"
+#include "core/study.hpp"
+#include "obs/metrics.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "util/task_scheduler.hpp"
+#include "workload/rotating_writer.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope {
+namespace {
+
+using util::TaskOptions;
+using util::TaskScheduler;
+
+// ----------------------------------------------------- ordering basics
+
+TEST(TaskSchedulerTest, DiamondRunsInDependencyOrder) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    TaskScheduler sched(threads);
+    std::atomic<int> a_done{0}, b_done{0}, c_done{0};
+    std::atomic<bool> order_ok{true};
+    const auto a = sched.submit([&](unsigned) { a_done.store(1); });
+    const auto b = sched.submit([&](unsigned) {
+      if (a_done.load() != 1) order_ok.store(false);
+      b_done.store(1);
+    }, {a});
+    const auto c = sched.submit([&](unsigned) {
+      if (a_done.load() != 1) order_ok.store(false);
+      c_done.store(1);
+    }, {a});
+    sched.submit([&](unsigned) {
+      if (b_done.load() != 1 || c_done.load() != 1) order_ok.store(false);
+    }, {b, c});
+    sched.wait_idle();
+    EXPECT_TRUE(order_ok.load()) << "threads=" << threads;
+  }
+}
+
+TEST(TaskSchedulerTest, WideFanOutFanInReleaseRace) {
+  // 256 siblings all decrement one fan-in's pending count as they
+  // finish — the successor-release race the graph mutex must serialize.
+  constexpr int kWidth = 256;
+  for (unsigned threads : {2u, 4u, 8u, 0u}) {
+    TaskScheduler sched(threads);
+    std::atomic<int> done{0};
+    std::atomic<int> fanin_saw{-1};
+    const auto root = sched.submit([](unsigned) {});
+    std::vector<TaskScheduler::TaskId> mids;
+    mids.reserve(kWidth);
+    for (int i = 0; i < kWidth; ++i) {
+      mids.push_back(sched.submit(
+          [&](unsigned) { done.fetch_add(1, std::memory_order_relaxed); },
+          {root}));
+    }
+    sched.submit([&](unsigned) { fanin_saw.store(done.load()); },
+                 mids.data(), mids.size());
+    sched.wait_idle();
+    EXPECT_EQ(fanin_saw.load(), kWidth) << "threads=" << threads;
+  }
+}
+
+TEST(TaskSchedulerTest, TasksCanSubmitTasksDynamically) {
+  // The pipeline's plan task submits the hour's morsel tasks from
+  // inside a task; the count is not known at graph-construction time.
+  for (unsigned threads : {1u, 4u}) {
+    TaskScheduler sched(threads);
+    std::atomic<int> leaves{0};
+    sched.submit([&](unsigned) {
+      for (int i = 0; i < 64; ++i) {
+        sched.submit([&](unsigned) {
+          leaves.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+    sched.wait_idle();
+    EXPECT_EQ(leaves.load(), 64) << "threads=" << threads;
+  }
+}
+
+TEST(TaskSchedulerTest, CompletedDependenciesReadAsSatisfied) {
+  TaskScheduler sched(2);
+  std::atomic<int> ran{0};
+  const auto a = sched.submit([&](unsigned) { ran.fetch_add(1); });
+  sched.wait_idle();
+  // `a` completed (and its slot may be recycled); depending on it must
+  // not strand the new task.
+  sched.submit([&](unsigned) { ran.fetch_add(1); }, {a});
+  sched.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskSchedulerTest, ManualReleaseFencesChainSubgraphs) {
+  // Fence pattern from the pipeline: hour N+1's head waits on a fence
+  // task (manual_dependencies = 1) that hour N's tail releases.
+  for (unsigned threads : {1u, 4u}) {
+    TaskScheduler sched(threads);
+    std::atomic<int> stage{0};
+    TaskOptions fence_options;
+    fence_options.manual_dependencies = 1;
+    const auto fence =
+        sched.submit([](unsigned) {}, {}, fence_options);
+    std::atomic<bool> order_ok{true};
+    sched.submit([&](unsigned) {
+      if (stage.load() != 1) order_ok.store(false);
+      stage.store(2);
+    }, {fence});
+    sched.submit([&](unsigned) {
+      if (stage.load() != 0) order_ok.store(false);
+      stage.store(1);
+      sched.release(fence);
+    });
+    sched.wait_idle();
+    EXPECT_TRUE(order_ok.load()) << "threads=" << threads;
+    EXPECT_EQ(stage.load(), 2) << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------------ fail-fast semantics
+
+TEST(TaskSchedulerTest, FailFastPropagatesFirstErrorAndDrains) {
+  for (unsigned threads : {1u, 4u}) {
+    TaskScheduler sched(threads);
+    std::atomic<int> stranded_ran{0};
+    std::atomic<int> finallys{0};
+    const auto boom = sched.submit(
+        [](unsigned) { throw std::runtime_error("boom"); });
+    TaskOptions options;
+    options.finally = [&] { finallys.fetch_add(1); };
+    sched.submit([&](unsigned) { stranded_ran.fetch_add(1); }, {boom},
+                 options);
+    EXPECT_THROW(sched.wait_idle(), std::runtime_error)
+        << "threads=" << threads;
+    // The stranded successor was skipped, but its finally hook still
+    // ran — that is what keeps credits/gauges balanced on failure.
+    EXPECT_EQ(stranded_ran.load(), 0) << "threads=" << threads;
+    EXPECT_EQ(finallys.load(), 1) << "threads=" << threads;
+    // The scheduler is reusable after the rethrow.
+    std::atomic<int> after{0};
+    sched.submit([&](unsigned) { after.fetch_add(1); });
+    sched.wait_idle();
+    EXPECT_EQ(after.load(), 1) << "threads=" << threads;
+    EXPECT_FALSE(sched.failed());
+  }
+}
+
+TEST(TaskSchedulerTest, RunIndexedCoversEveryIndexOnce) {
+  for (unsigned threads : {1u, 3u, 8u}) {
+    TaskScheduler sched(threads);
+    constexpr std::size_t kCount = 501;
+    std::vector<std::atomic<int>> hits(kCount);
+    sched.run_indexed(kCount, [&](unsigned lane, std::size_t i) {
+      EXPECT_LT(lane, sched.lanes());
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(TaskSchedulerTest, OnLaneIdentifiesTaskContext) {
+  TaskScheduler sched(2);
+  EXPECT_FALSE(sched.on_lane());
+  std::atomic<bool> inside{false};
+  sched.submit([&](unsigned) { inside.store(sched.on_lane()); });
+  sched.wait_idle();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(sched.on_lane());
+}
+
+TEST(TaskSchedulerTest, StatsCountSpawnsAndSerialModeNeverSteals) {
+  TaskScheduler sched(1);
+  for (int i = 0; i < 10; ++i) sched.submit([](unsigned) {});
+  sched.wait_idle();
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.spawned, 10u);
+  EXPECT_EQ(stats.stolen, 0u);
+}
+
+// --------------------------------------------- report byte-identity
+//
+// The acceptance surface of the task-graph pipeline: the rendered
+// report must not move by one byte across {Static, Stealing, Graph} ×
+// {1, 2, 4, 8, auto} threads × {raw .ift, compressed .iftc} stores ×
+// {batch, --follow} ingestion, on a normal and on a heavy-hitter
+// workload. Out-of-order morsel folds are made exact by the pipeline's
+// commutative-exact reduction; these tests pin that the overlapped
+// hour window (decode of hour N+1 racing the observe/fan-in of hour N)
+// introduces no new ordering dependence.
+
+workload::ScenarioConfig graph_config(double heavy_hitter_share = 0.0) {
+  workload::ScenarioConfig config;
+  config.inventory_scale = 0.005;
+  config.traffic_scale = 0.001;
+  config.noise_ratio = 0.05;
+  config.heavy_hitter_share = heavy_hitter_share;
+  return config;
+}
+
+std::string render_everything(const core::Report& report,
+                              const inventory::IoTDeviceDatabase& inventory) {
+  const auto character = core::characterize(report, inventory);
+  return core::render_inference_report(report, character, inventory) +
+         core::render_traffic_report(report, inventory);
+}
+
+/// Replays `store` through observe_async(hour_loaders) — the task-graph
+/// ingestion path; in the non-graph modes observe_async degenerates to
+/// a synchronous splice + observe, so one driver covers the matrix.
+std::string replay_async(const workload::Scenario& scenario,
+                         const telescope::FlowTupleStore& store,
+                         unsigned threads, core::ShardScheduler scheduler) {
+  core::PipelineOptions options;
+  options.threads = threads;
+  options.scheduler = scheduler;
+  core::AnalysisPipeline pipeline(scenario.inventory, options);
+  std::atomic<std::size_t> hours_folded{0};
+  for (const int interval : store.intervals()) {
+    auto loaders = store.hour_loaders(interval, pipeline.threads());
+    if (loaders.empty()) continue;
+    pipeline.observe_async(std::move(loaders),
+                           [&hours_folded](const net::FlowBatch&, bool ok) {
+                             if (ok) hours_folded.fetch_add(1);
+                           });
+  }
+  pipeline.drain();
+  EXPECT_EQ(hours_folded.load(), store.intervals().size());
+  return render_everything(pipeline.finalize(), scenario.inventory);
+}
+
+class GraphIdentityTest : public ::testing::Test {
+ protected:
+  static const workload::Scenario& scenario() {
+    static const workload::Scenario instance =
+        workload::build_scenario(graph_config());
+    return instance;
+  }
+};
+
+TEST_F(GraphIdentityTest, BatchReportsAreByteIdenticalAcrossTheMatrix) {
+  util::TempDir dir;
+  telescope::FlowTupleStore raw_store(dir.path() / "raw");
+  telescope::FlowTupleStore compressed_store(dir.path() / "compressed");
+  // Small blocks force multi-block hours, so graph mode actually splits
+  // each compressed hour into several decode tasks.
+  compressed_store.set_write_format(telescope::StoreFormat::Compressed, 256);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(graph_config().darknet),
+      [&](net::FlowBatch&& batch) {
+        raw_store.put(batch);
+        compressed_store.put(batch);
+      });
+  workload::synthesize_into(scenario(), graph_config(), capture);
+
+  const std::string golden =
+      replay_async(scenario(), raw_store, 1, core::ShardScheduler::Stealing);
+  for (const unsigned threads : {1u, 2u, 4u, 8u, 0u}) {
+    for (const auto scheduler : {core::ShardScheduler::Static,
+                                 core::ShardScheduler::Stealing,
+                                 core::ShardScheduler::Graph}) {
+      SCOPED_TRACE(testing::Message()
+                   << threads << " threads, scheduler "
+                   << static_cast<int>(scheduler));
+      EXPECT_EQ(replay_async(scenario(), compressed_store, threads, scheduler),
+                golden);
+    }
+    SCOPED_TRACE(testing::Message() << threads << " threads, raw graph");
+    EXPECT_EQ(replay_async(scenario(), raw_store, threads,
+                           core::ShardScheduler::Graph),
+              golden);
+  }
+  // The overlapped window was actually exercised: at some point at
+  // least two hours were in flight at once (the gauge max is global to
+  // the process, so this asserts over all runs above).
+  const auto snapshot = obs::Registry::instance().snapshot();
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "pipeline.task.inflight_hours") {
+      EXPECT_GE(gauge.max, 2) << "no hour overlap ever happened";
+    }
+  }
+}
+
+TEST_F(GraphIdentityTest, HourLoadersReassembleGetBatchExactly) {
+  // Concatenating the per-part range decodes in order must reproduce
+  // get_batch()'s record order byte for byte — for multi-block
+  // compressed hours at several part counts, and for raw hours.
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  store.set_write_format(telescope::StoreFormat::Compressed, 128);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(graph_config().darknet),
+      [&](net::FlowBatch&& batch) {
+        if (batch.interval < 8) store.put(batch);
+      });
+  workload::synthesize_into(scenario(), graph_config(), capture);
+
+  for (const int interval : store.intervals()) {
+    const auto whole = store.get_batch(interval);
+    ASSERT_TRUE(whole.has_value());
+    for (const std::size_t parts : {1u, 2u, 3u, 7u, 64u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "interval " << interval << ", " << parts << " parts");
+      auto loaders = store.hour_loaders(interval, parts);
+      ASSERT_FALSE(loaders.empty());
+      EXPECT_LE(loaders.size(), parts);
+      net::FlowBatch spliced = loaders.front()();
+      for (std::size_t p = 1; p < loaders.size(); ++p) {
+        spliced.append(loaders[p]());
+      }
+      EXPECT_TRUE(spliced.same_records(*whole));
+    }
+  }
+  EXPECT_TRUE(store.hour_loaders(9999, 4).empty());
+}
+
+TEST_F(GraphIdentityTest, FollowMatchesBatchUnderGraphScheduler) {
+  // A StreamingStudy in graph mode following a store while a rotating
+  // writer lands hours from another thread: the final report must equal
+  // the sequential batch golden, with every published hour admitted,
+  // none late, and eviction exercised mid-stream (the eviction now runs
+  // inside the fence-serialized fan-in hook).
+  const auto config = graph_config();
+  const auto& scn = scenario();
+  const auto pipeline_options = [](unsigned threads) {
+    core::PipelineOptions options;
+    options.threads = threads;
+    options.scheduler = core::ShardScheduler::Graph;
+    options.unknown_profile_hourly_floor = 1;  // guarantees evictable state
+    return options;
+  };
+
+  util::TempDir golden_dir;
+  telescope::FlowTupleStore golden_store(golden_dir.path());
+  workload::write_rotating(scn, config, golden_store);
+  core::AnalysisPipeline golden_pipeline(scn.inventory, pipeline_options(1));
+  golden_store.for_each([&golden_pipeline](const net::FlowBatch& batch) {
+    golden_pipeline.observe(batch);
+  });
+  const std::string golden =
+      render_everything(golden_pipeline.finalize(), scn.inventory);
+  const std::size_t hour_count = golden_store.intervals().size();
+
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    util::TempDir dir;
+    telescope::FlowTupleStore store(dir.path());
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      workload::write_rotating(scn, config, store);
+      writer_done.store(true, std::memory_order_release);
+    });
+    core::StreamOptions stream_options;
+    stream_options.snapshot_every = 10;
+    stream_options.evict_after_hours = 2;
+    stream_options.poll_interval = std::chrono::milliseconds(1);
+    core::StreamingStudy stream(scn.inventory, store,
+                                pipeline_options(threads), stream_options);
+    stream.follow([&writer_done] {
+      return writer_done.load(std::memory_order_acquire);
+    });
+    writer.join();
+    const auto report = stream.finalize();
+    EXPECT_EQ(render_everything(report, scn.inventory), golden);
+    EXPECT_EQ(stream.stats().hours_admitted, hour_count);
+    EXPECT_EQ(stream.stats().hours_late, 0u);
+    EXPECT_GT(stream.stats().profiles_evicted, 0u);
+    EXPECT_GT(stream.stats().snapshots_published, 1u);
+    EXPECT_EQ(stream.watermark(), static_cast<int>(hour_count));
+  }
+}
+
+TEST(GraphHeavyHitterTest, SkewedWorkloadStaysByteIdentical) {
+  // One non-inventory source emits ~80 % of every hour: the partition
+  // buckets are maximally skewed, so the graph's morsel tasks all fight
+  // over one bucket while later hours' decode tasks race them. Batch
+  // (observe_async) and --follow must both land on the sequential bytes.
+  const auto config = graph_config(0.8);
+  const auto scn = workload::build_scenario(config);
+
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  store.set_write_format(telescope::StoreFormat::Compressed, 512);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(config.darknet),
+      [&store](net::FlowBatch&& batch) { store.put(batch); });
+  workload::synthesize_into(scn, config, capture);
+
+  const std::string golden =
+      replay_async(scn, store, 1, core::ShardScheduler::Stealing);
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    EXPECT_EQ(replay_async(scn, store, threads, core::ShardScheduler::Graph),
+              golden);
+  }
+
+  // Follow path on the pre-written store: the stream drains it in one
+  // burst of polls, all through the task graph.
+  core::PipelineOptions options;
+  options.threads = 4;
+  options.scheduler = core::ShardScheduler::Graph;
+  core::StreamingStudy stream(scn.inventory, store, options);
+  stream.follow([] { return true; });
+  EXPECT_EQ(render_everything(stream.finalize(), scn.inventory), golden);
+}
+
+TEST(GraphStudyTest, RunStudyMatchesAcrossSchedulers) {
+  // The end-to-end study driver (synthesis -> capture -> pipeline): the
+  // graph path replaces the bounded-queue analyst thread, and must
+  // reproduce its report bytes exactly.
+  const auto run = [](unsigned threads, core::ShardScheduler scheduler) {
+    core::StudyConfig config = core::StudyConfig::test_default();
+    config.pipeline.threads = threads;
+    config.pipeline.scheduler = scheduler;
+    const auto result = core::run_study(config);
+    return render_everything(result.report, result.scenario.inventory);
+  };
+  const std::string golden = run(1, core::ShardScheduler::Stealing);
+  EXPECT_EQ(run(1, core::ShardScheduler::Graph), golden);
+  EXPECT_EQ(run(4, core::ShardScheduler::Graph), golden);
+  EXPECT_EQ(run(4, core::ShardScheduler::Stealing), golden);
+}
+
+}  // namespace
+}  // namespace iotscope

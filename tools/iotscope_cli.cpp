@@ -146,9 +146,36 @@ bool parse_readers(const Args& args, std::uint64_t* readers) {
   return parse_flag_u64(args, "readers", 1, 1024, readers);
 }
 
+/// Validates --scheduler. Absent means the default (morsel-driven work
+/// stealing); an explicit value must name a known schedule. Rejected
+/// before any dataset I/O, like --threads, so a typo fails in
+/// milliseconds rather than after a multi-second load — and the report
+/// is byte-identical under every choice, so there is nothing to coerce
+/// a bad value to.
+bool parse_scheduler(const Args& args, core::ShardScheduler* scheduler) {
+  *scheduler = core::ShardScheduler::Stealing;
+  if (!args.has("scheduler")) return true;
+  const std::string value = args.get("scheduler", "");
+  if (value == "static") {
+    *scheduler = core::ShardScheduler::Static;
+  } else if (value == "stealing") {
+    *scheduler = core::ShardScheduler::Stealing;
+  } else if (value == "graph") {
+    *scheduler = core::ShardScheduler::Graph;
+  } else {
+    std::fprintf(stderr,
+                 "iotscope: --scheduler expects one of static, stealing, "
+                 "graph; got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
 /// All analyze-mode knobs, validated up front (before the dataset loads).
 struct AnalyzeFlags {
   unsigned threads = 0;  // auto
+  core::ShardScheduler scheduler = core::ShardScheduler::Stealing;
   std::uint64_t readers = 1;
   std::uint64_t snapshot_every = 24;
   std::uint64_t evict_after = 6;
@@ -159,6 +186,7 @@ struct AnalyzeFlags {
 
 bool parse_analyze_flags(const Args& args, AnalyzeFlags* flags) {
   if (!parse_threads(args, &flags->threads)) return false;
+  if (!parse_scheduler(args, &flags->scheduler)) return false;
   if (!parse_readers(args, &flags->readers)) return false;
   if (!parse_flag_u64(args, "snapshot-every", 1, 1000000,
                       &flags->snapshot_every)) {
@@ -191,14 +219,15 @@ int usage() {
                "[--traffic-scale S] [--seed N] [--noise R] [--with-truth] "
                "[--compress]\n"
                "  iotscope analyze     --data DIR [--top N] [--full] "
-               "[--threads N] [--readers N] [--metrics] [--metrics-out FILE]\n"
+               "[--threads N] [--scheduler S] [--readers N] [--metrics] "
+               "[--metrics-out FILE]\n"
                "                       [--follow] [--snapshot-every N] "
                "[--idle-ms N] [--evict-after N] [--serve PORT]\n"
                "  iotscope fingerprint --data DIR [--threshold X] "
-               "[--min-packets N] [--threads N] [--metrics] "
+               "[--min-packets N] [--threads N] [--scheduler S] [--metrics] "
                "[--metrics-out FILE]\n"
-               "  iotscope campaigns   --data DIR [--threads N] [--metrics] "
-               "[--metrics-out FILE]\n"
+               "  iotscope campaigns   --data DIR [--threads N] "
+               "[--scheduler S] [--metrics] [--metrics-out FILE]\n"
                "  iotscope compact     --data DIR [--block-records N] "
                "[--no-verify] [--keep]\n"
                "  iotscope info        --data DIR\n"
@@ -206,9 +235,16 @@ int usage() {
                "  --threads N        analysis worker shards; N must be a "
                "positive integer (default: all cores; 1 = sequential; "
                "identical output at any value)\n"
+               "  --scheduler S      worker schedule: 'static' (bucket per "
+               "worker), 'stealing' (morsel work stealing, default), or "
+               "'graph' (task graph: decode/classify of the next hours "
+               "overlaps analysis of the current one); the report is "
+               "byte-identical under every choice\n"
                "  --readers N        store decoder threads for the batch "
                "scan (default 1; hours are still analyzed in interval "
-               "order, so output is identical at any value)\n"
+               "order, so output is identical at any value; with "
+               "--scheduler graph decode parallelism comes from the worker "
+               "lanes instead and --readers is ignored)\n"
                "  --compress         synth writes compressed .iftc hourly "
                "files instead of raw .ift (every analysis reads either "
                "transparently)\n"
@@ -343,10 +379,13 @@ void emit_metrics(const Args& args) {
   if (!out.empty()) util::write_file(out, obs::render_json(snapshot));
 }
 
-core::Report run_pipeline(const Dataset& data, const Args& args,
-                          unsigned threads, std::size_t readers = 1) {
+core::Report run_pipeline(
+    const Dataset& data, const Args& args, unsigned threads,
+    std::size_t readers = 1,
+    core::ShardScheduler scheduler = core::ShardScheduler::Stealing) {
   core::PipelineOptions options;
   options.threads = threads;  // validated by parse_threads; 0 = all cores
+  options.scheduler = scheduler;
   core::AnalysisPipeline pipeline(data.inventory, options);
 
   const bool metrics = metrics_requested(args);
@@ -362,25 +401,48 @@ core::Report run_pipeline(const Dataset& data, const Args& args,
         [&devices](const core::Discovery&) { ++devices; });
   }
 
-  // Decode the next hours on reader threads while this one analyzes.
-  // Goes through the type-erased scan() deliberately: the CLI is the
-  // designated std::function caller (visitors assembled at runtime); the
-  // library-internal paths use the templated for_each. With one reader
-  // this is exactly for_each with prefetch; more readers decode hours
-  // concurrently but visit order (and thus the report) is unchanged.
-  const std::function<void(const net::FlowBatch&)> visit =
-      [&](const net::FlowBatch& batch) {
-        pipeline.observe(batch);
-        if (metrics) {
-          ++hours;
-          packets += batch.total_packets();
-          progress.update(hours, packets, devices);
-        }
-      };
-  telescope::ScanOptions scan_options;
-  scan_options.prefetch = 2;
-  scan_options.readers = readers;
-  data.store.scan(visit, scan_options);
+  if (scheduler == core::ShardScheduler::Graph) {
+    // Task-graph mode: the store read is itself scheduled — each hour
+    // becomes per-part decode tasks feeding classify/partition/observe,
+    // and hour N+1 decodes while hour N folds, bounded by the pipeline's
+    // in-flight-hours credit window. --readers is subsumed (decode
+    // parallelism comes from the shared worker lanes). The after-hook
+    // runs in the fence-serialized fan-in, hours in order, so the
+    // progress accounting below needs no synchronization.
+    for (const int interval : data.store.intervals()) {
+      auto loaders = data.store.hour_loaders(interval, pipeline.threads());
+      if (loaders.empty()) continue;
+      pipeline.observe_async(
+          std::move(loaders), [&](const net::FlowBatch& batch, bool ok) {
+            if (!metrics || !ok) return;
+            ++hours;
+            packets += batch.total_packets();
+            progress.update(hours, packets, devices);
+          });
+    }
+    pipeline.drain();
+  } else {
+    // Decode the next hours on reader threads while this one analyzes.
+    // Goes through the type-erased scan() deliberately: the CLI is the
+    // designated std::function caller (visitors assembled at runtime);
+    // the library-internal paths use the templated for_each. With one
+    // reader this is exactly for_each with prefetch; more readers decode
+    // hours concurrently but visit order (and thus the report) is
+    // unchanged.
+    const std::function<void(const net::FlowBatch&)> visit =
+        [&](const net::FlowBatch& batch) {
+          pipeline.observe(batch);
+          if (metrics) {
+            ++hours;
+            packets += batch.total_packets();
+            progress.update(hours, packets, devices);
+          }
+        };
+    telescope::ScanOptions scan_options;
+    scan_options.prefetch = 2;
+    scan_options.readers = readers;
+    data.store.scan(visit, scan_options);
+  }
   auto report = pipeline.finalize();
   if (metrics) progress.finish(hours, packets, devices);
   return report;
@@ -396,6 +458,7 @@ core::Report run_pipeline(const Dataset& data, const Args& args,
 core::Report run_streaming(const Dataset& data, const AnalyzeFlags& flags) {
   core::PipelineOptions pipeline_options;
   pipeline_options.threads = flags.threads;
+  pipeline_options.scheduler = flags.scheduler;
   core::StreamOptions stream_options;
   stream_options.snapshot_every = static_cast<int>(flags.snapshot_every);
   stream_options.evict_after_hours = static_cast<int>(flags.evict_after);
@@ -489,7 +552,8 @@ int cmd_analyze(const Args& args) {
       args.has("follow")
           ? run_streaming(data, flags)
           : run_pipeline(data, args, flags.threads,
-                         static_cast<std::size_t>(flags.readers));
+                         static_cast<std::size_t>(flags.readers),
+                         flags.scheduler);
   const auto character = core::characterize(report, data.inventory);
   const std::size_t top = static_cast<std::size_t>(args.get_double("top", 10));
 
@@ -575,9 +639,11 @@ int cmd_analyze(const Args& args) {
 int cmd_fingerprint(const Args& args) {
   if (!args.has("data")) return usage();
   unsigned threads = 0;
+  core::ShardScheduler scheduler = core::ShardScheduler::Stealing;
   if (!parse_threads(args, &threads)) return usage();
+  if (!parse_scheduler(args, &scheduler)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data, args, threads);
+  const auto report = run_pipeline(data, args, threads, 1, scheduler);
   core::FingerprintOptions options;
   options.iot_port_share_threshold = args.get_double("threshold", 0.5);
   options.min_packets = static_cast<std::uint64_t>(
@@ -600,9 +666,11 @@ int cmd_fingerprint(const Args& args) {
 int cmd_campaigns(const Args& args) {
   if (!args.has("data")) return usage();
   unsigned threads = 0;
+  core::ShardScheduler scheduler = core::ShardScheduler::Stealing;
   if (!parse_threads(args, &threads)) return usage();
+  if (!parse_scheduler(args, &scheduler)) return usage();
   const auto data = load_dataset(args.get("data", ""));
-  const auto report = run_pipeline(data, args, threads);
+  const auto report = run_pipeline(data, args, threads, 1, scheduler);
   const auto campaigns = core::cluster_campaigns(report, data.inventory);
   std::printf("%zu probing campaigns (%zu scanners clustered):\n",
               campaigns.campaigns.size(), campaigns.devices_clustered);

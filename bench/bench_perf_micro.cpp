@@ -15,6 +15,7 @@
 #include <unordered_set>
 
 #include "core/classifier.hpp"
+#include "core/scenario_run.hpp"
 #include "core/stream.hpp"
 #include "net/block_codec.hpp"
 #include "core/study.hpp"
@@ -30,6 +31,7 @@
 #include "util/flat_hash.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
+#include "workload/engine.hpp"
 
 using namespace iotscope;
 
@@ -1159,6 +1161,88 @@ BENCHMARK(BM_ServeQuery)
     ->Args({4, 1})
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+
+// --- Phase-based adversarial scenario engine ---------------------------
+//
+// One entry per built-in scenario (Arg(0) indexes builtin_scenario_names
+// order; the label names it). Three stages of the scenario lifecycle:
+//   BM_ScenarioPlan      ctor cost — inventory synthesis + campaign
+//                        planning + truth-ledger construction
+//   BM_ScenarioEmit      packet emission (base synth + campaign hooks);
+//                        items/s is emitted packets
+//   BM_ScenarioBatchRun  the full driver: write the hourly store (hostile
+//                        hours included), batch-analyze with quarantine,
+//                        render, and check every ground-truth claim. The
+//                        `violations` counter must read 0.000 — a nonzero
+//                        value here is a correctness regression surfacing
+//                        in the perf log.
+
+const std::vector<workload::ScenarioScript>& builtin_scripts() {
+  static const auto instance = [] {
+    std::vector<workload::ScenarioScript> scripts;
+    for (const auto& name : workload::builtin_scenario_names()) {
+      scripts.push_back(*workload::builtin_scenario(name));
+    }
+    return scripts;
+  }();
+  return instance;
+}
+
+void BM_ScenarioPlan(benchmark::State& state) {
+  const auto& script =
+      builtin_scripts()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    workload::ScenarioEngine engine(script);
+    benchmark::DoNotOptimize(engine.truth().campaign_packets);
+  }
+  state.SetLabel(script.name);
+}
+BENCHMARK(BM_ScenarioPlan)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioEmit(benchmark::State& state) {
+  const auto& script =
+      builtin_scripts()[static_cast<std::size_t>(state.range(0))];
+  const workload::ScenarioEngine engine(script);
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    packets = 0;
+    engine.emit([&packets](const net::PacketRecord&) { ++packets; });
+    benchmark::DoNotOptimize(packets);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * packets));
+  state.SetLabel(script.name);
+}
+BENCHMARK(BM_ScenarioEmit)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioBatchRun(benchmark::State& state) {
+  const auto& script =
+      builtin_scripts()[static_cast<std::size_t>(state.range(0))];
+  const workload::ScenarioEngine engine(script);
+  std::uint64_t packets = 0;
+  std::size_t violations = 0;
+  std::size_t hostile = 0;
+  for (auto _ : state) {
+    util::TempDir dir;
+    const auto run = core::run_scenario(engine, dir.path());
+    packets = run.report.total_packets + run.report.unattributed_packets;
+    violations = core::check_scenario(engine, run).size();
+    hostile = static_cast<std::size_t>(run.hours_corrupt);
+    benchmark::DoNotOptimize(run.rendered);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * packets));
+  state.counters["violations"] = static_cast<double>(violations);
+  state.counters["hostile_hours"] = static_cast<double>(hostile);
+  state.SetLabel(script.name);
+}
+BENCHMARK(BM_ScenarioBatchRun)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

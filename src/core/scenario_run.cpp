@@ -1,0 +1,325 @@
+#include "core/scenario_run.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+#include "core/characterize.hpp"
+#include "core/report_text.hpp"
+#include "core/stream.hpp"
+#include "telescope/store.hpp"
+#include "util/io.hpp"
+#include "util/timebase.hpp"
+
+namespace iotscope::core {
+
+namespace {
+
+PipelineOptions pipeline_options(const ScenarioRunOptions& options) {
+  PipelineOptions popts;
+  popts.scheduler = options.scheduler;
+  popts.threads = options.threads;
+  return popts;
+}
+
+std::string render(const Report& report,
+                   const inventory::IoTDeviceDatabase& db) {
+  const CharacterizationReport character = characterize(report, db);
+  return render_inference_report(report, character, db) +
+         render_traffic_report(report, db);
+}
+
+}  // namespace
+
+ScenarioRunResult run_scenario(const workload::ScenarioEngine& engine,
+                               const std::filesystem::path& dir,
+                               const ScenarioRunOptions& options) {
+  const telescope::FlowTupleStore store(dir);
+  const inventory::IoTDeviceDatabase& db = engine.scenario().inventory;
+  ScenarioRunResult result;
+
+  if (options.follow) {
+    // The daemon path: a writer thread rotates hourly files (hostile
+    // ones included) into the directory while the streaming study
+    // follows it from this thread — the same filesystem handshake a
+    // real collection process and analysis daemon would use.
+    StreamOptions sopts;
+    sopts.snapshot_every = options.snapshot_every;
+    sopts.evict_after_hours = options.evict_after_hours;
+    StreamingStudy study(db, store, pipeline_options(options), sopts);
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      result.write = engine.write_to_store(store);
+      writer_done.store(true, std::memory_order_release);
+    });
+    study.follow(
+        [&] { return writer_done.load(std::memory_order_acquire); });
+    writer.join();
+    result.report = study.finalize();
+    result.hours_corrupt = study.stats().hours_corrupt;
+  } else {
+    result.write = engine.write_to_store(store);
+    AnalysisPipeline pipeline(db, pipeline_options(options));
+    const bool graph = options.scheduler == ShardScheduler::Graph;
+    for (const int interval : store.intervals()) {
+      std::optional<net::FlowBatch> batch;
+      try {
+        batch = store.get_batch(interval);
+      } catch (const util::IoError&) {
+        // Same quarantine discipline as the streaming study: a corrupt
+        // hour is counted and skipped, and skipping is byte-equivalent
+        // to the hour never having been published.
+        ++result.hours_corrupt;
+        continue;
+      }
+      if (!batch) continue;
+      if (graph) {
+        pipeline.observe_async(std::move(*batch));
+      } else {
+        pipeline.observe(*batch);
+      }
+    }
+    if (graph) pipeline.drain();
+    result.report = pipeline.finalize();
+  }
+
+  result.rendered = render(result.report, db);
+  return result;
+}
+
+namespace {
+
+/// Accumulates violations with printf-free formatting.
+class Violations {
+ public:
+  std::ostringstream& add() {
+    flush();
+    open_ = true;
+    return current_;
+  }
+  std::vector<std::string> take() {
+    flush();
+    return std::move(lines_);
+  }
+
+ private:
+  void flush() {
+    if (open_) lines_.push_back(current_.str());
+    current_.str({});
+    open_ = false;
+  }
+  std::ostringstream current_;
+  bool open_ = false;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+std::vector<std::string> check_scenario(const workload::ScenarioEngine& engine,
+                                        const ScenarioRunResult& run,
+                                        std::uint64_t floor) {
+  const workload::ScenarioTruth& truth = engine.truth();
+  const Report& report = run.report;
+  Violations violations;
+
+  const std::unordered_set<int> hostile(truth.hostile_hours.begin(),
+                                        truth.hostile_hours.end());
+  const int hours = util::AnalysisWindow::kHours;
+  auto is_clean = [&](int h) { return hostile.find(h) == hostile.end(); };
+
+  // ---- store / quarantine accounting ----
+  if (run.write.corrupted_hours != truth.hostile_hours.size()) {
+    violations.add() << "corrupted " << run.write.corrupted_hours
+                     << " hours on disk, scripted "
+                     << truth.hostile_hours.size();
+  }
+  if (run.hours_corrupt != truth.hostile_hours.size()) {
+    violations.add() << "reader quarantined " << run.hours_corrupt
+                     << " hours, scripted " << truth.hostile_hours.size();
+  }
+
+  // ---- conservation: everything folded is exactly the clean hours ----
+  std::uint64_t clean_total = 0;
+  for (const std::uint64_t packets : run.write.clean_hour_packets) {
+    clean_total += packets;
+  }
+  if (report.total_packets + report.unattributed_packets != clean_total) {
+    violations.add() << "report folds "
+                     << report.total_packets + report.unattributed_packets
+                     << " packets, clean hours hold " << clean_total;
+  }
+
+  // ---- unknown-source profile lookup (by IP) ----
+  std::unordered_map<std::uint32_t, const UnknownSourceProfile*> unknown;
+  unknown.reserve(report.unknown_sources.size());
+  for (const UnknownSourceProfile& profile : report.unknown_sources) {
+    unknown.emplace(profile.ip.value(), &profile);
+  }
+  /// Expected profile of a source emitting per_hour(h) packets: only
+  /// hours at or above the promotion floor accumulate (matching the
+  /// pipeline's per-hour promotion), hostile hours never fold.
+  struct ExpectedProfile {
+    std::uint64_t packets = 0;
+    int first = -1;
+    int last = -1;
+  };
+  auto expect_profile = [&](auto&& per_hour) {
+    ExpectedProfile expected;
+    for (int h = 0; h < hours; ++h) {
+      if (!is_clean(h)) continue;
+      const std::uint64_t count = per_hour(h);
+      if (count < floor) continue;
+      expected.packets += count;
+      if (expected.first < 0) expected.first = h;
+      expected.last = h;
+    }
+    return expected;
+  };
+  auto check_unknown = [&](net::Ipv4Address ip, const ExpectedProfile& expected,
+                           const char* what) {
+    const auto it = unknown.find(ip.value());
+    if (expected.packets == 0) {
+      if (it != unknown.end()) {
+        violations.add() << what << " " << ip.value()
+                         << ": profiled below the promotion floor";
+      }
+      return;
+    }
+    if (it == unknown.end()) {
+      violations.add() << what << " " << ip.value() << ": no unknown profile";
+      return;
+    }
+    const UnknownSourceProfile& profile = *it->second;
+    if (profile.packets != expected.packets ||
+        profile.first_interval != expected.first ||
+        profile.last_interval != expected.last) {
+      violations.add() << what << " " << ip.value() << ": profile "
+                       << profile.packets << " pkts [" << profile.first_interval
+                       << "," << profile.last_interval << "], expected "
+                       << expected.packets << " pkts [" << expected.first << ","
+                       << expected.last << "]";
+    }
+  };
+
+  // ---- recruitment: each recruit's whole footprint is the campaign ----
+  for (const workload::RecruitTruth& recruit : truth.recruits) {
+    int first = -1, last = -1;
+    std::uint64_t expected = 0;
+    for (int h = recruit.infected_hour; h < hours; ++h) {
+      if (!is_clean(h)) continue;
+      expected += recruit.rate;
+      if (first < 0) first = h;
+      last = h;
+    }
+    const DeviceTraffic* traffic = report.traffic_for(recruit.device);
+    if (!traffic) {
+      violations.add() << "recruit device " << recruit.device
+                       << ": never discovered";
+      continue;
+    }
+    if (traffic->first_interval != first || traffic->last_interval != last ||
+        traffic->packets != expected || traffic->tcp_scan != expected) {
+      violations.add() << "recruit device " << recruit.device << ": ["
+                       << traffic->first_interval << ","
+                       << traffic->last_interval << "] " << traffic->packets
+                       << " pkts (" << traffic->tcp_scan
+                       << " scan), expected [" << first << "," << last << "] "
+                       << expected;
+    }
+  }
+
+  // ---- churn: attributed half ends at the churn hour, the reassigned
+  // lease surfaces as an unknown source ----
+  for (const workload::ChurnTruth& churned : truth.churned) {
+    int first = -1, last = -1;
+    std::uint64_t expected = 0;
+    for (int h = churned.begin_hour; h < churned.churn_hour; ++h) {
+      if (!is_clean(h)) continue;
+      expected += churned.rate;
+      if (first < 0) first = h;
+      last = h;
+    }
+    const DeviceTraffic* traffic = report.traffic_for(churned.device);
+    if (!traffic) {
+      violations.add() << "churned device " << churned.device
+                       << ": never discovered";
+    } else if (traffic->first_interval != first ||
+               traffic->last_interval != last || traffic->packets != expected) {
+      violations.add() << "churned device " << churned.device << ": ["
+                       << traffic->first_interval << ","
+                       << traffic->last_interval << "] " << traffic->packets
+                       << " pkts, expected [" << first << "," << last << "] "
+                       << expected << " (device half must stop at churn)";
+    }
+    check_unknown(churned.new_ip, expect_profile([&](int h) -> std::uint64_t {
+                    return h >= churned.churn_hour && h < churned.end_hour
+                               ? churned.rate
+                               : 0;
+                  }),
+                  "churned lease");
+  }
+
+  // ---- pulse-wave DoS: every clean on-interval is a detected spike
+  // dominated by the scripted victim ----
+  for (const workload::PulseTruth& pulse : truth.pulses) {
+    std::uint64_t expected = 0;
+    for (const int h : pulse.on_intervals) {
+      if (is_clean(h)) expected += pulse.packets_per_on_hour;
+    }
+    const DeviceTraffic* traffic = report.traffic_for(pulse.device);
+    if (!traffic) {
+      violations.add() << "pulse victim " << pulse.device
+                       << ": never discovered";
+    } else if (traffic->tcp_backscatter != expected) {
+      violations.add() << "pulse victim " << pulse.device << ": "
+                       << traffic->tcp_backscatter
+                       << " backscatter pkts, expected " << expected;
+    }
+    for (const int h : pulse.on_intervals) {
+      if (!is_clean(h)) continue;
+      const auto spike =
+          std::find_if(report.dos_spikes.begin(), report.dos_spikes.end(),
+                       [&](const DosSpike& s) { return s.interval == h; });
+      if (spike == report.dos_spikes.end()) {
+        violations.add() << "pulse victim " << pulse.device
+                         << ": on-interval " << h << " not detected as a spike";
+        continue;
+      }
+      if (spike->top_victim != pulse.device) {
+        violations.add() << "spike at " << h << ": top victim "
+                         << spike->top_victim << ", expected " << pulse.device;
+      } else if (spike->top_victim_share <= 0.5) {
+        violations.add() << "spike at " << h << ": victim share "
+                         << spike->top_victim_share << " <= 0.5";
+      }
+    }
+  }
+
+  // ---- Zipf population: sources above the floor profile exactly, the
+  // tail stays partial or absent, skew ordering survives inference ----
+  const auto& zipf_counts = engine.zipf_hour_counts();
+  std::uint64_t previous_total = 0;
+  for (std::size_t i = 0; i < truth.zipf_sources.size(); ++i) {
+    const workload::ZipfSourceTruth& source = truth.zipf_sources[i];
+    const auto& counts = zipf_counts[i];
+    const ExpectedProfile expected = expect_profile(
+        [&](int h) { return counts[static_cast<std::size_t>(h)]; });
+    check_unknown(source.ip, expected, "zipf source");
+    // Within one campaign, ranks are consecutive and per-hour counts are
+    // non-increasing in rank, so the profiled totals must be too.
+    if (i > 0 && source.rank == truth.zipf_sources[i - 1].rank + 1 &&
+        expected.packets > previous_total) {
+      violations.add() << "zipf rank " << source.rank
+                       << " profiles more packets than rank " << source.rank - 1
+                       << " (skew ordering broken)";
+    }
+    previous_total = expected.packets;
+  }
+
+  return violations.take();
+}
+
+}  // namespace iotscope::core

@@ -1,0 +1,63 @@
+// Driver and ground-truth checker for the adversarial scenario engine
+// (workload/engine.hpp, DESIGN.md §17). run_scenario() executes one
+// scenario end to end — write the hourly store (hostile hours included),
+// analyze it in batch or by following it live, render the canonical
+// report text — and check_scenario() compares the resulting report
+// against the engine's exact campaign ledgers, returning one violation
+// string per broken claim. Tests assert the violation list is empty and
+// that the rendered text is byte-identical across every execution mode.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "workload/engine.hpp"
+
+namespace iotscope::core {
+
+/// How to execute a scenario run.
+struct ScenarioRunOptions {
+  /// false: write the whole store, then analyze it as a closed batch.
+  /// true: a writer thread rotates hours in while a StreamingStudy
+  /// follows the directory — the daemon path, including its corrupt-hour
+  /// quarantine.
+  bool follow = false;
+  ShardScheduler scheduler = ShardScheduler::Stealing;
+  unsigned threads = 0;  ///< 0 = auto
+  /// Follow mode: StreamOptions::snapshot_every / evict_after_hours.
+  int snapshot_every = 24;
+  int evict_after_hours = 6;
+};
+
+/// Everything one scenario execution produced.
+struct ScenarioRunResult {
+  workload::ScenarioEngine::WriteResult write;  ///< what went to disk
+  Report report;
+  /// Hours whose file failed to decode and were quarantined — by the
+  /// batch reader loop or by the streaming study, depending on the mode.
+  std::uint64_t hours_corrupt = 0;
+  /// Canonical rendered report (inference + traffic sections): the
+  /// byte-identity witness across batch/follow × scheduler modes.
+  std::string rendered;
+};
+
+/// Runs the scenario against a store rooted at `dir` (created if absent;
+/// pre-existing hour files will collide — use a fresh directory).
+/// Deterministic in the engine's script for every options combination.
+ScenarioRunResult run_scenario(const workload::ScenarioEngine& engine,
+                               const std::filesystem::path& dir,
+                               const ScenarioRunOptions& options = {});
+
+/// Checks the run against the engine's campaign ledgers. Returns one
+/// human-readable violation per failed claim; empty means every claim
+/// held. `floor` must match the pipeline's unknown_profile_hourly_floor
+/// the run used (claims about unknown-source profiles depend on it).
+std::vector<std::string> check_scenario(
+    const workload::ScenarioEngine& engine, const ScenarioRunResult& run,
+    std::uint64_t floor = PipelineOptions{}.unknown_profile_hourly_floor);
+
+}  // namespace iotscope::core

@@ -3,10 +3,24 @@
 #include <optional>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "util/io.hpp"
 #include "util/logging.hpp"
 
 namespace iotscope::core {
+
+namespace {
+
+/// Lane-to-hook channel for graph-mode quarantine: the guarded decode
+/// task sets message-then-flag (release) on a scheduler lane; the
+/// fence-serialized after-hook reads flag-then-message (acquire).
+struct CorruptProbe {
+  std::atomic<bool> corrupt{false};
+  std::string message;
+};
+
+}  // namespace
 
 StreamingStudy::StreamingStudy(const inventory::IoTDeviceDatabase& db,
                                const telescope::FlowTupleStore& store,
@@ -22,6 +36,8 @@ StreamingStudy::StreamingStudy(const inventory::IoTDeviceDatabase& db,
       decode_stage_(obs::Registry::instance().stage("store.decode")),
       hours_counter_(obs::Registry::instance().counter("stream.hours")),
       late_counter_(obs::Registry::instance().counter("stream.late_hours")),
+      corrupt_counter_(
+          obs::Registry::instance().counter("stream.corrupt_hours")),
       evicted_counter_(
           obs::Registry::instance().counter("stream.evicted")) {}
 
@@ -48,24 +64,51 @@ std::size_t StreamingStudy::poll_once() {
     }
     if (graph) {
       // Task-graph mode: hand the store read itself to the scheduler as
-      // per-part decode tasks, so hour N+1's decode overlaps hour N's
+      // a decode task, so hour N+1's decode overlaps hour N's
       // observe/fan-in. Admission bookkeeping that later polls depend on
       // (frontier, admitted count, snapshot cadence) happens here at
       // submission; watermark/eviction/snapshot publication happen in
       // the fence-serialized after-hook once the hour is folded.
-      auto loaders = store_->hour_loaders(interval, pipeline_.threads());
-      if (loaders.empty()) continue;  // removed out from under us
+      //
+      // One *guarded* whole-hour loader rather than hour_loaders(): a
+      // decode task that throws would fail the scheduler and kill
+      // follow() at its next drain point, and a corrupt hour split into
+      // parts cannot be quarantined atomically (already-decoded parts
+      // would partial-fold). The IoError is caught on the lane, flagged
+      // through the probe, and the hour folds as empty — byte-equivalent
+      // to never observing it. Cross-hour overlap (§16) is preserved;
+      // only intra-hour decode splitting is given up in follow mode.
       admit_frontier_ = interval + 1;
       ++stats_.hours_admitted;
       hours_counter_.add(1);
-      const bool snapshot_due =
-          options_.snapshot_every > 0 &&
-          stats_.hours_admitted %
-                  static_cast<std::uint64_t>(options_.snapshot_every) ==
-              0;
+      const bool snapshot_due = snapshot_due_now();
+      auto probe = std::make_shared<CorruptProbe>();
+      std::vector<telescope::FlowTupleStore::HourPartLoader> loaders;
+      loaders.push_back([store = store_, interval, probe,
+                         &decode_stage = decode_stage_]() -> net::FlowBatch {
+        net::FlowBatch batch;
+        batch.interval = interval;
+        try {
+          obs::ScopedTimer timer(decode_stage);
+          // A nullopt read means the file was removed out from under us
+          // (outside the store's contract) — fold the hour empty.
+          if (auto loaded = store->get_batch(interval)) {
+            batch = std::move(*loaded);
+          }
+        } catch (const util::IoError& error) {
+          probe->message = error.what();
+          probe->corrupt.store(true, std::memory_order_release);
+          batch = net::FlowBatch{};
+          batch.interval = interval;
+        }
+        return batch;
+      });
       pipeline_.observe_async(
           std::move(loaders),
-          [this, snapshot_due](const net::FlowBatch& batch, bool ok) {
+          [this, snapshot_due, probe](const net::FlowBatch& batch, bool ok) {
+            if (probe->corrupt.load(std::memory_order_acquire)) {
+              note_corrupt_hour(batch.interval, probe->message);
+            }
             hour_folded(batch, ok, snapshot_due);
           });
       ++admitted;
@@ -73,11 +116,23 @@ std::size_t StreamingStudy::poll_once() {
     }
     // Atomic rename publication means a listed file is complete; a
     // nullopt read can only mean the file was removed, which is outside
-    // the store's contract — skip rather than crash.
+    // the store's contract — skip rather than crash. A decode failure
+    // (util::IoError) quarantines the hour: count it, fold nothing, and
+    // move the watermark past it so ingestion continues.
     std::optional<net::FlowBatch> batch;
-    {
+    try {
       obs::ScopedTimer timer(decode_stage_);
       batch = store_->get_batch(interval);
+    } catch (const util::IoError& error) {
+      note_corrupt_hour(interval, error.what());
+      admit_frontier_ = interval + 1;
+      ++stats_.hours_admitted;
+      hours_counter_.add(1);
+      net::FlowBatch empty;
+      empty.interval = interval;
+      hour_folded(empty, /*ok=*/true, snapshot_due_now());
+      ++admitted;
+      continue;
     }
     if (!batch) continue;
     admit(*batch);
@@ -94,11 +149,27 @@ void StreamingStudy::admit(const net::FlowBatch& batch) {
   admit_frontier_ = batch.interval + 1;
   ++stats_.hours_admitted;
   hours_counter_.add(1);
-  hour_folded(batch, /*ok=*/true,
-              options_.snapshot_every > 0 &&
-                  stats_.hours_admitted %
-                          static_cast<std::uint64_t>(options_.snapshot_every) ==
-                      0);
+  hour_folded(batch, /*ok=*/true, snapshot_due_now());
+}
+
+bool StreamingStudy::snapshot_due_now() const {
+  return options_.snapshot_every > 0 &&
+         stats_.hours_admitted %
+                 static_cast<std::uint64_t>(options_.snapshot_every) ==
+             0;
+}
+
+void StreamingStudy::note_corrupt_hour(int interval,
+                                       const std::string& message) {
+  ++stats_.hours_corrupt;
+  corrupt_counter_.add(1);
+  if (!warned_corrupt_) {
+    warned_corrupt_ = true;
+    IOTSCOPE_LOG_WARN(
+        "stream: quarantining corrupt hour %d (%s); further corrupt hours "
+        "counted silently",
+        interval, message.c_str());
+  }
 }
 
 void StreamingStudy::hour_folded(const net::FlowBatch& batch, bool ok,

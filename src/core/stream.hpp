@@ -29,6 +29,14 @@
 //    while ingestion continues. The final snapshot equals finalize()'s
 //    batch report byte for byte.
 //
+//  * Corrupt-hour quarantine. A published hour whose bytes fail to
+//    decode (torn .iftc block, truncated records, hostile header — any
+//    util::IoError) must not kill a 24/7 daemon: the hour is skipped,
+//    counted (`stream.corrupt_hours`), logged once, and the watermark
+//    advances past it — folding nothing is byte-equivalent to the hour
+//    never having existed, so the stream stays byte-identical to a
+//    batch run over the surviving hours.
+//
 //  * Bounded memory. Cold unknown-source first-seen state (the one
 //    per-source map that grows with the source population, not the
 //    inventory) is evicted to a frozen archive once idle for
@@ -42,6 +50,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -76,8 +85,15 @@ struct StreamOptions {
 
 /// Streaming counters, all cumulative over the engine's lifetime.
 struct StreamStats {
-  std::uint64_t hours_admitted = 0;     ///< observed by the pipeline
+  /// Hours accepted at/above the watermark — including quarantined
+  /// corrupt hours, so snapshot cadence and drain predicates behave the
+  /// same whether an hour decoded or not.
+  std::uint64_t hours_admitted = 0;
   std::uint64_t hours_late = 0;         ///< below-watermark, dropped
+  /// Admitted hours whose file failed to decode (util::IoError: torn
+  /// .iftc, truncated records, hostile header). The hour is skipped and
+  /// the watermark advances past it; nothing of it is folded.
+  std::uint64_t hours_corrupt = 0;
   std::uint64_t profiles_evicted = 0;   ///< hot -> frozen moves
   std::uint64_t snapshots_published = 0;  ///< periodic + explicit
 };
@@ -155,6 +171,14 @@ class StreamingStudy {
   /// eviction, and periodic snapshot are exactly as safe here as on the
   /// ingest thread in admit().
   void hour_folded(const net::FlowBatch& batch, bool ok, bool snapshot_due);
+  /// Records a quarantined hour: bumps hours_corrupt and the
+  /// stream.corrupt_hours counter, logs the first occurrence. Called on
+  /// the ingest thread (sync modes) or from the fence-serialized
+  /// after-hook (graph mode) — never concurrently with itself.
+  void note_corrupt_hour(int interval, const std::string& message);
+  /// Whether the hour just counted into hours_admitted lands on the
+  /// periodic snapshot cadence.
+  bool snapshot_due_now() const;
 
   const telescope::FlowTupleStore* store_;
   StreamOptions options_;
@@ -171,6 +195,7 @@ class StreamingStudy {
   /// if not yet folded.
   int admit_frontier_ = 0;
   bool warned_late_ = false;
+  bool warned_corrupt_ = false;
 
   /// Publication slot. A plain shared_ptr store here raced the server's
   /// worker-thread readers (shared_ptr copy vs store is a data race on
@@ -187,6 +212,7 @@ class StreamingStudy {
                                  ///< read path times, for comparability
   obs::Counter& hours_counter_;  ///< stream.hours
   obs::Counter& late_counter_;   ///< stream.late_hours
+  obs::Counter& corrupt_counter_;  ///< stream.corrupt_hours
   obs::Counter& evicted_counter_;  ///< stream.evicted
 };
 

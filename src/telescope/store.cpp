@@ -111,6 +111,14 @@ void FlowTupleStore::put(const net::FlowBatch& batch) const {
   }
 }
 
+void FlowTupleStore::put_hostile(int interval, std::string_view bytes,
+                                 StoreFormat format) const {
+  const std::string name = format == StoreFormat::Compressed
+                               ? net::CompressedFlowCodec::file_name(interval)
+                               : net::FlowTupleCodec::file_name(interval);
+  publish_atomically(dir_, name, std::string(bytes));
+}
+
 std::optional<net::HourlyFlows> FlowTupleStore::get(int interval) const {
   const auto path = dir_ / net::FlowTupleCodec::file_name(interval);
   if (std::filesystem::exists(path)) {

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -78,6 +79,15 @@ class FlowTupleStore {
   void put(const net::HourlyFlows& flows) const;
   /// Columnar variant: identical file bytes for the same records.
   void put(const net::FlowBatch& batch) const;
+
+  /// Publishes arbitrary bytes under an hour's on-disk name (".ift" or
+  /// ".iftc" per `format`), with the same atomic temp+rename discipline
+  /// as put(). The bytes need not decode — this is the scenario engine's
+  /// seam for hostile hours (torn blocks, truncated records, implausible
+  /// headers): a concurrent follower must observe either no file or the
+  /// complete corrupt file, never a torn write of the corruption itself.
+  void put_hostile(int interval, std::string_view bytes,
+                   StoreFormat format) const;
 
   /// Selects the format put() writes from now on (default Raw). The
   /// block size only applies to StoreFormat::Compressed.

@@ -1,0 +1,544 @@
+#include "workload/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "net/block_codec.hpp"
+#include "net/flowtuple.hpp"
+#include "telescope/darknet.hpp"
+#include "util/logging.hpp"
+#include "util/timebase.hpp"
+
+namespace iotscope::workload {
+
+namespace {
+
+/// Reassigned-lease / Zipf-source pool: the upper /16 of the RFC 2544
+/// benchmarking block, disjoint from the heavy hitter's 198.18.0.0/16
+/// neighbourhood so campaign sources never alias the skew source.
+net::Ipv4Prefix synthetic_source_prefix() {
+  return net::Ipv4Prefix(net::Ipv4Address::from_octets(198, 19, 0, 0), 16);
+}
+
+int clamp_hour(int hour) {
+  return std::clamp(hour, 0, util::AnalysisWindow::kHours);
+}
+
+/// Triangle-wave diurnal multiplier in [0.5, 1.0]: peak mid-period,
+/// trough at the period boundary. Integer arithmetic (no libm) so the
+/// planned counts are identical across platforms.
+double diurnal_multiplier(int hour, int begin, int period) {
+  const int pos = (hour - begin) % period;
+  const int dist = std::min(pos, period - pos);
+  return 0.5 + static_cast<double>(dist) / static_cast<double>(period);
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioScript script)
+    : script_(std::move(script)), scenario_(build_scenario(script_.base)) {
+  plan_campaigns();
+}
+
+void ScenarioEngine::plan_campaigns() {
+  // Planning stream, decorrelated from both the builder's and the
+  // synthesizer's derived streams.
+  util::Rng rng(script_.base.seed ^ util::stable_hash(script_.name) ^
+                0x5CE4A71E6E61ULL);
+
+  // Campaign actors come from the *unplanned* inventory — devices the
+  // base workload never makes emit — so every campaign packet stream is
+  // a device's whole observable footprint and the ground truth can
+  // assert exact first/last intervals and packet totals.
+  std::vector<std::uint32_t> pool;
+  const auto& devices = scenario_.inventory.devices();
+  for (std::uint32_t i = 0; i < devices.size(); ++i) {
+    if (scenario_.truth.plan_for(i) == nullptr) pool.push_back(i);
+  }
+  rng.shuffle(pool);
+  std::size_t cursor = 0;
+  bool warned_pool = false;
+  auto take_device = [&]() -> std::optional<std::uint32_t> {
+    if (cursor >= pool.size()) {
+      if (!warned_pool) {
+        warned_pool = true;
+        IOTSCOPE_LOG_WARN(
+            "scenario '%s': unplanned-device pool exhausted (%zu devices); "
+            "remaining campaign actors dropped",
+            script_.name.c_str(), pool.size());
+      }
+      return std::nullopt;
+    }
+    return pool[cursor++];
+  };
+
+  // Fresh non-inventory sources (churned leases, Zipf population), each
+  // unique within the run.
+  std::unordered_set<std::uint32_t> allocated;
+  std::uint32_t next_offset = 1;
+  auto take_source = [&]() -> net::Ipv4Address {
+    net::Ipv4Address ip;
+    do {
+      ip = pick_unused_source(scenario_.inventory, synthetic_source_prefix(),
+                              next_offset++);
+    } while (!allocated.insert(ip.value()).second);
+    return ip;
+  };
+
+  for (const PhaseSpec& phase : script_.phases) {
+    const int begin = clamp_hour(phase.begin_hour);
+    const int end = clamp_hour(phase.end_hour);
+    if (begin >= end) continue;
+    const int span = end - begin;
+
+    for (const CampaignSpec& campaign : phase.campaigns) {
+      switch (campaign.kind) {
+        case CampaignKind::Recruitment: {
+          // Infection i of n lands at t_i = span * ((i+1)/n)^(1/growth):
+          // growth > 1 back-loads infections into an accelerating ramp
+          // (the recruitment stage of the IoT-BDA botnet lifecycle).
+          // Recruits keep emitting past the phase end — infections
+          // persist until the study window closes.
+          const double growth = campaign.growth > 0.0 ? campaign.growth : 1.0;
+          for (std::size_t i = 0; i < campaign.actors; ++i) {
+            const auto device = take_device();
+            if (!device) break;
+            const double frac = static_cast<double>(i + 1) /
+                                static_cast<double>(campaign.actors);
+            const int offset = std::min(
+                span - 1, static_cast<int>(std::floor(
+                              span * std::pow(frac, 1.0 / growth))));
+            const int infected = begin + std::max(0, offset);
+            RecruitTruth truth;
+            truth.device = *device;
+            truth.ip = devices[*device].ip;
+            truth.infected_hour = infected;
+            truth.rate = campaign.rate;
+            truth.port = campaign.port;
+            truth_.campaign_packets +=
+                campaign.rate * static_cast<std::uint64_t>(
+                                    util::AnalysisWindow::kHours - infected);
+            truth_.recruits.push_back(std::move(truth));
+          }
+          break;
+        }
+        case CampaignKind::Churn: {
+          if (span < 2) break;
+          const int churn =
+              std::clamp(campaign.churn_hour, begin + 1, end - 1);
+          for (std::size_t i = 0; i < campaign.actors; ++i) {
+            const auto device = take_device();
+            if (!device) break;
+            ChurnTruth truth;
+            truth.device = *device;
+            truth.device_ip = devices[*device].ip;
+            truth.new_ip = take_source();
+            truth.begin_hour = begin;
+            truth.churn_hour = churn;
+            truth.end_hour = end;
+            truth.rate = campaign.rate;
+            truth.port = campaign.port;
+            truth_.campaign_packets +=
+                campaign.rate * static_cast<std::uint64_t>(span);
+            truth_.churned.push_back(std::move(truth));
+          }
+          break;
+        }
+        case CampaignKind::PulseDos: {
+          const int period = std::max(1, campaign.period_hours);
+          const int on = std::clamp(campaign.on_hours, 1, period);
+          for (std::size_t i = 0; i < campaign.actors; ++i) {
+            const auto device = take_device();
+            if (!device) break;
+            // Victims stagger their pulse windows evenly around the
+            // period, so concurrent pulse-wave attacks interleave the
+            // way the Imperva pulse-wave reports describe.
+            const int stagger = static_cast<int>(
+                (static_cast<std::size_t>(period) * i) /
+                std::max<std::size_t>(1, campaign.actors));
+            PulseTruth truth;
+            truth.device = *device;
+            truth.ip = devices[*device].ip;
+            truth.packets_per_on_hour = campaign.rate;
+            truth.service_port = campaign.port;
+            for (int h = begin; h < end; ++h) {
+              const int pos = (h - begin) % period;
+              if ((pos - stagger + period) % period < on) {
+                truth.on_intervals.push_back(h);
+              }
+            }
+            truth_.campaign_packets +=
+                campaign.rate * truth.on_intervals.size();
+            truth_.pulses.push_back(std::move(truth));
+          }
+          break;
+        }
+        case CampaignKind::ZipfDiurnal: {
+          const int period = std::max(1, campaign.period_hours);
+          const double s =
+              campaign.zipf_exponent > 0.0 ? campaign.zipf_exponent : 1.0;
+          for (std::size_t rank = 0; rank < campaign.actors; ++rank) {
+            const double weight =
+                std::pow(static_cast<double>(rank + 1), -s);
+            ZipfSourceTruth truth;
+            truth.ip = take_source();
+            truth.rank = rank;
+            truth.port = campaign.port;
+            std::vector<std::uint64_t> counts(util::AnalysisWindow::kHours, 0);
+            std::uint64_t min_active = 0;
+            for (int h = begin; h < end; ++h) {
+              const auto count = static_cast<std::uint64_t>(std::llround(
+                  static_cast<double>(campaign.rate) * weight *
+                  diurnal_multiplier(h, begin, period)));
+              counts[static_cast<std::size_t>(h)] = count;
+              if (count > 0) {
+                truth.total_packets += count;
+                min_active =
+                    min_active == 0 ? count : std::min(min_active, count);
+              }
+            }
+            truth.min_hour_packets = min_active;
+            truth_.campaign_packets += truth.total_packets;
+            zipf_hour_counts_.push_back(std::move(counts));
+            truth_.zipf_sources.push_back(std::move(truth));
+          }
+          break;
+        }
+        case CampaignKind::MalformedHours: {
+          for (const int hour : campaign.hostile_hours) {
+            if (hour < 0 || hour >= util::AnalysisWindow::kHours) continue;
+            hostile_kind_.emplace(hour, campaign.hostile);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  truth_.hostile_hours.clear();
+  for (const auto& [hour, kind] : hostile_kind_) {
+    (void)kind;
+    truth_.hostile_hours.push_back(hour);  // std::map: already sorted
+  }
+}
+
+void ScenarioEngine::emit_campaign_hour(int hour, const PacketSink& sink,
+                                        util::Rng& rng,
+                                        std::uint64_t& emitted) const {
+  const util::UnixTime hour_start = util::AnalysisWindow::interval_start(hour);
+  const telescope::DarknetSpace space(script_.base.darknet);
+  auto ts = [&]() {
+    return hour_start + static_cast<util::UnixTime>(rng.uniform(0, 3599));
+  };
+  auto ephemeral = [&]() {
+    return static_cast<net::Port>(rng.uniform(1024, 65535));
+  };
+
+  for (const RecruitTruth& recruit : truth_.recruits) {
+    if (hour < recruit.infected_hour) continue;
+    for (std::uint64_t k = 0; k < recruit.rate; ++k) {
+      sink(net::make_tcp_syn(ts(), recruit.ip, space.random_address(rng),
+                             ephemeral(), recruit.port));
+      ++emitted;
+    }
+  }
+
+  for (const ChurnTruth& churned : truth_.churned) {
+    if (hour < churned.begin_hour || hour >= churned.end_hour) continue;
+    const net::Ipv4Address src =
+        hour < churned.churn_hour ? churned.device_ip : churned.new_ip;
+    for (std::uint64_t k = 0; k < churned.rate; ++k) {
+      sink(net::make_tcp_syn(ts(), src, space.random_address(rng),
+                             ephemeral(), churned.port));
+      ++emitted;
+    }
+  }
+
+  for (const PulseTruth& pulse : truth_.pulses) {
+    if (!std::binary_search(pulse.on_intervals.begin(),
+                            pulse.on_intervals.end(), hour)) {
+      continue;
+    }
+    // SYN-ACKs from the flooded service port: exactly what a victim of a
+    // randomly spoofed SYN flood reflects into the telescope.
+    for (std::uint64_t k = 0; k < pulse.packets_per_on_hour; ++k) {
+      sink(net::make_tcp_syn_ack(ts(), pulse.ip, space.random_address(rng),
+                                 pulse.service_port, ephemeral()));
+      ++emitted;
+    }
+  }
+
+  for (std::size_t i = 0; i < truth_.zipf_sources.size(); ++i) {
+    const ZipfSourceTruth& source = truth_.zipf_sources[i];
+    const std::uint64_t count =
+        zipf_hour_counts_[i][static_cast<std::size_t>(hour)];
+    for (std::uint64_t k = 0; k < count; ++k) {
+      sink(net::make_tcp_syn(ts(), source.ip, space.random_address(rng),
+                             ephemeral(), source.port));
+      ++emitted;
+    }
+  }
+}
+
+SynthStats ScenarioEngine::emit(const PacketSink& sink) const {
+  // One emission stream for base + campaigns; seeded independently of
+  // the planning stream so re-planning never shifts emission draws.
+  util::Rng rng(script_.base.seed ^ util::stable_hash(script_.name) ^
+                0xE517C4A9B30FULL);
+  std::uint64_t emitted = 0;
+  SynthStats stats = synthesize_traffic(
+      scenario_, script_.base, sink,
+      [this, &rng, &emitted](int hour, const PacketSink& hour_sink) {
+        emit_campaign_hour(hour, hour_sink, rng, emitted);
+      });
+  if (emitted != truth_.campaign_packets) {
+    // Planning and emission share the ledgers above; a divergence here
+    // means a campaign formula changed on one side only.
+    IOTSCOPE_LOG_WARN(
+        "scenario '%s': emitted %llu campaign packets but ledger says %llu",
+        script_.name.c_str(), static_cast<unsigned long long>(emitted),
+        static_cast<unsigned long long>(truth_.campaign_packets));
+  }
+  return stats;
+}
+
+std::string ScenarioEngine::craft_hostile_bytes(const net::FlowBatch& batch,
+                                                HostileKind kind) const {
+  std::string bytes;
+  switch (kind) {
+    case HostileKind::TornCompressed:
+      // A valid compressed encoding cut to two thirds: the reader fails
+      // mid-block (truncated block or CRC mismatch), or on the file
+      // header itself for very small hours.
+      net::CompressedFlowCodec::encode(bytes, batch);
+      bytes.resize(std::max<std::size_t>(bytes.size() * 2 / 3, 8));
+      break;
+    case HostileKind::TruncatedRaw:
+      // Fixed 25-byte records cut mid-record: the reader's short-read
+      // check fires on the final record.
+      net::FlowTupleCodec::encode(bytes, batch);
+      if (bytes.size() > 13) bytes.resize(bytes.size() - 13);
+      break;
+    case HostileKind::BadHeader: {
+      // Valid framing, hostile header: the interval field (after the
+      // u32 magic and u16 version) stamped 0xFFFFFFFF, which the codec
+      // rejects as an implausible interval before touching any block.
+      net::CompressedFlowCodec::encode(bytes, batch);
+      for (std::size_t i = 6; i < 10 && i < bytes.size(); ++i) {
+        bytes[i] = '\xFF';
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+ScenarioEngine::WriteResult ScenarioEngine::write_to_store(
+    const telescope::FlowTupleStore& store,
+    const HourPublished& on_publish) const {
+  WriteResult result;
+  result.clean_hour_packets.assign(
+      static_cast<std::size_t>(util::AnalysisWindow::kHours), 0);
+  telescope::TelescopeCapture capture(
+      telescope::DarknetSpace(script_.base.darknet),
+      [&](net::FlowBatch&& batch) {
+        const int interval = batch.interval;
+        const auto hostile = hostile_kind_.find(interval);
+        if (hostile != hostile_kind_.end()) {
+          // The hostile file *replaces* the hour: publish corrupt bytes
+          // under the hour's only on-disk name, so a reader can never
+          // fall back to an intact sibling.
+          const auto format = hostile->second == HostileKind::TruncatedRaw
+                                  ? telescope::StoreFormat::Raw
+                                  : telescope::StoreFormat::Compressed;
+          store.put_hostile(interval,
+                            craft_hostile_bytes(batch, hostile->second),
+                            format);
+          ++result.corrupted_hours;
+        } else {
+          store.put(batch);
+          result.clean_hour_packets[static_cast<std::size_t>(interval)] =
+              batch.total_packets();
+        }
+        if (on_publish) on_publish(interval);
+      });
+  result.synth =
+      emit([&](const net::PacketRecord& packet) { capture.ingest(packet); });
+  capture.finish();
+  result.capture = capture.stats();
+  return result;
+}
+
+// ---- built-in scenarios --------------------------------------------
+
+namespace {
+
+/// Shared small-scale base: ~1.3k devices, ~115k base packets — big
+/// enough that every report section is populated, small enough that a
+/// full batch-vs-follow matrix runs in test time.
+ScenarioConfig small_base() {
+  ScenarioConfig base;
+  base.inventory_scale = 0.004;
+  base.traffic_scale = 0.0008;
+  base.noise_ratio = 0.04;
+  base.heavy_hitter_share = 0.0;
+  return base;
+}
+
+ScenarioScript make_recruitment() {
+  ScenarioScript script;
+  script.name = "recruitment";
+  script.description =
+      "Staged botnet recruitment: a quiet day, then an accelerating "
+      "Telnet-scanning infection ramp whose recruits persist to the end "
+      "of the window.";
+  script.base = small_base();
+  PhaseSpec quiet;
+  quiet.label = "quiet";
+  quiet.begin_hour = 0;
+  quiet.end_hour = 24;
+  PhaseSpec ramp;
+  ramp.label = "ramp";
+  ramp.begin_hour = 24;
+  ramp.end_hour = 108;
+  CampaignSpec recruit;
+  recruit.kind = CampaignKind::Recruitment;
+  recruit.label = "telnet-ramp";
+  recruit.actors = 32;
+  recruit.rate = 6;
+  recruit.port = 23;
+  ramp.campaigns.push_back(recruit);
+  PhaseSpec steady;
+  steady.label = "steady";
+  steady.begin_hour = 108;
+  steady.end_hour = 143;
+  script.phases = {quiet, ramp, steady};
+  return script;
+}
+
+ScenarioScript make_churn() {
+  ScenarioScript script;
+  script.name = "churn";
+  script.description =
+      "Mid-study device churn: scanning devices lose their indexed IP to "
+      "a lease reassignment, so each device's traffic splits into an "
+      "attributed half and an unknown-source half.";
+  script.base = small_base();
+  PhaseSpec phase;
+  phase.label = "lease-cycle";
+  phase.begin_hour = 8;
+  phase.end_hour = 120;
+  CampaignSpec churn;
+  churn.kind = CampaignKind::Churn;
+  churn.label = "dhcp-reassignment";
+  churn.actors = 6;
+  churn.rate = 8;
+  churn.churn_hour = 64;
+  churn.port = 2323;
+  phase.campaigns.push_back(churn);
+  script.phases = {phase};
+  return script;
+}
+
+ScenarioScript make_pulse_dos() {
+  ScenarioScript script;
+  script.name = "pulse-dos";
+  script.description =
+      "Pulse-wave DoS backscatter: two victims reflect short daily "
+      "bursts large enough to dominate the hourly backscatter series.";
+  script.base = small_base();
+  PhaseSpec phase;
+  phase.label = "pulse-waves";
+  phase.begin_hour = 0;
+  phase.end_hour = 143;
+  CampaignSpec pulse;
+  pulse.kind = CampaignKind::PulseDos;
+  pulse.label = "syn-flood-pulses";
+  pulse.actors = 2;
+  pulse.rate = 5000;
+  pulse.period_hours = 24;
+  pulse.on_hours = 2;
+  pulse.port = 80;
+  phase.campaigns.push_back(pulse);
+  script.phases = {phase};
+  return script;
+}
+
+ScenarioScript make_zipf_diurnal() {
+  ScenarioScript script;
+  script.name = "zipf-diurnal";
+  script.description =
+      "Zipf-tailed unknown-source population on a diurnal cycle: a few "
+      "heavy non-inventory scanners above the profiling floor, a long "
+      "tail below it.";
+  script.base = small_base();
+  PhaseSpec phase;
+  phase.label = "diurnal-sweep";
+  phase.begin_hour = 0;
+  phase.end_hour = 143;
+  CampaignSpec zipf;
+  zipf.kind = CampaignKind::ZipfDiurnal;
+  zipf.label = "skewed-sources";
+  zipf.actors = 20;
+  zipf.rate = 48;
+  zipf.zipf_exponent = 1.2;
+  zipf.period_hours = 24;
+  zipf.port = 23;
+  phase.campaigns.push_back(zipf);
+  script.phases = {phase};
+  return script;
+}
+
+ScenarioScript make_malformed() {
+  ScenarioScript script;
+  script.name = "malformed";
+  script.description =
+      "Hostile store: three hours published as corrupt files (torn "
+      "compressed block, truncated raw record, out-of-range header) that "
+      "readers must quarantine without dying.";
+  script.base = small_base();
+  PhaseSpec phase;
+  phase.label = "hostile-hours";
+  phase.begin_hour = 0;
+  phase.end_hour = 143;
+  CampaignSpec torn;
+  torn.kind = CampaignKind::MalformedHours;
+  torn.label = "torn-block";
+  torn.hostile_hours = {37};
+  torn.hostile = HostileKind::TornCompressed;
+  CampaignSpec truncated;
+  truncated.kind = CampaignKind::MalformedHours;
+  truncated.label = "truncated-record";
+  truncated.hostile_hours = {71};
+  truncated.hostile = HostileKind::TruncatedRaw;
+  CampaignSpec header;
+  header.kind = CampaignKind::MalformedHours;
+  header.label = "hostile-header";
+  header.hostile_hours = {107};
+  header.hostile = HostileKind::BadHeader;
+  phase.campaigns = {torn, truncated, header};
+  script.phases = {phase};
+  return script;
+}
+
+}  // namespace
+
+const std::vector<std::string>& builtin_scenario_names() {
+  static const std::vector<std::string> names = {
+      "recruitment", "churn", "pulse-dos", "zipf-diurnal", "malformed"};
+  return names;
+}
+
+std::optional<ScenarioScript> builtin_scenario(const std::string& name) {
+  if (name == "recruitment") return make_recruitment();
+  if (name == "churn") return make_churn();
+  if (name == "pulse-dos") return make_pulse_dos();
+  if (name == "zipf-diurnal") return make_zipf_diurnal();
+  if (name == "malformed") return make_malformed();
+  return std::nullopt;
+}
+
+}  // namespace iotscope::workload

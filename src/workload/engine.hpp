@@ -1,0 +1,206 @@
+// The phase-based adversarial scenario engine (ROADMAP item 4, DESIGN.md
+// §17). A scenario is an ordered list of phases over the 143-hour
+// analysis window; each phase declares the campaigns active during it —
+// staged botnet recruitment ramps (the IoT-BDA lifecycle), mid-study
+// device churn (IP reassignment that breaks the inventory join),
+// pulse-wave DoS backscatter, Zipf-tailed source populations with
+// diurnal rate cycles, and malformed/hostile flowtuple hours. Campaign
+// traffic rides on top of the regular paper-marginal workload through
+// synthesize_traffic's hour hook, and every campaign records exact
+// ground truth (ScenarioTruth) so the inference report can be checked
+// claim by claim (core/scenario_check.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telescope/capture.hpp"
+#include "telescope/store.hpp"
+#include "workload/rotating_writer.hpp"
+#include "workload/scenario.hpp"
+#include "workload/synth.hpp"
+
+namespace iotscope::workload {
+
+/// What a campaign does during its phase.
+enum class CampaignKind {
+  Recruitment,    ///< exponential infection ramp of inventory devices
+  Churn,          ///< devices lose their indexed IP mid-campaign
+  PulseDos,       ///< periodic pulse-wave backscatter from victims
+  ZipfDiurnal,    ///< Zipf-tailed non-inventory sources, diurnal cycle
+  MalformedHours, ///< scheduled hostile/corrupt on-disk hours
+};
+
+/// How a MalformedHours campaign corrupts an hour's file.
+enum class HostileKind {
+  TornCompressed, ///< valid ".iftc" prefix truncated mid-block
+  TruncatedRaw,   ///< ".ift" cut mid-record
+  BadHeader,      ///< ".iftc" header with an out-of-range interval
+};
+
+/// One campaign inside a phase. Fields are interpreted per kind; unused
+/// knobs are ignored.
+struct CampaignSpec {
+  CampaignKind kind = CampaignKind::Recruitment;
+  std::string label;
+
+  std::size_t actors = 8;  ///< devices (or sources) the campaign drives
+  /// Deterministic packets per actor-hour once active. Keep at or above
+  /// the pipeline's unknown-source hourly floor (default 4) when the
+  /// ground truth asserts on unknown-profile tallies.
+  std::uint64_t rate = 6;
+  net::Port port = 23;  ///< probed service port (Telnet by default)
+
+  // Recruitment: infections follow t_i ~ (i/actors)^(1/growth) over the
+  // phase, i.e. growth > 1 back-loads infections into an accelerating
+  // ramp. Recruits stay active past the phase end (infections persist).
+  double growth = CampaignShapeSpec{}.recruitment_growth;
+
+  // Churn: each actor emits from its inventory IP until churn_hour, then
+  // from a fresh non-inventory IP (the reassigned lease) until phase end.
+  int churn_hour = 72;
+
+  // PulseDos / ZipfDiurnal cycles.
+  int period_hours = CampaignShapeSpec{}.pulse_period_hours;
+  int on_hours = CampaignShapeSpec{}.pulse_on_hours;
+  double zipf_exponent = CampaignShapeSpec{}.zipf_exponent;
+
+  // MalformedHours: which intervals to corrupt, and how.
+  std::vector<int> hostile_hours;
+  HostileKind hostile = HostileKind::TornCompressed;
+};
+
+/// One phase: a half-open hour window and its active campaigns.
+struct PhaseSpec {
+  std::string label;
+  int begin_hour = 0;
+  int end_hour = 143;  ///< util::AnalysisWindow::kHours
+  std::vector<CampaignSpec> campaigns;
+};
+
+/// A full scenario script: base-workload knobs plus the phase list.
+struct ScenarioScript {
+  std::string name;
+  std::string description;
+  ScenarioConfig base;
+  std::vector<PhaseSpec> phases;
+};
+
+// ---- exact campaign ground truth -----------------------------------
+
+struct RecruitTruth {
+  std::uint32_t device = 0;  ///< inventory index
+  net::Ipv4Address ip;
+  int infected_hour = 0;  ///< first hour with any emission from this device
+  std::uint64_t rate = 0;  ///< packets per hour once infected
+  net::Port port = 23;     ///< probed service
+};
+
+struct ChurnTruth {
+  std::uint32_t device = 0;     ///< inventory index of the churned device
+  net::Ipv4Address device_ip;   ///< indexed IP (used before churn_hour)
+  net::Ipv4Address new_ip;      ///< reassigned non-inventory IP
+  int begin_hour = 0;           ///< first emitting hour (old IP)
+  int churn_hour = 0;           ///< first hour on the new IP
+  int end_hour = 0;             ///< one past the last emitting hour
+  std::uint64_t rate = 0;       ///< packets per hour, both halves
+  net::Port port = 23;          ///< probed service
+};
+
+struct PulseTruth {
+  std::uint32_t device = 0;  ///< inventory index of the victim
+  net::Ipv4Address ip;
+  std::vector<int> on_intervals;        ///< pulse hours, ascending
+  std::uint64_t packets_per_on_hour = 0;  ///< backscatter per pulse hour
+  net::Port service_port = 80;  ///< flooded service (backscatter src port)
+};
+
+struct ZipfSourceTruth {
+  net::Ipv4Address ip;  ///< non-inventory source
+  std::size_t rank = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t min_hour_packets = 0;  ///< smallest active-hour emission
+  net::Port port = 23;
+};
+
+/// Exact ledger of everything the campaigns injected.
+struct ScenarioTruth {
+  std::vector<RecruitTruth> recruits;
+  std::vector<ChurnTruth> churned;
+  std::vector<PulseTruth> pulses;
+  std::vector<ZipfSourceTruth> zipf_sources;
+  std::vector<int> hostile_hours;  ///< sorted, unique
+  std::uint64_t campaign_packets = 0;  ///< total injected by campaigns
+};
+
+/// Executes a ScenarioScript: builds the base scenario, plans every
+/// campaign deterministically (actors, infection times, churned IPs,
+/// pulse schedules), and emits base + campaign traffic per hour. All
+/// planning happens in the constructor; emit()/write_to_store() are
+/// const and reproducible — two calls produce identical packet streams,
+/// which is what keeps batch and --follow runs byte-identical.
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioScript script);
+
+  const ScenarioScript& script() const noexcept { return script_; }
+  const Scenario& scenario() const noexcept { return scenario_; }
+  const ScenarioTruth& truth() const noexcept { return truth_; }
+  /// Planned per-hour Zipf emissions, row-aligned with
+  /// truth().zipf_sources — the per-hour ground truth the checker needs
+  /// to reproduce the profiling floor's hour-by-hour cut.
+  const std::vector<std::vector<std::uint64_t>>& zipf_hour_counts()
+      const noexcept {
+    return zipf_hour_counts_;
+  }
+
+  /// Emits the full packet stream (base workload + campaigns) into the
+  /// sink in non-decreasing hour order. Returns the base synthesizer's
+  /// stats; campaign packets are ledgered in truth().campaign_packets.
+  SynthStats emit(const PacketSink& sink) const;
+
+  /// What write_to_store() put on disk.
+  struct WriteResult {
+    SynthStats synth;
+    telescope::CaptureStats capture;
+    /// Per-interval packet totals of the hours published intact —
+    /// hostile hours hold 0 (their records are unrecoverable by design).
+    std::vector<std::uint64_t> clean_hour_packets;
+    std::uint64_t corrupted_hours = 0;
+  };
+
+  /// Captures the emitted stream into hourly files under `store`,
+  /// replacing each scheduled hostile hour's file with crafted corrupt
+  /// bytes (published with the same atomic rename as real hours).
+  /// on_publish (optional) fires after every published hour — hostile or
+  /// not — in ascending interval order.
+  WriteResult write_to_store(const telescope::FlowTupleStore& store,
+                             const HourPublished& on_publish = {}) const;
+
+ private:
+  void plan_campaigns();
+  void emit_campaign_hour(int hour, const PacketSink& sink, util::Rng& rng,
+                          std::uint64_t& emitted) const;
+  std::string craft_hostile_bytes(const net::FlowBatch& batch,
+                                  HostileKind kind) const;
+
+  ScenarioScript script_;
+  Scenario scenario_;
+  ScenarioTruth truth_;
+  std::map<int, HostileKind> hostile_kind_;  ///< interval -> corruption
+  /// Planned per-hour Zipf emission counts, indexed [source][hour] —
+  /// precomputed so emit() and the truth ledger share one formula.
+  std::vector<std::vector<std::uint64_t>> zipf_hour_counts_;
+};
+
+/// Ordered names of the built-in scenarios.
+const std::vector<std::string>& builtin_scenario_names();
+
+/// Script of a built-in scenario; nullopt for unknown names. All
+/// built-ins run at a small scale suited to tests and benches.
+std::optional<ScenarioScript> builtin_scenario(const std::string& name);
+
+}  // namespace iotscope::workload

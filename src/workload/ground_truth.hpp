@@ -84,6 +84,12 @@ struct GroundTruth {
   std::size_t compromised_consumer = 0;
   std::size_t compromised_cps = 0;
   std::size_t dos_victims = 0;
+  /// Plans minted by the propensity-driven selection pass alone, before
+  /// any scripted role (hero, victim quota) could pull in extra devices.
+  /// plans.size() - compromised_by_selection is therefore the number of
+  /// devices the role quotas added on top — bounded by the scripted
+  /// device count at any scale once quota fills clamp to the population.
+  std::size_t compromised_by_selection = 0;
 
   const DevicePlan* plan_for(std::uint32_t device) const noexcept {
     const auto it = by_device.find(device);

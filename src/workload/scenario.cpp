@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 
 #include "util/logging.hpp"
@@ -67,10 +68,12 @@ struct Want {
   std::string cps_protocol;  // empty = any
 };
 
-/// Finds a device matching the requirements, relaxing constraints from the
-/// most specific to the least until something matches. Prefers devices not
-/// already pinned to another scripted role. Returns the device index.
-std::uint32_t find_candidate(Builder& b, const Want& want) {
+/// Finds an unpinned device matching the requirements, relaxing
+/// constraints from the most specific to the least until something
+/// matches. Returns nullopt only when every inventory device is already
+/// pinned — the signal quota fills use to clamp themselves to the
+/// available population instead of re-assigning pinned devices.
+std::optional<std::uint32_t> find_unpinned(Builder& b, const Want& want) {
   const auto& catalog = b.db.catalog();
   int country = -1;
   if (!want.country.empty()) {
@@ -82,24 +85,26 @@ std::uint32_t find_candidate(Builder& b, const Want& want) {
   }
 
   // Relaxation ladder: full match -> drop protocol/type -> drop country ->
-  // any device of the realm.
-  for (int pass = 0; pass < 4; ++pass) {
+  // any device of the realm -> any unpinned device at all.
+  for (int pass = 0; pass < 5; ++pass) {
     std::vector<std::uint32_t> matches;
     for (std::uint32_t i = 0; i < b.db.devices().size(); ++i) {
       if (b.pinned.count(i)) continue;
       const DeviceRecord& d = b.db.devices()[i];
-      if (d.is_cps() != want.cps) continue;
-      if (pass < 2 && country >= 0 &&
-          d.country != static_cast<inventory::CountryId>(country))
-        continue;
-      if (pass < 1) {
-        if (proto >= 0 &&
-            !d.supports(static_cast<inventory::CpsProtocolId>(proto)))
+      if (pass < 4) {
+        if (d.is_cps() != want.cps) continue;
+        if (pass < 2 && country >= 0 &&
+            d.country != static_cast<inventory::CountryId>(country))
           continue;
-        if (want.consumer_type >= 0 &&
-            d.consumer_type !=
-                static_cast<inventory::ConsumerType>(want.consumer_type))
-          continue;
+        if (pass < 1) {
+          if (proto >= 0 &&
+              !d.supports(static_cast<inventory::CpsProtocolId>(proto)))
+            continue;
+          if (want.consumer_type >= 0 &&
+              d.consumer_type !=
+                  static_cast<inventory::ConsumerType>(want.consumer_type))
+            continue;
+        }
       }
       matches.push_back(i);
       if (matches.size() >= 64) break;  // enough choice; stay O(n)
@@ -108,8 +113,7 @@ std::uint32_t find_candidate(Builder& b, const Want& want) {
       return matches[b.rng.uniform(0, matches.size() - 1)];
     }
   }
-  // Degenerate inventory (wrong-realm-only); fall back to any device.
-  return static_cast<std::uint32_t>(b.rng.uniform(0, b.db.size() - 1));
+  return std::nullopt;  // whole inventory pinned
 }
 
 // --------------------------------------------------------------------
@@ -184,7 +188,9 @@ void assign_scanners(Builder& b) {
     want.country = hero.country;
     want.consumer_type = hero.consumer_type;
     want.cps_protocol = hero.cps_protocol;
-    const std::uint32_t device = find_candidate(b, want);
+    const auto picked = find_unpinned(b, want);
+    if (!picked) continue;  // inventory smaller than the hero script
+    const std::uint32_t device = *picked;
     b.pinned.insert(device);
     DevicePlan& plan = b.plan_of(device);
     plan.roles |= kRoleScanner;
@@ -469,7 +475,9 @@ void assign_victims(Builder& b) {
     want.country = event.country;
     want.consumer_type = event.consumer_type;
     want.cps_protocol = event.cps_protocol;
-    const std::uint32_t device = find_candidate(b, want);
+    const auto picked = find_unpinned(b, want);
+    if (!picked) continue;  // inventory smaller than the event script
+    const std::uint32_t device = *picked;
     b.pinned.insert(device);
     DevicePlan& plan = b.plan_of(device);
     plan.roles |= kRoleDosVictim;
@@ -503,24 +511,34 @@ void assign_victims(Builder& b) {
   };
   std::vector<PendingVictim> pending;
 
+  // Returns false once the target is met or the population is exhausted,
+  // clamping the background quota sum to the devices actually available:
+  // at tiny inventory_scale the per-row >= 1 rounding of scaled_count can
+  // demand more victims than the inventory holds, and the old unbounded
+  // fill re-assigned pinned devices (double-counting dos_victims).
   auto add_victim = [&](const Want& want) {
-    if (b.truth.dos_victims >= victim_target) return;
-    const std::uint32_t device = find_candidate(b, want);
-    b.pinned.insert(device);
+    if (b.truth.dos_victims >= victim_target) return false;
+    const auto device = find_unpinned(b, want);
+    if (!device) return false;  // every device already pinned
+    b.pinned.insert(*device);
     const double raw = std::min(
         bg.cap, b.rng.pareto(bg.pareto_xm, bg.pareto_alpha));
-    pending.push_back({device, raw});
+    pending.push_back({*device, raw});
     ++b.truth.dos_victims;
+    return true;
   };
 
   // Country quotas first (Fig 8a shape).
+  bool exhausted = false;
   for (const auto& quota : bg.country_quotas) {
     for (std::size_t k = 0;
          k < b.config.scaled_count(static_cast<std::size_t>(quota.cps)); ++k) {
       Want want;
       want.cps = true;
       want.country = quota.country;
-      add_victim(want);
+      if (!add_victim(want) && b.truth.dos_victims < victim_target) {
+        exhausted = true;
+      }
     }
     for (std::size_t k = 0;
          k < b.config.scaled_count(static_cast<std::size_t>(quota.consumer));
@@ -528,14 +546,17 @@ void assign_victims(Builder& b) {
       Want want;
       want.cps = false;
       want.country = quota.country;
-      add_victim(want);
+      if (!add_victim(want) && b.truth.dos_victims < victim_target) {
+        exhausted = true;
+      }
     }
+    if (exhausted) break;
   }
   // Fill the remainder with victims anywhere (realm split per spec).
-  while (b.truth.dos_victims < victim_target) {
+  while (!exhausted && b.truth.dos_victims < victim_target) {
     Want want;
     want.cps = b.rng.chance(pop.dos_victim_cps_share);
-    add_victim(want);
+    if (!add_victim(want)) break;
   }
 
   // Normalize the background budget and materialize attack plans.
@@ -737,6 +758,7 @@ Scenario build_scenario(const ScenarioConfig& config) {
 
   Builder b(config, db);
   select_compromised(b);
+  b.truth.compromised_by_selection = b.truth.plans.size();
   assign_scanners(b);
   assign_udp(b);
   assign_icmp_scanners(b);

@@ -138,6 +138,19 @@ struct ScanHeroSpec {
 /// interval-119 port spike.
 const std::vector<ScanHeroSpec>& scan_heroes();
 
+/// Shape defaults for the adversarial scenario engine's campaigns
+/// (workload/engine.hpp, DESIGN.md §17) — kept here so the "nasty"
+/// numbers live beside the paper's clean marginals. Sources: the IoT-BDA
+/// botnet lifecycle (staged recruitment ramps), the Merit telescope's
+/// diurnal/bursty unsolicited traffic, and pulse-wave DDoS reports.
+struct CampaignShapeSpec {
+  double recruitment_growth = 2.5;  ///< exponential infection-ramp exponent
+  double zipf_exponent = 1.2;       ///< source-population skew
+  int diurnal_period_hours = 24;    ///< rate-cycle period
+  int pulse_period_hours = 24;      ///< pulse-wave DoS repetition period
+  int pulse_on_hours = 2;           ///< attack hours per pulse period
+};
+
 /// Default seed shared by examples and benches.
 inline constexpr std::uint64_t kDefaultSeed = 20170412;
 

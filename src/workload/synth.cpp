@@ -64,10 +64,11 @@ struct UnindexedDerived {
 class Synthesizer {
  public:
   Synthesizer(const Scenario& scenario, const ScenarioConfig& config,
-              const PacketSink& sink)
+              const PacketSink& sink, const HourHook& hour_hook)
       : scenario_(scenario),
         config_(config),
         sink_(sink),
+        hour_hook_(hour_hook),
         space_(config.darknet),
         rng_(config.seed ^ 0x7EA5C0DEULL) {
     prepare();
@@ -83,6 +84,9 @@ class Synthesizer {
       emit_unindexed_hour(h);
       emit_noise_hour();
       emit_heavy_hitter_hour(stats_.total - hour_base);
+      // Campaign tap last, so the heavy-hitter share stays defined over
+      // the base workload alone (hook packets are the caller's ledger).
+      if (hour_hook_) hour_hook_(h, sink_);
     }
     return stats_;
   }
@@ -184,12 +188,14 @@ class Synthesizer {
     // Skewed-workload source: one fixed non-inventory IP (benchmarking
     // range, RFC 2544) emitting heavy_hitter_share of every hour. Picked
     // without consuming rng_ draws so share = 0 leaves every existing
-    // scenario's packet stream byte-identical.
+    // scenario's packet stream byte-identical. Collision probing wraps
+    // within 198.18.0.0/15 so the source can never walk into routable
+    // (or inventory) space however densely the range is indexed.
     if (config_.heavy_hitter_share > 0.0) {
-      heavy_hitter_src_ = net::Ipv4Address::from_octets(198, 18, 0, 66);
-      while (scenario_.inventory.find(heavy_hitter_src_) != nullptr) {
-        heavy_hitter_src_ = net::Ipv4Address(heavy_hitter_src_.value() + 1);
-      }
+      heavy_hitter_src_ = pick_unused_source(
+          scenario_.inventory,
+          net::Ipv4Prefix(net::Ipv4Address::from_octets(198, 18, 0, 0), 15),
+          66);
     }
 
     // Expected per-hour noise volume: scale with total IoT budget.
@@ -470,6 +476,7 @@ class Synthesizer {
   const Scenario& scenario_;
   const ScenarioConfig& config_;
   const PacketSink& sink_;
+  const HourHook& hour_hook_;
   telescope::DarknetSpace space_;
   util::Rng rng_;
   std::vector<Derived> derived_;
@@ -482,10 +489,24 @@ class Synthesizer {
 
 }  // namespace
 
+net::Ipv4Address pick_unused_source(const inventory::IoTDeviceDatabase& db,
+                                    const net::Ipv4Prefix& prefix,
+                                    std::uint32_t start_offset) {
+  const std::uint32_t host_mask = ~prefix.mask();
+  for (std::uint64_t k = 0; k < prefix.size(); ++k) {
+    const net::Ipv4Address candidate(
+        prefix.base().value() |
+        ((start_offset + static_cast<std::uint32_t>(k)) & host_mask));
+    if (db.find(candidate) == nullptr) return candidate;
+  }
+  return net::Ipv4Address(prefix.base().value() | (start_offset & host_mask));
+}
+
 SynthStats synthesize_traffic(const Scenario& scenario,
                               const ScenarioConfig& config,
-                              const PacketSink& sink) {
-  Synthesizer synth(scenario, config, sink);
+                              const PacketSink& sink,
+                              const HourHook& hour_hook) {
+  Synthesizer synth(scenario, config, sink, hour_hook);
   SynthStats stats = synth.run();
   IOTSCOPE_LOG_INFO(
       "synthesized %llu packets (scan %llu, udp %llu, backscatter %llu, "

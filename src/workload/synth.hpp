@@ -29,11 +29,32 @@ struct SynthStats {
 /// Packet sink. Called in non-decreasing hour order.
 using PacketSink = std::function<void(const net::PacketRecord&)>;
 
+/// Optional per-hour tap: invoked once per analysis hour, after the base
+/// workload's records for that hour have gone to the sink. The scenario
+/// engine injects campaign traffic (recruitment ramps, churned sources,
+/// pulse-wave backscatter) through this seam; packets it emits are the
+/// hook's own responsibility to count. An empty hook leaves the base
+/// packet stream byte-identical to the three-argument overload.
+using HourHook = std::function<void(int interval, const PacketSink& sink)>;
+
+/// First address of `prefix` at or after `prefix.base() + start_offset`
+/// (host bits wrap within the prefix) that is not an inventory device IP.
+/// Used wherever the workload needs a stable synthetic source that must
+/// stay inside a reserved range — the RFC 2544 heavy hitter, churned-IP
+/// reassignments — no matter how the inventory collides with it. Falls
+/// back to the start address if the whole prefix is indexed (only
+/// possible for prefixes smaller than the inventory).
+net::Ipv4Address pick_unused_source(const inventory::IoTDeviceDatabase& db,
+                                    const net::Ipv4Prefix& prefix,
+                                    std::uint32_t start_offset);
+
 /// Replays the scenario's plans over the analysis window into the sink.
-/// Deterministic in config.seed.
+/// Deterministic in config.seed; hour_hook (when set) runs at the end of
+/// every hour and must itself be deterministic for that to hold.
 SynthStats synthesize_traffic(const Scenario& scenario,
                               const ScenarioConfig& config,
-                              const PacketSink& sink);
+                              const PacketSink& sink,
+                              const HourHook& hour_hook = {});
 
 /// Convenience: synthesize directly into a telescope capture engine and
 /// finish() it so all hourly files are flushed.

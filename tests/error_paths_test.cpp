@@ -11,7 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/stream.hpp"
 #include "core/study.hpp"
+#include "net/block_codec.hpp"
 #include "net/flowtuple.hpp"
 #include "obs/metrics.hpp"
 #include "telescope/store.hpp"
@@ -394,6 +396,85 @@ TEST(StorePrefetchErrorTest, DecodeErrorSurfacesOnTheCallingThread) {
   ASSERT_GE(seen.size(), 2u);
   EXPECT_EQ(seen[0], 0);
   EXPECT_EQ(seen[1], 1);
+}
+
+// ------------------------------------------ stream corrupt-hour quarantine
+
+// A corrupt published hour used to propagate its util::IoError out of
+// poll_once and kill the follow daemon. It must instead be quarantined:
+// counted, skipped, and stepped over by the watermark, with the final
+// report equal to a run over the surviving hours only.
+
+TEST(StreamQuarantineTest, CorruptHourIsSkippedAndCounted) {
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  for (int h = 0; h < 6; ++h) store.put(make_hour(h));
+  util::write_file(dir.path() / net::FlowTupleCodec::file_name(2),
+                   "not a flowtuple file");
+
+  inventory::IoTDeviceDatabase db;
+  core::PipelineOptions popts;
+  popts.threads = 1;
+  popts.unknown_profile_hourly_floor = 1;
+  core::StreamingStudy study(db, store, popts);
+  study.follow([] { return true; });
+
+  EXPECT_EQ(study.stats().hours_admitted, 6u)
+      << "the quarantined hour still counts into the admission cadence";
+  EXPECT_EQ(study.stats().hours_corrupt, 1u);
+  EXPECT_EQ(study.watermark(), 6) << "the watermark must step past the hour";
+  const core::Report report = study.finalize();
+  // make_hour carries 3 packets; the corrupt hour contributes nothing.
+  EXPECT_EQ(report.total_packets + report.unattributed_packets, 5u * 3u);
+}
+
+TEST(StreamQuarantineTest, GraphSchedulerQuarantinesOnItsLanes) {
+  // Under the Graph scheduler the decode runs as a scheduler task; a
+  // throwing task would fail the whole graph at the next drain. The
+  // guarded loader must flag the hour instead and fold it empty.
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  for (int h = 0; h < 6; ++h) store.put(make_hour(h));
+  util::write_file(dir.path() / net::FlowTupleCodec::file_name(3),
+                   "still not a flowtuple file");
+
+  inventory::IoTDeviceDatabase db;
+  core::PipelineOptions popts;
+  popts.scheduler = core::ShardScheduler::Graph;
+  popts.threads = 2;
+  popts.unknown_profile_hourly_floor = 1;
+  core::StreamingStudy study(db, store, popts);
+  study.follow([] { return true; });
+
+  EXPECT_EQ(study.stats().hours_admitted, 6u);
+  EXPECT_EQ(study.stats().hours_corrupt, 1u);
+  EXPECT_EQ(study.watermark(), 6);
+  const core::Report report = study.finalize();
+  EXPECT_EQ(report.total_packets + report.unattributed_packets, 5u * 3u);
+}
+
+TEST(StreamQuarantineTest, TornCompressedHourQuarantines) {
+  // Same discipline for the compressed format: a block torn mid-payload
+  // (CRC/short-read territory) must quarantine, not kill the daemon.
+  util::TempDir dir;
+  telescope::FlowTupleStore store(dir.path());
+  store.set_write_format(telescope::StoreFormat::Compressed);
+  for (int h = 0; h < 4; ++h) store.put(make_hour(h));
+  const auto torn_path = dir.path() / net::CompressedFlowCodec::file_name(1);
+  const std::string intact = util::read_file(torn_path);
+  util::write_file(torn_path, intact.substr(0, intact.size() * 2 / 3));
+
+  inventory::IoTDeviceDatabase db;
+  core::PipelineOptions popts;
+  popts.threads = 1;
+  popts.unknown_profile_hourly_floor = 1;
+  core::StreamingStudy study(db, store, popts);
+  study.follow([] { return true; });
+
+  EXPECT_EQ(study.stats().hours_corrupt, 1u);
+  EXPECT_EQ(study.watermark(), 4);
+  const core::Report report = study.finalize();
+  EXPECT_EQ(report.total_packets + report.unattributed_packets, 3u * 3u);
 }
 
 }  // namespace

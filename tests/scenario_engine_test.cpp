@@ -1,0 +1,172 @@
+// Ground-truth tests for the phase-based adversarial scenario engine:
+// every built-in scenario must pass its exact campaign assertions —
+// recruit first-sightings, churned-lease splits, pulse-wave spike
+// attribution, Zipf profiling-floor cuts, hostile-hour quarantine —
+// through the batch driver AND the live --follow daemon, under all
+// three shard schedulers, with byte-identical rendered reports across
+// the whole matrix. The follow runs race a writer thread against the
+// streaming study's directory polls; run under TSan for full value.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scenario_run.hpp"
+#include "util/io.hpp"
+#include "util/timebase.hpp"
+#include "workload/engine.hpp"
+
+namespace iotscope::core {
+namespace {
+
+std::string join(const std::vector<std::string>& violations) {
+  std::string out;
+  for (const std::string& violation : violations) {
+    out += violation;
+    out += '\n';
+  }
+  return out;
+}
+
+struct Mode {
+  bool follow;
+  ShardScheduler scheduler;
+  const char* label;
+};
+
+constexpr Mode kModes[] = {
+    {false, ShardScheduler::Static, "batch/static"},
+    {false, ShardScheduler::Graph, "batch/graph"},
+    {true, ShardScheduler::Static, "follow/static"},
+    {true, ShardScheduler::Stealing, "follow/stealing"},
+    {true, ShardScheduler::Graph, "follow/graph"},
+};
+
+/// Runs one built-in through the full mode matrix: the batch/stealing
+/// run is the golden; every other mode must produce zero ground-truth
+/// violations and the byte-identical rendered report.
+void run_builtin_matrix(const std::string& name) {
+  const auto script = workload::builtin_scenario(name);
+  ASSERT_TRUE(script.has_value()) << name;
+  const workload::ScenarioEngine engine(*script);
+
+  util::TempDir golden_dir;
+  const ScenarioRunResult golden =
+      run_scenario(engine, golden_dir.path(), ScenarioRunOptions{});
+  EXPECT_EQ(join(check_scenario(engine, golden)), "") << "batch/stealing";
+
+  for (const Mode& mode : kModes) {
+    util::TempDir dir;
+    ScenarioRunOptions options;
+    options.follow = mode.follow;
+    options.scheduler = mode.scheduler;
+    const ScenarioRunResult run = run_scenario(engine, dir.path(), options);
+    EXPECT_EQ(join(check_scenario(engine, run)), "") << mode.label;
+    EXPECT_EQ(run.hours_corrupt, golden.hours_corrupt) << mode.label;
+    EXPECT_EQ(run.rendered, golden.rendered)
+        << mode.label << " diverged from batch/stealing";
+  }
+}
+
+TEST(ScenarioEngineTest, BuiltinRegistry) {
+  const auto& names = workload::builtin_scenario_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const std::string& name : names) {
+    const auto script = workload::builtin_scenario(name);
+    ASSERT_TRUE(script.has_value()) << name;
+    EXPECT_EQ(script->name, name);
+    EXPECT_FALSE(script->phases.empty()) << name;
+  }
+  EXPECT_FALSE(workload::builtin_scenario("no-such-scenario").has_value());
+}
+
+TEST(ScenarioEngineTest, PlannedTruthLedgersAreCoherent) {
+  {
+    const workload::ScenarioEngine engine(
+        *workload::builtin_scenario("recruitment"));
+    const auto& truth = engine.truth();
+    ASSERT_EQ(truth.recruits.size(), 32u);
+    int previous = -1;
+    for (const auto& recruit : truth.recruits) {
+      EXPECT_GE(recruit.infected_hour, 24);
+      EXPECT_LT(recruit.infected_hour, 108);
+      EXPECT_GE(recruit.infected_hour, previous)
+          << "infections must ramp forward in time";
+      previous = recruit.infected_hour;
+      // Recruits come from the unplanned pool: campaign traffic is the
+      // device's whole footprint.
+      EXPECT_EQ(engine.scenario().truth.plan_for(recruit.device), nullptr);
+    }
+    EXPECT_TRUE(truth.hostile_hours.empty());
+  }
+  {
+    const workload::ScenarioEngine engine(*workload::builtin_scenario("churn"));
+    ASSERT_EQ(engine.truth().churned.size(), 6u);
+    for (const auto& churned : engine.truth().churned) {
+      EXPECT_LT(churned.begin_hour, churned.churn_hour);
+      EXPECT_LT(churned.churn_hour, churned.end_hour);
+      // The reassigned lease is a fresh non-inventory source.
+      EXPECT_EQ(engine.scenario().inventory.find(churned.new_ip), nullptr);
+      EXPECT_NE(churned.new_ip.value(), churned.device_ip.value());
+    }
+  }
+  {
+    const workload::ScenarioEngine engine(
+        *workload::builtin_scenario("pulse-dos"));
+    ASSERT_EQ(engine.truth().pulses.size(), 2u);
+    for (const auto& pulse : engine.truth().pulses) {
+      EXPECT_FALSE(pulse.on_intervals.empty());
+      EXPECT_TRUE(std::is_sorted(pulse.on_intervals.begin(),
+                                 pulse.on_intervals.end()));
+    }
+    // Staggered victims never pulse in the same hour.
+    const auto& a = engine.truth().pulses[0].on_intervals;
+    const auto& b = engine.truth().pulses[1].on_intervals;
+    for (const int h : a) {
+      EXPECT_FALSE(std::binary_search(b.begin(), b.end(), h));
+    }
+  }
+  {
+    const workload::ScenarioEngine engine(
+        *workload::builtin_scenario("zipf-diurnal"));
+    const auto& sources = engine.truth().zipf_sources;
+    ASSERT_EQ(sources.size(), 20u);
+    for (std::size_t i = 1; i < sources.size(); ++i) {
+      EXPECT_LE(sources[i].total_packets, sources[i - 1].total_packets)
+          << "Zipf totals must fall with rank";
+    }
+    // The head of the population clears the profiling floor every hour;
+    // the tail does not — both sides of the floor are exercised.
+    EXPECT_GE(sources.front().min_hour_packets, 4u);
+    EXPECT_LT(sources.back().min_hour_packets, 4u);
+  }
+  {
+    const workload::ScenarioEngine engine(
+        *workload::builtin_scenario("malformed"));
+    EXPECT_EQ(engine.truth().hostile_hours, (std::vector<int>{37, 71, 107}));
+    EXPECT_EQ(engine.truth().campaign_packets, 0u);
+  }
+}
+
+TEST(ScenarioEngineTest, RecruitmentGroundTruthAcrossModes) {
+  run_builtin_matrix("recruitment");
+}
+
+TEST(ScenarioEngineTest, ChurnGroundTruthAcrossModes) {
+  run_builtin_matrix("churn");
+}
+
+TEST(ScenarioEngineTest, PulseDosGroundTruthAcrossModes) {
+  run_builtin_matrix("pulse-dos");
+}
+
+TEST(ScenarioEngineTest, ZipfDiurnalGroundTruthAcrossModes) {
+  run_builtin_matrix("zipf-diurnal");
+}
+
+TEST(ScenarioEngineTest, MalformedStoreSurvivesEveryReader) {
+  run_builtin_matrix("malformed");
+}
+
+}  // namespace
+}  // namespace iotscope::core

@@ -22,6 +22,7 @@
 #include "core/stream.hpp"
 #include "telescope/store.hpp"
 #include "util/io.hpp"
+#include "workload/engine.hpp"
 #include "workload/rotating_writer.hpp"
 #include "workload/synth.hpp"
 
@@ -223,6 +224,58 @@ TEST(StreamEquivalenceTest, EvictionIsInvisibleInTheFinalReport) {
   EXPECT_GT(evicted_count, 0u);
   EXPECT_EQ(unevicted_count, 0u);
   EXPECT_EQ(evicted_render, unevicted_render);
+}
+
+TEST(StreamEquivalenceTest, CorruptMidStreamHoursQuarantineByteIdentically) {
+  // The malformed built-in publishes three hostile hours (torn block,
+  // truncated record, hostile header) with the same atomic rename as
+  // real hours, so a concurrent follower hits them mid-stream at full
+  // speed. It must quarantine all three and still end byte-identical to
+  // a batch run that skipped the same hours.
+  const auto script = workload::builtin_scenario("malformed");
+  ASSERT_TRUE(script.has_value());
+  const workload::ScenarioEngine engine(*script);
+  const auto& inventory = engine.scenario().inventory;
+
+  util::TempDir golden_dir;
+  telescope::FlowTupleStore golden_store(golden_dir.path());
+  engine.write_to_store(golden_store);
+  AnalysisPipeline pipeline(inventory, stream_pipeline_options(1));
+  std::size_t skipped = 0;
+  for (const int interval : golden_store.intervals()) {
+    try {
+      if (auto batch = golden_store.get_batch(interval)) {
+        pipeline.observe(*batch);
+      }
+    } catch (const util::IoError&) {
+      ++skipped;
+    }
+  }
+  ASSERT_EQ(skipped, 3u);
+  const std::string golden =
+      render_everything(pipeline.finalize(), inventory);
+
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE(threads);
+    util::TempDir dir;
+    telescope::FlowTupleStore store(dir.path());
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      engine.write_to_store(store);
+      writer_done.store(true, std::memory_order_release);
+    });
+    StreamingStudy stream(inventory, store, stream_pipeline_options(threads),
+                          tight_stream_options());
+    stream.follow([&writer_done] {
+      return writer_done.load(std::memory_order_acquire);
+    });
+    writer.join();
+    EXPECT_EQ(stream.stats().hours_corrupt, 3u);
+    EXPECT_EQ(stream.stats().hours_late, 0u);
+    EXPECT_EQ(stream.stats().hours_admitted,
+              static_cast<std::uint64_t>(util::AnalysisWindow::kHours));
+    EXPECT_EQ(render_everything(stream.finalize(), inventory), golden);
+  }
 }
 
 TEST(StreamSnapshotTest, MidStreamSnapshotsGrowMonotonically) {

@@ -311,6 +311,115 @@ TEST_F(SynthTest, ScanPacketsAreSynOnlyAndBackscatterMatchesTaxonomy) {
   EXPECT_GT(syn_only, scan_total / 2);
 }
 
+TEST(Scenario, TinyScaleRoleQuotasClampToThePopulation) {
+  // Regression: scaled_count's >=1 round-up let every role quota claim a
+  // device even when the scaled inventory was smaller than the quota
+  // sum; exhaustion then fell back to already-pinned devices, so
+  // dos_victims over-counted real victim plans and single devices
+  // carried duplicate attack roles.
+  ScenarioConfig config;
+  config.inventory_scale = 2e-5;  // ~7 devices against dozens of quotas
+  config.traffic_scale = 0.001;
+  const Scenario tiny = build_scenario(config);
+  const std::size_t population = tiny.inventory.devices().size();
+  ASSERT_GT(population, 0u);
+  EXPECT_LE(tiny.truth.plans.size(), population);
+
+  std::set<std::uint32_t> planned;
+  std::size_t victim_plans = 0;
+  for (const auto& plan : tiny.truth.plans) {
+    EXPECT_TRUE(planned.insert(plan.device).second)
+        << "device " << plan.device << " planned twice";
+    if (!plan.attacks.empty()) ++victim_plans;
+  }
+  EXPECT_EQ(tiny.truth.dos_victims, victim_plans)
+      << "victim counter must match actual victim plans";
+  EXPECT_LE(tiny.truth.dos_victims, population);
+  EXPECT_LE(tiny.truth.compromised_by_selection, tiny.truth.plans.size());
+}
+
+TEST(Synth, PickUnusedSourceStaysInsidePrefixUnderCollisions) {
+  // Regression: the heavy hitter resolved inventory collisions by
+  // incrementing the IP unboundedly, walking out of its reserved RFC
+  // 2544 block. The probe must wrap within the prefix instead.
+  inventory::IoTDeviceDatabase db;
+  const net::Ipv4Prefix prefix(net::Ipv4Address::from_octets(198, 18, 0, 0),
+                               15);
+  // Occupy a run of addresses starting at the preferred offset.
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    inventory::DeviceRecord device;
+    device.ip = net::Ipv4Address(prefix.base().value() + 66 + i);
+    ASSERT_TRUE(db.add_device(device));
+  }
+  const net::Ipv4Address picked = pick_unused_source(db, prefix, 66);
+  EXPECT_TRUE(prefix.contains(picked));
+  EXPECT_EQ(db.find(picked), nullptr);
+
+  // Collisions at the top of the prefix must wrap to its base, not walk
+  // past the broadcast edge into foreign space.
+  inventory::IoTDeviceDatabase top;
+  const auto last = static_cast<std::uint32_t>(prefix.size() - 1);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    inventory::DeviceRecord device;
+    device.ip = net::Ipv4Address(prefix.base().value() + last - i);
+    ASSERT_TRUE(top.add_device(device));
+  }
+  const net::Ipv4Address wrapped = pick_unused_source(db, prefix, last);
+  EXPECT_TRUE(prefix.contains(wrapped));
+  EXPECT_EQ(db.find(wrapped), nullptr);
+  const net::Ipv4Address wrapped_top = pick_unused_source(top, prefix, last - 2);
+  EXPECT_TRUE(prefix.contains(wrapped_top));
+  EXPECT_EQ(top.find(wrapped_top), nullptr);
+}
+
+TEST(Synth, HeavyHitterSourceRespectsItsReservedBlock) {
+  // Even when the synthetic inventory happens to index 198.18.0.66, the
+  // skew source must stay inside 198.18.0.0/15 (and off an indexed IP).
+  ScenarioConfig config;
+  config.inventory_scale = 0.005;
+  config.traffic_scale = 0.0005;
+  config.noise_ratio = 0.0;
+  config.heavy_hitter_share = 0.5;
+  const Scenario scenario = build_scenario(config);
+  const net::Ipv4Prefix prefix(net::Ipv4Address::from_octets(198, 18, 0, 0),
+                               15);
+  std::set<std::uint32_t> sources;
+  synthesize_traffic(scenario, config, [&](const net::PacketRecord& p) {
+    if (prefix.contains(p.src)) sources.insert(p.src.value());
+  });
+  ASSERT_FALSE(sources.empty()) << "heavy hitter never emitted";
+  for (const std::uint32_t src : sources) {
+    EXPECT_EQ(scenario.inventory.find(net::Ipv4Address(src)), nullptr)
+        << "heavy hitter aliased an inventory device";
+  }
+}
+
+TEST_F(SynthTest, HourHookRunsOncePerHourAfterBaseTraffic) {
+  std::vector<int> hook_hours;
+  std::uint64_t base_packets = 0;
+  const auto stats = synthesize_traffic(
+      scenario(), config(),
+      [&](const net::PacketRecord&) { ++base_packets; },
+      [&](int hour, const PacketSink& sink) {
+        hook_hours.push_back(hour);
+        // Hook emissions go to the sink but are not the synthesizer's to
+        // count.
+        sink(net::make_tcp_syn(util::AnalysisWindow::interval_start(hour),
+                               net::Ipv4Address::from_octets(198, 19, 1, 1),
+                               net::Ipv4Address::from_octets(10, 1, 2, 3),
+                               40000, 23));
+      });
+  ASSERT_EQ(hook_hours.size(),
+            static_cast<std::size_t>(util::AnalysisWindow::kHours));
+  for (int h = 0; h < util::AnalysisWindow::kHours; ++h) {
+    EXPECT_EQ(hook_hours[static_cast<std::size_t>(h)], h);
+  }
+  EXPECT_EQ(base_packets,
+            stats.total + static_cast<std::uint64_t>(
+                              util::AnalysisWindow::kHours))
+      << "hook packets reach the sink but never the synth counters";
+}
+
 TEST_F(SynthTest, SynthesizeIntoCaptureProducesAllHours) {
   std::vector<int> intervals;
   telescope::TelescopeCapture capture(

@@ -6,6 +6,9 @@
 //
 //   iotscope synth       --out DIR [--inventory-scale S] [--traffic-scale S]
 //                        [--seed N] [--noise R] [--with-truth] [--compress]
+//                        [--scenario NAME]
+//   iotscope scenario    --list | --name NAME [--out DIR] [--follow]
+//                        [--scheduler S] [--threads N]
 //   iotscope analyze     --data DIR [--top N] [--threads N] [--readers N]
 //   iotscope fingerprint --data DIR [--threshold X] [--min-packets N]
 //   iotscope campaigns   --data DIR [--threads N]
@@ -29,6 +32,7 @@
 #include "core/fingerprint.hpp"
 #include "core/iotscope.hpp"
 #include "core/report_text.hpp"
+#include "core/scenario_run.hpp"
 #include "core/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -37,6 +41,7 @@
 #include "util/io.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "workload/engine.hpp"
 #include "workload/synth.hpp"
 
 using namespace iotscope;
@@ -217,7 +222,9 @@ int usage() {
                "usage:\n"
                "  iotscope synth       --out DIR [--inventory-scale S] "
                "[--traffic-scale S] [--seed N] [--noise R] [--with-truth] "
-               "[--compress]\n"
+               "[--compress] [--scenario NAME]\n"
+               "  iotscope scenario    --list | --name NAME [--out DIR] "
+               "[--follow] [--scheduler S] [--threads N]\n"
                "  iotscope analyze     --data DIR [--top N] [--full] "
                "[--threads N] [--scheduler S] [--readers N] [--metrics] "
                "[--metrics-out FILE]\n"
@@ -248,6 +255,16 @@ int usage() {
                "  --compress         synth writes compressed .iftc hourly "
                "files instead of raw .ift (every analysis reads either "
                "transparently)\n"
+               "  --scenario NAME    synth emits the named phase-based "
+               "adversarial scenario on top of the base telescope traffic "
+               "(hostile hours land as corrupt files by design; see "
+               "'iotscope scenario --list')\n"
+               "  scenario           run a built-in adversarial scenario "
+               "end to end and check its ground truth against the inference "
+               "report; exits 1 and prints each violation if any assertion "
+               "fails. --follow runs it through the streaming daemon "
+               "(writer raced against the directory poll) instead of the "
+               "batch scan; --out keeps the generated dataset\n"
                "  --block-records N  compact: records per compressed block "
                "(default 8192)\n"
                "  --no-verify        compact: skip the round-trip decode "
@@ -277,10 +294,48 @@ int usage() {
 
 // ---------------------------------------------------------------- synth
 
+/// synth --scenario NAME: emit a phase-based adversarial scenario as an
+/// on-disk dataset. Hostile hours (if the scenario scripts any) are
+/// written as corrupt files on purpose — that is the point of the
+/// "malformed" builtin — so every downstream reader must quarantine
+/// rather than abort.
+int synth_scenario(const Args& args, const std::filesystem::path& out_dir) {
+  const std::string name = args.get("scenario", "");
+  const auto script = workload::builtin_scenario(name);
+  if (!script) {
+    std::fprintf(stderr,
+                 "iotscope synth: unknown scenario '%s' (try 'iotscope "
+                 "scenario --list')\n",
+                 name.c_str());
+    return 1;
+  }
+  std::printf("synthesizing scenario '%s' (%s)...\n", script->name.c_str(),
+              script->description.c_str());
+  const workload::ScenarioEngine engine(*script);
+  engine.scenario().inventory.save_csv(out_dir / "inventory.csv");
+  telescope::FlowTupleStore store(out_dir / "flowtuples");
+  if (args.has("compress")) {
+    store.set_write_format(telescope::StoreFormat::Compressed);
+  }
+  const auto result = engine.write_to_store(store);
+  std::printf("wrote %s: inventory.csv (%zu devices), flowtuples/ (%zu "
+              "hours, %s base + %s campaign packets, %zu hostile)\n",
+              out_dir.string().c_str(), engine.scenario().inventory.size(),
+              store.intervals().size(),
+              util::human_count(static_cast<double>(result.synth.total))
+                  .c_str(),
+              util::human_count(
+                  static_cast<double>(engine.truth().campaign_packets))
+                  .c_str(),
+              result.corrupted_hours);
+  return 0;
+}
+
 int cmd_synth(const Args& args) {
   if (!args.has("out")) return usage();
   const std::filesystem::path out_dir = args.get("out", "");
   std::filesystem::create_directories(out_dir);
+  if (args.has("scenario")) return synth_scenario(args, out_dir);
 
   workload::ScenarioConfig config;
   config.inventory_scale = args.get_double("inventory-scale", 0.05);
@@ -331,6 +386,90 @@ int cmd_synth(const Args& args) {
               store.intervals().size(),
               util::human_count(static_cast<double>(stats.total)).c_str(),
               threats.event_count(), corpus.database.size());
+  return 0;
+}
+
+// ------------------------------------------------------------ scenario
+
+/// iotscope scenario: run a built-in adversarial scenario end to end and
+/// hold the inference report to the engine's exact ground truth. This is
+/// the operator-facing twin of scenario_engine_test: same driver, same
+/// checker, exit 1 with one line per violated claim.
+int cmd_scenario(const Args& args) {
+  if (args.has("list")) {
+    std::printf("built-in scenarios:\n");
+    for (const std::string& name : workload::builtin_scenario_names()) {
+      const auto script = workload::builtin_scenario(name);
+      std::printf("  %-14s %s\n", name.c_str(),
+                  script ? script->description.c_str() : "");
+    }
+    return 0;
+  }
+  if (!args.has("name")) return usage();
+  const std::string name = args.get("name", "");
+  const auto script = workload::builtin_scenario(name);
+  if (!script) {
+    std::fprintf(stderr,
+                 "iotscope scenario: unknown scenario '%s' (try --list)\n",
+                 name.c_str());
+    return 1;
+  }
+
+  core::ScenarioRunOptions options;
+  options.follow = args.has("follow");
+  if (!parse_threads(args, &options.threads)) return usage();
+  if (!parse_scheduler(args, &options.scheduler)) return usage();
+
+  // --out keeps the generated dataset; otherwise run in a throwaway dir.
+  std::optional<util::TempDir> scratch;
+  std::filesystem::path dir;
+  if (args.has("out")) {
+    dir = args.get("out", "");
+    std::filesystem::create_directories(dir);
+  } else {
+    scratch.emplace();
+    dir = scratch->path();
+  }
+
+  const workload::ScenarioEngine engine(*script);
+  std::printf("scenario '%s': %s\n", script->name.c_str(),
+              script->description.c_str());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run = core::run_scenario(engine, dir / "flowtuples", options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  if (args.has("out")) {
+    engine.scenario().inventory.save_csv(dir / "inventory.csv");
+  }
+
+  const auto& truth = engine.truth();
+  std::printf("ran %s in %lld ms (%s): %s packets analyzed, %zu hostile "
+              "hours quarantined, %zu recruits / %zu churned / %zu pulse "
+              "victims / %zu zipf sources scripted\n",
+              options.follow ? "--follow" : "batch",
+              static_cast<long long>(elapsed),
+              options.scheduler == core::ShardScheduler::Static ? "static"
+              : options.scheduler == core::ShardScheduler::Graph ? "graph"
+                                                                 : "stealing",
+              util::human_count(static_cast<double>(
+                                    run.report.total_packets +
+                                    run.report.unattributed_packets))
+                  .c_str(),
+              static_cast<std::size_t>(run.hours_corrupt),
+              truth.recruits.size(), truth.churned.size(),
+              truth.pulses.size(), truth.zipf_sources.size());
+
+  const auto violations = core::check_scenario(engine, run);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "ground truth FAILED (%zu violations):\n",
+                 violations.size());
+    for (const std::string& violation : violations) {
+      std::fprintf(stderr, "  %s\n", violation.c_str());
+    }
+    return 1;
+  }
+  std::printf("ground truth OK: every scripted campaign claim held\n");
   return 0;
 }
 
@@ -769,6 +908,7 @@ int main(int argc, char** argv) {
     const Args args(argc, argv, 2);
     int rc = -1;
     if (command == "synth") rc = cmd_synth(args);
+    else if (command == "scenario") rc = cmd_scenario(args);
     else if (command == "analyze") rc = cmd_analyze(args);
     else if (command == "fingerprint") rc = cmd_fingerprint(args);
     else if (command == "campaigns") rc = cmd_campaigns(args);
